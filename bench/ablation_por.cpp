@@ -1,0 +1,116 @@
+//===- bench/ablation_por.cpp - Partial-order reduction ablation -----------===//
+//
+// Part of the ICB project (PLDI'07 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's related-work/future-work claim: "Researchers have explored
+/// the use of partial-order reduction ... These optimizations are
+/// orthogonal and complementary to the idea of context-bounding. In fact,
+/// our preliminary experiments indicate that state-space coverage
+/// increases at an even faster rate when partial-order reduction is
+/// performed during iterative context-bounding."
+///
+/// We implement sleep-set POR [Godefroid 1996] on the model-VM DFS and
+/// measure the reduction: same bugs, (often far) fewer executions. The
+/// reduction is applied to the unbounded search; composing sleep sets
+/// with ICB's per-bound completeness guarantee requires the bounded-POR
+/// machinery of later work (Coons, Musuvathi, McKinley, OOPSLA'13) and is
+/// intentionally not claimed here — ICB appears in the table only as the
+/// reference point.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+#include "benchmarks/TxnManagerModel.h"
+#include "search/Dfs.h"
+#include "search/IcbSearch.h"
+#include "support/Format.h"
+#include "testutil/TestPrograms.h"
+#include <cstdio>
+
+using namespace icb;
+using namespace icb::bench;
+using namespace icb::benchutil;
+using namespace icb::search;
+
+namespace {
+
+struct Outcome {
+  uint64_t Executions = 0;
+  uint64_t Steps = 0;
+  size_t Bugs = 0;
+  bool Completed = false;
+};
+
+Outcome summarize(const SearchResult &R) {
+  return {R.Stats.Executions, R.Stats.TotalSteps, R.Bugs.size(),
+          R.Stats.Completed};
+}
+
+} // namespace
+
+int main() {
+  printHeader("Ablation: sleep-set partial-order reduction on the model VM",
+              "same bugs, fewer executions; POR and context bounding are "
+              "complementary");
+
+  struct Case {
+    std::string Name;
+    vm::Program Prog;
+  };
+  std::vector<Case> Cases;
+  Cases.push_back({"txnmgr (no bug)",
+                   txnManagerModel({2, TxnBug::None})});
+  Cases.push_back({"txnmgr commit-stomp",
+                   txnManagerModel({2, TxnBug::CommitStomp})});
+  Cases.push_back({"racy-counter(3)", testutil::racyCounter(3)});
+  Cases.push_back({"sem-buffer(2,3)", testutil::semaphoreBuffer(2, 3)});
+
+  std::vector<std::vector<std::string>> Rows;
+  std::vector<std::vector<std::string>> CsvRows;
+  bool BugsPreserved = true;
+  for (Case &C : Cases) {
+    vm::Interp VM(C.Prog);
+    SearchLimits Limits;
+    Limits.MaxExecutions = 2000000;
+
+    DfsSearch::Options Plain;
+    Plain.Limits = Limits;
+    Outcome A = summarize(DfsSearch(Plain).run(VM));
+
+    DfsSearch::Options Por = Plain;
+    Por.UseSleepSets = true;
+    Outcome B = summarize(DfsSearch(Por).run(VM));
+
+    IcbSearch::Options IcbOpts;
+    IcbOpts.Limits = Limits;
+    IcbOpts.RecordSchedules = false;
+    Outcome I = summarize(IcbSearch(IcbOpts).run(VM));
+
+    BugsPreserved &= A.Bugs == B.Bugs;
+    double Reduction = B.Executions
+                           ? static_cast<double>(A.Executions) /
+                                 static_cast<double>(B.Executions)
+                           : 0.0;
+    Rows.push_back({C.Name, withCommas(A.Executions),
+                    withCommas(B.Executions),
+                    strFormat("%.1fx", Reduction),
+                    strFormat("%zu/%zu", B.Bugs, A.Bugs),
+                    withCommas(I.Executions)});
+    CsvRows.push_back(
+        {C.Name, strFormat("%llu", (unsigned long long)A.Executions),
+         strFormat("%llu", (unsigned long long)B.Executions),
+         strFormat("%llu", (unsigned long long)I.Executions)});
+  }
+  printTable({"program", "dfs execs", "dfs+sleep execs", "reduction",
+              "bugs kept", "icb execs (reference)"},
+             Rows);
+  std::printf("\nSleep sets preserved every bug: %s\n",
+              BugsPreserved ? "yes" : "NO");
+  printCsv("ablation_por",
+           {"program", "dfs_execs", "dfs_sleep_execs", "icb_execs"},
+           CsvRows);
+  return BugsPreserved ? 0 : 1;
+}

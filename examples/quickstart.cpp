@@ -1,0 +1,112 @@
+//===- examples/quickstart.cpp - Five-minute tour of the checker -----------===//
+//
+// Part of the ICB project (PLDI'07 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Quickstart: write a small multithreaded test against the intercepted
+/// runtime API, hand it to the iterative context-bounding explorer, and
+/// get back a minimal-preemption counterexample trace.
+///
+/// The program under test is a bank account whose transfer path reads the
+/// balance, computes, and writes it back while holding the wrong lock —
+/// the classic lost update. ICB finds it with exactly one preemption and
+/// prints the interleaving.
+///
+/// Run:  ./quickstart [--fixed]
+///
+//===----------------------------------------------------------------------===//
+
+#include "rt/Atomic.h"
+#include "rt/Explore.h"
+#include "rt/Scheduler.h"
+#include "rt/Sync.h"
+#include "rt/Thread.h"
+#include "support/CommandLine.h"
+#include <cstdio>
+
+using namespace icb;
+using namespace icb::rt;
+
+namespace {
+
+/// A bank with two accounts. The buggy deposit path updates the balance
+/// outside the account's lock "because the update is just one line".
+struct Bank {
+  Bank() : Lock("accountLock"), Balance("balance", 100) {}
+
+  Mutex Lock;
+  Atomic<int> Balance;
+
+  void depositBuggy(int Amount) {
+    int Current = Balance.load(); // BUG: read-modify-write, no lock.
+    Balance.store(Current + Amount);
+  }
+
+  void depositFixed(int Amount) {
+    Lock.lock();
+    int Current = Balance.load();
+    Balance.store(Current + Amount);
+    Lock.unlock();
+  }
+};
+
+TestCase makeBankTest(bool Fixed) {
+  return {Fixed ? "bank-fixed" : "bank-buggy", [Fixed] {
+    Bank B;
+    auto Deposit = [&B, Fixed] {
+      if (Fixed)
+        B.depositFixed(50);
+      else
+        B.depositBuggy(50);
+    };
+    Thread Teller1(Deposit, "teller1");
+    Thread Teller2(Deposit, "teller2");
+    Teller1.join();
+    Teller2.join();
+    testAssert(B.Balance.load() == 200,
+               "a deposit was lost: balance != 200");
+  }};
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  FlagSet Flags("quickstart: find a lost-update bug with iterative "
+                "context bounding");
+  Flags.addBool("fixed", false, "run the corrected (locked) deposit path");
+  Flags.addInt("max-bound", 4, "maximum preemption bound to explore");
+  std::string Error;
+  if (!Flags.parse(Argc, Argv, &Error)) {
+    std::fprintf(stderr, "%s\n", Error.c_str());
+    return 2;
+  }
+
+  TestCase Test = makeBankTest(Flags.getBool("fixed"));
+  ExploreOptions Opts;
+  Opts.Limits.StopAtFirstBug = true;
+  Opts.Limits.MaxPreemptionBound =
+      static_cast<unsigned>(Flags.getInt("max-bound"));
+  IcbExplorer Icb(Opts);
+
+  std::printf("exploring '%s' with iterative context bounding...\n",
+              Test.Name.c_str());
+  ExploreResult R = Icb.explore(Test);
+  std::printf("  executions: %llu   distinct states: %llu\n",
+              (unsigned long long)R.Stats.Executions,
+              (unsigned long long)R.Stats.DistinctStates);
+
+  if (!R.foundBug()) {
+    std::printf("no bug found up to preemption bound %lld%s\n",
+                (long long)Flags.getInt("max-bound"),
+                R.Stats.Completed ? " (state space exhausted)" : "");
+    return 0;
+  }
+
+  const RtBug &Bug = *R.simplestBug();
+  std::printf("\n%s\n", Bug.str().c_str());
+  std::printf("\ncounterexample (replayed):\n%s",
+              renderBugTrace(Test, Bug, Opts.Exec).c_str());
+  return 1;
+}

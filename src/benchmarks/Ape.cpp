@@ -1,0 +1,184 @@
+//===- benchmarks/Ape.cpp - Asynchronous Processing Environment -----------===//
+//
+// Part of the ICB project (PLDI'07 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "benchmarks/Ape.h"
+#include "rt/Atomic.h"
+#include "rt/Managed.h"
+#include "rt/SharedVar.h"
+#include "rt/Sync.h"
+#include "rt/Thread.h"
+#include "support/Debug.h"
+#include "support/Format.h"
+#include <memory>
+#include <vector>
+
+using namespace icb;
+using namespace icb::rt;
+using namespace icb::bench;
+
+const char *icb::bench::apeBugName(ApeBug Bug) {
+  switch (Bug) {
+  case ApeBug::None:
+    return "none";
+  case ApeBug::MissingSentinel:
+    return "missing-sentinel";
+  case ApeBug::EagerTeardown:
+    return "eager-teardown";
+  case ApeBug::LostCompletionUpdate:
+    return "lost-completion-update";
+  case ApeBug::BrokenStatsLatch:
+    return "broken-stats-latch";
+  }
+  ICB_UNREACHABLE("unknown ape bug");
+}
+
+namespace {
+
+constexpr int StopItem = -99;
+constexpr unsigned QueueCap = 8;
+
+/// The environment's shared state; allocated managed so teardown bugs
+/// surface as use-after-free reports.
+struct ApeEnv {
+  ApeEnv()
+      : QLock("apeQueueLock"), WorkSem("workAvailable", 0),
+        Hd("apeHead", 0), Tl("apeTail", 0), Processed("processed", 0),
+        AllDone("allDone", /*ManualReset=*/true) {
+    Buf.reserve(QueueCap);
+    for (unsigned I = 0; I != QueueCap; ++I)
+      Buf.push_back(std::make_unique<SharedVar<int>>(
+          strFormat("apeBuf[%u]", I), 0));
+    StatsBusy.reserve(4);
+    for (unsigned I = 0; I != 4; ++I)
+      StatsBusy.push_back(std::make_unique<Atomic<int>>(
+          strFormat("statsBusy[%u]", I), 0));
+  }
+
+  Mutex QLock;
+  Semaphore WorkSem;
+  std::vector<std::unique_ptr<SharedVar<int>>> Buf;
+  Atomic<int> Hd;
+  Atomic<int> Tl;
+  Atomic<int> Processed;
+  Event AllDone;
+  /// Hand-rolled latch of the buggy statistics critical region.
+  Atomic<int> StatsOwner{"statsOwner", 0};
+  Atomic<int> ItemsAccounted{"itemsAccounted", 0};
+  /// Per-worker inside-the-region markers (the assertion's witness).
+  std::vector<std::unique_ptr<Atomic<int>>> StatsBusy;
+};
+
+/// Producer-side enqueue (main thread).
+void apeEnqueue(ManagedPtr<ApeEnv> Env, int Value) {
+  Env->QLock.lock();
+  int T = Env->Tl.load();
+  testAssert(T - Env->Hd.load() < static_cast<int>(QueueCap),
+             "APE: queue overflow");
+  Env->Buf[static_cast<size_t>(T) % QueueCap]->set(Value);
+  Env->Tl.store(T + 1);
+  Env->QLock.unlock();
+  Env->WorkSem.release();
+}
+
+/// Correct dequeue: under the queue lock. Returns the item.
+int apeDequeueLocked(ManagedPtr<ApeEnv> Env) {
+  Env->QLock.lock();
+  int H = Env->Hd.load();
+  testAssert(H < Env->Tl.load(), "APE: dequeue from an empty queue");
+  int Value = Env->Buf[static_cast<size_t>(H) % QueueCap]->get();
+  Env->Hd.store(H + 1);
+  Env->QLock.unlock();
+  return Value;
+}
+
+/// Buggy "optimized" statistics flush: a hand-rolled check-then-announce
+/// latch guards the accounting region instead of QLock. The check and the
+/// announce are separate operations, so two straddling claim sequences
+/// both enter; the in-region assertion is the witness.
+void apeFlushStats(ManagedPtr<ApeEnv> Env, unsigned Me, unsigned Other) {
+  if (Env->StatsOwner.load() != 0) {
+    // Contended: fall back to the real lock.
+    Env->QLock.lock();
+    Env->ItemsAccounted.fetchAdd(1);
+    Env->QLock.unlock();
+    return;
+  }
+  Env->StatsOwner.store(1); // BUG: check and announce are not atomic.
+  testAssert(Env->StatsBusy[Other]->load() == 0,
+             "APE: two workers inside the statistics critical region");
+  Env->StatsBusy[Me]->store(1);
+  Env->ItemsAccounted.fetchAdd(1);
+  Env->StatsBusy[Me]->store(0);
+  Env->StatsOwner.store(0);
+}
+
+/// Marks one item processed; the last one signals completion.
+void apeComplete(ManagedPtr<ApeEnv> Env, unsigned TotalItems, ApeBug Bug) {
+  if (Bug == ApeBug::LostCompletionUpdate) {
+    // BUG: load/store instead of an interlocked increment.
+    int P = Env->Processed.load();
+    Env->Processed.store(P + 1);
+    if (P + 1 == static_cast<int>(TotalItems))
+      Env->AllDone.set();
+    return;
+  }
+  if (Env->Processed.fetchAdd(1) + 1 == static_cast<int>(TotalItems))
+    Env->AllDone.set();
+}
+
+void apeWorker(ManagedPtr<ApeEnv> Env, unsigned Me, unsigned Other,
+               const ApeConfig &Config) {
+  while (true) {
+    Env->WorkSem.acquire();
+    int Value = apeDequeueLocked(Env);
+    if (Value == StopItem)
+      return;
+    if (Config.Bug == ApeBug::BrokenStatsLatch)
+      apeFlushStats(Env, Me, Other);
+    apeComplete(Env, Config.Items, Config.Bug);
+  }
+}
+
+} // namespace
+
+rt::TestCase icb::bench::apeTest(ApeConfig Config) {
+  std::string Name = strFormat("ape-%uw-%ui-%s", Config.Workers,
+                               Config.Items, apeBugName(Config.Bug));
+  return {Name, [Config] {
+    ManagedPtr<ApeEnv> Env = makeManaged<ApeEnv>("ApeEnv");
+    std::vector<std::unique_ptr<Thread>> Workers;
+    Workers.reserve(Config.Workers);
+    for (unsigned W = 0; W != Config.Workers; ++W)
+      Workers.push_back(std::make_unique<Thread>(
+          [Env, W, Config] {
+            apeWorker(Env, W, (W + 1) % Config.Workers, Config);
+          },
+          strFormat("apeWorker%u", W)));
+
+    for (unsigned I = 0; I != Config.Items; ++I)
+      apeEnqueue(Env, static_cast<int>(I));
+    Env->AllDone.wait();
+
+    if (Config.Bug != ApeBug::MissingSentinel) {
+      // Wake every worker with a shutdown sentinel.
+      for (unsigned W = 0; W != Config.Workers; ++W)
+        apeEnqueue(Env, StopItem);
+    }
+    if (Config.Bug == ApeBug::EagerTeardown) {
+      // BUG: tear the environment down before the workers have drained
+      // their sentinels; a worker parked on WorkSem touches freed memory.
+      Env.destroy();
+      for (auto &W : Workers)
+        W->join();
+      return;
+    }
+    for (auto &W : Workers)
+      W->join();
+    testAssert(Env->Processed.load() == static_cast<int>(Config.Items),
+               "APE: completion signaled before all items were processed");
+    Env.destroy();
+  }};
+}

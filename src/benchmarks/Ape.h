@@ -1,0 +1,66 @@
+//===- benchmarks/Ape.h - Asynchronous Processing Environment ---*- C++ -*-===//
+//
+// Part of the ICB project (PLDI'07 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// APE, the Asynchronous Processing Environment: "a set of data structures
+/// and functions that provide logical structure and debugging support to
+/// asynchronous multithreaded code ... the main thread initializes APE's
+/// data structures, creates two worker threads, and finally waits for them
+/// to finish. The worker threads concurrently exercise certain parts of
+/// the interface."
+///
+/// Our substitute is an asynchronous work-queue library: a bounded item
+/// queue fed by the main thread, drained by two workers gated on a
+/// counting semaphore, with a completion event and shutdown sentinels.
+/// Four seeded bugs reproduce Table 2's distribution for APE (two bugs at
+/// preemption bound 0, one at 1, one at 2):
+///
+///   * MissingSentinel       (@0) — shutdown never wakes the workers:
+///     they block on the work semaphore forever while main joins them.
+///   * EagerTeardown         (@0) — main destroys the environment right
+///     after queueing the shutdown sentinels, while workers are still
+///     parked on (or about to touch) its semaphore: use-after-free.
+///   * LostCompletionUpdate  (@1) — the processed-items counter is
+///     updated with a load/store pair; one preemption loses an update and
+///     the completion event is never signaled: deadlock.
+///   * BrokenStatsLatch      (@2) — workers flush their statistics inside
+///     a critical region guarded by a hand-rolled check-then-announce
+///     latch (a broken test-and-set). Entering it concurrently requires
+///     the two claim sequences to straddle each other — two preemptions —
+///     and is caught by an in-region assertion.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ICB_BENCHMARKS_APE_H
+#define ICB_BENCHMARKS_APE_H
+
+#include "rt/Scheduler.h"
+
+namespace icb::bench {
+
+/// Which seeded APE defect (if any) is active.
+enum class ApeBug : uint8_t {
+  None,
+  MissingSentinel,      ///< Exposed with 0 preemptions (deadlock).
+  EagerTeardown,        ///< Exposed with 0 preemptions (use-after-free).
+  LostCompletionUpdate, ///< Exposed with 1 preemption (deadlock).
+  BrokenStatsLatch,     ///< Exposed with 2 preemptions (assertion).
+};
+
+const char *apeBugName(ApeBug Bug);
+
+struct ApeConfig {
+  unsigned Workers = 2;
+  unsigned Items = 2;
+  ApeBug Bug = ApeBug::None;
+};
+
+/// Builds the closed APE test (init, two workers, wait, shutdown).
+rt::TestCase apeTest(ApeConfig Config);
+
+} // namespace icb::bench
+
+#endif // ICB_BENCHMARKS_APE_H

@@ -1,0 +1,103 @@
+//===- benchmarks/Bluetooth.cpp - Bluetooth PnP driver benchmark ----------===//
+//
+// Part of the ICB project (PLDI'07 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "benchmarks/Bluetooth.h"
+#include "rt/Atomic.h"
+#include "rt/Sync.h"
+#include "rt/Thread.h"
+#include "support/Format.h"
+#include <memory>
+#include <vector>
+
+using namespace icb;
+using namespace icb::rt;
+using namespace icb::bench;
+
+namespace {
+
+/// The driver's shared state. pendingIo starts at 1: the stopper owns the
+/// initial reference and drops it when it begins stopping.
+struct BtDriver {
+  BtDriver()
+      : PendingIo("pendingIo", 1), StoppingFlag("stoppingFlag", 0),
+        StoppingEvent("stoppingEvent", /*ManualReset=*/true),
+        Stopped("stopped", 0) {}
+
+  Atomic<int> PendingIo;
+  Atomic<int> StoppingFlag;
+  Event StoppingEvent;
+  Atomic<int> Stopped;
+};
+
+/// Drops one pending-I/O reference; the last one out signals the stopper.
+void releaseReference(BtDriver &D) {
+  if (D.PendingIo.fetchAdd(-1) == 1)
+    D.StoppingEvent.set();
+}
+
+/// Worker entry: returns true if the driver accepted the request.
+bool enterDriver(BtDriver &D, bool WithBug) {
+  if (WithBug) {
+    // BUG: check-then-act. A preemption between the flag check and the
+    // increment lets the stopper drain pendingIo and stop the driver while
+    // this worker still enters it.
+    if (D.StoppingFlag.load() != 0)
+      return false;
+    D.PendingIo.fetchAdd(1);
+    return true;
+  }
+  // Correct protocol: publish the reference first, then re-check; back
+  // out if the driver is stopping.
+  D.PendingIo.fetchAdd(1);
+  if (D.StoppingFlag.load() != 0) {
+    releaseReference(D);
+    return false;
+  }
+  return true;
+}
+
+/// One driver operation performed by a worker thread.
+void workerBody(BtDriver &D, bool WithBug) {
+  if (!enterDriver(D, WithBug))
+    return;
+  // Inside the driver: it must not have been stopped under us.
+  testAssert(D.Stopped.load() == 0,
+             "Bluetooth: driver used by worker after stop completed");
+  releaseReference(D);
+}
+
+/// The PnP stop path.
+void stopperBody(BtDriver &D) {
+  D.StoppingFlag.store(1);
+  releaseReference(D); // Drop the initial reference.
+  D.StoppingEvent.wait();
+  D.Stopped.store(1);
+}
+
+} // namespace
+
+rt::TestCase icb::bench::bluetoothTest(BluetoothConfig Config) {
+  std::string Name =
+      strFormat("bluetooth-%uw%s", Config.Workers,
+                Config.WithBug ? "-bug" : "");
+  return {Name, [Config] {
+    BtDriver D;
+    // The paper's driver allocates three threads: a stopper and two
+    // workers; main only orchestrates. Keeping the stopper off the main
+    // thread matters for the bound: the single preemption lands after the
+    // worker's flag check, and the switch into the stopper is free.
+    std::vector<std::unique_ptr<Thread>> Threads;
+    Threads.reserve(Config.Workers + 1);
+    Threads.push_back(
+        std::make_unique<Thread>([&D] { stopperBody(D); }, "stopper"));
+    for (unsigned I = 0; I != Config.Workers; ++I)
+      Threads.push_back(std::make_unique<Thread>(
+          [&D, Config] { workerBody(D, Config.WithBug); },
+          strFormat("worker%u", I)));
+    for (auto &T : Threads)
+      T->join();
+  }};
+}

@@ -1,0 +1,47 @@
+//===- benchmarks/Bluetooth.h - Bluetooth PnP driver benchmark --*- C++ -*-===//
+//
+// Part of the ICB project (PLDI'07 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The Bluetooth Plug-and-Play driver benchmark: "a sample Bluetooth PnP
+/// driver modified to run as a library in user space ... captures the
+/// synchronization and logic required for basic PnP functionality. We
+/// wrote a test driver with three threads that emulated the scenario of
+/// the driver being stopped when worker threads are performing operations
+/// on the driver."
+///
+/// The synchronization skeleton is the classic pendingIo/stoppingFlag
+/// protocol (the same model appears in the KISS paper): worker threads
+/// enter the driver by checking the stopping flag and incrementing a
+/// pending-I/O count; the stopper raises the flag, drops its own
+/// reference, waits for the count to drain, then marks the driver
+/// stopped. The known bug (Table 2: one bug, exposed at preemption bound
+/// 1) is the non-atomic check-then-increment in the worker entry path: a
+/// preemption between the flag check and the increment lets the stopper
+/// complete while a worker is still inside the driver.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ICB_BENCHMARKS_BLUETOOTH_H
+#define ICB_BENCHMARKS_BLUETOOTH_H
+
+#include "rt/Scheduler.h"
+
+namespace icb::bench {
+
+struct BluetoothConfig {
+  /// Worker threads performing driver operations (paper: 2, plus the
+  /// stopper = 3 threads).
+  unsigned Workers = 2;
+  /// Seed the check-then-act bug in the worker entry path.
+  bool WithBug = true;
+};
+
+/// Builds the closed Bluetooth test (driver + stop-vs-work test driver).
+rt::TestCase bluetoothTest(BluetoothConfig Config);
+
+} // namespace icb::bench
+
+#endif // ICB_BENCHMARKS_BLUETOOTH_H

@@ -1,0 +1,87 @@
+//===- benchmarks/BluetoothModel.cpp - Bluetooth as a VM model ------------===//
+//
+// Part of the ICB project (PLDI'07 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "benchmarks/BluetoothModel.h"
+#include "support/Format.h"
+#include "vm/Builder.h"
+
+using namespace icb;
+using namespace icb::vm;
+
+namespace {
+
+struct BtVars {
+  GlobalVar PendingIo;
+  GlobalVar StoppingFlag;
+  GlobalVar Stopped;
+  EventVar StoppingEvent;
+};
+
+/// Emits the shared reference-drop: `if (--pendingIo == 0) set(event)`.
+/// AddG is interlocked, mirroring the runtime form's fetchAdd.
+void emitRelease(ThreadBuilder &T, const BtVars &V) {
+  Label Skip = T.newLabel();
+  T.imm(Reg{1}, -1);
+  T.addG(Reg{0}, V.PendingIo, Reg{1}); // r0 = post-decrement value.
+  T.bnz(Reg{0}, Skip);
+  T.setE(V.StoppingEvent);
+  T.bind(Skip);
+}
+
+void emitWorker(ThreadBuilder &W, const BtVars &V, bool WithBug) {
+  Label Out = W.newLabel();
+  if (WithBug) {
+    // BUG: check-then-act — the flag check and the pendingIo increment
+    // are separate shared accesses.
+    W.loadG(Reg{2}, V.StoppingFlag);
+    W.bnz(Reg{2}, Out);
+    W.imm(Reg{1}, 1);
+    W.addG(Reg{0}, V.PendingIo, Reg{1});
+  } else {
+    // Correct: publish the reference first, then re-check and back out.
+    Label Entered = W.newLabel();
+    W.imm(Reg{1}, 1);
+    W.addG(Reg{0}, V.PendingIo, Reg{1});
+    W.loadG(Reg{2}, V.StoppingFlag);
+    W.bz(Reg{2}, Entered);
+    emitRelease(W, V);
+    W.jmp(Out);
+    W.bind(Entered);
+  }
+  // Inside the driver: it must not have been stopped under us.
+  W.loadG(Reg{3}, V.Stopped);
+  W.logicalNot(Reg{4}, Reg{3});
+  W.assertTrue(Reg{4},
+               "Bluetooth: driver used by worker after stop completed");
+  emitRelease(W, V);
+  W.bind(Out);
+  W.halt();
+}
+
+void emitStopper(ThreadBuilder &S, const BtVars &V) {
+  S.storeImm(V.StoppingFlag, 1, Reg{0});
+  emitRelease(S, V); // Drop the initial reference.
+  S.waitE(V.StoppingEvent);
+  S.storeImm(V.Stopped, 1, Reg{0});
+  S.halt();
+}
+
+} // namespace
+
+vm::Program icb::bench::bluetoothModel(unsigned Workers, bool WithBug) {
+  ProgramBuilder PB(strFormat("bluetooth-model-%uw%s", Workers,
+                              WithBug ? "-bug" : ""));
+  BtVars V;
+  V.PendingIo = PB.addGlobal("pendingIo", 1);
+  V.StoppingFlag = PB.addGlobal("stoppingFlag", 0);
+  V.Stopped = PB.addGlobal("stopped", 0);
+  V.StoppingEvent = PB.addEvent("stoppingEvent", /*ManualReset=*/true);
+
+  emitStopper(PB.addThread("stopper"), V);
+  for (unsigned I = 0; I != Workers; ++I)
+    emitWorker(PB.addThread(strFormat("worker%u", I)), V, WithBug);
+  return PB.build();
+}

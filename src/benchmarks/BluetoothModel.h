@@ -1,0 +1,29 @@
+//===- benchmarks/BluetoothModel.h - Bluetooth as a VM model ----*- C++ -*-===//
+//
+// Part of the ICB project (PLDI'07 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The Bluetooth driver benchmark expressed as a ZING-side model program
+/// (the same protocol as benchmarks/Bluetooth.h on the stateless runtime).
+/// Having both forms lets the test suite cross-validate the two model
+/// checkers on a real benchmark: both must expose the stop-vs-work bug at
+/// preemption bound 1, and both must certify the fixed protocol.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ICB_BENCHMARKS_BLUETOOTHMODEL_H
+#define ICB_BENCHMARKS_BLUETOOTHMODEL_H
+
+#include "vm/Program.h"
+
+namespace icb::bench {
+
+/// Builds the Bluetooth stop-vs-work protocol as a model-VM program:
+/// one stopper thread plus \p Workers worker threads.
+vm::Program bluetoothModel(unsigned Workers, bool WithBug);
+
+} // namespace icb::bench
+
+#endif // ICB_BENCHMARKS_BLUETOOTHMODEL_H

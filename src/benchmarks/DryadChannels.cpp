@@ -1,0 +1,244 @@
+//===- benchmarks/DryadChannels.cpp - Dryad channel library ---------------===//
+//
+// Part of the ICB project (PLDI'07 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "benchmarks/DryadChannels.h"
+#include "rt/Atomic.h"
+#include "rt/Managed.h"
+#include "rt/SharedVar.h"
+#include "rt/Sync.h"
+#include "rt/Thread.h"
+#include "support/Debug.h"
+#include "support/Format.h"
+#include <memory>
+#include <vector>
+
+using namespace icb;
+using namespace icb::rt;
+using namespace icb::bench;
+
+const char *icb::bench::dryadBugName(DryadBug Bug) {
+  switch (Bug) {
+  case DryadBug::None:
+    return "none";
+  case DryadBug::StatsRace:
+    return "stats-race";
+  case DryadBug::Fig3Uaf:
+    return "fig3-use-after-free";
+  case DryadBug::LateWrite:
+    return "late-write";
+  case DryadBug::AlertLostUpdate:
+    return "alert-lost-update";
+  case DryadBug::EarlyAck:
+    return "early-ack";
+  }
+  ICB_UNREACHABLE("unknown dryad bug");
+}
+
+namespace {
+
+constexpr int StopItem = -7;
+constexpr unsigned QueueCap = 8;
+
+/// RChannelReaderImpl's shared state (Figure 3's m_baseCS included).
+struct Channel {
+  Channel()
+      : BaseCS("m_baseCS"), QueueCS("m_queueCS"),
+        ItemsSem("itemsAvailable", 0), AckSem("stopAcks", 0),
+        Hd("chHead", 0), Tl("chTail", 0), Closing("closing", 0),
+        StopSeen("stopSeen", 0), AlertCount("alertCount", 0),
+        ProcessedTotal("processedTotal", 0),
+        ItemsWritten("itemsWritten", 0),
+        WriterStarted("writerStarted", /*ManualReset=*/true) {
+    Buf.reserve(QueueCap);
+    for (unsigned I = 0; I != QueueCap; ++I)
+      Buf.push_back(std::make_unique<SharedVar<int>>(
+          strFormat("chBuf[%u]", I), 0));
+  }
+
+  Mutex BaseCS;
+  Mutex QueueCS;
+  Semaphore ItemsSem;
+  Semaphore AckSem;
+  std::vector<std::unique_ptr<SharedVar<int>>> Buf;
+  Atomic<int> Hd;
+  Atomic<int> Tl;
+  Atomic<int> Closing;
+  Atomic<int> StopSeen;
+  Atomic<int> AlertCount;
+  SharedVar<int> ProcessedTotal; ///< Guarded by BaseCS.
+  SharedVar<int> ItemsWritten;   ///< Guarded by QueueCS.
+  Event WriterStarted;
+};
+
+void enqueue(ManagedPtr<Channel> Ch, int Value) {
+  Ch->QueueCS.lock();
+  int T = Ch->Tl.load();
+  testAssert(T - Ch->Hd.load() < static_cast<int>(QueueCap),
+             "Dryad: channel queue overflow");
+  Ch->Buf[static_cast<size_t>(T) % QueueCap]->set(Value);
+  Ch->Tl.store(T + 1);
+  Ch->QueueCS.unlock();
+  Ch->ItemsSem.release();
+}
+
+int dequeue(ManagedPtr<Channel> Ch) {
+  Ch->QueueCS.lock();
+  int H = Ch->Hd.load();
+  testAssert(H < Ch->Tl.load(), "Dryad: dequeue from an empty channel");
+  int Value = Ch->Buf[static_cast<size_t>(H) % QueueCap]->get();
+  Ch->Hd.store(H + 1);
+  Ch->QueueCS.unlock();
+  return Value;
+}
+
+/// Figure 3's RChannelReaderImpl::AlertApplication.
+void alertApplication(ManagedPtr<Channel> Ch, DryadBug Bug) {
+  if (Bug == DryadBug::AlertLostUpdate) {
+    // BUG: count the alert with a load/store pair before entering the
+    // critical section; concurrent alerts lose an update.
+    int A = Ch->AlertCount.load();
+    Ch->AlertCount.store(A + 1);
+  }
+  // Notify application.
+  // XXX: Preempt here for the bug (Figure 3): after this point `Ch` may
+  // already have been deleted by TestChannel.
+  Ch->BaseCS.lock(); // EnterCriticalSection(&m_baseCS).
+  if (Bug != DryadBug::AlertLostUpdate)
+    Ch->AlertCount.fetchAdd(1);
+  Ch->BaseCS.unlock(); // LeaveCriticalSection(&m_baseCS).
+}
+
+/// Worker thread body: drain items; on the stop sentinel, acknowledge and
+/// run the alert/cleanup path, then exit.
+void workerBody(ManagedPtr<Channel> Ch, const DryadConfig &Config) {
+  int Pending = 0; // Batched statistics, flushed on exit.
+  while (true) {
+    Ch->ItemsSem.acquire();
+    if (Config.Bug == DryadBug::StatsRace) {
+      // BUG: peek at the producer's statistic before taking the queue
+      // lock; nothing orders this read after the producer's writes.
+      (void)Ch->ItemsWritten.get();
+    }
+    int Value = dequeue(Ch);
+    if (Value == StopItem) {
+      Ch->StopSeen.store(1);
+      if (Config.Bug == DryadBug::EarlyAck) {
+        // BUG: acknowledge the stop before flushing the pending
+        // statistics; close() can observe a stale total.
+        Ch->AckSem.release();
+        Ch->BaseCS.lock();
+        Ch->ProcessedTotal.set(Ch->ProcessedTotal.get() + Pending);
+        Ch->BaseCS.unlock();
+      } else {
+        Ch->BaseCS.lock();
+        Ch->ProcessedTotal.set(Ch->ProcessedTotal.get() + Pending);
+        Ch->BaseCS.unlock();
+        Ch->AckSem.release();
+      }
+      alertApplication(Ch, Config.Bug);
+      return;
+    }
+    testAssert(!(Config.Bug == DryadBug::LateWrite &&
+                 Ch->StopSeen.load() != 0),
+               "Dryad: ordinary item received after channel stop");
+    ++Pending;
+  }
+}
+
+/// The producer ("vertex") writing items into the channel.
+void producerBody(ManagedPtr<Channel> Ch, const DryadConfig &Config) {
+  Ch->WriterStarted.set();
+  for (unsigned I = 0; I != Config.Items; ++I) {
+    if (Config.Bug == DryadBug::LateWrite) {
+      // BUG: check-then-act against close(): the flag check and the
+      // enqueue are not atomic.
+      if (Ch->Closing.load() != 0)
+        return;
+      enqueue(Ch, static_cast<int>(I));
+    } else {
+      Ch->QueueCS.lock();
+      bool Open = Ch->Closing.load() == 0;
+      Ch->QueueCS.unlock();
+      if (!Open)
+        return;
+      enqueue(Ch, static_cast<int>(I));
+    }
+    Ch->QueueCS.lock();
+    Ch->ItemsWritten.set(Ch->ItemsWritten.get() + 1);
+    Ch->QueueCS.unlock();
+  }
+}
+
+/// RChannelReader::Close(): mark closing, send one stop per worker, wait
+/// for every worker's acknowledgement. Per Figure 3 this does *not* wait
+/// for the workers to finish their alert/cleanup path.
+void closeChannel(ManagedPtr<Channel> Ch, const DryadConfig &Config) {
+  Ch->Closing.store(1);
+  for (unsigned W = 0; W != Config.Workers; ++W)
+    enqueue(Ch, StopItem);
+  for (unsigned W = 0; W != Config.Workers; ++W)
+    Ch->AckSem.acquire();
+  if (Config.Bug == DryadBug::LateWrite) {
+    // The channel is closed; nothing may be left in the queue.
+    Ch->QueueCS.lock();
+    testAssert(Ch->Hd.load() == Ch->Tl.load(),
+               "Dryad: closed channel still holds items");
+    Ch->QueueCS.unlock();
+  }
+  if (Config.Bug == DryadBug::EarlyAck) {
+    Ch->BaseCS.lock();
+    int Total = Ch->ProcessedTotal.get();
+    Ch->BaseCS.unlock();
+    testAssert(Total == static_cast<int>(Config.Items),
+               "Dryad: close() observed a stale processed total");
+  }
+}
+
+} // namespace
+
+rt::TestCase icb::bench::dryadTest(DryadConfig Config) {
+  std::string Name = strFormat("dryad-%uw-%ui-%s", Config.Workers,
+                               Config.Items, dryadBugName(Config.Bug));
+  return {Name, [Config] {
+    ManagedPtr<Channel> Ch = makeManaged<Channel>("Channel");
+    // Creating a channel allocates worker threads (Figure 3).
+    std::vector<std::unique_ptr<Thread>> Workers;
+    Workers.reserve(Config.Workers);
+    for (unsigned W = 0; W != Config.Workers; ++W)
+      Workers.push_back(std::make_unique<Thread>(
+          [Ch, Config] { workerBody(Ch, Config); },
+          strFormat("chWorker%u", W)));
+    Thread Producer([Ch, Config] { producerBody(Ch, Config); }, "producer");
+
+    Ch->WriterStarted.wait();
+    if (Config.Bug != DryadBug::LateWrite)
+      Producer.join(); // Correct drivers wait for the writer first.
+
+    closeChannel(Ch, Config);
+
+    if (Config.Bug == DryadBug::Fig3Uaf) {
+      // Figure 3: "wrong assumption that channel->Close() waits for worker
+      // threads to be finished" — delete while alerts may be in flight.
+      Ch.destroy();
+      for (auto &W : Workers)
+        W->join();
+      return;
+    }
+
+    for (auto &W : Workers)
+      W->join();
+    if (Config.Bug == DryadBug::LateWrite) {
+      Producer.join();
+      Ch->QueueCS.lock();
+      testAssert(Ch->Hd.load() == Ch->Tl.load(),
+                 "Dryad: closed channel still holds items");
+      Ch->QueueCS.unlock();
+    }
+    testAssert(Ch->AlertCount.load() == static_cast<int>(Config.Workers),
+               "Dryad: alert notifications were lost");
+    Ch.destroy();
+  }};
+}

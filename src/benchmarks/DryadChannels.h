@@ -1,0 +1,72 @@
+//===- benchmarks/DryadChannels.h - Dryad channel library -------*- C++ -*-===//
+//
+// Part of the ICB project (PLDI'07 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The Dryad channels benchmark: "Dryad is a distributed execution engine
+/// ... The test ... has 5 threads and exercises the shared-memory channel
+/// library used for communication between the nodes in the data-flow
+/// graph."
+///
+/// Our substitute is a shared-memory channel: a bounded item queue fed by
+/// a producer thread, drained by channel-owned worker threads, with a
+/// close()/delete protocol. Five seeded bugs reproduce Table 2's
+/// distribution for Dryad (one at preemption bound 0, four at bound 1):
+///
+///   * StatsRace      (@0) — the items-written statistic is updated by
+///     the producer and read by workers without synchronization: a data
+///     race in every schedule.
+///   * Fig3Uaf        (@1) — the paper's Figure 3 use-after-free,
+///     faithfully: workers acknowledge the stop sentinel and *then* run
+///     alertApplication(), which enters the channel's m_baseCS critical
+///     section. close() returns once all acknowledgements are in —
+///     "wrong assumption that channel->Close() waits for worker threads
+///     to be finished" — and main deletes the channel. A preemption
+///     right before the EnterCriticalSection in alertApplication lets
+///     the delete land first.
+///   * LateWrite      (@1) — close() does not synchronize with an active
+///     writer: the producer's stopping-flag check and its enqueue are not
+///     atomic, so an item can land in a closed channel.
+///   * AlertLostUpdate(@1) — alertApplication counts alerts with a
+///     load/store pair; concurrent alerts lose one.
+///   * EarlyAck       (@1) — a worker acknowledges the stop before
+///     flushing its pending statistics, so close() can observe a stale
+///     total.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ICB_BENCHMARKS_DRYADCHANNELS_H
+#define ICB_BENCHMARKS_DRYADCHANNELS_H
+
+#include "rt/Scheduler.h"
+
+namespace icb::bench {
+
+/// Which seeded Dryad defect (if any) is active.
+enum class DryadBug : uint8_t {
+  None,
+  StatsRace,       ///< Exposed with 0 preemptions (data race).
+  Fig3Uaf,         ///< Exposed with 1 preemption (use-after-free).
+  LateWrite,       ///< Exposed with 1 preemption (assertion).
+  AlertLostUpdate, ///< Exposed with 1 preemption (assertion).
+  EarlyAck,        ///< Exposed with 1 preemption (assertion).
+};
+
+const char *dryadBugName(DryadBug Bug);
+
+struct DryadConfig {
+  /// Channel worker threads (paper test: 5 threads total = main +
+  /// producer + workers; we default to 3 workers for the same count).
+  unsigned Workers = 3;
+  unsigned Items = 2;
+  DryadBug Bug = DryadBug::None;
+};
+
+/// Builds the closed Dryad channel test.
+rt::TestCase dryadTest(DryadConfig Config);
+
+} // namespace icb::bench
+
+#endif // ICB_BENCHMARKS_DRYADCHANNELS_H

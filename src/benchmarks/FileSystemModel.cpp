@@ -1,0 +1,101 @@
+//===- benchmarks/FileSystemModel.cpp - File system model -----------------===//
+//
+// Part of the ICB project (PLDI'07 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "benchmarks/FileSystemModel.h"
+#include "rt/SharedVar.h"
+#include "rt/Sync.h"
+#include "rt/Thread.h"
+#include "support/Format.h"
+#include <memory>
+#include <vector>
+
+using namespace icb;
+using namespace icb::rt;
+using namespace icb::bench;
+
+namespace {
+
+/// The file system's shared tables, all lock-protected data variables.
+struct FsState {
+  explicit FsState(const FileSystemConfig &Config) {
+    InodeLocks.reserve(Config.NumInodes);
+    Inodes.reserve(Config.NumInodes);
+    for (unsigned I = 0; I != Config.NumInodes; ++I) {
+      InodeLocks.push_back(
+          std::make_unique<Mutex>(strFormat("locki[%u]", I)));
+      Inodes.push_back(std::make_unique<SharedVar<int>>(
+          strFormat("inode[%u]", I), 0));
+    }
+    BlockLocks.reserve(Config.NumBlocks);
+    Busy.reserve(Config.NumBlocks);
+    for (unsigned B = 0; B != Config.NumBlocks; ++B) {
+      BlockLocks.push_back(
+          std::make_unique<Mutex>(strFormat("lockb[%u]", B)));
+      Busy.push_back(std::make_unique<SharedVar<int>>(
+          strFormat("busy[%u]", B), 0));
+    }
+  }
+
+  std::vector<std::unique_ptr<Mutex>> InodeLocks;
+  std::vector<std::unique_ptr<SharedVar<int>>> Inodes;
+  std::vector<std::unique_ptr<Mutex>> BlockLocks;
+  std::vector<std::unique_ptr<SharedVar<int>>> Busy;
+};
+
+/// Figure 7 of Flanagan-Godefroid, POPL'05: allocate a block for this
+/// thread's inode if it has none.
+void createFile(FsState &Fs, unsigned Tid, const FileSystemConfig &Config) {
+  unsigned I = Tid % Config.NumInodes;
+  Fs.InodeLocks[I]->lock();
+  if (Fs.Inodes[I]->get() == 0) {
+    unsigned B = (I * 2) % Config.NumBlocks;
+    while (true) {
+      Fs.BlockLocks[B]->lock();
+      if (Fs.Busy[B]->get() == 0) {
+        Fs.Busy[B]->set(1);
+        Fs.Inodes[I]->set(static_cast<int>(B) + 1);
+        Fs.BlockLocks[B]->unlock();
+        break;
+      }
+      Fs.BlockLocks[B]->unlock();
+      B = (B + 1) % Config.NumBlocks;
+    }
+  }
+  Fs.InodeLocks[I]->unlock();
+}
+
+} // namespace
+
+rt::TestCase icb::bench::fileSystemTest(FileSystemConfig Config) {
+  std::string Name = strFormat("filesystem-%ut-%ui-%ub", Config.Threads,
+                               Config.NumInodes, Config.NumBlocks);
+  return {Name, [Config] {
+    FsState Fs(Config);
+    std::vector<std::unique_ptr<Thread>> Threads;
+    Threads.reserve(Config.Threads);
+    for (unsigned T = 0; T != Config.Threads; ++T)
+      Threads.push_back(std::make_unique<Thread>(
+          [&Fs, T, Config] { createFile(Fs, T, Config); },
+          strFormat("proc%u", T)));
+    for (auto &T : Threads)
+      T->join();
+    // Post-condition: every inode that claimed a block points at a busy
+    // block, and no two inodes share one.
+    for (unsigned I = 0; I != Config.NumInodes; ++I) {
+      int Block = Fs.Inodes[I]->get();
+      if (Block != 0)
+        testAssert(Fs.Busy[static_cast<unsigned>(Block) - 1]->get() == 1,
+                   "file system: inode points at a free block");
+    }
+    for (unsigned I = 0; I != Config.NumInodes; ++I)
+      for (unsigned J = I + 1; J != Config.NumInodes; ++J) {
+        int A = Fs.Inodes[I]->get();
+        int B = Fs.Inodes[J]->get();
+        testAssert(A == 0 || A != B,
+                   "file system: two inodes share one block");
+      }
+  }};
+}

@@ -1,0 +1,40 @@
+//===- benchmarks/FileSystemModel.h - File system model ---------*- C++ -*-===//
+//
+// Part of the ICB project (PLDI'07 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The file system model: "a simplified model of a file system derived
+/// [from] prior work (see Figure 7 in [Flanagan-Godefroid POPL'05]). The
+/// program emulates processes creating files and thereby allocating inodes
+/// and blocks. Each inode and block is protected by a lock."
+///
+/// Thread tid picks inode tid % NumInodes; if the inode has no block, it
+/// searches the block table (locking each candidate) for a free block and
+/// claims it. The model has no bug; it is a coverage benchmark (Figure 4:
+/// full coverage within 4 preemptions at the paper's scale).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ICB_BENCHMARKS_FILESYSTEMMODEL_H
+#define ICB_BENCHMARKS_FILESYSTEMMODEL_H
+
+#include "rt/Scheduler.h"
+
+namespace icb::bench {
+
+struct FileSystemConfig {
+  /// The paper uses 26 blocks / 32 inodes with up to 4 threads; smaller
+  /// defaults keep exhaustive search tractable on a laptop.
+  unsigned Threads = 3;
+  unsigned NumInodes = 4;
+  unsigned NumBlocks = 4;
+};
+
+/// Builds the closed file-system test.
+rt::TestCase fileSystemTest(FileSystemConfig Config);
+
+} // namespace icb::bench
+
+#endif // ICB_BENCHMARKS_FILESYSTEMMODEL_H

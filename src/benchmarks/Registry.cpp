@@ -1,0 +1,179 @@
+//===- benchmarks/Registry.cpp - Benchmark metadata and factories ---------===//
+//
+// Part of the ICB project (PLDI'07 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "benchmarks/Registry.h"
+#include "benchmarks/Ape.h"
+#include "benchmarks/Bluetooth.h"
+#include "benchmarks/DryadChannels.h"
+#include "benchmarks/FileSystemModel.h"
+#include "benchmarks/TxnManagerModel.h"
+#include "benchmarks/WorkStealingQueue.h"
+
+using namespace icb;
+using namespace icb::bench;
+
+namespace {
+
+std::vector<BenchmarkEntry> buildRegistry() {
+  std::vector<BenchmarkEntry> Entries;
+
+  // --- Bluetooth ----------------------------------------------------------
+  {
+    BenchmarkEntry E;
+    E.Name = "Bluetooth";
+    E.Loc = 135; // Lines of Bluetooth.{h,cpp}.
+    E.DriverThreads = 3;
+    E.InTable1 = true;
+    E.InTable2 = true;
+    E.MakeDefaultRt = [] { return bluetoothTest({2, /*WithBug=*/false}); };
+    E.Bugs.push_back({"stop-vs-work check-then-act", 1,
+                      [] { return bluetoothTest({2, /*WithBug=*/true}); },
+                      nullptr});
+    Entries.push_back(std::move(E));
+  }
+
+  // --- File system model ---------------------------------------------------
+  {
+    BenchmarkEntry E;
+    E.Name = "File System Model";
+    E.Loc = 150; // Lines of FileSystemModel.{h,cpp}.
+    E.DriverThreads = 3;
+    E.InTable1 = true;
+    E.InTable2 = false; // No bugs: coverage benchmark only.
+    E.MakeDefaultRt = [] { return fileSystemTest({3, 4, 4}); };
+    Entries.push_back(std::move(E));
+  }
+
+  // --- Work-stealing queue -------------------------------------------------
+  {
+    BenchmarkEntry E;
+    E.Name = "Work Stealing Queue";
+    E.Loc = 290; // Lines of WorkStealingQueue.{h,cpp}.
+    E.DriverThreads = 2;
+    E.InTable1 = true;
+    E.InTable2 = true;
+    E.MakeDefaultRt = [] {
+      return workStealingTest({3, 4, WsqBug::None});
+    };
+    E.Bugs.push_back({wsqBugName(WsqBug::PopCheckThenAct), 1,
+                      [] {
+                        return workStealingTest({3, 4,
+                                                 WsqBug::PopCheckThenAct});
+                      },
+                      nullptr});
+    E.Bugs.push_back({wsqBugName(WsqBug::PopRetryNoLock), 2,
+                      [] {
+                        return workStealingTest({3, 4,
+                                                 WsqBug::PopRetryNoLock});
+                      },
+                      nullptr});
+    E.Bugs.push_back({wsqBugName(WsqBug::UnsynchronizedSteal), 2,
+                      [] {
+                        return workStealingTest(
+                            {3, 4, WsqBug::UnsynchronizedSteal});
+                      },
+                      nullptr});
+    Entries.push_back(std::move(E));
+  }
+
+  // --- Transaction manager (ZING-side model) -------------------------------
+  {
+    BenchmarkEntry E;
+    E.Name = "Transaction Manager";
+    E.Loc = 330; // Lines of TxnManagerModel.{h,cpp}.
+    E.DriverThreads = 2;
+    E.InTable1 = false; // As in the paper, it appears in Table 2 only.
+    E.InTable2 = true;
+    E.MakeDefaultVm = [] { return txnManagerModel({2, TxnBug::None}); };
+    E.Bugs.push_back({txnBugName(TxnBug::CommitStomp), 2, nullptr, [] {
+                        return txnManagerModel({2, TxnBug::CommitStomp});
+                      }});
+    E.Bugs.push_back({txnBugName(TxnBug::ReapCollision), 2, nullptr, [] {
+                        return txnManagerModel({2, TxnBug::ReapCollision});
+                      }});
+    E.Bugs.push_back({txnBugName(TxnBug::CommitUpsert), 3, nullptr, [] {
+                        return txnManagerModel({2, TxnBug::CommitUpsert});
+                      }});
+    Entries.push_back(std::move(E));
+  }
+
+  // --- APE -----------------------------------------------------------------
+  {
+    BenchmarkEntry E;
+    E.Name = "APE";
+    E.Loc = 245; // Lines of Ape.{h,cpp}.
+    E.DriverThreads = 3;
+    E.InTable1 = true;
+    E.InTable2 = true;
+    E.MakeDefaultRt = [] { return apeTest({2, 2, ApeBug::None}); };
+    E.Bugs.push_back({apeBugName(ApeBug::MissingSentinel), 0, [] {
+                        return apeTest({2, 2, ApeBug::MissingSentinel});
+                      },
+                      nullptr});
+    E.Bugs.push_back({apeBugName(ApeBug::EagerTeardown), 0, [] {
+                        return apeTest({2, 2, ApeBug::EagerTeardown});
+                      },
+                      nullptr});
+    E.Bugs.push_back({apeBugName(ApeBug::LostCompletionUpdate), 1, [] {
+                        return apeTest({2, 2,
+                                        ApeBug::LostCompletionUpdate});
+                      },
+                      nullptr});
+    E.Bugs.push_back({apeBugName(ApeBug::BrokenStatsLatch), 2, [] {
+                        return apeTest({2, 2, ApeBug::BrokenStatsLatch});
+                      },
+                      nullptr});
+    Entries.push_back(std::move(E));
+  }
+
+  // --- Dryad channels -------------------------------------------------------
+  {
+    BenchmarkEntry E;
+    E.Name = "Dryad Channels";
+    E.Loc = 320; // Lines of DryadChannels.{h,cpp}.
+    E.DriverThreads = 5;
+    E.InTable1 = true;
+    E.InTable2 = true;
+    E.MakeDefaultRt = [] { return dryadTest({3, 2, DryadBug::None}); };
+    E.Bugs.push_back({dryadBugName(DryadBug::StatsRace), 0, [] {
+                        return dryadTest({3, 2, DryadBug::StatsRace});
+                      },
+                      nullptr});
+    E.Bugs.push_back({dryadBugName(DryadBug::Fig3Uaf), 1, [] {
+                        return dryadTest({3, 2, DryadBug::Fig3Uaf});
+                      },
+                      nullptr});
+    E.Bugs.push_back({dryadBugName(DryadBug::LateWrite), 1, [] {
+                        return dryadTest({3, 2, DryadBug::LateWrite});
+                      },
+                      nullptr});
+    E.Bugs.push_back({dryadBugName(DryadBug::AlertLostUpdate), 1, [] {
+                        return dryadTest({3, 2, DryadBug::AlertLostUpdate});
+                      },
+                      nullptr});
+    E.Bugs.push_back({dryadBugName(DryadBug::EarlyAck), 1, [] {
+                        return dryadTest({3, 2, DryadBug::EarlyAck});
+                      },
+                      nullptr});
+    Entries.push_back(std::move(E));
+  }
+
+  return Entries;
+}
+
+} // namespace
+
+const std::vector<BenchmarkEntry> &icb::bench::allBenchmarks() {
+  static const std::vector<BenchmarkEntry> Registry = buildRegistry();
+  return Registry;
+}
+
+const BenchmarkEntry *icb::bench::findBenchmark(const std::string &Name) {
+  for (const BenchmarkEntry &E : allBenchmarks())
+    if (E.Name == Name)
+      return &E;
+  return nullptr;
+}

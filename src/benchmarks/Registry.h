@@ -1,0 +1,70 @@
+//===- benchmarks/Registry.h - Benchmark metadata and factories -*- C++ -*-===//
+//
+// Part of the ICB project (PLDI'07 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// One place that knows every benchmark of the evaluation: its name as it
+/// appears in the paper's tables, its size (lines of our reimplementation,
+/// the Table 1 "LOC" surrogate), the thread count its driver allocates,
+/// the default (correct or representative) test, and each seeded bug
+/// variant with the preemption bound the paper reports for it. The table
+/// and figure harnesses iterate this registry instead of hard-coding
+/// benchmarks.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ICB_BENCHMARKS_REGISTRY_H
+#define ICB_BENCHMARKS_REGISTRY_H
+
+#include "rt/Scheduler.h"
+#include "vm/Program.h"
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace icb::bench {
+
+/// One seeded defect of a benchmark.
+struct BugVariant {
+  std::string Label;
+  /// Preemption bound at which the paper (Table 2) exposes it.
+  unsigned PaperBound = 0;
+  /// Factory for the runtime form (null for model-only benchmarks).
+  std::function<rt::TestCase()> MakeRt;
+  /// Factory for the model form (nullopt-producing when runtime-only).
+  std::function<vm::Program()> MakeVm;
+
+  bool isModel() const { return static_cast<bool>(MakeVm); }
+};
+
+/// One benchmark program of the evaluation.
+struct BenchmarkEntry {
+  /// Name as printed in the paper's tables ("Bluetooth", "APE", ...).
+  std::string Name;
+  /// Lines of our reimplementation (Table 1's LOC surrogate).
+  unsigned Loc = 0;
+  /// Threads the test driver allocates (Table 1's "Max Num Threads").
+  unsigned DriverThreads = 0;
+  /// True when the benchmark row appears in Table 1.
+  bool InTable1 = false;
+  /// True when the benchmark row appears in Table 2.
+  bool InTable2 = false;
+  /// Correct/default configuration (for characteristics and coverage).
+  std::function<rt::TestCase()> MakeDefaultRt; ///< Null for model-only.
+  std::function<vm::Program()> MakeDefaultVm;  ///< Null for runtime-only.
+  /// The seeded defects (Table 2's bug rows).
+  std::vector<BugVariant> Bugs;
+};
+
+/// All benchmarks in the paper's table order.
+const std::vector<BenchmarkEntry> &allBenchmarks();
+
+/// Looks a benchmark up by name; null if unknown.
+const BenchmarkEntry *findBenchmark(const std::string &Name);
+
+} // namespace icb::bench
+
+#endif // ICB_BENCHMARKS_REGISTRY_H

@@ -1,0 +1,274 @@
+//===- benchmarks/TxnManagerModel.cpp - Transaction manager model ---------===//
+//
+// Part of the ICB project (PLDI'07 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "benchmarks/TxnManagerModel.h"
+#include "support/Debug.h"
+#include "support/Format.h"
+#include "vm/Builder.h"
+
+using namespace icb;
+using namespace icb::vm;
+using namespace icb::bench;
+
+const char *icb::bench::txnBugName(TxnBug Bug) {
+  switch (Bug) {
+  case TxnBug::None:
+    return "none";
+  case TxnBug::CommitStomp:
+    return "commit-stomp";
+  case TxnBug::ReapCollision:
+    return "reap-collision";
+  case TxnBug::CommitUpsert:
+    return "commit-upsert";
+  }
+  ICB_UNREACHABLE("unknown txn bug");
+}
+
+namespace {
+
+/// Transaction states.
+constexpr int64_t Empty = 0;
+constexpr int64_t Active = 1;
+constexpr int64_t Committed = 2;
+
+/// All the shared objects of the model.
+struct TxnVars {
+  GlobalVar State0; ///< Transaction in bucket 0.
+  GlobalVar State1; ///< Transaction in bucket 1.
+  GlobalVar Owner0; ///< Claim flag of the buggy bucket-0 protocols.
+  GlobalVar Busy0;  ///< Timer-inside-critical marker (CommitStomp).
+  GlobalVar Owner1; ///< Claim flag of the buggy bucket-1 latch.
+  GlobalVar Busy1;  ///< Reaper-inside-critical marker (ReapCollision).
+  LockVar Lock0;
+  LockVar Lock1;
+};
+
+/// Emits `lock; if (state == Active) state = NewValue; unlock`.
+void emitLockedTransition(ThreadBuilder &T, const TxnVars &V, LockVar Lock,
+                          GlobalVar State, int64_t NewValue) {
+  (void)V;
+  Label Skip = T.newLabel();
+  T.lock(Lock);
+  T.loadG(Reg{0}, State);
+  T.imm(Reg{1}, Active);
+  T.eq(Reg{2}, Reg{0}, Reg{1});
+  T.bz(Reg{2}, Skip);
+  T.storeImm(State, NewValue, Reg{3});
+  T.bind(Skip);
+  T.unlock(Lock);
+}
+
+/// Worker side of ReapCollision: the delete path claims bucket 1 with the
+/// same broken check-then-announce latch the CommitStomp commit uses on
+/// bucket 0 (the same idiom copy-pasted onto a second path — lifelike),
+/// and asserts the reaper is not mid-flight.
+void emitBuggyDelete(ThreadBuilder &W, const TxnVars &V) {
+  Label Fallback = W.newLabel();
+  Label Done = W.newLabel();
+  W.loadG(Reg{0}, V.Owner1); // Check...
+  W.bnz(Reg{0}, Fallback);
+  W.storeImm(V.Owner1, 1, Reg{1}); // ...then announce (BUG: not atomic).
+  W.loadG(Reg{2}, V.Busy1);
+  W.logicalNot(Reg{3}, Reg{2});
+  W.assertTrue(Reg{3}, "txnmgr: delete entered bucket 1 while the reaper "
+                       "was mid-flight");
+  W.storeImm(V.State1, Empty, Reg{4});
+  W.storeImm(V.Owner1, 0, Reg{5});
+  W.jmp(Done);
+  W.bind(Fallback);
+  W.lock(V.Lock1);
+  W.storeImm(V.State1, Empty, Reg{6});
+  W.unlock(V.Lock1);
+  W.bind(Done);
+}
+
+/// Timer side of ReapCollision: the reaper enters bucket 1 through the
+/// same broken latch, marking itself busy while inside.
+void emitBuggyReap(ThreadBuilder &T, const TxnVars &V) {
+  Label Skip = T.newLabel();
+  Label NoFlush = T.newLabel();
+  T.loadG(Reg{0}, V.Owner1);
+  T.bnz(Reg{0}, Skip);
+  T.storeImm(V.Owner1, 1, Reg{1});
+  T.storeImm(V.Busy1, 1, Reg{2});
+  T.loadG(Reg{3}, V.State1);
+  T.imm(Reg{4}, Active);
+  T.eq(Reg{5}, Reg{3}, Reg{4});
+  T.bz(Reg{5}, NoFlush);
+  T.storeImm(V.State1, Empty, Reg{6});
+  T.bind(NoFlush);
+  T.storeImm(V.Busy1, 0, Reg{7});
+  T.storeImm(V.Owner1, 0, Reg{8});
+  T.bind(Skip);
+}
+
+/// Worker thread: create both transactions, commit txn0, delete txn1,
+/// join the timer, run the final audits.
+void emitWorker(ThreadBuilder &W, const TxnVars &V, TxnBug Bug,
+                ThreadRef Timer) {
+  // create(txn0); create(txn1).
+  W.lock(V.Lock0);
+  W.storeImm(V.State0, Active, Reg{0});
+  W.unlock(V.Lock0);
+  W.lock(V.Lock1);
+  W.storeImm(V.State1, Active, Reg{0});
+  W.unlock(V.Lock1);
+
+  // commit(txn0).
+  switch (Bug) {
+  case TxnBug::CommitStomp: {
+    // Broken lock elision: claim the bucket with a check-then-announce
+    // flag (not atomic), then assert no flush is mid-flight.
+    Label Fallback = W.newLabel();
+    Label SkipCommit = W.newLabel();
+    Label CommitEnd = W.newLabel();
+    W.loadG(Reg{0}, V.Owner0); // Check...
+    W.bnz(Reg{0}, Fallback);
+    W.storeImm(V.Owner0, 1, Reg{1}); // ...then announce (BUG: not atomic).
+    W.loadG(Reg{2}, V.Busy0);
+    W.logicalNot(Reg{3}, Reg{2});
+    W.assertTrue(Reg{3}, "txnmgr: commit entered the table while the "
+                         "timer's flush was mid-critical");
+    W.loadG(Reg{4}, V.State0);
+    W.imm(Reg{5}, Active);
+    W.eq(Reg{6}, Reg{4}, Reg{5});
+    W.bz(Reg{6}, SkipCommit);
+    W.storeImm(V.State0, Committed, Reg{7});
+    W.bind(SkipCommit);
+    W.storeImm(V.Owner0, 0, Reg{8});
+    W.jmp(CommitEnd);
+    W.bind(Fallback);
+    emitLockedTransition(W, V, V.Lock0, V.State0, Committed);
+    W.bind(CommitEnd);
+    break;
+  }
+  case TxnBug::CommitUpsert: {
+    // Same broken claim, but the commit tolerates a flushed transaction
+    // by re-creating it; the post-commit audit is the only detector.
+    Label Fallback = W.newLabel();
+    Label DoCommit = W.newLabel();
+    Label Verify = W.newLabel();
+    W.loadG(Reg{0}, V.Owner0);
+    W.bnz(Reg{0}, Fallback);
+    W.storeImm(V.Owner0, 1, Reg{1});
+    W.loadG(Reg{2}, V.State0);
+    W.imm(Reg{3}, Active);
+    W.eq(Reg{4}, Reg{2}, Reg{3});
+    W.bnz(Reg{4}, DoCommit);
+    W.storeImm(V.State0, Active, Reg{5}); // Upsert a flushed transaction.
+    W.bind(DoCommit);
+    W.storeImm(V.State0, Committed, Reg{6});
+    W.storeImm(V.Owner0, 0, Reg{7});
+    W.jmp(Verify);
+    W.bind(Fallback);
+    // The fallback also upserts: commit must never be silently dropped.
+    W.lock(V.Lock0);
+    W.storeImm(V.State0, Committed, Reg{6});
+    W.unlock(V.Lock0);
+    W.bind(Verify);
+    W.assertGlobalEq(V.State0, Committed, Reg{8}, Reg{9},
+                     "txnmgr: committed transaction lost to a concurrent "
+                     "flush");
+    break;
+  }
+  case TxnBug::None:
+  case TxnBug::ReapCollision:
+    emitLockedTransition(W, V, V.Lock0, V.State0, Committed);
+    break;
+  }
+
+  // delete(txn1).
+  if (Bug == TxnBug::ReapCollision) {
+    emitBuggyDelete(W, V);
+  } else {
+    Label Skip = W.newLabel();
+    W.lock(V.Lock1);
+    W.loadG(Reg{0}, V.State1);
+    W.bz(Reg{0}, Skip);
+    W.storeImm(V.State1, Empty, Reg{1});
+    W.bind(Skip);
+    W.unlock(V.Lock1);
+  }
+
+  W.join(Timer);
+  W.halt();
+}
+
+/// Timer thread: TimerRounds passes flushing active transactions from
+/// both buckets.
+void emitTimer(ThreadBuilder &T, const TxnVars &V, TxnBug Bug,
+               unsigned Rounds) {
+  constexpr Reg RoundReg{15};
+  Label Loop = T.newLabel();
+  Label End = T.newLabel();
+  T.imm(RoundReg, static_cast<int64_t>(Rounds));
+  T.bind(Loop);
+  T.bz(RoundReg, End);
+
+  // Flush bucket 0.
+  switch (Bug) {
+  case TxnBug::CommitStomp:
+  case TxnBug::CommitUpsert: {
+    // The timer uses the same broken claim protocol for its flush.
+    Label Skip = T.newLabel();
+    Label NoFlush = T.newLabel();
+    T.loadG(Reg{0}, V.Owner0);
+    T.bnz(Reg{0}, Skip);
+    T.storeImm(V.Owner0, 1, Reg{1});
+    if (Bug == TxnBug::CommitStomp)
+      T.storeImm(V.Busy0, 1, Reg{2});
+    T.loadG(Reg{3}, V.State0);
+    T.imm(Reg{4}, Active);
+    T.eq(Reg{5}, Reg{3}, Reg{4});
+    T.bz(Reg{5}, NoFlush);
+    T.storeImm(V.State0, Empty, Reg{6});
+    T.bind(NoFlush);
+    if (Bug == TxnBug::CommitStomp)
+      T.storeImm(V.Busy0, 0, Reg{7});
+    T.storeImm(V.Owner0, 0, Reg{8});
+    T.bind(Skip);
+    break;
+  }
+  case TxnBug::None:
+  case TxnBug::ReapCollision:
+    emitLockedTransition(T, V, V.Lock0, V.State0, Empty);
+    break;
+  }
+
+  // Reap bucket 1.
+  if (Bug == TxnBug::ReapCollision)
+    emitBuggyReap(T, V);
+  else
+    emitLockedTransition(T, V, V.Lock1, V.State1, Empty);
+
+  T.imm(Reg{14}, 1);
+  T.sub(RoundReg, RoundReg, Reg{14});
+  T.jmp(Loop);
+  T.bind(End);
+  T.halt();
+}
+
+} // namespace
+
+vm::Program icb::bench::txnManagerModel(TxnConfig Config) {
+  ProgramBuilder PB(strFormat("txnmgr-%ur-%s", Config.TimerRounds,
+                              txnBugName(Config.Bug)));
+  TxnVars V;
+  V.State0 = PB.addGlobal("state0", Empty);
+  V.State1 = PB.addGlobal("state1", Empty);
+  V.Owner0 = PB.addGlobal("owner0", 0);
+  V.Busy0 = PB.addGlobal("busy0", 0);
+  V.Owner1 = PB.addGlobal("owner1", 0);
+  V.Busy1 = PB.addGlobal("busy1", 0);
+  V.Lock0 = PB.addLock("bucket0");
+  V.Lock1 = PB.addLock("bucket1");
+
+  ThreadBuilder &Worker = PB.addThread("worker");
+  ThreadBuilder &Timer = PB.addThread("timer");
+  emitWorker(Worker, V, Config.Bug, Timer.ref());
+  emitTimer(Timer, V, Config.Bug, Config.TimerRounds);
+  return PB.build();
+}

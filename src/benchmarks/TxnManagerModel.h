@@ -1,0 +1,67 @@
+//===- benchmarks/TxnManagerModel.h - Transaction manager model -*- C++ -*-===//
+//
+// Part of the ICB project (PLDI'07 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The transaction manager benchmark: "This program provides transactions
+/// in a system for authoring web services ... the in-flight transactions
+/// are stored in a hashtable, access to which is synchronized using
+/// fine-grained locking ... Each test contains two threads. One thread
+/// performing an operation — create, commit, or delete — on a transaction.
+/// The second thread is a timer thread that periodically flushes from the
+/// hashtable all pending transactions that have timed out." The paper's
+/// version is "a ZING model constructed semi-automatically from the C#
+/// implementation"; ours is a model VM program built with the same
+/// structure: a two-bucket table with per-bucket locks, a worker doing
+/// create/commit/delete, and a timer flushing active transactions.
+///
+/// Three seeded bugs reproduce Table 2's distribution for the transaction
+/// manager (two at preemption bound 2, one at bound 3). All three are
+/// broken lock-elision "optimizations" of the bucket locking:
+///
+///   * CommitStomp   (@2) — commit claims the bucket with a check-then-
+///     announce owner flag (a broken test-and-set); entering while the
+///     timer's flush is mid-critical requires the two claim sequences to
+///     straddle each other, i.e. two preemptions.
+///   * ReapCollision (@2) — the delete path and the timer's reaper claim
+///     bucket 1 through the same broken check-then-announce latch; a
+///     straddled entry puts both inside the bucket at once.
+///   * CommitUpsert  (@3) — like CommitStomp, but the commit path
+///     tolerates observing a flushed transaction (it re-creates it), so
+///     the only failure is the timer's flush landing *after* the commit
+///     write with the claim sequences crossed — a three-preemption
+///     pattern (the worker is split twice).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ICB_BENCHMARKS_TXNMANAGERMODEL_H
+#define ICB_BENCHMARKS_TXNMANAGERMODEL_H
+
+#include "vm/Program.h"
+
+namespace icb::bench {
+
+/// Which seeded transaction-manager defect (if any) is active.
+enum class TxnBug : uint8_t {
+  None,
+  CommitStomp,   ///< Exposed with 2 preemptions (assertion).
+  ReapCollision, ///< Exposed with 2 preemptions (assertion).
+  CommitUpsert,  ///< Exposed with 3 preemptions (assertion).
+};
+
+const char *txnBugName(TxnBug Bug);
+
+struct TxnConfig {
+  /// Timer passes over the table.
+  unsigned TimerRounds = 2;
+  TxnBug Bug = TxnBug::None;
+};
+
+/// Builds the transaction manager as a model-VM program (worker + timer).
+vm::Program txnManagerModel(TxnConfig Config);
+
+} // namespace icb::bench
+
+#endif // ICB_BENCHMARKS_TXNMANAGERMODEL_H

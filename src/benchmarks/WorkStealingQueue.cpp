@@ -1,0 +1,237 @@
+//===- benchmarks/WorkStealingQueue.cpp - Cilk THE work stealing ----------===//
+//
+// Part of the ICB project (PLDI'07 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "benchmarks/WorkStealingQueue.h"
+#include "rt/Atomic.h"
+#include "rt/SharedVar.h"
+#include "rt/Sync.h"
+#include "rt/Thread.h"
+#include "support/Debug.h"
+#include "support/Format.h"
+#include <memory>
+#include <vector>
+
+using namespace icb;
+using namespace icb::rt;
+using namespace icb::bench;
+
+const char *icb::bench::wsqBugName(WsqBug Bug) {
+  switch (Bug) {
+  case WsqBug::None:
+    return "none";
+  case WsqBug::PopCheckThenAct:
+    return "pop-check-then-act";
+  case WsqBug::PopRetryNoLock:
+    return "pop-retry-no-lock";
+  case WsqBug::UnsynchronizedSteal:
+    return "unsynchronized-steal";
+  }
+  ICB_UNREACHABLE("unknown wsq bug");
+}
+
+namespace {
+
+constexpr int Empty = -1;
+
+/// The THE-protocol deque over a bounded circular buffer. Head and Tail
+/// are interlocked variables; Slots are plain data, race-checked.
+class WsDeque {
+public:
+  WsDeque(unsigned Capacity, WsqBug Bug)
+      : Head("head", 0), Tail("tail", 0), QLock("qlock"), Bug(Bug),
+        Mask(static_cast<int>(Capacity) - 1) {
+    ICB_ASSERT((Capacity & (Capacity - 1)) == 0,
+               "capacity must be a power of two");
+    Slots.reserve(Capacity);
+    for (unsigned I = 0; I != Capacity; ++I)
+      Slots.push_back(std::make_unique<SharedVar<int>>(
+          strFormat("slot[%u]", I), Empty));
+  }
+
+  /// Owner-side push; the harness never overflows the buffer.
+  void push(int Value) {
+    int T = Tail.load();
+    int H = Head.load();
+    testAssert(T - H <= Mask, "wsq: push into a full buffer");
+    Slots[static_cast<size_t>(T & Mask)]->set(Value);
+    Tail.store(T + 1);
+  }
+
+  /// Owner-side pop from the tail (the THE protocol: claim by publishing
+  /// the decremented tail, then look for a conflict).
+  int pop() {
+    if (Bug == WsqBug::PopCheckThenAct)
+      return popCheckThenAct();
+    int T = Tail.load() - 1;
+    Tail.store(T);
+    int H = Head.load();
+    if (H <= T - 1)
+      return Slots[static_cast<size_t>(T & Mask)]->get(); // >= 2 elements.
+    // Possible conflict with the thief over the last element (H == T) or
+    // the deque is already empty (H > T): restore and settle it.
+    Tail.store(T + 1);
+    if (Bug == WsqBug::PopRetryNoLock)
+      return popRetryNoLock();
+    return takeLastUnderLock();
+  }
+
+  /// Thief-side steal from the head.
+  int steal() {
+    if (Bug == WsqBug::UnsynchronizedSteal)
+      return stealWithoutLock();
+    QLock.lock();
+    int H = Head.load();
+    int T = Tail.load();
+    if (H >= T) {
+      QLock.unlock();
+      return Empty;
+    }
+    int Value = Slots[static_cast<size_t>(H & Mask)]->get();
+    Head.store(H + 1);
+    QLock.unlock();
+    return Value;
+  }
+
+private:
+  /// Correct conflict path: re-run the claim while holding the thief's
+  /// lock, so exactly one side takes the last element.
+  int takeLastUnderLock() {
+    QLock.lock();
+    int T = Tail.load() - 1;
+    Tail.store(T);
+    int H = Head.load();
+    if (H <= T) {
+      int Value = Slots[static_cast<size_t>(T & Mask)]->get();
+      QLock.unlock();
+      return Value;
+    }
+    Tail.store(T + 1); // Restore: the deque is empty.
+    QLock.unlock();
+    return Empty;
+  }
+
+  /// BUG (1 preemption): conflict check before the claim. A preemption
+  /// between the check and the tail store lets the thief take slot T
+  /// first; we then return the same element.
+  int popCheckThenAct() {
+    int T = Tail.load() - 1;
+    int H = Head.load();
+    if (H > T)
+      return Empty;
+    // <-- preempt here: the thief can steal slot T before we claim it.
+    Tail.store(T);
+    return Slots[static_cast<size_t>(T & Mask)]->get();
+  }
+
+  /// BUG (2 preemptions): the conflict path retries the optimistic
+  /// protocol instead of taking the lock. The unsafe case is the last
+  /// element (H == T): the thief must be parked mid-steal — after reading
+  /// head/tail, before publishing its head claim — which requires
+  /// preempting the owner into the thief and the thief back into the
+  /// owner, both at nonblocking operations.
+  int popRetryNoLock() {
+    int T = Tail.load() - 1;
+    Tail.store(T);
+    int H = Head.load();
+    if (H <= T) // Unsafe for H == T: the thief may take it too.
+      return Slots[static_cast<size_t>(T & Mask)]->get();
+    Tail.store(T + 1);
+    return Empty;
+  }
+
+  /// BUG (2 preemptions): steal without the lock. Against the correct
+  /// locking pop, a duplicate take of the last element again requires the
+  /// thief to be split in the middle of its read-check-claim sequence.
+  int stealWithoutLock() {
+    int H = Head.load();
+    int T = Tail.load();
+    if (H >= T)
+      return Empty;
+    int Value = Slots[static_cast<size_t>(H & Mask)]->get();
+    // <-- owner can pop this same element before we publish the claim.
+    Head.store(H + 1);
+    return Value;
+  }
+
+  Atomic<int> Head;
+  Atomic<int> Tail;
+  Mutex QLock;
+  std::vector<std::unique_ptr<SharedVar<int>>> Slots;
+  WsqBug Bug;
+  int Mask;
+};
+
+} // namespace
+
+rt::TestCase icb::bench::workStealingTest(WsqConfig Config) {
+  std::string Name = strFormat("wsq-%ui-%s", Config.Items,
+                               wsqBugName(Config.Bug));
+  return {Name, [Config] {
+    WsDeque Deque(Config.Capacity, Config.Bug);
+    // One take-counter per item; atomic so victim and thief can both
+    // report without introducing races of their own.
+    std::vector<std::unique_ptr<Atomic<int>>> Taken;
+    Taken.reserve(Config.Items);
+    for (unsigned I = 0; I != Config.Items; ++I)
+      Taken.push_back(std::make_unique<Atomic<int>>(
+          strFormat("taken[%u]", I), 0));
+
+    auto Take = [&Taken](int Value) {
+      if (Value == Empty)
+        return;
+      testAssert(Value >= 0 &&
+                     static_cast<unsigned>(Value) < Taken.size(),
+                 "wsq: queue produced an item that was never pushed");
+      int Prev = Taken[static_cast<size_t>(Value)]->fetchAdd(1);
+      testAssert(Prev == 0, "wsq: item taken twice (lost/duplicated work)");
+    };
+
+    Thread Victim(
+        [&] {
+          // Push all items, popping after every second push, then drain.
+          for (unsigned I = 0; I != Config.Items; ++I) {
+            Deque.push(static_cast<int>(I));
+            if (I % 2 == 1)
+              Take(Deque.pop());
+          }
+          for (unsigned I = 0; I <= Config.Items; ++I) {
+            int V = Deque.pop();
+            if (V == Empty)
+              break;
+            Take(V);
+          }
+        },
+        "victim");
+    Thread Thief(
+        [&] {
+          // A bounded number of steal attempts keeps every schedule
+          // finite (the real thief retries forever).
+          for (unsigned I = 0; I != Config.Items; ++I)
+            Take(Deque.steal());
+        },
+        "thief");
+    Victim.join();
+    Thief.join();
+
+    // Every pushed item was taken exactly once or is still in the deque
+    // (the thief may simply have lost the race); drain the leftovers.
+    unsigned TakenCount = 0;
+    for (unsigned I = 0; I != Config.Items; ++I) {
+      int N = Taken[I]->load();
+      testAssert(N <= 1, "wsq: item taken twice (final audit)");
+      TakenCount += static_cast<unsigned>(N);
+    }
+    for (unsigned I = 0; I <= Config.Items; ++I) {
+      int V = Deque.pop();
+      if (V == Empty)
+        break;
+      Take(V);
+      ++TakenCount;
+    }
+    testAssert(TakenCount == Config.Items,
+               "wsq: items lost (push/take mismatch)");
+  }};
+}

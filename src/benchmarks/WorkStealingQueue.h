@@ -1,0 +1,72 @@
+//===- benchmarks/WorkStealingQueue.h - Cilk THE work stealing --*- C++ -*-===//
+//
+// Part of the ICB project (PLDI'07 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The work-stealing queue benchmark: "an implementation [Leijen,
+/// MSR-TR-2006-162] of the work-stealing queue algorithm originally
+/// designed for the Cilk multithreaded programming system [Frigo et al.].
+/// The program has a queue of work items implemented using a bounded
+/// circular buffer. Our test driver consists of two threads, a victim and
+/// a thief ... Potential interference between the two threads is
+/// controlled by means of sophisticated non-blocking synchronization."
+///
+/// The deque follows the THE protocol as used in Leijen's futures library:
+/// the owner pushes and pops at the tail without a lock on the fast path;
+/// the thief steals at the head under a lock; the owner falls back to the
+/// lock only when it might be contending for the last element. Head and
+/// tail are interlocked (sync) variables; the element buffer is ordinary
+/// data, race-checked per Section 3.1.
+///
+/// "The implementor gave us ... three variations of his implementation,
+/// each containing what he considered to be a subtle bug." Our three
+/// seeded variants reproduce Table 2's distribution (one bug at preemption
+/// bound 1, two at bound 2):
+///
+///   * PopCheckThenAct      — the owner's pop checks for a conflict before
+///     committing the tail decrement (classic THE inversion): a single
+///     preemption lets the thief steal the same element first.
+///   * PopRetryNoLock       — the owner's conflict path retries the
+///     optimistic protocol instead of taking the lock; losing the
+///     last-element race requires splitting the thief mid-steal, i.e.
+///     two preemptions.
+///   * UnsynchronizedSteal  — the thief skips the lock entirely; again
+///     only a split steal (two preemptions) produces a duplicate take
+///     against the correct locking pop.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ICB_BENCHMARKS_WORKSTEALINGQUEUE_H
+#define ICB_BENCHMARKS_WORKSTEALINGQUEUE_H
+
+#include "rt/Scheduler.h"
+
+namespace icb::bench {
+
+/// Which seeded defect (if any) the queue carries.
+enum class WsqBug : uint8_t {
+  None,
+  PopCheckThenAct,     ///< Exposed with 1 preemption.
+  PopRetryNoLock,      ///< Exposed with 2 preemptions.
+  UnsynchronizedSteal, ///< Exposed with 2 preemptions.
+};
+
+const char *wsqBugName(WsqBug Bug);
+
+struct WsqConfig {
+  /// Items the victim pushes (popping some, the thief stealing others).
+  unsigned Items = 3;
+  /// Circular-buffer capacity (power of two).
+  unsigned Capacity = 4;
+  WsqBug Bug = WsqBug::None;
+};
+
+/// Builds the closed victim/thief test. The harness checks that every
+/// pushed item is taken exactly once (no loss, no duplication).
+rt::TestCase workStealingTest(WsqConfig Config);
+
+} // namespace icb::bench
+
+#endif // ICB_BENCHMARKS_WORKSTEALINGQUEUE_H

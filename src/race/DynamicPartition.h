@@ -1,0 +1,70 @@
+//===- race/DynamicPartition.h - Data/sync variable partition ---*- C++ -*-===//
+//
+// Part of the ICB project (PLDI'07 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// "An important aspect of the CHESS implementation is its dynamic
+/// partitioning of the set of program variables into data and
+/// synchronization variables." This registry tracks that partition:
+///
+///   * Variables backing Mutex/Event/Semaphore/Atomic objects register as
+///     synchronization variables (their accesses are scheduling points).
+///   * SharedVar<T> objects register as data variables (their accesses are
+///     *not* scheduling points, but are checked for races).
+///   * When a race on a data variable turns out to be intended (lock-free
+///     code), the harness can *promote* it: in subsequent executions it is
+///     treated as a synchronization variable, exactly the workflow CHESS
+///     supports for racy-by-design programs.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ICB_RACE_DYNAMICPARTITION_H
+#define ICB_RACE_DYNAMICPARTITION_H
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_set>
+
+namespace icb::race {
+
+/// Classification of one shared variable.
+enum class VarClass : uint8_t {
+  Data, ///< Checked for races; not a scheduling point.
+  Sync, ///< Scheduling point; creates happens-before edges.
+};
+
+/// The evolving data/sync partition for one test (persists across the
+/// executions of a search, since promotions must stick).
+class DynamicPartition {
+public:
+  /// Registers \p VarCode as a synchronization variable.
+  void registerSync(uint64_t VarCode) { SyncVars.insert(VarCode); }
+
+  /// Promotes a data variable to synchronization status (typically after
+  /// an intended race was detected on it).
+  void promoteToSync(uint64_t VarCode) {
+    SyncVars.insert(VarCode);
+    ++Promotions;
+  }
+
+  VarClass classify(uint64_t VarCode) const {
+    return SyncVars.count(VarCode) ? VarClass::Sync : VarClass::Data;
+  }
+
+  bool isSync(uint64_t VarCode) const {
+    return SyncVars.count(VarCode) != 0;
+  }
+
+  unsigned promotionCount() const { return Promotions; }
+  size_t syncVarCount() const { return SyncVars.size(); }
+
+private:
+  std::unordered_set<uint64_t> SyncVars;
+  unsigned Promotions = 0;
+};
+
+} // namespace icb::race
+
+#endif // ICB_RACE_DYNAMICPARTITION_H

@@ -1,0 +1,86 @@
+//===- race/Goldilocks.cpp - Lockset-propagation race detection -----------===//
+//
+// Part of the ICB project (PLDI'07 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "race/Goldilocks.h"
+#include "support/Debug.h"
+
+using namespace icb::race;
+
+GoldilocksDetector::GoldilocksDetector(unsigned NumThreads)
+    : NumThreads(NumThreads) {}
+
+void GoldilocksDetector::propagate(LockSet &Set, uint64_t ThreadElem,
+                                   uint64_t VarElem) {
+  // A sync op is both an acquire (if the set contains the variable, the
+  // thread learns it: add the thread) and a release (if the set contains
+  // the thread, the variable learns it: add the variable).
+  bool HasVar = Set.count(VarElem) != 0;
+  bool HasThread = Set.count(ThreadElem) != 0;
+  if (HasVar || HasThread) {
+    Set.insert(ThreadElem);
+    Set.insert(VarElem);
+  }
+}
+
+void GoldilocksDetector::onSyncOp(uint32_t Tid, uint64_t VarCode) {
+  ICB_ASSERT(Tid < NumThreads, "thread id out of range");
+  uint64_t ThreadElem = threadElement(Tid);
+  for (auto &[Var, State] : DataVars) {
+    (void)Var;
+    if (State.HasWrite)
+      propagate(State.WriteSet, ThreadElem, VarCode);
+    for (auto &[Reader, Set] : State.ReadSets) {
+      (void)Reader;
+      propagate(Set, ThreadElem, VarCode);
+    }
+  }
+}
+
+std::optional<RaceReport>
+GoldilocksDetector::onDataAccess(uint32_t Tid, uint64_t VarCode,
+                                 bool IsWrite) {
+  ICB_ASSERT(Tid < NumThreads, "thread id out of range");
+  uint64_t ThreadElem = threadElement(Tid);
+  VarState &Var = DataVars[VarCode];
+
+  // Any access races with an unordered previous write.
+  if (Var.HasWrite && Var.WriteSet.count(ThreadElem) == 0) {
+    RaceReport Report;
+    Report.VarCode = VarCode;
+    Report.FirstTid = Var.LastWriteTid;
+    Report.FirstWasWrite = true;
+    Report.SecondTid = Tid;
+    Report.SecondWasWrite = IsWrite;
+    return Report;
+  }
+
+  if (!IsWrite) {
+    // Record this read; its ownership starts with just the reading thread.
+    LockSet &Set = Var.ReadSets[Tid];
+    Set.clear();
+    Set.insert(ThreadElem);
+    return std::nullopt;
+  }
+
+  // A write additionally races with any unordered previous read.
+  for (const auto &[Reader, Set] : Var.ReadSets) {
+    if (Set.count(ThreadElem) == 0) {
+      RaceReport Report;
+      Report.VarCode = VarCode;
+      Report.FirstTid = Reader;
+      Report.FirstWasWrite = false;
+      Report.SecondTid = Tid;
+      Report.SecondWasWrite = true;
+      return Report;
+    }
+  }
+  Var.HasWrite = true;
+  Var.LastWriteTid = Tid;
+  Var.WriteSet.clear();
+  Var.WriteSet.insert(ThreadElem);
+  Var.ReadSets.clear();
+  return std::nullopt;
+}

@@ -1,0 +1,47 @@
+//===- race/VcRaceDetector.h - Vector-clock race detection ------*- C++ -*-===//
+//
+// Part of the ICB project (PLDI'07 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef ICB_RACE_VCRACEDETECTOR_H
+#define ICB_RACE_VCRACEDETECTOR_H
+
+#include "race/RaceDetector.h"
+#include "trace/VectorClock.h"
+#include <unordered_map>
+#include <vector>
+
+namespace icb::race {
+
+/// FastTrack-flavoured happens-before race detector.
+///
+/// Per thread: a vector clock. Per sync variable: the clock of its last
+/// operation (joined into the next operator's clock). Per data variable:
+/// the epoch (tid, clock) of the last write and a read clock accumulating
+/// the last read per thread.
+class VcRaceDetector final : public RaceDetector {
+public:
+  explicit VcRaceDetector(unsigned NumThreads);
+
+  void onSyncOp(uint32_t Tid, uint64_t VarCode) override;
+  std::optional<RaceReport> onDataAccess(uint32_t Tid, uint64_t VarCode,
+                                         bool IsWrite) override;
+  const char *name() const override { return "vectorclock"; }
+
+private:
+  struct VarState {
+    uint32_t LastWriteTid = 0;
+    uint32_t LastWriteClock = 0; ///< 0 means "no write yet".
+    trace::VectorClock Reads;    ///< Component per thread; 0 = no read.
+  };
+
+  unsigned NumThreads;
+  std::vector<trace::VectorClock> ThreadClocks;
+  std::unordered_map<uint64_t, trace::VectorClock> SyncClocks;
+  std::unordered_map<uint64_t, VarState> DataVars;
+};
+
+} // namespace icb::race
+
+#endif // ICB_RACE_VCRACEDETECTOR_H

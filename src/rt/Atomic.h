@@ -1,0 +1,78 @@
+//===- rt/Atomic.h - Interlocked variables (sync variables) -----*- C++ -*-===//
+//
+// Part of the ICB project (PLDI'07 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// `Atomic<T>` models an interlocked/volatile variable: every access is a
+/// synchronization operation (a scheduling point that creates
+/// happens-before edges), which is how CHESS's dynamic partitioning
+/// classifies variables accessed with interlocked instructions. The
+/// work-stealing queue's head/tail indices are the canonical users.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ICB_RT_ATOMIC_H
+#define ICB_RT_ATOMIC_H
+
+#include "rt/SyncObject.h"
+
+namespace icb::rt {
+
+/// An integral variable whose every access is an atomic synchronization
+/// operation under scheduler control.
+template <typename T> class Atomic : public SyncObject {
+public:
+  explicit Atomic(std::string Name = "atomic", T Initial = T())
+      : SyncObject("atomic", std::move(Name)), Value(Initial) {}
+
+  /// Atomic read.
+  T load() {
+    opPoint(OpKind::AtomicAccess, "load");
+    return Value;
+  }
+
+  /// Atomic write.
+  void store(T NewValue) {
+    opPoint(OpKind::AtomicAccess, "store");
+    Value = NewValue;
+  }
+
+  /// Atomic fetch-add; returns the previous value.
+  T fetchAdd(T Delta) {
+    opPoint(OpKind::AtomicAccess, "fetch_add");
+    T Old = Value;
+    Value = static_cast<T>(Value + Delta);
+    return Old;
+  }
+
+  /// Atomic compare-exchange; returns true and installs \p Desired when
+  /// the current value equals \p Expected.
+  bool compareExchange(T Expected, T Desired) {
+    opPoint(OpKind::AtomicAccess, "cas");
+    if (Value != Expected)
+      return false;
+    Value = Desired;
+    return true;
+  }
+
+  /// Atomic exchange; returns the previous value.
+  T exchange(T NewValue) {
+    opPoint(OpKind::AtomicAccess, "xchg");
+    T Old = Value;
+    Value = NewValue;
+    return Old;
+  }
+
+  /// Unchecked peek for harness code *outside* the controlled execution
+  /// or in final-state assertions where no concurrency remains.
+  T unsafePeek() const { return Value; }
+
+private:
+  T Value;
+};
+
+} // namespace icb::rt
+
+#endif // ICB_RT_ATOMIC_H

@@ -1,0 +1,71 @@
+//===- rt/CondVar.cpp - Controlled condition variables ---------------------===//
+//
+// Part of the ICB project (PLDI'07 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "rt/CondVar.h"
+#include "rt/Scheduler.h"
+#include "support/Debug.h"
+#include "support/Format.h"
+#include <algorithm>
+
+using namespace icb;
+using namespace icb::rt;
+
+CondVar::CondVar(std::string Name) : SyncObject("condvar", std::move(Name)) {}
+
+bool CondVar::canProceed(const PendingOp &Op, ThreadId Tid) const {
+  if (Op.Kind != OpKind::CondWait)
+    return true;
+  for (size_t I = 0; I != Waiters.size(); ++I)
+    if (Waiters[I] == Tid)
+      return Signaled[I];
+  // Not registered (already dequeued): runnable.
+  return true;
+}
+
+void CondVar::wait(Mutex &M) {
+  Scheduler *S = Scheduler::current();
+  ICB_ASSERT(S, "condvar wait outside a controlled execution");
+  checkAlive("wait");
+  ThreadId Me = S->runningThread();
+  if (!M.heldBy(Me))
+    S->failExecution(RunStatus::AssertFailed,
+                     strFormat("condvar '%s': wait() without holding the "
+                               "mutex '%s'",
+                               name().c_str(), M.name().c_str()));
+  // Register on the wait queue *before* releasing the mutex: a signal
+  // delivered between the unlock and our park must not be lost.
+  Waiters.push_back(Me);
+  Signaled.push_back(false);
+  M.unlock();
+  opPoint(OpKind::CondWait, "condwait");
+  // Signaled: dequeue ourselves and re-acquire the mutex.
+  for (size_t I = 0; I != Waiters.size(); ++I)
+    if (Waiters[I] == Me) {
+      Waiters.erase(Waiters.begin() + static_cast<ptrdiff_t>(I));
+      Signaled.erase(Signaled.begin() + static_cast<ptrdiff_t>(I));
+      break;
+    }
+  M.lock();
+}
+
+void CondVar::signal() {
+  opPoint(OpKind::CondSignal, "signal");
+  // Wake the first still-unsignaled waiter (FIFO, like a fair queue; the
+  // schedule explorer varies who *runs* first anyway).
+  for (size_t I = 0; I != Waiters.size(); ++I)
+    if (!Signaled[I]) {
+      Signaled[I] = true;
+      return;
+    }
+  // No waiter: the signal is lost (condition variables have no memory) —
+  // exactly the semantics whose misuse the checker is meant to catch.
+}
+
+void CondVar::broadcast() {
+  opPoint(OpKind::CondSignal, "broadcast");
+  for (size_t I = 0; I != Waiters.size(); ++I)
+    Signaled[I] = true;
+}

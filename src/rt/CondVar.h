@@ -1,0 +1,56 @@
+//===- rt/CondVar.h - Controlled condition variables ------------*- C++ -*-===//
+//
+// Part of the ICB project (PLDI'07 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A Win32 CONDITION_VARIABLE / pthread_cond_t model under scheduler
+/// control. `wait(M)` atomically releases the mutex and parks the thread
+/// on the condition's wait queue; `signal()` releases one waiter,
+/// `broadcast()` all of them; woken threads re-acquire the mutex before
+/// returning. Spurious wakeups are *not* modeled (every wakeup is caused
+/// by a signal), which keeps the schedule space faithful to what a signal
+/// delivery can do; user code should still use the standard
+/// wait-in-a-loop idiom, and the checker will find the bugs when it does
+/// not (lost wakeups, signal-before-wait, ...).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ICB_RT_CONDVAR_H
+#define ICB_RT_CONDVAR_H
+
+#include "rt/Sync.h"
+#include <vector>
+
+namespace icb::rt {
+
+/// A condition variable tied to caller-supplied mutexes.
+class CondVar : public SyncObject {
+public:
+  explicit CondVar(std::string Name = "condvar");
+
+  /// Atomically releases \p M and waits to be signaled; re-acquires \p M
+  /// before returning. \p M must be held by the caller.
+  void wait(Mutex &M);
+
+  /// Wakes one waiter (no-op when none).
+  void signal();
+
+  /// Wakes every waiter.
+  void broadcast();
+
+  /// Waiters currently parked (for assertions in tests).
+  size_t waiterCount() const { return Waiters.size(); }
+
+  bool canProceed(const PendingOp &Op, ThreadId Tid) const override;
+
+private:
+  /// Threads parked in wait(); Signaled[i] parallels Waiters[i].
+  std::vector<ThreadId> Waiters;
+  std::vector<bool> Signaled;
+};
+
+} // namespace icb::rt
+
+#endif // ICB_RT_CONDVAR_H

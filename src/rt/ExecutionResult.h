@@ -1,0 +1,48 @@
+//===- rt/ExecutionResult.h - Outcome of one controlled run -----*- C++ -*-===//
+//
+// Part of the ICB project (PLDI'07 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef ICB_RT_EXECUTIONRESULT_H
+#define ICB_RT_EXECUTIONRESULT_H
+
+#include "rt/Ops.h"
+#include "trace/Schedule.h"
+#include <string>
+#include <vector>
+
+namespace icb::rt {
+
+/// Everything the explorers need to know about one finished execution.
+struct ExecutionResult {
+  RunStatus Status = RunStatus::Terminated;
+  std::string Message; ///< Failure detail when Status is an error.
+
+  /// The complete annotated schedule (replayable).
+  trace::Schedule Sched;
+  /// Happens-before fingerprint of the complete execution: the paper's
+  /// stateless stand-in for the final state.
+  uint64_t Fingerprint = 0;
+  /// Fingerprint after every step: the trajectory of visited states. The
+  /// coverage experiments count distinct entries across executions
+  /// ("number of distinct visited states", Section 2.1).
+  std::vector<uint64_t> StepFingerprints;
+  /// Steps (scheduling points) executed — the K of Table 1.
+  uint64_t Steps = 0;
+  /// Potentially-blocking operations executed — the B of Table 1.
+  uint64_t BlockingOps = 0;
+  /// Preempting context switches — the c of Table 1.
+  unsigned Preemptions = 0;
+  unsigned ContextSwitches = 0;
+  /// Threads that existed during the execution.
+  unsigned ThreadsUsed = 0;
+  /// Per-step human-readable descriptions (filled only when the scheduler
+  /// option CollectStepText is on; used for counterexample printing).
+  std::vector<std::string> StepText;
+  std::vector<std::string> StepThreadNames;
+};
+
+} // namespace icb::rt
+
+#endif // ICB_RT_EXECUTIONRESULT_H

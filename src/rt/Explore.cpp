@@ -1,0 +1,459 @@
+//===- rt/Explore.cpp - Stateless exploration of runtime tests ------------===//
+//
+// Part of the ICB project (PLDI'07 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "rt/Explore.h"
+#include "support/Debug.h"
+#include "support/Format.h"
+#include "support/Prng.h"
+#include "trace/TraceWriter.h"
+#include <algorithm>
+#include <deque>
+#include <unordered_set>
+
+using namespace icb;
+using namespace icb::rt;
+
+Explorer::~Explorer() = default;
+
+std::string RtBug::str() const {
+  return strFormat(
+      "%s: %s (exposed with %u preemptions, %u context switches, %llu "
+      "steps)",
+      runStatusName(Kind), Message.c_str(), Preemptions, ContextSwitches,
+      static_cast<unsigned long long>(Steps));
+}
+
+const RtBug *ExploreResult::simplestBug() const {
+  const RtBug *Best = nullptr;
+  for (const RtBug &B : Bugs)
+    if (!Best || B.Preemptions < Best->Preemptions)
+      Best = &B;
+  return Best;
+}
+
+namespace {
+
+/// Shared per-explorer accounting: stats, fingerprint coverage, bug
+/// deduplication (keyed by kind+message, keeping the fewest-preemption
+/// exposure).
+class ExploreAccounting {
+public:
+  explicit ExploreAccounting(const ExploreLimits &Limits) : Limits(Limits) {}
+
+  /// Folds one finished execution in; returns true when a limit was hit.
+  bool onExecution(const ExecutionResult &R) {
+    ++Stats.Executions;
+    Stats.TotalSteps += R.Steps;
+    Stats.StepsPerExecution.observe(R.Steps);
+    Stats.BlockingPerExecution.observe(R.BlockingOps);
+    Stats.PreemptionsPerExecution.observe(R.Preemptions);
+    Stats.PreemptionHistogram.increment(R.Preemptions);
+    Stats.ThreadsPerExecution.observe(R.ThreadsUsed);
+    for (uint64_t Digest : R.StepFingerprints)
+      Visited.insert(Digest);
+    Terminal.insert(R.Fingerprint);
+    Stats.Coverage.push_back({Stats.Executions, Visited.size()});
+
+    if (isErrorStatus(R.Status)) {
+      RtBug Bug;
+      Bug.Kind = R.Status;
+      Bug.Message = R.Message;
+      Bug.Preemptions = R.Preemptions;
+      Bug.ContextSwitches = R.ContextSwitches;
+      Bug.Steps = R.Steps;
+      Bug.Sched = R.Sched;
+      addBug(std::move(Bug));
+      if (Limits.StopAtFirstBug)
+        LimitHit = true;
+    }
+    if (Stats.Executions >= Limits.MaxExecutions)
+      LimitHit = true;
+    return LimitHit;
+  }
+
+  bool limitHit() const { return LimitHit; }
+  uint64_t distinctStates() const { return Visited.size(); }
+
+  ExploreResult finish(bool Completed) {
+    Stats.DistinctStates = Visited.size();
+    Stats.DistinctTerminalStates = Terminal.size();
+    Stats.Completed = Completed && !LimitHit;
+    ExploreResult Result;
+    Result.Stats = std::move(Stats);
+    Result.Bugs = std::move(Bugs);
+    return Result;
+  }
+
+  ExploreStats Stats;
+
+private:
+  void addBug(RtBug Bug) {
+    auto Key = std::make_pair(Bug.Kind, Bug.Message);
+    auto It = Index.find(Key);
+    if (It == Index.end()) {
+      Index.emplace(std::move(Key), Bugs.size());
+      Bugs.push_back(std::move(Bug));
+      return;
+    }
+    if (Bug.Preemptions < Bugs[It->second].Preemptions)
+      Bugs[It->second] = std::move(Bug);
+  }
+
+  ExploreLimits Limits;
+  std::unordered_set<uint64_t> Visited;
+  std::unordered_set<uint64_t> Terminal;
+  std::vector<RtBug> Bugs;
+  std::map<std::pair<RunStatus, std::string>, size_t> Index;
+  bool LimitHit = false;
+};
+
+/// Forces a recorded prefix, then runs the canonical nonpreemptive
+/// continuation. The base of the replay and ICB policies.
+class ReplayPolicy : public SchedulePolicy {
+public:
+  explicit ReplayPolicy(std::vector<ThreadId> Prefix)
+      : Prefix(std::move(Prefix)) {}
+
+  ThreadId pick(const SchedPoint &P) override {
+    if (P.Index < Prefix.size()) {
+      ThreadId Tid = Prefix[P.Index];
+      ICB_ASSERT(std::find(P.Enabled.begin(), P.Enabled.end(), Tid) !=
+                     P.Enabled.end(),
+                 "replay divergence: recorded thread not enabled (the test "
+                 "is nondeterministic)");
+      return Tid;
+    }
+    return Fallback.pick(P);
+  }
+
+private:
+  std::vector<ThreadId> Prefix;
+  NonPreemptivePolicy Fallback;
+};
+
+/// A stateless ICB work item: replay Prefix, then force NextTid.
+struct PrefixItem {
+  std::vector<ThreadId> Prefix;
+  ThreadId NextTid = InvalidThread;
+};
+
+/// The ICB continuation policy (the body of Algorithm 1's Search): follow
+/// the prefix, force the chosen thread, then keep running the current
+/// thread while it stays enabled. Alternatives at points where the current
+/// thread stays enabled cost a preemption (deferred to the next bound);
+/// alternatives at yield or blocking points are free (same bound).
+class IcbPolicy : public SchedulePolicy {
+public:
+  explicit IcbPolicy(const PrefixItem &Item)
+      : Prefix(Item.Prefix), Forced(Item.NextTid) {}
+
+  ThreadId pick(const SchedPoint &P) override {
+    ThreadId Chosen;
+    if (P.Index < Prefix.size()) {
+      Chosen = Prefix[P.Index];
+      ICB_ASSERT(std::find(P.Enabled.begin(), P.Enabled.end(), Chosen) !=
+                     P.Enabled.end(),
+                 "ICB replay divergence (nondeterministic test?)");
+    } else if (P.Index == Prefix.size() && Forced != InvalidThread) {
+      Chosen = Forced;
+      ICB_ASSERT(std::find(P.Enabled.begin(), P.Enabled.end(), Chosen) !=
+                     P.Enabled.end(),
+                 "ICB forced thread not enabled (nondeterministic test?)");
+      Current = Chosen;
+    } else {
+      bool CurrentEnabled =
+          Current != InvalidThread &&
+          std::find(P.Enabled.begin(), P.Enabled.end(), Current) !=
+              P.Enabled.end();
+      if (CurrentEnabled) {
+        // Lines 29-32 / yield handling: alternatives here are
+        // preemptions unless the current thread volunteered.
+        bool Free = P.LastYielded && P.Last == Current;
+        for (ThreadId Other : P.Enabled) {
+          if (Other == Current)
+            continue;
+          (Free ? SameBound : NextBound).push_back({Mirror, Other});
+        }
+        Chosen = Current;
+      } else {
+        // Lines 33-37: the current thread blocked or finished; switching
+        // is free. Continue with the lowest-id thread, branch the rest.
+        for (size_t I = 1; I < P.Enabled.size(); ++I)
+          SameBound.push_back({Mirror, P.Enabled[I]});
+        Chosen = P.Enabled.front();
+        Current = Chosen;
+      }
+    }
+    if (P.Index < Prefix.size()) {
+      // While replaying, track the running thread so the continuation
+      // starts from the right place even for pure-replay items.
+      Current = Chosen;
+    }
+    Mirror.push_back(Chosen);
+    return Chosen;
+  }
+
+  std::vector<PrefixItem> SameBound;
+  std::vector<PrefixItem> NextBound;
+
+private:
+  std::vector<ThreadId> Prefix;
+  ThreadId Forced;
+  ThreadId Current = InvalidThread;
+  std::vector<ThreadId> Mirror;
+};
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// IcbExplorer
+//===----------------------------------------------------------------------===//
+
+ExploreResult IcbExplorer::explore(const TestCase &Test) {
+  ExploreAccounting Acct(Opts.Limits);
+  Scheduler Sched(Opts.Exec);
+
+  std::deque<PrefixItem> WorkQueue;
+  std::deque<PrefixItem> NextQueue;
+  WorkQueue.push_back({{}, InvalidThread}); // Empty prefix, free start.
+  unsigned CurrBound = 0;
+
+  // Every queued item produces at least one execution, so items beyond the
+  // execution budget can never be processed; dropping them bounds queue
+  // memory without changing any observable result.
+  auto RoomFor = [&](size_t Queued) {
+    return Acct.Stats.Executions + Queued < Opts.Limits.MaxExecutions;
+  };
+
+  while (true) {
+    while (!WorkQueue.empty() && !Acct.limitHit()) {
+      PrefixItem Item = std::move(WorkQueue.front());
+      WorkQueue.pop_front();
+
+      IcbPolicy Policy(Item);
+      ExecutionResult R = Sched.run(Test, Policy);
+      // The work-queue structure guarantees every execution at bound c has
+      // exactly c preemptions; this is Algorithm 1's core invariant.
+      ICB_ASSERT(R.Preemptions == CurrBound,
+                 "ICB invariant violated: unexpected preemption count");
+      for (PrefixItem &Branch : Policy.SameBound)
+        if (RoomFor(WorkQueue.size()))
+          WorkQueue.push_back(std::move(Branch));
+      for (PrefixItem &Deferred : Policy.NextBound)
+        if (RoomFor(WorkQueue.size() + NextQueue.size()))
+          NextQueue.push_back(std::move(Deferred));
+      Acct.onExecution(R);
+    }
+    Acct.Stats.PerBound.push_back(
+        {CurrBound, Acct.distinctStates(), Acct.Stats.Executions});
+    if (Acct.limitHit() || NextQueue.empty() ||
+        CurrBound >= Opts.Limits.MaxPreemptionBound)
+      break;
+    ++CurrBound;
+    std::swap(WorkQueue, NextQueue);
+    NextQueue.clear();
+  }
+  return Acct.finish(WorkQueue.empty() && NextQueue.empty());
+}
+
+//===----------------------------------------------------------------------===//
+// DfsExplorer / IdfsExplorer
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// One backtracking point of the stateless DFS.
+struct PathEntry {
+  std::vector<ThreadId> Enabled;
+  size_t Chosen = 0;
+};
+
+/// Follows the recorded path; beyond it, picks the first enabled thread
+/// and records a new backtracking point. Aborts at the depth bound.
+class DfsPolicy : public SchedulePolicy {
+public:
+  DfsPolicy(std::vector<PathEntry> &Path, unsigned DepthBound)
+      : Path(Path), DepthBound(DepthBound) {}
+
+  ThreadId pick(const SchedPoint &P) override {
+    if (DepthBound != 0 && P.Index >= DepthBound) {
+      Truncated = true;
+      return AbortExecution;
+    }
+    if (P.Index < Path.size()) {
+      const PathEntry &E = Path[P.Index];
+      ICB_ASSERT(E.Enabled == P.Enabled,
+                 "DFS replay divergence (nondeterministic test?)");
+      return E.Enabled[E.Chosen];
+    }
+    Path.push_back({P.Enabled, 0});
+    return P.Enabled.front();
+  }
+
+  bool Truncated = false;
+
+private:
+  std::vector<PathEntry> &Path;
+  unsigned DepthBound;
+};
+
+/// Runs one complete DFS round; returns true if any execution hit the
+/// depth bound (i.e. the bound actually truncated the space).
+bool runDfsRound(const TestCase &Test, Scheduler &Sched,
+                 ExploreAccounting &Acct, unsigned DepthBound) {
+  std::vector<PathEntry> Path;
+  bool AnyTruncated = false;
+  while (!Acct.limitHit()) {
+    DfsPolicy Policy(Path, DepthBound);
+    ExecutionResult R = Sched.run(Test, Policy);
+    AnyTruncated |= Policy.Truncated;
+    Acct.onExecution(R);
+    // Backtrack: advance the deepest entry with an untried alternative.
+    while (!Path.empty()) {
+      PathEntry &E = Path.back();
+      if (E.Chosen + 1 < E.Enabled.size()) {
+        ++E.Chosen;
+        break;
+      }
+      Path.pop_back();
+    }
+    if (Path.empty())
+      break;
+  }
+  return AnyTruncated;
+}
+
+} // namespace
+
+ExploreResult DfsExplorer::explore(const TestCase &Test) {
+  ExploreAccounting Acct(Opts.Limits);
+  Scheduler Sched(Opts.Exec);
+  bool Truncated = runDfsRound(Test, Sched, Acct, DepthBound);
+  return Acct.finish(!Truncated);
+}
+
+std::string DfsExplorer::name() const {
+  if (DepthBound != 0)
+    return strFormat("db:%u", DepthBound);
+  return "dfs";
+}
+
+ExploreResult IdfsExplorer::explore(const TestCase &Test) {
+  ExploreAccounting Acct(Opts.Limits);
+  Scheduler Sched(Opts.Exec);
+  unsigned Bound = InitialBound;
+  bool Completed = false;
+  while (!Acct.limitHit()) {
+    bool Truncated = runDfsRound(Test, Sched, Acct, Bound);
+    if (!Truncated) {
+      Completed = true; // The whole space fit inside the bound.
+      break;
+    }
+    ICB_ASSERT(Increment > 0, "idfs increment must be positive");
+    Bound += Increment;
+  }
+  return Acct.finish(Completed);
+}
+
+std::string IdfsExplorer::name() const {
+  return strFormat("idfs-%u", InitialBound);
+}
+
+//===----------------------------------------------------------------------===//
+// RandomExplorer
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+class RandomPolicy : public SchedulePolicy {
+public:
+  explicit RandomPolicy(Xoshiro256 &Rng) : Rng(Rng) {}
+
+  ThreadId pick(const SchedPoint &P) override {
+    return P.Enabled[Rng.pickIndex(P.Enabled.size())];
+  }
+
+private:
+  Xoshiro256 &Rng;
+};
+
+/// Stress-like scheduling: keep running the previous thread until its
+/// geometric time slice expires or it blocks, then pick uniformly. This
+/// is what an OS scheduler under stress load approximates: long slices,
+/// occasional coarse preemptions.
+class RandomSlicePolicy : public SchedulePolicy {
+public:
+  RandomSlicePolicy(Xoshiro256 &Rng, unsigned MeanSlice)
+      : Rng(Rng), MeanSlice(MeanSlice) {}
+
+  ThreadId pick(const SchedPoint &P) override {
+    bool SliceExpired = Rng.nextBounded(MeanSlice) == 0;
+    if (P.Last != InvalidThread && P.LastEnabled && !SliceExpired)
+      return P.Last;
+    return P.Enabled[Rng.pickIndex(P.Enabled.size())];
+  }
+
+private:
+  Xoshiro256 &Rng;
+  unsigned MeanSlice;
+};
+
+} // namespace
+
+ExploreResult RandomExplorer::explore(const TestCase &Test) {
+  ExploreAccounting Acct(Opts.Limits);
+  Scheduler Sched(Opts.Exec);
+  Xoshiro256 Rng(Seed);
+  for (uint64_t I = 0; I != Executions && !Acct.limitHit(); ++I) {
+    ExecutionResult R;
+    if (StressSlices) {
+      RandomSlicePolicy Policy(Rng, MeanSlice);
+      R = Sched.run(Test, Policy);
+    } else {
+      RandomPolicy Policy(Rng);
+      R = Sched.run(Test, Policy);
+    }
+    Acct.onExecution(R);
+  }
+  return Acct.finish(/*Completed=*/false);
+}
+
+//===----------------------------------------------------------------------===//
+// Replay helpers
+//===----------------------------------------------------------------------===//
+
+ExecutionResult icb::rt::replaySchedule(const TestCase &Test,
+                                        const trace::Schedule &Sched,
+                                        Scheduler::Options ExecOpts) {
+  std::vector<ThreadId> Prefix;
+  Prefix.reserve(Sched.length());
+  for (const trace::ScheduleEntry &E : Sched.entries())
+    Prefix.push_back(E.Tid);
+  ReplayPolicy Policy(std::move(Prefix));
+  Scheduler S(ExecOpts);
+  return S.run(Test, Policy);
+}
+
+std::string icb::rt::renderBugTrace(const TestCase &Test, const RtBug &Bug,
+                                    Scheduler::Options ExecOpts) {
+  ExecOpts.CollectStepText = true;
+  ExecutionResult R = replaySchedule(Test, Bug.Sched, ExecOpts);
+  std::vector<trace::TraceStep> Steps;
+  Steps.reserve(R.StepText.size());
+  for (size_t I = 0; I != R.StepText.size(); ++I) {
+    trace::TraceStep Step;
+    const trace::ScheduleEntry &E = R.Sched.entry(I);
+    Step.Tid = E.Tid;
+    Step.ThreadName = R.StepThreadNames[I];
+    Step.Description = R.StepText[I];
+    Step.Preemption = E.Preemption;
+    Step.ContextSwitch = E.ContextSwitch;
+    Steps.push_back(std::move(Step));
+  }
+  std::string Title = strFormat("%s: %s", runStatusName(R.Status),
+                                R.Message.c_str());
+  return trace::TraceWriter::render(Title, Steps);
+}

@@ -1,0 +1,190 @@
+//===- rt/Explore.h - Stateless exploration of runtime tests ----*- C++ -*-===//
+//
+// Part of the ICB project (PLDI'07 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The stateless (CHESS-side) explorers. CHESS caches no states: a work
+/// item of the ICB algorithm carries a schedule *prefix* instead of a
+/// state, and "Execute(w.tid)" replays the prefix deterministically before
+/// continuing. Coverage is counted in distinct happens-before fingerprints
+/// (Section 4.3's state representation for stateless checking).
+///
+/// Explorers: IcbExplorer (Algorithm 1 over prefixes), DfsExplorer
+/// (Verisoft-style backtracking, optionally depth-bounded — "db:N"),
+/// RandomExplorer (uniform random walk).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ICB_RT_EXPLORE_H
+#define ICB_RT_EXPLORE_H
+
+#include "rt/ExecutionResult.h"
+#include "rt/Scheduler.h"
+#include "support/Stats.h"
+#include <map>
+#include <string>
+#include <vector>
+
+namespace icb::rt {
+
+/// A bug found by exploration, with its minimal-known exposure.
+struct RtBug {
+  RunStatus Kind = RunStatus::AssertFailed;
+  std::string Message;
+  unsigned Preemptions = 0;
+  unsigned ContextSwitches = 0;
+  uint64_t Steps = 0;
+  trace::Schedule Sched;
+
+  std::string str() const;
+};
+
+/// Exploration limits.
+struct ExploreLimits {
+  uint64_t MaxExecutions = 1u << 20;
+  unsigned MaxPreemptionBound = 1u << 20; ///< ICB only.
+  bool StopAtFirstBug = false;
+};
+
+/// One sample of the fingerprints-vs-executions coverage curve.
+struct CoveragePoint {
+  uint64_t Executions = 0;
+  uint64_t States = 0;
+};
+
+/// Coverage at the completion of one preemption bound (ICB only).
+struct BoundCoverage {
+  unsigned Bound = 0;
+  uint64_t States = 0;
+  uint64_t Executions = 0;
+};
+
+/// Aggregate exploration statistics (Table 1 columns and figure curves).
+struct ExploreStats {
+  uint64_t Executions = 0;
+  uint64_t TotalSteps = 0;
+  /// Distinct visited states: distinct happens-before fingerprints over
+  /// every execution prefix (the paper's coverage metric).
+  uint64_t DistinctStates = 0;
+  /// Distinct fingerprints of complete executions (equivalence classes of
+  /// terminal states).
+  uint64_t DistinctTerminalStates = 0;
+  MinMax StepsPerExecution;        ///< K.
+  MinMax BlockingPerExecution;     ///< B.
+  MinMax PreemptionsPerExecution;  ///< c.
+  MinMax ThreadsPerExecution;
+  /// Executions per preemption count (equal for ICB and uncached DFS on
+  /// the same test; cross-validated by the test suite).
+  Histogram PreemptionHistogram;
+  std::vector<CoveragePoint> Coverage;
+  std::vector<BoundCoverage> PerBound;
+  bool Completed = false;
+};
+
+struct ExploreResult {
+  ExploreStats Stats;
+  std::vector<RtBug> Bugs;
+
+  bool foundBug() const { return !Bugs.empty(); }
+  const RtBug *simplestBug() const;
+};
+
+/// Common options for all explorers.
+struct ExploreOptions {
+  Scheduler::Options Exec;
+  ExploreLimits Limits;
+};
+
+/// A stateless explorer of one TestCase's schedule space.
+class Explorer {
+public:
+  virtual ~Explorer();
+  virtual ExploreResult explore(const TestCase &Test) = 0;
+  virtual std::string name() const = 0;
+};
+
+/// Iterative context bounding, stateless (Algorithm 1 with schedule-prefix
+/// work items). Executions are enumerated in nondecreasing preemption
+/// order; every execution processed at bound c has exactly c preemptions
+/// (asserted internally).
+class IcbExplorer final : public Explorer {
+public:
+  explicit IcbExplorer(ExploreOptions Opts) : Opts(Opts) {}
+  ExploreResult explore(const TestCase &Test) override;
+  std::string name() const override { return "icb"; }
+
+private:
+  ExploreOptions Opts;
+};
+
+/// Stateless depth-first search via backtracking and replay; DepthBound 0
+/// is the unbounded "dfs" baseline, a nonzero bound is "db:N".
+class DfsExplorer final : public Explorer {
+public:
+  DfsExplorer(ExploreOptions Opts, unsigned DepthBound = 0)
+      : Opts(Opts), DepthBound(DepthBound) {}
+  ExploreResult explore(const TestCase &Test) override;
+  std::string name() const override;
+
+private:
+  ExploreOptions Opts;
+  unsigned DepthBound;
+};
+
+/// Iterative depth-bounding over the stateless DFS ("idfs-N"): rounds at
+/// depth N, 2N, 3N, ... accumulate into one coverage curve.
+class IdfsExplorer final : public Explorer {
+public:
+  IdfsExplorer(ExploreOptions Opts, unsigned InitialBound, unsigned Increment)
+      : Opts(Opts), InitialBound(InitialBound), Increment(Increment) {}
+  ExploreResult explore(const TestCase &Test) override;
+  std::string name() const override;
+
+private:
+  ExploreOptions Opts;
+  unsigned InitialBound;
+  unsigned Increment;
+};
+
+/// Random scheduling, seeded and reproducible. Two flavours:
+///   * uniform — a fresh uniform choice among enabled threads at every
+///     scheduling point (the random-walk search of Sivaraj &
+///     Gopalakrishnan);
+///   * stress-like slices — run the current thread for a geometrically
+///     distributed time slice before switching, approximating what
+///     stress testing's OS scheduler does (few, coarse preemptions).
+class RandomExplorer final : public Explorer {
+public:
+  RandomExplorer(ExploreOptions Opts, uint64_t Seed, uint64_t Executions,
+                 bool StressSlices = false, unsigned MeanSlice = 8)
+      : Opts(Opts), Seed(Seed), Executions(Executions),
+        StressSlices(StressSlices), MeanSlice(MeanSlice) {}
+  ExploreResult explore(const TestCase &Test) override;
+  std::string name() const override {
+    return StressSlices ? "random-slice" : "random";
+  }
+
+private:
+  ExploreOptions Opts;
+  uint64_t Seed;
+  uint64_t Executions;
+  bool StressSlices;
+  unsigned MeanSlice;
+};
+
+/// Replays \p Sched against \p Test (nonpreemptive continuation past the
+/// end) and returns the result; used to render bug traces with step text.
+ExecutionResult replaySchedule(const TestCase &Test,
+                               const trace::Schedule &Sched,
+                               Scheduler::Options ExecOpts);
+
+/// Renders a bug as a full counterexample trace by replaying its schedule
+/// with step text collection enabled.
+std::string renderBugTrace(const TestCase &Test, const RtBug &Bug,
+                           Scheduler::Options ExecOpts);
+
+} // namespace icb::rt
+
+#endif // ICB_RT_EXPLORE_H

@@ -1,0 +1,69 @@
+//===- rt/Fiber.cpp - Cooperative fibers for the scheduler ----------------===//
+//
+// Part of the ICB project (PLDI'07 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "rt/Fiber.h"
+#include "support/Debug.h"
+#include <vector>
+
+using namespace icb;
+using namespace icb::rt;
+
+namespace {
+
+/// Pool of default-sized stacks, reused across executions. The scheduler
+/// is strictly single-threaded, so no synchronization is needed; the pool
+/// is bounded by the maximum number of simultaneously live fibers.
+std::vector<char *> &stackPool() {
+  static std::vector<char *> Pool;
+  return Pool;
+}
+
+char *acquireStack(size_t Size) {
+  if (Size == Fiber::DefaultStackSize && !stackPool().empty()) {
+    char *Stack = stackPool().back();
+    stackPool().pop_back();
+    return Stack;
+  }
+  return new char[Size];
+}
+
+void releaseStack(char *Stack, size_t Size) {
+  if (Size == Fiber::DefaultStackSize && stackPool().size() < 64) {
+    stackPool().push_back(Stack);
+    return;
+  }
+  delete[] Stack;
+}
+
+} // namespace
+
+Fiber::Fiber(std::function<void()> EntryFn, size_t StackSizeBytes)
+    : Entry(std::move(EntryFn)), Stack(acquireStack(StackSizeBytes)),
+      StackSize(StackSizeBytes) {
+  Context = makeFiberContext(Stack, StackSize, &Fiber::trampoline, this);
+}
+
+Fiber::~Fiber() { releaseStack(Stack, StackSize); }
+
+void Fiber::trampoline(void *SelfPtr) {
+  Fiber *Self = static_cast<Fiber *>(SelfPtr);
+  Self->Entry();
+  Self->Finished = true;
+  // Return control to whoever resumed us last; this context is dead, so
+  // the save slot is a throwaway.
+  ICB_ASSERT(Self->ReturnTo, "fiber finished with no return context");
+  MachineContext Dead;
+  switchFiberContext(Dead, *Self->ReturnTo);
+  ICB_UNREACHABLE("switched back into a finished fiber");
+}
+
+void Fiber::resume(MachineContext &From) {
+  ICB_ASSERT(!Finished, "resume of a finished fiber");
+  ReturnTo = &From;
+  switchFiberContext(From, Context);
+}
+
+void Fiber::yieldTo(MachineContext &To) { switchFiberContext(Context, To); }

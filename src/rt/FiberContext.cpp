@@ -1,0 +1,124 @@
+//===- rt/FiberContext.cpp - Minimal machine context switching ------------===//
+//
+// Part of the ICB project (PLDI'07 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "rt/FiberContext.h"
+#include "support/Debug.h"
+#include <cstring>
+
+using namespace icb;
+using namespace icb::rt;
+
+#if ICB_FIBER_FAST_SWITCH
+
+// The switch saves the SysV callee-saved integer registers (rbx, rbp,
+// r12-r15) plus the return address on the current stack, publishes the
+// stack pointer, installs the target's, and returns into the target.
+// Floating-point registers are caller-saved under SysV and need no
+// handling; we never modify mxcsr/x87 control words across switches.
+__asm__(
+    ".text\n"
+    ".align 16\n"
+    ".globl icbFiberSwitch\n"
+    ".type icbFiberSwitch,@function\n"
+    "icbFiberSwitch:\n"
+    "  pushq %rbp\n"
+    "  pushq %rbx\n"
+    "  pushq %r12\n"
+    "  pushq %r13\n"
+    "  pushq %r14\n"
+    "  pushq %r15\n"
+    "  movq %rsp, (%rdi)\n" // *SaveSp = rsp
+    "  movq %rsi, %rsp\n"   // rsp = LoadSp
+    "  popq %r15\n"
+    "  popq %r14\n"
+    "  popq %r13\n"
+    "  popq %r12\n"
+    "  popq %rbx\n"
+    "  popq %rbp\n"
+    "  retq\n"
+    ".size icbFiberSwitch,.-icbFiberSwitch\n");
+
+// First activation thunk: the entry function pointer and its argument were
+// parked in r12/r13 by makeFiberContext; move them into place and call.
+__asm__(
+    ".text\n"
+    ".align 16\n"
+    ".globl icbFiberBegin\n"
+    ".type icbFiberBegin,@function\n"
+    "icbFiberBegin:\n"
+    "  movq %r13, %rdi\n" // Arg
+    "  callq *%r12\n"     // Entry(Arg); must never return...
+    "  ud2\n"             // ...and traps if it does.
+    ".size icbFiberBegin,.-icbFiberBegin\n");
+
+extern "C" void icbFiberBegin();
+
+MachineContext icb::rt::makeFiberContext(void *StackBase, size_t StackSize,
+                                         void (*Entry)(void *), void *Arg) {
+  ICB_ASSERT(StackSize >= 1024, "fiber stack too small");
+  // Highest usable address, 16-byte aligned. Layout (downwards): the
+  // return address consumed by icbFiberSwitch's retq, then the six saved
+  // register slots it pops (r15 lowest).
+  auto Top = reinterpret_cast<uintptr_t>(StackBase) + StackSize;
+  Top &= ~static_cast<uintptr_t>(15);
+  auto *Slots = reinterpret_cast<uint64_t *>(Top);
+  // Slots[-1]: return address -> icbFiberBegin.
+  Slots[-1] = reinterpret_cast<uint64_t>(&icbFiberBegin);
+  Slots[-2] = 0;                                 // rbp
+  Slots[-3] = 0;                                 // rbx
+  Slots[-4] = reinterpret_cast<uint64_t>(Entry); // r12
+  Slots[-5] = reinterpret_cast<uint64_t>(Arg);   // r13
+  Slots[-6] = 0;                                 // r14
+  Slots[-7] = 0;                                 // r15
+  MachineContext Ctx;
+  Ctx.StackPointer = &Slots[-7];
+  return Ctx;
+}
+
+#else // !ICB_FIBER_FAST_SWITCH
+
+namespace {
+struct EntryRecord {
+  void (*Entry)(void *);
+  void *Arg;
+};
+
+// makecontext only passes ints; smuggle the record pointer in two halves.
+void trampoline(unsigned Hi, unsigned Lo) {
+  auto Ptr = (static_cast<uintptr_t>(Hi) << 32) | static_cast<uintptr_t>(Lo);
+  EntryRecord *Rec = reinterpret_cast<EntryRecord *>(Ptr);
+  Rec->Entry(Rec->Arg);
+}
+} // namespace
+
+MachineContext icb::rt::makeFiberContext(void *StackBase, size_t StackSize,
+                                         void (*Entry)(void *), void *Arg) {
+  // Park the entry record at the bottom of the stack region (the stack
+  // grows down from the top and never reaches it).
+  auto *Rec = static_cast<EntryRecord *>(StackBase);
+  Rec->Entry = Entry;
+  Rec->Arg = Arg;
+  MachineContext Ctx;
+  int Rc = getcontext(&Ctx.Context);
+  ICB_ASSERT(Rc == 0, "getcontext failed");
+  Ctx.Context.uc_stack.ss_sp = static_cast<char *>(StackBase) + 64;
+  Ctx.Context.uc_stack.ss_size = StackSize - 64;
+  Ctx.Context.uc_link = nullptr;
+  auto Ptr = reinterpret_cast<uintptr_t>(Rec);
+  makecontext(&Ctx.Context, reinterpret_cast<void (*)()>(&trampoline), 2,
+              static_cast<unsigned>(Ptr >> 32),
+              static_cast<unsigned>(Ptr & 0xffffffffu));
+  return Ctx;
+}
+
+void icb::rt::switchFiberContext(MachineContext &From,
+                                 const MachineContext &To) {
+  int Rc = swapcontext(&From.Context,
+                       const_cast<ucontext_t *>(&To.Context));
+  ICB_ASSERT(Rc == 0, "swapcontext failed");
+}
+
+#endif

@@ -1,0 +1,91 @@
+//===- rt/Ops.h - Operation kinds and execution outcomes --------*- C++ -*-===//
+//
+// Part of the ICB project (PLDI'07 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The vocabulary of the CHESS-style runtime: the operation a thread is
+/// parked on at a scheduling point, and the ways an execution can end.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ICB_RT_OPS_H
+#define ICB_RT_OPS_H
+
+#include <cstdint>
+#include <string>
+
+namespace icb::rt {
+
+using ThreadId = uint32_t;
+inline constexpr ThreadId InvalidThread = ~0u;
+
+class SyncObject;
+
+/// What a thread is about to do at its current scheduling point. The
+/// scheduler evaluates enabledness from this without running the thread.
+enum class OpKind : uint8_t {
+  Start,      ///< Thread created, has not run yet (always enabled).
+  MutexLock,  ///< Blocks while the mutex is held.
+  MutexUnlock,
+  EventWait,  ///< Blocks until the event is set.
+  EventSet,
+  EventReset,
+  SemAcquire, ///< Blocks until the count is positive.
+  SemRelease,
+  AtomicAccess, ///< Interlocked or volatile access (a sync variable).
+  CondWait,     ///< Blocks until the condition variable signals us.
+  CondSignal,   ///< Wakes waiter(s) of a condition variable.
+  RwReadLock,   ///< Blocks while a writer holds the lock.
+  RwWriteLock,  ///< Blocks while any reader or writer holds the lock.
+  RwUnlock,
+  DataAccess,   ///< Data-variable access; a scheduling point only in
+                ///< EveryAccess mode or after promotion.
+  Join,       ///< Blocks until the target thread terminates.
+  Yield,      ///< Voluntary yield: switching away is nonpreempting.
+};
+
+const char *opKindName(OpKind Kind);
+
+/// Returns true if \p Kind can block its thread.
+constexpr bool isBlockingOp(OpKind Kind) {
+  return Kind == OpKind::MutexLock || Kind == OpKind::EventWait ||
+         Kind == OpKind::SemAcquire || Kind == OpKind::Join ||
+         Kind == OpKind::CondWait || Kind == OpKind::RwReadLock ||
+         Kind == OpKind::RwWriteLock;
+}
+
+/// The operation a thread is parked on.
+struct PendingOp {
+  OpKind Kind = OpKind::Start;
+  SyncObject *Object = nullptr; ///< Null for Start/Join/Yield/DataAccess.
+  uint64_t VarCode = 0;         ///< Stable identity of the touched variable.
+  ThreadId JoinTarget = InvalidThread;
+  bool IsWrite = false;         ///< For DataAccess.
+  std::string Detail;           ///< Human-readable ("lock m_baseCS").
+};
+
+/// How one controlled execution ended.
+enum class RunStatus : uint8_t {
+  Terminated,   ///< All threads ran to completion.
+  AssertFailed, ///< A test assertion failed.
+  Deadlock,     ///< Live threads exist but none is enabled.
+  DataRace,     ///< The per-execution race detector fired (Section 3.1).
+  UseAfterFree, ///< A managed object was touched after destruction.
+  Aborted,      ///< The schedule policy cut the execution short (db:N).
+  Diverged,     ///< Replay mismatch: the program is not deterministic.
+};
+
+const char *runStatusName(RunStatus Status);
+
+/// True if \p Status is an error the explorers report as a bug.
+constexpr bool isErrorStatus(RunStatus Status) {
+  return Status == RunStatus::AssertFailed || Status == RunStatus::Deadlock ||
+         Status == RunStatus::DataRace || Status == RunStatus::UseAfterFree ||
+         Status == RunStatus::Diverged;
+}
+
+} // namespace icb::rt
+
+#endif // ICB_RT_OPS_H

@@ -1,0 +1,64 @@
+//===- rt/RwLock.cpp - Controlled reader-writer lock -----------------------===//
+//
+// Part of the ICB project (PLDI'07 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "rt/RwLock.h"
+#include "rt/Scheduler.h"
+#include "support/Debug.h"
+#include "support/Format.h"
+
+using namespace icb;
+using namespace icb::rt;
+
+RwLock::RwLock(std::string Name) : SyncObject("rwlock", std::move(Name)) {}
+
+bool RwLock::canProceed(const PendingOp &Op, ThreadId Tid) const {
+  (void)Tid;
+  switch (Op.Kind) {
+  case OpKind::RwReadLock:
+    return Writer == InvalidThread;
+  case OpKind::RwWriteLock:
+    return Writer == InvalidThread && Readers == 0;
+  default:
+    return true;
+  }
+}
+
+void RwLock::lockShared() {
+  opPoint(OpKind::RwReadLock, "rdlock");
+  ICB_ASSERT(Writer == InvalidThread, "scheduled rdlock under a writer");
+  ++Readers;
+}
+
+void RwLock::unlockShared() {
+  Scheduler *S = Scheduler::current();
+  ICB_ASSERT(S, "rwlock unlock outside a controlled execution");
+  opPoint(OpKind::RwUnlock, "rdunlock");
+  if (Readers == 0)
+    S->failExecution(
+        RunStatus::AssertFailed,
+        strFormat("rwlock '%s': shared unlock without a shared lock",
+                  name().c_str()));
+  --Readers;
+}
+
+void RwLock::lockExclusive() {
+  opPoint(OpKind::RwWriteLock, "wrlock");
+  ICB_ASSERT(Writer == InvalidThread && Readers == 0,
+             "scheduled wrlock on a held rwlock");
+  Writer = Scheduler::current()->runningThread();
+}
+
+void RwLock::unlockExclusive() {
+  Scheduler *S = Scheduler::current();
+  ICB_ASSERT(S, "rwlock unlock outside a controlled execution");
+  opPoint(OpKind::RwUnlock, "wrunlock");
+  if (Writer != S->runningThread())
+    S->failExecution(
+        RunStatus::AssertFailed,
+        strFormat("rwlock '%s': exclusive unlock by a non-owner",
+                  name().c_str()));
+  Writer = InvalidThread;
+}

@@ -1,0 +1,46 @@
+//===- rt/RwLock.h - Controlled reader-writer lock --------------*- C++ -*-===//
+//
+// Part of the ICB project (PLDI'07 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A slim reader-writer lock (Win32 SRWLOCK) under scheduler control: any
+/// number of concurrent readers, or one writer. No recursion, no
+/// upgrade/downgrade — acquiring twice from the same thread self-blocks
+/// (for the writer) or is counted twice (for readers), like the real
+/// primitive. Writer-vs-reader fairness is left to the schedule explorer:
+/// every admission order is just another schedule.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ICB_RT_RWLOCK_H
+#define ICB_RT_RWLOCK_H
+
+#include "rt/SyncObject.h"
+
+namespace icb::rt {
+
+/// Shared/exclusive lock.
+class RwLock : public SyncObject {
+public:
+  explicit RwLock(std::string Name = "rwlock");
+
+  void lockShared();    ///< Blocks while a writer holds the lock.
+  void unlockShared();
+  void lockExclusive(); ///< Blocks while anyone holds the lock.
+  void unlockExclusive();
+
+  unsigned readerCount() const { return Readers; }
+  bool writerHeld() const { return Writer != InvalidThread; }
+
+  bool canProceed(const PendingOp &Op, ThreadId Tid) const override;
+
+private:
+  unsigned Readers = 0;
+  ThreadId Writer = InvalidThread;
+};
+
+} // namespace icb::rt
+
+#endif // ICB_RT_RWLOCK_H

@@ -1,0 +1,61 @@
+//===- rt/SchedulePolicy.h - Pluggable scheduling decisions -----*- C++ -*-===//
+//
+// Part of the ICB project (PLDI'07 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The scheduler consults a SchedulePolicy at every scheduling point; the
+/// stateless explorers (ICB work-queue, DFS backtracking, depth-bounded,
+/// random) are implemented entirely as policies plus driver loops — the
+/// scheduler itself knows nothing about search.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ICB_RT_SCHEDULEPOLICY_H
+#define ICB_RT_SCHEDULEPOLICY_H
+
+#include "rt/Ops.h"
+#include <vector>
+
+namespace icb::rt {
+
+/// Everything a policy may inspect at one scheduling point.
+struct SchedPoint {
+  /// Enabled threads in ascending id order; never empty when pick() runs.
+  const std::vector<ThreadId> &Enabled;
+  /// Thread that executed the previous step (InvalidThread at the first).
+  ThreadId Last = InvalidThread;
+  /// True if Last is in Enabled: switching away would preempt it...
+  bool LastEnabled = false;
+  /// ...unless it volunteered (explicit yield): then switching is free.
+  bool LastYielded = false;
+  /// Index of this scheduling point (= steps executed so far).
+  uint64_t Index = 0;
+};
+
+/// Scheduling decisions for one execution. A fresh policy instance (or a
+/// reset one) observes each execution from its first point.
+class SchedulePolicy {
+public:
+  virtual ~SchedulePolicy();
+
+  /// Sentinel return value: stop the execution here (depth bounding).
+  static constexpr ThreadId AbortExecution = InvalidThread;
+
+  /// Picks a thread from Point.Enabled, or returns AbortExecution.
+  virtual ThreadId pick(const SchedPoint &Point) = 0;
+};
+
+/// Runs the previous thread for as long as it stays enabled, switching to
+/// the lowest-id enabled thread otherwise: the canonical nonpreemptive
+/// round-robin completion the paper uses to argue bound-0 executions reach
+/// terminal states. Also the building block of replay continuation.
+class NonPreemptivePolicy : public SchedulePolicy {
+public:
+  ThreadId pick(const SchedPoint &Point) override;
+};
+
+} // namespace icb::rt
+
+#endif // ICB_RT_SCHEDULEPOLICY_H

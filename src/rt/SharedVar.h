@@ -1,0 +1,68 @@
+//===- rt/SharedVar.h - Race-checked data variables -------------*- C++ -*-===//
+//
+// Part of the ICB project (PLDI'07 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// `SharedVar<T>` models an ordinary shared memory location: a *data
+/// variable* in the paper's partition. In the default SyncOnly mode its
+/// accesses are not scheduling points — instead each explored execution
+/// verifies that they are ordered by synchronization (Section 3.1); a
+/// violation is reported as a data race. In EveryAccess mode (the ablation)
+/// every access becomes a scheduling point. A data variable on which racing
+/// is intended (lock-free algorithms) can be promoted to a sync variable
+/// via the DynamicPartition, after which its accesses behave like
+/// Atomic<T>.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ICB_RT_SHAREDVAR_H
+#define ICB_RT_SHAREDVAR_H
+
+#include "rt/Scheduler.h"
+#include <string>
+
+namespace icb::rt {
+
+/// An ordinary shared variable, instrumented for race detection.
+template <typename T> class SharedVar {
+public:
+  explicit SharedVar(std::string Name = "var", T Initial = T())
+      : Name(std::move(Name)), Value(Initial) {
+    Scheduler *S = Scheduler::current();
+    ICB_ASSERT(S, "shared variables must be created inside a test");
+    Code = S->allocateVarCode();
+  }
+
+  SharedVar(const SharedVar &) = delete;
+  SharedVar &operator=(const SharedVar &) = delete;
+
+  /// Instrumented read.
+  T get() {
+    Scheduler::current()->sharedAccess(Code, /*IsWrite=*/false,
+                                       Name.c_str());
+    return Value;
+  }
+
+  /// Instrumented write.
+  void set(T NewValue) {
+    Scheduler::current()->sharedAccess(Code, /*IsWrite=*/true, Name.c_str());
+    Value = NewValue;
+  }
+
+  /// The variable's identity in the data/sync partition (for promotion).
+  uint64_t varCode() const { return Code; }
+
+  /// Unchecked peek for final-state assertions.
+  T unsafePeek() const { return Value; }
+
+private:
+  std::string Name;
+  uint64_t Code = 0;
+  T Value;
+};
+
+} // namespace icb::rt
+
+#endif // ICB_RT_SHAREDVAR_H

@@ -1,0 +1,127 @@
+//===- rt/Sync.cpp - Controlled Mutex, Event, Semaphore -------------------===//
+//
+// Part of the ICB project (PLDI'07 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "rt/Sync.h"
+#include "rt/Scheduler.h"
+#include "support/Debug.h"
+#include "support/Format.h"
+
+using namespace icb;
+using namespace icb::rt;
+
+//===----------------------------------------------------------------------===//
+// Mutex
+//===----------------------------------------------------------------------===//
+
+Mutex::Mutex(std::string Name) : SyncObject("mutex", std::move(Name)) {}
+
+bool Mutex::canProceed(const PendingOp &Op, ThreadId Tid) const {
+  if (Op.Kind != OpKind::MutexLock)
+    return true;
+  // A held lock blocks everyone, including its owner (self-deadlock shows
+  // up as a deadlock report, matching non-recursive critical sections).
+  (void)Tid;
+  return Owner == InvalidThread;
+}
+
+void Mutex::lock() {
+  opPoint(OpKind::MutexLock, "lock");
+  ICB_ASSERT(Owner == InvalidThread, "scheduled lock() on a held mutex");
+  Owner = Scheduler::current()->runningThread();
+}
+
+void Mutex::unlock() {
+  Scheduler *S = Scheduler::current();
+  ICB_ASSERT(S, "unlock outside a controlled execution");
+  opPoint(OpKind::MutexUnlock, "unlock");
+  if (Owner != S->runningThread())
+    S->failExecution(
+        RunStatus::AssertFailed,
+        strFormat("unlock of mutex '%s' not held by the calling thread",
+                  name().c_str()));
+  Owner = InvalidThread;
+}
+
+bool Mutex::tryLock() {
+  Scheduler *S = Scheduler::current();
+  ICB_ASSERT(S, "tryLock outside a controlled execution");
+  // Non-blocking: publish as an unlock-class (never blocks) operation so
+  // the scheduler still gets a scheduling point here.
+  opPoint(OpKind::MutexUnlock, "trylock");
+  if (Owner != InvalidThread)
+    return false;
+  Owner = S->runningThread();
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// Event
+//===----------------------------------------------------------------------===//
+
+Event::Event(std::string Name, bool ManualReset, bool InitiallySet)
+    : SyncObject("event", std::move(Name)), ManualReset(ManualReset),
+      Signaled(InitiallySet) {}
+
+bool Event::canProceed(const PendingOp &Op, ThreadId Tid) const {
+  (void)Tid;
+  if (Op.Kind != OpKind::EventWait)
+    return true;
+  return Signaled;
+}
+
+void Event::wait() {
+  opPoint(OpKind::EventWait, "wait");
+  ICB_ASSERT(Signaled, "scheduled wait() on an unsignaled event");
+  if (!ManualReset)
+    Signaled = false;
+}
+
+void Event::set() {
+  opPoint(OpKind::EventSet, "set");
+  Signaled = true;
+}
+
+void Event::reset() {
+  opPoint(OpKind::EventReset, "reset");
+  Signaled = false;
+}
+
+//===----------------------------------------------------------------------===//
+// Semaphore
+//===----------------------------------------------------------------------===//
+
+Semaphore::Semaphore(std::string Name, int InitialCount)
+    : SyncObject("semaphore", std::move(Name)), Count(InitialCount) {
+  ICB_ASSERT(InitialCount >= 0, "negative initial semaphore count");
+}
+
+bool Semaphore::canProceed(const PendingOp &Op, ThreadId Tid) const {
+  (void)Tid;
+  if (Op.Kind != OpKind::SemAcquire)
+    return true;
+  return Count > 0;
+}
+
+void Semaphore::acquire() {
+  opPoint(OpKind::SemAcquire, "acquire");
+  ICB_ASSERT(Count > 0, "scheduled acquire() on an empty semaphore");
+  --Count;
+}
+
+void Semaphore::release() {
+  opPoint(OpKind::SemRelease, "release");
+  ++Count;
+}
+
+//===----------------------------------------------------------------------===//
+// yield
+//===----------------------------------------------------------------------===//
+
+void icb::rt::yield() {
+  Scheduler *S = Scheduler::current();
+  ICB_ASSERT(S, "yield outside a controlled execution");
+  S->yieldThread();
+}

@@ -1,0 +1,93 @@
+//===- rt/Sync.h - Controlled Mutex, Event, Semaphore -----------*- C++ -*-===//
+//
+// Part of the ICB project (PLDI'07 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The intercepted synchronization primitives of the CHESS-style runtime,
+/// mirroring the Win32 objects the paper's benchmarks use: critical
+/// sections (Mutex), auto/manual-reset events, and counting semaphores.
+/// Every operation is a scheduling point; blocking operations publish
+/// their wait so the scheduler can compute enabledness without running
+/// the thread.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ICB_RT_SYNC_H
+#define ICB_RT_SYNC_H
+
+#include "rt/SyncObject.h"
+
+namespace icb::rt {
+
+/// A non-recursive mutual-exclusion lock (Win32 CRITICAL_SECTION).
+/// Re-acquiring a held lock self-deadlocks, exactly like a slim Win32
+/// critical section without the recursion count.
+class Mutex : public SyncObject {
+public:
+  explicit Mutex(std::string Name = "mutex");
+
+  void lock();
+  void unlock();
+
+  /// Non-blocking acquire; returns true on success. Still a scheduling
+  /// point (TryEnterCriticalSection is an interception point in CHESS).
+  bool tryLock();
+
+  bool heldBy(ThreadId Tid) const { return Owner == Tid; }
+  bool held() const { return Owner != InvalidThread; }
+
+  bool canProceed(const PendingOp &Op, ThreadId Tid) const override;
+
+private:
+  ThreadId Owner = InvalidThread;
+};
+
+/// Win32-style event: threads wait until it is signaled. An auto-reset
+/// event releases exactly one waiter and clears; a manual-reset event
+/// stays signaled until reset.
+class Event : public SyncObject {
+public:
+  explicit Event(std::string Name = "event", bool ManualReset = false,
+                 bool InitiallySet = false);
+
+  void wait();
+  void set();
+  void reset();
+
+  bool isSet() const { return Signaled; }
+
+  bool canProceed(const PendingOp &Op, ThreadId Tid) const override;
+
+private:
+  bool ManualReset;
+  bool Signaled;
+};
+
+/// A counting semaphore.
+class Semaphore : public SyncObject {
+public:
+  explicit Semaphore(std::string Name = "semaphore", int InitialCount = 0);
+
+  void acquire(); ///< P: blocks until the count is positive.
+  void release(); ///< V.
+
+  int count() const { return Count; }
+
+  bool canProceed(const PendingOp &Op, ThreadId Tid) const override;
+
+private:
+  int Count;
+};
+
+/// Alias matching the Win32 vocabulary the paper's benchmarks use.
+using CriticalSection = Mutex;
+
+/// Voluntary yield (Sleep(0)): a scheduling point at which switching away
+/// is a nonpreempting context switch.
+void yield();
+
+} // namespace icb::rt
+
+#endif // ICB_RT_SYNC_H

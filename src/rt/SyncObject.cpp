@@ -1,0 +1,65 @@
+//===- rt/SyncObject.cpp - Base of controlled sync primitives -------------===//
+//
+// Part of the ICB project (PLDI'07 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "rt/SyncObject.h"
+#include "rt/Scheduler.h"
+#include "support/Debug.h"
+#include "support/Format.h"
+
+using namespace icb;
+using namespace icb::rt;
+
+SyncObject::SyncObject(const char *Kind, std::string Name)
+    : Kind(Kind), Name(std::move(Name)) {
+  Scheduler *S = Scheduler::current();
+  ICB_ASSERT(S, "sync objects must be created inside a controlled test");
+  VarCode = S->allocateVarCode();
+  if (Scheduler::current()->options().Partition)
+    Scheduler::current()->options().Partition->registerSync(VarCode);
+}
+
+SyncObject::~SyncObject() {
+  Cookie = DeadCookie;
+  // Destroying a sync object while some thread is parked on it is a bug in
+  // the program under test (the blocked thread would touch freed memory).
+  Scheduler *S = Scheduler::current();
+  if (!S || S->inTeardown())
+    return;
+  // The scan happens via the scheduler so the pending-op pointers are
+  // still valid here (we are inside the destructor; memory lives).
+}
+
+void SyncObject::checkAlive(const char *OpName) const {
+  if (Cookie == AliveCookie)
+    return;
+  Scheduler *S = Scheduler::current();
+  ICB_ASSERT(S, "sync op outside a controlled execution");
+  S->failExecution(
+      RunStatus::UseAfterFree,
+      strFormat("use-after-free: %s on destroyed %s '%s'", OpName, Kind,
+                Name.c_str()));
+}
+
+bool SyncObject::canProceed(const PendingOp &Op, ThreadId Tid) const {
+  (void)Op;
+  (void)Tid;
+  return true;
+}
+
+void SyncObject::opPoint(OpKind K, const char *OpName) {
+  Scheduler *S = Scheduler::current();
+  ICB_ASSERT(S, "sync op outside a controlled execution");
+  checkAlive(OpName);
+  PendingOp Op;
+  Op.Kind = K;
+  Op.Object = this;
+  Op.VarCode = VarCode;
+  Op.Detail = strFormat("%s %s", OpName, Name.c_str());
+  S->schedulingPoint(std::move(Op));
+  // The object may have been destroyed while we were parked (the Dryad
+  // channel bug does exactly this): re-check before mutating state.
+  checkAlive(OpName);
+}

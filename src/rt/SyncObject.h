@@ -1,0 +1,71 @@
+//===- rt/SyncObject.h - Base of controlled sync primitives -----*- C++ -*-===//
+//
+// Part of the ICB project (PLDI'07 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Base class of every synchronization variable the runtime intercepts
+/// (mutexes, events, semaphores, atomics). Each instance:
+///
+///   * registers a stable per-execution variable code with the scheduler
+///     (its identity in schedules, happens-before, and the data/sync
+///     partition);
+///   * answers `canProceed` so the scheduler can compute enabledness
+///     without running the blocked thread;
+///   * carries a liveness cookie so operations on a destroyed object are
+///     reported as use-after-free rather than corrupting the checker (the
+///     Dryad Figure 3 bug class).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ICB_RT_SYNCOBJECT_H
+#define ICB_RT_SYNCOBJECT_H
+
+#include "rt/Ops.h"
+#include <string>
+
+namespace icb::rt {
+
+/// A synchronization variable under scheduler control.
+class SyncObject {
+public:
+  SyncObject(const char *Kind, std::string Name);
+  virtual ~SyncObject();
+
+  SyncObject(const SyncObject &) = delete;
+  SyncObject &operator=(const SyncObject &) = delete;
+
+  uint64_t varCode() const { return VarCode; }
+  const std::string &name() const { return Name; }
+  const char *kind() const { return Kind; }
+
+  /// True if \p Op (published by thread \p Tid) can execute now.
+  virtual bool canProceed(const PendingOp &Op, ThreadId Tid) const;
+
+  /// Fails the execution if this object has been destroyed. Called at the
+  /// top of every operation.
+  void checkAlive(const char *OpName) const;
+
+  /// True until the destructor has run. The scheduler polls this for every
+  /// parked thread: a thread waiting on a destroyed object is a
+  /// use-after-free in the program under test.
+  bool alive() const { return Cookie == AliveCookie; }
+
+protected:
+  /// Publishes \p OpKind on this object and parks until it is enabled.
+  void opPoint(OpKind K, const char *OpName);
+
+private:
+  static constexpr uint32_t AliveCookie = 0xA11FEu;
+  static constexpr uint32_t DeadCookie = 0xDEAD0BADu;
+
+  const char *Kind;
+  std::string Name;
+  uint64_t VarCode = 0;
+  uint32_t Cookie = AliveCookie;
+};
+
+} // namespace icb::rt
+
+#endif // ICB_RT_SYNCOBJECT_H

@@ -1,0 +1,27 @@
+//===- rt/Thread.cpp - Controlled thread handles ---------------------------===//
+//
+// Part of the ICB project (PLDI'07 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "rt/Thread.h"
+#include "rt/Scheduler.h"
+#include "support/Debug.h"
+
+using namespace icb;
+using namespace icb::rt;
+
+Thread::Thread(std::function<void()> Fn, std::string Name) {
+  Scheduler *S = Scheduler::current();
+  ICB_ASSERT(S, "threads must be created inside a controlled test");
+  Id = S->spawnThread(std::move(Fn), std::move(Name));
+}
+
+void Thread::join() {
+  if (Joined)
+    return;
+  Scheduler *S = Scheduler::current();
+  ICB_ASSERT(S, "join outside a controlled execution");
+  S->joinThread(Id);
+  Joined = true;
+}

@@ -1,0 +1,49 @@
+//===- rt/Thread.h - Controlled thread handles ------------------*- C++ -*-===//
+//
+// Part of the ICB project (PLDI'07 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// `rt::Thread` is the CreateThread/WaitForSingleObject pair of the
+/// intercepted API: creating one registers a new test thread with the
+/// scheduler; join() blocks until it terminates (synchronizing on its
+/// implicit termination event, Appendix A's e_t).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ICB_RT_THREAD_H
+#define ICB_RT_THREAD_H
+
+#include "rt/Ops.h"
+#include <functional>
+#include <string>
+
+namespace icb::rt {
+
+/// Handle to a spawned test thread.
+class Thread {
+public:
+  /// Spawns \p Fn as a new controlled thread.
+  explicit Thread(std::function<void()> Fn, std::string Name = "worker");
+
+  Thread(const Thread &) = delete;
+  Thread &operator=(const Thread &) = delete;
+  Thread(Thread &&Other) noexcept : Id(Other.Id), Joined(Other.Joined) {
+    Other.Id = InvalidThread;
+    Other.Joined = true;
+  }
+
+  /// Blocks the caller until the thread terminates. Idempotent.
+  void join();
+
+  ThreadId id() const { return Id; }
+
+private:
+  ThreadId Id = InvalidThread;
+  bool Joined = false;
+};
+
+} // namespace icb::rt
+
+#endif // ICB_RT_THREAD_H

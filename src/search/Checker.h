@@ -1,0 +1,56 @@
+//===- search/Checker.h - One-call model checking facade --------*- C++ -*-===//
+//
+// Part of the ICB project (PLDI'07 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Convenience entry point used by examples, tests and benches: pick a
+/// strategy by name/kind, run it over a model program, get bugs and stats.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ICB_SEARCH_CHECKER_H
+#define ICB_SEARCH_CHECKER_H
+
+#include "search/SearchTypes.h"
+#include "search/Strategy.h"
+#include "vm/Program.h"
+#include <memory>
+
+namespace icb::search {
+
+/// Which algorithm explores the state space.
+enum class StrategyKind : uint8_t {
+  Icb,              ///< Iterative context bounding (Algorithm 1).
+  Dfs,              ///< Depth-first search.
+  DepthBoundedDfs,  ///< DFS truncated at a fixed depth ("db:N").
+  IterativeDfs,     ///< Iterative depth-bounding ("idfs-N").
+  Random,           ///< Uniform random walk.
+};
+
+/// All strategy knobs in one bag; each strategy reads the fields relevant
+/// to it (documented per field).
+struct SearchOptions {
+  StrategyKind Kind = StrategyKind::Icb;
+  SearchLimits Limits;
+  /// Icb, Dfs: prune revisited states / work items.
+  bool UseStateCache = false;
+  /// Icb: carry schedules in work items (replayable bug reports).
+  bool RecordSchedules = true;
+  /// DepthBoundedDfs: the bound. IterativeDfs: initial bound and increment.
+  unsigned DepthBound = 20;
+  /// Random: PRNG seed and number of executions.
+  uint64_t Seed = 1;
+  uint64_t RandomExecutions = 1000;
+};
+
+/// Instantiates the strategy described by \p Opts.
+std::unique_ptr<Strategy> makeStrategy(const SearchOptions &Opts);
+
+/// Builds an interpreter for \p Prog and runs the requested strategy.
+SearchResult checkProgram(const vm::Program &Prog, const SearchOptions &Opts);
+
+} // namespace icb::search
+
+#endif // ICB_SEARCH_CHECKER_H

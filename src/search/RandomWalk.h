@@ -1,0 +1,44 @@
+//===- search/RandomWalk.h - Uniform random-walk baseline -------*- C++ -*-===//
+//
+// Part of the ICB project (PLDI'07 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The "random" baseline of Figure 2: repeated executions from the initial
+/// state, choosing uniformly among enabled threads at every scheduling
+/// point (Sivaraj & Gopalakrishnan's random-walk heuristic). Stress
+/// testing's idealized cousin — unlike real stress testing it at least
+/// samples schedules uniformly, yet ICB still dominates it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ICB_SEARCH_RANDOMWALK_H
+#define ICB_SEARCH_RANDOMWALK_H
+
+#include "search/Strategy.h"
+
+namespace icb::search {
+
+/// Repeated uniformly-random executions.
+class RandomWalk final : public Strategy {
+public:
+  struct Options {
+    uint64_t Seed = 1;
+    /// Number of executions to run (also capped by Limits.MaxExecutions).
+    uint64_t Executions = 1000;
+    SearchLimits Limits;
+  };
+
+  explicit RandomWalk(Options Opts) : Opts(Opts) {}
+
+  SearchResult run(const vm::Interp &Interp) override;
+  std::string name() const override { return "random"; }
+
+private:
+  Options Opts;
+};
+
+} // namespace icb::search
+
+#endif // ICB_SEARCH_RANDOMWALK_H

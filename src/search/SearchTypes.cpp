@@ -1,0 +1,52 @@
+//===- search/SearchTypes.cpp - Bugs, limits, statistics ------------------===//
+//
+// Part of the ICB project (PLDI'07 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "search/SearchTypes.h"
+#include "support/Debug.h"
+#include "support/Format.h"
+
+using namespace icb;
+using namespace icb::search;
+
+const char *icb::search::bugKindName(BugKind Kind) {
+  switch (Kind) {
+  case BugKind::AssertFailure:
+    return "assertion failure";
+  case BugKind::Deadlock:
+    return "deadlock";
+  case BugKind::ModelError:
+    return "model error";
+  }
+  ICB_UNREACHABLE("unknown bug kind");
+}
+
+std::string Bug::str() const {
+  return strFormat("%s: %s (exposed with %u preemptions in %llu steps)",
+                   bugKindName(Kind), Message.c_str(), Preemptions,
+                   static_cast<unsigned long long>(Steps));
+}
+
+const Bug *SearchResult::simplestBug() const {
+  const Bug *Best = nullptr;
+  for (const Bug &B : Bugs)
+    if (!Best || B.Preemptions < Best->Preemptions)
+      Best = &B;
+  return Best;
+}
+
+bool BugCollector::add(Bug NewBug) {
+  auto Key = std::make_pair(NewBug.Kind, NewBug.Message);
+  auto It = Index.find(Key);
+  if (It == Index.end()) {
+    Index.emplace(std::move(Key), Bugs.size());
+    Bugs.push_back(std::move(NewBug));
+    return true;
+  }
+  Bug &Existing = Bugs[It->second];
+  if (NewBug.Preemptions < Existing.Preemptions)
+    Existing = std::move(NewBug);
+  return false;
+}

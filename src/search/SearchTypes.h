@@ -1,0 +1,127 @@
+//===- search/SearchTypes.h - Bugs, limits, statistics ----------*- C++ -*-===//
+//
+// Part of the ICB project (PLDI'07 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Shared vocabulary of the ZING-side search strategies: bug reports with
+/// their preemption counts (ICB's headline guarantee is that the first
+/// exposure of a bug carries the *minimum* number of preemptions), resource
+/// limits, and the statistics the experiment harnesses consume (Table 1's
+/// K/B/c maxima, coverage curves for Figures 1-6).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ICB_SEARCH_SEARCHTYPES_H
+#define ICB_SEARCH_SEARCHTYPES_H
+
+#include "support/Stats.h"
+#include "vm/Ids.h"
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace icb::search {
+
+/// The classes of errors a model search can uncover.
+enum class BugKind : uint8_t {
+  AssertFailure, ///< A model Assert evaluated false.
+  Deadlock,      ///< Some thread is not Done, yet no thread is enabled.
+  ModelError,    ///< The model itself misbehaved (bad unlock, runaway loop).
+};
+
+const char *bugKindName(BugKind Kind);
+
+/// One discovered bug, with the evidence needed to replay and rank it.
+struct Bug {
+  BugKind Kind = BugKind::AssertFailure;
+  std::string Message;
+  /// Preempting context switches in the exposing execution. Under ICB this
+  /// is minimal over all executions exposing the same bug.
+  unsigned Preemptions = 0;
+  /// Length (steps) of the exposing execution.
+  uint64_t Steps = 0;
+  /// The exposing schedule: thread chosen at each scheduling point.
+  std::vector<vm::ThreadId> Schedule;
+
+  std::string str() const;
+};
+
+/// Resource limits for a search. Defaults are "unlimited".
+struct SearchLimits {
+  uint64_t MaxExecutions = std::numeric_limits<uint64_t>::max();
+  uint64_t MaxSteps = std::numeric_limits<uint64_t>::max();
+  uint64_t MaxStates = std::numeric_limits<uint64_t>::max();
+  /// ICB only: stop after completely exploring this preemption bound.
+  unsigned MaxPreemptionBound = std::numeric_limits<unsigned>::max();
+  bool StopAtFirstBug = false;
+};
+
+/// One sample of the states-vs-executions coverage curve (Figures 2/5/6).
+struct CoveragePoint {
+  uint64_t Executions = 0;
+  uint64_t States = 0;
+};
+
+/// Distinct states discovered by the time a preemption bound was fully
+/// explored (Figures 1/4).
+struct BoundCoverage {
+  unsigned Bound = 0;
+  uint64_t States = 0;
+  uint64_t Executions = 0;
+};
+
+/// Aggregate statistics of one search run.
+struct SearchStats {
+  uint64_t Executions = 0;
+  uint64_t TotalSteps = 0;
+  uint64_t DistinctStates = 0;
+  /// Per-execution distributions; maxima feed Table 1.
+  MinMax StepsPerExecution;   ///< K.
+  MinMax BlockingPerExecution; ///< B.
+  MinMax PreemptionsPerExecution; ///< c.
+  /// Executions per preemption count. Since ICB and (uncached) DFS both
+  /// enumerate every execution exactly once, their histograms must be
+  /// equal — the test suite cross-validates the two engines this way.
+  Histogram PreemptionHistogram;
+  /// Sampled once per completed execution.
+  std::vector<CoveragePoint> Coverage;
+  /// ICB only: snapshot after each bound is exhausted.
+  std::vector<BoundCoverage> PerBound;
+  /// True if the strategy exhausted the state space within the limits.
+  bool Completed = false;
+};
+
+/// Everything a strategy returns.
+struct SearchResult {
+  SearchStats Stats;
+  std::vector<Bug> Bugs;
+
+  bool foundBug() const { return !Bugs.empty(); }
+  /// The bug with the fewest preemptions (the "simplest explanation").
+  const Bug *simplestBug() const;
+};
+
+/// Deduplicates bugs by (kind, message), keeping the exposure with the
+/// fewest preemptions. Strategies report every exposure; Table 2 wants one
+/// row per distinct bug at its minimal bound.
+class BugCollector {
+public:
+  /// Records an exposure; returns true if this is a new distinct bug.
+  bool add(Bug NewBug);
+
+  const std::vector<Bug> &bugs() const { return Bugs; }
+  bool empty() const { return Bugs.empty(); }
+  std::vector<Bug> take() { return std::move(Bugs); }
+
+private:
+  std::vector<Bug> Bugs;
+  std::map<std::pair<BugKind, std::string>, size_t> Index;
+};
+
+} // namespace icb::search
+
+#endif // ICB_SEARCH_SEARCHTYPES_H

@@ -1,0 +1,47 @@
+//===- search/StateCache.h - Hash-based visited-state table -----*- C++ -*-===//
+//
+// Part of the ICB project (PLDI'07 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The ZING-side state cache. Algorithm 1's optional caching keys on whole
+/// work items (state, thread); plain DFS caches states. Both use 64-bit
+/// canonical hashes rather than full states — at our state counts the
+/// collision probability is negligible (documented in DESIGN.md), and it
+/// mirrors the hash-compaction ZING itself uses for large models.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ICB_SEARCH_STATECACHE_H
+#define ICB_SEARCH_STATECACHE_H
+
+#include "support/Hashing.h"
+#include <cstdint>
+#include <unordered_set>
+
+namespace icb::search {
+
+/// A set of visited state (or work-item) digests.
+class StateCache {
+public:
+  /// Inserts a digest; returns true if it was new.
+  bool insert(uint64_t Digest) { return Table.insert(Digest).second; }
+
+  /// Inserts a (state, thread) work-item digest; returns true if new.
+  bool insertWorkItem(uint64_t StateDigest, uint32_t Tid) {
+    return insert(hashCombine(StateDigest, Tid));
+  }
+
+  bool contains(uint64_t Digest) const { return Table.count(Digest) != 0; }
+
+  uint64_t size() const { return Table.size(); }
+  void clear() { Table.clear(); }
+
+private:
+  std::unordered_set<uint64_t> Table;
+};
+
+} // namespace icb::search
+
+#endif // ICB_SEARCH_STATECACHE_H

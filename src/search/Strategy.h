@@ -1,0 +1,37 @@
+//===- search/Strategy.h - Search strategy interface ------------*- C++ -*-===//
+//
+// Part of the ICB project (PLDI'07 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The common interface of the ZING-side search strategies. The evaluation
+/// compares: iterative context bounding (icb), unbounded depth-first search
+/// (dfs), depth-bounded DFS (db:N), iterative depth-bounding (idfs), and
+/// uniform random walk (random).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ICB_SEARCH_STRATEGY_H
+#define ICB_SEARCH_STRATEGY_H
+
+#include "search/SearchTypes.h"
+#include "vm/Interp.h"
+
+namespace icb::search {
+
+/// A systematic (or randomized) explorer of a model's state space.
+class Strategy {
+public:
+  virtual ~Strategy();
+
+  /// Explores \p Interp's transition system within the configured limits.
+  virtual SearchResult run(const vm::Interp &Interp) = 0;
+
+  /// Short name for tables ("icb", "dfs", "db:20", ...).
+  virtual std::string name() const = 0;
+};
+
+} // namespace icb::search
+
+#endif // ICB_SEARCH_STRATEGY_H

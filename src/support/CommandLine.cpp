@@ -1,0 +1,164 @@
+//===- support/CommandLine.cpp - Tiny flag parser ------------------------===//
+//
+// Part of the ICB project (PLDI'07 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/CommandLine.h"
+#include "support/Debug.h"
+#include "support/Format.h"
+#include <cstdlib>
+
+using namespace icb;
+
+void FlagSet::addInt(const std::string &Name, int64_t Default,
+                     const std::string &Help) {
+  Flag F;
+  F.Kind = FlagKind::Int;
+  F.Help = Help;
+  F.IntValue = Default;
+  ICB_ASSERT(Flags.emplace(Name, std::move(F)).second, "duplicate flag");
+}
+
+void FlagSet::addBool(const std::string &Name, bool Default,
+                      const std::string &Help) {
+  Flag F;
+  F.Kind = FlagKind::Bool;
+  F.Help = Help;
+  F.BoolValue = Default;
+  ICB_ASSERT(Flags.emplace(Name, std::move(F)).second, "duplicate flag");
+}
+
+void FlagSet::addString(const std::string &Name, const std::string &Default,
+                        const std::string &Help) {
+  Flag F;
+  F.Kind = FlagKind::String;
+  F.Help = Help;
+  F.StringValue = Default;
+  ICB_ASSERT(Flags.emplace(Name, std::move(F)).second, "duplicate flag");
+}
+
+bool FlagSet::setValue(Flag &F, const std::string &Text,
+                       const std::string &Name, std::string *ErrorOut) {
+  switch (F.Kind) {
+  case FlagKind::Int: {
+    char *End = nullptr;
+    long long Parsed = std::strtoll(Text.c_str(), &End, 10);
+    if (End == Text.c_str() || *End != '\0') {
+      if (ErrorOut)
+        *ErrorOut = strFormat("flag --%s expects an integer, got '%s'",
+                              Name.c_str(), Text.c_str());
+      return false;
+    }
+    F.IntValue = Parsed;
+    return true;
+  }
+  case FlagKind::Bool:
+    if (Text == "true" || Text == "1") {
+      F.BoolValue = true;
+      return true;
+    }
+    if (Text == "false" || Text == "0") {
+      F.BoolValue = false;
+      return true;
+    }
+    if (ErrorOut)
+      *ErrorOut = strFormat("flag --%s expects true/false, got '%s'",
+                            Name.c_str(), Text.c_str());
+    return false;
+  case FlagKind::String:
+    F.StringValue = Text;
+    return true;
+  }
+  ICB_UNREACHABLE("unknown flag kind");
+}
+
+bool FlagSet::parse(int Argc, const char *const *Argv, std::string *ErrorOut) {
+  for (int I = 1; I < Argc; ++I) {
+    std::string Arg = Argv[I];
+    if (Arg.rfind("--", 0) != 0) {
+      Positional.push_back(Arg);
+      continue;
+    }
+    std::string Body = Arg.substr(2);
+    if (Body == "help") {
+      if (ErrorOut)
+        *ErrorOut = usage(Argv[0]);
+      return false;
+    }
+    std::string Name = Body;
+    std::string Value;
+    bool HasValue = false;
+    if (size_t Eq = Body.find('='); Eq != std::string::npos) {
+      Name = Body.substr(0, Eq);
+      Value = Body.substr(Eq + 1);
+      HasValue = true;
+    }
+    auto It = Flags.find(Name);
+    if (It == Flags.end()) {
+      if (ErrorOut)
+        *ErrorOut = strFormat("unknown flag --%s\n%s", Name.c_str(),
+                              usage(Argv[0]).c_str());
+      return false;
+    }
+    Flag &F = It->second;
+    if (!HasValue) {
+      // Bare `--boolflag` means true; other kinds consume the next argv.
+      if (F.Kind == FlagKind::Bool) {
+        F.BoolValue = true;
+        continue;
+      }
+      if (I + 1 >= Argc) {
+        if (ErrorOut)
+          *ErrorOut = strFormat("flag --%s requires a value", Name.c_str());
+        return false;
+      }
+      Value = Argv[++I];
+    }
+    if (!setValue(F, Value, Name, ErrorOut))
+      return false;
+  }
+  return true;
+}
+
+int64_t FlagSet::getInt(const std::string &Name) const {
+  auto It = Flags.find(Name);
+  ICB_ASSERT(It != Flags.end() && It->second.Kind == FlagKind::Int,
+             "getInt on unknown or non-int flag");
+  return It->second.IntValue;
+}
+
+bool FlagSet::getBool(const std::string &Name) const {
+  auto It = Flags.find(Name);
+  ICB_ASSERT(It != Flags.end() && It->second.Kind == FlagKind::Bool,
+             "getBool on unknown or non-bool flag");
+  return It->second.BoolValue;
+}
+
+const std::string &FlagSet::getString(const std::string &Name) const {
+  auto It = Flags.find(Name);
+  ICB_ASSERT(It != Flags.end() && It->second.Kind == FlagKind::String,
+             "getString on unknown or non-string flag");
+  return It->second.StringValue;
+}
+
+std::string FlagSet::usage(const std::string &Argv0) const {
+  std::string Text = Description + "\n\nusage: " + Argv0 + " [flags]\n";
+  for (const auto &[Name, F] : Flags) {
+    std::string Default;
+    switch (F.Kind) {
+    case FlagKind::Int:
+      Default = strFormat("%lld", static_cast<long long>(F.IntValue));
+      break;
+    case FlagKind::Bool:
+      Default = F.BoolValue ? "true" : "false";
+      break;
+    case FlagKind::String:
+      Default = F.StringValue;
+      break;
+    }
+    Text += strFormat("  --%-20s %s (default: %s)\n", Name.c_str(),
+                      F.Help.c_str(), Default.c_str());
+  }
+  return Text;
+}

@@ -1,0 +1,70 @@
+//===- support/CommandLine.h - Tiny flag parser -----------------*- C++ -*-===//
+//
+// Part of the ICB project (PLDI'07 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small `--flag=value` parser for examples and experiment harnesses.
+/// Supports int64, bool, and string flags with defaults and help text.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ICB_SUPPORT_COMMANDLINE_H
+#define ICB_SUPPORT_COMMANDLINE_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace icb {
+
+/// Declarative flag registry with `--name=value` / `--name value` parsing.
+class FlagSet {
+public:
+  explicit FlagSet(std::string ProgramDescription)
+      : Description(std::move(ProgramDescription)) {}
+
+  void addInt(const std::string &Name, int64_t Default,
+              const std::string &Help);
+  void addBool(const std::string &Name, bool Default, const std::string &Help);
+  void addString(const std::string &Name, const std::string &Default,
+                 const std::string &Help);
+
+  /// Parses argv. Returns false (after printing usage to \p ErrorOut) on an
+  /// unknown flag, malformed value, or `--help`.
+  bool parse(int Argc, const char *const *Argv, std::string *ErrorOut);
+
+  int64_t getInt(const std::string &Name) const;
+  bool getBool(const std::string &Name) const;
+  const std::string &getString(const std::string &Name) const;
+
+  /// Leftover non-flag arguments, in order.
+  const std::vector<std::string> &positional() const { return Positional; }
+
+  /// Renders the usage/help text.
+  std::string usage(const std::string &Argv0) const;
+
+private:
+  enum class FlagKind { Int, Bool, String };
+
+  struct Flag {
+    FlagKind Kind;
+    std::string Help;
+    int64_t IntValue = 0;
+    bool BoolValue = false;
+    std::string StringValue;
+  };
+
+  bool setValue(Flag &F, const std::string &Text, const std::string &Name,
+                std::string *ErrorOut);
+
+  std::string Description;
+  std::map<std::string, Flag> Flags;
+  std::vector<std::string> Positional;
+};
+
+} // namespace icb
+
+#endif // ICB_SUPPORT_COMMANDLINE_H

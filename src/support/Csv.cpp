@@ -1,0 +1,57 @@
+//===- support/Csv.cpp - CSV emission for experiment curves --------------===//
+//
+// Part of the ICB project (PLDI'07 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Csv.h"
+#include "support/Debug.h"
+#include "support/Format.h"
+
+using namespace icb;
+
+CsvWriter::CsvWriter(std::ostream &OutStream, std::vector<std::string> Header)
+    : Out(OutStream), Columns(Header.size()) {
+  ICB_ASSERT(!Header.empty(), "CSV requires at least one column");
+  writeRow(Header);
+  Rows = 0; // The header is not a data row.
+}
+
+std::string CsvWriter::escapeCell(const std::string &Cell) {
+  bool NeedsQuotes = Cell.find_first_of(",\"\n") != std::string::npos;
+  if (!NeedsQuotes)
+    return Cell;
+  std::string Escaped = "\"";
+  for (char C : Cell) {
+    if (C == '"')
+      Escaped += "\"\"";
+    else
+      Escaped.push_back(C);
+  }
+  Escaped.push_back('"');
+  return Escaped;
+}
+
+void CsvWriter::writeRow(const std::vector<std::string> &Cells) {
+  ICB_ASSERT(Cells.size() == Columns, "CSV row width mismatch");
+  for (size_t I = 0; I != Cells.size(); ++I) {
+    if (I != 0)
+      Out << ',';
+    Out << escapeCell(Cells[I]);
+  }
+  Out << '\n';
+  ++Rows;
+}
+
+void CsvWriter::writeRow(const std::vector<double> &Cells) {
+  std::vector<std::string> Text;
+  Text.reserve(Cells.size());
+  for (double Value : Cells) {
+    // Integral values print without a decimal point for readability.
+    if (Value == static_cast<double>(static_cast<long long>(Value)))
+      Text.push_back(strFormat("%lld", static_cast<long long>(Value)));
+    else
+      Text.push_back(strFormat("%.6g", Value));
+  }
+  writeRow(Text);
+}

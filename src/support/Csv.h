@@ -1,0 +1,46 @@
+//===- support/Csv.h - CSV emission for experiment curves -------*- C++ -*-===//
+//
+// Part of the ICB project (PLDI'07 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Minimal CSV writer. Figure harnesses print both a human-readable table
+/// and a machine-readable CSV block so the paper's plots can be regenerated
+/// from captured output.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ICB_SUPPORT_CSV_H
+#define ICB_SUPPORT_CSV_H
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace icb {
+
+/// Streams rows of comma-separated values with proper quoting.
+class CsvWriter {
+public:
+  CsvWriter(std::ostream &Out, std::vector<std::string> Header);
+
+  /// Emits one row; the cell count must match the header.
+  void writeRow(const std::vector<std::string> &Cells);
+
+  /// Convenience for all-numeric rows.
+  void writeRow(const std::vector<double> &Cells);
+
+  unsigned rowCount() const { return Rows; }
+
+private:
+  static std::string escapeCell(const std::string &Cell);
+
+  std::ostream &Out;
+  size_t Columns;
+  unsigned Rows = 0;
+};
+
+} // namespace icb
+
+#endif // ICB_SUPPORT_CSV_H

@@ -1,0 +1,42 @@
+//===- support/Debug.h - Assertions and unreachable markers ----*- C++ -*-===//
+//
+// Part of the ICB project, a reproduction of "Iterative Context Bounding for
+// Systematic Testing of Multithreaded Programs" (Musuvathi & Qadeer, PLDI'07).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Project-wide assertion helpers. Library code asserts liberally (with
+/// messages) and never throws; a violated invariant aborts with a location.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ICB_SUPPORT_DEBUG_H
+#define ICB_SUPPORT_DEBUG_H
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace icb {
+
+/// Prints a fatal-error message with source location and aborts.
+[[noreturn]] inline void fatalError(const char *File, int Line,
+                                    const char *Msg) {
+  std::fprintf(stderr, "%s:%d: fatal error: %s\n", File, Line, Msg);
+  std::abort();
+}
+
+} // namespace icb
+
+/// Marks a point in the code that must never be reached.
+#define ICB_UNREACHABLE(MSG) ::icb::fatalError(__FILE__, __LINE__, MSG)
+
+/// Like assert(), but always enabled: search invariants guard soundness of
+/// the checker itself, so we keep them in release builds too.
+#define ICB_ASSERT(COND, MSG)                                                  \
+  do {                                                                         \
+    if (!(COND))                                                               \
+      ::icb::fatalError(__FILE__, __LINE__, "assertion failed: " MSG);         \
+  } while (false)
+
+#endif // ICB_SUPPORT_DEBUG_H

@@ -1,0 +1,57 @@
+//===- support/Format.cpp - printf-style std::string formatting ----------===//
+//
+// Part of the ICB project (PLDI'07 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Format.h"
+#include "support/Debug.h"
+#include <cstdio>
+
+using namespace icb;
+
+std::string icb::strFormatV(const char *Fmt, va_list Args) {
+  va_list Copy;
+  va_copy(Copy, Args);
+  int Needed = std::vsnprintf(nullptr, 0, Fmt, Copy);
+  va_end(Copy);
+  ICB_ASSERT(Needed >= 0, "vsnprintf failed to measure format");
+  std::string Result(static_cast<size_t>(Needed), '\0');
+  std::vsnprintf(Result.data(), Result.size() + 1, Fmt, Args);
+  return Result;
+}
+
+std::string icb::strFormat(const char *Fmt, ...) {
+  va_list Args;
+  va_start(Args, Fmt);
+  std::string Result = strFormatV(Fmt, Args);
+  va_end(Args);
+  return Result;
+}
+
+std::string icb::padLeft(const std::string &Str, size_t Width) {
+  if (Str.size() >= Width)
+    return Str;
+  return std::string(Width - Str.size(), ' ') + Str;
+}
+
+std::string icb::padRight(const std::string &Str, size_t Width) {
+  if (Str.size() >= Width)
+    return Str;
+  return Str + std::string(Width - Str.size(), ' ');
+}
+
+std::string icb::withCommas(uint64_t Value) {
+  std::string Digits = std::to_string(Value);
+  std::string Result;
+  Result.reserve(Digits.size() + Digits.size() / 3);
+  size_t Lead = Digits.size() % 3;
+  if (Lead == 0)
+    Lead = 3;
+  for (size_t I = 0; I != Digits.size(); ++I) {
+    if (I != 0 && (I - Lead) % 3 == 0 && I >= Lead)
+      Result.push_back(',');
+    Result.push_back(Digits[I]);
+  }
+  return Result;
+}

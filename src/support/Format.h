@@ -1,0 +1,39 @@
+//===- support/Format.h - printf-style std::string formatting ---*- C++ -*-===//
+//
+// Part of the ICB project (PLDI'07 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Small formatting helpers for report and table output. Library code never
+/// writes to std::cout directly; harnesses format rows through these.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ICB_SUPPORT_FORMAT_H
+#define ICB_SUPPORT_FORMAT_H
+
+#include <cstdarg>
+#include <string>
+
+namespace icb {
+
+/// printf-style formatting into a std::string.
+std::string strFormat(const char *Fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// vprintf-style formatting into a std::string.
+std::string strFormatV(const char *Fmt, va_list Args);
+
+/// Left-pads \p Str with spaces to \p Width (no-op if already wider).
+std::string padLeft(const std::string &Str, size_t Width);
+
+/// Right-pads \p Str with spaces to \p Width (no-op if already wider).
+std::string padRight(const std::string &Str, size_t Width);
+
+/// Formats a count with thousands separators ("1234567" -> "1,234,567").
+std::string withCommas(uint64_t Value);
+
+} // namespace icb
+
+#endif // ICB_SUPPORT_FORMAT_H

@@ -1,0 +1,98 @@
+//===- support/Hashing.h - Stable hashing utilities -------------*- C++ -*-===//
+//
+// Part of the ICB project (PLDI'07 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Deterministic 64-bit hashing used for state caching (ZING-side) and
+/// happens-before execution fingerprints (CHESS-side). Hashes are stable
+/// across runs and platforms: state-space coverage numbers must reproduce
+/// bit-for-bit for the experiment harnesses.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ICB_SUPPORT_HASHING_H
+#define ICB_SUPPORT_HASHING_H
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace icb {
+
+/// Finalization mix from SplitMix64; a cheap, well-distributed bijection.
+constexpr uint64_t hashMix(uint64_t X) {
+  X ^= X >> 30;
+  X *= 0xbf58476d1ce4e5b9ULL;
+  X ^= X >> 27;
+  X *= 0x94d049bb133111ebULL;
+  X ^= X >> 31;
+  return X;
+}
+
+/// Combines an existing seed with a new value, order-sensitively.
+constexpr uint64_t hashCombine(uint64_t Seed, uint64_t Value) {
+  return hashMix(Seed ^ (Value + 0x9e3779b97f4a7c15ULL + (Seed << 6) +
+                         (Seed >> 2)));
+}
+
+/// FNV-1a over raw bytes; used for strings and byte-serialized states.
+constexpr uint64_t fnv1a(const char *Data, size_t Len,
+                         uint64_t Seed = 0xcbf29ce484222325ULL) {
+  uint64_t Hash = Seed;
+  for (size_t I = 0; I != Len; ++I) {
+    Hash ^= static_cast<unsigned char>(Data[I]);
+    Hash *= 0x100000001b3ULL;
+  }
+  return Hash;
+}
+
+constexpr uint64_t hashString(std::string_view Str) {
+  return fnv1a(Str.data(), Str.size());
+}
+
+/// Accumulates a sequence of 64-bit words into one stable digest.
+///
+/// Order-sensitive by default; use \c addUnordered for multiset semantics
+/// (the HB fingerprint hashes an unordered set of events, so equivalent
+/// executions that reorder independent steps produce identical digests).
+class StableHasher {
+public:
+  explicit StableHasher(uint64_t Seed = 0x9e3779b97f4a7c15ULL)
+      : Ordered(Seed) {}
+
+  void add(uint64_t Value) {
+    Ordered = hashCombine(Ordered, Value);
+    ++Count;
+  }
+
+  void addBytes(const void *Data, size_t Len) {
+    add(fnv1a(static_cast<const char *>(Data), Len));
+  }
+
+  /// Adds a value commutatively: the digest does not depend on the order in
+  /// which unordered values are added.
+  void addUnordered(uint64_t Value) {
+    Unordered += hashMix(Value);
+    UnorderedXor ^= hashMix(Value ^ 0x6a09e667f3bcc909ULL);
+    ++Count;
+  }
+
+  /// Final digest over everything added so far.
+  uint64_t digest() const {
+    uint64_t Result = hashCombine(Ordered, Unordered);
+    Result = hashCombine(Result, UnorderedXor);
+    return hashCombine(Result, Count);
+  }
+
+private:
+  uint64_t Ordered;
+  uint64_t Unordered = 0;
+  uint64_t UnorderedXor = 0;
+  uint64_t Count = 0;
+};
+
+} // namespace icb
+
+#endif // ICB_SUPPORT_HASHING_H

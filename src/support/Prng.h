@@ -1,0 +1,91 @@
+//===- support/Prng.h - Deterministic pseudo-random generators --*- C++ -*-===//
+//
+// Part of the ICB project (PLDI'07 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Seeded, reproducible PRNGs for the random-walk search strategy (Section
+/// 4.3 compares ICB against "random"). We avoid std::mt19937 so that the
+/// stream is fully specified by this repository and identical everywhere.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ICB_SUPPORT_PRNG_H
+#define ICB_SUPPORT_PRNG_H
+
+#include "support/Debug.h"
+#include <cstdint>
+#include <vector>
+
+namespace icb {
+
+/// SplitMix64: used to seed Xoshiro and for one-off hashing of seeds.
+class SplitMix64 {
+public:
+  explicit SplitMix64(uint64_t Seed) : State(Seed) {}
+
+  uint64_t next() {
+    State += 0x9e3779b97f4a7c15ULL;
+    uint64_t Z = State;
+    Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebULL;
+    return Z ^ (Z >> 31);
+  }
+
+private:
+  uint64_t State;
+};
+
+/// Xoshiro256**: fast, high-quality generator for search decisions.
+class Xoshiro256 {
+public:
+  explicit Xoshiro256(uint64_t Seed) {
+    SplitMix64 Seeder(Seed);
+    for (uint64_t &Word : State)
+      Word = Seeder.next();
+  }
+
+  uint64_t next() {
+    uint64_t Result = rotl(State[1] * 5, 7) * 9;
+    uint64_t T = State[1] << 17;
+    State[2] ^= State[0];
+    State[3] ^= State[1];
+    State[1] ^= State[2];
+    State[0] ^= State[3];
+    State[2] ^= T;
+    State[3] = rotl(State[3], 45);
+    return Result;
+  }
+
+  /// Uniform value in [0, Bound) without modulo bias (Lemire reduction).
+  uint64_t nextBounded(uint64_t Bound) {
+    ICB_ASSERT(Bound > 0, "nextBounded requires a positive bound");
+    // 128-bit multiply keeps the reduction unbiased enough for search use.
+    unsigned __int128 Product =
+        static_cast<unsigned __int128>(next()) * Bound;
+    return static_cast<uint64_t>(Product >> 64);
+  }
+
+  /// Picks a uniformly random element index of a non-empty container size.
+  size_t pickIndex(size_t Size) {
+    return static_cast<size_t>(nextBounded(Size));
+  }
+
+  /// Fisher-Yates shuffle; deterministic given the generator state.
+  template <typename T> void shuffle(std::vector<T> &Items) {
+    for (size_t I = Items.size(); I > 1; --I)
+      std::swap(Items[I - 1], Items[pickIndex(I)]);
+  }
+
+private:
+  static uint64_t rotl(uint64_t X, int K) {
+    return (X << K) | (X >> (64 - K));
+  }
+
+  uint64_t State[4];
+};
+
+} // namespace icb
+
+#endif // ICB_SUPPORT_PRNG_H

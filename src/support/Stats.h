@@ -1,0 +1,82 @@
+//===- support/Stats.h - Counters and histograms ----------------*- C++ -*-===//
+//
+// Part of the ICB project (PLDI'07 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Small statistic helpers shared by both checkers: min/max trackers for
+/// Table 1 (max K, max B, max c) and dense histograms for Table 2 (bugs per
+/// preemption bound).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ICB_SUPPORT_STATS_H
+#define ICB_SUPPORT_STATS_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace icb {
+
+/// Tracks the extremes and total of a stream of observations.
+class MinMax {
+public:
+  void observe(uint64_t Value) {
+    if (Count == 0 || Value < Min)
+      Min = Value;
+    if (Count == 0 || Value > Max)
+      Max = Value;
+    Sum += Value;
+    ++Count;
+  }
+
+  bool empty() const { return Count == 0; }
+  uint64_t min() const { return Count ? Min : 0; }
+  uint64_t max() const { return Count ? Max : 0; }
+  uint64_t sum() const { return Sum; }
+  uint64_t count() const { return Count; }
+  double mean() const {
+    return Count ? static_cast<double>(Sum) / static_cast<double>(Count) : 0.0;
+  }
+
+private:
+  uint64_t Min = 0;
+  uint64_t Max = 0;
+  uint64_t Sum = 0;
+  uint64_t Count = 0;
+};
+
+/// Dense histogram over small non-negative integer keys (e.g. preemption
+/// bounds); grows on demand.
+class Histogram {
+public:
+  void increment(size_t Bucket, uint64_t Amount = 1) {
+    if (Bucket >= Buckets.size())
+      Buckets.resize(Bucket + 1, 0);
+    Buckets[Bucket] += Amount;
+  }
+
+  uint64_t at(size_t Bucket) const {
+    return Bucket < Buckets.size() ? Buckets[Bucket] : 0;
+  }
+
+  size_t size() const { return Buckets.size(); }
+
+  uint64_t total() const {
+    uint64_t Sum = 0;
+    for (uint64_t Value : Buckets)
+      Sum += Value;
+    return Sum;
+  }
+
+  const std::vector<uint64_t> &buckets() const { return Buckets; }
+
+private:
+  std::vector<uint64_t> Buckets;
+};
+
+} // namespace icb
+
+#endif // ICB_SUPPORT_STATS_H

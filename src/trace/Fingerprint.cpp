@@ -1,0 +1,39 @@
+//===- trace/Fingerprint.cpp - Happens-before execution digests -----------===//
+//
+// Part of the ICB project (PLDI'07 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "trace/Fingerprint.h"
+
+using namespace icb;
+using namespace icb::trace;
+
+FingerprintBuilder::FingerprintBuilder(unsigned NumThreads) {
+  ThreadClocks.resize(NumThreads, VectorClock(NumThreads));
+}
+
+void FingerprintBuilder::addStep(unsigned Tid, uint64_t VarCode, bool IsSync,
+                                 uint16_t OpCode) {
+  ICB_ASSERT(Tid < ThreadClocks.size(), "thread id out of range");
+  VectorClock &Mine = ThreadClocks[Tid];
+  if (IsSync) {
+    auto It = SyncVarClocks.find(VarCode);
+    if (It != SyncVarClocks.end())
+      Mine.join(It->second);
+  }
+  Mine.tick(Tid);
+  if (IsSync)
+    SyncVarClocks[VarCode] = Mine;
+
+  // The event identity: who, what, where, and its causal past. Because the
+  // clock of an event is determined by the partial order alone (not the
+  // interleaving), the unordered combination is interleaving-invariant.
+  StableHasher Event;
+  Event.add(Tid);
+  Event.add(VarCode);
+  Event.add(OpCode);
+  Event.add(IsSync ? 1 : 0);
+  Event.add(Mine.hash());
+  Hasher.addUnordered(Event.digest());
+}

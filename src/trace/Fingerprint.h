@@ -1,0 +1,68 @@
+//===- trace/Fingerprint.h - Happens-before execution digests ---*- C++ -*-===//
+//
+// Part of the ICB project (PLDI'07 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Section 4.3: "we use the happens-before relation of an execution ... as
+/// a representation for the state at the end of the execution." This module
+/// computes a canonical 64-bit digest of an execution's happens-before
+/// partial order. Two executions that merely reorder independent steps
+/// (i.e. are equivalent in the sense of Section 3.1) receive the same
+/// digest, so counting distinct digests counts distinct "states" for the
+/// stateless checker's coverage experiments (Figures 5 and 6).
+///
+/// The digest is computed incrementally: each step is assigned the vector
+/// clock of its happens-before predecessors, and the digest is an
+/// order-insensitive combination of (thread, operation, variable, clock)
+/// event hashes. Per the paper's definition, two steps are dependent iff
+/// they are executed by the same thread or access the same synchronization
+/// variable.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ICB_TRACE_FINGERPRINT_H
+#define ICB_TRACE_FINGERPRINT_H
+
+#include "trace/VectorClock.h"
+#include <cstdint>
+#include <unordered_map>
+
+namespace icb::trace {
+
+/// Incrementally digests one execution's happens-before relation.
+class FingerprintBuilder {
+public:
+  explicit FingerprintBuilder(unsigned NumThreads);
+
+  /// Records the next step of the execution.
+  ///
+  /// \param Tid      executing thread.
+  /// \param VarCode  stable identity of the accessed shared object.
+  /// \param IsSync   true for synchronization variables: the step joins
+  ///                 with and updates the variable's clock, creating
+  ///                 cross-thread order. Data-variable steps order only
+  ///                 within their thread.
+  /// \param OpCode   small operation tag (read/write/acquire/...); part of
+  ///                 the event identity.
+  void addStep(unsigned Tid, uint64_t VarCode, bool IsSync, uint16_t OpCode);
+
+  /// Digest of everything added so far.
+  uint64_t digest() const { return Hasher.digest(); }
+
+  /// The current clock of a thread (exposed for the race detector tests).
+  const VectorClock &threadClock(unsigned Tid) const {
+    ICB_ASSERT(Tid < ThreadClocks.size(), "thread id out of range");
+    return ThreadClocks[Tid];
+  }
+
+private:
+  std::vector<VectorClock> ThreadClocks;
+  std::unordered_map<uint64_t, VectorClock> SyncVarClocks;
+  icb::StableHasher Hasher;
+};
+
+} // namespace icb::trace
+
+#endif // ICB_TRACE_FINGERPRINT_H

@@ -1,0 +1,70 @@
+//===- trace/Schedule.cpp - Recorded thread schedules ---------------------===//
+//
+// Part of the ICB project (PLDI'07 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "trace/Schedule.h"
+#include <cstdlib>
+#include <sstream>
+
+using namespace icb::trace;
+
+unsigned Schedule::preemptions() const {
+  unsigned Count = 0;
+  for (const ScheduleEntry &E : Entries)
+    Count += E.Preemption ? 1 : 0;
+  return Count;
+}
+
+unsigned Schedule::contextSwitches() const {
+  unsigned Count = 0;
+  for (const ScheduleEntry &E : Entries)
+    Count += E.ContextSwitch ? 1 : 0;
+  return Count;
+}
+
+void Schedule::truncate(size_t Len) {
+  if (Len < Entries.size())
+    Entries.resize(Len);
+}
+
+std::string Schedule::str() const {
+  std::string Text;
+  for (size_t I = 0; I != Entries.size(); ++I) {
+    if (I != 0)
+      Text += ' ';
+    Text += std::to_string(Entries[I].Tid);
+    if (Entries[I].Preemption)
+      Text += '*';
+    else if (Entries[I].ContextSwitch)
+      Text += '^';
+  }
+  return Text;
+}
+
+bool Schedule::parse(const std::string &Text, Schedule &Out) {
+  Out = Schedule();
+  std::istringstream In(Text);
+  std::string Token;
+  while (In >> Token) {
+    bool Preemption = false;
+    bool Switch = false;
+    if (!Token.empty() && Token.back() == '*') {
+      Preemption = true;
+      Switch = true;
+      Token.pop_back();
+    } else if (!Token.empty() && Token.back() == '^') {
+      Switch = true;
+      Token.pop_back();
+    }
+    if (Token.empty())
+      return false;
+    char *End = nullptr;
+    unsigned long Tid = std::strtoul(Token.c_str(), &End, 10);
+    if (End == Token.c_str() || *End != '\0')
+      return false;
+    Out.append(static_cast<uint32_t>(Tid), Preemption, Switch);
+  }
+  return true;
+}

@@ -1,0 +1,86 @@
+//===- trace/Schedule.h - Recorded thread schedules -------------*- C++ -*-===//
+//
+// Part of the ICB project (PLDI'07 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A `Schedule` records the scheduler's choices along one execution: the
+/// thread picked at each scheduling point, annotated with whether the
+/// switch was preempting (Appendix A's NP definition). Schedules are the
+/// replay currency of the stateless checker — a work item of the stateless
+/// ICB algorithm is a schedule prefix — and the payload of every bug
+/// report.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ICB_TRACE_SCHEDULE_H
+#define ICB_TRACE_SCHEDULE_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace icb::trace {
+
+/// One scheduling decision.
+struct ScheduleEntry {
+  uint32_t Tid = 0;
+  /// True if this choice preempted an enabled running thread.
+  bool Preemption = false;
+  /// True if this choice switched threads at all (context switch, whether
+  /// preempting or nonpreempting).
+  bool ContextSwitch = false;
+};
+
+/// A sequence of scheduling decisions from the initial state.
+class Schedule {
+public:
+  Schedule() = default;
+
+  void append(uint32_t Tid, bool Preemption, bool ContextSwitch) {
+    Entries.push_back({Tid, Preemption, ContextSwitch});
+  }
+
+  size_t length() const { return Entries.size(); }
+  bool empty() const { return Entries.empty(); }
+  const ScheduleEntry &entry(size_t I) const { return Entries[I]; }
+  const std::vector<ScheduleEntry> &entries() const { return Entries; }
+
+  /// Number of preempting context switches (the paper's NP).
+  unsigned preemptions() const;
+
+  /// Number of context switches of either kind.
+  unsigned contextSwitches() const;
+
+  /// Truncates to the first \p Len entries.
+  void truncate(size_t Len);
+
+  /// Compact text form, e.g. "0 0 1* 1 0^ ..." where '*' marks a
+  /// preemption and '^' a nonpreempting switch.
+  std::string str() const;
+
+  /// Parses the output of str(); returns false on malformed input.
+  static bool parse(const std::string &Text, Schedule &Out);
+
+  friend bool operator==(const Schedule &L, const Schedule &R) {
+    return L.Entries.size() == R.Entries.size() &&
+           [&] {
+             for (size_t I = 0; I != L.Entries.size(); ++I) {
+               const ScheduleEntry &A = L.Entries[I];
+               const ScheduleEntry &B = R.Entries[I];
+               if (A.Tid != B.Tid || A.Preemption != B.Preemption ||
+                   A.ContextSwitch != B.ContextSwitch)
+                 return false;
+             }
+             return true;
+           }();
+  }
+
+private:
+  std::vector<ScheduleEntry> Entries;
+};
+
+} // namespace icb::trace
+
+#endif // ICB_TRACE_SCHEDULE_H

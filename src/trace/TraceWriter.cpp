@@ -1,0 +1,38 @@
+//===- trace/TraceWriter.cpp - Counterexample pretty-printing -------------===//
+//
+// Part of the ICB project (PLDI'07 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "trace/TraceWriter.h"
+#include "support/Format.h"
+
+using namespace icb;
+using namespace icb::trace;
+
+std::string TraceWriter::render(const std::string &Title,
+                                const std::vector<TraceStep> &Steps) {
+  unsigned Preemptions = 0;
+  unsigned Switches = 0;
+  for (const TraceStep &Step : Steps) {
+    Preemptions += Step.Preemption ? 1 : 0;
+    Switches += Step.ContextSwitch ? 1 : 0;
+  }
+  std::string Text = strFormat(
+      "%s\n  %zu steps, %u context switches (%u preempting, %u "
+      "nonpreempting)\n",
+      Title.c_str(), Steps.size(), Switches, Preemptions,
+      Switches - Preemptions);
+  for (size_t I = 0; I != Steps.size(); ++I) {
+    const TraceStep &Step = Steps[I];
+    const char *Marker = "   ";
+    if (Step.Preemption)
+      Marker = ">>>"; // Preempting context switch: the interesting ones.
+    else if (Step.ContextSwitch)
+      Marker = " ->"; // Nonpreempting switch (yield/block/termination).
+    Text += strFormat("  %s [%4zu] %-12s %s%s\n", Marker, I,
+                      Step.ThreadName.c_str(), Step.Description.c_str(),
+                      Step.Blocking ? "  (blocking)" : "");
+  }
+  return Text;
+}

@@ -1,0 +1,47 @@
+//===- trace/TraceWriter.h - Counterexample pretty-printing -----*- C++ -*-===//
+//
+// Part of the ICB project (PLDI'07 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Renders bug traces the way the paper discusses them: each scheduling
+/// decision on its own line, context switches called out, preemptions
+/// highlighted (the Dryad discussion in Section 4.2 counts "1 preempting
+/// and 6 nonpreempting context switches" — the output makes that count
+/// visible at a glance).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ICB_TRACE_TRACEWRITER_H
+#define ICB_TRACE_TRACEWRITER_H
+
+#include "trace/Schedule.h"
+#include <string>
+#include <vector>
+
+namespace icb::trace {
+
+/// One rendered step of a trace: the backend (VM or runtime) supplies the
+/// description text, the writer supplies layout.
+struct TraceStep {
+  uint32_t Tid = 0;
+  std::string ThreadName;
+  std::string Description; ///< e.g. "lock queueLock" or "storeg pendingIo".
+  bool Preemption = false;
+  bool ContextSwitch = false;
+  bool Blocking = false;
+};
+
+/// Formats a full counterexample trace.
+class TraceWriter {
+public:
+  /// \param Title    headline ("assertion failed: ...").
+  /// \param Steps    per-step records in execution order.
+  static std::string render(const std::string &Title,
+                            const std::vector<TraceStep> &Steps);
+};
+
+} // namespace icb::trace
+
+#endif // ICB_TRACE_TRACEWRITER_H

@@ -1,0 +1,20 @@
+//===- trace/VectorClock.cpp - Vector clocks for happens-before -----------===//
+//
+// Part of the ICB project (PLDI'07 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "trace/VectorClock.h"
+
+using namespace icb::trace;
+
+std::string VectorClock::str() const {
+  std::string Text = "<";
+  for (size_t I = 0; I != Clock.size(); ++I) {
+    if (I != 0)
+      Text += ",";
+    Text += std::to_string(Clock[I]);
+  }
+  Text += ">";
+  return Text;
+}

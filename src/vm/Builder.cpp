@@ -1,0 +1,284 @@
+//===- vm/Builder.cpp - Fluent construction of model programs -------------===//
+//
+// Part of the ICB project (PLDI'07 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "vm/Builder.h"
+#include "support/Debug.h"
+#include "support/Format.h"
+
+using namespace icb;
+using namespace icb::vm;
+
+//===----------------------------------------------------------------------===//
+// ThreadBuilder
+//===----------------------------------------------------------------------===//
+
+void ThreadBuilder::emit(Instruction I) {
+  ICB_ASSERT(!Parent.Built, "emitting into an already-built program");
+  Code.push_back(I);
+}
+
+Label ThreadBuilder::newLabel() {
+  Label L{static_cast<uint32_t>(LabelTargets.size())};
+  LabelTargets.push_back(-1);
+  return L;
+}
+
+void ThreadBuilder::bind(Label L) {
+  ICB_ASSERT(L.Id < LabelTargets.size(), "bind of undeclared label");
+  ICB_ASSERT(LabelTargets[L.Id] == -1, "label bound twice");
+  LabelTargets[L.Id] = static_cast<int32_t>(Code.size());
+}
+
+void ThreadBuilder::nop() { emit({Op::Nop, 0, 0, 0, 0, 0}); }
+
+void ThreadBuilder::imm(Reg Dst, int64_t Value) {
+  emit({Op::Imm, Dst.Id, 0, 0, Value, 0});
+}
+
+void ThreadBuilder::mov(Reg Dst, Reg Src) {
+  emit({Op::Mov, Dst.Id, Src.Id, 0, 0, 0});
+}
+
+void ThreadBuilder::add(Reg Dst, Reg L, Reg R) {
+  emit({Op::Add, Dst.Id, L.Id, R.Id, 0, 0});
+}
+
+void ThreadBuilder::sub(Reg Dst, Reg L, Reg R) {
+  emit({Op::Sub, Dst.Id, L.Id, R.Id, 0, 0});
+}
+
+void ThreadBuilder::mul(Reg Dst, Reg L, Reg R) {
+  emit({Op::Mul, Dst.Id, L.Id, R.Id, 0, 0});
+}
+
+void ThreadBuilder::mod(Reg Dst, Reg L, Reg R) {
+  emit({Op::Mod, Dst.Id, L.Id, R.Id, 0, 0});
+}
+
+void ThreadBuilder::eq(Reg Dst, Reg L, Reg R) {
+  emit({Op::Eq, Dst.Id, L.Id, R.Id, 0, 0});
+}
+
+void ThreadBuilder::ne(Reg Dst, Reg L, Reg R) {
+  emit({Op::Ne, Dst.Id, L.Id, R.Id, 0, 0});
+}
+
+void ThreadBuilder::lt(Reg Dst, Reg L, Reg R) {
+  emit({Op::Lt, Dst.Id, L.Id, R.Id, 0, 0});
+}
+
+void ThreadBuilder::le(Reg Dst, Reg L, Reg R) {
+  emit({Op::Le, Dst.Id, L.Id, R.Id, 0, 0});
+}
+
+void ThreadBuilder::bitAnd(Reg Dst, Reg L, Reg R) {
+  emit({Op::And, Dst.Id, L.Id, R.Id, 0, 0});
+}
+
+void ThreadBuilder::bitOr(Reg Dst, Reg L, Reg R) {
+  emit({Op::Or, Dst.Id, L.Id, R.Id, 0, 0});
+}
+
+void ThreadBuilder::logicalNot(Reg Dst, Reg Src) {
+  emit({Op::Not, Dst.Id, Src.Id, 0, 0, 0});
+}
+
+void ThreadBuilder::jmp(Label Target) {
+  ICB_ASSERT(Target.Id < LabelTargets.size(), "jump to undeclared label");
+  Fixups.push_back({Code.size(), /*InOperandB=*/false, Target.Id});
+  emit({Op::Jmp, -1, 0, 0, 0, 0});
+}
+
+void ThreadBuilder::emitBranch(Op Opcode, Reg Cond, Label Target) {
+  ICB_ASSERT(Target.Id < LabelTargets.size(), "branch to undeclared label");
+  Fixups.push_back({Code.size(), /*InOperandB=*/true, Target.Id});
+  emit({Opcode, Cond.Id, -1, 0, 0, 0});
+}
+
+void ThreadBuilder::bz(Reg Cond, Label Target) {
+  emitBranch(Op::Bz, Cond, Target);
+}
+
+void ThreadBuilder::bnz(Reg Cond, Label Target) {
+  emitBranch(Op::Bnz, Cond, Target);
+}
+
+void ThreadBuilder::assertTrue(Reg Cond, const std::string &Message) {
+  uint32_t MsgId = Parent.internMessage(Message);
+  emit({Op::Assert, Cond.Id, 0, 0, 0, MsgId});
+}
+
+void ThreadBuilder::halt() { emit({Op::Halt, 0, 0, 0, 0, 0}); }
+
+void ThreadBuilder::loadG(Reg Dst, GlobalVar G) {
+  ICB_ASSERT(G.Id >= 0, "use of undeclared global");
+  emit({Op::LoadG, Dst.Id, G.Id, 0, 0, 0});
+}
+
+void ThreadBuilder::storeG(GlobalVar G, Reg Src) {
+  ICB_ASSERT(G.Id >= 0, "use of undeclared global");
+  emit({Op::StoreG, G.Id, Src.Id, 0, 0, 0});
+}
+
+void ThreadBuilder::addG(Reg Dst, GlobalVar G, Reg Delta) {
+  ICB_ASSERT(G.Id >= 0, "use of undeclared global");
+  emit({Op::AddG, Dst.Id, G.Id, Delta.Id, 0, 0});
+}
+
+void ThreadBuilder::casG(Reg Ok, GlobalVar G, Reg Expected, Reg Replacement) {
+  ICB_ASSERT(G.Id >= 0, "use of undeclared global");
+  emit({Op::CasG, Ok.Id, G.Id, Expected.Id, Replacement.Id, 0});
+}
+
+void ThreadBuilder::xchgG(Reg Old, GlobalVar G, Reg NewValue) {
+  ICB_ASSERT(G.Id >= 0, "use of undeclared global");
+  emit({Op::XchgG, Old.Id, G.Id, NewValue.Id, 0, 0});
+}
+
+void ThreadBuilder::lock(LockVar M) {
+  ICB_ASSERT(M.Id >= 0, "use of undeclared lock");
+  emit({Op::Lock, M.Id, 0, 0, 0, 0});
+}
+
+void ThreadBuilder::unlock(LockVar M) {
+  ICB_ASSERT(M.Id >= 0, "use of undeclared lock");
+  emit({Op::Unlock, M.Id, 0, 0, 0, 0});
+}
+
+void ThreadBuilder::setE(EventVar E) {
+  ICB_ASSERT(E.Id >= 0, "use of undeclared event");
+  emit({Op::SetE, E.Id, 0, 0, 0, 0});
+}
+
+void ThreadBuilder::resetE(EventVar E) {
+  ICB_ASSERT(E.Id >= 0, "use of undeclared event");
+  emit({Op::ResetE, E.Id, 0, 0, 0, 0});
+}
+
+void ThreadBuilder::waitE(EventVar E) {
+  ICB_ASSERT(E.Id >= 0, "use of undeclared event");
+  emit({Op::WaitE, E.Id, 0, 0, 0, 0});
+}
+
+void ThreadBuilder::semP(SemVar S) {
+  ICB_ASSERT(S.Id >= 0, "use of undeclared semaphore");
+  emit({Op::SemP, S.Id, 0, 0, 0, 0});
+}
+
+void ThreadBuilder::semV(SemVar S) {
+  ICB_ASSERT(S.Id >= 0, "use of undeclared semaphore");
+  emit({Op::SemV, S.Id, 0, 0, 0, 0});
+}
+
+void ThreadBuilder::join(ThreadRef T) {
+  ICB_ASSERT(T.Id >= 0, "join of undeclared thread");
+  emit({Op::Join, T.Id, 0, 0, 0, 0});
+}
+
+void ThreadBuilder::storeImm(GlobalVar G, int64_t Value, Reg Scratch) {
+  imm(Scratch, Value);
+  storeG(G, Scratch);
+}
+
+void ThreadBuilder::incrNonAtomic(GlobalVar G, Reg Scratch, int64_t Delta) {
+  // Two shared accesses with a local add in between: the classic racy
+  // read-modify-write a preemption can split.
+  loadG(Scratch, G);
+  Reg DeltaReg{static_cast<uint8_t>(NumRegisters - 1)};
+  imm(DeltaReg, Delta);
+  add(Scratch, Scratch, DeltaReg);
+  storeG(G, Scratch);
+}
+
+void ThreadBuilder::assertGlobalEq(GlobalVar G, int64_t Value, Reg Scratch,
+                                   Reg Scratch2, const std::string &Message) {
+  loadG(Scratch, G);
+  imm(Scratch2, Value);
+  eq(Scratch, Scratch, Scratch2);
+  assertTrue(Scratch, Message);
+}
+
+std::vector<Instruction> ThreadBuilder::finish(const std::string &ThreadName) {
+  for (const Fixup &F : Fixups) {
+    int32_t Target = LabelTargets[F.LabelId];
+    if (Target < 0)
+      fatalError(__FILE__, __LINE__,
+                 strFormat("thread '%s': unbound label %u",
+                           ThreadName.c_str(), F.LabelId)
+                     .c_str());
+    // A label bound at the very end of the code is a jump past the last
+    // instruction; require models to place a Halt there instead.
+    ICB_ASSERT(Target <= static_cast<int32_t>(Code.size()),
+               "label target out of range");
+    if (F.InOperandB)
+      Code[F.InstrIndex].B = Target;
+    else
+      Code[F.InstrIndex].A = Target;
+  }
+  return std::move(Code);
+}
+
+//===----------------------------------------------------------------------===//
+// ProgramBuilder
+//===----------------------------------------------------------------------===//
+
+ProgramBuilder::ProgramBuilder(std::string Name) {
+  Prog.Name = std::move(Name);
+}
+
+ProgramBuilder::~ProgramBuilder() = default;
+
+GlobalVar ProgramBuilder::addGlobal(const std::string &Name,
+                                    int64_t InitialValue) {
+  Prog.Globals.push_back({Name, InitialValue});
+  return {static_cast<int32_t>(Prog.Globals.size() - 1)};
+}
+
+LockVar ProgramBuilder::addLock(const std::string &Name) {
+  Prog.Locks.push_back(Name);
+  return {static_cast<int32_t>(Prog.Locks.size() - 1)};
+}
+
+EventVar ProgramBuilder::addEvent(const std::string &Name, bool ManualReset,
+                                  bool InitiallySet) {
+  Prog.Events.push_back({Name, ManualReset, InitiallySet});
+  return {static_cast<int32_t>(Prog.Events.size() - 1)};
+}
+
+SemVar ProgramBuilder::addSemaphore(const std::string &Name,
+                                    int32_t InitialCount) {
+  Prog.Semaphores.push_back({Name, InitialCount});
+  return {static_cast<int32_t>(Prog.Semaphores.size() - 1)};
+}
+
+ThreadBuilder &ProgramBuilder::addThread(const std::string &Name) {
+  ICB_ASSERT(!Built, "addThread after build");
+  Prog.Threads.push_back({Name, {}});
+  Builders.emplace_back(new ThreadBuilder(*this, Builders.size()));
+  return *Builders.back();
+}
+
+uint32_t ProgramBuilder::internMessage(const std::string &Message) {
+  for (size_t I = 0; I != Prog.Messages.size(); ++I)
+    if (Prog.Messages[I] == Message)
+      return static_cast<uint32_t>(I);
+  Prog.Messages.push_back(Message);
+  return static_cast<uint32_t>(Prog.Messages.size() - 1);
+}
+
+Program ProgramBuilder::build() {
+  ICB_ASSERT(!Built, "build called twice");
+  Built = true;
+  for (size_t I = 0; I != Builders.size(); ++I)
+    Prog.Threads[I].Code = Builders[I]->finish(Prog.Threads[I].Name);
+  std::string Error = Prog.validate();
+  if (!Error.empty())
+    fatalError(__FILE__, __LINE__,
+               strFormat("invalid program '%s': %s", Prog.Name.c_str(),
+                         Error.c_str())
+                   .c_str());
+  return std::move(Prog);
+}

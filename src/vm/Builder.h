@@ -1,0 +1,172 @@
+//===- vm/Builder.h - Fluent construction of model programs -----*- C++ -*-===//
+//
+// Part of the ICB project (PLDI'07 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// `ProgramBuilder` and `ThreadBuilder` form the DSL the model benchmarks
+/// (Bluetooth, file system, transaction manager, ...) are written in. The
+/// builder owns name->index mapping, label fixups, and message interning;
+/// `build()` validates the result and aborts on a malformed program, so a
+/// successfully built Program is always safe to interpret.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ICB_VM_BUILDER_H
+#define ICB_VM_BUILDER_H
+
+#include "vm/Program.h"
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace icb::vm {
+
+/// Typed handle for a general-purpose register (0..NumRegisters-1).
+struct Reg {
+  uint8_t Id = 0;
+};
+
+/// Typed handles for shared objects; returned by ProgramBuilder::add*.
+struct GlobalVar {
+  int32_t Id = -1;
+};
+struct LockVar {
+  int32_t Id = -1;
+};
+struct EventVar {
+  int32_t Id = -1;
+};
+struct SemVar {
+  int32_t Id = -1;
+};
+
+/// Typed handle for a declared thread (Join target).
+struct ThreadRef {
+  int32_t Id = -1;
+};
+
+/// Forward-referencable code location within one thread.
+struct Label {
+  uint32_t Id = ~0u;
+};
+
+class ProgramBuilder;
+
+/// Emits instructions for one model thread.
+class ThreadBuilder {
+public:
+  ThreadRef ref() const { return {static_cast<int32_t>(Index)}; }
+
+  // --- Labels -------------------------------------------------------------
+  Label newLabel();
+  void bind(Label L);
+
+  // --- Thread-local instructions ------------------------------------------
+  void nop();
+  void imm(Reg Dst, int64_t Value);
+  void mov(Reg Dst, Reg Src);
+  void add(Reg Dst, Reg L, Reg R);
+  void sub(Reg Dst, Reg L, Reg R);
+  void mul(Reg Dst, Reg L, Reg R);
+  void mod(Reg Dst, Reg L, Reg R);
+  void eq(Reg Dst, Reg L, Reg R);
+  void ne(Reg Dst, Reg L, Reg R);
+  void lt(Reg Dst, Reg L, Reg R);
+  void le(Reg Dst, Reg L, Reg R);
+  void bitAnd(Reg Dst, Reg L, Reg R);
+  void bitOr(Reg Dst, Reg L, Reg R);
+  void logicalNot(Reg Dst, Reg Src);
+  void jmp(Label Target);
+  void bz(Reg Cond, Label Target);
+  void bnz(Reg Cond, Label Target);
+  void assertTrue(Reg Cond, const std::string &Message);
+  void halt();
+
+  // --- Shared accesses ------------------------------------------------------
+  void loadG(Reg Dst, GlobalVar G);
+  void storeG(GlobalVar G, Reg Src);
+  /// Atomic fetch-add; Dst receives the post-add value.
+  void addG(Reg Dst, GlobalVar G, Reg Delta);
+  /// Atomic compare-and-swap; Ok receives 1 on success.
+  void casG(Reg Ok, GlobalVar G, Reg Expected, Reg Replacement);
+  /// Atomic exchange; Old receives the previous value.
+  void xchgG(Reg Old, GlobalVar G, Reg NewValue);
+  void lock(LockVar M);
+  void unlock(LockVar M);
+  void setE(EventVar E);
+  void resetE(EventVar E);
+  void waitE(EventVar E);
+  void semP(SemVar S);
+  void semV(SemVar S);
+  void join(ThreadRef T);
+
+  // --- Conveniences ---------------------------------------------------------
+  /// Globals[G] = Value, via a scratch register (one shared access).
+  void storeImm(GlobalVar G, int64_t Value, Reg Scratch);
+  /// Non-atomic increment: load, local add, store (two shared accesses, so
+  /// a preemption can land between them — deliberately racy).
+  void incrNonAtomic(GlobalVar G, Reg Scratch, int64_t Delta = 1);
+  /// Asserts Globals[G] == Value (one shared access plus a local check).
+  void assertGlobalEq(GlobalVar G, int64_t Value, Reg Scratch, Reg Scratch2,
+                      const std::string &Message);
+
+  /// Current instruction count (useful when composing code fragments).
+  size_t codeSize() const { return Code.size(); }
+
+private:
+  friend class ProgramBuilder;
+  ThreadBuilder(ProgramBuilder &Parent, size_t Index)
+      : Parent(Parent), Index(Index) {}
+
+  void emit(Instruction I);
+  void emitBranch(Op Opcode, Reg Cond, Label Target);
+  /// Resolves label fixups and returns the finished code.
+  std::vector<Instruction> finish(const std::string &ThreadName);
+
+  ProgramBuilder &Parent;
+  size_t Index;
+  std::vector<Instruction> Code;
+  std::vector<int32_t> LabelTargets; ///< -1 while unbound.
+  struct Fixup {
+    size_t InstrIndex;
+    bool InOperandB; ///< Branch target lives in B (Bz/Bnz) or A (Jmp).
+    uint32_t LabelId;
+  };
+  std::vector<Fixup> Fixups;
+};
+
+/// Builds a complete Program.
+class ProgramBuilder {
+public:
+  explicit ProgramBuilder(std::string Name);
+  ~ProgramBuilder();
+
+  ProgramBuilder(const ProgramBuilder &) = delete;
+  ProgramBuilder &operator=(const ProgramBuilder &) = delete;
+
+  GlobalVar addGlobal(const std::string &Name, int64_t InitialValue = 0);
+  LockVar addLock(const std::string &Name);
+  EventVar addEvent(const std::string &Name, bool ManualReset = false,
+                    bool InitiallySet = false);
+  SemVar addSemaphore(const std::string &Name, int32_t InitialCount);
+
+  /// Declares a new thread; the returned builder stays valid until build().
+  ThreadBuilder &addThread(const std::string &Name);
+
+  /// Finalizes: resolves labels, validates, aborts on malformed programs.
+  Program build();
+
+private:
+  friend class ThreadBuilder;
+  uint32_t internMessage(const std::string &Message);
+
+  Program Prog;
+  std::vector<std::unique_ptr<ThreadBuilder>> Builders;
+  bool Built = false;
+};
+
+} // namespace icb::vm
+
+#endif // ICB_VM_BUILDER_H

@@ -1,0 +1,110 @@
+//===- vm/Disassembler.cpp - Human-readable program dumps -----------------===//
+//
+// Part of the ICB project (PLDI'07 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "vm/Disassembler.h"
+#include "support/Debug.h"
+#include "support/Format.h"
+
+using namespace icb;
+using namespace icb::vm;
+
+std::string icb::vm::disassembleInstr(const Program &Prog,
+                                      const Instruction &I) {
+  auto R = [](int32_t Reg) { return strFormat("r%d", Reg); };
+  auto G = [&](int32_t Idx) { return Prog.Globals[Idx].Name; };
+  switch (I.Opcode) {
+  case Op::Nop:
+    return "nop";
+  case Op::Imm:
+    return strFormat("imm %s, %lld", R(I.A).c_str(),
+                     static_cast<long long>(I.Imm));
+  case Op::Mov:
+    return strFormat("mov %s, %s", R(I.A).c_str(), R(I.B).c_str());
+  case Op::Add:
+  case Op::Sub:
+  case Op::Mul:
+  case Op::Mod:
+  case Op::Eq:
+  case Op::Ne:
+  case Op::Lt:
+  case Op::Le:
+  case Op::And:
+  case Op::Or:
+    return strFormat("%s %s, %s, %s", opName(I.Opcode), R(I.A).c_str(),
+                     R(I.B).c_str(), R(I.C).c_str());
+  case Op::Not:
+    return strFormat("not %s, %s", R(I.A).c_str(), R(I.B).c_str());
+  case Op::Jmp:
+    return strFormat("jmp @%d", I.A);
+  case Op::Bz:
+  case Op::Bnz:
+    return strFormat("%s %s, @%d", opName(I.Opcode), R(I.A).c_str(), I.B);
+  case Op::Assert:
+    return strFormat("assert %s, \"%s\"", R(I.A).c_str(),
+                     Prog.Messages[I.MsgId].c_str());
+  case Op::Halt:
+    return "halt";
+  case Op::LoadG:
+    return strFormat("loadg %s, %s", R(I.A).c_str(), G(I.B).c_str());
+  case Op::StoreG:
+    return strFormat("storeg %s, %s", G(I.A).c_str(), R(I.B).c_str());
+  case Op::AddG:
+    return strFormat("addg %s, %s, %s", R(I.A).c_str(), G(I.B).c_str(),
+                     R(I.C).c_str());
+  case Op::CasG:
+    return strFormat("casg %s, %s, %s, %s", R(I.A).c_str(), G(I.B).c_str(),
+                     R(I.C).c_str(), R(static_cast<int32_t>(I.Imm)).c_str());
+  case Op::XchgG:
+    return strFormat("xchgg %s, %s, %s", R(I.A).c_str(), G(I.B).c_str(),
+                     R(I.C).c_str());
+  case Op::Lock:
+  case Op::Unlock:
+    return strFormat("%s %s", opName(I.Opcode), Prog.Locks[I.A].c_str());
+  case Op::SetE:
+  case Op::ResetE:
+  case Op::WaitE:
+    return strFormat("%s %s", opName(I.Opcode),
+                     Prog.Events[I.A].Name.c_str());
+  case Op::SemV:
+  case Op::SemP:
+    return strFormat("%s %s", opName(I.Opcode),
+                     Prog.Semaphores[I.A].Name.c_str());
+  case Op::Join:
+    return strFormat("join %s", Prog.Threads[I.A].Name.c_str());
+  }
+  ICB_UNREACHABLE("unknown opcode");
+}
+
+std::string icb::vm::disassembleThread(const Program &Prog,
+                                       unsigned ThreadIndex) {
+  ICB_ASSERT(ThreadIndex < Prog.Threads.size(), "thread index out of range");
+  const ThreadCode &Thread = Prog.Threads[ThreadIndex];
+  std::string Text = strFormat("thread %u '%s':\n", ThreadIndex,
+                               Thread.Name.c_str());
+  for (size_t Pc = 0; Pc != Thread.Code.size(); ++Pc)
+    Text += strFormat("  %4zu: %s\n", Pc,
+                      disassembleInstr(Prog, Thread.Code[Pc]).c_str());
+  return Text;
+}
+
+std::string icb::vm::disassembleProgram(const Program &Prog) {
+  std::string Text = strFormat("program '%s'\n", Prog.Name.c_str());
+  for (const GlobalDecl &G : Prog.Globals)
+    Text += strFormat("  global %s = %lld\n", G.Name.c_str(),
+                      static_cast<long long>(G.InitialValue));
+  for (const std::string &L : Prog.Locks)
+    Text += strFormat("  lock %s\n", L.c_str());
+  for (const EventDecl &E : Prog.Events)
+    Text += strFormat("  event %s%s%s\n", E.Name.c_str(),
+                      E.ManualReset ? " manual-reset" : " auto-reset",
+                      E.InitiallySet ? " (initially set)" : "");
+  for (const SemaphoreDecl &S : Prog.Semaphores)
+    Text += strFormat("  semaphore %s = %d\n", S.Name.c_str(),
+                      S.InitialCount);
+  for (unsigned T = 0; T != Prog.Threads.size(); ++T)
+    Text += disassembleThread(Prog, T);
+  return Text;
+}

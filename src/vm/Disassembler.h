@@ -1,0 +1,32 @@
+//===- vm/Disassembler.h - Human-readable program dumps ---------*- C++ -*-===//
+//
+// Part of the ICB project (PLDI'07 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Renders model programs and instructions with symbolic names; used by
+/// trace pretty-printing and the model_explore example.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ICB_VM_DISASSEMBLER_H
+#define ICB_VM_DISASSEMBLER_H
+
+#include "vm/Program.h"
+#include <string>
+
+namespace icb::vm {
+
+/// Formats one instruction of \p Prog with symbolic operand names.
+std::string disassembleInstr(const Program &Prog, const Instruction &I);
+
+/// Formats one whole thread: "pc: instr" lines.
+std::string disassembleThread(const Program &Prog, unsigned ThreadIndex);
+
+/// Formats the whole program: declarations followed by each thread.
+std::string disassembleProgram(const Program &Prog);
+
+} // namespace icb::vm
+
+#endif // ICB_VM_DISASSEMBLER_H

@@ -1,0 +1,58 @@
+//===- vm/Ids.h - Identifier types for the model VM -------------*- C++ -*-===//
+//
+// Part of the ICB project (PLDI'07 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Identifier types shared across the ZING-style model VM: thread ids,
+/// shared-variable references, and register indices.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ICB_VM_IDS_H
+#define ICB_VM_IDS_H
+
+#include <cstdint>
+
+namespace icb::vm {
+
+/// Threads are dense indices into Program::Threads.
+using ThreadId = uint32_t;
+
+/// Sentinel for "no thread" (e.g. the last-scheduled thread before the
+/// first step of an execution, or a free lock's owner).
+inline constexpr ThreadId InvalidThread = ~0u;
+
+/// Number of general-purpose registers per thread.
+inline constexpr unsigned NumRegisters = 16;
+
+/// The classes of shared objects a step can touch. `ThreadEnd` models the
+/// per-thread termination event of Appendix A (joins synchronize on it).
+enum class VarKind : uint8_t {
+  None,      ///< The step touched no shared object (should not happen).
+  Global,    ///< A shared global data slot.
+  Lock,      ///< A mutual-exclusion lock.
+  Event,     ///< An auto- or manual-reset event.
+  Semaphore, ///< A counting semaphore.
+  ThreadEnd, ///< The implicit termination event of a thread (Join target).
+};
+
+/// Identifies the single shared object accessed by a step.
+struct VarRef {
+  VarKind Kind = VarKind::None;
+  uint32_t Index = 0;
+
+  friend bool operator==(const VarRef &L, const VarRef &R) {
+    return L.Kind == R.Kind && L.Index == R.Index;
+  }
+
+  /// Stable encoding for hashing and trace records.
+  uint64_t encode() const {
+    return (static_cast<uint64_t>(Kind) << 32) | Index;
+  }
+};
+
+} // namespace icb::vm
+
+#endif // ICB_VM_IDS_H

@@ -1,0 +1,80 @@
+//===- vm/Instruction.cpp - Model VM instruction set ----------------------===//
+//
+// Part of the ICB project (PLDI'07 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "vm/Instruction.h"
+#include "support/Debug.h"
+
+using namespace icb::vm;
+
+const char *icb::vm::opName(Op Opcode) {
+  switch (Opcode) {
+  case Op::Nop:
+    return "nop";
+  case Op::Imm:
+    return "imm";
+  case Op::Mov:
+    return "mov";
+  case Op::Add:
+    return "add";
+  case Op::Sub:
+    return "sub";
+  case Op::Mul:
+    return "mul";
+  case Op::Mod:
+    return "mod";
+  case Op::Eq:
+    return "eq";
+  case Op::Ne:
+    return "ne";
+  case Op::Lt:
+    return "lt";
+  case Op::Le:
+    return "le";
+  case Op::And:
+    return "and";
+  case Op::Or:
+    return "or";
+  case Op::Not:
+    return "not";
+  case Op::Jmp:
+    return "jmp";
+  case Op::Bz:
+    return "bz";
+  case Op::Bnz:
+    return "bnz";
+  case Op::Assert:
+    return "assert";
+  case Op::Halt:
+    return "halt";
+  case Op::LoadG:
+    return "loadg";
+  case Op::StoreG:
+    return "storeg";
+  case Op::AddG:
+    return "addg";
+  case Op::CasG:
+    return "casg";
+  case Op::XchgG:
+    return "xchgg";
+  case Op::Unlock:
+    return "unlock";
+  case Op::SetE:
+    return "sete";
+  case Op::ResetE:
+    return "resete";
+  case Op::SemV:
+    return "semv";
+  case Op::Lock:
+    return "lock";
+  case Op::WaitE:
+    return "waite";
+  case Op::SemP:
+    return "semp";
+  case Op::Join:
+    return "join";
+  }
+  ICB_UNREACHABLE("unknown opcode");
+}

@@ -1,0 +1,98 @@
+//===- vm/Instruction.h - Model VM instruction set ---------------*- C++ -*-===//
+//
+// Part of the ICB project (PLDI'07 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The instruction set of the ZING-style model VM. Instructions divide into
+/// thread-local operations (register arithmetic, branches, asserts) and
+/// shared-access operations, each of which touches exactly one shared
+/// object. A *step* of the transition system executes one shared-access
+/// instruction plus any adjacent local instructions, matching the paper's
+/// "each step involving exactly one access to a shared variable".
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ICB_VM_INSTRUCTION_H
+#define ICB_VM_INSTRUCTION_H
+
+#include <cstdint>
+#include <string>
+
+namespace icb::vm {
+
+/// Opcodes. The enumerator blocks matter: opcodes at or after `LoadG` are
+/// shared accesses; opcodes at or after `Lock` are also potentially
+/// blocking (the "B" column of Table 1 counts executions of these).
+enum class Op : uint8_t {
+  // --- Thread-local operations -------------------------------------------
+  Nop,    ///< Does nothing.
+  Imm,    ///< R[A] = Imm.
+  Mov,    ///< R[A] = R[B].
+  Add,    ///< R[A] = R[B] + R[C].
+  Sub,    ///< R[A] = R[B] - R[C].
+  Mul,    ///< R[A] = R[B] * R[C].
+  Mod,    ///< R[A] = R[B] mod R[C]  (C must be nonzero).
+  Eq,     ///< R[A] = (R[B] == R[C]).
+  Ne,     ///< R[A] = (R[B] != R[C]).
+  Lt,     ///< R[A] = (R[B] < R[C]).
+  Le,     ///< R[A] = (R[B] <= R[C]).
+  And,    ///< R[A] = R[B] & R[C].
+  Or,     ///< R[A] = R[B] | R[C].
+  Not,    ///< R[A] = !R[B] (logical).
+  Jmp,    ///< pc = A.
+  Bz,     ///< if (R[A] == 0) pc = B.
+  Bnz,    ///< if (R[A] != 0) pc = B.
+  Assert, ///< if (R[A] == 0) fail with message Messages[MsgId].
+  Halt,   ///< Thread terminates.
+
+  // --- Shared accesses (scheduling points) -------------------------------
+  LoadG,  ///< R[A] = Globals[B].
+  StoreG, ///< Globals[A] = R[B].
+  AddG,   ///< Atomic: R[A] = (Globals[B] += R[C]) (post-add value).
+  CasG,   ///< Atomic: R[A] = (Globals[B] == R[C]) ? (Globals[B] = Imm via
+          ///<         register? see note) — compare Globals[B] with R[C],
+          ///<         swap in R[Imm] on success, R[A] = success flag.
+  XchgG,  ///< Atomic: R[A] = Globals[B]; Globals[B] = R[C].
+  Unlock, ///< Releases lock A (model error if not held by this thread).
+  SetE,   ///< Sets event A.
+  ResetE, ///< Resets event A.
+  SemV,   ///< Increments semaphore A.
+
+  // --- Shared accesses that may block -------------------------------------
+  Lock,  ///< Acquires lock A; blocks while held by another thread.
+  WaitE, ///< Blocks until event A is set; auto-reset events are consumed.
+  SemP,  ///< Blocks until semaphore A is positive, then decrements.
+  Join,  ///< Blocks until thread A has terminated.
+};
+
+/// One decoded instruction. Operand meaning depends on the opcode; see the
+/// enumerator comments. `Imm` doubles as the swap-source register for CasG
+/// and the immediate value for Imm. `MsgId` indexes Program::Messages for
+/// Assert.
+struct Instruction {
+  Op Opcode = Op::Nop;
+  int32_t A = 0;
+  int32_t B = 0;
+  int32_t C = 0;
+  int64_t Imm = 0;
+  uint32_t MsgId = 0;
+};
+
+/// Returns true if executing \p Opcode accesses a shared object.
+constexpr bool isSharedAccess(Op Opcode) {
+  return Opcode >= Op::LoadG;
+}
+
+/// Returns true if \p Opcode can block the executing thread.
+constexpr bool isPotentiallyBlocking(Op Opcode) {
+  return Opcode >= Op::Lock;
+}
+
+/// Mnemonic for an opcode ("lock", "loadg", ...).
+const char *opName(Op Opcode);
+
+} // namespace icb::vm
+
+#endif // ICB_VM_INSTRUCTION_H

@@ -1,0 +1,310 @@
+//===- vm/Interp.cpp - Step semantics of the model VM ---------------------===//
+//
+// Part of the ICB project (PLDI'07 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "vm/Interp.h"
+#include "support/Debug.h"
+#include "support/Format.h"
+
+using namespace icb;
+using namespace icb::vm;
+
+Interp::Interp(const Program &Prog) : Prog(Prog) {
+  std::string Error = Prog.validate();
+  if (!Error.empty())
+    fatalError(__FILE__, __LINE__, Error.c_str());
+}
+
+namespace {
+
+/// Marks a thread terminated and canonicalizes its context so dead local
+/// data never distinguishes states.
+void finishThread(const Program &Prog, State &S, ThreadId Tid) {
+  ThreadState &Thread = S.Threads[Tid];
+  Thread.Status = ThreadStatus::Done;
+  Thread.Pc = static_cast<uint32_t>(Prog.Threads[Tid].Code.size());
+  Thread.Regs.fill(0);
+}
+
+} // namespace
+
+StepStatus Interp::runLocal(State &S, ThreadId Tid, uint32_t &FailMsgId,
+                            std::string &ErrorText) const {
+  ThreadState &Thread = S.Threads[Tid];
+  const std::vector<Instruction> &Code = Prog.Threads[Tid].Code;
+  for (unsigned Budget = 0; Budget != LocalStepLimit; ++Budget) {
+    ICB_ASSERT(Thread.Pc < Code.size(), "pc ran past end of thread code");
+    const Instruction &I = Code[Thread.Pc];
+    if (isSharedAccess(I.Opcode))
+      return StepStatus::Ok; // Parked before the next scheduling point.
+    auto &R = Thread.Regs;
+    switch (I.Opcode) {
+    case Op::Nop:
+      break;
+    case Op::Imm:
+      R[I.A] = I.Imm;
+      break;
+    case Op::Mov:
+      R[I.A] = R[I.B];
+      break;
+    case Op::Add:
+      R[I.A] = R[I.B] + R[I.C];
+      break;
+    case Op::Sub:
+      R[I.A] = R[I.B] - R[I.C];
+      break;
+    case Op::Mul:
+      R[I.A] = R[I.B] * R[I.C];
+      break;
+    case Op::Mod:
+      if (R[I.C] == 0) {
+        ErrorText = strFormat("thread %u: mod by zero at pc %u", Tid,
+                              Thread.Pc);
+        return StepStatus::ModelError;
+      }
+      R[I.A] = R[I.B] % R[I.C];
+      break;
+    case Op::Eq:
+      R[I.A] = R[I.B] == R[I.C];
+      break;
+    case Op::Ne:
+      R[I.A] = R[I.B] != R[I.C];
+      break;
+    case Op::Lt:
+      R[I.A] = R[I.B] < R[I.C];
+      break;
+    case Op::Le:
+      R[I.A] = R[I.B] <= R[I.C];
+      break;
+    case Op::And:
+      R[I.A] = R[I.B] & R[I.C];
+      break;
+    case Op::Or:
+      R[I.A] = R[I.B] | R[I.C];
+      break;
+    case Op::Not:
+      R[I.A] = R[I.B] == 0;
+      break;
+    case Op::Jmp:
+      Thread.Pc = static_cast<uint32_t>(I.A);
+      continue; // Branch already set the pc.
+    case Op::Bz:
+      if (R[I.A] == 0) {
+        Thread.Pc = static_cast<uint32_t>(I.B);
+        continue;
+      }
+      break;
+    case Op::Bnz:
+      if (R[I.A] != 0) {
+        Thread.Pc = static_cast<uint32_t>(I.B);
+        continue;
+      }
+      break;
+    case Op::Assert:
+      if (R[I.A] == 0) {
+        FailMsgId = I.MsgId;
+        return StepStatus::AssertFailed;
+      }
+      break;
+    case Op::Halt:
+      finishThread(Prog, S, Tid);
+      return StepStatus::ThreadDone;
+    default:
+      ICB_UNREACHABLE("shared opcode reached local execution loop");
+    }
+    ++Thread.Pc;
+  }
+  ErrorText = strFormat(
+      "thread %u: executed %u local instructions without reaching a shared "
+      "access or halt (runaway local loop)",
+      Tid, LocalStepLimit);
+  return StepStatus::ModelError;
+}
+
+State Interp::initialState() const {
+  State S;
+  S.Globals.reserve(Prog.Globals.size());
+  for (const GlobalDecl &G : Prog.Globals)
+    S.Globals.push_back(G.InitialValue);
+  S.LockOwners.assign(Prog.Locks.size(), InvalidThread);
+  S.EventSet.reserve(Prog.Events.size());
+  for (const EventDecl &E : Prog.Events)
+    S.EventSet.push_back(E.InitiallySet ? 1 : 0);
+  S.SemCounts.reserve(Prog.Semaphores.size());
+  for (const SemaphoreDecl &Sem : Prog.Semaphores)
+    S.SemCounts.push_back(Sem.InitialCount);
+  S.Threads.resize(Prog.Threads.size());
+
+  // Park every thread at its first shared access. A failing assert or a
+  // model error before the first scheduling point is a bug in the model's
+  // sequential prefix; surface it loudly rather than during search.
+  for (ThreadId Tid = 0; Tid != S.Threads.size(); ++Tid) {
+    uint32_t MsgId = 0;
+    std::string ErrorText;
+    StepStatus Status = runLocal(S, Tid, MsgId, ErrorText);
+    if (Status == StepStatus::AssertFailed)
+      fatalError(__FILE__, __LINE__,
+                 "assert failed in a thread's local prefix before its first "
+                 "shared access");
+    if (Status == StepStatus::ModelError)
+      fatalError(__FILE__, __LINE__, ErrorText.c_str());
+  }
+  return S;
+}
+
+bool Interp::isEnabled(const State &S, ThreadId Tid) const {
+  ICB_ASSERT(Tid < S.Threads.size(), "thread id out of range");
+  const ThreadState &Thread = S.Threads[Tid];
+  if (Thread.Status != ThreadStatus::Runnable)
+    return false;
+  const Instruction &I = Prog.Threads[Tid].Code[Thread.Pc];
+  ICB_ASSERT(isSharedAccess(I.Opcode),
+             "runnable thread not parked at a shared access");
+  switch (I.Opcode) {
+  case Op::Lock:
+    // A thread that re-acquires a lock it already holds self-deadlocks;
+    // modeling it as permanently blocked lets deadlock detection flag it.
+    return S.LockOwners[I.A] == InvalidThread;
+  case Op::WaitE:
+    return S.EventSet[I.A] != 0;
+  case Op::SemP:
+    return S.SemCounts[I.A] > 0;
+  case Op::Join:
+    return S.Threads[I.A].Status == ThreadStatus::Done;
+  default:
+    return true;
+  }
+}
+
+std::vector<ThreadId> Interp::enabledThreads(const State &S) const {
+  std::vector<ThreadId> Enabled;
+  for (ThreadId Tid = 0; Tid != S.Threads.size(); ++Tid)
+    if (isEnabled(S, Tid))
+      Enabled.push_back(Tid);
+  return Enabled;
+}
+
+VarRef Interp::nextVar(const State &S, ThreadId Tid) const {
+  const ThreadState &Thread = S.Threads[Tid];
+  ICB_ASSERT(Thread.Status == ThreadStatus::Runnable,
+             "nextVar on a terminated thread");
+  const Instruction &I = Prog.Threads[Tid].Code[Thread.Pc];
+  switch (I.Opcode) {
+  case Op::LoadG:
+  case Op::AddG:
+  case Op::CasG:
+  case Op::XchgG:
+    return {VarKind::Global, static_cast<uint32_t>(I.B)};
+  case Op::StoreG:
+    return {VarKind::Global, static_cast<uint32_t>(I.A)};
+  case Op::Lock:
+  case Op::Unlock:
+    return {VarKind::Lock, static_cast<uint32_t>(I.A)};
+  case Op::SetE:
+  case Op::ResetE:
+  case Op::WaitE:
+    return {VarKind::Event, static_cast<uint32_t>(I.A)};
+  case Op::SemV:
+  case Op::SemP:
+    return {VarKind::Semaphore, static_cast<uint32_t>(I.A)};
+  case Op::Join:
+    return {VarKind::ThreadEnd, static_cast<uint32_t>(I.A)};
+  default:
+    ICB_UNREACHABLE("runnable thread not parked at a shared access");
+  }
+}
+
+StepResult Interp::step(State &S, ThreadId Tid) const {
+  ICB_ASSERT(isEnabled(S, Tid), "step on a disabled thread");
+  ThreadState &Thread = S.Threads[Tid];
+  const Instruction &I = Prog.Threads[Tid].Code[Thread.Pc];
+  StepResult Result;
+  Result.Tid = Tid;
+  Result.Var = nextVar(S, Tid);
+  Result.WasBlockingOp = isPotentiallyBlocking(I.Opcode);
+
+  auto &R = Thread.Regs;
+  switch (I.Opcode) {
+  case Op::LoadG:
+    R[I.A] = S.Globals[I.B];
+    break;
+  case Op::StoreG:
+    S.Globals[I.A] = R[I.B];
+    break;
+  case Op::AddG:
+    S.Globals[I.B] += R[I.C];
+    R[I.A] = S.Globals[I.B];
+    break;
+  case Op::CasG:
+    if (S.Globals[I.B] == R[I.C]) {
+      S.Globals[I.B] = R[I.Imm];
+      R[I.A] = 1;
+    } else {
+      R[I.A] = 0;
+    }
+    break;
+  case Op::XchgG: {
+    int64_t Old = S.Globals[I.B];
+    S.Globals[I.B] = R[I.C];
+    R[I.A] = Old;
+    break;
+  }
+  case Op::Lock:
+    S.LockOwners[I.A] = Tid;
+    break;
+  case Op::Unlock:
+    if (S.LockOwners[I.A] != Tid) {
+      Result.Status = StepStatus::ModelError;
+      Result.ModelErrorText = strFormat(
+          "thread %u: unlock of lock '%s' not held by it", Tid,
+          Prog.Locks[I.A].c_str());
+      return Result;
+    }
+    S.LockOwners[I.A] = InvalidThread;
+    break;
+  case Op::SetE:
+    S.EventSet[I.A] = 1;
+    break;
+  case Op::ResetE:
+    S.EventSet[I.A] = 0;
+    break;
+  case Op::WaitE:
+    if (!Prog.Events[I.A].ManualReset)
+      S.EventSet[I.A] = 0; // Auto-reset events are consumed by the waiter.
+    break;
+  case Op::SemV:
+    ++S.SemCounts[I.A];
+    break;
+  case Op::SemP:
+    --S.SemCounts[I.A];
+    break;
+  case Op::Join:
+    break; // The join itself has no effect beyond the enabledness guard.
+  default:
+    ICB_UNREACHABLE("step on a local instruction");
+  }
+  ++Thread.Pc;
+
+  uint32_t MsgId = 0;
+  std::string ErrorText;
+  StepStatus LocalStatus = runLocal(S, Tid, MsgId, ErrorText);
+  switch (LocalStatus) {
+  case StepStatus::Ok:
+    Result.Status = StepStatus::Ok;
+    break;
+  case StepStatus::ThreadDone:
+    Result.Status = StepStatus::ThreadDone;
+    break;
+  case StepStatus::AssertFailed:
+    Result.Status = StepStatus::AssertFailed;
+    Result.MsgId = MsgId;
+    break;
+  case StepStatus::ModelError:
+    Result.Status = StepStatus::ModelError;
+    Result.ModelErrorText = std::move(ErrorText);
+    break;
+  }
+  return Result;
+}

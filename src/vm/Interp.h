@@ -1,0 +1,90 @@
+//===- vm/Interp.h - Step semantics of the model VM -------------*- C++ -*-===//
+//
+// Part of the ICB project (PLDI'07 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The interpreter defines the transition system the search strategies
+/// explore: `initialState()`, `enabled()`, and `step()`. A step executes
+/// exactly one shared-access instruction (the paper's unit of scheduling)
+/// and then runs the thread's local instructions until it parks at the next
+/// shared access or terminates. Scheduling points therefore sit immediately
+/// *before* shared accesses, and `enabled()` is computable without running
+/// any thread — each Runnable thread's pending operation is its parked
+/// instruction.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ICB_VM_INTERP_H
+#define ICB_VM_INTERP_H
+
+#include "vm/Program.h"
+#include "vm/State.h"
+#include <string>
+#include <vector>
+
+namespace icb::vm {
+
+/// Outcome of one step.
+enum class StepStatus : uint8_t {
+  Ok,           ///< Step completed; thread parked at next shared access.
+  ThreadDone,   ///< Step completed and the thread reached Halt.
+  AssertFailed, ///< An Assert with a false condition executed.
+  ModelError,   ///< The model itself is ill-formed (unlock of an unheld
+                ///< lock, division by zero, runaway local loop).
+};
+
+/// Everything a search strategy needs to know about an executed step.
+struct StepResult {
+  StepStatus Status = StepStatus::Ok;
+  ThreadId Tid = InvalidThread;
+  VarRef Var;                ///< The shared object the step accessed.
+  bool WasBlockingOp = false; ///< Executed a potentially-blocking opcode.
+  uint32_t MsgId = 0;         ///< Valid when Status == AssertFailed.
+  std::string ModelErrorText; ///< Valid when Status == ModelError.
+};
+
+/// Interprets a fixed Program over explicit States.
+class Interp {
+public:
+  explicit Interp(const Program &Prog);
+
+  const Program &program() const { return Prog; }
+
+  /// Builds the initial state: declared initial values, every thread parked
+  /// at its first shared-access instruction (threads whose code is entirely
+  /// local terminate immediately).
+  State initialState() const;
+
+  /// True if \p Tid may take a step from \p S: the thread is Runnable and
+  /// its pending shared access is not blocked.
+  bool isEnabled(const State &S, ThreadId Tid) const;
+
+  /// All enabled threads in ascending id order (deterministic).
+  std::vector<ThreadId> enabledThreads(const State &S) const;
+
+  /// Executes one step of \p Tid in place. \p Tid must be enabled.
+  StepResult step(State &S, ThreadId Tid) const;
+
+  /// The shared object thread \p Tid will access if scheduled (the paper's
+  /// NV(alpha, t)); only meaningful for Runnable threads.
+  VarRef nextVar(const State &S, ThreadId Tid) const;
+
+  /// Upper bound on consecutive local instructions before the interpreter
+  /// declares a runaway loop (a model whose local code never reaches a
+  /// shared access or Halt is a modeling error).
+  static constexpr unsigned LocalStepLimit = 100000;
+
+private:
+  /// Runs local instructions of \p Tid until it parks at a shared access,
+  /// halts, fails an assert, or exhausts the local budget.
+  StepStatus runLocal(State &S, ThreadId Tid, uint32_t &FailMsgId,
+                      std::string &ErrorText) const;
+
+  const Program &Prog;
+};
+
+} // namespace icb::vm
+
+#endif // ICB_VM_INTERP_H

@@ -1,0 +1,156 @@
+//===- vm/Program.cpp - Static description of a model program ------------===//
+//
+// Part of the ICB project (PLDI'07 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "vm/Program.h"
+#include "support/Format.h"
+
+using namespace icb;
+using namespace icb::vm;
+
+namespace {
+
+/// Validates one instruction of thread \p T at index \p Pc.
+std::string validateInstr(const Program &Prog, const ThreadCode &Thread,
+                          unsigned T, size_t Pc) {
+  const Instruction &I = Thread.Code[Pc];
+  auto Fail = [&](const char *What) {
+    return strFormat("thread %u ('%s') pc %zu (%s): %s", T,
+                     Thread.Name.c_str(), Pc, opName(I.Opcode), What);
+  };
+  auto RegOk = [](int32_t R) {
+    return R >= 0 && R < static_cast<int32_t>(NumRegisters);
+  };
+  auto TargetOk = [&](int32_t Target) {
+    return Target >= 0 && Target < static_cast<int32_t>(Thread.Code.size());
+  };
+  auto GlobalOk = [&](int32_t G) {
+    return G >= 0 && G < static_cast<int32_t>(Prog.Globals.size());
+  };
+
+  switch (I.Opcode) {
+  case Op::Nop:
+  case Op::Halt:
+    return "";
+  case Op::Imm:
+    return RegOk(I.A) ? "" : Fail("bad destination register");
+  case Op::Mov:
+  case Op::Not:
+    if (!RegOk(I.A) || !RegOk(I.B))
+      return Fail("bad register operand");
+    return "";
+  case Op::Add:
+  case Op::Sub:
+  case Op::Mul:
+  case Op::Mod:
+  case Op::Eq:
+  case Op::Ne:
+  case Op::Lt:
+  case Op::Le:
+  case Op::And:
+  case Op::Or:
+    if (!RegOk(I.A) || !RegOk(I.B) || !RegOk(I.C))
+      return Fail("bad register operand");
+    return "";
+  case Op::Jmp:
+    return TargetOk(I.A) ? "" : Fail("branch target out of range");
+  case Op::Bz:
+  case Op::Bnz:
+    if (!RegOk(I.A))
+      return Fail("bad condition register");
+    if (!TargetOk(I.B))
+      return Fail("branch target out of range");
+    return "";
+  case Op::Assert:
+    if (!RegOk(I.A))
+      return Fail("bad condition register");
+    if (I.MsgId >= Prog.Messages.size())
+      return Fail("assert message id out of range");
+    return "";
+  case Op::LoadG:
+    if (!RegOk(I.A))
+      return Fail("bad destination register");
+    if (!GlobalOk(I.B))
+      return Fail("global index out of range");
+    return "";
+  case Op::StoreG:
+    if (!GlobalOk(I.A))
+      return Fail("global index out of range");
+    if (!RegOk(I.B))
+      return Fail("bad source register");
+    return "";
+  case Op::AddG:
+    if (!RegOk(I.A) || !RegOk(I.C))
+      return Fail("bad register operand");
+    if (!GlobalOk(I.B))
+      return Fail("global index out of range");
+    return "";
+  case Op::CasG:
+    if (!RegOk(I.A) || !RegOk(I.C) ||
+        !RegOk(static_cast<int32_t>(I.Imm)))
+      return Fail("bad register operand");
+    if (!GlobalOk(I.B))
+      return Fail("global index out of range");
+    return "";
+  case Op::XchgG:
+    if (!RegOk(I.A) || !RegOk(I.C))
+      return Fail("bad register operand");
+    if (!GlobalOk(I.B))
+      return Fail("global index out of range");
+    return "";
+  case Op::Lock:
+  case Op::Unlock:
+    if (I.A < 0 || I.A >= static_cast<int32_t>(Prog.Locks.size()))
+      return Fail("lock index out of range");
+    return "";
+  case Op::SetE:
+  case Op::ResetE:
+  case Op::WaitE:
+    if (I.A < 0 || I.A >= static_cast<int32_t>(Prog.Events.size()))
+      return Fail("event index out of range");
+    return "";
+  case Op::SemV:
+  case Op::SemP:
+    if (I.A < 0 || I.A >= static_cast<int32_t>(Prog.Semaphores.size()))
+      return Fail("semaphore index out of range");
+    return "";
+  case Op::Join:
+    if (I.A < 0 || I.A >= static_cast<int32_t>(Prog.Threads.size()))
+      return Fail("join target thread out of range");
+    return "";
+  }
+  return Fail("unknown opcode");
+}
+
+} // namespace
+
+std::string Program::validate() const {
+  if (Threads.empty())
+    return "program has no threads";
+  for (unsigned T = 0; T != Threads.size(); ++T) {
+    const ThreadCode &Thread = Threads[T];
+    if (Thread.Code.empty())
+      return strFormat("thread %u ('%s') has no code", T, Thread.Name.c_str());
+    // Every thread must end in an unconditional control transfer or Halt so
+    // the interpreter cannot run off the end of the code array.
+    const Instruction &LastInstr = Thread.Code.back();
+    if (LastInstr.Opcode != Op::Halt && LastInstr.Opcode != Op::Jmp)
+      return strFormat("thread %u ('%s') does not end with halt or jmp", T,
+                       Thread.Name.c_str());
+    for (size_t Pc = 0; Pc != Thread.Code.size(); ++Pc) {
+      std::string Error = validateInstr(*this, Thread, T, Pc);
+      if (!Error.empty())
+        return Error;
+    }
+  }
+  return "";
+}
+
+size_t Program::totalInstructions() const {
+  size_t Total = 0;
+  for (const ThreadCode &Thread : Threads)
+    Total += Thread.Code.size();
+  return Total;
+}

@@ -1,0 +1,72 @@
+//===- vm/Program.h - Static description of a model program -----*- C++ -*-===//
+//
+// Part of the ICB project (PLDI'07 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A `Program` is the static part of a model: per-thread code, the shared
+/// object declarations (globals, locks, events, semaphores), and assert
+/// message strings. The dynamic part lives in `State`.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ICB_VM_PROGRAM_H
+#define ICB_VM_PROGRAM_H
+
+#include "vm/Ids.h"
+#include "vm/Instruction.h"
+#include <string>
+#include <vector>
+
+namespace icb::vm {
+
+/// Static event properties; the set/reset flag itself lives in State.
+struct EventDecl {
+  std::string Name;
+  bool ManualReset = false; ///< Manual-reset events survive a WaitE.
+  bool InitiallySet = false;
+};
+
+/// Static semaphore properties.
+struct SemaphoreDecl {
+  std::string Name;
+  int32_t InitialCount = 0;
+};
+
+/// Static global (shared data variable) properties.
+struct GlobalDecl {
+  std::string Name;
+  int64_t InitialValue = 0;
+};
+
+/// Code of a single model thread.
+struct ThreadCode {
+  std::string Name;
+  std::vector<Instruction> Code;
+};
+
+/// A complete closed model program (test driver + library, Section 4.1).
+struct Program {
+  std::string Name;
+  std::vector<GlobalDecl> Globals;
+  std::vector<std::string> Locks; ///< Lock names; locks carry no static data.
+  std::vector<EventDecl> Events;
+  std::vector<SemaphoreDecl> Semaphores;
+  std::vector<ThreadCode> Threads;
+  std::vector<std::string> Messages; ///< Assert failure messages.
+
+  unsigned numThreads() const { return static_cast<unsigned>(Threads.size()); }
+
+  /// Structural validation: operand ranges, branch targets, terminated
+  /// code paths. Returns an empty string on success, else a diagnostic.
+  std::string validate() const;
+
+  /// Total instruction count across all threads (the "LOC" surrogate for
+  /// model benchmarks in Table 1).
+  size_t totalInstructions() const;
+};
+
+} // namespace icb::vm
+
+#endif // ICB_VM_PROGRAM_H

@@ -1,0 +1,55 @@
+//===- vm/State.cpp - Dynamic state of a model program --------------------===//
+//
+// Part of the ICB project (PLDI'07 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "vm/State.h"
+#include "support/Hashing.h"
+
+using namespace icb;
+using namespace icb::vm;
+
+uint64_t State::hash() const {
+  StableHasher Hasher;
+  for (int64_t Value : Globals)
+    Hasher.add(static_cast<uint64_t>(Value));
+  for (ThreadId Owner : LockOwners)
+    Hasher.add(Owner);
+  for (uint8_t Set : EventSet)
+    Hasher.add(Set);
+  for (int32_t Count : SemCounts)
+    Hasher.add(static_cast<uint64_t>(static_cast<int64_t>(Count)));
+  for (const ThreadState &Thread : Threads) {
+    Hasher.add(Thread.Pc);
+    Hasher.add(static_cast<uint64_t>(Thread.Status));
+    // Registers of terminated threads are zeroed by the interpreter, so
+    // hashing them never distinguishes states that differ only in dead
+    // local data.
+    for (int64_t Reg : Thread.Regs)
+      Hasher.add(static_cast<uint64_t>(Reg));
+  }
+  return Hasher.digest();
+}
+
+bool State::allDone() const {
+  for (const ThreadState &Thread : Threads)
+    if (Thread.Status != ThreadStatus::Done)
+      return false;
+  return true;
+}
+
+bool icb::vm::operator==(const State &L, const State &R) {
+  if (L.Globals != R.Globals || L.LockOwners != R.LockOwners ||
+      L.EventSet != R.EventSet || L.SemCounts != R.SemCounts)
+    return false;
+  if (L.Threads.size() != R.Threads.size())
+    return false;
+  for (size_t I = 0; I != L.Threads.size(); ++I) {
+    const ThreadState &A = L.Threads[I];
+    const ThreadState &B = R.Threads[I];
+    if (A.Pc != B.Pc || A.Status != B.Status || A.Regs != B.Regs)
+      return false;
+  }
+  return true;
+}

@@ -1,0 +1,66 @@
+//===- vm/State.h - Dynamic state of a model program ------------*- C++ -*-===//
+//
+// Part of the ICB project (PLDI'07 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The explicit, value-semantics state of a running model: shared globals,
+/// sync object states, and per-thread contexts. States are cheap to copy
+/// (Algorithm 1's work items snapshot them) and canonically hashable (the
+/// ZING-side state cache and the coverage experiments count state hashes).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ICB_VM_STATE_H
+#define ICB_VM_STATE_H
+
+#include "vm/Ids.h"
+#include "vm/Program.h"
+#include <array>
+#include <cstdint>
+#include <vector>
+
+namespace icb::vm {
+
+/// Execution status of one thread.
+enum class ThreadStatus : uint8_t {
+  Runnable, ///< Parked immediately before a shared-access instruction.
+  Done,     ///< Executed Halt; never runs again.
+};
+
+/// Per-thread dynamic context.
+struct ThreadState {
+  uint32_t Pc = 0;
+  ThreadStatus Status = ThreadStatus::Runnable;
+  std::array<int64_t, NumRegisters> Regs{};
+};
+
+/// The complete dynamic state. Invariant maintained by the interpreter:
+/// every Runnable thread's Pc points at a shared-access instruction (all
+/// leading thread-local instructions have already been executed).
+class State {
+public:
+  State() = default;
+
+  std::vector<int64_t> Globals;
+  std::vector<ThreadId> LockOwners; ///< InvalidThread when free.
+  std::vector<uint8_t> EventSet;    ///< 1 when signaled.
+  std::vector<int32_t> SemCounts;
+  std::vector<ThreadState> Threads;
+
+  /// Canonical 64-bit digest of the whole state. Two states with equal
+  /// digests are treated as identical by the state cache (collisions are
+  /// possible but negligible at our state counts; see DESIGN.md).
+  uint64_t hash() const;
+
+  /// True when every thread has terminated.
+  bool allDone() const;
+
+};
+
+bool operator==(const State &L, const State &R);
+
+} // namespace icb::vm
+
+#endif // ICB_VM_STATE_H

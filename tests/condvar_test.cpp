@@ -1,0 +1,318 @@
+//===- tests/condvar_test.cpp - CondVar and RwLock tests -------------------===//
+//
+// Part of the ICB project (PLDI'07 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Exercises the condition-variable and reader-writer-lock primitives
+/// under full schedule exploration: a monitor-style bounded queue is
+/// verified exhaustively; the classic condition-variable misuses (if
+/// instead of while, signal outside the lock without re-check, missing
+/// signal) are caught at small preemption bounds; readers really do share
+/// and writers really do exclude.
+///
+//===----------------------------------------------------------------------===//
+
+#include "rt/Atomic.h"
+#include "rt/CondVar.h"
+#include "rt/Explore.h"
+#include "rt/RwLock.h"
+#include "rt/Scheduler.h"
+#include "rt/SharedVar.h"
+#include "rt/Sync.h"
+#include "rt/Thread.h"
+#include <gtest/gtest.h>
+
+using namespace icb;
+using namespace icb::rt;
+
+namespace {
+
+ExploreOptions defaultOpts(uint64_t MaxExec = 300000,
+                           bool StopAtFirst = false, unsigned MaxBound = 3) {
+  ExploreOptions Opts;
+  Opts.Limits.MaxExecutions = MaxExec;
+  Opts.Limits.StopAtFirstBug = StopAtFirst;
+  Opts.Limits.MaxPreemptionBound = MaxBound;
+  return Opts;
+}
+
+//===----------------------------------------------------------------------===//
+// CondVar: a one-slot monitor queue
+//===----------------------------------------------------------------------===//
+
+/// Monitor-protected single-slot mailbox. With UseWhile the consumer
+/// re-checks the predicate after waking (correct); without it the classic
+/// "if instead of while" bug appears once two consumers compete.
+struct Mailbox {
+  Mailbox() : Lock("mbLock"), NotEmpty("notEmpty"), Full("full", 0) {}
+
+  Mutex Lock;
+  CondVar NotEmpty;
+  SharedVar<int> Full;
+
+  void put(int) {
+    Lock.lock();
+    Full.set(Full.get() + 1);
+    NotEmpty.signal();
+    Lock.unlock();
+  }
+
+  bool take(bool UseWhile) {
+    Lock.lock();
+    if (UseWhile) {
+      while (Full.get() == 0)
+        NotEmpty.wait(Lock);
+    } else if (Full.get() == 0) {
+      NotEmpty.wait(Lock); // BUG: a rival may empty the slot first.
+    }
+    testAssert(Full.get() > 0, "mailbox: woke to an empty slot");
+    Full.set(Full.get() - 1);
+    Lock.unlock();
+    return true;
+  }
+};
+
+TestCase mailboxTest(bool UseWhile, unsigned Consumers, unsigned Items) {
+  return {"mailbox", [UseWhile, Consumers, Items] {
+    Mailbox Box;
+    std::vector<std::unique_ptr<Thread>> Threads;
+    for (unsigned C = 0; C != Consumers; ++C)
+      Threads.push_back(std::make_unique<Thread>(
+          [&Box, UseWhile] { Box.take(UseWhile); }, "consumer"));
+    for (unsigned I = 0; I != Items; ++I)
+      Box.put(static_cast<int>(I));
+    for (auto &T : Threads)
+      T->join();
+  }};
+}
+
+TEST(CondVar, MonitorMailboxCorrectWithWhile) {
+  IcbExplorer Icb(defaultOpts());
+  ExploreResult R = Icb.explore(mailboxTest(true, 2, 2));
+  EXPECT_FALSE(R.foundBug()) << R.Bugs[0].str();
+}
+
+TEST(CondVar, IfInsteadOfWhileCaught) {
+  IcbExplorer Icb(defaultOpts(300000, /*StopAtFirst=*/true));
+  ExploreResult R = Icb.explore(mailboxTest(false, 2, 2));
+  ASSERT_TRUE(R.foundBug());
+  EXPECT_EQ(R.Bugs[0].Kind, RunStatus::AssertFailed);
+  EXPECT_NE(R.Bugs[0].Message.find("empty slot"), std::string::npos);
+}
+
+TEST(CondVar, MissingSignalDeadlocks) {
+  TestCase Test{"no-signal", [] {
+    Mutex M("m");
+    CondVar Cv("cv");
+    SharedVar<int> Ready("ready", 0);
+    Thread Waiter(
+        [&] {
+          M.lock();
+          while (Ready.get() == 0)
+            Cv.wait(M);
+          M.unlock();
+        },
+        "waiter");
+    M.lock();
+    Ready.set(1); // BUG: forgot Cv.signal().
+    M.unlock();
+    Waiter.join();
+  }};
+  IcbExplorer Icb(defaultOpts(300000, /*StopAtFirst=*/true, 2));
+  ExploreResult R = Icb.explore(Test);
+  ASSERT_TRUE(R.foundBug());
+  EXPECT_EQ(R.Bugs[0].Kind, RunStatus::Deadlock);
+}
+
+TEST(CondVar, WaitWithoutMutexIsAnError) {
+  TestCase Test{"bad-wait", [] {
+    Mutex M("m");
+    CondVar Cv("cv");
+    Cv.wait(M); // BUG: mutex not held.
+  }};
+  Scheduler S{Scheduler::Options{}};
+  NonPreemptivePolicy Policy;
+  ExecutionResult R = S.run(Test, Policy);
+  EXPECT_EQ(R.Status, RunStatus::AssertFailed);
+  EXPECT_NE(R.Message.find("without holding"), std::string::npos);
+}
+
+TEST(CondVar, SignalBeforeWaitIsLost) {
+  // Condition variables have no memory: a signal with no waiter does
+  // nothing, so waiting afterwards deadlocks unless the predicate is
+  // rechecked — this driver has no predicate at all, so some schedule
+  // deadlocks.
+  TestCase Test{"lost-signal", [] {
+    Mutex M("m");
+    CondVar Cv("cv");
+    Thread Waker(
+        [&] {
+          M.lock();
+          Cv.signal();
+          M.unlock();
+        },
+        "waker");
+    M.lock();
+    Cv.wait(M); // BUG: no predicate; the signal may already be gone.
+    M.unlock();
+    Waker.join();
+  }};
+  IcbExplorer Icb(defaultOpts(300000, /*StopAtFirst=*/true, 1));
+  ExploreResult R = Icb.explore(Test);
+  ASSERT_TRUE(R.foundBug());
+  EXPECT_EQ(R.Bugs[0].Kind, RunStatus::Deadlock);
+}
+
+TEST(CondVar, BroadcastWakesAllWaiters) {
+  TestCase Test{"broadcast", [] {
+    Mutex M("m");
+    CondVar Cv("cv");
+    SharedVar<int> Go("go", 0);
+    Atomic<int> Woken("woken", 0);
+    auto WaiterBody = [&] {
+      M.lock();
+      while (Go.get() == 0)
+        Cv.wait(M);
+      M.unlock();
+      Woken.fetchAdd(1);
+    };
+    Thread W1(WaiterBody, "w1");
+    Thread W2(WaiterBody, "w2");
+    M.lock();
+    Go.set(1);
+    Cv.broadcast();
+    M.unlock();
+    W1.join();
+    W2.join();
+    testAssert(Woken.load() == 2, "broadcast must wake both waiters");
+  }};
+  IcbExplorer Icb(defaultOpts(300000, false, 2));
+  ExploreResult R = Icb.explore(Test);
+  EXPECT_FALSE(R.foundBug()) << R.Bugs[0].str();
+}
+
+//===----------------------------------------------------------------------===//
+// RwLock
+//===----------------------------------------------------------------------===//
+
+TEST(RwLock, ReadersShareWritersExclude) {
+  TestCase Test{"rwlock-basic", [] {
+    RwLock Rw("rw");
+    SharedVar<int> Data("data", 0);
+    Atomic<int> ConcurrentReaders("concurrentReaders", 0);
+    auto Reader = [&] {
+      Rw.lockShared();
+      int Now = ConcurrentReaders.fetchAdd(1) + 1;
+      testAssert(Now >= 1, "reader accounting");
+      (void)Data.get();
+      ConcurrentReaders.fetchAdd(-1);
+      Rw.unlockShared();
+    };
+    auto Writer = [&] {
+      Rw.lockExclusive();
+      testAssert(ConcurrentReaders.load() == 0,
+                 "writer overlapped with a reader");
+      Data.set(Data.get() + 1);
+      Rw.unlockExclusive();
+    };
+    Thread R1(Reader, "r1");
+    Thread R2(Reader, "r2");
+    Thread W(Writer, "w");
+    R1.join();
+    R2.join();
+    W.join();
+    testAssert(Data.get() == 1, "exactly one write");
+  }};
+  IcbExplorer Icb(defaultOpts(400000, false, 2));
+  ExploreResult R = Icb.explore(Test);
+  EXPECT_FALSE(R.foundBug()) << R.Bugs[0].str();
+}
+
+TEST(RwLock, ReadersCanActuallyOverlap) {
+  // Two readers both inside the read section in some schedule: checked by
+  // asserting the *negation* and expecting the checker to refute it.
+  TestCase Test{"rw-overlap", [] {
+    RwLock Rw("rw");
+    Atomic<int> Inside("inside", 0);
+    auto Reader = [&] {
+      Rw.lockShared();
+      int Now = Inside.fetchAdd(1) + 1;
+      testAssert(Now < 2, "two readers overlapped (expected!)");
+      Inside.fetchAdd(-1);
+      Rw.unlockShared();
+    };
+    Thread R1(Reader, "r1");
+    Thread R2(Reader, "r2");
+    R1.join();
+    R2.join();
+  }};
+  IcbExplorer Icb(defaultOpts(300000, /*StopAtFirst=*/true, 1));
+  ExploreResult R = Icb.explore(Test);
+  ASSERT_TRUE(R.foundBug()); // Overlap reachable => assertion refuted.
+  EXPECT_NE(R.Bugs[0].Message.find("overlapped (expected!)"),
+            std::string::npos);
+}
+
+TEST(RwLock, DataRaceUnderSharedLockOnlyIsCaught) {
+  // Writing the protected data under a *shared* lock races with a
+  // concurrent reader: the detector must flag it.
+  TestCase Test{"rw-misuse", [] {
+    RwLock Rw("rw");
+    SharedVar<int> Data("data", 0);
+    auto BadWriter = [&] {
+      Rw.lockShared(); // BUG: should be exclusive.
+      Data.set(1);
+      Rw.unlockShared();
+    };
+    auto Reader = [&] {
+      Rw.lockShared();
+      (void)Data.get();
+      Rw.unlockShared();
+    };
+    Thread W(BadWriter, "badWriter");
+    Thread R(Reader, "reader");
+    W.join();
+    R.join();
+  }};
+  IcbExplorer Icb(defaultOpts(300000, /*StopAtFirst=*/true, 2));
+  ExploreResult R = Icb.explore(Test);
+  ASSERT_TRUE(R.foundBug());
+  EXPECT_EQ(R.Bugs[0].Kind, RunStatus::DataRace);
+}
+
+TEST(RwLock, UnlockErrorsAreReported) {
+  {
+    TestCase Test{"bad-shared-unlock", [] {
+      RwLock Rw("rw");
+      Rw.unlockShared();
+    }};
+    Scheduler S{Scheduler::Options{}};
+    NonPreemptivePolicy Policy;
+    EXPECT_EQ(S.run(Test, Policy).Status, RunStatus::AssertFailed);
+  }
+  {
+    TestCase Test{"bad-exclusive-unlock", [] {
+      RwLock Rw("rw");
+      Rw.unlockExclusive();
+    }};
+    Scheduler S{Scheduler::Options{}};
+    NonPreemptivePolicy Policy;
+    EXPECT_EQ(S.run(Test, Policy).Status, RunStatus::AssertFailed);
+  }
+}
+
+TEST(RwLock, WriterSelfDeadlockDetected) {
+  TestCase Test{"w-self", [] {
+    RwLock Rw("rw");
+    Rw.lockExclusive();
+    Rw.lockExclusive(); // Non-recursive: blocks forever.
+    Rw.unlockExclusive();
+  }};
+  Scheduler S{Scheduler::Options{}};
+  NonPreemptivePolicy Policy;
+  EXPECT_EQ(S.run(Test, Policy).Status, RunStatus::Deadlock);
+}
+
+} // namespace

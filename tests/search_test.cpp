@@ -1,0 +1,372 @@
+//===- tests/search_test.cpp - Search strategy unit tests ------------------===//
+//
+// Part of the ICB project (PLDI'07 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Validates the central claims the search layer must uphold:
+///   * ICB enumerates executions in nondecreasing preemption order and
+///     reports bugs with their minimal preemption count;
+///   * bound-0 search already reaches terminating executions (depth is
+///     never bounded);
+///   * the strategies agree on which programs are buggy;
+///   * statistics and coverage logs behave.
+///
+//===----------------------------------------------------------------------===//
+
+#include "search/Checker.h"
+#include "search/Dfs.h"
+#include "search/IcbSearch.h"
+#include "search/RandomWalk.h"
+#include "testutil/TestPrograms.h"
+#include <gtest/gtest.h>
+
+using namespace icb;
+using namespace icb::search;
+using namespace icb::vm;
+
+namespace {
+
+SearchResult runIcb(const Program &Prog, bool Cache = false,
+                    unsigned MaxBound = 100, bool StopAtFirst = false) {
+  SearchOptions Opts;
+  Opts.Kind = StrategyKind::Icb;
+  Opts.UseStateCache = Cache;
+  Opts.Limits.MaxPreemptionBound = MaxBound;
+  Opts.Limits.StopAtFirstBug = StopAtFirst;
+  return checkProgram(Prog, Opts);
+}
+
+TEST(IcbSearch, FindsRacyCounterBugAtBoundOne) {
+  SearchResult R = runIcb(testutil::racyCounter(2), /*Cache=*/false,
+                          /*MaxBound=*/3, /*StopAtFirst=*/true);
+  ASSERT_TRUE(R.foundBug());
+  EXPECT_EQ(R.Bugs[0].Kind, BugKind::AssertFailure);
+  EXPECT_EQ(R.Bugs[0].Preemptions, 1u);
+}
+
+TEST(IcbSearch, BoundZeroFindsNoRacyCounterBug) {
+  SearchResult R = runIcb(testutil::racyCounter(2), /*Cache=*/false,
+                          /*MaxBound=*/0);
+  EXPECT_FALSE(R.foundBug());
+  EXPECT_GT(R.Stats.Executions, 0u);
+  // Bound 0 still drives every execution to completion: each explored
+  // execution runs all 2 worker increments plus the main thread's joins.
+  EXPECT_GE(R.Stats.StepsPerExecution.min(), 1u);
+}
+
+TEST(IcbSearch, AtomicCounterHasNoBugExhaustively) {
+  SearchResult R = runIcb(testutil::atomicCounter(3));
+  EXPECT_FALSE(R.foundBug());
+  EXPECT_TRUE(R.Stats.Completed);
+}
+
+TEST(IcbSearch, FindsLockOrderDeadlockAtBoundOne) {
+  SearchResult R = runIcb(testutil::lockOrderDeadlock());
+  ASSERT_TRUE(R.foundBug());
+  EXPECT_EQ(R.Bugs[0].Kind, BugKind::Deadlock);
+  EXPECT_EQ(R.Bugs[0].Preemptions, 1u);
+}
+
+TEST(IcbSearch, LadderBugNeedsExactlyOnePreemption) {
+  SearchResult R = runIcb(testutil::preemptionLadder(1));
+  ASSERT_TRUE(R.foundBug());
+  EXPECT_EQ(R.Bugs[0].Preemptions, 1u);
+}
+
+TEST(IcbSearch, LadderBugNeedsExactlyThreePreemptions) {
+  SearchResult R = runIcb(testutil::preemptionLadder(3));
+  ASSERT_TRUE(R.foundBug());
+  EXPECT_EQ(R.Bugs[0].Preemptions, 3u);
+  // And bounds below three find nothing.
+  SearchResult Below = runIcb(testutil::preemptionLadder(3), false, 2);
+  EXPECT_FALSE(Below.foundBug());
+}
+
+TEST(IcbSearch, PerBoundCoverageIsMonotone) {
+  SearchResult R = runIcb(testutil::racyCounter(2));
+  ASSERT_GE(R.Stats.PerBound.size(), 2u);
+  for (size_t I = 1; I < R.Stats.PerBound.size(); ++I) {
+    EXPECT_EQ(R.Stats.PerBound[I].Bound, R.Stats.PerBound[I - 1].Bound + 1);
+    EXPECT_GE(R.Stats.PerBound[I].States, R.Stats.PerBound[I - 1].States);
+    EXPECT_GE(R.Stats.PerBound[I].Executions,
+              R.Stats.PerBound[I - 1].Executions);
+  }
+}
+
+TEST(IcbSearch, EventPingPongTerminatesCleanly) {
+  SearchResult R = runIcb(testutil::eventPingPong(3));
+  EXPECT_FALSE(R.foundBug());
+  EXPECT_TRUE(R.Stats.Completed);
+}
+
+TEST(IcbSearch, SemaphoreBufferHasNoBug) {
+  SearchResult R = runIcb(testutil::semaphoreBuffer(2, 3));
+  EXPECT_FALSE(R.foundBug());
+  EXPECT_TRUE(R.Stats.Completed);
+}
+
+TEST(IcbSearch, StateCacheReducesExecutionsButKeepsBugs) {
+  SearchResult NoCache = runIcb(testutil::racyCounter(2), /*Cache=*/false);
+  SearchResult Cache = runIcb(testutil::racyCounter(2), /*Cache=*/true);
+  ASSERT_TRUE(NoCache.foundBug());
+  ASSERT_TRUE(Cache.foundBug());
+  EXPECT_EQ(NoCache.Bugs[0].Preemptions, Cache.Bugs[0].Preemptions);
+  EXPECT_LE(Cache.Stats.Executions, NoCache.Stats.Executions);
+  // Both observe the same set of distinct states.
+  EXPECT_EQ(Cache.Stats.DistinctStates, NoCache.Stats.DistinctStates);
+}
+
+TEST(IcbSearch, ScheduleReplaysToTheBug) {
+  SearchResult R = runIcb(testutil::racyCounter(2), false, 100, true);
+  ASSERT_TRUE(R.foundBug());
+  const Bug &B = R.Bugs[0];
+  ASSERT_FALSE(B.Schedule.empty());
+  // Replaying the recorded schedule reproduces the assert failure at the
+  // final step.
+  Program Prog = testutil::racyCounter(2);
+  Interp VM(Prog);
+  State S = VM.initialState();
+  for (size_t I = 0; I + 1 < B.Schedule.size(); ++I) {
+    ASSERT_TRUE(VM.isEnabled(S, B.Schedule[I]));
+    StepResult Step = VM.step(S, B.Schedule[I]);
+    ASSERT_NE(Step.Status, StepStatus::AssertFailed);
+  }
+  StepResult Last = VM.step(S, B.Schedule.back());
+  EXPECT_EQ(Last.Status, StepStatus::AssertFailed);
+}
+
+TEST(IcbSearch, DeterministicAcrossRuns) {
+  SearchResult A = runIcb(testutil::racyCounter(2));
+  SearchResult B = runIcb(testutil::racyCounter(2));
+  EXPECT_EQ(A.Stats.Executions, B.Stats.Executions);
+  EXPECT_EQ(A.Stats.TotalSteps, B.Stats.TotalSteps);
+  EXPECT_EQ(A.Stats.DistinctStates, B.Stats.DistinctStates);
+  ASSERT_EQ(A.Bugs.size(), B.Bugs.size());
+  for (size_t I = 0; I != A.Bugs.size(); ++I)
+    EXPECT_EQ(A.Bugs[I].Schedule, B.Bugs[I].Schedule);
+}
+
+TEST(Dfs, FindsRacyCounterBug) {
+  SearchOptions Opts;
+  Opts.Kind = StrategyKind::Dfs;
+  SearchResult R = checkProgram(testutil::racyCounter(2), Opts);
+  ASSERT_TRUE(R.foundBug());
+  EXPECT_TRUE(R.Stats.Completed);
+}
+
+TEST(Dfs, IcbBugIsNeverDeeperInPreemptionsThanDfsBug) {
+  // ICB guarantees minimality; DFS does not. On the ladder the DFS-found
+  // exposure may use more preemptions, never fewer.
+  Program Prog = testutil::preemptionLadder(3);
+  SearchOptions DfsOpts;
+  DfsOpts.Kind = StrategyKind::Dfs;
+  SearchResult DfsR = checkProgram(Prog, DfsOpts);
+  SearchResult IcbR = runIcb(Prog);
+  ASSERT_TRUE(DfsR.foundBug());
+  ASSERT_TRUE(IcbR.foundBug());
+  EXPECT_GE(DfsR.Bugs[0].Preemptions, IcbR.Bugs[0].Preemptions);
+}
+
+TEST(Dfs, StateCacheExhaustsSameStates) {
+  SearchOptions Plain;
+  Plain.Kind = StrategyKind::Dfs;
+  SearchOptions Cached = Plain;
+  Cached.UseStateCache = true;
+  SearchResult A = checkProgram(testutil::eventPingPong(2), Plain);
+  SearchResult B = checkProgram(testutil::eventPingPong(2), Cached);
+  EXPECT_EQ(A.Stats.DistinctStates, B.Stats.DistinctStates);
+  EXPECT_LE(B.Stats.TotalSteps, A.Stats.TotalSteps);
+}
+
+TEST(Dfs, DepthBoundTruncates) {
+  SearchOptions Opts;
+  Opts.Kind = StrategyKind::DepthBoundedDfs;
+  Opts.DepthBound = 3;
+  SearchResult R = checkProgram(testutil::racyCounter(2), Opts);
+  EXPECT_FALSE(R.Stats.Completed);
+  EXPECT_LE(R.Stats.StepsPerExecution.max(), 3u);
+}
+
+TEST(Dfs, DepthBoundCanMissDeepBugs) {
+  // The racy-counter assert fires only after the joins, deeper than 3
+  // steps; a db:3 search cannot see it while ICB at bound 1 can.
+  SearchOptions Opts;
+  Opts.Kind = StrategyKind::DepthBoundedDfs;
+  Opts.DepthBound = 3;
+  SearchResult R = checkProgram(testutil::racyCounter(2), Opts);
+  EXPECT_FALSE(R.foundBug());
+}
+
+TEST(IterativeDfs, EventuallyFindsDeepBug) {
+  SearchOptions Opts;
+  Opts.Kind = StrategyKind::IterativeDfs;
+  Opts.DepthBound = 2; // Rounds at depth 2, 4, 6, ...
+  SearchResult R = checkProgram(testutil::racyCounter(2), Opts);
+  ASSERT_TRUE(R.foundBug());
+  EXPECT_TRUE(R.Stats.Completed);
+}
+
+TEST(RandomWalk, IsSeedDeterministic) {
+  SearchOptions Opts;
+  Opts.Kind = StrategyKind::Random;
+  Opts.Seed = 42;
+  Opts.RandomExecutions = 200;
+  SearchResult A = checkProgram(testutil::racyCounter(2), Opts);
+  SearchResult B = checkProgram(testutil::racyCounter(2), Opts);
+  EXPECT_EQ(A.Stats.DistinctStates, B.Stats.DistinctStates);
+  EXPECT_EQ(A.Stats.TotalSteps, B.Stats.TotalSteps);
+  Opts.Seed = 43;
+  SearchResult C = checkProgram(testutil::racyCounter(2), Opts);
+  // A different seed explores a different sample (with high probability);
+  // compare the whole coverage growth curves, not just the totals.
+  auto Curve = [](const SearchResult &R) {
+    std::vector<uint64_t> States;
+    for (const CoveragePoint &P : R.Stats.Coverage)
+      States.push_back(P.States);
+    return States;
+  };
+  EXPECT_EQ(Curve(A), Curve(B));
+  EXPECT_NE(Curve(A), Curve(C));
+}
+
+TEST(RandomWalk, ExecutesRequestedNumber) {
+  SearchOptions Opts;
+  Opts.Kind = StrategyKind::Random;
+  Opts.RandomExecutions = 57;
+  SearchResult R = checkProgram(testutil::eventPingPong(2), Opts);
+  EXPECT_EQ(R.Stats.Executions, 57u);
+  EXPECT_EQ(R.Stats.Coverage.size(), 57u);
+}
+
+TEST(Limits, MaxExecutionsStopsSearch) {
+  SearchOptions Opts;
+  Opts.Kind = StrategyKind::Icb;
+  Opts.Limits.MaxExecutions = 5;
+  SearchResult R = checkProgram(testutil::racyCounter(3), Opts);
+  EXPECT_EQ(R.Stats.Executions, 5u);
+  EXPECT_FALSE(R.Stats.Completed);
+}
+
+TEST(Limits, StopAtFirstBugStopsEarly) {
+  SearchResult All = runIcb(testutil::racyCounter(2));
+  SearchResult First = runIcb(testutil::racyCounter(2), false, 100, true);
+  EXPECT_LE(First.Stats.Executions, All.Stats.Executions);
+  ASSERT_TRUE(First.foundBug());
+}
+
+TEST(BugCollector, KeepsMinimalPreemptionExposure) {
+  BugCollector C;
+  Bug B1;
+  B1.Kind = BugKind::AssertFailure;
+  B1.Message = "m";
+  B1.Preemptions = 5;
+  EXPECT_TRUE(C.add(B1));
+  Bug B2 = B1;
+  B2.Preemptions = 2;
+  EXPECT_FALSE(C.add(B2));
+  ASSERT_EQ(C.bugs().size(), 1u);
+  EXPECT_EQ(C.bugs()[0].Preemptions, 2u);
+  Bug B3 = B1;
+  B3.Message = "other";
+  EXPECT_TRUE(C.add(B3));
+  EXPECT_EQ(C.bugs().size(), 2u);
+}
+
+TEST(Coverage, DfsAndIcbAgreeOnTotalStates) {
+  // Exhaustive searches must agree on the reachable state count.
+  Program Prog = testutil::racyCounter(2);
+  SearchOptions DfsOpts;
+  DfsOpts.Kind = StrategyKind::Dfs;
+  DfsOpts.UseStateCache = true;
+  SearchResult DfsR = checkProgram(Prog, DfsOpts);
+  SearchResult IcbR = runIcb(Prog);
+  ASSERT_TRUE(DfsR.Stats.Completed);
+  ASSERT_TRUE(IcbR.Stats.Completed);
+  EXPECT_EQ(DfsR.Stats.DistinctStates, IcbR.Stats.DistinctStates);
+}
+
+TEST(Coverage, BoundZeroReachesTerminatingExecutions) {
+  // "it is possible to get a complete terminating execution even with a
+  // bound of zero" — every bound-0 execution of a deadlock-free program
+  // ends with all threads Done, so steps-per-execution equals the full
+  // program length.
+  SearchResult R = runIcb(testutil::atomicCounter(2), false, /*MaxBound=*/0);
+  EXPECT_GT(R.Stats.Executions, 0u);
+  // Each worker: 1 shared step (addG); main: 2 joins + 1 load = 3.
+  EXPECT_EQ(R.Stats.StepsPerExecution.min(), 5u);
+  EXPECT_EQ(R.Stats.StepsPerExecution.max(), 5u);
+}
+
+} // namespace
+
+namespace {
+
+TEST(SleepSets, PreserveBugsWithFewerExecutions) {
+  // Sleep-set POR must keep every assertion failure and deadlock while
+  // exploring no more (usually far fewer) executions.
+  struct Case {
+    const char *Name;
+    Program Prog;
+  };
+  std::vector<Case> Cases;
+  Cases.push_back({"racy", testutil::racyCounter(3)});
+  Cases.push_back({"deadlock", testutil::lockOrderDeadlock()});
+  Cases.push_back({"ladder", testutil::preemptionLadder(3)});
+  Cases.push_back({"clean", testutil::atomicCounter(3)});
+  for (Case &C : Cases) {
+    DfsSearch::Options Plain;
+    DfsSearch PlainDfs(Plain);
+    DfsSearch::Options Por;
+    Por.UseSleepSets = true;
+    DfsSearch PorDfs(Por);
+    Interp VM(C.Prog);
+    SearchResult A = PlainDfs.run(VM);
+    SearchResult B = PorDfs.run(VM);
+    ASSERT_TRUE(A.Stats.Completed) << C.Name;
+    ASSERT_TRUE(B.Stats.Completed) << C.Name;
+    EXPECT_LE(B.Stats.Executions, A.Stats.Executions) << C.Name;
+    ASSERT_EQ(A.Bugs.size(), B.Bugs.size()) << C.Name;
+    for (const Bug &Want : A.Bugs) {
+      bool Found = false;
+      for (const Bug &Got : B.Bugs)
+        Found |= Got.Message == Want.Message && Got.Kind == Want.Kind;
+      EXPECT_TRUE(Found) << C.Name << ": POR lost bug " << Want.Message;
+    }
+  }
+}
+
+TEST(SleepSets, ActuallyReduceOnIndependentWork) {
+  // Threads touching disjoint globals commute completely: sleep sets
+  // should collapse the factorial blowup dramatically.
+  ProgramBuilder PB("disjoint");
+  std::vector<GlobalVar> Gs;
+  for (int I = 0; I != 3; ++I)
+    Gs.push_back(PB.addGlobal("g" + std::to_string(I), 0));
+  for (int I = 0; I != 3; ++I) {
+    ThreadBuilder &T = PB.addThread("t" + std::to_string(I));
+    T.imm(Reg{0}, 1);
+    T.storeG(Gs[static_cast<size_t>(I)], Reg{0});
+    T.storeG(Gs[static_cast<size_t>(I)], Reg{0});
+    T.halt();
+  }
+  Program Prog = PB.build();
+  Interp VM(Prog);
+  DfsSearch Plain(DfsSearch::Options{});
+  DfsSearch::Options PorOpts;
+  PorOpts.UseSleepSets = true;
+  DfsSearch Por(PorOpts);
+  SearchResult A = Plain.run(VM);
+  SearchResult B = Por.run(VM);
+  ASSERT_TRUE(A.Stats.Completed);
+  ASSERT_TRUE(B.Stats.Completed);
+  // 6 independent steps over 3 threads: 6!/(2!2!2!) = 90 interleavings,
+  // all equivalent; sleep sets keep exactly one.
+  EXPECT_EQ(A.Stats.Executions, 90u);
+  EXPECT_EQ(B.Stats.Executions, 1u);
+  EXPECT_FALSE(A.foundBug());
+  EXPECT_FALSE(B.foundBug());
+}
+
+} // namespace

@@ -1,0 +1,198 @@
+//===- tests/support_test.cpp - Support library unit tests -----------------===//
+//
+// Part of the ICB project (PLDI'07 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/CommandLine.h"
+#include "support/Csv.h"
+#include "support/Format.h"
+#include "support/Hashing.h"
+#include "support/Prng.h"
+#include "support/Stats.h"
+#include <gtest/gtest.h>
+#include <sstream>
+
+using namespace icb;
+
+namespace {
+
+TEST(Hashing, MixIsDeterministicAndSpreads) {
+  EXPECT_EQ(hashMix(1), hashMix(1));
+  EXPECT_NE(hashMix(1), hashMix(2));
+  // hashMix is a bijection fixing 0; nonzero inputs spread.
+  EXPECT_NE(hashMix(3), 3u);
+}
+
+TEST(Hashing, CombineIsOrderSensitive) {
+  uint64_t A = hashCombine(hashCombine(0, 1), 2);
+  uint64_t B = hashCombine(hashCombine(0, 2), 1);
+  EXPECT_NE(A, B);
+}
+
+TEST(Hashing, StableHasherUnorderedIsOrderInsensitive) {
+  StableHasher H1;
+  H1.addUnordered(10);
+  H1.addUnordered(20);
+  H1.addUnordered(30);
+  StableHasher H2;
+  H2.addUnordered(30);
+  H2.addUnordered(10);
+  H2.addUnordered(20);
+  EXPECT_EQ(H1.digest(), H2.digest());
+}
+
+TEST(Hashing, StableHasherUnorderedCountsMultiplicity) {
+  StableHasher H1;
+  H1.addUnordered(10);
+  StableHasher H2;
+  H2.addUnordered(10);
+  H2.addUnordered(10);
+  EXPECT_NE(H1.digest(), H2.digest());
+}
+
+TEST(Hashing, StringHashing) {
+  EXPECT_EQ(hashString("abc"), hashString("abc"));
+  EXPECT_NE(hashString("abc"), hashString("abd"));
+  EXPECT_NE(hashString(""), hashString("a"));
+}
+
+TEST(Prng, SplitMixIsReproducible) {
+  SplitMix64 A(7);
+  SplitMix64 B(7);
+  for (int I = 0; I != 100; ++I)
+    EXPECT_EQ(A.next(), B.next());
+}
+
+TEST(Prng, BoundedStaysInRange) {
+  Xoshiro256 Rng(123);
+  for (int I = 0; I != 1000; ++I) {
+    uint64_t V = Rng.nextBounded(7);
+    EXPECT_LT(V, 7u);
+  }
+}
+
+TEST(Prng, BoundedCoversRange) {
+  Xoshiro256 Rng(9);
+  bool Seen[5] = {};
+  for (int I = 0; I != 1000; ++I)
+    Seen[Rng.nextBounded(5)] = true;
+  for (bool S : Seen)
+    EXPECT_TRUE(S);
+}
+
+TEST(Prng, ShuffleIsAPermutation) {
+  Xoshiro256 Rng(5);
+  std::vector<int> V = {1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> Orig = V;
+  Rng.shuffle(V);
+  std::sort(V.begin(), V.end());
+  EXPECT_EQ(V, Orig);
+}
+
+TEST(Format, BasicFormatting) {
+  EXPECT_EQ(strFormat("%d-%s", 42, "x"), "42-x");
+  EXPECT_EQ(strFormat("%05d", 7), "00007");
+}
+
+TEST(Format, LongStringsDoNotTruncate) {
+  std::string Long(5000, 'a');
+  EXPECT_EQ(strFormat("%s", Long.c_str()).size(), 5000u);
+}
+
+TEST(Format, Padding) {
+  EXPECT_EQ(padLeft("ab", 5), "   ab");
+  EXPECT_EQ(padRight("ab", 5), "ab   ");
+  EXPECT_EQ(padLeft("abcdef", 3), "abcdef");
+}
+
+TEST(Format, WithCommas) {
+  EXPECT_EQ(withCommas(0), "0");
+  EXPECT_EQ(withCommas(999), "999");
+  EXPECT_EQ(withCommas(1000), "1,000");
+  EXPECT_EQ(withCommas(1234567), "1,234,567");
+}
+
+TEST(Csv, WritesHeaderAndRows) {
+  std::ostringstream Out;
+  CsvWriter Csv(Out, {"a", "b"});
+  Csv.writeRow(std::vector<std::string>{"1", "x,y"});
+  Csv.writeRow(std::vector<double>{2.5, 3});
+  EXPECT_EQ(Out.str(), "a,b\n1,\"x,y\"\n2.5,3\n");
+  EXPECT_EQ(Csv.rowCount(), 2u);
+}
+
+TEST(Csv, EscapesQuotes) {
+  std::ostringstream Out;
+  CsvWriter Csv(Out, {"a"});
+  Csv.writeRow(std::vector<std::string>{"say \"hi\""});
+  EXPECT_EQ(Out.str(), "a\n\"say \"\"hi\"\"\"\n");
+}
+
+TEST(CommandLine, ParsesAllKinds) {
+  FlagSet Flags("test");
+  Flags.addInt("count", 3, "a count");
+  Flags.addBool("verbose", false, "talk more");
+  Flags.addString("name", "def", "a name");
+  const char *Argv[] = {"prog", "--count=9", "--verbose", "--name", "zed",
+                        "extra"};
+  std::string Error;
+  ASSERT_TRUE(Flags.parse(6, Argv, &Error)) << Error;
+  EXPECT_EQ(Flags.getInt("count"), 9);
+  EXPECT_TRUE(Flags.getBool("verbose"));
+  EXPECT_EQ(Flags.getString("name"), "zed");
+  ASSERT_EQ(Flags.positional().size(), 1u);
+  EXPECT_EQ(Flags.positional()[0], "extra");
+}
+
+TEST(CommandLine, RejectsUnknownFlag) {
+  FlagSet Flags("test");
+  const char *Argv[] = {"prog", "--nope=1"};
+  std::string Error;
+  EXPECT_FALSE(Flags.parse(2, Argv, &Error));
+  EXPECT_NE(Error.find("unknown flag"), std::string::npos);
+}
+
+TEST(CommandLine, RejectsMalformedInt) {
+  FlagSet Flags("test");
+  Flags.addInt("n", 0, "num");
+  const char *Argv[] = {"prog", "--n=abc"};
+  std::string Error;
+  EXPECT_FALSE(Flags.parse(2, Argv, &Error));
+}
+
+TEST(CommandLine, BoolAcceptsExplicitValues) {
+  FlagSet Flags("test");
+  Flags.addBool("flag", true, "a flag");
+  const char *Argv[] = {"prog", "--flag=false"};
+  std::string Error;
+  ASSERT_TRUE(Flags.parse(2, Argv, &Error));
+  EXPECT_FALSE(Flags.getBool("flag"));
+}
+
+TEST(Stats, MinMaxTracksExtremes) {
+  MinMax M;
+  EXPECT_TRUE(M.empty());
+  M.observe(5);
+  M.observe(2);
+  M.observe(9);
+  EXPECT_EQ(M.min(), 2u);
+  EXPECT_EQ(M.max(), 9u);
+  EXPECT_EQ(M.sum(), 16u);
+  EXPECT_EQ(M.count(), 3u);
+  EXPECT_NEAR(M.mean(), 16.0 / 3.0, 1e-9);
+}
+
+TEST(Stats, HistogramGrowsOnDemand) {
+  Histogram H;
+  H.increment(0);
+  H.increment(3, 4);
+  EXPECT_EQ(H.at(0), 1u);
+  EXPECT_EQ(H.at(1), 0u);
+  EXPECT_EQ(H.at(3), 4u);
+  EXPECT_EQ(H.at(17), 0u);
+  EXPECT_EQ(H.size(), 4u);
+  EXPECT_EQ(H.total(), 5u);
+}
+
+} // namespace

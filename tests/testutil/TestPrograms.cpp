@@ -1,0 +1,159 @@
+//===- tests/testutil/TestPrograms.cpp - Shared tiny model programs --------===//
+//
+// Part of the ICB project (PLDI'07 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "testutil/TestPrograms.h"
+#include "support/Format.h"
+
+using namespace icb;
+using namespace icb::vm;
+
+Program icb::testutil::racyCounter(unsigned Workers) {
+  ProgramBuilder PB(strFormat("racy-counter-%u", Workers));
+  GlobalVar Counter = PB.addGlobal("counter", 0);
+
+  std::vector<ThreadRef> Refs;
+  // Declare main first so thread 0 is the driver (cosmetic only).
+  ThreadBuilder &Main = PB.addThread("main");
+  for (unsigned I = 0; I != Workers; ++I) {
+    ThreadBuilder &W = PB.addThread(strFormat("worker%u", I));
+    Refs.push_back(W.ref());
+    W.incrNonAtomic(Counter, Reg{0});
+    W.halt();
+  }
+  for (ThreadRef R : Refs)
+    Main.join(R);
+  Main.assertGlobalEq(Counter, Workers, Reg{0}, Reg{1},
+                      "lost update: counter != number of workers");
+  Main.halt();
+  return PB.build();
+}
+
+Program icb::testutil::atomicCounter(unsigned Workers) {
+  ProgramBuilder PB(strFormat("atomic-counter-%u", Workers));
+  GlobalVar Counter = PB.addGlobal("counter", 0);
+
+  ThreadBuilder &Main = PB.addThread("main");
+  std::vector<ThreadRef> Refs;
+  for (unsigned I = 0; I != Workers; ++I) {
+    ThreadBuilder &W = PB.addThread(strFormat("worker%u", I));
+    Refs.push_back(W.ref());
+    W.imm(Reg{1}, 1);
+    W.addG(Reg{0}, Counter, Reg{1});
+    W.halt();
+  }
+  for (ThreadRef R : Refs)
+    Main.join(R);
+  Main.assertGlobalEq(Counter, Workers, Reg{0}, Reg{1},
+                      "atomic counter must equal number of workers");
+  Main.halt();
+  return PB.build();
+}
+
+Program icb::testutil::lockOrderDeadlock() {
+  ProgramBuilder PB("lock-order-deadlock");
+  LockVar A = PB.addLock("A");
+  LockVar B = PB.addLock("B");
+
+  ThreadBuilder &T1 = PB.addThread("t1");
+  T1.lock(A);
+  T1.lock(B);
+  T1.unlock(B);
+  T1.unlock(A);
+  T1.halt();
+
+  ThreadBuilder &T2 = PB.addThread("t2");
+  T2.lock(B);
+  T2.lock(A);
+  T2.unlock(A);
+  T2.unlock(B);
+  T2.halt();
+  return PB.build();
+}
+
+Program icb::testutil::eventPingPong(unsigned Rounds) {
+  ProgramBuilder PB(strFormat("event-ping-pong-%u", Rounds));
+  EventVar Ping = PB.addEvent("ping", /*ManualReset=*/false,
+                              /*InitiallySet=*/true);
+  EventVar Pong = PB.addEvent("pong");
+
+  auto EmitLoop = [Rounds](ThreadBuilder &T, EventVar WaitOn, EventVar Set) {
+    Label Loop = T.newLabel();
+    Label End = T.newLabel();
+    T.imm(Reg{0}, Rounds);
+    T.bind(Loop);
+    T.bz(Reg{0}, End);
+    T.waitE(WaitOn);
+    T.setE(Set);
+    T.imm(Reg{1}, 1);
+    T.sub(Reg{0}, Reg{0}, Reg{1});
+    T.jmp(Loop);
+    T.bind(End);
+    T.halt();
+  };
+
+  EmitLoop(PB.addThread("pinger"), Ping, Pong);
+  EmitLoop(PB.addThread("ponger"), Pong, Ping);
+  return PB.build();
+}
+
+Program icb::testutil::semaphoreBuffer(unsigned Slots, unsigned Items) {
+  ProgramBuilder PB(strFormat("sem-buffer-%u-%u", Slots, Items));
+  SemVar Empty = PB.addSemaphore("empty", static_cast<int32_t>(Slots));
+  SemVar Full = PB.addSemaphore("full", 0);
+
+  auto EmitLoop = [Items](ThreadBuilder &T, SemVar Take, SemVar Give) {
+    Label Loop = T.newLabel();
+    Label End = T.newLabel();
+    T.imm(Reg{0}, Items);
+    T.bind(Loop);
+    T.bz(Reg{0}, End);
+    T.semP(Take);
+    T.semV(Give);
+    T.imm(Reg{1}, 1);
+    T.sub(Reg{0}, Reg{0}, Reg{1});
+    T.jmp(Loop);
+    T.bind(End);
+    T.halt();
+  };
+
+  EmitLoop(PB.addThread("producer"), Empty, Full);
+  EmitLoop(PB.addThread("consumer"), Full, Empty);
+  return PB.build();
+}
+
+Program icb::testutil::preemptionLadder(unsigned NeededPreemptions) {
+  // With w observation windows the attacker needs 2w-1 preemptions (switch
+  // into the window, switch back to the victim, ... , final switch in).
+  // Round the request up to the nearest odd count.
+  unsigned Windows = (NeededPreemptions + 1) / 2;
+  if (Windows == 0)
+    Windows = 1;
+  ProgramBuilder PB(strFormat("preemption-ladder-%u", Windows));
+
+  std::vector<GlobalVar> Flags;
+  for (unsigned I = 0; I != Windows; ++I)
+    Flags.push_back(PB.addGlobal(strFormat("flag%u", I), 0));
+
+  ThreadBuilder &Victim = PB.addThread("victim");
+  for (GlobalVar Flag : Flags) {
+    Victim.storeImm(Flag, 1, Reg{0}); // Window opens.
+    Victim.storeImm(Flag, 0, Reg{0}); // Window closes.
+  }
+  Victim.halt();
+
+  ThreadBuilder &Attacker = PB.addThread("attacker");
+  // Observe every window; r1..rW hold the observations.
+  for (unsigned I = 0; I != Windows; ++I)
+    Attacker.loadG(Reg{static_cast<uint8_t>(1 + I)}, Flags[I]);
+  Attacker.mov(Reg{0}, Reg{1});
+  for (unsigned I = 1; I != Windows; ++I)
+    Attacker.bitAnd(Reg{0}, Reg{0}, Reg{static_cast<uint8_t>(1 + I)});
+  Attacker.logicalNot(Reg{0}, Reg{0});
+  Attacker.assertTrue(Reg{0},
+                      "attacker observed every window open (ladder bug)");
+  Attacker.halt();
+  return PB.build();
+}

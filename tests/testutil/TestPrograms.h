@@ -1,0 +1,47 @@
+//===- tests/testutil/TestPrograms.h - Shared tiny model programs -*- C++ -*-===//
+//
+// Part of the ICB project (PLDI'07 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Small model programs used across the unit tests: a racy counter, its
+/// atomic fix, a lock-order deadlock, and event/semaphore ping-pong models.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ICB_TESTS_TESTUTIL_TESTPROGRAMS_H
+#define ICB_TESTS_TESTUTIL_TESTPROGRAMS_H
+
+#include "vm/Builder.h"
+#include "vm/Program.h"
+
+namespace icb::testutil {
+
+/// N workers each increment a shared counter once, non-atomically; a main
+/// thread joins them and asserts the count equals N. The classic lost
+/// update: fails with exactly 1 preemption (for N >= 2).
+vm::Program racyCounter(unsigned Workers);
+
+/// Same as racyCounter but with atomic increments: no reachable bug.
+vm::Program atomicCounter(unsigned Workers);
+
+/// Two threads acquire two locks in opposite orders: a deadlock reachable
+/// with exactly 1 preemption.
+vm::Program lockOrderDeadlock();
+
+/// Two threads ping-pong over two auto-reset events N times each; always
+/// terminates, fully serialized (0 preemptions reach everything).
+vm::Program eventPingPong(unsigned Rounds);
+
+/// A bounded-buffer producer/consumer over semaphores; no bug.
+vm::Program semaphoreBuffer(unsigned Slots, unsigned Items);
+
+/// A bug that requires at least \p NeededPreemptions preemptions to
+/// expose: a chain of flag checks that only fails if the victim thread is
+/// preempted inside each of its critical windows.
+vm::Program preemptionLadder(unsigned NeededPreemptions);
+
+} // namespace icb::testutil
+
+#endif // ICB_TESTS_TESTUTIL_TESTPROGRAMS_H

@@ -1,0 +1,162 @@
+//===- tests/trace_test.cpp - Trace layer unit tests -----------------------===//
+//
+// Part of the ICB project (PLDI'07 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "trace/Fingerprint.h"
+#include "trace/Schedule.h"
+#include "trace/TraceWriter.h"
+#include "trace/VectorClock.h"
+#include <gtest/gtest.h>
+
+using namespace icb;
+using namespace icb::trace;
+
+namespace {
+
+TEST(VectorClockTest, TickAndGet) {
+  VectorClock C(3);
+  EXPECT_EQ(C.get(0), 0u);
+  C.tick(0);
+  C.tick(0);
+  C.tick(2);
+  EXPECT_EQ(C.get(0), 2u);
+  EXPECT_EQ(C.get(1), 0u);
+  EXPECT_EQ(C.get(2), 1u);
+}
+
+TEST(VectorClockTest, JoinTakesPointwiseMax) {
+  VectorClock A(3), B(3);
+  A.tick(0);
+  A.tick(0);
+  B.tick(1);
+  A.join(B);
+  EXPECT_EQ(A.get(0), 2u);
+  EXPECT_EQ(A.get(1), 1u);
+}
+
+TEST(VectorClockTest, LeqIsPartialOrder) {
+  VectorClock A(2), B(2);
+  EXPECT_TRUE(A.leq(B));
+  A.tick(0);
+  EXPECT_FALSE(A.leq(B));
+  EXPECT_TRUE(B.leq(A));
+  B.tick(1);
+  EXPECT_FALSE(A.leq(B));
+  EXPECT_FALSE(B.leq(A)); // Incomparable.
+}
+
+TEST(VectorClockTest, HashAndStr) {
+  VectorClock A(3), B(3);
+  EXPECT_EQ(A.hash(), B.hash());
+  A.tick(1);
+  EXPECT_NE(A.hash(), B.hash());
+  EXPECT_EQ(A.str(), "<0,1,0>");
+}
+
+TEST(FingerprintTest, InterleavingInvariance) {
+  // Two threads touching different sync vars: both orders equivalent.
+  FingerprintBuilder F1(2), F2(2);
+  F1.addStep(0, 10, true, 1);
+  F1.addStep(1, 20, true, 1);
+  F2.addStep(1, 20, true, 1);
+  F2.addStep(0, 10, true, 1);
+  EXPECT_EQ(F1.digest(), F2.digest());
+}
+
+TEST(FingerprintTest, ConflictOrderMatters) {
+  // Same sync var: the access order is part of the happens-before.
+  FingerprintBuilder F1(2), F2(2);
+  F1.addStep(0, 10, true, 1);
+  F1.addStep(1, 10, true, 1);
+  F2.addStep(1, 10, true, 1);
+  F2.addStep(0, 10, true, 1);
+  EXPECT_NE(F1.digest(), F2.digest());
+}
+
+TEST(FingerprintTest, DataStepsOrderedOnlyByThread) {
+  // Data steps on the same variable by different threads do not order
+  // each other; swapping them keeps the digest.
+  FingerprintBuilder F1(2), F2(2);
+  F1.addStep(0, 10, false, 0);
+  F1.addStep(1, 10, false, 0);
+  F2.addStep(1, 10, false, 0);
+  F2.addStep(0, 10, false, 0);
+  EXPECT_EQ(F1.digest(), F2.digest());
+}
+
+TEST(FingerprintTest, SyncCreatesCrossThreadOrder) {
+  // t0: var A; sync M. t1: sync M; var A. Reordering the sync ops changes
+  // the partial order and hence the digest.
+  FingerprintBuilder F1(2), F2(2);
+  F1.addStep(0, 10, true, 1); // t0 syncs M first.
+  F1.addStep(1, 10, true, 1);
+  F1.addStep(1, 99, true, 2);
+  F2.addStep(1, 10, true, 1); // t1 syncs M first.
+  F2.addStep(1, 99, true, 2);
+  F2.addStep(0, 10, true, 1);
+  EXPECT_NE(F1.digest(), F2.digest());
+}
+
+TEST(FingerprintTest, StepMultiplicityCounts) {
+  FingerprintBuilder F1(1), F2(1);
+  F1.addStep(0, 10, true, 1);
+  F2.addStep(0, 10, true, 1);
+  F2.addStep(0, 10, true, 1);
+  EXPECT_NE(F1.digest(), F2.digest());
+}
+
+TEST(ScheduleTest, PreemptionCounting) {
+  Schedule S;
+  S.append(0, false, false);
+  S.append(1, true, true);
+  S.append(1, false, false);
+  S.append(0, false, true);
+  EXPECT_EQ(S.length(), 4u);
+  EXPECT_EQ(S.preemptions(), 1u);
+  EXPECT_EQ(S.contextSwitches(), 2u);
+}
+
+TEST(ScheduleTest, StrAndParseRoundTrip) {
+  Schedule S;
+  S.append(0, false, false);
+  S.append(2, true, true);
+  S.append(1, false, true);
+  std::string Text = S.str();
+  EXPECT_EQ(Text, "0 2* 1^");
+  Schedule Parsed;
+  ASSERT_TRUE(Schedule::parse(Text, Parsed));
+  EXPECT_TRUE(S == Parsed);
+}
+
+TEST(ScheduleTest, ParseRejectsGarbage) {
+  Schedule S;
+  EXPECT_FALSE(Schedule::parse("1 x 2", S));
+  EXPECT_FALSE(Schedule::parse("*", S));
+}
+
+TEST(ScheduleTest, Truncate) {
+  Schedule S;
+  for (int I = 0; I != 5; ++I)
+    S.append(static_cast<uint32_t>(I), false, false);
+  S.truncate(2);
+  EXPECT_EQ(S.length(), 2u);
+  S.truncate(10); // No-op beyond current length.
+  EXPECT_EQ(S.length(), 2u);
+}
+
+TEST(TraceWriterTest, RendersCountsAndMarkers) {
+  std::vector<TraceStep> Steps;
+  Steps.push_back({0, "main", "lock m", false, false, true});
+  Steps.push_back({1, "worker", "set e", true, true, false});
+  Steps.push_back({0, "main", "wait e", false, true, true});
+  std::string Text = TraceWriter::render("assertion failed: boom", Steps);
+  EXPECT_NE(Text.find("assertion failed: boom"), std::string::npos);
+  EXPECT_NE(Text.find("3 steps"), std::string::npos);
+  EXPECT_NE(Text.find("(1 preempting, 1 nonpreempting)"), std::string::npos);
+  EXPECT_NE(Text.find(">>>"), std::string::npos);
+  EXPECT_NE(Text.find("(blocking)"), std::string::npos);
+}
+
+} // namespace

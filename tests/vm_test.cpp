@@ -1,0 +1,311 @@
+//===- tests/vm_test.cpp - Model VM unit tests -----------------------------===//
+//
+// Part of the ICB project (PLDI'07 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "testutil/TestPrograms.h"
+#include "vm/Builder.h"
+#include "vm/Disassembler.h"
+#include "vm/Interp.h"
+#include <gtest/gtest.h>
+
+using namespace icb;
+using namespace icb::vm;
+
+namespace {
+
+TEST(ProgramBuilder, BuildsValidProgram) {
+  Program Prog = testutil::racyCounter(2);
+  EXPECT_EQ(Prog.validate(), "");
+  EXPECT_EQ(Prog.numThreads(), 3u);
+  EXPECT_EQ(Prog.Globals.size(), 1u);
+  EXPECT_GT(Prog.totalInstructions(), 0u);
+}
+
+TEST(ProgramBuilder, InternsAssertMessages) {
+  ProgramBuilder PB("msg-intern");
+  ThreadBuilder &T = PB.addThread("t");
+  T.imm(Reg{0}, 1);
+  T.assertTrue(Reg{0}, "same message");
+  T.assertTrue(Reg{0}, "same message");
+  T.assertTrue(Reg{0}, "different message");
+  T.halt();
+  Program Prog = PB.build();
+  EXPECT_EQ(Prog.Messages.size(), 2u);
+}
+
+TEST(ProgramValidate, RejectsMissingHalt) {
+  Program Prog;
+  Prog.Name = "no-halt";
+  Prog.Threads.push_back({"t", {Instruction{Op::Nop, 0, 0, 0, 0, 0}}});
+  EXPECT_NE(Prog.validate(), "");
+}
+
+TEST(ProgramValidate, RejectsBadRegister) {
+  Program Prog;
+  Prog.Name = "bad-reg";
+  Prog.Threads.push_back(
+      {"t",
+       {Instruction{Op::Imm, 99, 0, 0, 0, 0},
+        Instruction{Op::Halt, 0, 0, 0, 0, 0}}});
+  EXPECT_NE(Prog.validate(), "");
+}
+
+TEST(ProgramValidate, RejectsBadGlobalIndex) {
+  Program Prog;
+  Prog.Name = "bad-global";
+  Prog.Threads.push_back(
+      {"t",
+       {Instruction{Op::LoadG, 0, 5, 0, 0, 0},
+        Instruction{Op::Halt, 0, 0, 0, 0, 0}}});
+  EXPECT_NE(Prog.validate(), "");
+}
+
+TEST(ProgramValidate, RejectsBadBranchTarget) {
+  Program Prog;
+  Prog.Name = "bad-branch";
+  Prog.Threads.push_back(
+      {"t",
+       {Instruction{Op::Jmp, 17, 0, 0, 0, 0},
+        Instruction{Op::Halt, 0, 0, 0, 0, 0}}});
+  EXPECT_NE(Prog.validate(), "");
+}
+
+TEST(Interp, InitialStateParksThreadsAtSharedAccess) {
+  Program Prog = testutil::racyCounter(2);
+  Interp VM(Prog);
+  State S = VM.initialState();
+  // Workers are parked at their first LoadG; main at its first Join.
+  for (ThreadId Tid = 0; Tid != S.Threads.size(); ++Tid)
+    EXPECT_EQ(S.Threads[Tid].Status, ThreadStatus::Runnable);
+  // Main (thread 0) waits on worker joins and is disabled initially.
+  EXPECT_FALSE(VM.isEnabled(S, 0));
+  EXPECT_TRUE(VM.isEnabled(S, 1));
+  EXPECT_TRUE(VM.isEnabled(S, 2));
+}
+
+TEST(Interp, StepExecutesOneSharedAccess) {
+  Program Prog = testutil::racyCounter(1);
+  Interp VM(Prog);
+  State S = VM.initialState();
+  // Worker (thread 1): LoadG then StoreG.
+  StepResult R1 = VM.step(S, 1);
+  EXPECT_EQ(R1.Status, StepStatus::Ok);
+  EXPECT_EQ(R1.Var.Kind, VarKind::Global);
+  StepResult R2 = VM.step(S, 1);
+  EXPECT_EQ(R2.Status, StepStatus::ThreadDone);
+  EXPECT_EQ(S.Globals[0], 1);
+  EXPECT_EQ(S.Threads[1].Status, ThreadStatus::Done);
+}
+
+TEST(Interp, JoinBlocksUntilTargetDone) {
+  Program Prog = testutil::racyCounter(1);
+  Interp VM(Prog);
+  State S = VM.initialState();
+  EXPECT_FALSE(VM.isEnabled(S, 0));
+  VM.step(S, 1);
+  VM.step(S, 1); // Worker halts.
+  EXPECT_TRUE(VM.isEnabled(S, 0));
+  StepResult R = VM.step(S, 0); // Join executes; then load+assert succeed.
+  EXPECT_TRUE(R.WasBlockingOp);
+}
+
+TEST(Interp, AssertFailureSurfacesMessage) {
+  Program Prog = testutil::racyCounter(2);
+  Interp VM(Prog);
+  State S = VM.initialState();
+  // Force the lost update: w1 loads, w2 runs fully, w1 stores stale value.
+  VM.step(S, 1);                       // w1: load 0.
+  VM.step(S, 2);                       // w2: load 0.
+  EXPECT_EQ(VM.step(S, 2).Status, StepStatus::ThreadDone); // w2: store 1.
+  EXPECT_EQ(VM.step(S, 1).Status, StepStatus::ThreadDone); // w1: store 1.
+  EXPECT_EQ(S.Globals[0], 1);
+  VM.step(S, 0);                       // main: join w1.
+  VM.step(S, 0);                       // main: join w2.
+  StepResult R = VM.step(S, 0);        // main: load counter, assert.
+  // The final shared access is the counter load; the assert fails in the
+  // local run-on.
+  EXPECT_EQ(R.Status, StepStatus::AssertFailed);
+  EXPECT_EQ(Prog.Messages[R.MsgId],
+            "lost update: counter != number of workers");
+}
+
+TEST(Interp, LockEnabledness) {
+  Program Prog = testutil::lockOrderDeadlock();
+  Interp VM(Prog);
+  State S = VM.initialState();
+  EXPECT_TRUE(VM.isEnabled(S, 0));
+  EXPECT_TRUE(VM.isEnabled(S, 1));
+  VM.step(S, 0); // t1: lock A; parks at lock B.
+  VM.step(S, 1); // t2: lock B; parks at lock A.
+  EXPECT_FALSE(VM.isEnabled(S, 0));
+  EXPECT_FALSE(VM.isEnabled(S, 1));
+  EXPECT_TRUE(VM.enabledThreads(S).empty());
+  EXPECT_FALSE(S.allDone()); // Deadlock, not termination.
+}
+
+TEST(Interp, UnlockNotHeldIsModelError) {
+  ProgramBuilder PB("bad-unlock");
+  LockVar A = PB.addLock("A");
+  ThreadBuilder &T = PB.addThread("t");
+  T.unlock(A);
+  T.halt();
+  Program Prog = PB.build();
+  Interp VM(Prog);
+  State S = VM.initialState();
+  StepResult R = VM.step(S, 0);
+  EXPECT_EQ(R.Status, StepStatus::ModelError);
+  EXPECT_NE(R.ModelErrorText.find("unlock"), std::string::npos);
+}
+
+TEST(Interp, AutoResetEventIsConsumed) {
+  ProgramBuilder PB("auto-reset");
+  EventVar E = PB.addEvent("e", /*ManualReset=*/false, /*InitiallySet=*/true);
+  ThreadBuilder &T1 = PB.addThread("t1");
+  T1.waitE(E);
+  T1.halt();
+  ThreadBuilder &T2 = PB.addThread("t2");
+  T2.waitE(E);
+  T2.halt();
+  Program Prog = PB.build();
+  Interp VM(Prog);
+  State S = VM.initialState();
+  EXPECT_TRUE(VM.isEnabled(S, 0));
+  EXPECT_TRUE(VM.isEnabled(S, 1));
+  VM.step(S, 0); // Consumes the event.
+  EXPECT_FALSE(VM.isEnabled(S, 1));
+}
+
+TEST(Interp, ManualResetEventStaysSet) {
+  ProgramBuilder PB("manual-reset");
+  EventVar E = PB.addEvent("e", /*ManualReset=*/true, /*InitiallySet=*/true);
+  ThreadBuilder &T1 = PB.addThread("t1");
+  T1.waitE(E);
+  T1.halt();
+  ThreadBuilder &T2 = PB.addThread("t2");
+  T2.waitE(E);
+  T2.halt();
+  Program Prog = PB.build();
+  Interp VM(Prog);
+  State S = VM.initialState();
+  VM.step(S, 0);
+  EXPECT_TRUE(VM.isEnabled(S, 1));
+}
+
+TEST(Interp, SemaphoreCounts) {
+  Program Prog = testutil::semaphoreBuffer(1, 2);
+  Interp VM(Prog);
+  State S = VM.initialState();
+  // Producer can P(empty); consumer cannot P(full) yet.
+  EXPECT_TRUE(VM.isEnabled(S, 0));
+  EXPECT_FALSE(VM.isEnabled(S, 1));
+  VM.step(S, 0); // P(empty): empty 1 -> 0.
+  VM.step(S, 0); // V(full):  full 0 -> 1.
+  EXPECT_TRUE(VM.isEnabled(S, 1));
+  // Producer's next P(empty) blocks until the consumer V(empty)s.
+  EXPECT_FALSE(VM.isEnabled(S, 0));
+}
+
+TEST(Interp, CasSemantics) {
+  ProgramBuilder PB("cas");
+  GlobalVar G = PB.addGlobal("g", 7);
+  ThreadBuilder &T = PB.addThread("t");
+  T.imm(Reg{1}, 7);   // expected
+  T.imm(Reg{2}, 42);  // replacement
+  T.casG(Reg{0}, G, Reg{1}, Reg{2});
+  T.assertTrue(Reg{0}, "first cas must succeed");
+  T.casG(Reg{3}, G, Reg{1}, Reg{2});
+  T.logicalNot(Reg{3}, Reg{3});
+  T.assertTrue(Reg{3}, "second cas must fail");
+  T.halt();
+  Program Prog = PB.build();
+  Interp VM(Prog);
+  State S = VM.initialState();
+  VM.step(S, 0);
+  StepResult R = VM.step(S, 0);
+  EXPECT_EQ(R.Status, StepStatus::ThreadDone);
+  EXPECT_EQ(S.Globals[0], 42);
+}
+
+TEST(Interp, XchgSemantics) {
+  ProgramBuilder PB("xchg");
+  GlobalVar G = PB.addGlobal("g", 5);
+  ThreadBuilder &T = PB.addThread("t");
+  T.imm(Reg{1}, 9);
+  T.xchgG(Reg{0}, G, Reg{1});
+  T.imm(Reg{2}, 5);
+  T.eq(Reg{0}, Reg{0}, Reg{2});
+  T.assertTrue(Reg{0}, "xchg must return the old value");
+  T.halt();
+  Program Prog = PB.build();
+  Interp VM(Prog);
+  State S = VM.initialState();
+  StepResult R = VM.step(S, 0);
+  EXPECT_EQ(R.Status, StepStatus::ThreadDone);
+  EXPECT_EQ(S.Globals[0], 9);
+}
+
+TEST(Interp, RunawayLocalLoopIsModelError) {
+  Program Prog;
+  Prog.Name = "runaway";
+  // A thread that spins forever in local code: jmp to itself.
+  Prog.Threads.push_back(
+      {"t",
+       {Instruction{Op::LoadG, 0, 0, 0, 0, 0},
+        Instruction{Op::Jmp, 1, 0, 0, 0, 0},
+        Instruction{Op::Halt, 0, 0, 0, 0, 0}}});
+  Prog.Globals.push_back({"g", 0});
+  ASSERT_EQ(Prog.validate(), "");
+  Interp VM(Prog);
+  State S = VM.initialState();
+  StepResult R = VM.step(S, 0);
+  EXPECT_EQ(R.Status, StepStatus::ModelError);
+  EXPECT_NE(R.ModelErrorText.find("runaway"), std::string::npos);
+}
+
+TEST(State, HashDistinguishesDifferentStates) {
+  Program Prog = testutil::racyCounter(2);
+  Interp VM(Prog);
+  State S1 = VM.initialState();
+  State S2 = S1;
+  EXPECT_EQ(S1.hash(), S2.hash());
+  EXPECT_TRUE(S1 == S2);
+  VM.step(S2, 1);
+  EXPECT_NE(S1.hash(), S2.hash());
+  EXPECT_FALSE(S1 == S2);
+}
+
+TEST(State, HashCanonicalizesDeadRegisters) {
+  // Two different interleavings that leave identical shared state and
+  // terminated threads must hash identically even though the workers'
+  // registers held different intermediate values along the way.
+  Program Prog = testutil::atomicCounter(2);
+  Interp VM(Prog);
+  State A = VM.initialState();
+  State B = VM.initialState();
+  // Order 1-2 vs 2-1; atomic adds commute (each worker is one step).
+  VM.step(A, 1);
+  VM.step(A, 2);
+  VM.step(B, 2);
+  VM.step(B, 1);
+  EXPECT_EQ(A.hash(), B.hash());
+}
+
+TEST(Disassembler, RendersProgram) {
+  Program Prog = testutil::lockOrderDeadlock();
+  std::string Text = disassembleProgram(Prog);
+  EXPECT_NE(Text.find("lock A"), std::string::npos);
+  EXPECT_NE(Text.find("unlock B"), std::string::npos);
+  EXPECT_NE(Text.find("thread 0 't1'"), std::string::npos);
+}
+
+TEST(Disassembler, RendersAssertsAndBranches) {
+  Program Prog = testutil::eventPingPong(2);
+  std::string Text = disassembleThread(Prog, 0);
+  EXPECT_NE(Text.find("waite ping"), std::string::npos);
+  EXPECT_NE(Text.find("sete pong"), std::string::npos);
+  EXPECT_NE(Text.find("jmp @"), std::string::npos);
+}
+
+} // namespace

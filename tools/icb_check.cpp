@@ -1,0 +1,230 @@
+//===- tools/icb_check.cpp - Command-line systematic checker ---------------===//
+//
+// Part of the ICB project (PLDI'07 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The command-line face of the checker, in the spirit of running CHESS
+/// over a test binary: pick a benchmark (and optionally one of its seeded
+/// bugs) from the registry, pick a search strategy, and systematically
+/// explore it. Reports bugs with their minimal preemption counts and can
+/// replay the counterexample as a full trace.
+///
+/// Examples:
+///   icb_check --list
+///   icb_check --benchmark="Work Stealing Queue" --bug=pop-retry-no-lock
+///   icb_check --benchmark=Bluetooth --bug=all --trace
+///   icb_check --benchmark=APE --strategy=dfs --max-executions=50000
+///   icb_check --benchmark="Transaction Manager" --bug=commit-upsert
+///
+//===----------------------------------------------------------------------===//
+
+#include "benchmarks/Registry.h"
+#include "rt/Explore.h"
+#include "search/Checker.h"
+#include "support/CommandLine.h"
+#include "support/Format.h"
+#include <cstdio>
+
+using namespace icb;
+using namespace icb::bench;
+
+namespace {
+
+void listBenchmarks() {
+  std::printf("benchmarks:\n");
+  for (const BenchmarkEntry &E : allBenchmarks()) {
+    std::printf("  %-22s %u driver threads, %s form%s\n", E.Name.c_str(),
+                E.DriverThreads, E.MakeDefaultRt ? "runtime" : "model VM",
+                E.Bugs.empty() ? ", no seeded bugs" : "");
+    for (const BugVariant &B : E.Bugs)
+      std::printf("      --bug=%-24s (paper bound %u)\n", B.Label.c_str(),
+                  B.PaperBound);
+  }
+}
+
+struct RunConfig {
+  std::string Strategy = "icb";
+  unsigned MaxBound = 4;
+  uint64_t MaxExecutions = 1u << 20;
+  uint64_t Seed = 1;
+  bool Trace = false;
+  bool StopAtFirst = true;
+  bool EveryAccess = false;
+  std::string Detector = "vc";
+};
+
+/// Runs one runtime-form test; returns 1 when a bug was found.
+int runRt(const rt::TestCase &Test, const RunConfig &Config) {
+  rt::ExploreOptions Opts;
+  Opts.Limits.MaxExecutions = Config.MaxExecutions;
+  Opts.Limits.MaxPreemptionBound = Config.MaxBound;
+  Opts.Limits.StopAtFirstBug = Config.StopAtFirst;
+  if (Config.EveryAccess)
+    Opts.Exec.Mode = rt::SchedPointMode::EveryAccess;
+  Opts.Exec.Detector = Config.Detector == "goldilocks"
+                           ? rt::DetectorKind::Goldilocks
+                           : rt::DetectorKind::VectorClock;
+
+  std::unique_ptr<rt::Explorer> Explorer;
+  if (Config.Strategy == "icb")
+    Explorer = std::make_unique<rt::IcbExplorer>(Opts);
+  else if (Config.Strategy == "dfs")
+    Explorer = std::make_unique<rt::DfsExplorer>(Opts);
+  else if (Config.Strategy.rfind("db:", 0) == 0)
+    Explorer = std::make_unique<rt::DfsExplorer>(
+        Opts, static_cast<unsigned>(
+                  std::strtoul(Config.Strategy.c_str() + 3, nullptr, 10)));
+  else if (Config.Strategy == "random")
+    Explorer = std::make_unique<rt::RandomExplorer>(Opts, Config.Seed,
+                                                    Config.MaxExecutions);
+  else {
+    std::fprintf(stderr, "unknown strategy '%s' (icb, dfs, db:N, random)\n",
+                 Config.Strategy.c_str());
+    return 2;
+  }
+
+  std::printf("exploring '%s' with %s...\n", Test.Name.c_str(),
+              Explorer->name().c_str());
+  rt::ExploreResult R = Explorer->explore(Test);
+  std::printf("  executions %s, steps %s, visited states %s%s\n",
+              withCommas(R.Stats.Executions).c_str(),
+              withCommas(R.Stats.TotalSteps).c_str(),
+              withCommas(R.Stats.DistinctStates).c_str(),
+              R.Stats.Completed ? " (state space exhausted)" : "");
+  if (!R.foundBug()) {
+    std::printf("  no bug within preemption bound %u\n", Config.MaxBound);
+    return 0;
+  }
+  for (const rt::RtBug &Bug : R.Bugs)
+    std::printf("  BUG %s\n", Bug.str().c_str());
+  if (Config.Trace)
+    std::printf("\n%s",
+                rt::renderBugTrace(Test, *R.simplestBug(), Opts.Exec)
+                    .c_str());
+  return 1;
+}
+
+/// Runs one model-form test; returns 1 when a bug was found.
+int runVm(const vm::Program &Prog, const RunConfig &Config) {
+  search::SearchOptions Opts;
+  if (Config.Strategy == "icb")
+    Opts.Kind = search::StrategyKind::Icb;
+  else if (Config.Strategy == "dfs")
+    Opts.Kind = search::StrategyKind::Dfs;
+  else if (Config.Strategy == "random")
+    Opts.Kind = search::StrategyKind::Random;
+  else if (Config.Strategy.rfind("db:", 0) == 0) {
+    Opts.Kind = search::StrategyKind::DepthBoundedDfs;
+    Opts.DepthBound = static_cast<unsigned>(
+        std::strtoul(Config.Strategy.c_str() + 3, nullptr, 10));
+  } else {
+    std::fprintf(stderr, "unknown strategy '%s' (icb, dfs, db:N, random)\n",
+                 Config.Strategy.c_str());
+    return 2;
+  }
+  Opts.Seed = Config.Seed;
+  Opts.RandomExecutions = Config.MaxExecutions;
+  Opts.Limits.MaxExecutions = Config.MaxExecutions;
+  Opts.Limits.MaxPreemptionBound = Config.MaxBound;
+  Opts.Limits.StopAtFirstBug = Config.StopAtFirst;
+
+  std::printf("exploring model '%s' with %s...\n", Prog.Name.c_str(),
+              Config.Strategy.c_str());
+  search::SearchResult R = search::checkProgram(Prog, Opts);
+  std::printf("  executions %s, steps %s, states %s%s\n",
+              withCommas(R.Stats.Executions).c_str(),
+              withCommas(R.Stats.TotalSteps).c_str(),
+              withCommas(R.Stats.DistinctStates).c_str(),
+              R.Stats.Completed ? " (state space exhausted)" : "");
+  if (!R.foundBug()) {
+    std::printf("  no bug within preemption bound %u\n", Config.MaxBound);
+    return 0;
+  }
+  for (const search::Bug &Bug : R.Bugs) {
+    std::printf("  BUG %s\n", Bug.str().c_str());
+    if (Config.Trace && !Bug.Schedule.empty()) {
+      std::printf("    schedule:");
+      for (vm::ThreadId Tid : Bug.Schedule)
+        std::printf(" %s", Prog.Threads[Tid].Name.c_str());
+      std::printf("\n");
+    }
+  }
+  return 1;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  FlagSet Flags("icb_check: systematic concurrency testing with iterative "
+                "context bounding (PLDI'07 reproduction)");
+  Flags.addBool("list", false, "list benchmarks and seeded bugs, then exit");
+  Flags.addString("benchmark", "", "benchmark name from --list");
+  Flags.addString("bug", "none",
+                  "seeded bug label, 'all', or 'none' (correct variant)");
+  Flags.addString("strategy", "icb", "icb, dfs, db:N, or random");
+  Flags.addInt("max-bound", 4, "maximum preemption bound (icb)");
+  Flags.addInt("max-executions", 1 << 20, "execution budget");
+  Flags.addInt("seed", 1, "PRNG seed (random strategy)");
+  Flags.addBool("trace", false, "replay and print the counterexample");
+  Flags.addBool("keep-going", false, "collect all bugs, not just the first");
+  Flags.addBool("every-access", false,
+                "scheduling points at every data access (ablation mode)");
+  Flags.addString("detector", "vc", "race detector: vc or goldilocks");
+  std::string Error;
+  if (!Flags.parse(Argc, Argv, &Error)) {
+    std::fprintf(stderr, "%s\n", Error.c_str());
+    return 2;
+  }
+  if (Flags.getBool("list")) {
+    listBenchmarks();
+    return 0;
+  }
+
+  const BenchmarkEntry *Entry = findBenchmark(Flags.getString("benchmark"));
+  if (!Entry) {
+    std::fprintf(stderr,
+                 "unknown benchmark '%s'; use --list to see them\n",
+                 Flags.getString("benchmark").c_str());
+    return 2;
+  }
+
+  RunConfig Config;
+  Config.Strategy = Flags.getString("strategy");
+  Config.MaxBound = static_cast<unsigned>(Flags.getInt("max-bound"));
+  Config.MaxExecutions =
+      static_cast<uint64_t>(Flags.getInt("max-executions"));
+  Config.Seed = static_cast<uint64_t>(Flags.getInt("seed"));
+  Config.Trace = Flags.getBool("trace");
+  Config.StopAtFirst = !Flags.getBool("keep-going");
+  Config.EveryAccess = Flags.getBool("every-access");
+  Config.Detector = Flags.getString("detector");
+
+  std::string BugLabel = Flags.getString("bug");
+  int Exit = 0;
+  auto RunVariant = [&](const std::function<rt::TestCase()> &MakeRt,
+                        const std::function<vm::Program()> &MakeVm) {
+    int Rc = MakeRt ? runRt(MakeRt(), Config) : runVm(MakeVm(), Config);
+    Exit = std::max(Exit, Rc);
+  };
+
+  if (BugLabel == "none") {
+    RunVariant(Entry->MakeDefaultRt, Entry->MakeDefaultVm);
+  } else if (BugLabel == "all") {
+    for (const BugVariant &B : Entry->Bugs)
+      RunVariant(B.MakeRt, B.MakeVm);
+  } else {
+    const BugVariant *Found = nullptr;
+    for (const BugVariant &B : Entry->Bugs)
+      if (B.Label == BugLabel)
+        Found = &B;
+    if (!Found) {
+      std::fprintf(stderr, "benchmark '%s' has no bug '%s'\n",
+                   Entry->Name.c_str(), BugLabel.c_str());
+      return 2;
+    }
+    RunVariant(Found->MakeRt, Found->MakeVm);
+  }
+  return Exit;
+}
