@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_por.dir/ablation_por.cpp.o"
+  "CMakeFiles/ablation_por.dir/ablation_por.cpp.o.d"
+  "ablation_por"
+  "ablation_por.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_por.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_statecache.dir/ablation_statecache.cpp.o"
+  "CMakeFiles/ablation_statecache.dir/ablation_statecache.cpp.o.d"
+  "ablation_statecache"
+  "ablation_statecache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_statecache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

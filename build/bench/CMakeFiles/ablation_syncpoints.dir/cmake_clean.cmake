@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_syncpoints.dir/ablation_syncpoints.cpp.o"
+  "CMakeFiles/ablation_syncpoints.dir/ablation_syncpoints.cpp.o.d"
+  "ablation_syncpoints"
+  "ablation_syncpoints.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_syncpoints.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_coverage_growth.dir/fig2_coverage_growth.cpp.o"
+  "CMakeFiles/fig2_coverage_growth.dir/fig2_coverage_growth.cpp.o.d"
+  "fig2_coverage_growth"
+  "fig2_coverage_growth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_coverage_growth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_ape_growth.dir/fig5_ape_growth.cpp.o"
+  "CMakeFiles/fig5_ape_growth.dir/fig5_ape_growth.cpp.o.d"
+  "fig5_ape_growth"
+  "fig5_ape_growth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_ape_growth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_dryad_growth.dir/fig6_dryad_growth.cpp.o"
+  "CMakeFiles/fig6_dryad_growth.dir/fig6_dryad_growth.cpp.o.d"
+  "fig6_dryad_growth"
+  "fig6_dryad_growth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_dryad_growth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

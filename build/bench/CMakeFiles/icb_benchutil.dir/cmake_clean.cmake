@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/icb_benchutil.dir/BenchUtil.cpp.o"
+  "CMakeFiles/icb_benchutil.dir/BenchUtil.cpp.o.d"
+  "libicb_benchutil.a"
+  "libicb_benchutil.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/icb_benchutil.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/theorem1_bounds.dir/theorem1_bounds.cpp.o"
+  "CMakeFiles/theorem1_bounds.dir/theorem1_bounds.cpp.o.d"
+  "theorem1_bounds"
+  "theorem1_bounds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/theorem1_bounds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dryad_uaf.dir/dryad_uaf.cpp.o"
+  "CMakeFiles/dryad_uaf.dir/dryad_uaf.cpp.o.d"
+  "dryad_uaf"
+  "dryad_uaf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dryad_uaf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/model_explore.dir/model_explore.cpp.o"
+  "CMakeFiles/model_explore.dir/model_explore.cpp.o.d"
+  "model_explore"
+  "model_explore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/model_explore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

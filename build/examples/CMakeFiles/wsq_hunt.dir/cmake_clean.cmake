@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wsq_hunt.dir/wsq_hunt.cpp.o"
+  "CMakeFiles/wsq_hunt.dir/wsq_hunt.cpp.o.d"
+  "wsq_hunt"
+  "wsq_hunt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wsq_hunt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/benchmarks/Ape.cpp" "src/benchmarks/CMakeFiles/icb_benchmarks.dir/Ape.cpp.o" "gcc" "src/benchmarks/CMakeFiles/icb_benchmarks.dir/Ape.cpp.o.d"
+  "/root/repo/src/benchmarks/Bluetooth.cpp" "src/benchmarks/CMakeFiles/icb_benchmarks.dir/Bluetooth.cpp.o" "gcc" "src/benchmarks/CMakeFiles/icb_benchmarks.dir/Bluetooth.cpp.o.d"
+  "/root/repo/src/benchmarks/BluetoothModel.cpp" "src/benchmarks/CMakeFiles/icb_benchmarks.dir/BluetoothModel.cpp.o" "gcc" "src/benchmarks/CMakeFiles/icb_benchmarks.dir/BluetoothModel.cpp.o.d"
+  "/root/repo/src/benchmarks/DryadChannels.cpp" "src/benchmarks/CMakeFiles/icb_benchmarks.dir/DryadChannels.cpp.o" "gcc" "src/benchmarks/CMakeFiles/icb_benchmarks.dir/DryadChannels.cpp.o.d"
+  "/root/repo/src/benchmarks/FileSystemModel.cpp" "src/benchmarks/CMakeFiles/icb_benchmarks.dir/FileSystemModel.cpp.o" "gcc" "src/benchmarks/CMakeFiles/icb_benchmarks.dir/FileSystemModel.cpp.o.d"
+  "/root/repo/src/benchmarks/Registry.cpp" "src/benchmarks/CMakeFiles/icb_benchmarks.dir/Registry.cpp.o" "gcc" "src/benchmarks/CMakeFiles/icb_benchmarks.dir/Registry.cpp.o.d"
+  "/root/repo/src/benchmarks/TxnManagerModel.cpp" "src/benchmarks/CMakeFiles/icb_benchmarks.dir/TxnManagerModel.cpp.o" "gcc" "src/benchmarks/CMakeFiles/icb_benchmarks.dir/TxnManagerModel.cpp.o.d"
+  "/root/repo/src/benchmarks/WorkStealingQueue.cpp" "src/benchmarks/CMakeFiles/icb_benchmarks.dir/WorkStealingQueue.cpp.o" "gcc" "src/benchmarks/CMakeFiles/icb_benchmarks.dir/WorkStealingQueue.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/rt/CMakeFiles/icb_rt.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/icb_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/search/CMakeFiles/icb_search.dir/DependInfo.cmake"
+  "/root/repo/build/src/race/CMakeFiles/icb_race.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/icb_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/icb_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

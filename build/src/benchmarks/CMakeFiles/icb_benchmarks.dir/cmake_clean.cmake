@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/icb_benchmarks.dir/Ape.cpp.o"
+  "CMakeFiles/icb_benchmarks.dir/Ape.cpp.o.d"
+  "CMakeFiles/icb_benchmarks.dir/Bluetooth.cpp.o"
+  "CMakeFiles/icb_benchmarks.dir/Bluetooth.cpp.o.d"
+  "CMakeFiles/icb_benchmarks.dir/BluetoothModel.cpp.o"
+  "CMakeFiles/icb_benchmarks.dir/BluetoothModel.cpp.o.d"
+  "CMakeFiles/icb_benchmarks.dir/DryadChannels.cpp.o"
+  "CMakeFiles/icb_benchmarks.dir/DryadChannels.cpp.o.d"
+  "CMakeFiles/icb_benchmarks.dir/FileSystemModel.cpp.o"
+  "CMakeFiles/icb_benchmarks.dir/FileSystemModel.cpp.o.d"
+  "CMakeFiles/icb_benchmarks.dir/Registry.cpp.o"
+  "CMakeFiles/icb_benchmarks.dir/Registry.cpp.o.d"
+  "CMakeFiles/icb_benchmarks.dir/TxnManagerModel.cpp.o"
+  "CMakeFiles/icb_benchmarks.dir/TxnManagerModel.cpp.o.d"
+  "CMakeFiles/icb_benchmarks.dir/WorkStealingQueue.cpp.o"
+  "CMakeFiles/icb_benchmarks.dir/WorkStealingQueue.cpp.o.d"
+  "libicb_benchmarks.a"
+  "libicb_benchmarks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/icb_benchmarks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/icb_race.dir/Goldilocks.cpp.o"
+  "CMakeFiles/icb_race.dir/Goldilocks.cpp.o.d"
+  "CMakeFiles/icb_race.dir/VcRaceDetector.cpp.o"
+  "CMakeFiles/icb_race.dir/VcRaceDetector.cpp.o.d"
+  "libicb_race.a"
+  "libicb_race.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/icb_race.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rt/CondVar.cpp" "src/rt/CMakeFiles/icb_rt.dir/CondVar.cpp.o" "gcc" "src/rt/CMakeFiles/icb_rt.dir/CondVar.cpp.o.d"
+  "/root/repo/src/rt/Explore.cpp" "src/rt/CMakeFiles/icb_rt.dir/Explore.cpp.o" "gcc" "src/rt/CMakeFiles/icb_rt.dir/Explore.cpp.o.d"
+  "/root/repo/src/rt/Fiber.cpp" "src/rt/CMakeFiles/icb_rt.dir/Fiber.cpp.o" "gcc" "src/rt/CMakeFiles/icb_rt.dir/Fiber.cpp.o.d"
+  "/root/repo/src/rt/FiberContext.cpp" "src/rt/CMakeFiles/icb_rt.dir/FiberContext.cpp.o" "gcc" "src/rt/CMakeFiles/icb_rt.dir/FiberContext.cpp.o.d"
+  "/root/repo/src/rt/RwLock.cpp" "src/rt/CMakeFiles/icb_rt.dir/RwLock.cpp.o" "gcc" "src/rt/CMakeFiles/icb_rt.dir/RwLock.cpp.o.d"
+  "/root/repo/src/rt/Scheduler.cpp" "src/rt/CMakeFiles/icb_rt.dir/Scheduler.cpp.o" "gcc" "src/rt/CMakeFiles/icb_rt.dir/Scheduler.cpp.o.d"
+  "/root/repo/src/rt/Sync.cpp" "src/rt/CMakeFiles/icb_rt.dir/Sync.cpp.o" "gcc" "src/rt/CMakeFiles/icb_rt.dir/Sync.cpp.o.d"
+  "/root/repo/src/rt/SyncObject.cpp" "src/rt/CMakeFiles/icb_rt.dir/SyncObject.cpp.o" "gcc" "src/rt/CMakeFiles/icb_rt.dir/SyncObject.cpp.o.d"
+  "/root/repo/src/rt/Thread.cpp" "src/rt/CMakeFiles/icb_rt.dir/Thread.cpp.o" "gcc" "src/rt/CMakeFiles/icb_rt.dir/Thread.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/icb_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/icb_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/race/CMakeFiles/icb_race.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

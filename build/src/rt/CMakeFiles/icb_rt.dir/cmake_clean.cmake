@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/icb_rt.dir/CondVar.cpp.o"
+  "CMakeFiles/icb_rt.dir/CondVar.cpp.o.d"
+  "CMakeFiles/icb_rt.dir/Explore.cpp.o"
+  "CMakeFiles/icb_rt.dir/Explore.cpp.o.d"
+  "CMakeFiles/icb_rt.dir/Fiber.cpp.o"
+  "CMakeFiles/icb_rt.dir/Fiber.cpp.o.d"
+  "CMakeFiles/icb_rt.dir/FiberContext.cpp.o"
+  "CMakeFiles/icb_rt.dir/FiberContext.cpp.o.d"
+  "CMakeFiles/icb_rt.dir/RwLock.cpp.o"
+  "CMakeFiles/icb_rt.dir/RwLock.cpp.o.d"
+  "CMakeFiles/icb_rt.dir/Scheduler.cpp.o"
+  "CMakeFiles/icb_rt.dir/Scheduler.cpp.o.d"
+  "CMakeFiles/icb_rt.dir/Sync.cpp.o"
+  "CMakeFiles/icb_rt.dir/Sync.cpp.o.d"
+  "CMakeFiles/icb_rt.dir/SyncObject.cpp.o"
+  "CMakeFiles/icb_rt.dir/SyncObject.cpp.o.d"
+  "CMakeFiles/icb_rt.dir/Thread.cpp.o"
+  "CMakeFiles/icb_rt.dir/Thread.cpp.o.d"
+  "libicb_rt.a"
+  "libicb_rt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/icb_rt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

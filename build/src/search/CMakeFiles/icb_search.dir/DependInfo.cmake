@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/search/Checker.cpp" "src/search/CMakeFiles/icb_search.dir/Checker.cpp.o" "gcc" "src/search/CMakeFiles/icb_search.dir/Checker.cpp.o.d"
+  "/root/repo/src/search/Dfs.cpp" "src/search/CMakeFiles/icb_search.dir/Dfs.cpp.o" "gcc" "src/search/CMakeFiles/icb_search.dir/Dfs.cpp.o.d"
+  "/root/repo/src/search/IcbSearch.cpp" "src/search/CMakeFiles/icb_search.dir/IcbSearch.cpp.o" "gcc" "src/search/CMakeFiles/icb_search.dir/IcbSearch.cpp.o.d"
+  "/root/repo/src/search/RandomWalk.cpp" "src/search/CMakeFiles/icb_search.dir/RandomWalk.cpp.o" "gcc" "src/search/CMakeFiles/icb_search.dir/RandomWalk.cpp.o.d"
+  "/root/repo/src/search/SearchTypes.cpp" "src/search/CMakeFiles/icb_search.dir/SearchTypes.cpp.o" "gcc" "src/search/CMakeFiles/icb_search.dir/SearchTypes.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/icb_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/icb_vm.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/icb_search.dir/Checker.cpp.o"
+  "CMakeFiles/icb_search.dir/Checker.cpp.o.d"
+  "CMakeFiles/icb_search.dir/Dfs.cpp.o"
+  "CMakeFiles/icb_search.dir/Dfs.cpp.o.d"
+  "CMakeFiles/icb_search.dir/IcbSearch.cpp.o"
+  "CMakeFiles/icb_search.dir/IcbSearch.cpp.o.d"
+  "CMakeFiles/icb_search.dir/RandomWalk.cpp.o"
+  "CMakeFiles/icb_search.dir/RandomWalk.cpp.o.d"
+  "CMakeFiles/icb_search.dir/SearchTypes.cpp.o"
+  "CMakeFiles/icb_search.dir/SearchTypes.cpp.o.d"
+  "libicb_search.a"
+  "libicb_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/icb_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/icb_support.dir/CommandLine.cpp.o"
+  "CMakeFiles/icb_support.dir/CommandLine.cpp.o.d"
+  "CMakeFiles/icb_support.dir/Csv.cpp.o"
+  "CMakeFiles/icb_support.dir/Csv.cpp.o.d"
+  "CMakeFiles/icb_support.dir/Format.cpp.o"
+  "CMakeFiles/icb_support.dir/Format.cpp.o.d"
+  "libicb_support.a"
+  "libicb_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/icb_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/Fingerprint.cpp" "src/trace/CMakeFiles/icb_trace.dir/Fingerprint.cpp.o" "gcc" "src/trace/CMakeFiles/icb_trace.dir/Fingerprint.cpp.o.d"
+  "/root/repo/src/trace/Schedule.cpp" "src/trace/CMakeFiles/icb_trace.dir/Schedule.cpp.o" "gcc" "src/trace/CMakeFiles/icb_trace.dir/Schedule.cpp.o.d"
+  "/root/repo/src/trace/TraceWriter.cpp" "src/trace/CMakeFiles/icb_trace.dir/TraceWriter.cpp.o" "gcc" "src/trace/CMakeFiles/icb_trace.dir/TraceWriter.cpp.o.d"
+  "/root/repo/src/trace/VectorClock.cpp" "src/trace/CMakeFiles/icb_trace.dir/VectorClock.cpp.o" "gcc" "src/trace/CMakeFiles/icb_trace.dir/VectorClock.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/icb_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/icb_trace.dir/Fingerprint.cpp.o"
+  "CMakeFiles/icb_trace.dir/Fingerprint.cpp.o.d"
+  "CMakeFiles/icb_trace.dir/Schedule.cpp.o"
+  "CMakeFiles/icb_trace.dir/Schedule.cpp.o.d"
+  "CMakeFiles/icb_trace.dir/TraceWriter.cpp.o"
+  "CMakeFiles/icb_trace.dir/TraceWriter.cpp.o.d"
+  "CMakeFiles/icb_trace.dir/VectorClock.cpp.o"
+  "CMakeFiles/icb_trace.dir/VectorClock.cpp.o.d"
+  "libicb_trace.a"
+  "libicb_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/icb_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

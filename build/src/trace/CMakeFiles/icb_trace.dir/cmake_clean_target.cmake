@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libicb_trace.a"
+)

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vm/Builder.cpp" "src/vm/CMakeFiles/icb_vm.dir/Builder.cpp.o" "gcc" "src/vm/CMakeFiles/icb_vm.dir/Builder.cpp.o.d"
+  "/root/repo/src/vm/Disassembler.cpp" "src/vm/CMakeFiles/icb_vm.dir/Disassembler.cpp.o" "gcc" "src/vm/CMakeFiles/icb_vm.dir/Disassembler.cpp.o.d"
+  "/root/repo/src/vm/Instruction.cpp" "src/vm/CMakeFiles/icb_vm.dir/Instruction.cpp.o" "gcc" "src/vm/CMakeFiles/icb_vm.dir/Instruction.cpp.o.d"
+  "/root/repo/src/vm/Interp.cpp" "src/vm/CMakeFiles/icb_vm.dir/Interp.cpp.o" "gcc" "src/vm/CMakeFiles/icb_vm.dir/Interp.cpp.o.d"
+  "/root/repo/src/vm/Program.cpp" "src/vm/CMakeFiles/icb_vm.dir/Program.cpp.o" "gcc" "src/vm/CMakeFiles/icb_vm.dir/Program.cpp.o.d"
+  "/root/repo/src/vm/State.cpp" "src/vm/CMakeFiles/icb_vm.dir/State.cpp.o" "gcc" "src/vm/CMakeFiles/icb_vm.dir/State.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/icb_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/icb_vm.dir/Builder.cpp.o"
+  "CMakeFiles/icb_vm.dir/Builder.cpp.o.d"
+  "CMakeFiles/icb_vm.dir/Disassembler.cpp.o"
+  "CMakeFiles/icb_vm.dir/Disassembler.cpp.o.d"
+  "CMakeFiles/icb_vm.dir/Instruction.cpp.o"
+  "CMakeFiles/icb_vm.dir/Instruction.cpp.o.d"
+  "CMakeFiles/icb_vm.dir/Interp.cpp.o"
+  "CMakeFiles/icb_vm.dir/Interp.cpp.o.d"
+  "CMakeFiles/icb_vm.dir/Program.cpp.o"
+  "CMakeFiles/icb_vm.dir/Program.cpp.o.d"
+  "CMakeFiles/icb_vm.dir/State.cpp.o"
+  "CMakeFiles/icb_vm.dir/State.cpp.o.d"
+  "libicb_vm.a"
+  "libicb_vm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/icb_vm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

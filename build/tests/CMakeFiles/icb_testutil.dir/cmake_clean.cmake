@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/icb_testutil.dir/testutil/TestPrograms.cpp.o"
+  "CMakeFiles/icb_testutil.dir/testutil/TestPrograms.cpp.o.d"
+  "libicb_testutil.a"
+  "libicb_testutil.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/icb_testutil.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/icb_check.dir/icb_check.cpp.o"
+  "CMakeFiles/icb_check.dir/icb_check.cpp.o.d"
+  "icb_check"
+  "icb_check.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/icb_check.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
