@@ -1,0 +1,147 @@
+//===- bench/parallel_scaling.cpp - Parallel ICB speedup harness ----------===//
+//
+// Part of the ICB project (PLDI'07 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Measures the parallel ICB engine's wall-clock speedup over the
+/// sequential reference as the worker count grows, on the two model-form
+/// benchmarks (work-stealing queue, Bluetooth). Every configuration must
+/// report identical executions/steps/states — the engine's determinism
+/// guarantee — so the harness fails loudly if any run diverges.
+///
+/// Emits a human-readable table plus a machine-readable JSON block
+/// (between BEGIN/END JSON markers) with one record per (benchmark, jobs)
+/// pair: wall seconds, speedup vs jobs=1, executions/steps/states, and
+/// the hardware concurrency so plots can annotate core counts. Speedup is
+/// bounded by the physical core count: on a single-core container every
+/// configuration necessarily measures ~1.0x.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+#include "benchmarks/BluetoothModel.h"
+#include "benchmarks/WsqModel.h"
+#include "search/ParallelIcb.h"
+#include "support/Format.h"
+#include "vm/Interp.h"
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+using namespace icb;
+using namespace icb::bench;
+using namespace icb::benchutil;
+
+namespace {
+
+struct Sample {
+  std::string Benchmark;
+  unsigned Jobs = 0;
+  double Seconds = 0;
+  double Speedup = 0;
+  search::SearchStats Stats;
+};
+
+double runOnce(const vm::Program &Prog, unsigned Jobs, unsigned MaxBound,
+               search::SearchStats *Out) {
+  search::ParallelIcbSearch::Options Opts;
+  Opts.Jobs = Jobs;
+  Opts.UseStateCache = true;
+  Opts.Limits.MaxPreemptionBound = MaxBound;
+  Opts.Limits.StopAtFirstBug = false;
+  search::ParallelIcbSearch Search(Opts);
+  vm::Interp VM(Prog);
+  auto Start = std::chrono::steady_clock::now();
+  search::SearchResult R = Search.run(VM);
+  auto End = std::chrono::steady_clock::now();
+  if (Out)
+    *Out = R.Stats;
+  return std::chrono::duration<double>(End - Start).count();
+}
+
+} // namespace
+
+int main() {
+  const unsigned Hardware = std::thread::hardware_concurrency();
+  printHeader("Parallel ICB scaling",
+              strFormat("speedup vs worker count; hardware concurrency %u",
+                        Hardware ? Hardware : 1));
+
+  struct Workload {
+    std::string Name;
+    vm::Program Prog;
+    unsigned MaxBound;
+  };
+  const Workload Workloads[] = {
+      {"wsq-model", wsqModel({3, WsqBug::None}), 3},
+      {"bluetooth-model", bluetoothModel(3, /*WithBug=*/false), 4},
+  };
+  const unsigned JobCounts[] = {1, 2, 4, 8};
+
+  std::vector<Sample> Samples;
+  std::vector<std::vector<std::string>> Rows;
+  bool Deterministic = true;
+  for (const Workload &W : Workloads) {
+    // One untimed warm-up run per workload primes allocator arenas so the
+    // jobs=1 baseline is not penalized for first-touch page faults.
+    runOnce(W.Prog, 1, W.MaxBound, nullptr);
+    double Baseline = 0;
+    search::SearchStats Reference;
+    for (unsigned Jobs : JobCounts) {
+      Sample S;
+      S.Benchmark = W.Name;
+      S.Jobs = Jobs;
+      // Best of three repetitions smooths scheduler noise.
+      S.Seconds = runOnce(W.Prog, Jobs, W.MaxBound, &S.Stats);
+      for (int Rep = 0; Rep != 2; ++Rep)
+        S.Seconds = std::min(S.Seconds,
+                             runOnce(W.Prog, Jobs, W.MaxBound, nullptr));
+      if (Jobs == 1) {
+        Baseline = S.Seconds;
+        Reference = S.Stats;
+      } else if (S.Stats.Executions != Reference.Executions ||
+                 S.Stats.TotalSteps != Reference.TotalSteps ||
+                 S.Stats.DistinctStates != Reference.DistinctStates) {
+        std::fprintf(stderr,
+                     "FAIL: %s with %u jobs diverged from jobs=1\n",
+                     W.Name.c_str(), Jobs);
+        Deterministic = false;
+      }
+      S.Speedup = S.Seconds > 0 ? Baseline / S.Seconds : 0;
+      Rows.push_back({W.Name, std::to_string(Jobs),
+                      strFormat("%.3f", S.Seconds),
+                      strFormat("%.2fx", S.Speedup),
+                      withCommas(S.Stats.Executions),
+                      withCommas(S.Stats.TotalSteps),
+                      withCommas(S.Stats.DistinctStates)});
+      Samples.push_back(std::move(S));
+    }
+  }
+
+  printTable({"benchmark", "jobs", "seconds", "speedup", "executions",
+              "steps", "states"},
+             Rows);
+
+  std::printf("\nBEGIN JSON parallel_scaling\n");
+  std::printf("{\n  \"hardware_concurrency\": %u,\n  \"samples\": [\n",
+              Hardware);
+  for (size_t I = 0; I != Samples.size(); ++I) {
+    const Sample &S = Samples[I];
+    std::printf("    {\"benchmark\": \"%s\", \"jobs\": %u, "
+                "\"seconds\": %.6f, \"speedup\": %.3f, "
+                "\"executions\": %llu, \"steps\": %llu, "
+                "\"states\": %llu}%s\n",
+                S.Benchmark.c_str(), S.Jobs, S.Seconds, S.Speedup,
+                static_cast<unsigned long long>(S.Stats.Executions),
+                static_cast<unsigned long long>(S.Stats.TotalSteps),
+                static_cast<unsigned long long>(S.Stats.DistinctStates),
+                I + 1 == Samples.size() ? "" : ",");
+  }
+  std::printf("  ]\n}\nEND JSON parallel_scaling\n");
+
+  return Deterministic ? 0 : 1;
+}

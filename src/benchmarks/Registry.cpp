@@ -7,10 +7,12 @@
 #include "benchmarks/Registry.h"
 #include "benchmarks/Ape.h"
 #include "benchmarks/Bluetooth.h"
+#include "benchmarks/BluetoothModel.h"
 #include "benchmarks/DryadChannels.h"
 #include "benchmarks/FileSystemModel.h"
 #include "benchmarks/TxnManagerModel.h"
 #include "benchmarks/WorkStealingQueue.h"
+#include "benchmarks/WsqModel.h"
 
 using namespace icb;
 using namespace icb::bench;
@@ -29,6 +31,9 @@ std::vector<BenchmarkEntry> buildRegistry() {
     E.InTable1 = true;
     E.InTable2 = true;
     E.MakeDefaultRt = [] { return bluetoothTest({2, /*WithBug=*/false}); };
+    // Model-VM form of the same protocol; the target of --jobs/--model
+    // runs (the parallel ICB engine explores model VMs).
+    E.MakeDefaultVm = [] { return bluetoothModel(2, /*WithBug=*/false); };
     E.Bugs.push_back({"stop-vs-work check-then-act", 1,
                       [] { return bluetoothTest({2, /*WithBug=*/true}); },
                       nullptr});
@@ -58,6 +63,9 @@ std::vector<BenchmarkEntry> buildRegistry() {
     E.MakeDefaultRt = [] {
       return workStealingTest({3, 4, WsqBug::None});
     };
+    // Model-VM form (THE protocol, explicit slot payloads); the bug
+    // variants stay runtime-only so Table 2's rows are untouched.
+    E.MakeDefaultVm = [] { return wsqModel({3, WsqBug::None}); };
     E.Bugs.push_back({wsqBugName(WsqBug::PopCheckThenAct), 1,
                       [] {
                         return workStealingTest({3, 4,

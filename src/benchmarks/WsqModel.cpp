@@ -1,0 +1,298 @@
+//===- benchmarks/WsqModel.cpp - Work-stealing queue as a VM model --------===//
+//
+// Part of the ICB project (PLDI'07 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "benchmarks/WsqModel.h"
+#include "support/Format.h"
+#include "vm/Builder.h"
+
+using namespace icb;
+using namespace icb::vm;
+using namespace icb::bench;
+
+namespace {
+
+constexpr int64_t Empty = -1;
+
+// Register conventions shared by the emit helpers below. The pop/steal
+// emitters use RT/RH/RCmp/RInc, the slot chains and Take use RA/RB, the
+// popped value travels in RVal, and the audit counter RCount survives
+// everything else.
+constexpr Reg RT{0};   ///< Tail-side working value (t).
+constexpr Reg ROne{1}; ///< The constant 1.
+constexpr Reg RH{2};   ///< Head-side working value (h).
+constexpr Reg RTmp{3};
+constexpr Reg RCmp{4};
+constexpr Reg RInc{5};
+constexpr Reg RA{6};
+constexpr Reg RB{7};
+constexpr Reg RCount{8};
+constexpr Reg RVal{9}; ///< Value returned by pop/steal (-1 = empty).
+
+struct WsqVars {
+  GlobalVar Head;
+  GlobalVar Tail;
+  std::vector<GlobalVar> Slots; ///< The buffer; Tail never exceeds Items.
+  std::vector<GlobalVar> Taken; ///< One take counter per item.
+  LockVar QLock;
+  unsigned Items = 0;
+};
+
+/// The VM has no indexed addressing, so dynamic slot accesses compile to a
+/// compare chain over the (small, fixed) buffer. RVal = Slots[Idx].
+/// Clobbers RA/RB; preserves Idx.
+void emitSlotRead(ThreadBuilder &B, const WsqVars &V, Reg Idx) {
+  Label End = B.newLabel();
+  for (unsigned I = 0; I != V.Slots.size(); ++I) {
+    Label Next = B.newLabel();
+    B.imm(RA, static_cast<int64_t>(I));
+    B.eq(RB, Idx, RA);
+    B.bz(RB, Next);
+    B.loadG(RVal, V.Slots[I]);
+    B.jmp(End);
+    B.bind(Next);
+  }
+  B.imm(RA, 0);
+  B.assertTrue(RA, "wsq-model: slot index out of range");
+  B.bind(End);
+}
+
+/// Slots[Idx] = Value (a compile-time constant: the victim pushes item I
+/// at its I-th push). Clobbers RA/RB; preserves Idx.
+void emitSlotWrite(ThreadBuilder &B, const WsqVars &V, Reg Idx,
+                   int64_t Value) {
+  Label End = B.newLabel();
+  for (unsigned I = 0; I != V.Slots.size(); ++I) {
+    Label Next = B.newLabel();
+    B.imm(RA, static_cast<int64_t>(I));
+    B.eq(RB, Idx, RA);
+    B.bz(RB, Next);
+    B.storeImm(V.Slots[I], Value, RB);
+    B.jmp(End);
+    B.bind(Next);
+  }
+  B.imm(RA, 0);
+  B.assertTrue(RA, "wsq-model: slot index out of range");
+  B.bind(End);
+}
+
+/// Owner-side push of the constant \p Value: store the slot, then publish
+/// the tail (the THE ordering).
+void emitPush(ThreadBuilder &B, const WsqVars &V, int64_t Value) {
+  B.loadG(RT, V.Tail);
+  emitSlotWrite(B, V, RT, Value);
+  B.imm(ROne, 1);
+  B.add(RT, RT, ROne);
+  B.storeG(V.Tail, RT);
+}
+
+/// BUG (PopCheckThenAct): conflict check before the claim — a preemption
+/// between the check and the tail store lets the thief steal slot t first;
+/// the owner then returns the same element.
+void emitPopCheckThenAct(ThreadBuilder &B, const WsqVars &V) {
+  Label EmptyL = B.newLabel();
+  Label Done = B.newLabel();
+  B.loadG(RT, V.Tail);
+  B.imm(ROne, 1);
+  B.sub(RT, RT, ROne); // t = Tail - 1.
+  B.loadG(RH, V.Head);
+  B.le(RCmp, RH, RT); // h <= t: something to take.
+  B.bz(RCmp, EmptyL);
+  // <-- preempt here: the thief can take slot t before we claim it.
+  B.storeG(V.Tail, RT);
+  emitSlotRead(B, V, RT);
+  B.jmp(Done);
+  B.bind(EmptyL);
+  B.imm(RVal, Empty);
+  B.bind(Done);
+}
+
+/// Owner-side pop following the THE protocol: claim by publishing the
+/// decremented tail, then look for a conflict. The conflict path is the
+/// correct lock fallback, or (PopRetryNoLock) the buggy lock-free retry.
+void emitPop(ThreadBuilder &B, const WsqVars &V, WsqBug Bug) {
+  if (Bug == WsqBug::PopCheckThenAct) {
+    emitPopCheckThenAct(B, V);
+    return;
+  }
+  Label FastRet = B.newLabel();
+  Label Done = B.newLabel();
+  B.loadG(RT, V.Tail);
+  B.imm(ROne, 1);
+  B.sub(RT, RT, ROne);  // t = Tail - 1.
+  B.storeG(V.Tail, RT); // Claim first (THE).
+  B.loadG(RH, V.Head);
+  B.sub(RTmp, RT, ROne);
+  B.le(RCmp, RH, RTmp); // h <= t - 1: at least two elements, t is safe.
+  B.bnz(RCmp, FastRet);
+  B.add(RInc, RT, ROne);
+  B.storeG(V.Tail, RInc); // Restore; settle the last-element race below.
+  if (Bug == WsqBug::PopRetryNoLock) {
+    // BUG: retry the optimistic protocol instead of taking the lock. The
+    // unsafe case is the last element (h == t) with the thief parked
+    // mid-steal inside its critical section.
+    Label Fast2 = B.newLabel();
+    B.loadG(RT, V.Tail);
+    B.sub(RT, RT, ROne);
+    B.storeG(V.Tail, RT);
+    B.loadG(RH, V.Head);
+    B.le(RCmp, RH, RT); // Unsafe for h == t: the thief may take it too.
+    B.bnz(RCmp, Fast2);
+    B.add(RInc, RT, ROne);
+    B.storeG(V.Tail, RInc);
+    B.imm(RVal, Empty);
+    B.jmp(Done);
+    B.bind(Fast2);
+    emitSlotRead(B, V, RT);
+    B.jmp(Done);
+  } else {
+    // Correct conflict path: re-run the claim while holding the thief's
+    // lock, so exactly one side takes the last element.
+    Label LockedRet = B.newLabel();
+    B.lock(V.QLock);
+    B.loadG(RT, V.Tail);
+    B.sub(RT, RT, ROne);
+    B.storeG(V.Tail, RT);
+    B.loadG(RH, V.Head);
+    B.le(RCmp, RH, RT);
+    B.bnz(RCmp, LockedRet);
+    B.add(RInc, RT, ROne);
+    B.storeG(V.Tail, RInc); // Restore: the deque is empty.
+    B.unlock(V.QLock);
+    B.imm(RVal, Empty);
+    B.jmp(Done);
+    B.bind(LockedRet);
+    emitSlotRead(B, V, RT);
+    B.unlock(V.QLock);
+    B.jmp(Done);
+  }
+  B.bind(FastRet);
+  emitSlotRead(B, V, RT);
+  B.bind(Done);
+}
+
+/// Thief-side steal from the head, under the lock unless the
+/// UnsynchronizedSteal bug drops it.
+void emitSteal(ThreadBuilder &B, const WsqVars &V, WsqBug Bug) {
+  bool Locked = Bug != WsqBug::UnsynchronizedSteal;
+  Label EmptyL = B.newLabel();
+  Label Done = B.newLabel();
+  if (Locked)
+    B.lock(V.QLock);
+  B.loadG(RH, V.Head);
+  B.loadG(RT, V.Tail);
+  B.lt(RCmp, RH, RT);
+  B.bz(RCmp, EmptyL);
+  emitSlotRead(B, V, RH);
+  // <-- without the lock, the owner can pop this same element before the
+  // head claim below is published.
+  B.imm(ROne, 1);
+  B.add(RInc, RH, ROne);
+  B.storeG(V.Head, RInc);
+  if (Locked)
+    B.unlock(V.QLock);
+  B.jmp(Done);
+  B.bind(EmptyL);
+  if (Locked)
+    B.unlock(V.QLock);
+  B.imm(RVal, Empty);
+  B.bind(Done);
+}
+
+/// Audits the value in RVal: -1 is ignored, anything else must be a valid
+/// item whose take counter goes 0 -> 1 exactly once.
+void emitTake(ThreadBuilder &B, const WsqVars &V) {
+  Label Skip = B.newLabel();
+  B.imm(RA, Empty);
+  B.eq(RB, RVal, RA);
+  B.bnz(RB, Skip);
+  for (unsigned I = 0; I != V.Items; ++I) {
+    Label Next = B.newLabel();
+    B.imm(RA, static_cast<int64_t>(I));
+    B.eq(RB, RVal, RA);
+    B.bz(RB, Next);
+    B.imm(RA, 1);
+    B.addG(RB, V.Taken[I], RA); // Post-add value; must be the first take.
+    B.imm(RA, 1);
+    B.eq(RB, RB, RA);
+    B.assertTrue(RB, "wsq-model: item taken twice (lost/duplicated work)");
+    B.jmp(Skip);
+    B.bind(Next);
+  }
+  B.imm(RA, 0);
+  B.assertTrue(RA,
+               "wsq-model: queue produced an item that was never pushed");
+  B.bind(Skip);
+}
+
+/// Pops up to Items + 1 times, auditing every value, until empty.
+void emitDrain(ThreadBuilder &B, const WsqVars &V, WsqBug Bug) {
+  Label End = B.newLabel();
+  for (unsigned I = 0; I <= V.Items; ++I) {
+    emitPop(B, V, Bug);
+    B.imm(RA, Empty);
+    B.eq(RB, RVal, RA);
+    B.bnz(RB, End);
+    emitTake(B, V);
+  }
+  B.bind(End);
+}
+
+} // namespace
+
+Program icb::bench::wsqModel(WsqModelConfig Config) {
+  ProgramBuilder P(strFormat("wsq-model-%ui-%s", Config.Items,
+                             wsqBugName(Config.Bug)));
+  WsqVars V;
+  V.Items = Config.Items;
+  V.Head = P.addGlobal("head", 0);
+  V.Tail = P.addGlobal("tail", 0);
+  V.QLock = P.addLock("qlock");
+  // Tail never exceeds the net item count, so Items slots suffice (the
+  // runtime form's circular buffer never wraps under this driver either).
+  for (unsigned I = 0; I != Config.Items; ++I)
+    V.Slots.push_back(P.addGlobal(strFormat("slot[%u]", I), Empty));
+  for (unsigned I = 0; I != Config.Items; ++I)
+    V.Taken.push_back(P.addGlobal(strFormat("taken[%u]", I), 0));
+
+  ThreadBuilder &Victim = P.addThread("victim");
+  ThreadBuilder &Thief = P.addThread("thief");
+
+  // Thief: a bounded number of steal attempts keeps every schedule finite
+  // (the real thief retries forever).
+  for (unsigned I = 0; I != Config.Items; ++I) {
+    emitSteal(Thief, V, Config.Bug);
+    emitTake(Thief, V);
+  }
+  Thief.halt();
+
+  // Victim: push all items, popping after every second push, then drain
+  // concurrently with the thief.
+  for (unsigned I = 0; I != Config.Items; ++I) {
+    emitPush(Victim, V, static_cast<int64_t>(I));
+    if (I % 2 == 1) {
+      emitPop(Victim, V, Config.Bug);
+      emitTake(Victim, V);
+    }
+  }
+  emitDrain(Victim, V, Config.Bug);
+
+  // Final audit once the thief is done: drain leftovers (the thief may
+  // simply have lost the race), then require every item taken exactly
+  // once.
+  Victim.join(Thief.ref());
+  emitDrain(Victim, V, Config.Bug);
+  Victim.imm(RCount, 0);
+  for (unsigned I = 0; I != Config.Items; ++I) {
+    Victim.loadG(RA, V.Taken[I]);
+    Victim.add(RCount, RCount, RA);
+  }
+  Victim.imm(RA, static_cast<int64_t>(Config.Items));
+  Victim.eq(RB, RCount, RA);
+  Victim.assertTrue(RB, "wsq-model: items lost (push/take mismatch)");
+  Victim.halt();
+
+  return P.build();
+}

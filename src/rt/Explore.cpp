@@ -55,7 +55,7 @@ public:
     for (uint64_t Digest : R.StepFingerprints)
       Visited.insert(Digest);
     Terminal.insert(R.Fingerprint);
-    Stats.Coverage.push_back({Stats.Executions, Visited.size()});
+    Sampler.observe(Stats.Coverage, Stats.Executions, Visited.size());
 
     if (isErrorStatus(R.Status)) {
       RtBug Bug;
@@ -78,6 +78,7 @@ public:
   uint64_t distinctStates() const { return Visited.size(); }
 
   ExploreResult finish(bool Completed) {
+    Sampler.finish(Stats.Coverage);
     Stats.DistinctStates = Visited.size();
     Stats.DistinctTerminalStates = Terminal.size();
     Stats.Completed = Completed && !LimitHit;
@@ -103,6 +104,7 @@ private:
   }
 
   ExploreLimits Limits;
+  CoverageSampler<CoveragePoint> Sampler;
   std::unordered_set<uint64_t> Visited;
   std::unordered_set<uint64_t> Terminal;
   std::vector<RtBug> Bugs;

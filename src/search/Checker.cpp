@@ -7,6 +7,7 @@
 #include "search/Checker.h"
 #include "search/Dfs.h"
 #include "search/IcbSearch.h"
+#include "search/ParallelIcb.h"
 #include "search/RandomWalk.h"
 #include "support/Debug.h"
 
@@ -16,6 +17,15 @@ using namespace icb::search;
 std::unique_ptr<Strategy> icb::search::makeStrategy(const SearchOptions &Opts) {
   switch (Opts.Kind) {
   case StrategyKind::Icb: {
+    if (Opts.Jobs != 1) {
+      ParallelIcbSearch::Options O;
+      O.Jobs = Opts.Jobs;
+      O.Shards = Opts.Shards;
+      O.UseStateCache = Opts.UseStateCache;
+      O.RecordSchedules = Opts.RecordSchedules;
+      O.Limits = Opts.Limits;
+      return std::make_unique<ParallelIcbSearch>(O);
+    }
     IcbSearch::Options O;
     O.UseStateCache = Opts.UseStateCache;
     O.RecordSchedules = Opts.RecordSchedules;

@@ -38,6 +38,11 @@ struct SearchOptions {
   bool UseStateCache = false;
   /// Icb: carry schedules in work items (replayable bug reports).
   bool RecordSchedules = true;
+  /// Icb: worker threads. 1 runs the sequential reference engine; >1 (or
+  /// 0 = hardware concurrency) runs the work-stealing parallel engine.
+  unsigned Jobs = 1;
+  /// Icb with Jobs != 1: shards in the concurrent caches (0 = auto).
+  unsigned Shards = 0;
   /// DepthBoundedDfs: the bound. IterativeDfs: initial bound and increment.
   unsigned DepthBound = 20;
   /// Random: PRNG seed and number of executions.

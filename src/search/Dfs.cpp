@@ -77,10 +77,13 @@ public:
                         bool UseSleepSets = false);
 
   SearchResult takeResult(bool Completed) {
-    Result.Stats.DistinctStates = Seen.size();
-    Result.Stats.Completed = Completed;
+    SearchResult Result;
+    Stats.DistinctStates = Seen.size();
+    Stats.Completed = Completed;
+    Sampler.finish(Stats.Coverage);
+    Result.Stats = std::move(Stats);
     Result.Bugs = Bugs.take();
-    return std::move(Result);
+    return Result;
   }
 
 private:
@@ -100,13 +103,12 @@ private:
 
   /// Records the end of one maximal explored execution.
   bool endExecution(uint64_t Steps, unsigned Np, uint64_t Blocking) {
-    SearchStats &Stats = Result.Stats;
     ++Stats.Executions;
     Stats.StepsPerExecution.observe(Steps);
     Stats.PreemptionsPerExecution.observe(Np);
     Stats.PreemptionHistogram.increment(Np);
     Stats.BlockingPerExecution.observe(Blocking);
-    Stats.Coverage.push_back({Stats.Executions, Seen.size()});
+    Sampler.observe(Stats.Coverage, Stats.Executions, Seen.size());
     return Stats.Executions >= Limits.MaxExecutions ||
            Stats.TotalSteps >= Limits.MaxSteps ||
            Seen.size() >= Limits.MaxStates;
@@ -127,7 +129,8 @@ private:
   const vm::Interp &VM;
   SearchLimits Limits;
   StateCache Seen;
-  SearchResult Result;
+  SearchStats Stats;
+  CoverageSampler<CoveragePoint> Sampler;
   BugCollector Bugs;
   bool FoundBug = false;
 };
@@ -178,7 +181,7 @@ DfsDriver::RoundOutcome DfsDriver::runRound(unsigned DepthBound,
 
     State Child = F.S;
     StepResult R = VM.step(Child, T);
-    ++Result.Stats.TotalSteps;
+    ++Stats.TotalSteps;
     ChildBlocking += R.WasBlockingOp ? 1 : 0;
     PathSched.push_back(T);
     uint64_t Depth = PathSched.size();

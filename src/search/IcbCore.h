@@ -1,0 +1,151 @@
+//===- search/IcbCore.h - Shared work-item walk of Algorithm 1 --*- C++ -*-===//
+//
+// Part of the ICB project (PLDI'07 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The body of Algorithm 1's Search procedure, shared by the sequential
+/// (IcbSearch) and parallel (ParallelIcbSearch) drivers. A work item is
+/// explored to every execution reachable *without further preemptions*;
+/// preemptive continuations are published through the driver context, which
+/// decides where they queue (a plain deque or the lock-striped next queue)
+/// and how statistics, caches, and bugs are accumulated (directly or
+/// worker-locally).
+///
+/// The drivers provide a Ctx with:
+///   bool insertItem(uint64_t itemDigest);     // (state,thread) cache;
+///                                             // true if new
+///   void insertSeen(uint64_t stateDigest);    // visited-state set
+///   void countStep();                         // one VM step executed
+///   void defer(IcbWorkItem &&item);           // preempting: bound c + 1
+///   void branch(IcbWorkItem &&item);          // nonpreempting: same bound
+///   void recordBug(BugKind, std::string,
+///                  const std::vector<vm::ThreadId> &sched);
+///   void endExecution(uint64_t steps, uint64_t blocking);
+///
+/// Where nonpreempting branches go is the drivers' key difference: the
+/// sequential driver keeps them on a private stack, the parallel driver
+/// pushes them onto its worker's deque bottom so idle workers can steal
+/// them — that is what parallelizes a bound with few root items but large
+/// subtrees.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ICB_SEARCH_ICBCORE_H
+#define ICB_SEARCH_ICBCORE_H
+
+#include "search/SearchTypes.h"
+#include "support/Hashing.h"
+#include "vm/Interp.h"
+#include <algorithm>
+#include <string>
+#include <vector>
+
+namespace icb::search::detail {
+
+// Defined in Dfs.cpp; shared deadlock pretty-printer.
+std::string describeDeadlock(const vm::Interp &Interp, const vm::State &S);
+
+/// Algorithm 1's WorkItem, extended with the bookkeeping the experiments
+/// need: the schedule prefix (for replayable bug reports) and the number of
+/// blocking operations executed so far (Table 1's B column). The preemption
+/// count is implicit: every item queued for bound c has exactly c
+/// preemptions in its prefix.
+struct IcbWorkItem {
+  vm::State S;
+  vm::ThreadId Tid = vm::InvalidThread;
+  std::vector<vm::ThreadId> Sched;
+  uint64_t Blocking = 0;
+  /// Steps executed before this item's schedule vector starts. Nonzero only
+  /// when RecordSchedules is off (the prefix is dropped to save memory but
+  /// its length still feeds the K statistic).
+  uint64_t PrefixSteps = 0;
+};
+
+/// Runs one execution: follows \p W.Tid for as long as it stays enabled
+/// (Algorithm 1 lines 25-28), deferring every preemptive alternative via
+/// Ctx::defer (lines 29-32) and every nonpreempting alternative via
+/// Ctx::branch (lines 33-37), until the execution ends (pruned by the work
+/// item cache, bug found, or all threads done/blocked).
+template <typename Ctx>
+void runIcbExecution(const vm::Interp &VM, IcbWorkItem W, bool UseStateCache,
+                     bool RecordSchedules, Ctx &C) {
+  while (true) {
+    if (UseStateCache && !C.insertItem(hashCombine(W.S.hash(), W.Tid))) {
+      // Revisited work item: everything beyond it was already explored
+      // (possibly at a lower bound). Counts as one pruned execution.
+      C.endExecution(W.PrefixSteps + W.Sched.size(), W.Blocking);
+      return;
+    }
+
+    vm::StepResult R = VM.step(W.S, W.Tid);
+    C.countStep();
+    W.Blocking += R.WasBlockingOp ? 1 : 0;
+    W.Sched.push_back(W.Tid);
+    C.insertSeen(W.S.hash());
+
+    if (R.Status == vm::StepStatus::AssertFailed ||
+        R.Status == vm::StepStatus::ModelError) {
+      C.recordBug(R.Status == vm::StepStatus::AssertFailed
+                      ? BugKind::AssertFailure
+                      : BugKind::ModelError,
+                  R.Status == vm::StepStatus::AssertFailed
+                      ? VM.program().Messages[R.MsgId]
+                      : R.ModelErrorText,
+                  W.Sched);
+      C.endExecution(W.PrefixSteps + W.Sched.size(), W.Blocking);
+      return;
+    }
+
+    std::vector<vm::ThreadId> Enabled = VM.enabledThreads(W.S);
+    bool SelfEnabled =
+        std::find(Enabled.begin(), Enabled.end(), W.Tid) != Enabled.end();
+
+    if (SelfEnabled) {
+      // Scheduling any other enabled thread here preempts W.Tid: defer
+      // those continuations to the next bound (lines 29-32).
+      for (vm::ThreadId Other : Enabled) {
+        if (Other == W.Tid)
+          continue;
+        IcbWorkItem Deferred;
+        Deferred.S = W.S;
+        Deferred.Tid = Other;
+        if (RecordSchedules)
+          Deferred.Sched = W.Sched;
+        else
+          Deferred.PrefixSteps = W.PrefixSteps + W.Sched.size();
+        Deferred.Blocking = W.Blocking;
+        C.defer(std::move(Deferred));
+      }
+      continue; // Keep running W.Tid at this bound (line 28).
+    }
+
+    if (Enabled.empty()) {
+      if (!W.S.allDone())
+        C.recordBug(BugKind::Deadlock, describeDeadlock(VM, W.S), W.Sched);
+      C.endExecution(W.PrefixSteps + W.Sched.size(), W.Blocking);
+      return;
+    }
+
+    // W.Tid blocked or terminated: switching is free (nonpreempting).
+    // Continue with the first enabled thread; publish the rest for
+    // exploration at this same bound (lines 33-37).
+    for (size_t I = 1; I < Enabled.size(); ++I) {
+      IcbWorkItem Branch;
+      Branch.S = W.S;
+      Branch.Tid = Enabled[I];
+      if (RecordSchedules)
+        Branch.Sched = W.Sched;
+      else
+        Branch.PrefixSteps = W.PrefixSteps + W.Sched.size();
+      Branch.Blocking = W.Blocking;
+      C.branch(std::move(Branch));
+    }
+    W.Tid = Enabled[0];
+  }
+}
+
+} // namespace icb::search::detail
+
+#endif // ICB_SEARCH_ICBCORE_H

@@ -5,37 +5,20 @@
 //===----------------------------------------------------------------------===//
 
 #include "search/IcbSearch.h"
+#include "search/IcbCore.h"
 #include "search/StateCache.h"
-#include <algorithm>
 #include <deque>
 
 using namespace icb;
 using namespace icb::search;
+using namespace icb::search::detail;
 using namespace icb::vm;
-
-namespace icb::search::detail {
-// Defined in Dfs.cpp; shared deadlock pretty-printer.
-std::string describeDeadlock(const Interp &Interp, const State &S);
-} // namespace icb::search::detail
 
 namespace {
 
-/// Algorithm 1's WorkItem, extended with the bookkeeping the experiments
-/// need: the schedule prefix (for replayable bug reports) and the number of
-/// blocking operations executed so far (Table 1's B column). The preemption
-/// count is implicit: every item in the queue for bound c has exactly c
-/// preemptions in its prefix.
-struct WorkItem {
-  State S;
-  ThreadId Tid = InvalidThread;
-  std::vector<ThreadId> Sched;
-  uint64_t Blocking = 0;
-  /// Steps executed before this item's schedule vector starts. Nonzero only
-  /// when RecordSchedules is off (the prefix is dropped to save memory but
-  /// its length still feeds the K statistic).
-  uint64_t PrefixSteps = 0;
-};
-
+/// Sequential reference driver: drains each bound's queue on the calling
+/// thread. The exploration body lives in IcbCore.h (shared with the
+/// parallel engine); this class is the Ctx it drives.
 class IcbDriver {
 public:
   IcbDriver(const vm::Interp &VM, const IcbSearch::Options &Opts)
@@ -43,25 +26,12 @@ public:
 
   SearchResult run();
 
-private:
-  /// Explores everything reachable from \p Item without further
-  /// preemptions; preemptive continuations go to NextQueue.
-  void processItem(WorkItem Item);
-
-  bool endExecution(uint64_t Steps, uint64_t Blocking) {
-    SearchStats &Stats = Result.Stats;
-    ++Stats.Executions;
-    Stats.StepsPerExecution.observe(Steps);
-    Stats.PreemptionsPerExecution.observe(CurrBound);
-    Stats.PreemptionHistogram.increment(CurrBound);
-    Stats.BlockingPerExecution.observe(Blocking);
-    Stats.Coverage.push_back({Stats.Executions, Seen.size()});
-    if (Stats.Executions >= Opts.Limits.MaxExecutions ||
-        Stats.TotalSteps >= Opts.Limits.MaxSteps ||
-        Seen.size() >= Opts.Limits.MaxStates)
-      LimitHit = true;
-    return LimitHit;
-  }
+  // --- IcbCore context hooks -------------------------------------------
+  bool insertItem(uint64_t Digest) { return ItemCache.insert(Digest); }
+  void insertSeen(uint64_t Digest) { Seen.insert(Digest); }
+  void countStep() { ++Stats.TotalSteps; }
+  void defer(IcbWorkItem &&Item) { NextQueue.push_back(std::move(Item)); }
+  void branch(IcbWorkItem &&Item) { Local.push_back(std::move(Item)); }
 
   void recordBug(BugKind Kind, std::string Message,
                  const std::vector<ThreadId> &Sched) {
@@ -76,126 +46,70 @@ private:
       LimitHit = true;
   }
 
+  void endExecution(uint64_t Steps, uint64_t Blocking) {
+    ++Stats.Executions;
+    Stats.StepsPerExecution.observe(Steps);
+    Stats.PreemptionsPerExecution.observe(CurrBound);
+    Stats.PreemptionHistogram.increment(CurrBound);
+    Stats.BlockingPerExecution.observe(Blocking);
+    Sampler.observe(Stats.Coverage, Stats.Executions, Seen.size());
+    if (Stats.Executions >= Opts.Limits.MaxExecutions ||
+        Stats.TotalSteps >= Opts.Limits.MaxSteps ||
+        Seen.size() >= Opts.Limits.MaxStates)
+      LimitHit = true;
+  }
+  // ---------------------------------------------------------------------
+
+private:
+  /// Explores everything reachable from \p Item without further
+  /// preemptions; preemptive continuations go to NextQueue. The local
+  /// stack holds the nonpreempting branches (Algorithm 1 lines 33-37).
+  void processItem(IcbWorkItem Item) {
+    Local.push_back(std::move(Item));
+    while (!Local.empty() && !LimitHit) {
+      IcbWorkItem W = std::move(Local.back());
+      Local.pop_back();
+      runIcbExecution(VM, std::move(W), Opts.UseStateCache,
+                      Opts.RecordSchedules, *this);
+    }
+  }
+
   const vm::Interp &VM;
   IcbSearch::Options Opts;
-  std::deque<WorkItem> WorkQueue;
-  std::deque<WorkItem> NextQueue;
-  StateCache Seen;       ///< Distinct visited states (coverage metric).
-  StateCache ItemCache;  ///< (state, thread) pruning when caching is on.
+  std::deque<IcbWorkItem> WorkQueue;
+  std::deque<IcbWorkItem> NextQueue;
+  std::vector<IcbWorkItem> Local;
+  StateCache Seen;      ///< Distinct visited states (coverage metric).
+  StateCache ItemCache; ///< (state, thread) pruning when caching is on.
   unsigned CurrBound = 0;
   bool LimitHit = false;
-  SearchResult Result;
+  SearchStats Stats;
+  CoverageSampler<CoveragePoint> Sampler;
   BugCollector Bugs;
 };
 
-void IcbDriver::processItem(WorkItem Item) {
-  // The stack holds deferred nonpreempting branches (Algorithm 1 lines
-  // 33-37 explore every enabled thread when the running thread yielded).
-  std::vector<WorkItem> Local;
-  Local.push_back(std::move(Item));
-
-  while (!Local.empty() && !LimitHit) {
-    WorkItem W = std::move(Local.back());
-    Local.pop_back();
-
-    // Follow W.Tid for as long as it stays enabled (lines 25-28); every
-    // alternative at those points costs a preemption and is deferred.
-    while (true) {
-      if (Opts.UseStateCache &&
-          !ItemCache.insertWorkItem(W.S.hash(), W.Tid)) {
-        // Revisited work item: everything beyond it was already explored
-        // (possibly at a lower bound). Counts as one pruned execution.
-        endExecution(W.PrefixSteps + W.Sched.size(), W.Blocking);
-        break;
-      }
-
-      StepResult R = VM.step(W.S, W.Tid);
-      ++Result.Stats.TotalSteps;
-      W.Blocking += R.WasBlockingOp ? 1 : 0;
-      W.Sched.push_back(W.Tid);
-      Seen.insert(W.S.hash());
-
-      if (R.Status == StepStatus::AssertFailed ||
-          R.Status == StepStatus::ModelError) {
-        recordBug(R.Status == StepStatus::AssertFailed
-                      ? BugKind::AssertFailure
-                      : BugKind::ModelError,
-                  R.Status == StepStatus::AssertFailed
-                      ? VM.program().Messages[R.MsgId]
-                      : R.ModelErrorText,
-                  W.Sched);
-        endExecution(W.PrefixSteps + W.Sched.size(), W.Blocking);
-        break;
-      }
-
-      std::vector<ThreadId> Enabled = VM.enabledThreads(W.S);
-      bool SelfEnabled =
-          std::find(Enabled.begin(), Enabled.end(), W.Tid) != Enabled.end();
-
-      if (SelfEnabled) {
-        // Scheduling any other enabled thread here preempts W.Tid: defer
-        // those continuations to the next bound (lines 29-32).
-        for (ThreadId Other : Enabled) {
-          if (Other == W.Tid)
-            continue;
-          WorkItem Deferred;
-          Deferred.S = W.S;
-          Deferred.Tid = Other;
-          if (Opts.RecordSchedules)
-            Deferred.Sched = W.Sched;
-          else
-            Deferred.PrefixSteps = W.PrefixSteps + W.Sched.size();
-          Deferred.Blocking = W.Blocking;
-          NextQueue.push_back(std::move(Deferred));
-        }
-        continue; // Keep running W.Tid at this bound (line 28).
-      }
-
-      if (Enabled.empty()) {
-        if (!W.S.allDone())
-          recordBug(BugKind::Deadlock,
-                    detail::describeDeadlock(VM, W.S), W.Sched);
-        endExecution(W.PrefixSteps + W.Sched.size(), W.Blocking);
-        break;
-      }
-
-      // W.Tid blocked or terminated: switching is free (nonpreempting).
-      // Continue with the first enabled thread; queue the rest locally
-      // (lines 33-37).
-      for (size_t I = 1; I < Enabled.size(); ++I) {
-        WorkItem Branch;
-        Branch.S = W.S;
-        Branch.Tid = Enabled[I];
-        if (Opts.RecordSchedules)
-          Branch.Sched = W.Sched;
-        else
-          Branch.PrefixSteps = W.PrefixSteps + W.Sched.size();
-        Branch.Blocking = W.Blocking;
-        Local.push_back(std::move(Branch));
-      }
-      W.Tid = Enabled[0];
-    }
-  }
-}
-
 SearchResult IcbDriver::run() {
+  SearchResult Result;
+
   State S0 = VM.initialState();
   Seen.insert(S0.hash());
   std::vector<ThreadId> Enabled0 = VM.enabledThreads(S0);
   if (Enabled0.empty()) {
     if (!S0.allDone())
-      recordBug(BugKind::Deadlock, detail::describeDeadlock(VM, S0), {});
+      recordBug(BugKind::Deadlock, describeDeadlock(VM, S0), {});
     endExecution(0, 0);
-    Result.Stats.DistinctStates = Seen.size();
-    Result.Stats.PerBound.push_back({0, Seen.size(), Result.Stats.Executions});
-    Result.Stats.Completed = !LimitHit;
+    Stats.DistinctStates = Seen.size();
+    Stats.PerBound.push_back({0, Seen.size(), Stats.Executions});
+    Stats.Completed = !LimitHit;
+    Sampler.finish(Stats.Coverage);
+    Result.Stats = std::move(Stats);
     Result.Bugs = Bugs.take();
-    return std::move(Result);
+    return Result;
   }
 
   // Lines 6-8: one work item per initially enabled thread.
   for (ThreadId Tid : Enabled0) {
-    WorkItem Item;
+    IcbWorkItem Item;
     Item.S = S0;
     Item.Tid = Tid;
     Item.Blocking = 0;
@@ -205,12 +119,11 @@ SearchResult IcbDriver::run() {
   // Lines 9-21: drain the current bound, snapshot coverage, move on.
   while (true) {
     while (!WorkQueue.empty() && !LimitHit) {
-      WorkItem Item = std::move(WorkQueue.front());
+      IcbWorkItem Item = std::move(WorkQueue.front());
       WorkQueue.pop_front();
       processItem(std::move(Item));
     }
-    Result.Stats.PerBound.push_back(
-        {CurrBound, Seen.size(), Result.Stats.Executions});
+    Stats.PerBound.push_back({CurrBound, Seen.size(), Stats.Executions});
     if (LimitHit || NextQueue.empty() ||
         CurrBound >= Opts.Limits.MaxPreemptionBound)
       break;
@@ -219,11 +132,12 @@ SearchResult IcbDriver::run() {
     NextQueue.clear();
   }
 
-  Result.Stats.DistinctStates = Seen.size();
-  Result.Stats.Completed = !LimitHit && WorkQueue.empty() &&
-                           NextQueue.empty();
+  Stats.DistinctStates = Seen.size();
+  Stats.Completed = !LimitHit && WorkQueue.empty() && NextQueue.empty();
+  Sampler.finish(Stats.Coverage);
+  Result.Stats = std::move(Stats);
   Result.Bugs = Bugs.take();
-  return std::move(Result);
+  return Result;
 }
 
 } // namespace

@@ -1,0 +1,92 @@
+//===- search/ParallelIcb.h - Multithreaded ICB search ----------*- C++ -*-===//
+//
+// Part of the ICB project (PLDI'07 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The parallel counterpart of IcbSearch: the same Algorithm 1, with each
+/// bound's work queue drained by a pool of workers.
+///
+/// Parallelizing ICB is natural because the algorithm is a sequence of
+/// independent batches: every work item queued for bound c can be explored
+/// in isolation — items only communicate *forward*, by publishing deferred
+/// (preempting) continuations for bound c + 1. The engine therefore runs
+/// one fork/join round per bound:
+///
+///   * the bound's items are dealt round-robin onto per-worker
+///     work-stealing deques; workers pop their own bottom (LIFO) and steal
+///     from others' tops (FIFO) when dry, so a bound with few roots but
+///     deep subtrees still spreads — nonpreempting branches discovered
+///     mid-execution go onto the owner's deque bottom where they are
+///     stealable;
+///   * deferred continuations are published to a lock-striped next queue
+///     (one stripe per worker — steady-state pushes are uncontended);
+///   * the visited-state set and the (state, thread) work-item cache are
+///     ShardedStateCaches probed concurrently;
+///   * statistics and bugs accumulate worker-locally and merge at the
+///     bound barrier with commutative folds, so results are independent of
+///     scheduling;
+///   * the pool's join *is* Algorithm 1's per-bound barrier: bound c + 1
+///     starts only after bound c is fully drained, preserving the minimal
+///     preemption guarantee for every reported bug.
+///
+/// Determinism: with the work-item cache off the engine enumerates the
+/// complete bounded tree, every exposure of every bug is recorded, and
+/// duplicate reports are canonicalized to the lexicographically smallest
+/// (Preemptions, Steps, Schedule) exposure — results, including schedules
+/// and per-execution distributions, are bit-identical for any worker
+/// count. With the cache on, each (state, thread) node is claimed by
+/// exactly one worker *before* being stepped; the *set* of claimed nodes
+/// is the same whatever the timing, so Executions, TotalSteps,
+/// DistinctStates, the per-bound snapshots, the preemption histogram, and
+/// the set of distinct bugs with their minimal preemption counts are
+/// identical for any worker count. What the cache does leave
+/// timing-dependent is *attribution*: which chain claims a shared node
+/// decides where the other chains truncate, so the per-execution
+/// step/blocking distributions and the particular exposing schedule of a
+/// bug may differ between runs (the sequential cached engine has the same
+/// property — its attribution just follows its fixed LIFO order). Runs
+/// that trip a resource limit mid-bound are nondeterministic in the
+/// obvious way (the limit fires at a timing-dependent point), exactly as
+/// a Ctrl-C would be.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ICB_SEARCH_PARALLELICB_H
+#define ICB_SEARCH_PARALLELICB_H
+
+#include "search/Strategy.h"
+
+namespace icb::search {
+
+/// Work-stealing parallel iterative context bounding.
+class ParallelIcbSearch final : public Strategy {
+public:
+  struct Options {
+    /// Worker threads draining each bound. 0 picks the hardware
+    /// concurrency. 1 is a valid (sequentialized) configuration — handy
+    /// for determinism comparisons against higher counts.
+    unsigned Jobs = 0;
+    /// Shards in the concurrent state caches; 0 derives one from the
+    /// worker count (at least 64, at least 8x jobs, power of two).
+    unsigned Shards = 0;
+    /// Prune (state, thread) work items already explored (ZING mode).
+    bool UseStateCache = false;
+    /// Carry full schedules in work items so bug reports are replayable.
+    bool RecordSchedules = true;
+    SearchLimits Limits;
+  };
+
+  explicit ParallelIcbSearch(Options Opts) : Opts(Opts) {}
+
+  SearchResult run(const vm::Interp &Interp) override;
+  std::string name() const override { return "icb-par"; }
+
+private:
+  Options Opts;
+};
+
+} // namespace icb::search
+
+#endif // ICB_SEARCH_PARALLELICB_H

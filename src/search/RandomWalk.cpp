@@ -24,6 +24,7 @@ SearchResult RandomWalk::run(const Interp &Interp) {
   SearchResult Result;
   BugCollector Bugs;
   SearchStats &Stats = Result.Stats;
+  CoverageSampler<CoveragePoint> Sampler;
 
   State S0 = Interp.initialState();
   uint64_t InitialHash = S0.hash();
@@ -88,7 +89,7 @@ SearchResult RandomWalk::run(const Interp &Interp) {
     Stats.PreemptionsPerExecution.observe(Np);
     Stats.PreemptionHistogram.increment(Np);
     Stats.BlockingPerExecution.observe(Blocking);
-    Stats.Coverage.push_back({Stats.Executions, Seen.size()});
+    Sampler.observe(Stats.Coverage, Stats.Executions, Seen.size());
     LimitHit = Stats.Executions >= Opts.Limits.MaxExecutions ||
                Stats.TotalSteps >= Opts.Limits.MaxSteps ||
                Seen.size() >= Opts.Limits.MaxStates ||
@@ -97,6 +98,7 @@ SearchResult RandomWalk::run(const Interp &Interp) {
 
   Stats.DistinctStates = Seen.size();
   Stats.Completed = false; // Random sampling never proves exhaustion.
+  Sampler.finish(Stats.Coverage);
   Result.Bugs = Bugs.take();
   return Result;
 }

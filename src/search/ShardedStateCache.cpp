@@ -1,0 +1,143 @@
+//===- search/ShardedStateCache.cpp - Concurrent visited-state set --------===//
+//
+// Part of the ICB project (PLDI'07 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "search/ShardedStateCache.h"
+#include "support/Debug.h"
+
+using namespace icb;
+using namespace icb::search;
+
+namespace {
+
+unsigned roundUpPow2(unsigned X) {
+  unsigned P = 1;
+  while (P < X)
+    P <<= 1;
+  return P;
+}
+
+unsigned log2Pow2(unsigned P) {
+  unsigned Bits = 0;
+  while ((1u << Bits) < P)
+    ++Bits;
+  return Bits;
+}
+
+} // namespace
+
+/// One lock-striped open-addressing table. Slots hold raw digests with 0 as
+/// the empty sentinel; the (rare) digest value 0 itself is tracked by a
+/// side flag. Count mirrors the stored total atomically so size() needs no
+/// locks.
+struct ShardedStateCache::Shard {
+  static constexpr size_t InitialCapacity = 64;
+
+  mutable std::mutex Mu;
+  std::vector<uint64_t> Slots; ///< Power-of-two capacity; 0 = empty.
+  uint64_t Used = 0;           ///< Nonzero digests stored.
+  bool HasZero = false;
+  std::atomic<uint64_t> Count{0};
+
+  bool insertLocked(uint64_t Digest) {
+    if (Digest == 0) {
+      if (HasZero)
+        return false;
+      HasZero = true;
+      Count.fetch_add(1, std::memory_order_relaxed);
+      return true;
+    }
+    if (Slots.empty())
+      Slots.assign(InitialCapacity, 0);
+    // Grow at ~70% load, before probing, so probes always terminate.
+    if ((Used + 1) * 10 >= Slots.size() * 7)
+      grow();
+    size_t Mask = Slots.size() - 1;
+    size_t Idx = static_cast<size_t>(Digest) & Mask;
+    while (Slots[Idx] != 0) {
+      if (Slots[Idx] == Digest)
+        return false;
+      Idx = (Idx + 1) & Mask;
+    }
+    Slots[Idx] = Digest;
+    ++Used;
+    Count.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+
+  bool containsLocked(uint64_t Digest) const {
+    if (Digest == 0)
+      return HasZero;
+    if (Slots.empty())
+      return false;
+    size_t Mask = Slots.size() - 1;
+    size_t Idx = static_cast<size_t>(Digest) & Mask;
+    while (Slots[Idx] != 0) {
+      if (Slots[Idx] == Digest)
+        return true;
+      Idx = (Idx + 1) & Mask;
+    }
+    return false;
+  }
+
+  void grow() {
+    std::vector<uint64_t> Old = std::move(Slots);
+    Slots.assign(Old.size() * 2, 0);
+    size_t Mask = Slots.size() - 1;
+    for (uint64_t Digest : Old) {
+      if (Digest == 0)
+        continue;
+      size_t Idx = static_cast<size_t>(Digest) & Mask;
+      while (Slots[Idx] != 0)
+        Idx = (Idx + 1) & Mask;
+      Slots[Idx] = Digest;
+    }
+  }
+};
+
+ShardedStateCache::ShardedStateCache(unsigned RequestedShards) {
+  ShardCount = roundUpPow2(RequestedShards ? RequestedShards : 64);
+  ShardBits = log2Pow2(ShardCount);
+  ICB_ASSERT(ShardBits < 64, "absurd shard count");
+  ShardArr.reset(new Shard[ShardCount]);
+}
+
+ShardedStateCache::~ShardedStateCache() = default;
+
+ShardedStateCache::Shard &ShardedStateCache::shardFor(uint64_t Digest) const {
+  // High bits pick the shard; insertLocked uses low bits for the slot, so
+  // the two indices are independent for well-mixed digests.
+  return ShardArr[ShardBits ? (Digest >> (64 - ShardBits)) : 0];
+}
+
+bool ShardedStateCache::insert(uint64_t Digest) {
+  Shard &S = shardFor(Digest);
+  std::lock_guard<std::mutex> Guard(S.Mu);
+  return S.insertLocked(Digest);
+}
+
+bool ShardedStateCache::contains(uint64_t Digest) const {
+  Shard &S = shardFor(Digest);
+  std::lock_guard<std::mutex> Guard(S.Mu);
+  return S.containsLocked(Digest);
+}
+
+uint64_t ShardedStateCache::size() const {
+  uint64_t Total = 0;
+  for (unsigned I = 0; I != ShardCount; ++I)
+    Total += ShardArr[I].Count.load(std::memory_order_relaxed);
+  return Total;
+}
+
+void ShardedStateCache::clear() {
+  for (unsigned I = 0; I != ShardCount; ++I) {
+    Shard &S = ShardArr[I];
+    std::lock_guard<std::mutex> Guard(S.Mu);
+    S.Slots.clear();
+    S.Used = 0;
+    S.HasZero = false;
+    S.Count.store(0, std::memory_order_relaxed);
+  }
+}

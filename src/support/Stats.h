@@ -32,6 +32,20 @@ public:
     ++Count;
   }
 
+  /// Folds another tracker in; the result is what observing both streams
+  /// in any order would have produced (merging is commutative, which is
+  /// what makes the parallel engine's per-worker stats order-independent).
+  void merge(const MinMax &Other) {
+    if (Other.Count == 0)
+      return;
+    if (Count == 0 || Other.Min < Min)
+      Min = Other.Min;
+    if (Count == 0 || Other.Max > Max)
+      Max = Other.Max;
+    Sum += Other.Sum;
+    Count += Other.Count;
+  }
+
   bool empty() const { return Count == 0; }
   uint64_t min() const { return Count ? Min : 0; }
   uint64_t max() const { return Count ? Max : 0; }
@@ -71,10 +85,69 @@ public:
     return Sum;
   }
 
+  /// Adds another histogram bucket-wise (commutative).
+  void merge(const Histogram &Other) {
+    for (size_t I = 0; I != Other.Buckets.size(); ++I)
+      increment(I, Other.Buckets[I]);
+  }
+
   const std::vector<uint64_t> &buckets() const { return Buckets; }
 
 private:
   std::vector<uint64_t> Buckets;
+};
+
+/// Bounded sampler for states-vs-executions coverage curves.
+///
+/// The figure harnesses want the curve's *shape*; recording one point per
+/// execution makes the vector grow linearly with the run (hundreds of MB
+/// on long searches). This sampler records every Stride-th execution and,
+/// whenever the retained vector reaches MaxPoints, drops every other point
+/// and doubles the stride — so memory stays bounded while early executions
+/// (where the curve bends) remain densely sampled. `finish` appends the
+/// final observation so the curve always ends at the true totals.
+///
+/// Point is any struct with {Executions, States} members (the search:: and
+/// rt:: coverage point types are structurally identical).
+template <typename Point> class CoverageSampler {
+public:
+  explicit CoverageSampler(uint64_t MaxPoints = 4096)
+      : MaxPoints(MaxPoints < 16 ? 16 : MaxPoints) {}
+
+  /// Called once per completed execution with the running totals.
+  void observe(std::vector<Point> &Out, uint64_t Executions,
+               uint64_t States) {
+    LastExecutions = Executions;
+    LastStates = States;
+    HavePending = true;
+    if (Executions % Stride != 0)
+      return;
+    Out.push_back(Point{Executions, States});
+    HavePending = false;
+    if (Out.size() < MaxPoints)
+      return;
+    // Keep points at the doubled stride (indices 1, 3, 5, ... hold the
+    // executions that are multiples of 2 * Stride).
+    size_t Write = 0;
+    for (size_t I = 1; I < Out.size(); I += 2)
+      Out[Write++] = Out[I];
+    Out.resize(Write);
+    Stride *= 2;
+  }
+
+  /// Appends the last observed totals if they were not already recorded.
+  void finish(std::vector<Point> &Out) {
+    if (HavePending)
+      Out.push_back(Point{LastExecutions, LastStates});
+    HavePending = false;
+  }
+
+private:
+  uint64_t MaxPoints;
+  uint64_t Stride = 1;
+  uint64_t LastExecutions = 0;
+  uint64_t LastStates = 0;
+  bool HavePending = false;
 };
 
 } // namespace icb

@@ -1,0 +1,84 @@
+//===- support/StripedQueue.h - Lock-striped publish queue ------*- C++ -*-===//
+//
+// Part of the ICB project (PLDI'07 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A multi-producer queue striped over independent locks. Producers push
+/// with a stripe hint (the parallel ICB workers use their worker index, so
+/// steady-state pushes are uncontended); a single consumer drains all
+/// stripes in stripe order at a barrier. This carries the deferred
+/// (preempting) continuations from the workers of bound c to the work
+/// queue of bound c + 1.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ICB_SUPPORT_STRIPEDQUEUE_H
+#define ICB_SUPPORT_STRIPEDQUEUE_H
+
+#include <memory>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+namespace icb {
+
+template <typename T> class StripedQueue {
+public:
+  explicit StripedQueue(unsigned StripeCount)
+      : Stripes(StripeCount ? StripeCount : 1),
+        Lanes(new Stripe[StripeCount ? StripeCount : 1]) {}
+
+  unsigned stripes() const { return Stripes; }
+
+  /// Pushes an item onto stripe `Hint % stripes()`.
+  void push(unsigned Hint, T &&Item) {
+    Stripe &Lane = Lanes[Hint % Stripes];
+    std::lock_guard<std::mutex> Guard(Lane.Mu);
+    Lane.Items.push_back(std::move(Item));
+  }
+
+  /// Moves every queued item out, stripe by stripe in stripe order, and
+  /// leaves the queue empty. Single-consumer; callers must ensure no
+  /// concurrent push (the parallel engine drains only at bound barriers).
+  std::vector<T> drain() {
+    std::vector<T> Out;
+    for (unsigned I = 0; I != Stripes; ++I) {
+      Stripe &Lane = Lanes[I];
+      std::lock_guard<std::mutex> Guard(Lane.Mu);
+      if (Out.empty()) {
+        Out = std::move(Lane.Items);
+        Lane.Items.clear(); // Moved-from: restore a definite empty state.
+      } else {
+        for (T &Item : Lane.Items)
+          Out.push_back(std::move(Item));
+        Lane.Items.clear();
+      }
+    }
+    return Out;
+  }
+
+  bool empty() const {
+    for (unsigned I = 0; I != Stripes; ++I) {
+      Stripe &Lane = Lanes[I];
+      std::lock_guard<std::mutex> Guard(Lane.Mu);
+      if (!Lane.Items.empty())
+        return false;
+    }
+    return true;
+  }
+
+private:
+  struct Stripe {
+    mutable std::mutex Mu;
+    std::vector<T> Items;
+  };
+
+  unsigned Stripes;
+  std::unique_ptr<Stripe[]> Lanes;
+};
+
+} // namespace icb
+
+#endif // ICB_SUPPORT_STRIPEDQUEUE_H

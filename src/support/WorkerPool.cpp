@@ -1,0 +1,73 @@
+//===- support/WorkerPool.cpp - Persistent worker-thread pool -------------===//
+//
+// Part of the ICB project (PLDI'07 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/WorkerPool.h"
+#include "support/Debug.h"
+
+using namespace icb;
+
+unsigned WorkerPool::defaultWorkers() {
+  unsigned Hw = std::thread::hardware_concurrency();
+  return Hw ? Hw : 1;
+}
+
+WorkerPool::WorkerPool(unsigned Workers) : Count(Workers ? Workers : 1) {
+  Threads.reserve(Count - 1);
+  for (unsigned I = 1; I != Count; ++I)
+    Threads.emplace_back([this, I] { threadMain(I); });
+}
+
+WorkerPool::~WorkerPool() {
+  {
+    std::lock_guard<std::mutex> Guard(Mu);
+    Shutdown = true;
+  }
+  RoundStart.notify_all();
+  for (std::thread &T : Threads)
+    T.join();
+}
+
+void WorkerPool::run(const std::function<void(unsigned)> &Fn) {
+  if (Count == 1) {
+    Fn(0);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> Guard(Mu);
+    ICB_ASSERT(Running == 0, "WorkerPool::run is not reentrant");
+    this->Fn = &Fn;
+    Running = Count - 1;
+    ++Generation;
+  }
+  RoundStart.notify_all();
+  Fn(0); // The caller is worker 0.
+  std::unique_lock<std::mutex> Lock(Mu);
+  RoundDone.wait(Lock, [this] { return Running == 0; });
+  this->Fn = nullptr;
+}
+
+void WorkerPool::threadMain(unsigned Index) {
+  uint64_t SeenGeneration = 0;
+  for (;;) {
+    const std::function<void(unsigned)> *Round = nullptr;
+    {
+      std::unique_lock<std::mutex> Lock(Mu);
+      RoundStart.wait(Lock, [this, SeenGeneration] {
+        return Shutdown || Generation != SeenGeneration;
+      });
+      if (Shutdown)
+        return;
+      SeenGeneration = Generation;
+      Round = Fn;
+    }
+    (*Round)(Index);
+    {
+      std::lock_guard<std::mutex> Guard(Mu);
+      --Running;
+    }
+    RoundDone.notify_one();
+  }
+}

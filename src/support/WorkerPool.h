@@ -1,0 +1,67 @@
+//===- support/WorkerPool.h - Persistent worker-thread pool -----*- C++ -*-===//
+//
+// Part of the ICB project (PLDI'07 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small persistent pool of worker threads for fork/join rounds. The
+/// parallel ICB engine runs one round per preemption bound: `run(Fn)`
+/// invokes `Fn(workerIndex)` on every worker concurrently (the calling
+/// thread participates as worker 0) and returns when all of them have
+/// finished — the return *is* the per-bound barrier of Algorithm 1.
+///
+/// Threads are spawned once and parked between rounds, so per-bound
+/// dispatch costs two lock acquisitions per worker instead of a thread
+/// spawn.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ICB_SUPPORT_WORKERPOOL_H
+#define ICB_SUPPORT_WORKERPOOL_H
+
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace icb {
+
+class WorkerPool {
+public:
+  /// Creates a pool of \p Workers logical workers (>= 1). Worker 0 is the
+  /// thread that calls run(); Workers - 1 threads are spawned and parked.
+  explicit WorkerPool(unsigned Workers);
+  ~WorkerPool();
+
+  WorkerPool(const WorkerPool &) = delete;
+  WorkerPool &operator=(const WorkerPool &) = delete;
+
+  unsigned workers() const { return Count; }
+
+  /// Runs `Fn(workerIndex)` on all workers concurrently and waits for every
+  /// invocation to return (a full barrier). Not reentrant.
+  void run(const std::function<void(unsigned)> &Fn);
+
+  /// A sensible default worker count: the hardware concurrency, with a
+  /// floor of 1 (hardware_concurrency() may report 0).
+  static unsigned defaultWorkers();
+
+private:
+  void threadMain(unsigned Index);
+
+  std::mutex Mu;
+  std::condition_variable RoundStart;
+  std::condition_variable RoundDone;
+  const std::function<void(unsigned)> *Fn = nullptr; ///< Guarded by Mu.
+  uint64_t Generation = 0;                           ///< Guarded by Mu.
+  unsigned Running = 0;                              ///< Guarded by Mu.
+  bool Shutdown = false;                             ///< Guarded by Mu.
+  unsigned Count = 1;
+  std::vector<std::thread> Threads;
+};
+
+} // namespace icb
+
+#endif // ICB_SUPPORT_WORKERPOOL_H

@@ -28,6 +28,23 @@ void finishThread(const Program &Prog, State &S, ThreadId Tid) {
   Thread.Regs.fill(0);
 }
 
+/// Brackets a step's thread-context edits for incremental hashing: the
+/// constructor XORs the stepping thread's old digest contribution out, the
+/// destructor XORs the new one back in on every exit path.
+class ThreadDigestScope {
+public:
+  ThreadDigestScope(State &S, ThreadId Tid) : S(S), Tid(Tid) {
+    S.toggleThreadDigest(Tid);
+  }
+  ~ThreadDigestScope() { S.toggleThreadDigest(Tid); }
+  ThreadDigestScope(const ThreadDigestScope &) = delete;
+  ThreadDigestScope &operator=(const ThreadDigestScope &) = delete;
+
+private:
+  State &S;
+  ThreadId Tid;
+};
+
 } // namespace
 
 StepStatus Interp::runLocal(State &S, ThreadId Tid, uint32_t &FailMsgId,
@@ -151,6 +168,7 @@ State Interp::initialState() const {
     if (Status == StepStatus::ModelError)
       fatalError(__FILE__, __LINE__, ErrorText.c_str());
   }
+  S.rehash(); // Initialize the incremental digest over the final contents.
   return S;
 }
 
@@ -225,21 +243,26 @@ StepResult Interp::step(State &S, ThreadId Tid) const {
   Result.Var = nextVar(S, Tid);
   Result.WasBlockingOp = isPotentiallyBlocking(I.Opcode);
 
+  // All thread-context edits below (registers, pc, status — including the
+  // ones runLocal makes) happen inside this scope, which keeps the state
+  // digest incremental; shared slots go through the set* helpers.
+  ThreadDigestScope DigestScope(S, Tid);
+
   auto &R = Thread.Regs;
   switch (I.Opcode) {
   case Op::LoadG:
     R[I.A] = S.Globals[I.B];
     break;
   case Op::StoreG:
-    S.Globals[I.A] = R[I.B];
+    S.setGlobal(I.A, R[I.B]);
     break;
   case Op::AddG:
-    S.Globals[I.B] += R[I.C];
+    S.setGlobal(I.B, S.Globals[I.B] + R[I.C]);
     R[I.A] = S.Globals[I.B];
     break;
   case Op::CasG:
     if (S.Globals[I.B] == R[I.C]) {
-      S.Globals[I.B] = R[I.Imm];
+      S.setGlobal(I.B, R[I.Imm]);
       R[I.A] = 1;
     } else {
       R[I.A] = 0;
@@ -247,12 +270,12 @@ StepResult Interp::step(State &S, ThreadId Tid) const {
     break;
   case Op::XchgG: {
     int64_t Old = S.Globals[I.B];
-    S.Globals[I.B] = R[I.C];
+    S.setGlobal(I.B, R[I.C]);
     R[I.A] = Old;
     break;
   }
   case Op::Lock:
-    S.LockOwners[I.A] = Tid;
+    S.setLockOwner(I.A, Tid);
     break;
   case Op::Unlock:
     if (S.LockOwners[I.A] != Tid) {
@@ -262,23 +285,23 @@ StepResult Interp::step(State &S, ThreadId Tid) const {
           Prog.Locks[I.A].c_str());
       return Result;
     }
-    S.LockOwners[I.A] = InvalidThread;
+    S.setLockOwner(I.A, InvalidThread);
     break;
   case Op::SetE:
-    S.EventSet[I.A] = 1;
+    S.setEvent(I.A, 1);
     break;
   case Op::ResetE:
-    S.EventSet[I.A] = 0;
+    S.setEvent(I.A, 0);
     break;
   case Op::WaitE:
     if (!Prog.Events[I.A].ManualReset)
-      S.EventSet[I.A] = 0; // Auto-reset events are consumed by the waiter.
+      S.setEvent(I.A, 0); // Auto-reset events are consumed by the waiter.
     break;
   case Op::SemV:
-    ++S.SemCounts[I.A];
+    S.setSem(I.A, S.SemCounts[I.A] + 1);
     break;
   case Op::SemP:
-    --S.SemCounts[I.A];
+    S.setSem(I.A, S.SemCounts[I.A] - 1);
     break;
   case Op::Join:
     break; // The join itself has no effect beyond the enabledness guard.

@@ -10,26 +10,40 @@
 using namespace icb;
 using namespace icb::vm;
 
-uint64_t State::hash() const {
-  StableHasher Hasher;
-  for (int64_t Value : Globals)
-    Hasher.add(static_cast<uint64_t>(Value));
-  for (ThreadId Owner : LockOwners)
-    Hasher.add(Owner);
-  for (uint8_t Set : EventSet)
-    Hasher.add(Set);
-  for (int32_t Count : SemCounts)
-    Hasher.add(static_cast<uint64_t>(static_cast<int64_t>(Count)));
-  for (const ThreadState &Thread : Threads) {
-    Hasher.add(Thread.Pc);
-    Hasher.add(static_cast<uint64_t>(Thread.Status));
-    // Registers of terminated threads are zeroed by the interpreter, so
-    // hashing them never distinguishes states that differ only in dead
-    // local data.
-    for (int64_t Reg : Thread.Regs)
-      Hasher.add(static_cast<uint64_t>(Reg));
-  }
-  return Hasher.digest();
+uint64_t State::threadDigest(ThreadId Tid) const {
+  const ThreadState &Thread = Threads[Tid];
+  uint64_t H = hashCombine(SaltThread, Tid);
+  H = hashCombine(H, Thread.Pc);
+  H = hashCombine(H, static_cast<uint64_t>(Thread.Status));
+  // Registers of terminated threads are zeroed by the interpreter, so
+  // hashing them never distinguishes states that differ only in dead
+  // local data.
+  for (int64_t Reg : Thread.Regs)
+    H = hashCombine(H, static_cast<uint64_t>(Reg));
+  return hashMix(H);
+}
+
+uint64_t State::computeHash() const {
+  // The shape term pins the vector sizes (all states of one program share
+  // them, but it keeps digests of differently-shaped states apart); every
+  // slot then contributes one independently mixed XOR term.
+  uint64_t D = hashCombine(SaltShape, Globals.size());
+  D = hashCombine(D, LockOwners.size());
+  D = hashCombine(D, EventSet.size());
+  D = hashCombine(D, SemCounts.size());
+  D = hashCombine(D, Threads.size());
+  for (size_t I = 0; I != Globals.size(); ++I)
+    D ^= slotDigest(SaltGlobal, I, static_cast<uint64_t>(Globals[I]));
+  for (size_t I = 0; I != LockOwners.size(); ++I)
+    D ^= slotDigest(SaltLock, I, LockOwners[I]);
+  for (size_t I = 0; I != EventSet.size(); ++I)
+    D ^= slotDigest(SaltEvent, I, EventSet[I]);
+  for (size_t I = 0; I != SemCounts.size(); ++I)
+    D ^= slotDigest(
+        SaltSem, I, static_cast<uint64_t>(static_cast<int64_t>(SemCounts[I])));
+  for (ThreadId Tid = 0; Tid != Threads.size(); ++Tid)
+    D ^= threadDigest(Tid);
+  return D;
 }
 
 bool State::allDone() const {

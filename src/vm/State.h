@@ -10,11 +10,20 @@
 /// (Algorithm 1's work items snapshot them) and canonically hashable (the
 /// ZING-side state cache and the coverage experiments count state hashes).
 ///
+/// Hashing is *incremental*: the canonical 64-bit digest is maintained as
+/// an XOR of independently mixed per-slot hashes, updated by the mutation
+/// helpers the interpreter uses, so `hash()` is O(1) instead of a full
+/// rescan on every step. XOR aggregation is sound because every slot's
+/// contribution is salted with its kind and index before mixing, so equal
+/// values in different slots contribute different terms; removing a slot's
+/// old term and adding its new one is a single symmetric XOR pair.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef ICB_VM_STATE_H
 #define ICB_VM_STATE_H
 
+#include "support/Hashing.h"
 #include "vm/Ids.h"
 #include "vm/Program.h"
 #include <array>
@@ -39,6 +48,11 @@ struct ThreadState {
 /// The complete dynamic state. Invariant maintained by the interpreter:
 /// every Runnable thread's Pc points at a shared-access instruction (all
 /// leading thread-local instructions have already been executed).
+///
+/// Mutators that change hashed content must go through the set* helpers
+/// (shared slots) or bracket their edits with toggleThreadDigest (thread
+/// contexts); code that fills the raw fields directly must call rehash()
+/// before the digest is read.
 class State {
 public:
   State() = default;
@@ -49,14 +63,72 @@ public:
   std::vector<int32_t> SemCounts;
   std::vector<ThreadState> Threads;
 
-  /// Canonical 64-bit digest of the whole state. Two states with equal
-  /// digests are treated as identical by the state cache (collisions are
-  /// possible but negligible at our state counts; see DESIGN.md).
-  uint64_t hash() const;
+  /// Canonical 64-bit digest of the whole state, maintained incrementally
+  /// (O(1)). Two states with equal digests are treated as identical by the
+  /// state cache (collisions are possible but negligible at our state
+  /// counts; see DESIGN.md).
+  uint64_t hash() const { return Digest; }
+
+  /// Recomputes the digest with a full rescan; equals hash() whenever the
+  /// incremental bookkeeping is intact (asserted by the test suite).
+  uint64_t computeHash() const;
+
+  /// Re-initializes the incremental digest after direct field edits.
+  void rehash() { Digest = computeHash(); }
+
+  // --- Digest-maintaining mutators (used by the interpreter) --------------
+
+  void setGlobal(size_t I, int64_t Value) {
+    Digest ^= slotDigest(SaltGlobal, I, static_cast<uint64_t>(Globals[I]));
+    Globals[I] = Value;
+    Digest ^= slotDigest(SaltGlobal, I, static_cast<uint64_t>(Value));
+  }
+
+  void setLockOwner(size_t I, ThreadId Owner) {
+    Digest ^= slotDigest(SaltLock, I, LockOwners[I]);
+    LockOwners[I] = Owner;
+    Digest ^= slotDigest(SaltLock, I, Owner);
+  }
+
+  void setEvent(size_t I, uint8_t Set) {
+    Digest ^= slotDigest(SaltEvent, I, EventSet[I]);
+    EventSet[I] = Set;
+    Digest ^= slotDigest(SaltEvent, I, Set);
+  }
+
+  void setSem(size_t I, int32_t Count) {
+    Digest ^= slotDigest(
+        SaltSem, I, static_cast<uint64_t>(static_cast<int64_t>(SemCounts[I])));
+    SemCounts[I] = Count;
+    Digest ^= slotDigest(
+        SaltSem, I, static_cast<uint64_t>(static_cast<int64_t>(Count)));
+  }
+
+  /// XORs thread \p Tid's digest contribution in or out. The interpreter
+  /// calls this before and after a step's thread-context edits: the first
+  /// call removes the old contribution, the second adds the new one.
+  void toggleThreadDigest(ThreadId Tid) { Digest ^= threadDigest(Tid); }
 
   /// True when every thread has terminated.
   bool allDone() const;
 
+private:
+  // Per-kind salts keep equal (index, value) pairs in different slot
+  // classes from cancelling each other under XOR.
+  static constexpr uint64_t SaltShape = 0x243f6a8885a308d3ULL;
+  static constexpr uint64_t SaltGlobal = 0x13198a2e03707344ULL;
+  static constexpr uint64_t SaltLock = 0xa4093822299f31d0ULL;
+  static constexpr uint64_t SaltEvent = 0x082efa98ec4e6c89ULL;
+  static constexpr uint64_t SaltSem = 0x452821e638d01377ULL;
+  static constexpr uint64_t SaltThread = 0xbe5466cf34e90c6cULL;
+
+  static uint64_t slotDigest(uint64_t Salt, uint64_t Index, uint64_t Value) {
+    return hashMix(hashCombine(hashCombine(Salt, Index), Value));
+  }
+
+  uint64_t threadDigest(ThreadId Tid) const;
+
+  uint64_t Digest = 0;
 };
 
 bool operator==(const State &L, const State &R);

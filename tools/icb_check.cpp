@@ -25,6 +25,7 @@
 #include "search/Checker.h"
 #include "support/CommandLine.h"
 #include "support/Format.h"
+#include "support/WorkerPool.h"
 #include <cstdio>
 
 using namespace icb;
@@ -49,9 +50,12 @@ struct RunConfig {
   unsigned MaxBound = 4;
   uint64_t MaxExecutions = 1u << 20;
   uint64_t Seed = 1;
+  unsigned Jobs = 1;
+  unsigned Shards = 0;
   bool Trace = false;
   bool StopAtFirst = true;
   bool EveryAccess = false;
+  bool PreferModel = false;
   std::string Detector = "vc";
 };
 
@@ -126,12 +130,19 @@ int runVm(const vm::Program &Prog, const RunConfig &Config) {
   }
   Opts.Seed = Config.Seed;
   Opts.RandomExecutions = Config.MaxExecutions;
+  Opts.Jobs = Config.Jobs;
+  Opts.Shards = Config.Shards;
   Opts.Limits.MaxExecutions = Config.MaxExecutions;
   Opts.Limits.MaxPreemptionBound = Config.MaxBound;
   Opts.Limits.StopAtFirstBug = Config.StopAtFirst;
 
-  std::printf("exploring model '%s' with %s...\n", Prog.Name.c_str(),
-              Config.Strategy.c_str());
+  if (Config.Jobs != 1)
+    std::printf("exploring model '%s' with %s (%u jobs)...\n",
+                Prog.Name.c_str(), Config.Strategy.c_str(),
+                Config.Jobs ? Config.Jobs : WorkerPool::defaultWorkers());
+  else
+    std::printf("exploring model '%s' with %s...\n", Prog.Name.c_str(),
+                Config.Strategy.c_str());
   search::SearchResult R = search::checkProgram(Prog, Opts);
   std::printf("  executions %s, steps %s, states %s%s\n",
               withCommas(R.Stats.Executions).c_str(),
@@ -167,6 +178,13 @@ int main(int Argc, char **Argv) {
   Flags.addInt("max-bound", 4, "maximum preemption bound (icb)");
   Flags.addInt("max-executions", 1 << 20, "execution budget");
   Flags.addInt("seed", 1, "PRNG seed (random strategy)");
+  Flags.addInt("jobs", 1,
+               "worker threads for icb over model-form benchmarks "
+               "(0 = hardware concurrency)");
+  Flags.addInt("shards", 0,
+               "state-cache shards with --jobs != 1 (0 = auto)");
+  Flags.addBool("model", false,
+                "prefer the model-VM form when a benchmark has both");
   Flags.addBool("trace", false, "replay and print the counterexample");
   Flags.addBool("keep-going", false, "collect all bugs, not just the first");
   Flags.addBool("every-access", false,
@@ -200,12 +218,23 @@ int main(int Argc, char **Argv) {
   Config.StopAtFirst = !Flags.getBool("keep-going");
   Config.EveryAccess = Flags.getBool("every-access");
   Config.Detector = Flags.getString("detector");
+  Config.Jobs = static_cast<unsigned>(Flags.getInt("jobs"));
+  Config.Shards = static_cast<unsigned>(Flags.getInt("shards"));
+  Config.PreferModel = Flags.getBool("model");
 
   std::string BugLabel = Flags.getString("bug");
   int Exit = 0;
   auto RunVariant = [&](const std::function<rt::TestCase()> &MakeRt,
                         const std::function<vm::Program()> &MakeVm) {
-    int Rc = MakeRt ? runRt(MakeRt(), Config) : runVm(MakeVm(), Config);
+    // The parallel engine explores model VMs; --jobs (like --model)
+    // selects the VM form when the benchmark provides one.
+    bool WantVm = Config.PreferModel || Config.Jobs != 1;
+    if (Config.Jobs != 1 && !MakeVm)
+      std::fprintf(stderr,
+                   "note: --jobs applies to model-form benchmarks only; "
+                   "running the runtime form single-threaded\n");
+    int Rc = (MakeVm && (WantVm || !MakeRt)) ? runVm(MakeVm(), Config)
+                                             : runRt(MakeRt(), Config);
     Exit = std::max(Exit, Rc);
   };
 
