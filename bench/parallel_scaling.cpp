@@ -6,28 +6,35 @@
 ///
 /// \file
 /// Measures the parallel ICB engine's wall-clock speedup over the
-/// sequential reference as the worker count grows, on the two model-form
-/// benchmarks (work-stealing queue, Bluetooth). Every configuration must
-/// report identical executions/steps/states — the engine's determinism
-/// guarantee — so the harness fails loudly if any run diverges.
+/// sequential reference as the worker count grows, for both executors:
+/// the model-VM engine on the model-form benchmarks and the stateless
+/// (CHESS-side) engine replaying schedule prefixes on the fiber runtime.
+/// Every configuration must report identical executions/steps/states —
+/// the engine's determinism guarantee — so the harness fails loudly if
+/// any run diverges from its jobs=1 reference.
 ///
 /// Emits a human-readable table plus a machine-readable JSON block
-/// (between BEGIN/END JSON markers) with one record per (benchmark, jobs)
-/// pair: wall seconds, speedup vs jobs=1, executions/steps/states, and
-/// the hardware concurrency so plots can annotate core counts. Speedup is
-/// bounded by the physical core count: on a single-core container every
-/// configuration necessarily measures ~1.0x.
+/// (between BEGIN/END JSON markers) with one record per (engine,
+/// benchmark, jobs) triple: wall seconds, speedup vs jobs=1,
+/// executions/steps/states, and the hardware concurrency so plots can
+/// annotate core counts. Speedup is bounded by the physical core count:
+/// on a single-core container every configuration necessarily measures
+/// ~1.0x.
 ///
 //===----------------------------------------------------------------------===//
 
 #include "BenchUtil.h"
+#include "benchmarks/Bluetooth.h"
 #include "benchmarks/BluetoothModel.h"
+#include "benchmarks/WorkStealingQueue.h"
 #include "benchmarks/WsqModel.h"
+#include "rt/Explore.h"
 #include "search/ParallelIcb.h"
 #include "support/Format.h"
 #include "vm/Interp.h"
 #include <chrono>
 #include <cstdio>
+#include <functional>
 #include <string>
 #include <thread>
 #include <vector>
@@ -39,6 +46,7 @@ using namespace icb::benchutil;
 namespace {
 
 struct Sample {
+  std::string Engine;
   std::string Benchmark;
   unsigned Jobs = 0;
   double Seconds = 0;
@@ -46,8 +54,8 @@ struct Sample {
   search::SearchStats Stats;
 };
 
-double runOnce(const vm::Program &Prog, unsigned Jobs, unsigned MaxBound,
-               search::SearchStats *Out) {
+double runModelOnce(const vm::Program &Prog, unsigned Jobs, unsigned MaxBound,
+                    search::SearchStats *Out) {
   search::ParallelIcbSearch::Options Opts;
   Opts.Jobs = Jobs;
   Opts.UseStateCache = true;
@@ -63,6 +71,29 @@ double runOnce(const vm::Program &Prog, unsigned Jobs, unsigned MaxBound,
   return std::chrono::duration<double>(End - Start).count();
 }
 
+double runStatelessOnce(const rt::TestCase &Test, unsigned Jobs,
+                        unsigned MaxBound, search::SearchStats *Out) {
+  rt::ExploreOptions Opts;
+  Opts.Jobs = Jobs;
+  Opts.Limits.MaxPreemptionBound = MaxBound;
+  Opts.Limits.StopAtFirstBug = false;
+  rt::IcbExplorer Icb(Opts);
+  auto Start = std::chrono::steady_clock::now();
+  rt::ExploreResult R = Icb.explore(Test);
+  auto End = std::chrono::steady_clock::now();
+  if (Out)
+    *Out = R.Stats;
+  return std::chrono::duration<double>(End - Start).count();
+}
+
+/// One timed (engine, benchmark) scaling series: per job count, best of
+/// three repetitions, divergence-checked against the jobs=1 reference.
+struct Series {
+  std::string Engine;
+  std::string Name;
+  std::function<double(unsigned, search::SearchStats *)> Run;
+};
+
 } // namespace
 
 int main() {
@@ -71,35 +102,50 @@ int main() {
               strFormat("speedup vs worker count; hardware concurrency %u",
                         Hardware ? Hardware : 1));
 
-  struct Workload {
-    std::string Name;
-    vm::Program Prog;
-    unsigned MaxBound;
-  };
-  const Workload Workloads[] = {
-      {"wsq-model", wsqModel({3, WsqBug::None}), 3},
-      {"bluetooth-model", bluetoothModel(3, /*WithBug=*/false), 4},
+  const vm::Program WsqProg = wsqModel({3, WsqBug::None});
+  const vm::Program BtProg = bluetoothModel(3, /*WithBug=*/false);
+  const rt::TestCase WsqTest = workStealingTest({3, 4, WsqBug::None});
+  const rt::TestCase BtTest = bluetoothTest({2, /*WithBug=*/false});
+
+  const Series AllSeries[] = {
+      {"model", "wsq-model",
+       [&](unsigned Jobs, search::SearchStats *Out) {
+         return runModelOnce(WsqProg, Jobs, 3, Out);
+       }},
+      {"model", "bluetooth-model",
+       [&](unsigned Jobs, search::SearchStats *Out) {
+         return runModelOnce(BtProg, Jobs, 4, Out);
+       }},
+      {"stateless", "wsq-rt",
+       [&](unsigned Jobs, search::SearchStats *Out) {
+         return runStatelessOnce(WsqTest, Jobs, 2, Out);
+       }},
+      {"stateless", "bluetooth-rt",
+       [&](unsigned Jobs, search::SearchStats *Out) {
+         return runStatelessOnce(BtTest, Jobs, 2, Out);
+       }},
   };
   const unsigned JobCounts[] = {1, 2, 4, 8};
 
   std::vector<Sample> Samples;
   std::vector<std::vector<std::string>> Rows;
   bool Deterministic = true;
-  for (const Workload &W : Workloads) {
-    // One untimed warm-up run per workload primes allocator arenas so the
-    // jobs=1 baseline is not penalized for first-touch page faults.
-    runOnce(W.Prog, 1, W.MaxBound, nullptr);
+  for (const Series &W : AllSeries) {
+    // One untimed warm-up run per workload primes allocator arenas (and,
+    // for the stateless engine, fiber stack pools) so the jobs=1 baseline
+    // is not penalized for first-touch page faults.
+    W.Run(1, nullptr);
     double Baseline = 0;
     search::SearchStats Reference;
     for (unsigned Jobs : JobCounts) {
       Sample S;
+      S.Engine = W.Engine;
       S.Benchmark = W.Name;
       S.Jobs = Jobs;
       // Best of three repetitions smooths scheduler noise.
-      S.Seconds = runOnce(W.Prog, Jobs, W.MaxBound, &S.Stats);
+      S.Seconds = W.Run(Jobs, &S.Stats);
       for (int Rep = 0; Rep != 2; ++Rep)
-        S.Seconds = std::min(S.Seconds,
-                             runOnce(W.Prog, Jobs, W.MaxBound, nullptr));
+        S.Seconds = std::min(S.Seconds, W.Run(Jobs, nullptr));
       if (Jobs == 1) {
         Baseline = S.Seconds;
         Reference = S.Stats;
@@ -107,12 +153,12 @@ int main() {
                  S.Stats.TotalSteps != Reference.TotalSteps ||
                  S.Stats.DistinctStates != Reference.DistinctStates) {
         std::fprintf(stderr,
-                     "FAIL: %s with %u jobs diverged from jobs=1\n",
-                     W.Name.c_str(), Jobs);
+                     "FAIL: %s %s with %u jobs diverged from jobs=1\n",
+                     W.Engine.c_str(), W.Name.c_str(), Jobs);
         Deterministic = false;
       }
       S.Speedup = S.Seconds > 0 ? Baseline / S.Seconds : 0;
-      Rows.push_back({W.Name, std::to_string(Jobs),
+      Rows.push_back({W.Engine, W.Name, std::to_string(Jobs),
                       strFormat("%.3f", S.Seconds),
                       strFormat("%.2fx", S.Speedup),
                       withCommas(S.Stats.Executions),
@@ -122,8 +168,8 @@ int main() {
     }
   }
 
-  printTable({"benchmark", "jobs", "seconds", "speedup", "executions",
-              "steps", "states"},
+  printTable({"engine", "benchmark", "jobs", "seconds", "speedup",
+              "executions", "steps", "states"},
              Rows);
 
   std::printf("\nBEGIN JSON parallel_scaling\n");
@@ -131,11 +177,12 @@ int main() {
               Hardware);
   for (size_t I = 0; I != Samples.size(); ++I) {
     const Sample &S = Samples[I];
-    std::printf("    {\"benchmark\": \"%s\", \"jobs\": %u, "
-                "\"seconds\": %.6f, \"speedup\": %.3f, "
+    std::printf("    {\"engine\": \"%s\", \"benchmark\": \"%s\", "
+                "\"jobs\": %u, \"seconds\": %.6f, \"speedup\": %.3f, "
                 "\"executions\": %llu, \"steps\": %llu, "
                 "\"states\": %llu}%s\n",
-                S.Benchmark.c_str(), S.Jobs, S.Seconds, S.Speedup,
+                S.Engine.c_str(), S.Benchmark.c_str(), S.Jobs, S.Seconds,
+                S.Speedup,
                 static_cast<unsigned long long>(S.Stats.Executions),
                 static_cast<unsigned long long>(S.Stats.TotalSteps),
                 static_cast<unsigned long long>(S.Stats.DistinctStates),

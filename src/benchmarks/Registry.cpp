@@ -36,7 +36,7 @@ std::vector<BenchmarkEntry> buildRegistry() {
     E.MakeDefaultVm = [] { return bluetoothModel(2, /*WithBug=*/false); };
     E.Bugs.push_back({"stop-vs-work check-then-act", 1,
                       [] { return bluetoothTest({2, /*WithBug=*/true}); },
-                      nullptr});
+                      [] { return bluetoothModel(2, /*WithBug=*/true); }});
     Entries.push_back(std::move(E));
   }
 
@@ -63,27 +63,30 @@ std::vector<BenchmarkEntry> buildRegistry() {
     E.MakeDefaultRt = [] {
       return workStealingTest({3, 4, WsqBug::None});
     };
-    // Model-VM form (THE protocol, explicit slot payloads); the bug
-    // variants stay runtime-only so Table 2's rows are untouched.
+    // Model-VM form (THE protocol, explicit slot payloads). Bug variants
+    // carry both forms; Table 2 harnesses prefer the runtime form when
+    // present, so the paper's rows are untouched.
     E.MakeDefaultVm = [] { return wsqModel({3, WsqBug::None}); };
     E.Bugs.push_back({wsqBugName(WsqBug::PopCheckThenAct), 1,
                       [] {
                         return workStealingTest({3, 4,
                                                  WsqBug::PopCheckThenAct});
                       },
-                      nullptr});
+                      [] { return wsqModel({3, WsqBug::PopCheckThenAct}); }});
     E.Bugs.push_back({wsqBugName(WsqBug::PopRetryNoLock), 2,
                       [] {
                         return workStealingTest({3, 4,
                                                  WsqBug::PopRetryNoLock});
                       },
-                      nullptr});
+                      [] { return wsqModel({3, WsqBug::PopRetryNoLock}); }});
     E.Bugs.push_back({wsqBugName(WsqBug::UnsynchronizedSteal), 2,
                       [] {
                         return workStealingTest(
                             {3, 4, WsqBug::UnsynchronizedSteal});
                       },
-                      nullptr});
+                      [] {
+                        return wsqModel({3, WsqBug::UnsynchronizedSteal});
+                      }});
     Entries.push_back(std::move(E));
   }
 

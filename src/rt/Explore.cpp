@@ -5,40 +5,28 @@
 //===----------------------------------------------------------------------===//
 
 #include "rt/Explore.h"
+#include "rt/ReplayExecutor.h"
+#include "search/IcbEngine.h"
+#include "search/StateCache.h"
 #include "support/Debug.h"
 #include "support/Format.h"
 #include "support/Prng.h"
+#include "support/WorkerPool.h"
 #include "trace/TraceWriter.h"
 #include <algorithm>
-#include <deque>
-#include <unordered_set>
+#include <memory>
 
 using namespace icb;
 using namespace icb::rt;
 
 Explorer::~Explorer() = default;
 
-std::string RtBug::str() const {
-  return strFormat(
-      "%s: %s (exposed with %u preemptions, %u context switches, %llu "
-      "steps)",
-      runStatusName(Kind), Message.c_str(), Preemptions, ContextSwitches,
-      static_cast<unsigned long long>(Steps));
-}
-
-const RtBug *ExploreResult::simplestBug() const {
-  const RtBug *Best = nullptr;
-  for (const RtBug &B : Bugs)
-    if (!Best || B.Preemptions < Best->Preemptions)
-      Best = &B;
-  return Best;
-}
-
 namespace {
 
-/// Shared per-explorer accounting: stats, fingerprint coverage, bug
-/// deduplication (keyed by kind+message, keeping the fewest-preemption
-/// exposure).
+/// Shared accounting of the non-ICB explorers (DFS, idfs, random): stats,
+/// fingerprint coverage, bug deduplication (keyed by kind+message,
+/// keeping the fewest-preemption exposure). The ICB explorer gets all of
+/// this from the shared engine instead.
 class ExploreAccounting {
 public:
   explicit ExploreAccounting(const ExploreLimits &Limits) : Limits(Limits) {}
@@ -58,14 +46,7 @@ public:
     Sampler.observe(Stats.Coverage, Stats.Executions, Visited.size());
 
     if (isErrorStatus(R.Status)) {
-      RtBug Bug;
-      Bug.Kind = R.Status;
-      Bug.Message = R.Message;
-      Bug.Preemptions = R.Preemptions;
-      Bug.ContextSwitches = R.ContextSwitches;
-      Bug.Steps = R.Steps;
-      Bug.Sched = R.Sched;
-      addBug(std::move(Bug));
+      Bugs.add(bugFromResult(R));
       if (Limits.StopAtFirstBug)
         LimitHit = true;
     }
@@ -75,7 +56,6 @@ public:
   }
 
   bool limitHit() const { return LimitHit; }
-  uint64_t distinctStates() const { return Visited.size(); }
 
   ExploreResult finish(bool Completed) {
     Sampler.finish(Stats.Coverage);
@@ -84,36 +64,23 @@ public:
     Stats.Completed = Completed && !LimitHit;
     ExploreResult Result;
     Result.Stats = std::move(Stats);
-    Result.Bugs = std::move(Bugs);
+    Result.Bugs = Bugs.take();
     return Result;
   }
 
   ExploreStats Stats;
 
 private:
-  void addBug(RtBug Bug) {
-    auto Key = std::make_pair(Bug.Kind, Bug.Message);
-    auto It = Index.find(Key);
-    if (It == Index.end()) {
-      Index.emplace(std::move(Key), Bugs.size());
-      Bugs.push_back(std::move(Bug));
-      return;
-    }
-    if (Bug.Preemptions < Bugs[It->second].Preemptions)
-      Bugs[It->second] = std::move(Bug);
-  }
-
   ExploreLimits Limits;
   CoverageSampler<CoveragePoint> Sampler;
-  std::unordered_set<uint64_t> Visited;
-  std::unordered_set<uint64_t> Terminal;
-  std::vector<RtBug> Bugs;
-  std::map<std::pair<RunStatus, std::string>, size_t> Index;
+  search::StateCache Visited;
+  search::StateCache Terminal;
+  search::BugCollector Bugs;
   bool LimitHit = false;
 };
 
 /// Forces a recorded prefix, then runs the canonical nonpreemptive
-/// continuation. The base of the replay and ICB policies.
+/// continuation. Used by replaySchedule/renderBugTrace.
 class ReplayPolicy : public SchedulePolicy {
 public:
   explicit ReplayPolicy(std::vector<ThreadId> Prefix)
@@ -136,78 +103,6 @@ private:
   NonPreemptivePolicy Fallback;
 };
 
-/// A stateless ICB work item: replay Prefix, then force NextTid.
-struct PrefixItem {
-  std::vector<ThreadId> Prefix;
-  ThreadId NextTid = InvalidThread;
-};
-
-/// The ICB continuation policy (the body of Algorithm 1's Search): follow
-/// the prefix, force the chosen thread, then keep running the current
-/// thread while it stays enabled. Alternatives at points where the current
-/// thread stays enabled cost a preemption (deferred to the next bound);
-/// alternatives at yield or blocking points are free (same bound).
-class IcbPolicy : public SchedulePolicy {
-public:
-  explicit IcbPolicy(const PrefixItem &Item)
-      : Prefix(Item.Prefix), Forced(Item.NextTid) {}
-
-  ThreadId pick(const SchedPoint &P) override {
-    ThreadId Chosen;
-    if (P.Index < Prefix.size()) {
-      Chosen = Prefix[P.Index];
-      ICB_ASSERT(std::find(P.Enabled.begin(), P.Enabled.end(), Chosen) !=
-                     P.Enabled.end(),
-                 "ICB replay divergence (nondeterministic test?)");
-    } else if (P.Index == Prefix.size() && Forced != InvalidThread) {
-      Chosen = Forced;
-      ICB_ASSERT(std::find(P.Enabled.begin(), P.Enabled.end(), Chosen) !=
-                     P.Enabled.end(),
-                 "ICB forced thread not enabled (nondeterministic test?)");
-      Current = Chosen;
-    } else {
-      bool CurrentEnabled =
-          Current != InvalidThread &&
-          std::find(P.Enabled.begin(), P.Enabled.end(), Current) !=
-              P.Enabled.end();
-      if (CurrentEnabled) {
-        // Lines 29-32 / yield handling: alternatives here are
-        // preemptions unless the current thread volunteered.
-        bool Free = P.LastYielded && P.Last == Current;
-        for (ThreadId Other : P.Enabled) {
-          if (Other == Current)
-            continue;
-          (Free ? SameBound : NextBound).push_back({Mirror, Other});
-        }
-        Chosen = Current;
-      } else {
-        // Lines 33-37: the current thread blocked or finished; switching
-        // is free. Continue with the lowest-id thread, branch the rest.
-        for (size_t I = 1; I < P.Enabled.size(); ++I)
-          SameBound.push_back({Mirror, P.Enabled[I]});
-        Chosen = P.Enabled.front();
-        Current = Chosen;
-      }
-    }
-    if (P.Index < Prefix.size()) {
-      // While replaying, track the running thread so the continuation
-      // starts from the right place even for pure-replay items.
-      Current = Chosen;
-    }
-    Mirror.push_back(Chosen);
-    return Chosen;
-  }
-
-  std::vector<PrefixItem> SameBound;
-  std::vector<PrefixItem> NextBound;
-
-private:
-  std::vector<ThreadId> Prefix;
-  ThreadId Forced;
-  ThreadId Current = InvalidThread;
-  std::vector<ThreadId> Mirror;
-};
-
 } // namespace
 
 //===----------------------------------------------------------------------===//
@@ -215,50 +110,24 @@ private:
 //===----------------------------------------------------------------------===//
 
 ExploreResult IcbExplorer::explore(const TestCase &Test) {
-  ExploreAccounting Acct(Opts.Limits);
-  Scheduler Sched(Opts.Exec);
+  search::IcbEngineOptions EngineOpts;
+  EngineOpts.Limits = Opts.Limits;
+  EngineOpts.Shards = Opts.Shards;
+  // Canonical bug reports make a Jobs=1 run byte-comparable to a Jobs=N
+  // run of the same test.
+  EngineOpts.CanonicalBugs = true;
 
-  std::deque<PrefixItem> WorkQueue;
-  std::deque<PrefixItem> NextQueue;
-  WorkQueue.push_back({{}, InvalidThread}); // Empty prefix, free start.
-  unsigned CurrBound = 0;
-
-  // Every queued item produces at least one execution, so items beyond the
-  // execution budget can never be processed; dropping them bounds queue
-  // memory without changing any observable result.
-  auto RoomFor = [&](size_t Queued) {
-    return Acct.Stats.Executions + Queued < Opts.Limits.MaxExecutions;
-  };
-
-  while (true) {
-    while (!WorkQueue.empty() && !Acct.limitHit()) {
-      PrefixItem Item = std::move(WorkQueue.front());
-      WorkQueue.pop_front();
-
-      IcbPolicy Policy(Item);
-      ExecutionResult R = Sched.run(Test, Policy);
-      // The work-queue structure guarantees every execution at bound c has
-      // exactly c preemptions; this is Algorithm 1's core invariant.
-      ICB_ASSERT(R.Preemptions == CurrBound,
-                 "ICB invariant violated: unexpected preemption count");
-      for (PrefixItem &Branch : Policy.SameBound)
-        if (RoomFor(WorkQueue.size()))
-          WorkQueue.push_back(std::move(Branch));
-      for (PrefixItem &Deferred : Policy.NextBound)
-        if (RoomFor(WorkQueue.size() + NextQueue.size()))
-          NextQueue.push_back(std::move(Deferred));
-      Acct.onExecution(R);
-    }
-    Acct.Stats.PerBound.push_back(
-        {CurrBound, Acct.distinctStates(), Acct.Stats.Executions});
-    if (Acct.limitHit() || NextQueue.empty() ||
-        CurrBound >= Opts.Limits.MaxPreemptionBound)
-      break;
-    ++CurrBound;
-    std::swap(WorkQueue, NextQueue);
-    NextQueue.clear();
+  if (Opts.Jobs == 1) {
+    ReplayExecutor Executor(Test, Opts.Exec);
+    return search::runSequentialIcbEngine(Executor, EngineOpts);
   }
-  return Acct.finish(WorkQueue.empty() && NextQueue.empty());
+
+  unsigned Jobs = Opts.Jobs ? Opts.Jobs : WorkerPool::defaultWorkers();
+  std::vector<std::unique_ptr<ReplayExecutor>> Executors;
+  Executors.reserve(Jobs);
+  for (unsigned I = 0; I != Jobs; ++I)
+    Executors.push_back(std::make_unique<ReplayExecutor>(Test, Opts.Exec));
+  return search::runParallelIcbEngine(Executors, EngineOpts);
 }
 
 //===----------------------------------------------------------------------===//

@@ -11,9 +11,15 @@
 /// continuing. Coverage is counted in distinct happens-before fingerprints
 /// (Section 4.3's state representation for stateless checking).
 ///
-/// Explorers: IcbExplorer (Algorithm 1 over prefixes), DfsExplorer
-/// (Verisoft-style backtracking, optionally depth-bounded — "db:N"),
-/// RandomExplorer (uniform random walk).
+/// Results, bugs, limits, and statistics are the shared search vocabulary
+/// (search/SearchTypes.h) — one Bug type, one stats block, one limit
+/// struct across both engines. The historical rt names remain as aliases.
+///
+/// Explorers: IcbExplorer (the shared Algorithm 1 engine of
+/// search/IcbEngine.h driving an rt::ReplayExecutor — sequential or, with
+/// Jobs != 1, work-stealing parallel), DfsExplorer (Verisoft-style
+/// backtracking, optionally depth-bounded — "db:N"), RandomExplorer
+/// (uniform random walk).
 ///
 //===----------------------------------------------------------------------===//
 
@@ -22,79 +28,53 @@
 
 #include "rt/ExecutionResult.h"
 #include "rt/Scheduler.h"
-#include "support/Stats.h"
-#include <map>
+#include "search/SearchTypes.h"
 #include <string>
 #include <vector>
 
 namespace icb::rt {
 
-/// A bug found by exploration, with its minimal-known exposure.
-struct RtBug {
-  RunStatus Kind = RunStatus::AssertFailed;
-  std::string Message;
-  unsigned Preemptions = 0;
-  unsigned ContextSwitches = 0;
-  uint64_t Steps = 0;
-  trace::Schedule Sched;
+/// A bug found by exploration, with its minimal-known exposure. Shared
+/// with the model-VM engine; runtime bugs carry the annotated replayable
+/// schedule in Bug::Sched.
+using RtBug = search::Bug;
 
-  std::string str() const;
-};
-
-/// Exploration limits.
-struct ExploreLimits {
-  uint64_t MaxExecutions = 1u << 20;
-  unsigned MaxPreemptionBound = 1u << 20; ///< ICB only.
-  bool StopAtFirstBug = false;
-};
+/// Exploration limits (shared with the model-VM engine).
+using ExploreLimits = search::SearchLimits;
 
 /// One sample of the fingerprints-vs-executions coverage curve.
-struct CoveragePoint {
-  uint64_t Executions = 0;
-  uint64_t States = 0;
-};
+using CoveragePoint = search::CoveragePoint;
 
 /// Coverage at the completion of one preemption bound (ICB only).
-struct BoundCoverage {
-  unsigned Bound = 0;
-  uint64_t States = 0;
-  uint64_t Executions = 0;
-};
+using BoundCoverage = search::BoundCoverage;
 
 /// Aggregate exploration statistics (Table 1 columns and figure curves).
-struct ExploreStats {
-  uint64_t Executions = 0;
-  uint64_t TotalSteps = 0;
-  /// Distinct visited states: distinct happens-before fingerprints over
-  /// every execution prefix (the paper's coverage metric).
-  uint64_t DistinctStates = 0;
-  /// Distinct fingerprints of complete executions (equivalence classes of
-  /// terminal states).
-  uint64_t DistinctTerminalStates = 0;
-  MinMax StepsPerExecution;        ///< K.
-  MinMax BlockingPerExecution;     ///< B.
-  MinMax PreemptionsPerExecution;  ///< c.
-  MinMax ThreadsPerExecution;
-  /// Executions per preemption count (equal for ICB and uncached DFS on
-  /// the same test; cross-validated by the test suite).
-  Histogram PreemptionHistogram;
-  std::vector<CoveragePoint> Coverage;
-  std::vector<BoundCoverage> PerBound;
-  bool Completed = false;
-};
+using ExploreStats = search::SearchStats;
 
-struct ExploreResult {
-  ExploreStats Stats;
-  std::vector<RtBug> Bugs;
-
-  bool foundBug() const { return !Bugs.empty(); }
-  const RtBug *simplestBug() const;
-};
+/// Everything an explorer returns.
+using ExploreResult = search::SearchResult;
 
 /// Common options for all explorers.
 struct ExploreOptions {
   Scheduler::Options Exec;
-  ExploreLimits Limits;
+  ExploreLimits Limits = defaultLimits();
+  /// ICB only: worker threads draining each preemption bound. 1 runs the
+  /// sequential engine on the calling thread; 0 picks the hardware
+  /// concurrency. Each worker owns its own Scheduler (and fiber stacks).
+  unsigned Jobs = 1;
+  /// ICB only: shards in the concurrent fingerprint caches when Jobs != 1
+  /// (0 = auto).
+  unsigned Shards = 0;
+
+  /// The runtime's historical safety nets: exploration stops after 2^20
+  /// executions (the fiber runtime cannot enumerate forever on the larger
+  /// benchmarks) and the preemption bound is effectively unbounded.
+  static ExploreLimits defaultLimits() {
+    ExploreLimits L;
+    L.MaxExecutions = 1u << 20;
+    L.MaxPreemptionBound = 1u << 20;
+    return L;
+  }
 };
 
 /// A stateless explorer of one TestCase's schedule space.
@@ -105,10 +85,12 @@ public:
   virtual std::string name() const = 0;
 };
 
-/// Iterative context bounding, stateless (Algorithm 1 with schedule-prefix
-/// work items). Executions are enumerated in nondecreasing preemption
-/// order; every execution processed at bound c has exactly c preemptions
-/// (asserted internally).
+/// Iterative context bounding, stateless: the shared Algorithm 1 engine
+/// (search/IcbEngine.h) driving a ReplayExecutor per worker. Executions
+/// are enumerated in nondecreasing preemption order; every execution
+/// processed at bound c has exactly c preemptions (asserted internally).
+/// Bug reports are canonical (minimal exposure, sorted by kind and
+/// message), so a Jobs=1 run and a Jobs=N run produce identical output.
 class IcbExplorer final : public Explorer {
 public:
   explicit IcbExplorer(ExploreOptions Opts) : Opts(Opts) {}

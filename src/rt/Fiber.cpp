@@ -13,11 +13,12 @@ using namespace icb::rt;
 
 namespace {
 
-/// Pool of default-sized stacks, reused across executions. The scheduler
-/// is strictly single-threaded, so no synchronization is needed; the pool
-/// is bounded by the maximum number of simultaneously live fibers.
+/// Pool of default-sized stacks, reused across executions. Thread-local:
+/// each worker thread (each Scheduler instance) recycles its own stacks,
+/// so parallel exploration needs no synchronization here. The pool is
+/// bounded by the maximum number of simultaneously live fibers.
 std::vector<char *> &stackPool() {
-  static std::vector<char *> Pool;
+  thread_local std::vector<char *> Pool;
   return Pool;
 }
 

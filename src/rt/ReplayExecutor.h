@@ -1,0 +1,200 @@
+//===- rt/ReplayExecutor.h - Stateless (CHESS-style) executor ---*- C++ -*-===//
+//
+// Part of the ICB project (PLDI'07 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The stateless executor for the ICB engine (see search/Executor.h).
+/// CHESS caches no states: a work item carries a schedule *prefix*
+/// instead of a state, and running a chain means deterministically
+/// replaying the prefix on the fiber runtime, forcing one chosen thread
+/// at the divergence point, and then following the current thread
+/// nonpreemptively — collecting the preempting alternatives for the next
+/// bound and the free (blocked/finished/yield) alternatives for this one.
+/// Coverage is counted in distinct happens-before fingerprints (Section
+/// 4.3's state representation for stateless checking).
+///
+/// Each ReplayExecutor owns its own Scheduler (and through it, its own
+/// fiber contexts and stacks), so one executor per worker thread replays
+/// prefixes concurrently with no shared mutable state — the engine's
+/// "executor i runs on worker thread i only" contract.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ICB_RT_REPLAYEXECUTOR_H
+#define ICB_RT_REPLAYEXECUTOR_H
+
+#include "rt/ExecutionResult.h"
+#include "rt/SchedulePolicy.h"
+#include "rt/Scheduler.h"
+#include "search/Executor.h"
+#include "search/SearchTypes.h"
+#include "support/Debug.h"
+#include <algorithm>
+#include <vector>
+
+namespace icb::rt {
+
+/// A stateless ICB work item: replay Prefix, then force NextTid.
+/// (InvalidThread means "no forced choice" — only the root item.) The
+/// preemption count is implicit: every item queued for bound c replays to
+/// an execution with exactly c preemptions.
+struct PrefixItem {
+  std::vector<ThreadId> Prefix;
+  ThreadId NextTid = InvalidThread;
+};
+
+/// Maps an error RunStatus onto the shared bug vocabulary.
+inline search::BugKind bugKindFromStatus(RunStatus Status) {
+  switch (Status) {
+  case RunStatus::AssertFailed:
+    return search::BugKind::AssertFailure;
+  case RunStatus::Deadlock:
+    return search::BugKind::Deadlock;
+  case RunStatus::DataRace:
+    return search::BugKind::DataRace;
+  case RunStatus::UseAfterFree:
+    return search::BugKind::UseAfterFree;
+  case RunStatus::Diverged:
+    return search::BugKind::Diverged;
+  case RunStatus::Terminated:
+  case RunStatus::Aborted:
+    break;
+  }
+  ICB_UNREACHABLE("not an error status");
+}
+
+/// Builds the shared bug report from an error execution.
+inline search::Bug bugFromResult(const ExecutionResult &R) {
+  ICB_ASSERT(isErrorStatus(R.Status), "bugFromResult on a clean execution");
+  search::Bug Bug;
+  Bug.Kind = bugKindFromStatus(R.Status);
+  Bug.Message = R.Message;
+  Bug.Preemptions = R.Preemptions;
+  Bug.ContextSwitches = R.ContextSwitches;
+  Bug.Steps = R.Steps;
+  Bug.Schedule.reserve(R.Sched.length());
+  for (const trace::ScheduleEntry &E : R.Sched.entries())
+    Bug.Schedule.push_back(E.Tid);
+  Bug.Sched = R.Sched;
+  return Bug;
+}
+
+/// The ICB continuation policy (the body of Algorithm 1's Search): follow
+/// the prefix, force the chosen thread, then keep running the current
+/// thread while it stays enabled. Alternatives at points where the current
+/// thread stays enabled cost a preemption (deferred to the next bound);
+/// alternatives at yield or blocking points are free (same bound).
+class IcbPolicy : public SchedulePolicy {
+public:
+  explicit IcbPolicy(const PrefixItem &Item)
+      : Prefix(Item.Prefix), Forced(Item.NextTid) {}
+
+  ThreadId pick(const SchedPoint &P) override {
+    ThreadId Chosen;
+    if (P.Index < Prefix.size()) {
+      Chosen = Prefix[P.Index];
+      ICB_ASSERT(std::find(P.Enabled.begin(), P.Enabled.end(), Chosen) !=
+                     P.Enabled.end(),
+                 "ICB replay divergence (nondeterministic test?)");
+    } else if (P.Index == Prefix.size() && Forced != InvalidThread) {
+      Chosen = Forced;
+      ICB_ASSERT(std::find(P.Enabled.begin(), P.Enabled.end(), Chosen) !=
+                     P.Enabled.end(),
+                 "ICB forced thread not enabled (nondeterministic test?)");
+      Current = Chosen;
+    } else {
+      bool CurrentEnabled =
+          Current != InvalidThread &&
+          std::find(P.Enabled.begin(), P.Enabled.end(), Current) !=
+              P.Enabled.end();
+      if (CurrentEnabled) {
+        // Lines 29-32 / yield handling: alternatives here are
+        // preemptions unless the current thread volunteered.
+        bool Free = P.LastYielded && P.Last == Current;
+        for (ThreadId Other : P.Enabled) {
+          if (Other == Current)
+            continue;
+          (Free ? SameBound : NextBound).push_back({Mirror, Other});
+        }
+        Chosen = Current;
+      } else {
+        // Lines 33-37: the current thread blocked or finished; switching
+        // is free. Continue with the lowest-id thread, branch the rest.
+        for (size_t I = 1; I < P.Enabled.size(); ++I)
+          SameBound.push_back({Mirror, P.Enabled[I]});
+        Chosen = P.Enabled.front();
+        Current = Chosen;
+      }
+    }
+    if (P.Index < Prefix.size()) {
+      // While replaying, track the running thread so the continuation
+      // starts from the right place even for pure-replay items.
+      Current = Chosen;
+    }
+    Mirror.push_back(Chosen);
+    return Chosen;
+  }
+
+  std::vector<PrefixItem> SameBound;
+  std::vector<PrefixItem> NextBound;
+
+private:
+  std::vector<ThreadId> Prefix;
+  ThreadId Forced;
+  ThreadId Current = InvalidThread;
+  std::vector<ThreadId> Mirror;
+};
+
+/// Executor advancing the search by replaying schedule prefixes on the
+/// fiber runtime.
+class ReplayExecutor {
+public:
+  using WorkItem = PrefixItem;
+
+  ReplayExecutor(const TestCase &Test, const Scheduler::Options &ExecOpts)
+      : Test(Test), Sched(ExecOpts) {}
+
+  template <typename Ctx> std::vector<WorkItem> rootItems(Ctx &) {
+    // One root: the empty prefix with a free first choice. The runtime
+    // always has a runnable main thread, so there is no degenerate case.
+    std::vector<WorkItem> Roots;
+    Roots.push_back({{}, InvalidThread});
+    return Roots;
+  }
+
+  template <typename Ctx> void runChain(WorkItem Item, Ctx &C) {
+    IcbPolicy Policy(Item);
+    ExecutionResult R = Sched.run(Test, Policy);
+    // The work-queue structure guarantees every execution at bound c has
+    // exactly c preemptions; this is Algorithm 1's core invariant.
+    ICB_ASSERT(R.Preemptions == C.bound(),
+               "ICB invariant violated: unexpected preemption count");
+    for (PrefixItem &Branch : Policy.SameBound)
+      C.branch(std::move(Branch));
+    for (PrefixItem &Deferred : Policy.NextBound)
+      C.defer(std::move(Deferred));
+
+    C.countSteps(R.Steps);
+    for (uint64_t Digest : R.StepFingerprints)
+      C.noteState(Digest);
+    C.noteTerminal(R.Fingerprint);
+    if (isErrorStatus(R.Status))
+      C.recordBug(bugFromResult(R));
+
+    search::ExecutionFacts Facts;
+    Facts.Steps = R.Steps;
+    Facts.Blocking = R.BlockingOps;
+    Facts.ThreadsUsed = R.ThreadsUsed;
+    C.endExecution(Facts);
+  }
+
+private:
+  const TestCase &Test;
+  Scheduler Sched;
+};
+
+} // namespace icb::rt
+
+#endif // ICB_RT_REPLAYEXECUTOR_H

@@ -84,7 +84,11 @@ const char *icb::rt::runStatusName(RunStatus Status) {
 }
 
 namespace {
-Scheduler *CurrentScheduler = nullptr;
+/// The scheduler driving the calling thread's execution. Thread-local so
+/// that one Scheduler per worker thread can replay tests concurrently —
+/// the test-visible API (rt::thread, rt::Mutex, ...) routes through
+/// Scheduler::current().
+thread_local Scheduler *CurrentScheduler = nullptr;
 
 /// Variable code of the implicit per-thread termination event (Appendix
 /// A's e_t); joins and thread start/exit synchronize on it.

@@ -5,36 +5,20 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// The body of Algorithm 1's Search procedure, shared by the sequential
-/// (IcbSearch) and parallel (ParallelIcbSearch) drivers. A work item is
-/// explored to every execution reachable *without further preemptions*;
-/// preemptive continuations are published through the driver context, which
-/// decides where they queue (a plain deque or the lock-striped next queue)
-/// and how statistics, caches, and bugs are accumulated (directly or
-/// worker-locally).
-///
-/// The drivers provide a Ctx with:
-///   bool insertItem(uint64_t itemDigest);     // (state,thread) cache;
-///                                             // true if new
-///   void insertSeen(uint64_t stateDigest);    // visited-state set
-///   void countStep();                         // one VM step executed
-///   void defer(IcbWorkItem &&item);           // preempting: bound c + 1
-///   void branch(IcbWorkItem &&item);          // nonpreempting: same bound
-///   void recordBug(BugKind, std::string,
-///                  const std::vector<vm::ThreadId> &sched);
-///   void endExecution(uint64_t steps, uint64_t blocking);
-///
-/// Where nonpreempting branches go is the drivers' key difference: the
-/// sequential driver keeps them on a private stack, the parallel driver
-/// pushes them onto its worker's deque bottom so idle workers can steal
-/// them — that is what parallelizes a bound with few root items but large
-/// subtrees.
+/// The body of Algorithm 1's Search procedure over the model VM — the
+/// guts of VmExecutor::runChain. A work item is explored to every
+/// execution reachable *without further preemptions*; preemptive
+/// continuations are published through the engine context (Executor.h
+/// documents the hook vocabulary), which decides where they queue (a
+/// plain deque or the lock-striped next queue) and how statistics,
+/// caches, and bugs are accumulated (directly or worker-locally).
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef ICB_SEARCH_ICBCORE_H
 #define ICB_SEARCH_ICBCORE_H
 
+#include "search/Executor.h"
 #include "search/SearchTypes.h"
 #include "support/Hashing.h"
 #include "vm/Interp.h"
@@ -72,29 +56,32 @@ template <typename Ctx>
 void runIcbExecution(const vm::Interp &VM, IcbWorkItem W, bool UseStateCache,
                      bool RecordSchedules, Ctx &C) {
   while (true) {
-    if (UseStateCache && !C.insertItem(hashCombine(W.S.hash(), W.Tid))) {
+    if (UseStateCache && !C.claimItem(hashCombine(W.S.hash(), W.Tid))) {
       // Revisited work item: everything beyond it was already explored
       // (possibly at a lower bound). Counts as one pruned execution.
-      C.endExecution(W.PrefixSteps + W.Sched.size(), W.Blocking);
+      C.endExecution({W.PrefixSteps + W.Sched.size(), W.Blocking, 0});
       return;
     }
 
     vm::StepResult R = VM.step(W.S, W.Tid);
-    C.countStep();
+    C.countSteps(1);
     W.Blocking += R.WasBlockingOp ? 1 : 0;
     W.Sched.push_back(W.Tid);
-    C.insertSeen(W.S.hash());
+    C.noteState(W.S.hash());
 
     if (R.Status == vm::StepStatus::AssertFailed ||
         R.Status == vm::StepStatus::ModelError) {
-      C.recordBug(R.Status == vm::StepStatus::AssertFailed
-                      ? BugKind::AssertFailure
-                      : BugKind::ModelError,
-                  R.Status == vm::StepStatus::AssertFailed
-                      ? VM.program().Messages[R.MsgId]
-                      : R.ModelErrorText,
-                  W.Sched);
-      C.endExecution(W.PrefixSteps + W.Sched.size(), W.Blocking);
+      Bug NewBug;
+      NewBug.Kind = R.Status == vm::StepStatus::AssertFailed
+                        ? BugKind::AssertFailure
+                        : BugKind::ModelError;
+      NewBug.Message = R.Status == vm::StepStatus::AssertFailed
+                           ? VM.program().Messages[R.MsgId]
+                           : R.ModelErrorText;
+      NewBug.Steps = W.Sched.size();
+      NewBug.Schedule = W.Sched;
+      C.recordBug(std::move(NewBug));
+      C.endExecution({W.PrefixSteps + W.Sched.size(), W.Blocking, 0});
       return;
     }
 
@@ -122,9 +109,15 @@ void runIcbExecution(const vm::Interp &VM, IcbWorkItem W, bool UseStateCache,
     }
 
     if (Enabled.empty()) {
-      if (!W.S.allDone())
-        C.recordBug(BugKind::Deadlock, describeDeadlock(VM, W.S), W.Sched);
-      C.endExecution(W.PrefixSteps + W.Sched.size(), W.Blocking);
+      if (!W.S.allDone()) {
+        Bug NewBug;
+        NewBug.Kind = BugKind::Deadlock;
+        NewBug.Message = describeDeadlock(VM, W.S);
+        NewBug.Steps = W.Sched.size();
+        NewBug.Schedule = W.Sched;
+        C.recordBug(std::move(NewBug));
+      }
+      C.endExecution({W.PrefixSteps + W.Sched.size(), W.Blocking, 0});
       return;
     }
 

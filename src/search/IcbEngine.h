@@ -1,0 +1,433 @@
+//===- search/IcbEngine.h - Algorithm 1 drivers over an Executor -*- C++ -*-===//
+//
+// Part of the ICB project (PLDI'07 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The two drivers of Algorithm 1, templated over an Executor (see
+/// Executor.h): a sequential reference driver and a work-stealing parallel
+/// driver. Between them they own everything that is *not* "execute one
+/// work item": the per-bound queues and barrier, the visited-state and
+/// work-item caches, statistics, coverage sampling, limit checking, and
+/// bug deduplication. The executors own how a work item becomes an
+/// execution — stepping a model VM or replaying a schedule prefix on the
+/// fiber runtime.
+///
+/// Sequential driver: a FIFO queue of the bound's roots; nonpreempting
+/// branches go on a private LIFO stack (depth-first within a chain keeps
+/// memory bounded); deferred items queue for the next bound; one snapshot
+/// per bound. This is bit-for-bit the historical sequential model-VM
+/// behavior.
+///
+/// Parallel driver: one fork/join round per bound. Parallelizing ICB is
+/// natural because the algorithm is a sequence of independent batches:
+/// every work item queued for bound c can be explored in isolation — items
+/// only communicate *forward*, by publishing deferred (preempting)
+/// continuations for bound c + 1.
+///
+///   * the bound's items are dealt round-robin onto per-worker
+///     work-stealing deques; workers pop their own bottom (LIFO) and steal
+///     from others' tops (FIFO) when dry, so a bound with few roots but
+///     deep subtrees still spreads — nonpreempting branches discovered
+///     mid-execution go onto the owner's deque bottom where they are
+///     stealable;
+///   * deferred continuations are published to a lock-striped next queue
+///     (one stripe per worker — steady-state pushes are uncontended);
+///   * the visited-state set and the (state, thread) work-item cache are
+///     ShardedStateCaches probed concurrently;
+///   * statistics and bugs accumulate worker-locally and merge at the
+///     bound barrier with commutative folds, so results are independent of
+///     scheduling;
+///   * the pool's join *is* Algorithm 1's per-bound barrier: bound c + 1
+///     starts only after bound c is fully drained, preserving the minimal
+///     preemption guarantee for every reported bug.
+///
+/// Determinism: with the work-item cache off the drivers enumerate the
+/// complete bounded tree, every exposure of every bug is recorded, and
+/// (under canonical bug mode) duplicate reports collapse to the
+/// lexicographically smallest (Preemptions, Steps, Schedule) exposure —
+/// aggregate results and bug reports are identical for any worker count.
+/// With the cache on, each (state, thread) node is claimed by exactly one
+/// worker *before* being stepped; the *set* of claimed nodes is the same
+/// whatever the timing, so the aggregate counts, per-bound snapshots,
+/// histogram, and the distinct bugs with their minimal preemption counts
+/// are identical for any worker count, while per-execution distributions
+/// and exposing schedules are attribution-dependent. Runs that trip a
+/// resource limit mid-bound are nondeterministic in the obvious way (the
+/// limit fires at a timing-dependent point), exactly as a Ctrl-C would be.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ICB_SEARCH_ICBENGINE_H
+#define ICB_SEARCH_ICBENGINE_H
+
+#include "search/Executor.h"
+#include "search/SearchTypes.h"
+#include "search/ShardedStateCache.h"
+#include "search/StateCache.h"
+#include "support/Stats.h"
+#include "support/StripedQueue.h"
+#include "support/WorkStealingDeque.h"
+#include "support/WorkerPool.h"
+#include <atomic>
+#include <deque>
+#include <memory>
+#include <thread>
+#include <vector>
+
+namespace icb::search {
+
+/// Driver knobs common to both engines.
+struct IcbEngineOptions {
+  SearchLimits Limits;
+  /// Deduplicate bugs to the canonical minimal (Preemptions, Steps,
+  /// Schedule) exposure, reported in (kind, message) order — what the
+  /// parallel driver always does, and what makes a sequential run's bug
+  /// report byte-comparable to a parallel one. Off = the historical
+  /// sequential model-VM policy (first exposure wins at equal preemption
+  /// counts, discovery order), kept for bit-for-bit compatibility.
+  bool CanonicalBugs = false;
+  /// Parallel driver only: shards in the concurrent caches (0 = auto).
+  unsigned Shards = 0;
+};
+
+namespace detail {
+
+/// Sequential reference driver: drains each bound's queue on the calling
+/// thread. This class is the Ctx its executor drives.
+template <typename Executor> class SequentialEngineDriver {
+public:
+  using WorkItem = typename Executor::WorkItem;
+
+  SequentialEngineDriver(Executor &E, const IcbEngineOptions &Opts)
+      : E(E), Opts(Opts) {}
+
+  SearchResult run() {
+    SearchResult Result;
+
+    for (WorkItem &Item : E.rootItems(*this))
+      WorkQueue.push_back(std::move(Item));
+
+    // Algorithm 1 lines 9-21: drain the current bound, snapshot coverage,
+    // move on to the next.
+    while (true) {
+      while (!WorkQueue.empty() && !LimitHit) {
+        WorkItem Item = std::move(WorkQueue.front());
+        WorkQueue.pop_front();
+        processItem(std::move(Item));
+      }
+      Stats.PerBound.push_back({CurrBound, Seen.size(), Stats.Executions});
+      if (LimitHit || NextQueue.empty() ||
+          CurrBound >= Opts.Limits.MaxPreemptionBound)
+        break;
+      ++CurrBound;
+      std::swap(WorkQueue, NextQueue);
+      NextQueue.clear();
+    }
+
+    Stats.DistinctStates = Seen.size();
+    Stats.DistinctTerminalStates = Terminal.size();
+    Stats.Completed = !LimitHit && WorkQueue.empty() && NextQueue.empty();
+    Sampler.finish(Stats.Coverage);
+    Result.Stats = std::move(Stats);
+    Result.Bugs = Opts.CanonicalBugs ? takeCanonicalBugs(std::move(Canonical))
+                                     : Bugs.take();
+    return Result;
+  }
+
+  // --- Executor context hooks ------------------------------------------
+  bool claimItem(uint64_t Digest) { return ItemCache.insert(Digest); }
+  void noteState(uint64_t Digest) { Seen.insert(Digest); }
+  void noteTerminal(uint64_t Digest) { Terminal.insert(Digest); }
+  void countSteps(uint64_t N) { Stats.TotalSteps += N; }
+  void defer(WorkItem &&Item) { NextQueue.push_back(std::move(Item)); }
+  void branch(WorkItem &&Item) { Local.push_back(std::move(Item)); }
+  unsigned bound() const { return CurrBound; }
+
+  void recordBug(Bug NewBug) {
+    NewBug.Preemptions = CurrBound;
+    if (Opts.CanonicalBugs)
+      canonicalMergeBug(Canonical, std::move(NewBug));
+    else
+      Bugs.add(std::move(NewBug));
+    if (Opts.Limits.StopAtFirstBug)
+      LimitHit = true;
+  }
+
+  void endExecution(const ExecutionFacts &F) {
+    ++Stats.Executions;
+    Stats.StepsPerExecution.observe(F.Steps);
+    Stats.PreemptionsPerExecution.observe(CurrBound);
+    Stats.PreemptionHistogram.increment(CurrBound);
+    Stats.BlockingPerExecution.observe(F.Blocking);
+    if (F.ThreadsUsed)
+      Stats.ThreadsPerExecution.observe(F.ThreadsUsed);
+    Sampler.observe(Stats.Coverage, Stats.Executions, Seen.size());
+    if (Stats.Executions >= Opts.Limits.MaxExecutions ||
+        Stats.TotalSteps >= Opts.Limits.MaxSteps ||
+        Seen.size() >= Opts.Limits.MaxStates)
+      LimitHit = true;
+  }
+  // ---------------------------------------------------------------------
+
+private:
+  /// Explores everything reachable from \p Item without further
+  /// preemptions; preemptive continuations go to NextQueue. The local
+  /// stack holds the nonpreempting branches (Algorithm 1 lines 33-37).
+  void processItem(WorkItem Item) {
+    Local.push_back(std::move(Item));
+    while (!Local.empty() && !LimitHit) {
+      WorkItem W = std::move(Local.back());
+      Local.pop_back();
+      E.runChain(std::move(W), *this);
+    }
+  }
+
+  Executor &E;
+  IcbEngineOptions Opts;
+  std::deque<WorkItem> WorkQueue;
+  std::deque<WorkItem> NextQueue;
+  std::vector<WorkItem> Local;
+  StateCache Seen;      ///< Distinct visited states (coverage metric).
+  StateCache Terminal;  ///< Distinct terminal fingerprints (rt executor).
+  StateCache ItemCache; ///< (state, thread) pruning when caching is on.
+  unsigned CurrBound = 0;
+  bool LimitHit = false;
+  SearchStats Stats;
+  CoverageSampler<CoveragePoint> Sampler;
+  BugCollector Bugs;
+  CanonicalBugMap Canonical;
+};
+
+/// Work-stealing parallel driver; one executor per worker.
+template <typename Executor> class ParallelEngineDriver {
+public:
+  using WorkItem = typename Executor::WorkItem;
+
+  ParallelEngineDriver(std::vector<std::unique_ptr<Executor>> &Executors,
+                       const IcbEngineOptions &O)
+      : Executors(Executors), Opts(O),
+        Jobs(static_cast<unsigned>(Executors.size())),
+        Seen(shardCountFor(O.Shards, Jobs)),
+        Terminal(shardCountFor(O.Shards, Jobs)),
+        ItemCache(shardCountFor(O.Shards, Jobs)), NextQueue(Jobs),
+        Workers(Jobs) {}
+
+  SearchResult run() {
+    SearchResult Result;
+
+    WorkerCtx Ctx0{*this, 0};
+    std::vector<WorkItem> Items = Executors[0]->rootItems(Ctx0);
+    if (Items.empty()) {
+      // Degenerate single-execution program (already accounted by
+      // rootItems); mirror the sequential driver's snapshots.
+      finalize(Result, !Stop.load());
+      Result.Stats.PerBound.push_back(
+          {0, Seen.size(), Result.Stats.Executions});
+      Result.Stats.Coverage.push_back(
+          {Result.Stats.Executions, Seen.size()});
+      return Result;
+    }
+
+    WorkerPool Pool(Jobs);
+    bool MoreBounds = false;
+    while (true) {
+      // Deal this bound's roots round-robin across the worker deques.
+      Pending.store(Items.size(), std::memory_order_relaxed);
+      for (size_t I = 0; I != Items.size(); ++I)
+        Workers[I % Jobs].Deque.pushBottom(std::move(Items[I]));
+      Items.clear();
+
+      // One fork/join round drains the bound; the join is the barrier
+      // that guarantees bound c is exhausted before bound c + 1 begins.
+      Pool.run([this](unsigned Index) { workerMain(Index); });
+
+      // Quiescent: every count below is exact and schedule-independent.
+      Result.Stats.PerBound.push_back(
+          {CurrBound, Seen.size(), Executions.load()});
+      Result.Stats.Coverage.push_back({Executions.load(), Seen.size()});
+
+      Items = NextQueue.drain();
+      if (Stop.load() || Items.empty() ||
+          CurrBound >= Opts.Limits.MaxPreemptionBound) {
+        MoreBounds = !Items.empty();
+        break;
+      }
+      ++CurrBound;
+    }
+
+    finalize(Result, !Stop.load() && !MoreBounds);
+    return Result;
+  }
+
+private:
+  /// Worker-local accumulation; folded into the global result at bound
+  /// barriers / at the end. Padded to a cache line so neighbouring
+  /// workers' hot counters do not false-share.
+  struct alignas(64) WorkerState {
+    WorkStealingDeque<WorkItem> Deque;
+
+    // Worker-local slices of SearchStats (all merged with commutative
+    // folds, so the merged totals are schedule-independent).
+    MinMax StepsPerExecution;
+    MinMax BlockingPerExecution;
+    MinMax PreemptionsPerExecution;
+    MinMax ThreadsPerExecution;
+    Histogram PreemptionHistogram;
+
+    /// Worker-local distinct bugs: (kind, message) -> canonical minimal
+    /// exposure (see canonicalMergeBug).
+    CanonicalBugMap Bugs;
+  };
+
+  /// The per-worker Ctx the executor drives. Thin: routes the hooks to
+  /// the driver with the worker index attached.
+  struct WorkerCtx {
+    ParallelEngineDriver &D;
+    unsigned Index;
+
+    bool claimItem(uint64_t Digest) { return D.ItemCache.insert(Digest); }
+    void noteState(uint64_t Digest) { D.Seen.insert(Digest); }
+    void noteTerminal(uint64_t Digest) { D.Terminal.insert(Digest); }
+    void countSteps(uint64_t N) {
+      D.TotalSteps.fetch_add(N, std::memory_order_relaxed);
+    }
+    void defer(WorkItem &&Item) {
+      D.NextQueue.push(Index, std::move(Item));
+    }
+    void branch(WorkItem &&Item) {
+      // Onto the owner's bottom: popped LIFO by the owner (depth-first,
+      // keeps memory bounded), stolen FIFO from the top by idle workers.
+      D.Pending.fetch_add(1, std::memory_order_relaxed);
+      D.Workers[Index].Deque.pushBottom(std::move(Item));
+    }
+    unsigned bound() const { return D.CurrBound; }
+    void recordBug(Bug NewBug) { D.recordBug(Index, std::move(NewBug)); }
+    void endExecution(const ExecutionFacts &F) {
+      D.endExecution(Index, F);
+    }
+  };
+
+  bool takeItem(unsigned Index, WorkItem &Out) {
+    if (Workers[Index].Deque.tryPopBottom(Out))
+      return true;
+    for (unsigned Hop = 1; Hop < Jobs; ++Hop)
+      if (Workers[(Index + Hop) % Jobs].Deque.trySteal(Out))
+        return true;
+    return false;
+  }
+
+  void workerMain(unsigned Index) {
+    WorkerCtx Ctx{*this, Index};
+    Executor &E = *Executors[Index];
+    WorkItem Item;
+    while (!Stop.load(std::memory_order_relaxed)) {
+      if (takeItem(Index, Item)) {
+        E.runChain(std::move(Item), Ctx);
+        // The chain (and everything it pushed) is accounted; releasing
+        // our claim last means Pending only hits zero once no work
+        // remains.
+        Pending.fetch_sub(1, std::memory_order_acq_rel);
+        continue;
+      }
+      if (Pending.load(std::memory_order_acquire) == 0)
+        return; // Bound drained: no queued items, no running executions.
+      std::this_thread::yield(); // Someone is still producing; retry.
+    }
+  }
+
+  void recordBug(unsigned Index, Bug NewBug) {
+    NewBug.Preemptions = CurrBound;
+    canonicalMergeBug(Workers[Index].Bugs, std::move(NewBug));
+    if (Opts.Limits.StopAtFirstBug)
+      Stop.store(true, std::memory_order_relaxed);
+  }
+
+  void endExecution(unsigned Index, const ExecutionFacts &F) {
+    WorkerState &W = Workers[Index];
+    uint64_t Execs = Executions.fetch_add(1, std::memory_order_relaxed) + 1;
+    W.StepsPerExecution.observe(F.Steps);
+    W.PreemptionsPerExecution.observe(CurrBound);
+    W.PreemptionHistogram.increment(CurrBound);
+    W.BlockingPerExecution.observe(F.Blocking);
+    if (F.ThreadsUsed)
+      W.ThreadsPerExecution.observe(F.ThreadsUsed);
+    if (Execs >= Opts.Limits.MaxExecutions ||
+        TotalSteps.load(std::memory_order_relaxed) >= Opts.Limits.MaxSteps ||
+        Seen.size() >= Opts.Limits.MaxStates)
+      Stop.store(true, std::memory_order_relaxed);
+  }
+
+  void finalize(SearchResult &Result, bool Complete) {
+    SearchStats &Stats = Result.Stats;
+    Stats.Executions = Executions.load();
+    Stats.TotalSteps = TotalSteps.load();
+    Stats.DistinctStates = Seen.size();
+    Stats.DistinctTerminalStates = Terminal.size();
+    Stats.Completed = Complete;
+
+    CanonicalBugMap Merged;
+    for (WorkerState &W : Workers) {
+      Stats.StepsPerExecution.merge(W.StepsPerExecution);
+      Stats.BlockingPerExecution.merge(W.BlockingPerExecution);
+      Stats.PreemptionsPerExecution.merge(W.PreemptionsPerExecution);
+      Stats.ThreadsPerExecution.merge(W.ThreadsPerExecution);
+      Stats.PreemptionHistogram.merge(W.PreemptionHistogram);
+      for (auto &Entry : W.Bugs)
+        canonicalMergeBug(Merged, std::move(Entry.second));
+      W.Bugs.clear();
+    }
+    Result.Bugs = takeCanonicalBugs(std::move(Merged));
+  }
+
+  static unsigned shardCountFor(unsigned Requested, unsigned Jobs) {
+    if (Requested)
+      return Requested; // Cache rounds up to a power of two itself.
+    unsigned Want = Jobs * 8;
+    return Want < 64 ? 64 : Want;
+  }
+
+  std::vector<std::unique_ptr<Executor>> &Executors;
+  IcbEngineOptions Opts;
+  unsigned Jobs;
+
+  ShardedStateCache Seen;      ///< Distinct visited states.
+  ShardedStateCache Terminal;  ///< Distinct terminal fingerprints (rt).
+  ShardedStateCache ItemCache; ///< (state, thread) pruning when caching on.
+  StripedQueue<WorkItem> NextQueue; ///< Deferred items for bound c + 1.
+  std::vector<WorkerState> Workers;
+
+  std::atomic<uint64_t> Executions{0};
+  std::atomic<uint64_t> TotalSteps{0};
+  /// Items in deques plus executions in flight this round; the round is
+  /// over when it reaches zero (nothing queued, nobody producing).
+  std::atomic<uint64_t> Pending{0};
+  std::atomic<bool> Stop{false};
+
+  unsigned CurrBound = 0; ///< Written between rounds only.
+};
+
+} // namespace detail
+
+/// Runs Algorithm 1 sequentially with \p E executing the work items.
+template <typename Executor>
+SearchResult runSequentialIcbEngine(Executor &E,
+                                    const IcbEngineOptions &Opts) {
+  detail::SequentialEngineDriver<Executor> Driver(E, Opts);
+  return Driver.run();
+}
+
+/// Runs Algorithm 1 with one worker (and one executor) per entry of
+/// \p Executors; the executor at index i runs on worker thread i only.
+template <typename Executor>
+SearchResult
+runParallelIcbEngine(std::vector<std::unique_ptr<Executor>> &Executors,
+                     const IcbEngineOptions &Opts) {
+  detail::ParallelEngineDriver<Executor> Driver(Executors, Opts);
+  return Driver.run();
+}
+
+} // namespace icb::search
+
+#endif // ICB_SEARCH_ICBENGINE_H

@@ -5,144 +5,18 @@
 //===----------------------------------------------------------------------===//
 
 #include "search/IcbSearch.h"
-#include "search/IcbCore.h"
-#include "search/StateCache.h"
-#include <deque>
+#include "search/IcbEngine.h"
+#include "search/VmExecutor.h"
 
 using namespace icb;
 using namespace icb::search;
-using namespace icb::search::detail;
-using namespace icb::vm;
 
-namespace {
-
-/// Sequential reference driver: drains each bound's queue on the calling
-/// thread. The exploration body lives in IcbCore.h (shared with the
-/// parallel engine); this class is the Ctx it drives.
-class IcbDriver {
-public:
-  IcbDriver(const vm::Interp &VM, const IcbSearch::Options &Opts)
-      : VM(VM), Opts(Opts) {}
-
-  SearchResult run();
-
-  // --- IcbCore context hooks -------------------------------------------
-  bool insertItem(uint64_t Digest) { return ItemCache.insert(Digest); }
-  void insertSeen(uint64_t Digest) { Seen.insert(Digest); }
-  void countStep() { ++Stats.TotalSteps; }
-  void defer(IcbWorkItem &&Item) { NextQueue.push_back(std::move(Item)); }
-  void branch(IcbWorkItem &&Item) { Local.push_back(std::move(Item)); }
-
-  void recordBug(BugKind Kind, std::string Message,
-                 const std::vector<ThreadId> &Sched) {
-    Bug NewBug;
-    NewBug.Kind = Kind;
-    NewBug.Message = std::move(Message);
-    NewBug.Preemptions = CurrBound;
-    NewBug.Steps = Sched.size();
-    NewBug.Schedule = Sched;
-    Bugs.add(std::move(NewBug));
-    if (Opts.Limits.StopAtFirstBug)
-      LimitHit = true;
-  }
-
-  void endExecution(uint64_t Steps, uint64_t Blocking) {
-    ++Stats.Executions;
-    Stats.StepsPerExecution.observe(Steps);
-    Stats.PreemptionsPerExecution.observe(CurrBound);
-    Stats.PreemptionHistogram.increment(CurrBound);
-    Stats.BlockingPerExecution.observe(Blocking);
-    Sampler.observe(Stats.Coverage, Stats.Executions, Seen.size());
-    if (Stats.Executions >= Opts.Limits.MaxExecutions ||
-        Stats.TotalSteps >= Opts.Limits.MaxSteps ||
-        Seen.size() >= Opts.Limits.MaxStates)
-      LimitHit = true;
-  }
-  // ---------------------------------------------------------------------
-
-private:
-  /// Explores everything reachable from \p Item without further
-  /// preemptions; preemptive continuations go to NextQueue. The local
-  /// stack holds the nonpreempting branches (Algorithm 1 lines 33-37).
-  void processItem(IcbWorkItem Item) {
-    Local.push_back(std::move(Item));
-    while (!Local.empty() && !LimitHit) {
-      IcbWorkItem W = std::move(Local.back());
-      Local.pop_back();
-      runIcbExecution(VM, std::move(W), Opts.UseStateCache,
-                      Opts.RecordSchedules, *this);
-    }
-  }
-
-  const vm::Interp &VM;
-  IcbSearch::Options Opts;
-  std::deque<IcbWorkItem> WorkQueue;
-  std::deque<IcbWorkItem> NextQueue;
-  std::vector<IcbWorkItem> Local;
-  StateCache Seen;      ///< Distinct visited states (coverage metric).
-  StateCache ItemCache; ///< (state, thread) pruning when caching is on.
-  unsigned CurrBound = 0;
-  bool LimitHit = false;
-  SearchStats Stats;
-  CoverageSampler<CoveragePoint> Sampler;
-  BugCollector Bugs;
-};
-
-SearchResult IcbDriver::run() {
-  SearchResult Result;
-
-  State S0 = VM.initialState();
-  Seen.insert(S0.hash());
-  std::vector<ThreadId> Enabled0 = VM.enabledThreads(S0);
-  if (Enabled0.empty()) {
-    if (!S0.allDone())
-      recordBug(BugKind::Deadlock, describeDeadlock(VM, S0), {});
-    endExecution(0, 0);
-    Stats.DistinctStates = Seen.size();
-    Stats.PerBound.push_back({0, Seen.size(), Stats.Executions});
-    Stats.Completed = !LimitHit;
-    Sampler.finish(Stats.Coverage);
-    Result.Stats = std::move(Stats);
-    Result.Bugs = Bugs.take();
-    return Result;
-  }
-
-  // Lines 6-8: one work item per initially enabled thread.
-  for (ThreadId Tid : Enabled0) {
-    IcbWorkItem Item;
-    Item.S = S0;
-    Item.Tid = Tid;
-    Item.Blocking = 0;
-    WorkQueue.push_back(std::move(Item));
-  }
-
-  // Lines 9-21: drain the current bound, snapshot coverage, move on.
-  while (true) {
-    while (!WorkQueue.empty() && !LimitHit) {
-      IcbWorkItem Item = std::move(WorkQueue.front());
-      WorkQueue.pop_front();
-      processItem(std::move(Item));
-    }
-    Stats.PerBound.push_back({CurrBound, Seen.size(), Stats.Executions});
-    if (LimitHit || NextQueue.empty() ||
-        CurrBound >= Opts.Limits.MaxPreemptionBound)
-      break;
-    ++CurrBound;
-    std::swap(WorkQueue, NextQueue);
-    NextQueue.clear();
-  }
-
-  Stats.DistinctStates = Seen.size();
-  Stats.Completed = !LimitHit && WorkQueue.empty() && NextQueue.empty();
-  Sampler.finish(Stats.Coverage);
-  Result.Stats = std::move(Stats);
-  Result.Bugs = Bugs.take();
-  return Result;
-}
-
-} // namespace
-
-SearchResult IcbSearch::run(const Interp &Interp) {
-  IcbDriver Driver(Interp, Opts);
-  return Driver.run();
+SearchResult IcbSearch::run(const vm::Interp &Interp) {
+  VmExecutor Executor(Interp, {Opts.UseStateCache, Opts.RecordSchedules});
+  IcbEngineOptions EngineOpts;
+  EngineOpts.Limits = Opts.Limits;
+  // Historical model-VM bug policy: first exposure wins at equal
+  // preemption counts, reported in discovery order.
+  EngineOpts.CanonicalBugs = false;
+  return runSequentialIcbEngine(Executor, EngineOpts);
 }

@@ -5,274 +5,31 @@
 //===----------------------------------------------------------------------===//
 
 #include "search/ParallelIcb.h"
-#include "search/IcbCore.h"
-#include "search/ShardedStateCache.h"
-#include "support/StripedQueue.h"
-#include "support/WorkStealingDeque.h"
+#include "search/IcbEngine.h"
+#include "search/VmExecutor.h"
 #include "support/WorkerPool.h"
-#include <atomic>
-#include <map>
-#include <thread>
-#include <tuple>
+#include <memory>
+#include <vector>
 
 using namespace icb;
 using namespace icb::search;
-using namespace icb::search::detail;
-using namespace icb::vm;
 
-namespace {
+SearchResult ParallelIcbSearch::run(const vm::Interp &Interp) {
+  unsigned Jobs = Opts.Jobs ? Opts.Jobs : WorkerPool::defaultWorkers();
+  // The interpreter is stateless w.r.t. the search, so the executors can
+  // all share it; one instance per worker keeps the engine's "executor i
+  // runs on worker i" contract uniform with the runtime executor, which
+  // does carry per-thread state.
+  std::vector<std::unique_ptr<VmExecutor>> Executors;
+  Executors.reserve(Jobs);
+  for (unsigned I = 0; I != Jobs; ++I)
+    Executors.push_back(std::make_unique<VmExecutor>(
+        Interp,
+        VmExecutor::Options{Opts.UseStateCache, Opts.RecordSchedules}));
 
-/// Worker-local accumulation; folded into the global result at bound
-/// barriers / at the end. Padded to a cache line so neighbouring workers'
-/// hot counters do not false-share.
-struct alignas(64) WorkerState {
-  WorkStealingDeque<IcbWorkItem> Deque;
-
-  // Worker-local slices of SearchStats (all merged with commutative
-  // folds, so the merged totals are schedule-independent).
-  MinMax StepsPerExecution;
-  MinMax BlockingPerExecution;
-  MinMax PreemptionsPerExecution;
-  Histogram PreemptionHistogram;
-
-  /// Worker-local distinct bugs: (kind, message) -> canonical minimal
-  /// exposure. See mergeBug for the ordering.
-  std::map<std::pair<BugKind, std::string>, Bug> Bugs;
-};
-
-/// Keeps the lexicographically smallest (Preemptions, Steps, Schedule)
-/// exposure per distinct (kind, message) bug. Taking a minimum is
-/// associative and commutative, so merging worker maps in any order — and
-/// accumulating exposures within a worker in any order — yields the same
-/// final map. That is what makes bug reports reproducible across worker
-/// counts (sequential ICB gets the same canonical exposure for free: it
-/// visits bounds in order and we tie-break on Steps then Schedule).
-void mergeBug(std::map<std::pair<BugKind, std::string>, Bug> &Into,
-              Bug NewBug) {
-  auto Key = std::make_pair(NewBug.Kind, NewBug.Message);
-  auto It = Into.find(Key);
-  if (It == Into.end()) {
-    Into.emplace(std::move(Key), std::move(NewBug));
-    return;
-  }
-  Bug &Existing = It->second;
-  if (std::tie(NewBug.Preemptions, NewBug.Steps, NewBug.Schedule) <
-      std::tie(Existing.Preemptions, Existing.Steps, Existing.Schedule))
-    Existing = std::move(NewBug);
-}
-
-class ParallelIcbDriver {
-public:
-  ParallelIcbDriver(const vm::Interp &VM, const ParallelIcbSearch::Options &O)
-      : VM(VM), Opts(O),
-        Jobs(O.Jobs ? O.Jobs : WorkerPool::defaultWorkers()),
-        Seen(shardCountFor(O.Shards, Jobs)),
-        ItemCache(shardCountFor(O.Shards, Jobs)), NextQueue(Jobs),
-        Workers(Jobs) {}
-
-  SearchResult run();
-
-private:
-  /// The per-worker Ctx runIcbExecution drives. Thin: routes the hooks to
-  /// the driver with the worker index attached.
-  struct WorkerCtx {
-    ParallelIcbDriver &D;
-    unsigned Index;
-
-    bool insertItem(uint64_t Digest) { return D.ItemCache.insert(Digest); }
-    void insertSeen(uint64_t Digest) { D.Seen.insert(Digest); }
-    void countStep() {
-      D.TotalSteps.fetch_add(1, std::memory_order_relaxed);
-    }
-    void defer(IcbWorkItem &&Item) {
-      D.NextQueue.push(Index, std::move(Item));
-    }
-    void branch(IcbWorkItem &&Item) {
-      // Onto the owner's bottom: popped LIFO by the owner (depth-first,
-      // keeps memory bounded), stolen FIFO from the top by idle workers.
-      D.Pending.fetch_add(1, std::memory_order_relaxed);
-      D.Workers[Index].Deque.pushBottom(std::move(Item));
-    }
-    void recordBug(BugKind Kind, std::string Message,
-                   const std::vector<ThreadId> &Sched) {
-      D.recordBug(Index, Kind, std::move(Message), Sched);
-    }
-    void endExecution(uint64_t Steps, uint64_t Blocking) {
-      D.endExecution(Index, Steps, Blocking);
-    }
-  };
-
-  void workerMain(unsigned Index);
-  bool takeItem(unsigned Index, IcbWorkItem &Out);
-  void recordBug(unsigned Index, BugKind Kind, std::string Message,
-                 const std::vector<ThreadId> &Sched);
-  void endExecution(unsigned Index, uint64_t Steps, uint64_t Blocking);
-  void finalize(SearchResult &Result, bool Complete);
-
-  static unsigned shardCountFor(unsigned Requested, unsigned Jobs) {
-    if (Requested)
-      return Requested; // Cache rounds up to a power of two itself.
-    unsigned Want = Jobs * 8;
-    return Want < 64 ? 64 : Want;
-  }
-
-  const vm::Interp &VM;
-  ParallelIcbSearch::Options Opts;
-  unsigned Jobs;
-
-  ShardedStateCache Seen;      ///< Distinct visited states.
-  ShardedStateCache ItemCache; ///< (state, thread) pruning when caching on.
-  StripedQueue<IcbWorkItem> NextQueue; ///< Deferred items for bound c + 1.
-  std::vector<WorkerState> Workers;
-
-  std::atomic<uint64_t> Executions{0};
-  std::atomic<uint64_t> TotalSteps{0};
-  /// Items in deques plus executions in flight this round; the round is
-  /// over when it reaches zero (nothing queued, nobody producing).
-  std::atomic<uint64_t> Pending{0};
-  std::atomic<bool> Stop{false};
-
-  unsigned CurrBound = 0; ///< Written between rounds only.
-};
-
-bool ParallelIcbDriver::takeItem(unsigned Index, IcbWorkItem &Out) {
-  if (Workers[Index].Deque.tryPopBottom(Out))
-    return true;
-  for (unsigned Hop = 1; Hop < Jobs; ++Hop)
-    if (Workers[(Index + Hop) % Jobs].Deque.trySteal(Out))
-      return true;
-  return false;
-}
-
-void ParallelIcbDriver::workerMain(unsigned Index) {
-  WorkerCtx Ctx{*this, Index};
-  IcbWorkItem Item;
-  while (!Stop.load(std::memory_order_relaxed)) {
-    if (takeItem(Index, Item)) {
-      runIcbExecution(VM, std::move(Item), Opts.UseStateCache,
-                      Opts.RecordSchedules, Ctx);
-      // The chain (and everything it pushed) is accounted; releasing our
-      // claim last means Pending only hits zero once no work remains.
-      Pending.fetch_sub(1, std::memory_order_acq_rel);
-      continue;
-    }
-    if (Pending.load(std::memory_order_acquire) == 0)
-      return; // Bound drained: no queued items, no running executions.
-    std::this_thread::yield(); // Someone is still producing; retry.
-  }
-}
-
-void ParallelIcbDriver::recordBug(unsigned Index, BugKind Kind,
-                                  std::string Message,
-                                  const std::vector<ThreadId> &Sched) {
-  Bug NewBug;
-  NewBug.Kind = Kind;
-  NewBug.Message = std::move(Message);
-  NewBug.Preemptions = CurrBound;
-  NewBug.Steps = Sched.size();
-  NewBug.Schedule = Sched;
-  mergeBug(Workers[Index].Bugs, std::move(NewBug));
-  if (Opts.Limits.StopAtFirstBug)
-    Stop.store(true, std::memory_order_relaxed);
-}
-
-void ParallelIcbDriver::endExecution(unsigned Index, uint64_t Steps,
-                                     uint64_t Blocking) {
-  WorkerState &W = Workers[Index];
-  uint64_t Execs = Executions.fetch_add(1, std::memory_order_relaxed) + 1;
-  W.StepsPerExecution.observe(Steps);
-  W.PreemptionsPerExecution.observe(CurrBound);
-  W.PreemptionHistogram.increment(CurrBound);
-  W.BlockingPerExecution.observe(Blocking);
-  if (Execs >= Opts.Limits.MaxExecutions ||
-      TotalSteps.load(std::memory_order_relaxed) >= Opts.Limits.MaxSteps ||
-      Seen.size() >= Opts.Limits.MaxStates)
-    Stop.store(true, std::memory_order_relaxed);
-}
-
-void ParallelIcbDriver::finalize(SearchResult &Result, bool Complete) {
-  SearchStats &Stats = Result.Stats;
-  Stats.Executions = Executions.load();
-  Stats.TotalSteps = TotalSteps.load();
-  Stats.DistinctStates = Seen.size();
-  Stats.Completed = Complete;
-
-  std::map<std::pair<BugKind, std::string>, Bug> Merged;
-  for (WorkerState &W : Workers) {
-    Stats.StepsPerExecution.merge(W.StepsPerExecution);
-    Stats.BlockingPerExecution.merge(W.BlockingPerExecution);
-    Stats.PreemptionsPerExecution.merge(W.PreemptionsPerExecution);
-    Stats.PreemptionHistogram.merge(W.PreemptionHistogram);
-    for (auto &Entry : W.Bugs)
-      mergeBug(Merged, std::move(Entry.second));
-    W.Bugs.clear();
-  }
-  // std::map iteration order makes the report order deterministic too.
-  Result.Bugs.reserve(Merged.size());
-  for (auto &Entry : Merged)
-    Result.Bugs.push_back(std::move(Entry.second));
-}
-
-SearchResult ParallelIcbDriver::run() {
-  SearchResult Result;
-
-  State S0 = VM.initialState();
-  Seen.insert(S0.hash());
-  std::vector<ThreadId> Enabled0 = VM.enabledThreads(S0);
-  if (Enabled0.empty()) {
-    // Degenerate single-execution program; mirror the sequential driver.
-    if (!S0.allDone())
-      recordBug(0, BugKind::Deadlock, describeDeadlock(VM, S0), {});
-    endExecution(0, 0, 0);
-    finalize(Result, !Stop.load());
-    Result.Stats.PerBound.push_back({0, Seen.size(), Result.Stats.Executions});
-    Result.Stats.Coverage.push_back({Result.Stats.Executions, Seen.size()});
-    return Result;
-  }
-
-  // Lines 6-8: one work item per initially enabled thread.
-  std::vector<IcbWorkItem> Items;
-  for (ThreadId Tid : Enabled0) {
-    IcbWorkItem Item;
-    Item.S = S0;
-    Item.Tid = Tid;
-    Items.push_back(std::move(Item));
-  }
-
-  WorkerPool Pool(Jobs);
-  bool MoreBounds = false;
-  while (true) {
-    // Deal this bound's roots round-robin across the worker deques.
-    Pending.store(Items.size(), std::memory_order_relaxed);
-    for (size_t I = 0; I != Items.size(); ++I)
-      Workers[I % Jobs].Deque.pushBottom(std::move(Items[I]));
-    Items.clear();
-
-    // One fork/join round drains the bound; the join is the barrier that
-    // guarantees bound c is exhausted before bound c + 1 begins.
-    Pool.run([this](unsigned Index) { workerMain(Index); });
-
-    // Quiescent: every count below is exact and schedule-independent.
-    Result.Stats.PerBound.push_back(
-        {CurrBound, Seen.size(), Executions.load()});
-    Result.Stats.Coverage.push_back({Executions.load(), Seen.size()});
-
-    Items = NextQueue.drain();
-    if (Stop.load() || Items.empty() ||
-        CurrBound >= Opts.Limits.MaxPreemptionBound) {
-      MoreBounds = !Items.empty();
-      break;
-    }
-    ++CurrBound;
-  }
-
-  finalize(Result, !Stop.load() && !MoreBounds);
-  return Result;
-}
-
-} // namespace
-
-SearchResult ParallelIcbSearch::run(const Interp &Interp) {
-  ParallelIcbDriver Driver(Interp, Opts);
-  return Driver.run();
+  IcbEngineOptions EngineOpts;
+  EngineOpts.Limits = Opts.Limits;
+  EngineOpts.Shards = Opts.Shards;
+  EngineOpts.CanonicalBugs = true; // What the parallel merge always does.
+  return runParallelIcbEngine(Executors, EngineOpts);
 }

@@ -7,6 +7,7 @@
 #include "search/SearchTypes.h"
 #include "support/Debug.h"
 #include "support/Format.h"
+#include <tuple>
 
 using namespace icb;
 using namespace icb::search;
@@ -19,11 +20,25 @@ const char *icb::search::bugKindName(BugKind Kind) {
     return "deadlock";
   case BugKind::ModelError:
     return "model error";
+  case BugKind::DataRace:
+    return "data race";
+  case BugKind::UseAfterFree:
+    return "use-after-free";
+  case BugKind::Diverged:
+    return "replay divergence";
   }
   ICB_UNREACHABLE("unknown bug kind");
 }
 
 std::string Bug::str() const {
+  // Bugs from the runtime executor carry an annotated schedule and report
+  // their context-switch count; model-VM bugs keep the historical format.
+  if (Sched.length() != 0)
+    return strFormat(
+        "%s: %s (exposed with %u preemptions, %u context switches, %llu "
+        "steps)",
+        bugKindName(Kind), Message.c_str(), Preemptions, ContextSwitches,
+        static_cast<unsigned long long>(Steps));
   return strFormat("%s: %s (exposed with %u preemptions in %llu steps)",
                    bugKindName(Kind), Message.c_str(), Preemptions,
                    static_cast<unsigned long long>(Steps));
@@ -49,4 +64,26 @@ bool BugCollector::add(Bug NewBug) {
   if (NewBug.Preemptions < Existing.Preemptions)
     Existing = std::move(NewBug);
   return false;
+}
+
+void icb::search::canonicalMergeBug(CanonicalBugMap &Into, Bug NewBug) {
+  auto Key = std::make_pair(NewBug.Kind, NewBug.Message);
+  auto It = Into.find(Key);
+  if (It == Into.end()) {
+    Into.emplace(std::move(Key), std::move(NewBug));
+    return;
+  }
+  Bug &Existing = It->second;
+  if (std::tie(NewBug.Preemptions, NewBug.Steps, NewBug.Schedule) <
+      std::tie(Existing.Preemptions, Existing.Steps, Existing.Schedule))
+    Existing = std::move(NewBug);
+}
+
+std::vector<Bug> icb::search::takeCanonicalBugs(CanonicalBugMap &&Map) {
+  std::vector<Bug> Out;
+  Out.reserve(Map.size());
+  for (auto &Entry : Map)
+    Out.push_back(std::move(Entry.second));
+  Map.clear();
+  return Out;
 }

@@ -5,7 +5,8 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// Shared vocabulary of the ZING-side search strategies: bug reports with
+/// Shared vocabulary of both search engines — the ZING-style model-VM
+/// strategies and the CHESS-style stateless explorers: bug reports with
 /// their preemption counts (ICB's headline guarantee is that the first
 /// exposure of a bug carries the *minimum* number of preemptions), resource
 /// limits, and the statistics the experiment harnesses consume (Table 1's
@@ -17,6 +18,7 @@
 #define ICB_SEARCH_SEARCHTYPES_H
 
 #include "support/Stats.h"
+#include "trace/Schedule.h"
 #include "vm/Ids.h"
 #include <cstdint>
 #include <limits>
@@ -26,11 +28,15 @@
 
 namespace icb::search {
 
-/// The classes of errors a model search can uncover.
+/// The classes of errors a search can uncover. The first three come from
+/// the model VM; the runtime (fiber) executor adds the dynamic detectors.
 enum class BugKind : uint8_t {
-  AssertFailure, ///< A model Assert evaluated false.
+  AssertFailure, ///< A model Assert / rt::testAssert evaluated false.
   Deadlock,      ///< Some thread is not Done, yet no thread is enabled.
   ModelError,    ///< The model itself misbehaved (bad unlock, runaway loop).
+  DataRace,      ///< The per-execution race detector fired (runtime only).
+  UseAfterFree,  ///< A managed object was touched after destruction.
+  Diverged,      ///< Replay mismatch: the test is nondeterministic.
 };
 
 const char *bugKindName(BugKind Kind);
@@ -42,10 +48,15 @@ struct Bug {
   /// Preempting context switches in the exposing execution. Under ICB this
   /// is minimal over all executions exposing the same bug.
   unsigned Preemptions = 0;
+  /// Context switches of either kind (runtime executor only; 0 for VM).
+  unsigned ContextSwitches = 0;
   /// Length (steps) of the exposing execution.
   uint64_t Steps = 0;
   /// The exposing schedule: thread chosen at each scheduling point.
   std::vector<vm::ThreadId> Schedule;
+  /// Runtime executor only: the annotated replayable schedule (preempting
+  /// vs nonpreempting switches). Empty for model-VM bugs.
+  trace::Schedule Sched;
 
   std::string str() const;
 };
@@ -78,11 +89,19 @@ struct BoundCoverage {
 struct SearchStats {
   uint64_t Executions = 0;
   uint64_t TotalSteps = 0;
+  /// Distinct visited states. The model VM counts exact state hashes; the
+  /// stateless runtime counts distinct happens-before fingerprints over
+  /// every execution prefix (Section 4.3's coverage metric).
   uint64_t DistinctStates = 0;
+  /// Distinct fingerprints of complete executions (runtime executor only;
+  /// 0 for the model VM, which has exact terminal states instead).
+  uint64_t DistinctTerminalStates = 0;
   /// Per-execution distributions; maxima feed Table 1.
   MinMax StepsPerExecution;   ///< K.
   MinMax BlockingPerExecution; ///< B.
   MinMax PreemptionsPerExecution; ///< c.
+  /// Threads used per execution (runtime executor only; empty for VM).
+  MinMax ThreadsPerExecution;
   /// Executions per preemption count. Since ICB and (uncached) DFS both
   /// enumerate every execution exactly once, their histograms must be
   /// equal — the test suite cross-validates the two engines this way.
@@ -121,6 +140,22 @@ private:
   std::vector<Bug> Bugs;
   std::map<std::pair<BugKind, std::string>, size_t> Index;
 };
+
+/// Distinct bugs keyed by (kind, message), each holding its canonical
+/// minimal exposure.
+using CanonicalBugMap = std::map<std::pair<BugKind, std::string>, Bug>;
+
+/// Keeps the lexicographically smallest (Preemptions, Steps, Schedule)
+/// exposure per distinct (kind, message) bug. Taking a minimum is
+/// associative and commutative, so merging maps in any order — and
+/// accumulating exposures within a worker in any order — yields the same
+/// final map. That is what makes bug reports reproducible across worker
+/// counts.
+void canonicalMergeBug(CanonicalBugMap &Into, Bug NewBug);
+
+/// Flattens a canonical map into report order (sorted by kind, message —
+/// std::map iteration order, hence deterministic).
+std::vector<Bug> takeCanonicalBugs(CanonicalBugMap &&Map);
 
 } // namespace icb::search
 

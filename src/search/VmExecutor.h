@@ -1,0 +1,82 @@
+//===- search/VmExecutor.h - Model-VM executor ------------------*- C++ -*-===//
+//
+// Part of the ICB project (PLDI'07 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The explicit-state (ZING-style) executor: a work item is a (state,
+/// thread) pair carrying its schedule prefix, and running a chain means
+/// stepping `vm::State` copies through the interpreter (IcbCore.h). The
+/// interpreter is stateless w.r.t. the search — all mutable state lives
+/// in the work items — so any number of VmExecutor instances can share
+/// one `vm::Interp` from different worker threads.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ICB_SEARCH_VMEXECUTOR_H
+#define ICB_SEARCH_VMEXECUTOR_H
+
+#include "search/Executor.h"
+#include "search/IcbCore.h"
+#include <vector>
+
+namespace icb::search {
+
+/// Executor advancing the search by stepping model-VM states.
+class VmExecutor {
+public:
+  using WorkItem = detail::IcbWorkItem;
+
+  struct Options {
+    /// Prune (state, thread) work items already explored (ZING mode).
+    bool UseStateCache = false;
+    /// Carry full schedules in work items so bug reports are replayable.
+    bool RecordSchedules = true;
+  };
+
+  VmExecutor(const vm::Interp &VM, const Options &Opts)
+      : VM(VM), Opts(Opts) {}
+
+  template <typename Ctx> std::vector<WorkItem> rootItems(Ctx &C) {
+    vm::State S0 = VM.initialState();
+    C.noteState(S0.hash());
+    std::vector<vm::ThreadId> Enabled0 = VM.enabledThreads(S0);
+    if (Enabled0.empty()) {
+      // Degenerate program: nothing is schedulable at the initial state.
+      // Account the single (empty) execution directly.
+      if (!S0.allDone()) {
+        Bug NewBug;
+        NewBug.Kind = BugKind::Deadlock;
+        NewBug.Message = detail::describeDeadlock(VM, S0);
+        C.recordBug(std::move(NewBug));
+      }
+      C.endExecution({});
+      return {};
+    }
+
+    // Algorithm 1 lines 6-8: one work item per initially enabled thread.
+    std::vector<WorkItem> Items;
+    Items.reserve(Enabled0.size());
+    for (vm::ThreadId Tid : Enabled0) {
+      WorkItem Item;
+      Item.S = S0;
+      Item.Tid = Tid;
+      Items.push_back(std::move(Item));
+    }
+    return Items;
+  }
+
+  template <typename Ctx> void runChain(WorkItem Item, Ctx &C) {
+    detail::runIcbExecution(VM, std::move(Item), Opts.UseStateCache,
+                            Opts.RecordSchedules, C);
+  }
+
+private:
+  const vm::Interp &VM;
+  Options Opts;
+};
+
+} // namespace icb::search
+
+#endif // ICB_SEARCH_VMEXECUTOR_H

@@ -217,7 +217,7 @@ TEST(Fig3Trace, HasOnePreemptionAndSeveralNonpreemptingSwitches) {
   rt::ExploreResult R = Icb.explore(Fig3->MakeRt());
   ASSERT_TRUE(R.foundBug());
   const rt::RtBug &Bug = *R.simplestBug();
-  EXPECT_EQ(Bug.Kind, rt::RunStatus::UseAfterFree);
+  EXPECT_EQ(Bug.Kind, search::BugKind::UseAfterFree);
   EXPECT_EQ(Bug.Preemptions, 1u);
   EXPECT_GE(Bug.ContextSwitches - Bug.Preemptions, 5u)
       << "the Figure 3 trace involves many nonpreempting switches";
@@ -274,7 +274,7 @@ TEST(DryadStatsRace, ReportsARaceNotAnAssert) {
   rt::IcbExplorer Icb(Opts);
   rt::ExploreResult R = Icb.explore(dryadTest({3, 2, DryadBug::StatsRace}));
   ASSERT_TRUE(R.foundBug());
-  EXPECT_EQ(R.Bugs[0].Kind, rt::RunStatus::DataRace);
+  EXPECT_EQ(R.Bugs[0].Kind, search::BugKind::DataRace);
   EXPECT_NE(R.Bugs[0].Message.find("itemsWritten"), std::string::npos);
 }
 
@@ -285,7 +285,7 @@ TEST(ApeEagerTeardown, ReportsUseAfterFree) {
   rt::IcbExplorer Icb(Opts);
   rt::ExploreResult R = Icb.explore(apeTest({2, 2, ApeBug::EagerTeardown}));
   ASSERT_TRUE(R.foundBug());
-  EXPECT_EQ(R.Bugs[0].Kind, rt::RunStatus::UseAfterFree);
+  EXPECT_EQ(R.Bugs[0].Kind, search::BugKind::UseAfterFree);
 }
 
 } // namespace

@@ -98,7 +98,7 @@ TEST(CondVar, IfInsteadOfWhileCaught) {
   IcbExplorer Icb(defaultOpts(300000, /*StopAtFirst=*/true));
   ExploreResult R = Icb.explore(mailboxTest(false, 2, 2));
   ASSERT_TRUE(R.foundBug());
-  EXPECT_EQ(R.Bugs[0].Kind, RunStatus::AssertFailed);
+  EXPECT_EQ(R.Bugs[0].Kind, search::BugKind::AssertFailure);
   EXPECT_NE(R.Bugs[0].Message.find("empty slot"), std::string::npos);
 }
 
@@ -123,7 +123,7 @@ TEST(CondVar, MissingSignalDeadlocks) {
   IcbExplorer Icb(defaultOpts(300000, /*StopAtFirst=*/true, 2));
   ExploreResult R = Icb.explore(Test);
   ASSERT_TRUE(R.foundBug());
-  EXPECT_EQ(R.Bugs[0].Kind, RunStatus::Deadlock);
+  EXPECT_EQ(R.Bugs[0].Kind, search::BugKind::Deadlock);
 }
 
 TEST(CondVar, WaitWithoutMutexIsAnError) {
@@ -162,7 +162,7 @@ TEST(CondVar, SignalBeforeWaitIsLost) {
   IcbExplorer Icb(defaultOpts(300000, /*StopAtFirst=*/true, 1));
   ExploreResult R = Icb.explore(Test);
   ASSERT_TRUE(R.foundBug());
-  EXPECT_EQ(R.Bugs[0].Kind, RunStatus::Deadlock);
+  EXPECT_EQ(R.Bugs[0].Kind, search::BugKind::Deadlock);
 }
 
 TEST(CondVar, BroadcastWakesAllWaiters) {
@@ -279,7 +279,7 @@ TEST(RwLock, DataRaceUnderSharedLockOnlyIsCaught) {
   IcbExplorer Icb(defaultOpts(300000, /*StopAtFirst=*/true, 2));
   ExploreResult R = Icb.explore(Test);
   ASSERT_TRUE(R.foundBug());
-  EXPECT_EQ(R.Bugs[0].Kind, RunStatus::DataRace);
+  EXPECT_EQ(R.Bugs[0].Kind, search::BugKind::DataRace);
 }
 
 TEST(RwLock, UnlockErrorsAreReported) {

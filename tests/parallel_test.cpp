@@ -28,6 +28,7 @@
 #include <algorithm>
 #include <atomic>
 #include <gtest/gtest.h>
+#include <memory>
 #include <thread>
 #include <vector>
 
@@ -409,6 +410,90 @@ TEST(WorkStealingDeque, ConcurrentConservation) {
     T.join();
   EXPECT_EQ(Popped.load(), N);
   EXPECT_EQ(Consumed.load(), int64_t(N) * (N + 1) / 2);
+}
+
+TEST(WorkStealingDeque, GrowthUnderConcurrentStealing) {
+  // Bursts far past the initial ring capacity force repeated growth while
+  // thieves are reading the old rings; every item must still be consumed
+  // exactly once.
+  constexpr int Bursts = 50;
+  constexpr int BurstSize = 1000; // >> initial capacity of 64.
+  constexpr int N = Bursts * BurstSize;
+  WorkStealingDeque<int> D;
+  std::atomic<int64_t> Consumed{0};
+  std::atomic<int> Count{0};
+  std::atomic<bool> Done{false};
+  std::vector<std::thread> Thieves;
+  for (int T = 0; T != 3; ++T)
+    Thieves.emplace_back([&] {
+      int V = 0;
+      while (!Done.load() || D.sizeHint() != 0)
+        if (D.trySteal(V)) {
+          Consumed.fetch_add(V);
+          Count.fetch_add(1);
+        }
+    });
+  int V = 0;
+  for (int Burst = 0; Burst != Bursts; ++Burst) {
+    for (int I = 0; I != BurstSize; ++I)
+      D.pushBottom(Burst * BurstSize + I + 1);
+    // Pop a few back so Bottom wanders both ways across ring boundaries.
+    for (int I = 0; I != 10 && D.tryPopBottom(V); ++I) {
+      Consumed.fetch_add(V);
+      Count.fetch_add(1);
+    }
+  }
+  Done.store(true);
+  for (std::thread &T : Thieves)
+    T.join();
+  EXPECT_EQ(Count.load(), N);
+  EXPECT_EQ(Consumed.load(), int64_t(N) * (N + 1) / 2);
+}
+
+TEST(WorkStealingDeque, LastItemPopStealRace) {
+  // The deque hovers around a single item, hammering the owner-vs-thief
+  // CAS on the last slot: exactly one side may win each item.
+  constexpr int N = 30000;
+  WorkStealingDeque<int> D;
+  std::atomic<int64_t> Consumed{0};
+  std::atomic<int> Count{0};
+  std::atomic<bool> Done{false};
+  std::thread Thief([&] {
+    int V = 0;
+    while (!Done.load() || D.sizeHint() != 0)
+      if (D.trySteal(V)) {
+        Consumed.fetch_add(V);
+        Count.fetch_add(1);
+      }
+  });
+  int V = 0;
+  for (int I = 1; I <= N; ++I) {
+    D.pushBottom(int(I));
+    if (D.tryPopBottom(V)) {
+      Consumed.fetch_add(V);
+      Count.fetch_add(1);
+    }
+  }
+  Done.store(true);
+  Thief.join();
+  EXPECT_EQ(Count.load(), N);
+  EXPECT_EQ(Consumed.load(), int64_t(N) * (N + 1) / 2);
+}
+
+TEST(WorkStealingDeque, MoveOnlyItems) {
+  // Ownership transfers with the successful pop/steal; work items are
+  // movable, not necessarily copyable.
+  WorkStealingDeque<std::unique_ptr<int>> D;
+  D.pushBottom(std::make_unique<int>(1));
+  D.pushBottom(std::make_unique<int>(2));
+  std::unique_ptr<int> P;
+  ASSERT_TRUE(D.trySteal(P));
+  EXPECT_EQ(*P, 1);
+  ASSERT_TRUE(D.tryPopBottom(P));
+  EXPECT_EQ(*P, 2);
+  EXPECT_FALSE(D.tryPopBottom(P));
+  // Leftovers are reclaimed by the destructor.
+  D.pushBottom(std::make_unique<int>(3));
 }
 
 TEST(StripedQueue, PushDrainConservation) {

@@ -1,0 +1,108 @@
+//===- tests/rt_parallel_test.cpp - Parallel stateless ICB tests ----------===//
+//
+// Part of the ICB project (PLDI'07 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Determinism of the parallel stateless (CHESS-side) ICB driver: a Jobs=N
+/// run replays schedule prefixes on N fiber schedulers concurrently, yet
+/// must produce exactly the Jobs=1 result — same aggregate statistics,
+/// same per-bound coverage snapshots, and byte-identical canonical bug
+/// reports. Kept out of the TSan suite: the fiber runtime switches stacks
+/// in ways ThreadSanitizer cannot track (the lock-free engine internals
+/// are TSan-covered via the model-VM form in parallel_test).
+///
+//===----------------------------------------------------------------------===//
+
+#include "benchmarks/Bluetooth.h"
+#include "benchmarks/WorkStealingQueue.h"
+#include "rt/Explore.h"
+#include <gtest/gtest.h>
+#include <string>
+#include <vector>
+
+using namespace icb;
+using namespace icb::bench;
+
+namespace {
+
+rt::ExploreResult runIcb(const rt::TestCase &Test, unsigned MaxBound,
+                         unsigned Jobs, bool KeepGoing = true) {
+  rt::ExploreOptions Opts;
+  Opts.Limits.MaxPreemptionBound = MaxBound;
+  Opts.Limits.StopAtFirstBug = !KeepGoing;
+  Opts.Jobs = Jobs;
+  rt::IcbExplorer Icb(Opts);
+  return Icb.explore(Test);
+}
+
+/// Everything icb_check would print, and then some: the parallel run must
+/// be indistinguishable from the sequential one.
+void expectIdenticalResults(const rt::ExploreResult &L,
+                            const rt::ExploreResult &R) {
+  EXPECT_EQ(L.Stats.Executions, R.Stats.Executions);
+  EXPECT_EQ(L.Stats.TotalSteps, R.Stats.TotalSteps);
+  EXPECT_EQ(L.Stats.DistinctStates, R.Stats.DistinctStates);
+  EXPECT_EQ(L.Stats.DistinctTerminalStates, R.Stats.DistinctTerminalStates);
+  EXPECT_EQ(L.Stats.Completed, R.Stats.Completed);
+  ASSERT_EQ(L.Stats.PerBound.size(), R.Stats.PerBound.size());
+  for (size_t I = 0; I != L.Stats.PerBound.size(); ++I) {
+    EXPECT_EQ(L.Stats.PerBound[I].Bound, R.Stats.PerBound[I].Bound);
+    EXPECT_EQ(L.Stats.PerBound[I].Executions,
+              R.Stats.PerBound[I].Executions);
+    EXPECT_EQ(L.Stats.PerBound[I].States, R.Stats.PerBound[I].States);
+  }
+  ASSERT_EQ(L.Bugs.size(), R.Bugs.size());
+  for (size_t I = 0; I != L.Bugs.size(); ++I) {
+    EXPECT_EQ(L.Bugs[I].Kind, R.Bugs[I].Kind);
+    EXPECT_EQ(L.Bugs[I].str(), R.Bugs[I].str());
+    EXPECT_EQ(L.Bugs[I].Sched.length(), R.Bugs[I].Sched.length());
+  }
+}
+
+TEST(RtParallelIcb, WsqBugReportsMatchSequential) {
+  for (WsqBug Bug : {WsqBug::PopCheckThenAct, WsqBug::PopRetryNoLock}) {
+    SCOPED_TRACE(wsqBugName(Bug));
+    rt::TestCase Test = workStealingTest({3, 4, Bug});
+    rt::ExploreResult Seq = runIcb(Test, 2, /*Jobs=*/1);
+    ASSERT_TRUE(Seq.foundBug());
+    for (unsigned Jobs : {2u, 4u}) {
+      rt::ExploreResult Par = runIcb(Test, 2, Jobs);
+      expectIdenticalResults(Seq, Par);
+    }
+  }
+}
+
+TEST(RtParallelIcb, BluetoothMatchesSequential) {
+  rt::TestCase Test = bluetoothTest({2, /*WithBug=*/true});
+  rt::ExploreResult Seq = runIcb(Test, 2, /*Jobs=*/1);
+  ASSERT_TRUE(Seq.foundBug());
+  EXPECT_EQ(Seq.simplestBug()->Preemptions, 1u);
+  expectIdenticalResults(Seq, runIcb(Test, 2, /*Jobs=*/4));
+}
+
+TEST(RtParallelIcb, CleanTestStaysCleanAndExhaustsSpace) {
+  rt::TestCase Test = bluetoothTest({2, /*WithBug=*/false});
+  rt::ExploreResult Seq = runIcb(Test, 2, /*Jobs=*/1);
+  EXPECT_FALSE(Seq.foundBug());
+  expectIdenticalResults(Seq, runIcb(Test, 2, /*Jobs=*/3));
+}
+
+TEST(RtParallelIcb, JobsZeroPicksHardwareConcurrency) {
+  rt::TestCase Test = workStealingTest({3, 4, WsqBug::PopCheckThenAct});
+  rt::ExploreResult Seq = runIcb(Test, 1, /*Jobs=*/1);
+  rt::ExploreResult Auto = runIcb(Test, 1, /*Jobs=*/0);
+  expectIdenticalResults(Seq, Auto);
+}
+
+TEST(RtParallelIcb, StopAtFirstBugStillReportsMinimalBound) {
+  // Bounds are drained in order even in parallel, so the first bug found
+  // is found during the minimal bound's round.
+  rt::TestCase Test = workStealingTest({3, 4, WsqBug::PopCheckThenAct});
+  rt::ExploreResult R = runIcb(Test, 2, /*Jobs=*/4, /*KeepGoing=*/false);
+  ASSERT_TRUE(R.foundBug());
+  EXPECT_EQ(R.simplestBug()->Preemptions, 1u);
+}
+
+} // namespace

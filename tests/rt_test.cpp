@@ -224,7 +224,7 @@ TEST(RaceDetection, UnprotectedCounterRacesInFirstExecution) {
   IcbExplorer Icb(defaultOpts(1000, /*StopAtFirst=*/true));
   ExploreResult R = Icb.explore(unprotectedCounterTest());
   ASSERT_TRUE(R.foundBug());
-  EXPECT_EQ(R.Bugs[0].Kind, RunStatus::DataRace);
+  EXPECT_EQ(R.Bugs[0].Kind, search::BugKind::DataRace);
   // The two unsynchronized accesses race in every schedule, so the very
   // first (0-preemption) execution reports it.
   EXPECT_EQ(R.Bugs[0].Preemptions, 0u);
@@ -335,7 +335,7 @@ TEST(AtomicVars, LostUpdateFoundAtBoundOneWithoutRaceReports) {
   IcbExplorer Icb(defaultOpts(100000, /*StopAtFirst=*/true));
   ExploreResult R = Icb.explore(atomicLostUpdateTest());
   ASSERT_TRUE(R.foundBug());
-  EXPECT_EQ(R.Bugs[0].Kind, RunStatus::AssertFailed);
+  EXPECT_EQ(R.Bugs[0].Kind, search::BugKind::AssertFailure);
   EXPECT_EQ(R.Bugs[0].Preemptions, 1u);
 }
 
@@ -408,7 +408,7 @@ TEST(UseAfterFree, DryadMiniFoundWithOnePreemption) {
   IcbExplorer Icb(defaultOpts(100000, /*StopAtFirst=*/true));
   ExploreResult R = Icb.explore(uaf::dryadMiniTest());
   ASSERT_TRUE(R.foundBug());
-  EXPECT_EQ(R.Bugs[0].Kind, RunStatus::UseAfterFree);
+  EXPECT_EQ(R.Bugs[0].Kind, search::BugKind::UseAfterFree);
   EXPECT_LE(R.Bugs[0].Preemptions, 1u);
 }
 
@@ -576,7 +576,7 @@ TEST(Modes, EveryAccessFindsTheAssertInsteadOfTheRace) {
   IcbExplorer Icb(Opts);
   ExploreResult R = Icb.explore(Test);
   ASSERT_TRUE(R.foundBug());
-  EXPECT_EQ(R.Bugs[0].Kind, RunStatus::AssertFailed);
+  EXPECT_EQ(R.Bugs[0].Kind, search::BugKind::AssertFailure);
   EXPECT_EQ(R.Bugs[0].Preemptions, 1u);
 }
 
@@ -605,14 +605,14 @@ TEST(Modes, PromotedVariableBehavesLikeSyncVar) {
     IcbExplorer Icb(Opts);
     ExploreResult R = Icb.explore(MakeTest());
     ASSERT_TRUE(R.foundBug());
-    EXPECT_EQ(R.Bugs[0].Kind, RunStatus::DataRace);
+    EXPECT_EQ(R.Bugs[0].Kind, search::BugKind::DataRace);
   }
   Partition.promoteToSync(RacyCode);
   {
     IcbExplorer Icb(Opts);
     ExploreResult R = Icb.explore(MakeTest());
     ASSERT_TRUE(R.foundBug());
-    EXPECT_EQ(R.Bugs[0].Kind, RunStatus::AssertFailed);
+    EXPECT_EQ(R.Bugs[0].Kind, search::BugKind::AssertFailure);
     EXPECT_EQ(R.Bugs[0].Preemptions, 1u);
   }
 }

@@ -65,6 +65,8 @@ int runRt(const rt::TestCase &Test, const RunConfig &Config) {
   Opts.Limits.MaxExecutions = Config.MaxExecutions;
   Opts.Limits.MaxPreemptionBound = Config.MaxBound;
   Opts.Limits.StopAtFirstBug = Config.StopAtFirst;
+  Opts.Jobs = Config.Jobs;
+  Opts.Shards = Config.Shards;
   if (Config.EveryAccess)
     Opts.Exec.Mode = rt::SchedPointMode::EveryAccess;
   Opts.Exec.Detector = Config.Detector == "goldilocks"
@@ -89,14 +91,23 @@ int runRt(const rt::TestCase &Test, const RunConfig &Config) {
     return 2;
   }
 
-  std::printf("exploring '%s' with %s...\n", Test.Name.c_str(),
-              Explorer->name().c_str());
+  if (Config.Jobs != 1)
+    std::printf("exploring '%s' with %s (%u jobs)...\n", Test.Name.c_str(),
+                Explorer->name().c_str(),
+                Config.Jobs ? Config.Jobs : WorkerPool::defaultWorkers());
+  else
+    std::printf("exploring '%s' with %s...\n", Test.Name.c_str(),
+                Explorer->name().c_str());
   rt::ExploreResult R = Explorer->explore(Test);
   std::printf("  executions %s, steps %s, visited states %s%s\n",
               withCommas(R.Stats.Executions).c_str(),
               withCommas(R.Stats.TotalSteps).c_str(),
               withCommas(R.Stats.DistinctStates).c_str(),
               R.Stats.Completed ? " (state space exhausted)" : "");
+  for (const rt::BoundCoverage &B : R.Stats.PerBound)
+    std::printf("  bound %u: executions %s, visited states %s\n", B.Bound,
+                withCommas(B.Executions).c_str(),
+                withCommas(B.States).c_str());
   if (!R.foundBug()) {
     std::printf("  no bug within preemption bound %u\n", Config.MaxBound);
     return 0;
@@ -179,7 +190,7 @@ int main(int Argc, char **Argv) {
   Flags.addInt("max-executions", 1 << 20, "execution budget");
   Flags.addInt("seed", 1, "PRNG seed (random strategy)");
   Flags.addInt("jobs", 1,
-               "worker threads for icb over model-form benchmarks "
+               "worker threads for the icb strategy, model or runtime form "
                "(0 = hardware concurrency)");
   Flags.addInt("shards", 0,
                "state-cache shards with --jobs != 1 (0 = auto)");
@@ -222,19 +233,43 @@ int main(int Argc, char **Argv) {
   Config.Shards = static_cast<unsigned>(Flags.getInt("shards"));
   Config.PreferModel = Flags.getBool("model");
 
+  // Reject flag combinations that have no defined meaning rather than
+  // silently ignoring a flag or falling back to another engine.
+  if (Config.Jobs != 1 && Config.Strategy != "icb") {
+    std::fprintf(stderr,
+                 "--jobs applies to the icb strategy only (got --strategy=%s)\n",
+                 Config.Strategy.c_str());
+    return 2;
+  }
+  if (Config.Shards != 0 && Config.Jobs == 1) {
+    std::fprintf(stderr,
+                 "--shards configures the parallel engine; it requires "
+                 "--jobs != 1\n");
+    return 2;
+  }
+
   std::string BugLabel = Flags.getString("bug");
   int Exit = 0;
+  bool UsageError = false;
   auto RunVariant = [&](const std::function<rt::TestCase()> &MakeRt,
                         const std::function<vm::Program()> &MakeVm) {
-    // The parallel engine explores model VMs; --jobs (like --model)
-    // selects the VM form when the benchmark provides one.
-    bool WantVm = Config.PreferModel || Config.Jobs != 1;
-    if (Config.Jobs != 1 && !MakeVm)
+    if (UsageError)
+      return;
+    if (Config.PreferModel && !MakeVm) {
+      std::fprintf(stderr, "--model: benchmark '%s' has no model-VM form\n",
+                   Flags.getString("benchmark").c_str());
+      UsageError = true;
+      return;
+    }
+    bool UseVm = MakeVm && (Config.PreferModel || !MakeRt);
+    if (UseVm && (Config.EveryAccess || Config.Detector != "vc")) {
       std::fprintf(stderr,
-                   "note: --jobs applies to model-form benchmarks only; "
-                   "running the runtime form single-threaded\n");
-    int Rc = (MakeVm && (WantVm || !MakeRt)) ? runVm(MakeVm(), Config)
-                                             : runRt(MakeRt(), Config);
+                   "--every-access and --detector apply to the runtime "
+                   "form only, not the model VM\n");
+      UsageError = true;
+      return;
+    }
+    int Rc = UseVm ? runVm(MakeVm(), Config) : runRt(MakeRt(), Config);
     Exit = std::max(Exit, Rc);
   };
 
@@ -255,5 +290,5 @@ int main(int Argc, char **Argv) {
     }
     RunVariant(Found->MakeRt, Found->MakeVm);
   }
-  return Exit;
+  return UsageError ? 2 : Exit;
 }
