@@ -63,6 +63,22 @@ void icb::benchutil::printCsv(const std::string &Name,
   std::printf("--- END CSV %s ---\n", Name.c_str());
 }
 
+void icb::benchutil::printJsonBlock(const std::string &Name,
+                                    const session::JsonValue &Root) {
+  std::string Text = session::jsonWrite(Root);
+  while (!Text.empty() && Text.back() == '\n')
+    Text.pop_back();
+  std::printf("\nBEGIN JSON %s\n%s\nEND JSON %s\n", Name.c_str(), Text.c_str(),
+              Name.c_str());
+}
+
+uint64_t icb::benchutil::scaledU64(double Value, double Scale) {
+  double Scaled = Value * Scale + 0.5;
+  if (!(Scaled > 0))
+    return 0;
+  return static_cast<uint64_t>(Scaled);
+}
+
 std::vector<rt::CoveragePoint>
 icb::benchutil::sampleCurve(const std::vector<rt::CoveragePoint> &Curve,
                             size_t MaxPoints) {

@@ -17,6 +17,7 @@
 
 #include "rt/Explore.h"
 #include "search/SearchTypes.h"
+#include "session/Json.h"
 #include <string>
 #include <vector>
 
@@ -33,6 +34,17 @@ void printTable(const std::vector<std::string> &Headers,
 void printCsv(const std::string &Name,
               const std::vector<std::string> &Headers,
               const std::vector<std::vector<std::string>> &Rows);
+
+/// Prints a machine-readable JSON block (between "BEGIN JSON <name>" /
+/// "END JSON <name>" markers) to stdout, rendered through the session
+/// JSON writer so harness output and session artifacts share one format.
+/// Session JSON numbers are unsigned integers only; fractional
+/// measurements go in as scaled integers (see \ref scaledU64).
+void printJsonBlock(const std::string &Name, const session::JsonValue &Root);
+
+/// Converts a non-negative fractional measurement to a scaled integer
+/// for session JSON (e.g. seconds -> microseconds with Scale = 1e6).
+uint64_t scaledU64(double Value, double Scale);
 
 /// Downsamples a states-vs-executions curve to at most \p MaxPoints
 /// samples (always keeping the last point).

@@ -15,8 +15,8 @@
 ///
 /// Emits a human-readable table plus a machine-readable JSON block
 /// (between BEGIN/END JSON markers) with one record per (engine,
-/// benchmark, jobs) triple: wall seconds, speedup vs jobs=1,
-/// executions/steps/states, and the hardware concurrency so plots can
+/// benchmark, jobs) triple: wall microseconds, speedup vs jobs=1 (in
+/// thousandths), executions/steps/states, and hardware concurrency so plots can
 /// annotate core counts. Speedup is bounded by the physical core count:
 /// on a single-core container every configuration necessarily measures
 /// ~1.0x.
@@ -172,23 +172,28 @@ int main() {
               "executions", "steps", "states"},
              Rows);
 
-  std::printf("\nBEGIN JSON parallel_scaling\n");
-  std::printf("{\n  \"hardware_concurrency\": %u,\n  \"samples\": [\n",
-              Hardware);
-  for (size_t I = 0; I != Samples.size(); ++I) {
-    const Sample &S = Samples[I];
-    std::printf("    {\"engine\": \"%s\", \"benchmark\": \"%s\", "
-                "\"jobs\": %u, \"seconds\": %.6f, \"speedup\": %.3f, "
-                "\"executions\": %llu, \"steps\": %llu, "
-                "\"states\": %llu}%s\n",
-                S.Engine.c_str(), S.Benchmark.c_str(), S.Jobs, S.Seconds,
-                S.Speedup,
-                static_cast<unsigned long long>(S.Stats.Executions),
-                static_cast<unsigned long long>(S.Stats.TotalSteps),
-                static_cast<unsigned long long>(S.Stats.DistinctStates),
-                I + 1 == Samples.size() ? "" : ",");
+  // Machine-readable block via the session JSON writer. Session JSON
+  // numbers are unsigned integers, so fractional measurements are scaled:
+  // seconds_us is wall time in microseconds, speedup_milli is speedup
+  // times 1000.
+  session::JsonValue Doc = session::JsonValue::object();
+  Doc.set("hardware_concurrency", session::JsonValue::number(Hardware));
+  session::JsonValue SampleArr = session::JsonValue::array();
+  for (const Sample &S : Samples) {
+    session::JsonValue Rec = session::JsonValue::object();
+    Rec.set("engine", session::JsonValue::str(S.Engine));
+    Rec.set("benchmark", session::JsonValue::str(S.Benchmark));
+    Rec.set("jobs", session::JsonValue::number(S.Jobs));
+    Rec.set("seconds_us", session::JsonValue::number(scaledU64(S.Seconds, 1e6)));
+    Rec.set("speedup_milli",
+            session::JsonValue::number(scaledU64(S.Speedup, 1e3)));
+    Rec.set("executions", session::JsonValue::number(S.Stats.Executions));
+    Rec.set("steps", session::JsonValue::number(S.Stats.TotalSteps));
+    Rec.set("states", session::JsonValue::number(S.Stats.DistinctStates));
+    SampleArr.Arr.push_back(std::move(Rec));
   }
-  std::printf("  ]\n}\nEND JSON parallel_scaling\n");
+  Doc.set("samples", std::move(SampleArr));
+  printJsonBlock("parallel_scaling", Doc);
 
   return Deterministic ? 0 : 1;
 }

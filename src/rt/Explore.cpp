@@ -116,6 +116,8 @@ ExploreResult IcbExplorer::explore(const TestCase &Test) {
   // Canonical bug reports make a Jobs=1 run byte-comparable to a Jobs=N
   // run of the same test.
   EngineOpts.CanonicalBugs = true;
+  EngineOpts.Observer = Opts.Observer;
+  EngineOpts.Resume = Opts.Resume;
 
   if (Opts.Jobs == 1) {
     ReplayExecutor Executor(Test, Opts.Exec);

@@ -28,6 +28,7 @@
 
 #include "rt/ExecutionResult.h"
 #include "rt/Scheduler.h"
+#include "search/EngineObserver.h"
 #include "search/SearchTypes.h"
 #include <string>
 #include <vector>
@@ -65,6 +66,9 @@ struct ExploreOptions {
   /// ICB only: shards in the concurrent fingerprint caches when Jobs != 1
   /// (0 = auto).
   unsigned Shards = 0;
+  /// ICB only: session hooks and resume snapshot (see EngineObserver.h).
+  search::EngineObserver *Observer = nullptr;
+  const search::EngineSnapshot *Resume = nullptr;
 
   /// The runtime's historical safety nets: exploration stops after 2^20
   /// executions (the fiber runtime cannot enumerate forever on the larger

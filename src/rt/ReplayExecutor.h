@@ -28,6 +28,7 @@
 #include "rt/ExecutionResult.h"
 #include "rt/SchedulePolicy.h"
 #include "rt/Scheduler.h"
+#include "search/EngineObserver.h"
 #include "search/Executor.h"
 #include "search/SearchTypes.h"
 #include "support/Debug.h"
@@ -188,6 +189,18 @@ public:
     Facts.Blocking = R.BlockingOps;
     Facts.ThreadsUsed = R.ThreadsUsed;
     C.endExecution(Facts);
+  }
+
+  /// Checkpoint form: a PrefixItem *is* (prefix, next) already.
+  search::SavedWorkItem saveItem(const WorkItem &W) const {
+    search::SavedWorkItem S;
+    S.Prefix = W.Prefix;
+    S.Next = W.NextTid;
+    return S;
+  }
+
+  WorkItem loadItem(const search::SavedWorkItem &S) const {
+    return {S.Prefix, S.Next};
   }
 
 private:

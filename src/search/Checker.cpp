@@ -24,12 +24,16 @@ std::unique_ptr<Strategy> icb::search::makeStrategy(const SearchOptions &Opts) {
       O.UseStateCache = Opts.UseStateCache;
       O.RecordSchedules = Opts.RecordSchedules;
       O.Limits = Opts.Limits;
+      O.Observer = Opts.Observer;
+      O.Resume = Opts.Resume;
       return std::make_unique<ParallelIcbSearch>(O);
     }
     IcbSearch::Options O;
     O.UseStateCache = Opts.UseStateCache;
     O.RecordSchedules = Opts.RecordSchedules;
     O.Limits = Opts.Limits;
+    O.Observer = Opts.Observer;
+    O.Resume = Opts.Resume;
     return std::make_unique<IcbSearch>(O);
   }
   case StrategyKind::Dfs: {

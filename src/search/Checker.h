@@ -13,6 +13,7 @@
 #ifndef ICB_SEARCH_CHECKER_H
 #define ICB_SEARCH_CHECKER_H
 
+#include "search/EngineObserver.h"
 #include "search/SearchTypes.h"
 #include "search/Strategy.h"
 #include "vm/Program.h"
@@ -48,6 +49,10 @@ struct SearchOptions {
   /// Random: PRNG seed and number of executions.
   uint64_t Seed = 1;
   uint64_t RandomExecutions = 1000;
+  /// Icb: session hooks and resume snapshot (see EngineObserver.h); other
+  /// strategies ignore them.
+  EngineObserver *Observer = nullptr;
+  const EngineSnapshot *Resume = nullptr;
 };
 
 /// Instantiates the strategy described by \p Opts.

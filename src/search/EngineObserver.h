@@ -1,0 +1,104 @@
+//===- search/EngineObserver.h - Engine progress/checkpoint seam *- C++ -*-===//
+//
+// Part of the ICB project (PLDI'07 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The seam between the ICB drivers and the session subsystem: an untyped
+/// snapshot of the engine's frontier plus an observer interface the
+/// drivers poll. The drivers stay ignorant of files, JSON, and signals —
+/// session::CheckpointSink implements the observer and owns persistence.
+///
+/// A work item is saved uniformly as (schedule prefix, next thread),
+/// whichever executor produced it: the stateless executor's PrefixItem is
+/// exactly that pair, and the model-VM executor rebuilds its (state,
+/// thread) item by replaying the prefix through the interpreter from the
+/// initial state. That keeps checkpoints executor-portable in format even
+/// though a checkpoint only ever resumes onto the executor that wrote it.
+///
+/// Snapshots are taken at *safe points* only, where the snapshot plus the
+/// already-accumulated statistics describe the run exactly:
+///   * sequential driver: between work-item chains (the local
+///     nonpreempting stack is empty, so the frontier is just the two FIFO
+///     queues) — periodic checkpoints are cheap and frequent;
+///   * parallel driver: at bound barriers (periodic), and mid-bound on a
+///     cooperative stop after the pool joins and the deques/stripes are
+///     drained into one consistent frontier.
+/// Re-running the work left of a safe point reproduces an uninterrupted
+/// run's results exactly: sequentially because queue order is preserved,
+/// in parallel because the drivers' merges are commutative and bug
+/// reports canonical (see IcbEngine.h).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ICB_SEARCH_ENGINEOBSERVER_H
+#define ICB_SEARCH_ENGINEOBSERVER_H
+
+#include "search/SearchTypes.h"
+#include "support/Stats.h"
+#include <cstdint>
+#include <vector>
+
+namespace icb::search {
+
+/// One frontier work item in executor-neutral form: replay \p Prefix from
+/// the initial state, then schedule \p Next (NoNext for the root item's
+/// free first choice).
+struct SavedWorkItem {
+  static constexpr uint32_t NoNext = ~0u;
+
+  std::vector<uint32_t> Prefix;
+  uint32_t Next = NoNext;
+};
+
+/// A consistent safe-point image of one ICB driver. `Final` snapshots
+/// describe a run that ended on its own (exhausted, limit, first bug) and
+/// carry only the finished stats and bugs; resumable snapshots add the
+/// frontier queues, the visited-digest sets, and the coverage-sampler
+/// cursor needed to continue to results identical to an uninterrupted
+/// run's.
+struct EngineSnapshot {
+  unsigned Bound = 0;
+  bool Final = false;
+  std::vector<SavedWorkItem> CurrentQueue; ///< This bound's remaining items.
+  std::vector<SavedWorkItem> NextQueue;    ///< Deferred to bound + 1.
+  SearchStats Stats;
+  CoverageSamplerState Sampler;
+  std::vector<uint64_t> SeenDigests;
+  std::vector<uint64_t> TerminalDigests;
+  std::vector<uint64_t> ItemDigests;
+  /// Sequential non-canonical mode: discovery order (restoring re-adds in
+  /// order, reproducing the historical report exactly). Canonical modes:
+  /// (kind, message) order.
+  std::vector<Bug> Bugs;
+};
+
+/// Driver-side hooks. All methods are called from the driving thread only
+/// (the sequential loop, or the parallel driver between/after rounds),
+/// except stopRequested()/checkpointDue() which workers may poll — session
+/// implementations back them with atomics.
+class EngineObserver {
+public:
+  virtual ~EngineObserver() = default;
+
+  /// Polled at safe points with the running execution total; returning
+  /// true requests a snapshot now. Implementations typically fire every N
+  /// executions since the last snapshot.
+  virtual bool checkpointDue(uint64_t /*Executions*/) { return false; }
+
+  /// Cooperative external stop (SIGINT/SIGTERM). The driver finishes
+  /// in-flight chains, emits one resumable snapshot, and returns with
+  /// SearchResult::Interrupted set.
+  virtual bool stopRequested() { return false; }
+
+  /// A safe-point snapshot (periodic, stop-triggered, or final).
+  virtual void onCheckpoint(const EngineSnapshot & /*Snap*/) {}
+
+  /// A preemption bound was fully explored (manifest progress).
+  virtual void onBoundComplete(const BoundCoverage & /*Snapshot*/) {}
+};
+
+} // namespace icb::search
+
+#endif // ICB_SEARCH_ENGINEOBSERVER_H

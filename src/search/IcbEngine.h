@@ -62,10 +62,12 @@
 #ifndef ICB_SEARCH_ICBENGINE_H
 #define ICB_SEARCH_ICBENGINE_H
 
+#include "search/EngineObserver.h"
 #include "search/Executor.h"
 #include "search/SearchTypes.h"
 #include "search/ShardedStateCache.h"
 #include "search/StateCache.h"
+#include "support/Debug.h"
 #include "support/Stats.h"
 #include "support/StripedQueue.h"
 #include "support/WorkStealingDeque.h"
@@ -90,6 +92,14 @@ struct IcbEngineOptions {
   bool CanonicalBugs = false;
   /// Parallel driver only: shards in the concurrent caches (0 = auto).
   unsigned Shards = 0;
+  /// Session hooks: periodic checkpoints, cooperative stop, per-bound
+  /// progress. Null = unobserved (the historical behavior).
+  EngineObserver *Observer = nullptr;
+  /// Continue from this resumable safe-point snapshot instead of the
+  /// executor's root items. Must come from a run with the same executor,
+  /// benchmark, and driver configuration; Final snapshots are re-emitted
+  /// by the session layer without invoking the engine at all.
+  const EngineSnapshot *Resume = nullptr;
 };
 
 namespace detail {
@@ -106,18 +116,35 @@ public:
   SearchResult run() {
     SearchResult Result;
 
-    for (WorkItem &Item : E.rootItems(*this))
-      WorkQueue.push_back(std::move(Item));
+    if (Opts.Resume)
+      restore(*Opts.Resume);
+    else
+      for (WorkItem &Item : E.rootItems(*this))
+        WorkQueue.push_back(std::move(Item));
 
     // Algorithm 1 lines 9-21: drain the current bound, snapshot coverage,
-    // move on to the next.
+    // move on to the next. Checkpoint safe points sit between work-item
+    // chains: Local is empty there, so the frontier is exactly the two
+    // queues, in replayable FIFO order.
+    bool Stopped = false;
     while (true) {
       while (!WorkQueue.empty() && !LimitHit) {
+        if (Opts.Observer && Opts.Observer->stopRequested()) {
+          Stopped = true;
+          break;
+        }
         WorkItem Item = std::move(WorkQueue.front());
         WorkQueue.pop_front();
         processItem(std::move(Item));
+        if (Opts.Observer && !LimitHit &&
+            Opts.Observer->checkpointDue(Stats.Executions))
+          emitResumable();
       }
+      if (Stopped)
+        break;
       Stats.PerBound.push_back({CurrBound, Seen.size(), Stats.Executions});
+      if (Opts.Observer)
+        Opts.Observer->onBoundComplete(Stats.PerBound.back());
       if (LimitHit || NextQueue.empty() ||
           CurrBound >= Opts.Limits.MaxPreemptionBound)
         break;
@@ -126,13 +153,20 @@ public:
       NextQueue.clear();
     }
 
+    if (Stopped)
+      emitResumable(); // Flush the frontier before reporting back.
+
     Stats.DistinctStates = Seen.size();
     Stats.DistinctTerminalStates = Terminal.size();
-    Stats.Completed = !LimitHit && WorkQueue.empty() && NextQueue.empty();
+    Stats.Completed =
+        !Stopped && !LimitHit && WorkQueue.empty() && NextQueue.empty();
     Sampler.finish(Stats.Coverage);
     Result.Stats = std::move(Stats);
     Result.Bugs = Opts.CanonicalBugs ? takeCanonicalBugs(std::move(Canonical))
                                      : Bugs.take();
+    Result.Interrupted = Stopped;
+    if (!Stopped && Opts.Observer)
+      emitFinal(Result);
     return Result;
   }
 
@@ -172,6 +206,68 @@ public:
   // ---------------------------------------------------------------------
 
 private:
+  /// Rebuilds the driver from a resumable snapshot: frontier queues in
+  /// their original FIFO order, digest sets, statistics, the sampler
+  /// cursor, and the bug state (re-added in recorded order, so the
+  /// non-canonical collector's discovery order survives the round trip).
+  void restore(const EngineSnapshot &Snap) {
+    ICB_ASSERT(!Snap.Final, "resuming a finished run through the engine");
+    CurrBound = Snap.Bound;
+    for (const SavedWorkItem &S : Snap.CurrentQueue)
+      WorkQueue.push_back(E.loadItem(S));
+    for (const SavedWorkItem &S : Snap.NextQueue)
+      NextQueue.push_back(E.loadItem(S));
+    for (uint64_t Digest : Snap.SeenDigests)
+      Seen.insert(Digest);
+    for (uint64_t Digest : Snap.TerminalDigests)
+      Terminal.insert(Digest);
+    for (uint64_t Digest : Snap.ItemDigests)
+      ItemCache.insert(Digest);
+    Stats = Snap.Stats;
+    Stats.Completed = false;
+    Sampler.restoreState(Snap.Sampler);
+    for (const Bug &B : Snap.Bugs) {
+      if (Opts.CanonicalBugs)
+        canonicalMergeBug(Canonical, B);
+      else
+        Bugs.add(B);
+    }
+  }
+
+  /// Emits a resumable safe-point snapshot (Local is empty here).
+  void emitResumable() {
+    EngineSnapshot Snap;
+    Snap.Bound = CurrBound;
+    Snap.CurrentQueue.reserve(WorkQueue.size());
+    for (const WorkItem &W : WorkQueue)
+      Snap.CurrentQueue.push_back(E.saveItem(W));
+    for (const WorkItem &W : NextQueue)
+      Snap.NextQueue.push_back(E.saveItem(W));
+    Snap.Stats = Stats;
+    Snap.Stats.DistinctStates = Seen.size();
+    Snap.Stats.DistinctTerminalStates = Terminal.size();
+    Snap.Sampler = Sampler.saveState();
+    Snap.SeenDigests = Seen.digests();
+    Snap.TerminalDigests = Terminal.digests();
+    Snap.ItemDigests = ItemCache.digests();
+    if (Opts.CanonicalBugs)
+      for (const auto &Entry : Canonical)
+        Snap.Bugs.push_back(Entry.second);
+    else
+      Snap.Bugs = Bugs.bugs();
+    Opts.Observer->onCheckpoint(Snap);
+  }
+
+  /// Emits the Final snapshot of a run that ended on its own.
+  void emitFinal(const SearchResult &Result) {
+    EngineSnapshot Snap;
+    Snap.Bound = CurrBound;
+    Snap.Final = true;
+    Snap.Stats = Result.Stats;
+    Snap.Bugs = Result.Bugs;
+    Opts.Observer->onCheckpoint(Snap);
+  }
+
   /// Explores everything reachable from \p Item without further
   /// preemptions; preemptive continuations go to NextQueue. The local
   /// stack holds the nonpreempting branches (Algorithm 1 lines 33-37).
@@ -217,17 +313,24 @@ public:
   SearchResult run() {
     SearchResult Result;
 
-    WorkerCtx Ctx0{*this, 0};
-    std::vector<WorkItem> Items = Executors[0]->rootItems(Ctx0);
-    if (Items.empty()) {
-      // Degenerate single-execution program (already accounted by
-      // rootItems); mirror the sequential driver's snapshots.
-      finalize(Result, !Stop.load());
-      Result.Stats.PerBound.push_back(
-          {0, Seen.size(), Result.Stats.Executions});
-      Result.Stats.Coverage.push_back(
-          {Result.Stats.Executions, Seen.size()});
-      return Result;
+    std::vector<WorkItem> Items;
+    if (Opts.Resume) {
+      restore(*Opts.Resume, Items);
+    } else {
+      WorkerCtx Ctx0{*this, 0};
+      Items = Executors[0]->rootItems(Ctx0);
+      if (Items.empty()) {
+        // Degenerate single-execution program (already accounted by
+        // rootItems); mirror the sequential driver's snapshots.
+        finalize(Result, !Stop.load());
+        Result.Stats.PerBound.push_back(
+            {0, Seen.size(), Result.Stats.Executions});
+        Result.Stats.Coverage.push_back(
+            {Result.Stats.Executions, Seen.size()});
+        if (Opts.Observer)
+          emitFinal(Result);
+        return Result;
+      }
     }
 
     WorkerPool Pool(Jobs);
@@ -243,10 +346,23 @@ public:
       // that guarantees bound c is exhausted before bound c + 1 begins.
       Pool.run([this](unsigned Index) { workerMain(Index); });
 
+      if (ExternalStop.load()) {
+        // Cooperative stop: every in-flight chain finished before its
+        // worker exited, so the remaining frontier sits wholly in the
+        // deques and the striped next queue — drain it into one
+        // resumable snapshot. (Item order is attribution-dependent, but
+        // the parallel driver's results are order-independent anyway.)
+        emitStopSnapshot();
+        Result.Interrupted = true;
+        finalize(Result, false);
+        return Result;
+      }
+
       // Quiescent: every count below is exact and schedule-independent.
-      Result.Stats.PerBound.push_back(
-          {CurrBound, Seen.size(), Executions.load()});
-      Result.Stats.Coverage.push_back({Executions.load(), Seen.size()});
+      Base.PerBound.push_back({CurrBound, Seen.size(), Executions.load()});
+      Base.Coverage.push_back({Executions.load(), Seen.size()});
+      if (Opts.Observer)
+        Opts.Observer->onBoundComplete(Base.PerBound.back());
 
       Items = NextQueue.drain();
       if (Stop.load() || Items.empty() ||
@@ -255,9 +371,16 @@ public:
         break;
       }
       ++CurrBound;
+
+      // Periodic checkpoints land on bound barriers, normalized so the
+      // drained deferred items are the (new) current bound's roots.
+      if (Opts.Observer && Opts.Observer->checkpointDue(Executions.load()))
+        emitBarrierSnapshot(Items);
     }
 
     finalize(Result, !Stop.load() && !MoreBounds);
+    if (Opts.Observer)
+      emitFinal(Result);
     return Result;
   }
 
@@ -323,6 +446,11 @@ private:
     Executor &E = *Executors[Index];
     WorkItem Item;
     while (!Stop.load(std::memory_order_relaxed)) {
+      if (Opts.Observer && Opts.Observer->stopRequested()) {
+        ExternalStop.store(true, std::memory_order_relaxed);
+        Stop.store(true, std::memory_order_relaxed);
+        return;
+      }
       if (takeItem(Index, Item)) {
         E.runChain(std::move(Item), Ctx);
         // The chain (and everything it pushed) is accounted; releasing
@@ -359,26 +487,115 @@ private:
       Stop.store(true, std::memory_order_relaxed);
   }
 
-  void finalize(SearchResult &Result, bool Complete) {
-    SearchStats &Stats = Result.Stats;
-    Stats.Executions = Executions.load();
-    Stats.TotalSteps = TotalSteps.load();
-    Stats.DistinctStates = Seen.size();
-    Stats.DistinctTerminalStates = Terminal.size();
-    Stats.Completed = Complete;
-
-    CanonicalBugMap Merged;
+  /// Folds (and resets) every worker's local slices into the Base
+  /// accumulators. Commutative merges: callable at any quiescent point
+  /// (barrier, post-join stop, end) without double counting.
+  void mergeWorkersIntoBase() {
     for (WorkerState &W : Workers) {
-      Stats.StepsPerExecution.merge(W.StepsPerExecution);
-      Stats.BlockingPerExecution.merge(W.BlockingPerExecution);
-      Stats.PreemptionsPerExecution.merge(W.PreemptionsPerExecution);
-      Stats.ThreadsPerExecution.merge(W.ThreadsPerExecution);
-      Stats.PreemptionHistogram.merge(W.PreemptionHistogram);
+      Base.StepsPerExecution.merge(W.StepsPerExecution);
+      Base.BlockingPerExecution.merge(W.BlockingPerExecution);
+      Base.PreemptionsPerExecution.merge(W.PreemptionsPerExecution);
+      Base.ThreadsPerExecution.merge(W.ThreadsPerExecution);
+      Base.PreemptionHistogram.merge(W.PreemptionHistogram);
+      W.StepsPerExecution = MinMax();
+      W.BlockingPerExecution = MinMax();
+      W.PreemptionsPerExecution = MinMax();
+      W.ThreadsPerExecution = MinMax();
+      W.PreemptionHistogram = Histogram();
       for (auto &Entry : W.Bugs)
-        canonicalMergeBug(Merged, std::move(Entry.second));
+        canonicalMergeBug(BaseBugs, std::move(Entry.second));
       W.Bugs.clear();
     }
-    Result.Bugs = takeCanonicalBugs(std::move(Merged));
+  }
+
+  void finalize(SearchResult &Result, bool Complete) {
+    mergeWorkersIntoBase();
+    Base.Executions = Executions.load();
+    Base.TotalSteps = TotalSteps.load();
+    Base.DistinctStates = Seen.size();
+    Base.DistinctTerminalStates = Terminal.size();
+    Base.Completed = Complete;
+    Result.Stats = std::move(Base);
+    Result.Bugs = takeCanonicalBugs(std::move(BaseBugs));
+  }
+
+  /// Seeds the driver from a resumable snapshot; \p Items receives the
+  /// current bound's roots.
+  void restore(const EngineSnapshot &Snap, std::vector<WorkItem> &Items) {
+    ICB_ASSERT(!Snap.Final, "resuming a finished run through the engine");
+    CurrBound = Snap.Bound;
+    Items.reserve(Snap.CurrentQueue.size());
+    for (const SavedWorkItem &S : Snap.CurrentQueue)
+      Items.push_back(Executors[0]->loadItem(S));
+    for (const SavedWorkItem &S : Snap.NextQueue)
+      NextQueue.push(0, Executors[0]->loadItem(S));
+    for (uint64_t Digest : Snap.SeenDigests)
+      Seen.insert(Digest);
+    for (uint64_t Digest : Snap.TerminalDigests)
+      Terminal.insert(Digest);
+    for (uint64_t Digest : Snap.ItemDigests)
+      ItemCache.insert(Digest);
+    Base = Snap.Stats;
+    Base.Completed = false;
+    Executions.store(Snap.Stats.Executions);
+    TotalSteps.store(Snap.Stats.TotalSteps);
+    for (const Bug &B : Snap.Bugs)
+      canonicalMergeBug(BaseBugs, B);
+  }
+
+  /// Shared tail of both resumable snapshot forms: statistics, digest
+  /// sets, and the canonical bug map so far.
+  void fillCommonSnapshot(EngineSnapshot &Snap) {
+    Snap.Stats = Base;
+    Snap.Stats.Executions = Executions.load();
+    Snap.Stats.TotalSteps = TotalSteps.load();
+    Snap.Stats.DistinctStates = Seen.size();
+    Snap.Stats.DistinctTerminalStates = Terminal.size();
+    Snap.SeenDigests = Seen.digests();
+    Snap.TerminalDigests = Terminal.digests();
+    Snap.ItemDigests = ItemCache.digests();
+    for (const auto &Entry : BaseBugs)
+      Snap.Bugs.push_back(Entry.second);
+  }
+
+  /// Bound-barrier checkpoint: \p Items are the (already advanced)
+  /// current bound's roots; the striped queue is empty here.
+  void emitBarrierSnapshot(const std::vector<WorkItem> &Items) {
+    mergeWorkersIntoBase();
+    EngineSnapshot Snap;
+    Snap.Bound = CurrBound;
+    Snap.CurrentQueue.reserve(Items.size());
+    for (const WorkItem &W : Items)
+      Snap.CurrentQueue.push_back(Executors[0]->saveItem(W));
+    fillCommonSnapshot(Snap);
+    Opts.Observer->onCheckpoint(Snap);
+  }
+
+  /// Mid-bound cooperative-stop checkpoint: drains the worker deques and
+  /// the striped next queue (the pool has joined; nothing is in flight).
+  void emitStopSnapshot() {
+    mergeWorkersIntoBase();
+    EngineSnapshot Snap;
+    Snap.Bound = CurrBound;
+    for (WorkerState &W : Workers) {
+      WorkItem Item;
+      while (W.Deque.tryPopBottom(Item))
+        Snap.CurrentQueue.push_back(Executors[0]->saveItem(Item));
+    }
+    for (WorkItem &Item : NextQueue.drain())
+      Snap.NextQueue.push_back(Executors[0]->saveItem(Item));
+    fillCommonSnapshot(Snap);
+    Opts.Observer->onCheckpoint(Snap);
+  }
+
+  /// Final snapshot of a run that ended on its own.
+  void emitFinal(const SearchResult &Result) {
+    EngineSnapshot Snap;
+    Snap.Bound = CurrBound;
+    Snap.Final = true;
+    Snap.Stats = Result.Stats;
+    Snap.Bugs = Result.Bugs;
+    Opts.Observer->onCheckpoint(Snap);
   }
 
   static unsigned shardCountFor(unsigned Requested, unsigned Jobs) {
@@ -404,6 +621,14 @@ private:
   /// over when it reaches zero (nothing queued, nobody producing).
   std::atomic<uint64_t> Pending{0};
   std::atomic<bool> Stop{false};
+  /// Stop was externally requested (observer), not a resource limit —
+  /// the frontier is snapshotted for resume instead of discarded.
+  std::atomic<bool> ExternalStop{false};
+
+  /// Cross-round accumulated statistics and bugs: seeded by restore(),
+  /// grown by mergeWorkersIntoBase() at quiescent points.
+  SearchStats Base;
+  CanonicalBugMap BaseBugs;
 
   unsigned CurrBound = 0; ///< Written between rounds only.
 };

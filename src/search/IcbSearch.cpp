@@ -18,5 +18,7 @@ SearchResult IcbSearch::run(const vm::Interp &Interp) {
   // Historical model-VM bug policy: first exposure wins at equal
   // preemption counts, reported in discovery order.
   EngineOpts.CanonicalBugs = false;
+  EngineOpts.Observer = Opts.Observer;
+  EngineOpts.Resume = Opts.Resume;
   return runSequentialIcbEngine(Executor, EngineOpts);
 }

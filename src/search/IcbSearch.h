@@ -32,6 +32,7 @@
 #ifndef ICB_SEARCH_ICBSEARCH_H
 #define ICB_SEARCH_ICBSEARCH_H
 
+#include "search/EngineObserver.h"
 #include "search/Strategy.h"
 
 namespace icb::search {
@@ -46,6 +47,9 @@ public:
     /// Disable for exhaustive coverage runs to save queue memory.
     bool RecordSchedules = true;
     SearchLimits Limits;
+    /// Session hooks and resume snapshot (see EngineObserver.h).
+    EngineObserver *Observer = nullptr;
+    const EngineSnapshot *Resume = nullptr;
   };
 
   explicit IcbSearch(Options Opts) : Opts(Opts) {}

@@ -31,5 +31,7 @@ SearchResult ParallelIcbSearch::run(const vm::Interp &Interp) {
   EngineOpts.Limits = Opts.Limits;
   EngineOpts.Shards = Opts.Shards;
   EngineOpts.CanonicalBugs = true; // What the parallel merge always does.
+  EngineOpts.Observer = Opts.Observer;
+  EngineOpts.Resume = Opts.Resume;
   return runParallelIcbEngine(Executors, EngineOpts);
 }

@@ -56,6 +56,7 @@
 #ifndef ICB_SEARCH_PARALLELICB_H
 #define ICB_SEARCH_PARALLELICB_H
 
+#include "search/EngineObserver.h"
 #include "search/Strategy.h"
 
 namespace icb::search {
@@ -76,6 +77,9 @@ public:
     /// Carry full schedules in work items so bug reports are replayable.
     bool RecordSchedules = true;
     SearchLimits Limits;
+    /// Session hooks and resume snapshot (see EngineObserver.h).
+    EngineObserver *Observer = nullptr;
+    const EngineSnapshot *Resume = nullptr;
   };
 
   explicit ParallelIcbSearch(Options Opts) : Opts(Opts) {}

@@ -30,6 +30,18 @@ const char *icb::search::bugKindName(BugKind Kind) {
   ICB_UNREACHABLE("unknown bug kind");
 }
 
+bool icb::search::bugKindFromName(const std::string &Name, BugKind &Out) {
+  for (BugKind Kind :
+       {BugKind::AssertFailure, BugKind::Deadlock, BugKind::ModelError,
+        BugKind::DataRace, BugKind::UseAfterFree, BugKind::Diverged}) {
+    if (Name == bugKindName(Kind)) {
+      Out = Kind;
+      return true;
+    }
+  }
+  return false;
+}
+
 std::string Bug::str() const {
   // Bugs from the runtime executor carry an annotated schedule and report
   // their context-switch count; model-VM bugs keep the historical format.

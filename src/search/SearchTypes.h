@@ -41,6 +41,10 @@ enum class BugKind : uint8_t {
 
 const char *bugKindName(BugKind Kind);
 
+/// Inverse of bugKindName (repro/checkpoint loading); returns false on an
+/// unrecognized name.
+bool bugKindFromName(const std::string &Name, BugKind &Out);
+
 /// One discovered bug, with the evidence needed to replay and rank it.
 struct Bug {
   BugKind Kind = BugKind::AssertFailure;
@@ -118,6 +122,9 @@ struct SearchStats {
 struct SearchResult {
   SearchStats Stats;
   std::vector<Bug> Bugs;
+  /// True if an external stop (SIGINT/SIGTERM via the engine observer) cut
+  /// the run short; a resumable checkpoint was emitted in that case.
+  bool Interrupted = false;
 
   bool foundBug() const { return !Bugs.empty(); }
   /// The bug with the fewest preemptions (the "simplest explanation").

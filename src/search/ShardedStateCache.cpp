@@ -131,6 +131,21 @@ uint64_t ShardedStateCache::size() const {
   return Total;
 }
 
+std::vector<uint64_t> ShardedStateCache::digests() const {
+  std::vector<uint64_t> Out;
+  Out.reserve(size());
+  for (unsigned I = 0; I != ShardCount; ++I) {
+    const Shard &S = ShardArr[I];
+    std::lock_guard<std::mutex> Guard(S.Mu);
+    if (S.HasZero)
+      Out.push_back(0);
+    for (uint64_t Digest : S.Slots)
+      if (Digest != 0)
+        Out.push_back(Digest);
+  }
+  return Out;
+}
+
 void ShardedStateCache::clear() {
   for (unsigned I = 0; I != ShardCount; ++I) {
     Shard &S = ShardArr[I];

@@ -59,6 +59,11 @@ public:
 
   void clear();
 
+  /// All stored digests in unspecified order (checkpoint serialization).
+  /// Callers must quiesce concurrent inserts first (the drivers snapshot
+  /// only at bound barriers or after worker shutdown).
+  std::vector<uint64_t> digests() const;
+
   unsigned shards() const { return ShardCount; }
 
 private:

@@ -19,6 +19,7 @@
 #include "support/Hashing.h"
 #include <cstdint>
 #include <unordered_set>
+#include <vector>
 
 namespace icb::search {
 
@@ -37,6 +38,11 @@ public:
 
   uint64_t size() const { return Table.size(); }
   void clear() { Table.clear(); }
+
+  /// All stored digests in unspecified order (checkpoint serialization).
+  std::vector<uint64_t> digests() const {
+    return std::vector<uint64_t>(Table.begin(), Table.end());
+  }
 
 private:
   std::unordered_set<uint64_t> Table;

@@ -17,8 +17,10 @@
 #ifndef ICB_SEARCH_VMEXECUTOR_H
 #define ICB_SEARCH_VMEXECUTOR_H
 
+#include "search/EngineObserver.h"
 #include "search/Executor.h"
 #include "search/IcbCore.h"
+#include "support/Debug.h"
 #include <vector>
 
 namespace icb::search {
@@ -70,6 +72,34 @@ public:
   template <typename Ctx> void runChain(WorkItem Item, Ctx &C) {
     detail::runIcbExecution(VM, std::move(Item), Opts.UseStateCache,
                             Opts.RecordSchedules, C);
+  }
+
+  /// Checkpoint form of a work item: its schedule prefix plus the chosen
+  /// thread. Requires recorded schedules (the default) — without them the
+  /// state cannot be rebuilt.
+  SavedWorkItem saveItem(const WorkItem &W) const {
+    ICB_ASSERT(Opts.RecordSchedules,
+               "checkpointing requires recorded schedules");
+    SavedWorkItem S;
+    S.Prefix = W.Sched;
+    S.Next = W.Tid;
+    return S;
+  }
+
+  /// Rebuilds a (state, thread) item by replaying the prefix through the
+  /// interpreter from the initial state. Replay steps are reconstruction,
+  /// not exploration — they touch no statistics.
+  WorkItem loadItem(const SavedWorkItem &S) const {
+    WorkItem W;
+    W.S = VM.initialState();
+    W.Sched.reserve(S.Prefix.size());
+    for (vm::ThreadId Tid : S.Prefix) {
+      vm::StepResult R = VM.step(W.S, Tid);
+      W.Blocking += R.WasBlockingOp ? 1 : 0;
+      W.Sched.push_back(Tid);
+    }
+    W.Tid = S.Next;
+    return W;
   }
 
 private:

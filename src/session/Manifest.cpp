@@ -1,0 +1,59 @@
+//===- session/Manifest.cpp - Machine-readable run manifest ---------------===//
+//
+// Part of the ICB project (PLDI'07 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "session/Manifest.h"
+#include "session/Serial.h"
+
+namespace icb::session {
+
+JsonValue runRecord(const std::string &Benchmark, const std::string &BugLabel,
+                    const std::string &Form, const std::string &Strategy,
+                    unsigned Jobs, const search::SearchResult &Result,
+                    uint64_t WallMillis) {
+  JsonValue Run = JsonValue::object();
+  Run.set("benchmark", JsonValue::str(Benchmark));
+  Run.set("bug", JsonValue::str(BugLabel));
+  Run.set("form", JsonValue::str(Form));
+  Run.set("strategy", JsonValue::str(Strategy));
+  Run.set("jobs", JsonValue::number(Jobs));
+  Run.set("wall_ms", JsonValue::number(WallMillis));
+  Run.set("interrupted", JsonValue::boolean(Result.Interrupted));
+  Run.set("stats", statsToJson(Result.Stats));
+  JsonValue Bugs = JsonValue::array();
+  for (const search::Bug &B : Result.Bugs)
+    Bugs.Arr.push_back(bugToJson(B));
+  Run.set("bugs", std::move(Bugs));
+  return Run;
+}
+
+Manifest::Manifest(std::string Tool) : Root(JsonValue::object()) {
+  Root.set("tool", JsonValue::str(std::move(Tool)));
+  Root.set("config", JsonValue::object());
+  Root.set("runs", JsonValue::array());
+}
+
+void Manifest::setConfig(JsonValue Config) {
+  Root.set("config", std::move(Config));
+}
+
+size_t Manifest::addRun(JsonValue Run) {
+  JsonValue &Runs = *const_cast<JsonValue *>(Root.find("runs"));
+  Runs.Arr.push_back(std::move(Run));
+  return Runs.Arr.size() - 1;
+}
+
+void Manifest::updateRun(size_t Index, JsonValue Run) {
+  JsonValue &Runs = *const_cast<JsonValue *>(Root.find("runs"));
+  Runs.Arr.at(Index) = std::move(Run);
+}
+
+std::string Manifest::str() const { return jsonWrite(Root) + "\n"; }
+
+bool Manifest::writeTo(const std::string &Path, std::string *Error) const {
+  return atomicWriteFile(Path, str(), Error);
+}
+
+} // namespace icb::session

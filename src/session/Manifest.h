@@ -1,0 +1,62 @@
+//===- session/Manifest.h - Machine-readable run manifest -------*- C++ -*-===//
+//
+// Part of the ICB project (PLDI'07 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The JSON run manifest: the single machine-readable summary of an
+/// icb_check (or bench harness) invocation — configuration, one record per
+/// executed run (stats, per-bound coverage, coverage curve, bugs, repro
+/// artifact paths, wall-clock), written incrementally. "Incrementally"
+/// means the whole document is atomically rewritten at every progress
+/// point (run start, bound completion, run end); since writes go through
+/// the write-tmp-fsync-rename path, a reader — or a post-crash inspection
+/// — always sees a complete, valid document describing progress so far.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ICB_SESSION_MANIFEST_H
+#define ICB_SESSION_MANIFEST_H
+
+#include "search/SearchTypes.h"
+#include "session/Json.h"
+#include <string>
+
+namespace icb::session {
+
+/// Builds one run record for the manifest's "runs" array. \p WallMillis
+/// is the run's wall-clock in milliseconds (integral — millisecond
+/// resolution keeps the number format uniform).
+JsonValue runRecord(const std::string &Benchmark, const std::string &BugLabel,
+                    const std::string &Form, const std::string &Strategy,
+                    unsigned Jobs, const search::SearchResult &Result,
+                    uint64_t WallMillis);
+
+/// An incrementally (re)written manifest document.
+class Manifest {
+public:
+  explicit Manifest(std::string Tool);
+
+  /// Records the invocation configuration (flag name -> value object).
+  void setConfig(JsonValue Config);
+
+  /// Appends a run record and returns its index.
+  size_t addRun(JsonValue Run);
+
+  /// Replaces the record at \p Index (progress updates of a live run).
+  void updateRun(size_t Index, JsonValue Run);
+
+  /// Renders the whole document.
+  std::string str() const;
+
+  /// Atomically (re)writes the document to \p Path.
+  bool writeTo(const std::string &Path, std::string *Error) const;
+
+private:
+  JsonValue Root;
+};
+
+} // namespace icb::session
+
+#endif // ICB_SESSION_MANIFEST_H

@@ -1,0 +1,59 @@
+//===- session/Minimize.h - Delta-debugging schedule shrinker --*- C++ -*-===//
+//
+// Part of the ICB project (PLDI'07 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Shrinks a repro's schedule by delta debugging over its *scheduling
+/// directives*. A recorded schedule is first decomposed into the set of
+/// points where it departs from the canonical nonpreemptive default (run
+/// the previous thread while it stays enabled, else the lowest-id enabled
+/// thread) — every preemption is such a directive, as is every non-default
+/// nonpreempting switch. ddmin then searches for a 1-minimal directive
+/// subset that still makes the same (kind, message) bug fire; everything
+/// between directives regenerates from the default policy, so removing a
+/// directive removes its whole scheduling consequence, not just one token.
+///
+/// The result is the ICB story replayed in miniature: the minimized repro
+/// carries the fewest preemptions this reduction can certify (removing any
+/// single remaining directive loses the bug), which for ICB-found bugs
+/// typically just confirms the bound the search already guaranteed — and
+/// strips the incidental nonpreempting noise a long exposing schedule
+/// accumulates.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ICB_SESSION_MINIMIZE_H
+#define ICB_SESSION_MINIMIZE_H
+
+#include "session/Repro.h"
+
+namespace icb::session {
+
+/// Outcome of one minimization.
+struct MinimizeResult {
+  /// False when the artifact's schedule does not reproduce its bug in the
+  /// first place (nothing was minimized).
+  bool Reproduced = false;
+  /// True when the minimized schedule differs from the recorded one.
+  bool Improved = false;
+  /// Executions spent probing candidates (the minimization budget used).
+  unsigned Replays = 0;
+  unsigned DirectivesBefore = 0;
+  unsigned DirectivesAfter = 0;
+  unsigned PreemptionsBefore = 0;
+  unsigned PreemptionsAfter = 0;
+  /// The minimized bug: same (kind, message), 1-minimal schedule.
+  search::Bug Minimized;
+};
+
+/// Minimizes a runtime-form artifact against \p Test.
+MinimizeResult minimizeRt(const ReproArtifact &A, const rt::TestCase &Test);
+
+/// Minimizes a model-VM artifact against \p Prog.
+MinimizeResult minimizeVm(const ReproArtifact &A, const vm::Program &Prog);
+
+} // namespace icb::session
+
+#endif // ICB_SESSION_MINIMIZE_H

@@ -1,0 +1,82 @@
+//===- session/Repro.h - Replayable bug-repro artifacts ---------*- C++ -*-===//
+//
+// Part of the ICB project (PLDI'07 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The `.icbrepro` artifact: a self-contained description of one exposed
+/// bug — which benchmark and bug variant, which executor form, the
+/// detector configuration, and the full exposing schedule — everything
+/// needed to deterministically re-execute the interleaving later (on
+/// another machine, in CI, after a bisect) and verify the same bug fires.
+///
+/// Replay is strict: the artifact's recorded bug kind and message must
+/// match what the re-execution produces, a divergence (schedule no longer
+/// feasible, different bug, no bug) is reported with detail, never papered
+/// over. The replay helpers take the already-constructed test closure /
+/// model program so this library stays independent of the benchmark
+/// registry; resolving names to factories is the caller's (icb_check's)
+/// job.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ICB_SESSION_REPRO_H
+#define ICB_SESSION_REPRO_H
+
+#include "rt/Scheduler.h"
+#include "search/SearchTypes.h"
+#include "vm/Interp.h"
+#include <string>
+
+namespace icb::session {
+
+/// One self-contained bug reproduction.
+struct ReproArtifact {
+  std::string Benchmark;
+  std::string Bug;  ///< Bug variant label, or "default".
+  std::string Form; ///< "rt" (stateless) or "vm" (model VM).
+  /// Runtime-form detector configuration the bug was found under (replay
+  /// must re-check with the same instrumentation or a DataRace repro could
+  /// silently pass).
+  bool EveryAccess = false;
+  std::string Detector; ///< "vc", "goldilocks", or "none".
+  /// The exposed bug with its full schedule (annotated for rt, thread-id
+  /// list for vm).
+  search::Bug Found;
+};
+
+/// Canonical file name for an artifact: benchmark + bug label + kind,
+/// sanitized to [a-z0-9-], with the ".icbrepro" extension.
+std::string reproFileName(const ReproArtifact &A);
+
+bool saveRepro(const std::string &Path, const ReproArtifact &A,
+               std::string *Error);
+bool loadRepro(const std::string &Path, ReproArtifact &Out,
+               std::string *Error);
+
+/// Scheduler options matching the artifact's recorded detector
+/// configuration (runtime form).
+rt::Scheduler::Options reproExecOptions(const ReproArtifact &A);
+
+/// What a replay did.
+struct ReplayOutcome {
+  bool Reproduced = false; ///< Same (kind, message) fired.
+  bool BugFired = false;   ///< Some bug fired (maybe a different one).
+  search::Bug Observed;    ///< Valid when BugFired.
+  std::string Detail;      ///< Human-readable verdict / divergence text.
+};
+
+/// Replays a runtime-form artifact against \p Test (which must be the
+/// benchmark/bug variant the artifact names).
+ReplayOutcome replayArtifactRt(const ReproArtifact &A,
+                               const rt::TestCase &Test);
+
+/// Replays a model-VM artifact by stepping \p Prog's interpreter through
+/// the recorded thread sequence.
+ReplayOutcome replayArtifactVm(const ReproArtifact &A,
+                               const vm::Program &Prog);
+
+} // namespace icb::session
+
+#endif // ICB_SESSION_REPRO_H

@@ -1,0 +1,355 @@
+//===- session/Serial.cpp - Search types <-> JSON conversions -------------===//
+//
+// Part of the ICB project (PLDI'07 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "session/Serial.h"
+#include "trace/Schedule.h"
+
+using namespace icb;
+using namespace icb::session;
+using search::Bug;
+using search::EngineSnapshot;
+using search::SavedWorkItem;
+using search::SearchLimits;
+using search::SearchStats;
+
+//===----------------------------------------------------------------------===//
+// MinMax / schedule helpers
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+JsonValue minMaxToJson(const MinMax &M) {
+  JsonValue V = JsonValue::object();
+  V.set("min", JsonValue::number(M.min()));
+  V.set("max", JsonValue::number(M.max()));
+  V.set("sum", JsonValue::number(M.sum()));
+  V.set("count", JsonValue::number(M.count()));
+  return V;
+}
+
+bool minMaxFromJson(const JsonValue *V, MinMax &Out) {
+  if (!V || !V->isObject())
+    return false;
+  uint64_t Min = 0, Max = 0, Sum = 0, Count = 0;
+  if (!V->getU64("min", Min) || !V->getU64("max", Max) ||
+      !V->getU64("sum", Sum) || !V->getU64("count", Count))
+    return false;
+  Out = MinMax::restore(Min, Max, Sum, Count);
+  return true;
+}
+
+/// A model-VM schedule (plain thread ids) as one space-separated string,
+/// parseable by trace::Schedule::parse (no markers).
+std::string tidsToText(const std::vector<vm::ThreadId> &Tids) {
+  std::string Out;
+  for (size_t I = 0; I != Tids.size(); ++I) {
+    if (I)
+      Out += ' ';
+    Out += std::to_string(Tids[I]);
+  }
+  return Out;
+}
+
+bool tidsFromText(const std::string &Text, std::vector<vm::ThreadId> &Out) {
+  trace::Schedule Sched;
+  if (!trace::Schedule::parse(Text, Sched))
+    return false;
+  Out.clear();
+  Out.reserve(Sched.length());
+  for (const trace::ScheduleEntry &E : Sched.entries()) {
+    if (E.Preemption || E.ContextSwitch)
+      return false; // Plain tid lists carry no markers.
+    Out.push_back(E.Tid);
+  }
+  return true;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// SearchStats
+//===----------------------------------------------------------------------===//
+
+JsonValue icb::session::statsToJson(const SearchStats &Stats) {
+  JsonValue V = JsonValue::object();
+  V.set("executions", JsonValue::number(Stats.Executions));
+  V.set("total_steps", JsonValue::number(Stats.TotalSteps));
+  V.set("distinct_states", JsonValue::number(Stats.DistinctStates));
+  V.set("distinct_terminal_states",
+        JsonValue::number(Stats.DistinctTerminalStates));
+  V.set("steps_per_execution", minMaxToJson(Stats.StepsPerExecution));
+  V.set("blocking_per_execution", minMaxToJson(Stats.BlockingPerExecution));
+  V.set("preemptions_per_execution",
+        minMaxToJson(Stats.PreemptionsPerExecution));
+  V.set("threads_per_execution", minMaxToJson(Stats.ThreadsPerExecution));
+
+  JsonValue Hist = JsonValue::array();
+  for (uint64_t Bucket : Stats.PreemptionHistogram.buckets())
+    Hist.Arr.push_back(JsonValue::number(Bucket));
+  V.set("preemption_histogram", std::move(Hist));
+
+  JsonValue Coverage = JsonValue::array();
+  for (const search::CoveragePoint &P : Stats.Coverage) {
+    JsonValue Point = JsonValue::array();
+    Point.Arr.push_back(JsonValue::number(P.Executions));
+    Point.Arr.push_back(JsonValue::number(P.States));
+    Coverage.Arr.push_back(std::move(Point));
+  }
+  V.set("coverage", std::move(Coverage));
+
+  JsonValue PerBound = JsonValue::array();
+  for (const search::BoundCoverage &B : Stats.PerBound) {
+    JsonValue Row = JsonValue::object();
+    Row.set("bound", JsonValue::number(B.Bound));
+    Row.set("states", JsonValue::number(B.States));
+    Row.set("executions", JsonValue::number(B.Executions));
+    PerBound.Arr.push_back(std::move(Row));
+  }
+  V.set("per_bound", std::move(PerBound));
+
+  V.set("completed", JsonValue::boolean(Stats.Completed));
+  return V;
+}
+
+bool icb::session::statsFromJson(const JsonValue &V, SearchStats &Out) {
+  if (!V.isObject())
+    return false;
+  Out = SearchStats();
+  if (!V.getU64("executions", Out.Executions) ||
+      !V.getU64("total_steps", Out.TotalSteps) ||
+      !V.getU64("distinct_states", Out.DistinctStates) ||
+      !V.getU64("distinct_terminal_states", Out.DistinctTerminalStates) ||
+      !V.getBool("completed", Out.Completed))
+    return false;
+  if (!minMaxFromJson(V.find("steps_per_execution"),
+                      Out.StepsPerExecution) ||
+      !minMaxFromJson(V.find("blocking_per_execution"),
+                      Out.BlockingPerExecution) ||
+      !minMaxFromJson(V.find("preemptions_per_execution"),
+                      Out.PreemptionsPerExecution) ||
+      !minMaxFromJson(V.find("threads_per_execution"),
+                      Out.ThreadsPerExecution))
+    return false;
+
+  const JsonValue *Hist = V.find("preemption_histogram");
+  if (!Hist || !Hist->isArray())
+    return false;
+  for (size_t I = 0; I != Hist->Arr.size(); ++I) {
+    if (Hist->Arr[I].K != JsonValue::Kind::Number)
+      return false;
+    Out.PreemptionHistogram.increment(I, Hist->Arr[I].U);
+  }
+
+  const JsonValue *Coverage = V.find("coverage");
+  if (!Coverage || !Coverage->isArray())
+    return false;
+  for (const JsonValue &PointV : Coverage->Arr) {
+    if (!PointV.isArray() || PointV.Arr.size() != 2 ||
+        PointV.Arr[0].K != JsonValue::Kind::Number ||
+        PointV.Arr[1].K != JsonValue::Kind::Number)
+      return false;
+    Out.Coverage.push_back({PointV.Arr[0].U, PointV.Arr[1].U});
+  }
+
+  const JsonValue *PerBound = V.find("per_bound");
+  if (!PerBound || !PerBound->isArray())
+    return false;
+  for (const JsonValue &RowV : PerBound->Arr) {
+    search::BoundCoverage Row;
+    uint64_t Bound = 0;
+    if (!RowV.getU64("bound", Bound) || Bound > UINT32_MAX ||
+        !RowV.getU64("states", Row.States) ||
+        !RowV.getU64("executions", Row.Executions))
+      return false;
+    Row.Bound = static_cast<unsigned>(Bound);
+    Out.PerBound.push_back(Row);
+  }
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// Bug
+//===----------------------------------------------------------------------===//
+
+JsonValue icb::session::bugToJson(const Bug &B) {
+  JsonValue V = JsonValue::object();
+  V.set("kind", JsonValue::str(search::bugKindName(B.Kind)));
+  V.set("message", JsonValue::str(B.Message));
+  V.set("preemptions", JsonValue::number(B.Preemptions));
+  V.set("context_switches", JsonValue::number(B.ContextSwitches));
+  V.set("steps", JsonValue::number(B.Steps));
+  V.set("schedule", JsonValue::str(tidsToText(B.Schedule)));
+  V.set("annotated_schedule", JsonValue::str(B.Sched.str()));
+  return V;
+}
+
+bool icb::session::bugFromJson(const JsonValue &V, Bug &Out) {
+  if (!V.isObject())
+    return false;
+  Out = Bug();
+  std::string KindName, ScheduleText, AnnotatedText;
+  uint64_t Preemptions = 0, ContextSwitches = 0;
+  if (!V.getString("kind", KindName) ||
+      !search::bugKindFromName(KindName, Out.Kind) ||
+      !V.getString("message", Out.Message) ||
+      !V.getU64("preemptions", Preemptions) || Preemptions > UINT32_MAX ||
+      !V.getU64("context_switches", ContextSwitches) ||
+      ContextSwitches > UINT32_MAX || !V.getU64("steps", Out.Steps) ||
+      !V.getString("schedule", ScheduleText) ||
+      !V.getString("annotated_schedule", AnnotatedText))
+    return false;
+  Out.Preemptions = static_cast<unsigned>(Preemptions);
+  Out.ContextSwitches = static_cast<unsigned>(ContextSwitches);
+  if (!tidsFromText(ScheduleText, Out.Schedule))
+    return false;
+  if (!trace::Schedule::parse(AnnotatedText, Out.Sched))
+    return false;
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// SearchLimits
+//===----------------------------------------------------------------------===//
+
+JsonValue icb::session::limitsToJson(const SearchLimits &Limits) {
+  JsonValue V = JsonValue::object();
+  V.set("max_executions", JsonValue::number(Limits.MaxExecutions));
+  V.set("max_steps", JsonValue::number(Limits.MaxSteps));
+  V.set("max_states", JsonValue::number(Limits.MaxStates));
+  V.set("max_preemption_bound",
+        JsonValue::number(Limits.MaxPreemptionBound));
+  V.set("stop_at_first_bug", JsonValue::boolean(Limits.StopAtFirstBug));
+  return V;
+}
+
+bool icb::session::limitsFromJson(const JsonValue &V, SearchLimits &Out) {
+  if (!V.isObject())
+    return false;
+  Out = SearchLimits();
+  uint64_t Bound = 0;
+  if (!V.getU64("max_executions", Out.MaxExecutions) ||
+      !V.getU64("max_steps", Out.MaxSteps) ||
+      !V.getU64("max_states", Out.MaxStates) ||
+      !V.getU64("max_preemption_bound", Bound) || Bound > UINT32_MAX ||
+      !V.getBool("stop_at_first_bug", Out.StopAtFirstBug))
+    return false;
+  Out.MaxPreemptionBound = static_cast<unsigned>(Bound);
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// EngineSnapshot
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+JsonValue itemsToJson(const std::vector<SavedWorkItem> &Items) {
+  JsonValue V = JsonValue::array();
+  for (const SavedWorkItem &Item : Items) {
+    JsonValue Row = JsonValue::object();
+    Row.set("prefix", JsonValue::str(tidsToText(Item.Prefix)));
+    Row.set("next", JsonValue::number(Item.Next));
+    V.Arr.push_back(std::move(Row));
+  }
+  return V;
+}
+
+bool itemsFromJson(const JsonValue *V, std::vector<SavedWorkItem> &Out) {
+  if (!V || !V->isArray())
+    return false;
+  for (const JsonValue &RowV : V->Arr) {
+    SavedWorkItem Item;
+    std::string PrefixText;
+    if (!RowV.getString("prefix", PrefixText) ||
+        !tidsFromText(PrefixText, Item.Prefix) ||
+        !RowV.getU32("next", Item.Next))
+      return false;
+    Out.push_back(std::move(Item));
+  }
+  return true;
+}
+
+bool hexField(const JsonValue &V, const char *Key,
+              std::vector<uint64_t> &Out) {
+  std::string Text;
+  return V.getString(Key, Text) && digestsFromHex(Text, Out);
+}
+
+} // namespace
+
+JsonValue icb::session::snapshotToJson(const EngineSnapshot &Snap) {
+  JsonValue V = JsonValue::object();
+  V.set("bound", JsonValue::number(Snap.Bound));
+  V.set("final", JsonValue::boolean(Snap.Final));
+  V.set("stats", statsToJson(Snap.Stats));
+
+  JsonValue Bugs = JsonValue::array();
+  for (const Bug &B : Snap.Bugs)
+    Bugs.Arr.push_back(bugToJson(B));
+  V.set("bugs", std::move(Bugs));
+
+  if (!Snap.Final) {
+    V.set("current_queue", itemsToJson(Snap.CurrentQueue));
+    V.set("next_queue", itemsToJson(Snap.NextQueue));
+    JsonValue Sampler = JsonValue::object();
+    Sampler.set("stride", JsonValue::number(Snap.Sampler.Stride));
+    Sampler.set("last_executions",
+                JsonValue::number(Snap.Sampler.LastExecutions));
+    Sampler.set("last_states", JsonValue::number(Snap.Sampler.LastStates));
+    Sampler.set("have_pending",
+                JsonValue::boolean(Snap.Sampler.HavePending));
+    V.set("sampler", std::move(Sampler));
+    V.set("seen_digests", JsonValue::str(digestsToHex(Snap.SeenDigests)));
+    V.set("terminal_digests",
+          JsonValue::str(digestsToHex(Snap.TerminalDigests)));
+    V.set("item_digests", JsonValue::str(digestsToHex(Snap.ItemDigests)));
+  }
+  return V;
+}
+
+bool icb::session::snapshotFromJson(const JsonValue &V,
+                                    EngineSnapshot &Out) {
+  if (!V.isObject())
+    return false;
+  Out = EngineSnapshot();
+  uint64_t Bound = 0;
+  if (!V.getU64("bound", Bound) || Bound > UINT32_MAX ||
+      !V.getBool("final", Out.Final))
+    return false;
+  Out.Bound = static_cast<unsigned>(Bound);
+  const JsonValue *Stats = V.find("stats");
+  if (!Stats || !statsFromJson(*Stats, Out.Stats))
+    return false;
+
+  const JsonValue *Bugs = V.find("bugs");
+  if (!Bugs || !Bugs->isArray())
+    return false;
+  for (const JsonValue &BugV : Bugs->Arr) {
+    Bug B;
+    if (!bugFromJson(BugV, B))
+      return false;
+    Out.Bugs.push_back(std::move(B));
+  }
+
+  if (Out.Final)
+    return true;
+
+  if (!itemsFromJson(V.find("current_queue"), Out.CurrentQueue) ||
+      !itemsFromJson(V.find("next_queue"), Out.NextQueue))
+    return false;
+  const JsonValue *Sampler = V.find("sampler");
+  if (!Sampler || !Sampler->isObject() ||
+      !Sampler->getU64("stride", Out.Sampler.Stride) ||
+      !Sampler->getU64("last_executions", Out.Sampler.LastExecutions) ||
+      !Sampler->getU64("last_states", Out.Sampler.LastStates) ||
+      !Sampler->getBool("have_pending", Out.Sampler.HavePending))
+    return false;
+  if (!hexField(V, "seen_digests", Out.SeenDigests) ||
+      !hexField(V, "terminal_digests", Out.TerminalDigests) ||
+      !hexField(V, "item_digests", Out.ItemDigests))
+    return false;
+  return true;
+}

@@ -1,0 +1,43 @@
+//===- session/Serial.h - Search types <-> JSON conversions ----*- C++ -*-===//
+//
+// Part of the ICB project (PLDI'07 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Shared (de)serialization between the search vocabulary (SearchTypes.h,
+/// EngineObserver.h) and session JSON. One code path feeds the manifest,
+/// the checkpoint, and the repro artifact, so all three speak the same
+/// dialect: bug kinds by their human name, schedules in the
+/// `trace::Schedule` text form, digests as hex strings.
+///
+/// Every `fromJson` validates strictly and returns false on any missing or
+/// ill-typed field — corrupted session files must be reported, never
+/// half-loaded.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ICB_SESSION_SERIAL_H
+#define ICB_SESSION_SERIAL_H
+
+#include "search/EngineObserver.h"
+#include "search/SearchTypes.h"
+#include "session/Json.h"
+
+namespace icb::session {
+
+JsonValue statsToJson(const search::SearchStats &Stats);
+bool statsFromJson(const JsonValue &V, search::SearchStats &Out);
+
+JsonValue bugToJson(const search::Bug &B);
+bool bugFromJson(const JsonValue &V, search::Bug &Out);
+
+JsonValue snapshotToJson(const search::EngineSnapshot &Snap);
+bool snapshotFromJson(const JsonValue &V, search::EngineSnapshot &Out);
+
+JsonValue limitsToJson(const search::SearchLimits &Limits);
+bool limitsFromJson(const JsonValue &V, search::SearchLimits &Out);
+
+} // namespace icb::session
+
+#endif // ICB_SESSION_SERIAL_H

@@ -106,6 +106,7 @@ bool FlagSet::parse(int Argc, const char *const *Argv, std::string *ErrorOut) {
       // Bare `--boolflag` means true; other kinds consume the next argv.
       if (F.Kind == FlagKind::Bool) {
         F.BoolValue = true;
+        F.ExplicitlySet = true;
         continue;
       }
       if (I + 1 >= Argc) {
@@ -117,8 +118,15 @@ bool FlagSet::parse(int Argc, const char *const *Argv, std::string *ErrorOut) {
     }
     if (!setValue(F, Value, Name, ErrorOut))
       return false;
+    F.ExplicitlySet = true;
   }
   return true;
+}
+
+bool FlagSet::wasSet(const std::string &Name) const {
+  auto It = Flags.find(Name);
+  ICB_ASSERT(It != Flags.end(), "wasSet on unknown flag");
+  return It->second.ExplicitlySet;
 }
 
 int64_t FlagSet::getInt(const std::string &Name) const {

@@ -40,6 +40,11 @@ public:
   bool getBool(const std::string &Name) const;
   const std::string &getString(const std::string &Name) const;
 
+  /// True iff the flag was explicitly assigned during parse() (as opposed
+  /// to still holding its registered default). Lets resume-style commands
+  /// distinguish "user asked for X" from "X is just the default".
+  bool wasSet(const std::string &Name) const;
+
   /// Leftover non-flag arguments, in order.
   const std::vector<std::string> &positional() const { return Positional; }
 
@@ -55,6 +60,7 @@ private:
     int64_t IntValue = 0;
     bool BoolValue = false;
     std::string StringValue;
+    bool ExplicitlySet = false;
   };
 
   bool setValue(Flag &F, const std::string &Text, const std::string &Name,

@@ -55,6 +55,20 @@ public:
     return Count ? static_cast<double>(Sum) / static_cast<double>(Count) : 0.0;
   }
 
+  /// Rebuilds a tracker from its four saved components (checkpoint
+  /// restore); the inverse of reading min()/max()/sum()/count().
+  static MinMax restore(uint64_t Min, uint64_t Max, uint64_t Sum,
+                        uint64_t Count) {
+    MinMax M;
+    if (Count != 0) {
+      M.Min = Min;
+      M.Max = Max;
+      M.Sum = Sum;
+      M.Count = Count;
+    }
+    return M;
+  }
+
 private:
   uint64_t Min = 0;
   uint64_t Max = 0;
@@ -109,6 +123,18 @@ private:
 ///
 /// Point is any struct with {Executions, States} members (the search:: and
 /// rt:: coverage point types are structurally identical).
+///
+/// The sampler's internal cursor can be saved and restored (checkpoint /
+/// resume): restoring {stride, last-observation, pending} alongside the
+/// already-emitted points makes the continued curve byte-identical to an
+/// uninterrupted run's.
+struct CoverageSamplerState {
+  uint64_t Stride = 1;
+  uint64_t LastExecutions = 0;
+  uint64_t LastStates = 0;
+  bool HavePending = false;
+};
+
 template <typename Point> class CoverageSampler {
 public:
   explicit CoverageSampler(uint64_t MaxPoints = 4096)
@@ -140,6 +166,17 @@ public:
     if (HavePending)
       Out.push_back(Point{LastExecutions, LastStates});
     HavePending = false;
+  }
+
+  CoverageSamplerState saveState() const {
+    return {Stride, LastExecutions, LastStates, HavePending};
+  }
+
+  void restoreState(const CoverageSamplerState &S) {
+    Stride = S.Stride ? S.Stride : 1;
+    LastExecutions = S.LastExecutions;
+    LastStates = S.LastStates;
+    HavePending = S.HavePending;
   }
 
 private:

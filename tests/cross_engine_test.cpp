@@ -26,12 +26,14 @@
 #include "rt/Explore.h"
 #include "search/IcbSearch.h"
 #include "search/ParallelIcb.h"
+#include "testutil/ResultChecks.h"
 #include "vm/Interp.h"
 #include <gtest/gtest.h>
 #include <vector>
 
 using namespace icb;
 using namespace icb::bench;
+using icb::testutil::expectSamePerBound;
 
 namespace {
 
@@ -75,16 +77,6 @@ search::SearchResult runVmIcbParallel(const vm::Program &Prog,
   search::ParallelIcbSearch Search(Opts);
   vm::Interp VM(Prog);
   return Search.run(VM);
-}
-
-void expectSamePerBound(const std::vector<search::BoundCoverage> &L,
-                        const std::vector<search::BoundCoverage> &R) {
-  ASSERT_EQ(L.size(), R.size());
-  for (size_t I = 0; I != L.size(); ++I) {
-    EXPECT_EQ(L[I].Bound, R[I].Bound) << "bound index " << I;
-    EXPECT_EQ(L[I].Executions, R[I].Executions) << "bound " << L[I].Bound;
-    EXPECT_EQ(L[I].States, R[I].States) << "bound " << L[I].Bound;
-  }
 }
 
 TEST(CrossEngine, RegistryHasBothFormVariants) {

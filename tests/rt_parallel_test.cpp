@@ -18,12 +18,14 @@
 #include "benchmarks/Bluetooth.h"
 #include "benchmarks/WorkStealingQueue.h"
 #include "rt/Explore.h"
+#include "testutil/ResultChecks.h"
 #include <gtest/gtest.h>
 #include <string>
 #include <vector>
 
 using namespace icb;
 using namespace icb::bench;
+using icb::testutil::expectIdenticalResults;
 
 namespace {
 
@@ -35,30 +37,6 @@ rt::ExploreResult runIcb(const rt::TestCase &Test, unsigned MaxBound,
   Opts.Jobs = Jobs;
   rt::IcbExplorer Icb(Opts);
   return Icb.explore(Test);
-}
-
-/// Everything icb_check would print, and then some: the parallel run must
-/// be indistinguishable from the sequential one.
-void expectIdenticalResults(const rt::ExploreResult &L,
-                            const rt::ExploreResult &R) {
-  EXPECT_EQ(L.Stats.Executions, R.Stats.Executions);
-  EXPECT_EQ(L.Stats.TotalSteps, R.Stats.TotalSteps);
-  EXPECT_EQ(L.Stats.DistinctStates, R.Stats.DistinctStates);
-  EXPECT_EQ(L.Stats.DistinctTerminalStates, R.Stats.DistinctTerminalStates);
-  EXPECT_EQ(L.Stats.Completed, R.Stats.Completed);
-  ASSERT_EQ(L.Stats.PerBound.size(), R.Stats.PerBound.size());
-  for (size_t I = 0; I != L.Stats.PerBound.size(); ++I) {
-    EXPECT_EQ(L.Stats.PerBound[I].Bound, R.Stats.PerBound[I].Bound);
-    EXPECT_EQ(L.Stats.PerBound[I].Executions,
-              R.Stats.PerBound[I].Executions);
-    EXPECT_EQ(L.Stats.PerBound[I].States, R.Stats.PerBound[I].States);
-  }
-  ASSERT_EQ(L.Bugs.size(), R.Bugs.size());
-  for (size_t I = 0; I != L.Bugs.size(); ++I) {
-    EXPECT_EQ(L.Bugs[I].Kind, R.Bugs[I].Kind);
-    EXPECT_EQ(L.Bugs[I].str(), R.Bugs[I].str());
-    EXPECT_EQ(L.Bugs[I].Sched.length(), R.Bugs[I].Sched.length());
-  }
 }
 
 TEST(RtParallelIcb, WsqBugReportsMatchSequential) {

@@ -1,0 +1,501 @@
+//===- tests/session_test.cpp - Session subsystem tests -------------------===//
+//
+// Part of the ICB project (PLDI'07 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The session subsystem end to end: the strict JSON layer (round-trips
+/// and adversarial rejects), the manifest writer, checkpoint save/load,
+/// interrupted-run resume determinism for both executors' sequential and
+/// parallel drivers, `.icbrepro` round-trip + strict replay, and
+/// delta-debugging schedule minimization. The resume tests are the
+/// subsystem's acceptance criterion in miniature: a run cut short at an
+/// arbitrary safe point and resumed from the serialized checkpoint must be
+/// indistinguishable from an uninterrupted run.
+///
+//===----------------------------------------------------------------------===//
+
+#include "benchmarks/WorkStealingQueue.h"
+#include "benchmarks/WsqModel.h"
+#include "rt/Explore.h"
+#include "search/IcbSearch.h"
+#include "search/ParallelIcb.h"
+#include "session/Checkpoint.h"
+#include "session/Manifest.h"
+#include "session/Minimize.h"
+#include "session/Repro.h"
+#include "testutil/ResultChecks.h"
+#include "vm/Interp.h"
+#include <atomic>
+#include <cstdio>
+#include <gtest/gtest.h>
+#include <string>
+#include <vector>
+
+using namespace icb;
+using namespace icb::bench;
+using namespace icb::session;
+using icb::testutil::expectIdenticalResults;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// JSON layer
+//===----------------------------------------------------------------------===//
+
+TEST(SessionJson, WriteParseRoundTrip) {
+  JsonValue Doc = JsonValue::object();
+  Doc.set("zero", JsonValue::number(0));
+  Doc.set("max", JsonValue::number(UINT64_MAX));
+  Doc.set("past_double", JsonValue::number((1ull << 53) + 1));
+  Doc.set("yes", JsonValue::boolean(true));
+  Doc.set("no", JsonValue::boolean(false));
+  Doc.set("nil", JsonValue::null());
+  Doc.set("text", JsonValue::str("quote \" backslash \\ tab \t ctrl \x01"));
+  JsonValue Arr = JsonValue::array();
+  Arr.Arr.push_back(JsonValue::number(7));
+  JsonValue Inner = JsonValue::object();
+  Inner.set("k", JsonValue::str(""));
+  Arr.Arr.push_back(std::move(Inner));
+  Doc.set("arr", std::move(Arr));
+
+  std::string Text = jsonWrite(Doc);
+  JsonValue Back;
+  std::string Error;
+  ASSERT_TRUE(jsonParse(Text, Back, &Error)) << Error;
+  // The writer is deterministic and objects preserve insertion order, so
+  // a round-trip reproduces the exact bytes.
+  EXPECT_EQ(Text, jsonWrite(Back));
+
+  uint64_t U = 0;
+  EXPECT_TRUE(Back.getU64("max", U));
+  EXPECT_EQ(U, UINT64_MAX);
+  std::string S;
+  EXPECT_TRUE(Back.getString("text", S));
+  EXPECT_EQ(S, "quote \" backslash \\ tab \t ctrl \x01");
+}
+
+TEST(SessionJson, ParserRejectsMalformedInput) {
+  const char *Bad[] = {
+      "",                         // empty
+      "{",                        // unterminated object
+      "[1,]",                     // trailing comma
+      "{\"a\":}",                 // missing value
+      "{\"a\":1,}",               // trailing comma in object
+      "[1 2]",                    // missing comma
+      "{\"a\" 1}",                // missing colon
+      "1.5",                      // float
+      "-1",                       // negative
+      "1e3",                      // exponent
+      "tru",                      // bad literal
+      "\"abc",                    // unterminated string
+      "\"\\q\"",                  // unknown escape
+      "\"\\u12G4\"",              // bad \u digit
+      "\"\\u12\"",                // truncated \u escape
+      "{} garbage",               // trailing garbage
+      "18446744073709551616",     // uint64 overflow
+      "{1: 2}",                   // non-string key
+  };
+  for (const char *Text : Bad) {
+    SCOPED_TRACE(Text);
+    JsonValue V;
+    std::string Error;
+    EXPECT_FALSE(jsonParse(Text, V, &Error));
+    EXPECT_FALSE(Error.empty());
+  }
+}
+
+TEST(SessionJson, DigestHexRoundTrip) {
+  std::vector<uint64_t> Digests = {0, 1, 0xdeadbeef, UINT64_MAX,
+                                   (1ull << 53) + 1};
+  std::vector<uint64_t> Back;
+  ASSERT_TRUE(digestsFromHex(digestsToHex(Digests), Back));
+  EXPECT_EQ(Digests, Back);
+  EXPECT_FALSE(digestsFromHex("12 xyz", Back));
+}
+
+TEST(SessionJson, AtomicWriteThenRead) {
+  std::string Path = testing::TempDir() + "icb_session_json_test.tmp";
+  std::string Error;
+  ASSERT_TRUE(atomicWriteFile(Path, "payload", &Error)) << Error;
+  std::string Back;
+  ASSERT_TRUE(readFile(Path, Back, &Error)) << Error;
+  EXPECT_EQ(Back, "payload");
+  std::remove(Path.c_str());
+  EXPECT_FALSE(readFile(Path, Back, &Error));
+  EXPECT_FALSE(Error.empty());
+}
+
+//===----------------------------------------------------------------------===//
+// Manifest
+//===----------------------------------------------------------------------===//
+
+TEST(SessionManifest, RecordsConfigAndRuns) {
+  search::SearchResult R;
+  R.Stats.Executions = 3;
+  search::Bug B;
+  B.Kind = search::BugKind::AssertFailure;
+  B.Message = "boom";
+  B.Preemptions = 1;
+  R.Bugs.push_back(B);
+
+  Manifest M("session_test");
+  JsonValue Config = JsonValue::object();
+  Config.set("strategy", JsonValue::str("icb"));
+  M.setConfig(std::move(Config));
+  size_t Index = M.addRun(
+      runRecord("wsq", "pop-check-then-act", "rt", "icb", 1, R, 12));
+  R.Stats.Executions = 4;
+  M.updateRun(Index,
+              runRecord("wsq", "pop-check-then-act", "rt", "icb", 1, R, 15));
+
+  JsonValue Doc;
+  std::string Error;
+  ASSERT_TRUE(jsonParse(M.str(), Doc, &Error)) << Error;
+  std::string Tool;
+  ASSERT_TRUE(Doc.getString("tool", Tool));
+  EXPECT_EQ(Tool, "session_test");
+  const JsonValue *Runs = Doc.find("runs");
+  ASSERT_NE(Runs, nullptr);
+  ASSERT_EQ(Runs->Arr.size(), 1u);
+  const JsonValue &Run = Runs->Arr[0];
+  uint64_t U = 0;
+  EXPECT_TRUE(Run.getU64("wall_ms", U));
+  EXPECT_EQ(U, 15u);
+  const JsonValue *Stats = Run.find("stats");
+  ASSERT_NE(Stats, nullptr);
+  EXPECT_TRUE(Stats->getU64("executions", U));
+  EXPECT_EQ(U, 4u);
+  const JsonValue *Bugs = Run.find("bugs");
+  ASSERT_NE(Bugs, nullptr);
+  EXPECT_EQ(Bugs->Arr.size(), 1u);
+}
+
+//===----------------------------------------------------------------------===//
+// Checkpoint + resume determinism
+//===----------------------------------------------------------------------===//
+
+/// Test observer: cooperatively stops the run after a fixed number of
+/// stopRequested() polls (0 = never stop), optionally requests periodic
+/// snapshots every \p Every executions, and keeps every resumable
+/// (non-final) snapshot the driver emits.
+class SnapshotProbe final : public search::EngineObserver {
+public:
+  explicit SnapshotProbe(uint64_t StopAfterPolls, uint64_t Every = 0)
+      : StopAfterPolls(StopAfterPolls), Every(Every) {}
+
+  bool checkpointDue(uint64_t Executions) override {
+    return Every != 0 && Executions >= LastSnap.load() + Every;
+  }
+
+  bool stopRequested() override {
+    return StopAfterPolls != 0 && Polls.fetch_add(1) + 1 >= StopAfterPolls;
+  }
+
+  void onCheckpoint(const search::EngineSnapshot &Snap) override {
+    LastSnap.store(Snap.Stats.Executions);
+    if (!Snap.Final)
+      Resumable.push_back(Snap);
+  }
+
+  std::vector<search::EngineSnapshot> Resumable;
+
+private:
+  uint64_t StopAfterPolls;
+  uint64_t Every;
+  std::atomic<uint64_t> Polls{0};
+  std::atomic<uint64_t> LastSnap{0};
+};
+
+rt::ExploreResult runRtIcb(const rt::TestCase &Test, unsigned Jobs,
+                           search::EngineObserver *Obs = nullptr,
+                           const search::EngineSnapshot *Resume = nullptr) {
+  rt::ExploreOptions Opts;
+  Opts.Limits.MaxPreemptionBound = 2;
+  Opts.Limits.StopAtFirstBug = false;
+  Opts.Jobs = Jobs;
+  Opts.Observer = Obs;
+  Opts.Resume = Resume;
+  rt::IcbExplorer Icb(Opts);
+  return Icb.explore(Test);
+}
+
+search::SearchResult runVmIcb(const vm::Program &Prog, unsigned Jobs,
+                              search::EngineObserver *Obs = nullptr,
+                              const search::EngineSnapshot *Resume = nullptr) {
+  vm::Interp VM(Prog);
+  if (Jobs == 1) {
+    search::IcbSearch::Options Opts;
+    Opts.UseStateCache = false;
+    Opts.Limits.MaxPreemptionBound = 2;
+    Opts.Limits.StopAtFirstBug = false;
+    Opts.Observer = Obs;
+    Opts.Resume = Resume;
+    return search::IcbSearch(Opts).run(VM);
+  }
+  search::ParallelIcbSearch::Options Opts;
+  Opts.Jobs = Jobs;
+  Opts.UseStateCache = false;
+  Opts.Limits.MaxPreemptionBound = 2;
+  Opts.Limits.StopAtFirstBug = false;
+  Opts.Observer = Obs;
+  Opts.Resume = Resume;
+  return search::ParallelIcbSearch(Opts).run(VM);
+}
+
+/// Interrupt a run mid-flight, resume from the emitted snapshot, and
+/// demand results identical to the uninterrupted reference.
+void checkRtResume(unsigned Jobs) {
+  rt::TestCase Test = workStealingTest({3, 4, WsqBug::PopCheckThenAct});
+  rt::ExploreResult Reference = runRtIcb(Test, Jobs);
+  ASSERT_TRUE(Reference.foundBug());
+
+  SnapshotProbe Probe(/*StopAfterPolls=*/40);
+  rt::ExploreResult Cut = runRtIcb(Test, Jobs, &Probe);
+  ASSERT_TRUE(Cut.Interrupted);
+  ASSERT_FALSE(Probe.Resumable.empty());
+  EXPECT_LT(Cut.Stats.Executions, Reference.Stats.Executions);
+
+  rt::ExploreResult Resumed =
+      runRtIcb(Test, Jobs, nullptr, &Probe.Resumable.back());
+  EXPECT_FALSE(Resumed.Interrupted);
+  expectIdenticalResults(Reference, Resumed);
+}
+
+void checkVmResume(unsigned Jobs) {
+  vm::Program Prog = wsqModel({3, WsqBug::PopCheckThenAct});
+  search::SearchResult Reference = runVmIcb(Prog, Jobs);
+  ASSERT_TRUE(Reference.foundBug());
+
+  SnapshotProbe Probe(/*StopAfterPolls=*/40);
+  search::SearchResult Cut = runVmIcb(Prog, Jobs, &Probe);
+  ASSERT_TRUE(Cut.Interrupted);
+  ASSERT_FALSE(Probe.Resumable.empty());
+
+  search::SearchResult Resumed =
+      runVmIcb(Prog, Jobs, nullptr, &Probe.Resumable.back());
+  EXPECT_FALSE(Resumed.Interrupted);
+  expectIdenticalResults(Reference, Resumed);
+}
+
+TEST(SessionResume, RtSequentialMatchesUninterrupted) { checkRtResume(1); }
+TEST(SessionResume, RtParallelMatchesUninterrupted) { checkRtResume(3); }
+TEST(SessionResume, VmSequentialMatchesUninterrupted) { checkVmResume(1); }
+TEST(SessionResume, VmParallelMatchesUninterrupted) { checkVmResume(3); }
+
+TEST(SessionResume, PeriodicSnapshotResumesToSameResults) {
+  // A completed run's periodic mid-run snapshots are just as resumable as
+  // a stop-triggered one: resuming from any of them reproduces the full
+  // run exactly.
+  rt::TestCase Test = workStealingTest({3, 4, WsqBug::PopCheckThenAct});
+  SnapshotProbe Probe(/*StopAfterPolls=*/0, /*Every=*/200);
+  rt::ExploreResult Reference = runRtIcb(Test, 1, &Probe);
+  ASSERT_FALSE(Reference.Interrupted);
+  ASSERT_GE(Probe.Resumable.size(), 2u);
+
+  for (size_t I : {size_t(0), Probe.Resumable.size() / 2}) {
+    SCOPED_TRACE(I);
+    rt::ExploreResult Resumed =
+        runRtIcb(Test, 1, nullptr, &Probe.Resumable[I]);
+    expectIdenticalResults(Reference, Resumed);
+  }
+}
+
+TEST(SessionCheckpoint, SerializedSnapshotResumesIdentically) {
+  // The full durability path: interrupt, serialize the snapshot to disk,
+  // load it back, resume from the *loaded* copy.
+  rt::TestCase Test = workStealingTest({3, 4, WsqBug::PopCheckThenAct});
+  rt::ExploreResult Reference = runRtIcb(Test, 1);
+
+  SnapshotProbe Probe(/*StopAfterPolls=*/60);
+  rt::ExploreResult Cut = runRtIcb(Test, 1, &Probe);
+  ASSERT_TRUE(Cut.Interrupted);
+  ASSERT_FALSE(Probe.Resumable.empty());
+
+  CheckpointData Data;
+  Data.Meta.Benchmark = "Work-Stealing Queue";
+  Data.Meta.Bug = "pop-check-then-act";
+  Data.Meta.Form = "rt";
+  Data.Meta.Strategy = "icb";
+  Data.Meta.Jobs = 1;
+  Data.Meta.Detector = "vc";
+  Data.Meta.Limits.MaxPreemptionBound = 2;
+  Data.Snap = Probe.Resumable.back();
+  Data.WallMillis = 42;
+
+  std::string Path = checkpointPath(testing::TempDir());
+  std::string Error;
+  ASSERT_TRUE(saveCheckpoint(Path, Data, &Error)) << Error;
+  CheckpointData Loaded;
+  ASSERT_TRUE(loadCheckpoint(Path, Loaded, &Error)) << Error;
+  std::remove(Path.c_str());
+
+  EXPECT_EQ(Loaded.Meta.Benchmark, Data.Meta.Benchmark);
+  EXPECT_EQ(Loaded.Meta.Bug, Data.Meta.Bug);
+  EXPECT_EQ(Loaded.Meta.Form, Data.Meta.Form);
+  EXPECT_EQ(Loaded.Meta.Jobs, Data.Meta.Jobs);
+  EXPECT_EQ(Loaded.Meta.Limits.MaxPreemptionBound,
+            Data.Meta.Limits.MaxPreemptionBound);
+  EXPECT_EQ(Loaded.WallMillis, 42u);
+  EXPECT_EQ(Loaded.Snap.Bound, Data.Snap.Bound);
+  EXPECT_FALSE(Loaded.Snap.Final);
+  EXPECT_EQ(Loaded.Snap.CurrentQueue.size(), Data.Snap.CurrentQueue.size());
+  EXPECT_EQ(Loaded.Snap.NextQueue.size(), Data.Snap.NextQueue.size());
+  EXPECT_EQ(Loaded.Snap.SeenDigests, Data.Snap.SeenDigests);
+  EXPECT_EQ(Loaded.Snap.Stats.Executions, Data.Snap.Stats.Executions);
+
+  rt::ExploreResult Resumed = runRtIcb(Test, 1, nullptr, &Loaded.Snap);
+  expectIdenticalResults(Reference, Resumed);
+}
+
+TEST(SessionCheckpoint, LoadRejectsCorruptFiles) {
+  std::string Path = testing::TempDir() + "icb_corrupt_checkpoint.json";
+  std::string Error;
+  CheckpointData Out;
+
+  EXPECT_FALSE(loadCheckpoint(Path + ".missing", Out, &Error));
+
+  ASSERT_TRUE(atomicWriteFile(Path, "{ not json", &Error)) << Error;
+  EXPECT_FALSE(loadCheckpoint(Path, Out, &Error));
+  EXPECT_FALSE(Error.empty());
+
+  ASSERT_TRUE(atomicWriteFile(Path, "{\"icb_checkpoint\": 99}", &Error))
+      << Error;
+  EXPECT_FALSE(loadCheckpoint(Path, Out, &Error));
+  std::remove(Path.c_str());
+}
+
+//===----------------------------------------------------------------------===//
+// Repro artifacts
+//===----------------------------------------------------------------------===//
+
+ReproArtifact rtArtifactFor(const rt::ExploreResult &R) {
+  ReproArtifact A;
+  A.Benchmark = "Work-Stealing Queue";
+  A.Bug = "pop-check-then-act";
+  A.Form = "rt";
+  A.Detector = "vc";
+  A.Found = *R.simplestBug();
+  return A;
+}
+
+TEST(SessionRepro, RoundTripAndStrictReplay) {
+  rt::TestCase Test = workStealingTest({3, 4, WsqBug::PopCheckThenAct});
+  rt::ExploreResult R = runRtIcb(Test, 1);
+  ASSERT_TRUE(R.foundBug());
+
+  ReproArtifact A = rtArtifactFor(R);
+  std::string Name = reproFileName(A);
+  EXPECT_NE(Name.find(".icbrepro"), std::string::npos);
+  for (char C : Name)
+    EXPECT_TRUE((C >= 'a' && C <= 'z') || (C >= '0' && C <= '9') ||
+                C == '-' || C == '.')
+        << "unsanitized character '" << C << "' in " << Name;
+
+  std::string Path = testing::TempDir() + Name;
+  std::string Error;
+  ASSERT_TRUE(saveRepro(Path, A, &Error)) << Error;
+  ReproArtifact Loaded;
+  ASSERT_TRUE(loadRepro(Path, Loaded, &Error)) << Error;
+  std::remove(Path.c_str());
+  EXPECT_EQ(Loaded.Benchmark, A.Benchmark);
+  EXPECT_EQ(Loaded.Form, "rt");
+  EXPECT_EQ(Loaded.Found.Message, A.Found.Message);
+  EXPECT_TRUE(Loaded.Found.Sched == A.Found.Sched);
+
+  ReplayOutcome Outcome = replayArtifactRt(Loaded, Test);
+  EXPECT_TRUE(Outcome.Reproduced) << Outcome.Detail;
+  EXPECT_TRUE(Outcome.BugFired);
+
+  // Strictness: same schedule, doctored expectation -> divergence report,
+  // not a silent pass.
+  ReproArtifact Tampered = Loaded;
+  Tampered.Found.Message = "some other bug";
+  ReplayOutcome Diverged = replayArtifactRt(Tampered, Test);
+  EXPECT_FALSE(Diverged.Reproduced);
+  EXPECT_TRUE(Diverged.BugFired);
+  EXPECT_FALSE(Diverged.Detail.empty());
+}
+
+TEST(SessionRepro, VmArtifactReplays) {
+  vm::Program Prog = wsqModel({3, WsqBug::PopCheckThenAct});
+  search::SearchResult R = runVmIcb(Prog, 1);
+  ASSERT_TRUE(R.foundBug());
+
+  ReproArtifact A;
+  A.Benchmark = "Work-Stealing Queue";
+  A.Bug = "pop-check-then-act";
+  A.Form = "vm";
+  A.Found = *R.simplestBug();
+  ASSERT_FALSE(A.Found.Schedule.empty());
+
+  ReplayOutcome Outcome = replayArtifactVm(A, Prog);
+  EXPECT_TRUE(Outcome.Reproduced) << Outcome.Detail;
+
+  // Replaying against the wrong program diverges loudly.
+  vm::Program Clean = wsqModel({3, WsqBug::None});
+  ReplayOutcome Wrong = replayArtifactVm(A, Clean);
+  EXPECT_FALSE(Wrong.Reproduced);
+  EXPECT_FALSE(Wrong.Detail.empty());
+}
+
+TEST(SessionRepro, LoadRejectsCorruptArtifacts) {
+  std::string Path = testing::TempDir() + "icb_corrupt.icbrepro";
+  std::string Error;
+  ReproArtifact Out;
+  ASSERT_TRUE(atomicWriteFile(Path, "{\"icb_repro\": 1}", &Error)) << Error;
+  EXPECT_FALSE(loadRepro(Path, Out, &Error));
+  EXPECT_FALSE(Error.empty());
+  std::remove(Path.c_str());
+}
+
+//===----------------------------------------------------------------------===//
+// Minimization
+//===----------------------------------------------------------------------===//
+
+TEST(SessionMinimize, RtReachesPaperPreemptionBound) {
+  rt::TestCase Test = workStealingTest({3, 4, WsqBug::PopCheckThenAct});
+  rt::ExploreResult R = runRtIcb(Test, 1);
+  ASSERT_TRUE(R.foundBug());
+
+  ReproArtifact A = rtArtifactFor(R);
+  MinimizeResult M = minimizeRt(A, Test);
+  ASSERT_TRUE(M.Reproduced);
+  EXPECT_GT(M.Replays, 0u);
+  EXPECT_LE(M.DirectivesAfter, M.DirectivesBefore);
+  EXPECT_LE(M.PreemptionsAfter, M.PreemptionsBefore);
+  // ICB already guarantees the minimal preemption count (paper bound 1
+  // for this bug); minimization must never lose that.
+  EXPECT_EQ(M.PreemptionsAfter, 1u);
+  EXPECT_EQ(M.Minimized.Kind, A.Found.Kind);
+  EXPECT_EQ(M.Minimized.Message, A.Found.Message);
+
+  // The minimized schedule is still a faithful repro.
+  ReproArtifact Shrunk = A;
+  Shrunk.Found = M.Minimized;
+  EXPECT_TRUE(replayArtifactRt(Shrunk, Test).Reproduced);
+}
+
+TEST(SessionMinimize, VmShrinksToSamePreemptionCount) {
+  vm::Program Prog = wsqModel({3, WsqBug::PopCheckThenAct});
+  search::SearchResult R = runVmIcb(Prog, 1);
+  ASSERT_TRUE(R.foundBug());
+
+  ReproArtifact A;
+  A.Benchmark = "Work-Stealing Queue";
+  A.Bug = "pop-check-then-act";
+  A.Form = "vm";
+  A.Found = *R.simplestBug();
+
+  MinimizeResult M = minimizeVm(A, Prog);
+  ASSERT_TRUE(M.Reproduced);
+  EXPECT_LE(M.PreemptionsAfter, M.PreemptionsBefore);
+  EXPECT_EQ(M.Minimized.Message, A.Found.Message);
+
+  ReproArtifact Shrunk = A;
+  Shrunk.Found = M.Minimized;
+  EXPECT_TRUE(replayArtifactVm(Shrunk, Prog).Reproduced);
+}
+
+} // namespace

@@ -1,0 +1,60 @@
+//===- tests/testutil/ResultChecks.h - Canonical result comparison -*- C++ -*-//
+//
+// Part of the ICB project (PLDI'07 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The canonical "two runs are indistinguishable" assertions, shared by
+/// every determinism suite: cross-engine agreement, parallel-vs-sequential
+/// drivers, and checkpoint/resume. Both executors report through
+/// search::SearchResult (rt::ExploreResult is an alias), so one set of
+/// helpers covers them all. Keep additions here rather than growing
+/// per-test copies — a comparison the resume tests skip is a divergence
+/// the resume tests cannot catch.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ICB_TESTS_TESTUTIL_RESULTCHECKS_H
+#define ICB_TESTS_TESTUTIL_RESULTCHECKS_H
+
+#include "search/SearchTypes.h"
+#include <gtest/gtest.h>
+#include <vector>
+
+namespace icb::testutil {
+
+/// Per-bound coverage snapshots must match bound-by-bound.
+inline void expectSamePerBound(const std::vector<search::BoundCoverage> &L,
+                               const std::vector<search::BoundCoverage> &R) {
+  ASSERT_EQ(L.size(), R.size());
+  for (size_t I = 0; I != L.size(); ++I) {
+    EXPECT_EQ(L[I].Bound, R[I].Bound) << "bound index " << I;
+    EXPECT_EQ(L[I].Executions, R[I].Executions) << "bound " << L[I].Bound;
+    EXPECT_EQ(L[I].States, R[I].States) << "bound " << L[I].Bound;
+  }
+}
+
+/// Everything icb_check would print, and then some: aggregate statistics,
+/// per-bound coverage, and byte-identical canonical bug reports. Used to
+/// assert a parallel run is indistinguishable from a sequential one and a
+/// resumed run from an uninterrupted one.
+inline void expectIdenticalResults(const search::SearchResult &L,
+                                   const search::SearchResult &R) {
+  EXPECT_EQ(L.Stats.Executions, R.Stats.Executions);
+  EXPECT_EQ(L.Stats.TotalSteps, R.Stats.TotalSteps);
+  EXPECT_EQ(L.Stats.DistinctStates, R.Stats.DistinctStates);
+  EXPECT_EQ(L.Stats.DistinctTerminalStates, R.Stats.DistinctTerminalStates);
+  EXPECT_EQ(L.Stats.Completed, R.Stats.Completed);
+  expectSamePerBound(L.Stats.PerBound, R.Stats.PerBound);
+  ASSERT_EQ(L.Bugs.size(), R.Bugs.size());
+  for (size_t I = 0; I != L.Bugs.size(); ++I) {
+    EXPECT_EQ(L.Bugs[I].Kind, R.Bugs[I].Kind);
+    EXPECT_EQ(L.Bugs[I].str(), R.Bugs[I].str());
+    EXPECT_EQ(L.Bugs[I].Sched.length(), R.Bugs[I].Sched.length());
+  }
+}
+
+} // namespace icb::testutil
+
+#endif // ICB_TESTS_TESTUTIL_RESULTCHECKS_H

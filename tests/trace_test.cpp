@@ -136,6 +136,70 @@ TEST(ScheduleTest, ParseRejectsGarbage) {
   EXPECT_FALSE(Schedule::parse("*", S));
 }
 
+TEST(ScheduleTest, ParseRejectsMalformedTokens) {
+  // parse() guards checkpoint and .icbrepro loading, so corrupt tokens
+  // must be rejected outright, never silently truncated or wrapped.
+  const char *Bad[] = {
+      "^",          // bare marker
+      "1**",        // doubled marker
+      "1^*",        // both markers
+      "*1",         // marker before digits
+      "+1",         // sign prefix
+      "-1",         // negative
+      "1.5",        // fraction
+      "0x1f",       // hex
+      "1 2 3x",     // bad trailing token
+      "4294967296", // Tid past UINT32_MAX
+      "99999999999999999999", // past UINT64_MAX too
+  };
+  for (const char *Text : Bad) {
+    SCOPED_TRACE(Text);
+    Schedule S;
+    S.append(7, false, false); // Rejection must also clear stale state.
+    EXPECT_FALSE(Schedule::parse(Text, S));
+    EXPECT_TRUE(S.empty());
+  }
+}
+
+TEST(ScheduleTest, ParseAcceptsBoundaryAndWhitespace) {
+  Schedule S;
+  ASSERT_TRUE(Schedule::parse("  4294967295*   0 \n 1^\t", S));
+  ASSERT_EQ(S.length(), 3u);
+  EXPECT_EQ(S.entry(0).Tid, 4294967295u);
+  EXPECT_TRUE(S.entry(0).Preemption);
+  EXPECT_TRUE(S.entry(0).ContextSwitch);
+  EXPECT_EQ(S.entry(1).Tid, 0u);
+  EXPECT_FALSE(S.entry(1).ContextSwitch);
+  EXPECT_TRUE(S.entry(2).ContextSwitch);
+  EXPECT_FALSE(S.entry(2).Preemption);
+
+  // The empty schedule round-trips too.
+  Schedule Empty;
+  ASSERT_TRUE(Schedule::parse("", Empty));
+  EXPECT_TRUE(Empty.empty());
+  ASSERT_TRUE(Schedule::parse(Schedule().str(), Empty));
+  EXPECT_TRUE(Empty.empty());
+}
+
+TEST(ScheduleTest, RoundTripPreservesEveryEntry) {
+  // Property-style sweep: a pseudo-random mix of runs, nonpreempting
+  // switches, and preemptions survives str() -> parse() exactly.
+  Schedule S;
+  uint32_t Prev = 0;
+  uint32_t X = 12345;
+  for (int I = 0; I != 200; ++I) {
+    X = X * 1664525u + 1013904223u; // LCG; deterministic across platforms.
+    uint32_t Tid = (X >> 16) % 5;
+    bool Switch = I != 0 && Tid != Prev;
+    bool Preempt = Switch && (X & 1);
+    S.append(Tid, Preempt, Switch);
+    Prev = Tid;
+  }
+  Schedule Back;
+  ASSERT_TRUE(Schedule::parse(S.str(), Back));
+  EXPECT_TRUE(S == Back);
+}
+
 TEST(ScheduleTest, Truncate) {
   Schedule S;
   for (int I = 0; I != 5; ++I)

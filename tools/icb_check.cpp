@@ -11,22 +11,48 @@
 /// explore it. Reports bugs with their minimal preemption counts and can
 /// replay the counterexample as a full trace.
 ///
+/// The session flags make runs durable and bugs portable:
+///   --json=FILE            machine-readable run manifest, updated as the
+///                          run progresses (atomic rewrite per bound)
+///   --checkpoint-dir=DIR   periodic resumable checkpoints; SIGINT/SIGTERM
+///                          flush a final one before exiting
+///   --resume=DIR           continue a checkpointed run to results
+///                          identical to an uninterrupted run
+///   --repro-dir=DIR        write a self-contained .icbrepro artifact per
+///                          discovered bug
+///   --replay=FILE          re-execute a .icbrepro deterministically and
+///                          verify the same bug fires (exit 0 on success)
+///   --minimize             with --replay: delta-debug the schedule down
+///                          to a 1-minimal directive set and rewrite the
+///                          artifact in place
+///
 /// Examples:
 ///   icb_check --list
 ///   icb_check --benchmark="Work Stealing Queue" --bug=pop-retry-no-lock
 ///   icb_check --benchmark=Bluetooth --bug=all --trace
 ///   icb_check --benchmark=APE --strategy=dfs --max-executions=50000
-///   icb_check --benchmark="Transaction Manager" --bug=commit-upsert
+///   icb_check --benchmark=Bluetooth --bug=stop-vs-work
+///             --checkpoint-dir=ckpt --checkpoint-every=2048 --repro-dir=.
+///   icb_check --resume=ckpt
+///   icb_check --replay=bluetooth-stop-vs-work-assertion-failure.icbrepro
+///             --minimize
 ///
 //===----------------------------------------------------------------------===//
 
 #include "benchmarks/Registry.h"
 #include "rt/Explore.h"
 #include "search/Checker.h"
+#include "session/Checkpoint.h"
+#include "session/Manifest.h"
+#include "session/Minimize.h"
+#include "session/Repro.h"
 #include "support/CommandLine.h"
 #include "support/Format.h"
 #include "support/WorkerPool.h"
+#include <chrono>
 #include <cstdio>
+#include <functional>
+#include <memory>
 
 using namespace icb;
 using namespace icb::bench;
@@ -59,8 +85,221 @@ struct RunConfig {
   std::string Detector = "vc";
 };
 
-/// Runs one runtime-form test; returns 1 when a bug was found.
-int runRt(const rt::TestCase &Test, const RunConfig &Config) {
+/// Session-wide state shared by the per-variant runs: manifest, repro
+/// output, checkpointing, and (for one variant) a loaded resume snapshot.
+struct SessionState {
+  session::Manifest *Json = nullptr;
+  std::string JsonPath;
+  std::string ReproDir;
+  std::string CheckpointDir;
+  uint64_t CheckpointEvery = 0;
+  const session::CheckpointData *Resume = nullptr;
+  std::string Benchmark; ///< Current run identity (set per variant).
+  std::string Bug;       ///< Bug variant label, "default" for none.
+};
+
+/// Bridges the engine observer to the optional checkpoint sink and the
+/// optional per-bound manifest refresh.
+class ToolObserver final : public search::EngineObserver {
+public:
+  session::CheckpointSink *Sink = nullptr;
+  std::function<void(const search::BoundCoverage &)> BoundHook;
+
+  bool checkpointDue(uint64_t Executions) override {
+    return Sink && Sink->checkpointDue(Executions);
+  }
+  bool stopRequested() override { return Sink && Sink->stopRequested(); }
+  void onCheckpoint(const search::EngineSnapshot &Snap) override {
+    if (Sink)
+      Sink->onCheckpoint(Snap);
+  }
+  void onBoundComplete(const search::BoundCoverage &Snapshot) override {
+    if (BoundHook)
+      BoundHook(Snapshot);
+  }
+};
+
+session::CheckpointMeta makeMeta(const SessionState &S, const RunConfig &C,
+                                 const char *Form) {
+  session::CheckpointMeta M;
+  M.Benchmark = S.Benchmark;
+  M.Bug = S.Bug;
+  M.Form = Form;
+  M.Strategy = C.Strategy;
+  M.Jobs = C.Jobs;
+  M.Shards = C.Shards;
+  M.Seed = C.Seed;
+  M.EveryAccess = C.EveryAccess;
+  M.Detector = C.Detector;
+  M.Limits.MaxExecutions = C.MaxExecutions;
+  M.Limits.MaxPreemptionBound = C.MaxBound;
+  M.Limits.StopAtFirstBug = C.StopAtFirst;
+  return M;
+}
+
+/// The manifest record of a run still in flight: identity plus the bounds
+/// finished so far.
+session::JsonValue partialRunRecord(
+    const SessionState &S, const char *Form, const RunConfig &C,
+    const std::vector<search::BoundCoverage> &Bounds) {
+  using session::JsonValue;
+  JsonValue Run = JsonValue::object();
+  Run.set("benchmark", JsonValue::str(S.Benchmark));
+  Run.set("bug", JsonValue::str(S.Bug));
+  Run.set("form", JsonValue::str(Form));
+  Run.set("strategy", JsonValue::str(C.Strategy));
+  Run.set("jobs", JsonValue::number(C.Jobs));
+  Run.set("in_progress", JsonValue::boolean(true));
+  JsonValue Arr = JsonValue::array();
+  for (const search::BoundCoverage &B : Bounds) {
+    JsonValue O = JsonValue::object();
+    O.set("bound", JsonValue::number(B.Bound));
+    O.set("states", JsonValue::number(B.States));
+    O.set("executions", JsonValue::number(B.Executions));
+    Arr.Arr.push_back(std::move(O));
+  }
+  Run.set("bounds_done", std::move(Arr));
+  return Run;
+}
+
+/// Per-run session plumbing shared by the runtime and model forms: opens
+/// the manifest record, installs signal handling + checkpoint sink when
+/// requested, and finalizes everything (repros, manifest, exit code)
+/// after the search returns.
+class RunSession {
+public:
+  RunSession(SessionState &S, const RunConfig &Config, const char *Form)
+      : S(S), Config(Config), Form(Form),
+        PriorWall(S.Resume ? S.Resume->WallMillis : 0) {
+    if (S.Json) {
+      RunIdx = S.Json->addRun(partialRunRecord(S, Form, Config, {}));
+      S.Json->writeTo(S.JsonPath, nullptr);
+      Obs.BoundHook = [this](const search::BoundCoverage &B) {
+        Bounds.push_back(B);
+        this->S.Json->updateRun(
+            RunIdx, partialRunRecord(this->S, this->Form, this->Config,
+                                     Bounds));
+        this->S.Json->writeTo(this->S.JsonPath, nullptr);
+      };
+    }
+    if (!S.CheckpointDir.empty()) {
+      std::string Err;
+      if (!session::ensureDir(S.CheckpointDir, &Err)) {
+        std::fprintf(stderr, "%s\n", Err.c_str());
+        Failed = true;
+        return;
+      }
+      Guard = std::make_unique<session::SignalGuard>();
+      Sink = std::make_unique<session::CheckpointSink>(
+          S.CheckpointDir, S.CheckpointEvery, makeMeta(S, Config, Form),
+          S.Resume ? S.Resume->Snap.Stats.Executions : 0, PriorWall);
+      Obs.Sink = Sink.get();
+    }
+  }
+
+  bool failed() const { return Failed; }
+  search::EngineObserver *observer() {
+    return (S.Json || Sink) ? &Obs : nullptr;
+  }
+  /// The engine-level snapshot to resume from (null when none, or when the
+  /// checkpoint describes a finished run — see finishedResume()).
+  const search::EngineSnapshot *resumeSnapshot() const {
+    return (S.Resume && !S.Resume->Snap.Final) ? &S.Resume->Snap : nullptr;
+  }
+  /// Non-null when --resume points at a finished run's final checkpoint:
+  /// its results are re-emitted without searching again.
+  const search::EngineSnapshot *finishedResume() const {
+    return (S.Resume && S.Resume->Snap.Final) ? &S.Resume->Snap : nullptr;
+  }
+
+  uint64_t wallMillis() const {
+    if (Sink)
+      return Sink->wallMillis();
+    auto Elapsed = std::chrono::steady_clock::now() - Start;
+    return PriorWall +
+           static_cast<uint64_t>(
+               std::chrono::duration_cast<std::chrono::milliseconds>(Elapsed)
+                   .count());
+  }
+
+  /// Repro artifacts, final manifest record, checkpoint error surfacing.
+  /// Returns the session part of the exit code (0, 2, or 130).
+  int finish(const search::SearchResult &R) {
+    int Rc = 0;
+    std::vector<std::string> Repros;
+    if (!S.ReproDir.empty() && !R.Bugs.empty()) {
+      std::string Err;
+      if (!session::ensureDir(S.ReproDir, &Err)) {
+        std::fprintf(stderr, "%s\n", Err.c_str());
+        Rc = 2;
+      } else {
+        for (const search::Bug &B : R.Bugs) {
+          session::ReproArtifact A;
+          A.Benchmark = S.Benchmark;
+          A.Bug = S.Bug;
+          A.Form = Form;
+          A.EveryAccess = Config.EveryAccess;
+          A.Detector = Config.Detector;
+          A.Found = B;
+          std::string Path = S.ReproDir + "/" + session::reproFileName(A);
+          if (!session::saveRepro(Path, A, &Err)) {
+            std::fprintf(stderr, "repro write failed: %s\n", Err.c_str());
+            Rc = 2;
+          } else {
+            std::printf("  repro written: %s\n", Path.c_str());
+            Repros.push_back(Path);
+          }
+        }
+      }
+    }
+    if (S.Json) {
+      using session::JsonValue;
+      JsonValue Run = session::runRecord(S.Benchmark, S.Bug, Form,
+                                         Config.Strategy, Config.Jobs, R,
+                                         wallMillis());
+      JsonValue Arr = JsonValue::array();
+      for (const std::string &P : Repros)
+        Arr.Arr.push_back(JsonValue::str(P));
+      Run.set("repros", std::move(Arr));
+      S.Json->updateRun(RunIdx, std::move(Run));
+      std::string Err;
+      if (!S.Json->writeTo(S.JsonPath, &Err)) {
+        std::fprintf(stderr, "manifest write failed: %s\n", Err.c_str());
+        Rc = 2;
+      }
+    }
+    if (Sink && !Sink->ok()) {
+      std::fprintf(stderr, "checkpoint write failed: %s\n",
+                   Sink->error().c_str());
+      Rc = 2;
+    }
+    if (R.Interrupted) {
+      std::printf("  interrupted; resumable checkpoint in %s\n",
+                  S.CheckpointDir.c_str());
+      Rc = std::max(Rc, 130);
+    }
+    return Rc;
+  }
+
+private:
+  SessionState &S;
+  const RunConfig &Config;
+  const char *Form;
+  ToolObserver Obs;
+  std::unique_ptr<session::SignalGuard> Guard;
+  std::unique_ptr<session::CheckpointSink> Sink;
+  std::vector<search::BoundCoverage> Bounds;
+  size_t RunIdx = 0;
+  std::chrono::steady_clock::time_point Start =
+      std::chrono::steady_clock::now();
+  uint64_t PriorWall = 0;
+  bool Failed = false;
+};
+
+/// Runs one runtime-form test; returns 1 when a bug was found, 130 when
+/// interrupted, 2 on a session I/O failure.
+int runRt(const rt::TestCase &Test, const RunConfig &Config,
+          SessionState &S) {
   rt::ExploreOptions Opts;
   Opts.Limits.MaxExecutions = Config.MaxExecutions;
   Opts.Limits.MaxPreemptionBound = Config.MaxBound;
@@ -72,6 +311,12 @@ int runRt(const rt::TestCase &Test, const RunConfig &Config) {
   Opts.Exec.Detector = Config.Detector == "goldilocks"
                            ? rt::DetectorKind::Goldilocks
                            : rt::DetectorKind::VectorClock;
+
+  RunSession Sess(S, Config, "rt");
+  if (Sess.failed())
+    return 2;
+  Opts.Observer = Sess.observer();
+  Opts.Resume = Sess.resumeSnapshot();
 
   std::unique_ptr<rt::Explorer> Explorer;
   if (Config.Strategy == "icb")
@@ -98,7 +343,16 @@ int runRt(const rt::TestCase &Test, const RunConfig &Config) {
   else
     std::printf("exploring '%s' with %s...\n", Test.Name.c_str(),
                 Explorer->name().c_str());
-  rt::ExploreResult R = Explorer->explore(Test);
+
+  rt::ExploreResult R;
+  if (const search::EngineSnapshot *Done = Sess.finishedResume()) {
+    std::printf("  checkpoint describes a finished run; re-emitting its "
+                "results\n");
+    R.Stats = Done->Stats;
+    R.Bugs = Done->Bugs;
+  } else {
+    R = Explorer->explore(Test);
+  }
   std::printf("  executions %s, steps %s, visited states %s%s\n",
               withCommas(R.Stats.Executions).c_str(),
               withCommas(R.Stats.TotalSteps).c_str(),
@@ -108,21 +362,21 @@ int runRt(const rt::TestCase &Test, const RunConfig &Config) {
     std::printf("  bound %u: executions %s, visited states %s\n", B.Bound,
                 withCommas(B.Executions).c_str(),
                 withCommas(B.States).c_str());
-  if (!R.foundBug()) {
-    std::printf("  no bug within preemption bound %u\n", Config.MaxBound);
-    return 0;
-  }
   for (const rt::RtBug &Bug : R.Bugs)
     std::printf("  BUG %s\n", Bug.str().c_str());
-  if (Config.Trace)
+  if (R.Bugs.empty() && !R.Interrupted)
+    std::printf("  no bug within preemption bound %u\n", Config.MaxBound);
+  if (Config.Trace && R.foundBug())
     std::printf("\n%s",
                 rt::renderBugTrace(Test, *R.simplestBug(), Opts.Exec)
                     .c_str());
-  return 1;
+  int Rc = Sess.finish(R);
+  return std::max(Rc, R.foundBug() ? 1 : 0);
 }
 
-/// Runs one model-form test; returns 1 when a bug was found.
-int runVm(const vm::Program &Prog, const RunConfig &Config) {
+/// Runs one model-form test; same exit-code scheme as runRt.
+int runVm(const vm::Program &Prog, const RunConfig &Config,
+          SessionState &S) {
   search::SearchOptions Opts;
   if (Config.Strategy == "icb")
     Opts.Kind = search::StrategyKind::Icb;
@@ -147,6 +401,12 @@ int runVm(const vm::Program &Prog, const RunConfig &Config) {
   Opts.Limits.MaxPreemptionBound = Config.MaxBound;
   Opts.Limits.StopAtFirstBug = Config.StopAtFirst;
 
+  RunSession Sess(S, Config, "vm");
+  if (Sess.failed())
+    return 2;
+  Opts.Observer = Sess.observer();
+  Opts.Resume = Sess.resumeSnapshot();
+
   if (Config.Jobs != 1)
     std::printf("exploring model '%s' with %s (%u jobs)...\n",
                 Prog.Name.c_str(), Config.Strategy.c_str(),
@@ -154,16 +414,21 @@ int runVm(const vm::Program &Prog, const RunConfig &Config) {
   else
     std::printf("exploring model '%s' with %s...\n", Prog.Name.c_str(),
                 Config.Strategy.c_str());
-  search::SearchResult R = search::checkProgram(Prog, Opts);
+
+  search::SearchResult R;
+  if (const search::EngineSnapshot *Done = Sess.finishedResume()) {
+    std::printf("  checkpoint describes a finished run; re-emitting its "
+                "results\n");
+    R.Stats = Done->Stats;
+    R.Bugs = Done->Bugs;
+  } else {
+    R = search::checkProgram(Prog, Opts);
+  }
   std::printf("  executions %s, steps %s, states %s%s\n",
               withCommas(R.Stats.Executions).c_str(),
               withCommas(R.Stats.TotalSteps).c_str(),
               withCommas(R.Stats.DistinctStates).c_str(),
               R.Stats.Completed ? " (state space exhausted)" : "");
-  if (!R.foundBug()) {
-    std::printf("  no bug within preemption bound %u\n", Config.MaxBound);
-    return 0;
-  }
   for (const search::Bug &Bug : R.Bugs) {
     std::printf("  BUG %s\n", Bug.str().c_str());
     if (Config.Trace && !Bug.Schedule.empty()) {
@@ -173,7 +438,116 @@ int runVm(const vm::Program &Prog, const RunConfig &Config) {
       std::printf("\n");
     }
   }
-  return 1;
+  if (R.Bugs.empty() && !R.Interrupted)
+    std::printf("  no bug within preemption bound %u\n", Config.MaxBound);
+  int Rc = Sess.finish(R);
+  return std::max(Rc, R.foundBug() ? 1 : 0);
+}
+
+/// Resolves a repro artifact's (benchmark, bug) names against the
+/// registry; false (with a message) when they don't resolve.
+bool resolveArtifact(const session::ReproArtifact &A,
+                     std::function<rt::TestCase()> &MakeRt,
+                     std::function<vm::Program()> &MakeVm) {
+  const BenchmarkEntry *Entry = findBenchmark(A.Benchmark);
+  if (!Entry) {
+    std::fprintf(stderr, "repro names unknown benchmark '%s'\n",
+                 A.Benchmark.c_str());
+    return false;
+  }
+  if (A.Bug == "default") {
+    MakeRt = Entry->MakeDefaultRt;
+    MakeVm = Entry->MakeDefaultVm;
+  } else {
+    const BugVariant *Found = nullptr;
+    for (const BugVariant &B : Entry->Bugs)
+      if (B.Label == A.Bug)
+        Found = &B;
+    if (!Found) {
+      std::fprintf(stderr, "benchmark '%s' has no bug '%s'\n",
+                   A.Benchmark.c_str(), A.Bug.c_str());
+      return false;
+    }
+    MakeRt = Found->MakeRt;
+    MakeVm = Found->MakeVm;
+  }
+  if (A.Form == "rt" && !MakeRt) {
+    std::fprintf(stderr,
+                 "repro wants the runtime form, but '%s'/'%s' has none\n",
+                 A.Benchmark.c_str(), A.Bug.c_str());
+    return false;
+  }
+  if (A.Form == "vm" && !MakeVm) {
+    std::fprintf(stderr,
+                 "repro wants the model-VM form, but '%s'/'%s' has none\n",
+                 A.Benchmark.c_str(), A.Bug.c_str());
+    return false;
+  }
+  return true;
+}
+
+/// The --replay[=--minimize] entry: deterministic re-execution of one
+/// .icbrepro. Exit 0 iff the recorded bug reproduces (and, with
+/// --minimize, the artifact was rewritten).
+int replayArtifact(const std::string &Path, bool Minimize, bool Trace) {
+  session::ReproArtifact A;
+  std::string Error;
+  if (!session::loadRepro(Path, A, &Error)) {
+    std::fprintf(stderr, "%s\n", Error.c_str());
+    return 2;
+  }
+  std::function<rt::TestCase()> MakeRt;
+  std::function<vm::Program()> MakeVm;
+  if (!resolveArtifact(A, MakeRt, MakeVm))
+    return 2;
+
+  std::printf("replaying %s (%s / %s, %s form)...\n", Path.c_str(),
+              A.Benchmark.c_str(), A.Bug.c_str(), A.Form.c_str());
+  session::ReplayOutcome Outcome;
+  if (A.Form == "rt")
+    Outcome = session::replayArtifactRt(A, MakeRt());
+  else
+    Outcome = session::replayArtifactVm(A, MakeVm());
+  std::printf("  %s\n", Outcome.Detail.c_str());
+  if (!Outcome.Reproduced)
+    return 1;
+  if (Trace && A.Form == "rt")
+    std::printf("\n%s",
+                rt::renderBugTrace(MakeRt(), Outcome.Observed,
+                                   session::reproExecOptions(A))
+                    .c_str());
+
+  if (!Minimize)
+    return 0;
+
+  session::MinimizeResult M = A.Form == "rt"
+                                  ? session::minimizeRt(A, MakeRt())
+                                  : session::minimizeVm(A, MakeVm());
+  if (!M.Reproduced) {
+    // Cannot happen after a successful replay unless the test is
+    // nondeterministic; report it rather than rewriting the artifact.
+    std::fprintf(stderr,
+                 "minimization could not re-reproduce the bug (%u replays)\n",
+                 M.Replays);
+    return 1;
+  }
+  std::printf("  minimized in %u replays: directives %u -> %u, preemptions "
+              "%u -> %u, steps %s -> %s\n",
+              M.Replays, M.DirectivesBefore, M.DirectivesAfter,
+              M.PreemptionsBefore, M.PreemptionsAfter,
+              withCommas(A.Found.Steps).c_str(),
+              withCommas(M.Minimized.Steps).c_str());
+  if (!M.Improved) {
+    std::printf("  schedule was already minimal; artifact unchanged\n");
+    return 0;
+  }
+  A.Found = M.Minimized;
+  if (!session::saveRepro(Path, A, &Error)) {
+    std::fprintf(stderr, "%s\n", Error.c_str());
+    return 2;
+  }
+  std::printf("  minimized artifact rewritten: %s\n", Path.c_str());
+  return 0;
 }
 
 } // namespace
@@ -201,6 +575,20 @@ int main(int Argc, char **Argv) {
   Flags.addBool("every-access", false,
                 "scheduling points at every data access (ablation mode)");
   Flags.addString("detector", "vc", "race detector: vc or goldilocks");
+  Flags.addString("json", "", "write a machine-readable run manifest here");
+  Flags.addString("checkpoint-dir", "",
+                  "write resumable checkpoints into this directory (icb)");
+  Flags.addInt("checkpoint-every", 4096,
+               "checkpoint period in executions (0 = only on signal/finish)");
+  Flags.addString("resume", "",
+                  "resume the checkpointed run in this directory");
+  Flags.addString("replay", "",
+                  "replay a .icbrepro artifact and verify its bug fires");
+  Flags.addBool("minimize", false,
+                "with --replay: delta-debug the schedule, rewrite the "
+                "artifact in place");
+  Flags.addString("repro-dir", "",
+                  "write a .icbrepro artifact per discovered bug here");
   std::string Error;
   if (!Flags.parse(Argc, Argv, &Error)) {
     std::fprintf(stderr, "%s\n", Error.c_str());
@@ -211,11 +599,29 @@ int main(int Argc, char **Argv) {
     return 0;
   }
 
-  const BenchmarkEntry *Entry = findBenchmark(Flags.getString("benchmark"));
-  if (!Entry) {
-    std::fprintf(stderr,
-                 "unknown benchmark '%s'; use --list to see them\n",
-                 Flags.getString("benchmark").c_str());
+  // --replay is a mode of its own: a deterministic re-execution, not a
+  // search. Any search/session flag alongside it is incoherent.
+  if (!Flags.getString("replay").empty()) {
+    static const char *const Incompatible[] = {
+        "benchmark", "bug",          "strategy",        "max-bound",
+        "max-executions", "seed",    "jobs",            "shards",
+        "model",     "keep-going",   "every-access",    "detector",
+        "json",      "checkpoint-dir", "checkpoint-every", "resume",
+        "repro-dir",
+    };
+    for (const char *Name : Incompatible)
+      if (Flags.wasSet(Name)) {
+        std::fprintf(stderr,
+                     "--replay re-executes a recorded artifact; --%s "
+                     "cannot be combined with it\n",
+                     Name);
+        return 2;
+      }
+    return replayArtifact(Flags.getString("replay"),
+                          Flags.getBool("minimize"), Flags.getBool("trace"));
+  }
+  if (Flags.getBool("minimize")) {
+    std::fprintf(stderr, "--minimize requires --replay=FILE\n");
     return 2;
   }
 
@@ -233,6 +639,9 @@ int main(int Argc, char **Argv) {
   Config.Shards = static_cast<unsigned>(Flags.getInt("shards"));
   Config.PreferModel = Flags.getBool("model");
 
+  std::string BenchName = Flags.getString("benchmark");
+  std::string BugLabel = Flags.getString("bug");
+
   // Reject flag combinations that have no defined meaning rather than
   // silently ignoring a flag or falling back to another engine.
   if (Config.Jobs != 1 && Config.Strategy != "icb") {
@@ -247,17 +656,151 @@ int main(int Argc, char **Argv) {
                  "--jobs != 1\n");
     return 2;
   }
+  if (!Flags.getString("checkpoint-dir").empty() &&
+      !Flags.getString("resume").empty()) {
+    std::fprintf(stderr,
+                 "--resume continues checkpointing into its own directory; "
+                 "do not also pass --checkpoint-dir\n");
+    return 2;
+  }
+  if (Flags.wasSet("checkpoint-every") &&
+      Flags.getString("checkpoint-dir").empty() &&
+      Flags.getString("resume").empty()) {
+    std::fprintf(stderr,
+                 "--checkpoint-every requires --checkpoint-dir or --resume\n");
+    return 2;
+  }
 
-  std::string BugLabel = Flags.getString("bug");
+  // Resume: load the checkpoint, refuse explicitly conflicting flags, and
+  // let everything unset adopt the recorded configuration.
+  session::CheckpointData ResumeData;
+  SessionState S;
+  std::string ResumeDir = Flags.getString("resume");
+  if (!ResumeDir.empty()) {
+    if (!session::loadCheckpoint(session::checkpointPath(ResumeDir),
+                                 ResumeData, &Error)) {
+      std::fprintf(stderr, "--resume: %s\n", Error.c_str());
+      return 2;
+    }
+    const session::CheckpointMeta &M = ResumeData.Meta;
+    bool Bad = false;
+    auto Conflict = [&](const char *Flag, const std::string &Cli,
+                        const std::string &Recorded) {
+      std::fprintf(stderr,
+                   "--resume: --%s=%s conflicts with the checkpoint's "
+                   "recorded %s=%s\n",
+                   Flag, Cli.c_str(), Flag, Recorded.c_str());
+      Bad = true;
+    };
+    auto CheckStr = [&](const char *Flag, const std::string &Cli,
+                        const std::string &Recorded) {
+      if (Flags.wasSet(Flag) && Cli != Recorded)
+        Conflict(Flag, Cli, Recorded);
+    };
+    auto CheckNum = [&](const char *Flag, uint64_t Cli, uint64_t Recorded) {
+      if (Flags.wasSet(Flag) && Cli != Recorded)
+        Conflict(Flag, std::to_string(Cli), std::to_string(Recorded));
+    };
+    auto CheckBool = [&](const char *Flag, bool Cli, bool Recorded) {
+      if (Flags.wasSet(Flag) && Cli != Recorded)
+        Conflict(Flag, Cli ? "true" : "false", Recorded ? "true" : "false");
+    };
+    CheckStr("benchmark", BenchName, M.Benchmark);
+    CheckStr("bug", BugLabel == "none" ? "default" : BugLabel, M.Bug);
+    CheckStr("strategy", Config.Strategy, M.Strategy);
+    CheckStr("detector", Config.Detector, M.Detector);
+    CheckNum("jobs", Config.Jobs, M.Jobs);
+    CheckNum("shards", Config.Shards, M.Shards);
+    CheckNum("seed", Config.Seed, M.Seed);
+    CheckNum("max-bound", Config.MaxBound, M.Limits.MaxPreemptionBound);
+    CheckNum("max-executions", Config.MaxExecutions,
+             M.Limits.MaxExecutions);
+    CheckBool("every-access", Config.EveryAccess, M.EveryAccess);
+    CheckBool("keep-going", !Config.StopAtFirst, !M.Limits.StopAtFirstBug);
+    CheckBool("model", Config.PreferModel, M.Form == "vm");
+    if (Bad)
+      return 2;
+
+    Config.Strategy = M.Strategy;
+    Config.Detector = M.Detector;
+    Config.Jobs = M.Jobs;
+    Config.Shards = M.Shards;
+    Config.Seed = M.Seed;
+    Config.MaxBound = M.Limits.MaxPreemptionBound;
+    Config.MaxExecutions = M.Limits.MaxExecutions;
+    Config.EveryAccess = M.EveryAccess;
+    Config.StopAtFirst = M.Limits.StopAtFirstBug;
+    Config.PreferModel = M.Form == "vm";
+    BenchName = M.Benchmark;
+    BugLabel = M.Bug == "default" ? "none" : M.Bug;
+    S.Resume = &ResumeData;
+    S.CheckpointDir = ResumeDir;
+  } else {
+    S.CheckpointDir = Flags.getString("checkpoint-dir");
+  }
+  S.CheckpointEvery =
+      static_cast<uint64_t>(Flags.getInt("checkpoint-every"));
+  S.ReproDir = Flags.getString("repro-dir");
+  S.JsonPath = Flags.getString("json");
+
+  if (!S.CheckpointDir.empty() && Config.Strategy != "icb") {
+    std::fprintf(stderr,
+                 "--checkpoint-dir/--resume apply to the icb strategy only "
+                 "(got --strategy=%s)\n",
+                 Config.Strategy.c_str());
+    return 2;
+  }
+  if (!S.CheckpointDir.empty() && BugLabel == "all") {
+    std::fprintf(stderr,
+                 "--checkpoint-dir/--resume track a single run; use a "
+                 "specific --bug, not --bug=all\n");
+    return 2;
+  }
+
+  const BenchmarkEntry *Entry = findBenchmark(BenchName);
+  if (!Entry) {
+    std::fprintf(stderr,
+                 "unknown benchmark '%s'; use --list to see them\n",
+                 BenchName.c_str());
+    return 2;
+  }
+
+  session::Manifest Manifest("icb_check");
+  if (!S.JsonPath.empty()) {
+    using session::JsonValue;
+    JsonValue Cfg = JsonValue::object();
+    Cfg.set("benchmark", JsonValue::str(BenchName));
+    Cfg.set("bug", JsonValue::str(BugLabel));
+    Cfg.set("strategy", JsonValue::str(Config.Strategy));
+    Cfg.set("max_bound", JsonValue::number(Config.MaxBound));
+    Cfg.set("max_executions", JsonValue::number(Config.MaxExecutions));
+    Cfg.set("seed", JsonValue::number(Config.Seed));
+    Cfg.set("jobs", JsonValue::number(Config.Jobs));
+    Cfg.set("shards", JsonValue::number(Config.Shards));
+    Cfg.set("model", JsonValue::boolean(Config.PreferModel));
+    Cfg.set("every_access", JsonValue::boolean(Config.EveryAccess));
+    Cfg.set("detector", JsonValue::str(Config.Detector));
+    Cfg.set("keep_going", JsonValue::boolean(!Config.StopAtFirst));
+    if (!ResumeDir.empty())
+      Cfg.set("resumed_from", JsonValue::str(ResumeDir));
+    Manifest.setConfig(std::move(Cfg));
+    S.Json = &Manifest;
+    if (!Manifest.writeTo(S.JsonPath, &Error)) {
+      std::fprintf(stderr, "%s\n", Error.c_str());
+      return 2;
+    }
+  }
+
   int Exit = 0;
   bool UsageError = false;
-  auto RunVariant = [&](const std::function<rt::TestCase()> &MakeRt,
+  auto RunVariant = [&](const std::string &Label,
+                        const std::function<rt::TestCase()> &MakeRt,
                         const std::function<vm::Program()> &MakeVm) {
     if (UsageError)
       return;
     if (Config.PreferModel && !MakeVm) {
       std::fprintf(stderr, "--model: benchmark '%s' has no model-VM form\n",
-                   Flags.getString("benchmark").c_str());
+                   BenchName.c_str());
       UsageError = true;
       return;
     }
@@ -269,15 +812,25 @@ int main(int Argc, char **Argv) {
       UsageError = true;
       return;
     }
-    int Rc = UseVm ? runVm(MakeVm(), Config) : runRt(MakeRt(), Config);
+    if (S.Resume && S.Resume->Meta.Form != (UseVm ? "vm" : "rt")) {
+      std::fprintf(stderr,
+                   "--resume: checkpoint was taken on the %s form, but this "
+                   "invocation would run the %s form\n",
+                   S.Resume->Meta.Form.c_str(), UseVm ? "vm" : "rt");
+      UsageError = true;
+      return;
+    }
+    S.Benchmark = Entry->Name;
+    S.Bug = Label;
+    int Rc = UseVm ? runVm(MakeVm(), Config, S) : runRt(MakeRt(), Config, S);
     Exit = std::max(Exit, Rc);
   };
 
   if (BugLabel == "none") {
-    RunVariant(Entry->MakeDefaultRt, Entry->MakeDefaultVm);
+    RunVariant("default", Entry->MakeDefaultRt, Entry->MakeDefaultVm);
   } else if (BugLabel == "all") {
     for (const BugVariant &B : Entry->Bugs)
-      RunVariant(B.MakeRt, B.MakeVm);
+      RunVariant(B.Label, B.MakeRt, B.MakeVm);
   } else {
     const BugVariant *Found = nullptr;
     for (const BugVariant &B : Entry->Bugs)
@@ -288,7 +841,7 @@ int main(int Argc, char **Argv) {
                    Entry->Name.c_str(), BugLabel.c_str());
       return 2;
     }
-    RunVariant(Found->MakeRt, Found->MakeVm);
+    RunVariant(Found->Label, Found->MakeRt, Found->MakeVm);
   }
   return UsageError ? 2 : Exit;
 }
