@@ -1,0 +1,185 @@
+//===- bench/obs_overhead.cpp - Instrumentation overhead harness -----------===//
+//
+// Part of the ICB project (PLDI'07 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Measures what the observability layer costs on the search hot path:
+/// the same ICB run with a MetricsRegistry attached (every counter, phase
+/// timer, and per-worker clock active) versus detached (null shard —
+/// every obs::count / ScopedPhase short-circuits). The third column of
+/// interest — ICB_NO_METRICS, where the instrumentation is compiled out
+/// entirely — is a separate build; the CI release job covers it.
+///
+/// The rt executor is the stressful case: its instrumentation sits inside
+/// the fiber scheduler (hash and race-detect scopes fire per step, not
+/// per execution).
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+#include "benchmarks/Bluetooth.h"
+#include "benchmarks/WorkStealingQueue.h"
+#include "benchmarks/WsqModel.h"
+#include "obs/Metrics.h"
+#include "rt/Explore.h"
+#include "search/Checker.h"
+#include "support/Format.h"
+#include "vm/Interp.h"
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+
+using namespace icb;
+using namespace icb::bench;
+using namespace icb::benchutil;
+
+namespace {
+
+uint64_t nowMicros() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+struct Measurement {
+  uint64_t Micros = 0;
+  uint64_t Executions = 0;
+  uint64_t Steps = 0;
+};
+
+/// Best of \p Reps timed runs of \p Body — the minimum is the standard
+/// noise filter for single-process wall-clock micro-measurements.
+template <typename Fn> Measurement bestOf(unsigned Reps, Fn Body) {
+  Measurement Best;
+  for (unsigned I = 0; I != Reps; ++I) {
+    Measurement M = Body();
+    if (I == 0 || M.Micros < Best.Micros)
+      Best = M;
+  }
+  return Best;
+}
+
+Measurement runRt(const rt::TestCase &Test, unsigned Jobs,
+                  obs::MetricsRegistry *Reg) {
+  return bestOf(3, [&] {
+    rt::ExploreOptions Opts;
+    Opts.Limits.MaxPreemptionBound = 2;
+    Opts.Limits.StopAtFirstBug = false;
+    Opts.Jobs = Jobs;
+    Opts.Metrics = Reg;
+    rt::IcbExplorer Icb(Opts);
+    uint64_t Start = nowMicros();
+    rt::ExploreResult R = Icb.explore(Test);
+    return Measurement{nowMicros() - Start, R.Stats.Executions,
+                       R.Stats.TotalSteps};
+  });
+}
+
+Measurement runVm(const vm::Program &Prog, obs::MetricsRegistry *Reg) {
+  return bestOf(3, [&] {
+    search::SearchOptions Opts;
+    Opts.Kind = search::StrategyKind::Icb;
+    Opts.Limits.MaxPreemptionBound = 3;
+    Opts.Limits.StopAtFirstBug = false;
+    Opts.Metrics = Reg;
+    uint64_t Start = nowMicros();
+    search::SearchResult R = search::checkProgram(Prog, Opts);
+    return Measurement{nowMicros() - Start, R.Stats.Executions,
+                       R.Stats.TotalSteps};
+  });
+}
+
+std::string perStepNanos(const Measurement &M) {
+  if (M.Steps == 0)
+    return "-";
+  uint64_t Nanos = M.Micros * 1000;
+  return strFormat("%" PRIu64 ".%" PRIu64, Nanos / M.Steps,
+                   (Nanos * 10 / M.Steps) % 10);
+}
+
+std::string overheadPct(uint64_t With, uint64_t Without) {
+  if (Without == 0)
+    return "-";
+  // Signed-safe scaled percentage: instrumented minus bare over bare.
+  int64_t DeltaMilli =
+      (static_cast<int64_t>(With) - static_cast<int64_t>(Without)) * 1000 /
+      static_cast<int64_t>(Without);
+  return strFormat("%+" PRId64 ".%" PRId64 "%%", DeltaMilli / 10,
+                   DeltaMilli < 0 ? (-DeltaMilli) % 10 : DeltaMilli % 10);
+}
+
+} // namespace
+
+int main() {
+  printHeader("Observability overhead: metrics attached vs detached",
+              "same search, with and without a MetricsRegistry; "
+              "ICB_NO_METRICS (compiled out) is a separate build");
+
+  struct Case {
+    std::string Name;
+    Measurement With;
+    Measurement Without;
+  };
+  std::vector<Case> Cases;
+
+  {
+    rt::TestCase Test = workStealingTest({3, 4, WsqBug::PopRetryNoLock});
+    // Warm-up run to fault in fiber stacks and allocator arenas.
+    runRt(Test, 1, nullptr);
+    obs::MetricsRegistry Reg;
+    Case C{"wsq rt jobs=1", {}, {}};
+    C.Without = runRt(Test, 1, nullptr);
+    C.With = runRt(Test, 1, &Reg);
+    Cases.push_back(C);
+  }
+  {
+    rt::TestCase Test = workStealingTest({3, 4, WsqBug::PopRetryNoLock});
+    obs::MetricsRegistry Reg;
+    Case C{"wsq rt jobs=4", {}, {}};
+    C.Without = runRt(Test, 4, nullptr);
+    C.With = runRt(Test, 4, &Reg);
+    Cases.push_back(C);
+  }
+  {
+    rt::TestCase Test = bluetoothTest({2, /*WithBug=*/true});
+    runRt(Test, 1, nullptr);
+    obs::MetricsRegistry Reg;
+    Case C{"bluetooth rt jobs=1", {}, {}};
+    C.Without = runRt(Test, 1, nullptr);
+    C.With = runRt(Test, 1, &Reg);
+    Cases.push_back(C);
+  }
+  {
+    vm::Program Prog = wsqModel({3, WsqBug::None});
+    runVm(Prog, nullptr);
+    obs::MetricsRegistry Reg;
+    Case C{"wsq vm jobs=1", {}, {}};
+    C.Without = runVm(Prog, nullptr);
+    C.With = runVm(Prog, &Reg);
+    Cases.push_back(C);
+  }
+
+  std::vector<std::vector<std::string>> Rows;
+  for (const Case &C : Cases)
+    Rows.push_back({C.Name, withCommas(C.Without.Steps),
+                    withCommas(C.Without.Micros), withCommas(C.With.Micros),
+                    perStepNanos(C.Without), perStepNanos(C.With),
+                    overheadPct(C.With.Micros, C.Without.Micros)});
+  printTable({"case", "steps", "bare us", "metered us", "bare ns/step",
+              "metered ns/step", "overhead"},
+             Rows);
+
+  std::printf("\nNote: best-of-3 wall clocks; treat the overhead column "
+              "as indicative, not a statistic.\n");
+
+  std::vector<std::vector<std::string>> Csv;
+  for (const Case &C : Cases)
+    Csv.push_back({C.Name, std::to_string(C.Without.Steps),
+                   std::to_string(C.Without.Micros),
+                   std::to_string(C.With.Micros)});
+  printCsv("obs_overhead", {"case", "steps", "bare_us", "metered_us"}, Csv);
+  return 0;
+}

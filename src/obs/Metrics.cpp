@@ -1,0 +1,185 @@
+//===- obs/Metrics.cpp - Search telemetry registry ------------------------===//
+//
+// Part of the ICB project (PLDI'07 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/Metrics.h"
+#include "obs/PhaseTimer.h"
+#include <cassert>
+#include <chrono>
+
+namespace icb::obs {
+
+#if defined(__x86_64__)
+namespace detail {
+
+uint64_t calibrateTscScale() {
+  using Clock = std::chrono::steady_clock;
+  // Spin for ~2ms against steady_clock. Paid once per process, on the
+  // first nowNanos() call; relative error is well under 0.1%, which is
+  // plenty for phase timers and progress rates.
+  uint64_t Tsc0 = __rdtsc();
+  Clock::time_point C0 = Clock::now();
+  Clock::time_point C1;
+  do {
+    C1 = Clock::now();
+  } while (C1 - C0 < std::chrono::milliseconds(2));
+  uint64_t Ticks = __rdtsc() - Tsc0;
+  uint64_t Nanos = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(C1 - C0).count());
+  if (Ticks == 0 || Nanos == 0)
+    return 1 << 20; // Degenerate clock: pretend 1 tick == 1 ns.
+  return (Nanos << 20) / Ticks;
+}
+
+} // namespace detail
+#endif
+
+const char *counterName(Counter C) {
+  switch (C) {
+  case Counter::SeenHit:
+    return "seen_hit";
+  case Counter::SeenMiss:
+    return "seen_miss";
+  case Counter::TerminalHit:
+    return "terminal_hit";
+  case Counter::TerminalMiss:
+    return "terminal_miss";
+  case Counter::ItemHit:
+    return "item_hit";
+  case Counter::ItemMiss:
+    return "item_miss";
+  case Counter::Chains:
+    return "chains";
+  case Counter::BranchedItems:
+    return "branched_items";
+  case Counter::DeferredItems:
+    return "deferred_items";
+  case Counter::ReplaySteps:
+    return "replay_steps";
+  case Counter::StealAttempts:
+    return "steal_attempts";
+  case Counter::StealHits:
+    return "steal_hits";
+  case Counter::Snapshots:
+    return "snapshots";
+  case Counter::NumCounters:
+    break;
+  }
+  assert(false && "invalid counter");
+  return "?";
+}
+
+bool counterIsDeterministic(Counter C) {
+  switch (C) {
+  case Counter::SeenHit:
+  case Counter::SeenMiss:
+  case Counter::TerminalHit:
+  case Counter::TerminalMiss:
+  case Counter::ItemHit:
+  case Counter::ItemMiss:
+  case Counter::Chains:
+  case Counter::BranchedItems:
+  case Counter::DeferredItems:
+  case Counter::ReplaySteps:
+    return true;
+  case Counter::StealAttempts:
+  case Counter::StealHits:
+  case Counter::Snapshots:
+  case Counter::NumCounters:
+    return false;
+  }
+  return false;
+}
+
+const char *phaseName(Phase P) {
+  switch (P) {
+  case Phase::Replay:
+    return "replay";
+  case Phase::Execute:
+    return "execute";
+  case Phase::Hash:
+    return "hash";
+  case Phase::CacheProbe:
+    return "cache_probe";
+  case Phase::RaceDetect:
+    return "race_detect";
+  case Phase::Snapshot:
+    return "snapshot";
+  case Phase::NumPhases:
+    break;
+  }
+  assert(false && "invalid phase");
+  return "?";
+}
+
+void MetricShard::merge(const MetricShard &Other) {
+  for (size_t I = 0; I != NumCounters; ++I)
+    Counters[I] += Other.Counters[I];
+  for (size_t I = 0; I != NumPhases; ++I)
+    Phases[I].merge(Other.Phases[I]);
+  ReplayDepth.merge(Other.ReplayDepth);
+  ExecutionsPerBound.merge(Other.ExecutionsPerBound);
+  Worker.merge(Other.Worker);
+}
+
+void MetricShard::reset() { *this = MetricShard(); }
+
+bool MetricsSnapshot::empty() const {
+  for (uint64_t C : Counters)
+    if (C != 0)
+      return false;
+  for (const MinMax &P : Phases)
+    if (!P.empty())
+      return false;
+  if (!ReplayDepth.empty() || !ExecutionsPerBound.buckets().empty())
+    return false;
+  for (const WorkerMetrics &W : Workers)
+    if (W.BusyNanos != 0 || W.IdleNanos != 0)
+      return false;
+  return true;
+}
+
+void MetricsSnapshot::merge(const MetricsSnapshot &Other) {
+  Counters.resize(NumCounters, 0);
+  for (size_t I = 0; I != Other.Counters.size() && I != NumCounters; ++I)
+    Counters[I] += Other.Counters[I];
+  Phases.resize(NumPhases);
+  for (size_t I = 0; I != Other.Phases.size() && I != NumPhases; ++I)
+    Phases[I].merge(Other.Phases[I]);
+  ReplayDepth.merge(Other.ReplayDepth);
+  ExecutionsPerBound.merge(Other.ExecutionsPerBound);
+  if (Workers.size() < Other.Workers.size())
+    Workers.resize(Other.Workers.size());
+  for (size_t I = 0; I != Other.Workers.size(); ++I)
+    Workers[I].merge(Other.Workers[I]);
+}
+
+void MetricsRegistry::ensureShards(unsigned N) {
+  while (ShardList.size() < N)
+    ShardList.emplace_back();
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  MetricShard Sum;
+  for (const MetricShard &S : ShardList)
+    Sum.merge(S);
+
+  MetricsSnapshot Snap;
+  Snap.Counters.assign(Sum.Counters, Sum.Counters + NumCounters);
+  Snap.Phases.assign(Sum.Phases, Sum.Phases + NumPhases);
+  Snap.ReplayDepth = Sum.ReplayDepth;
+  Snap.ExecutionsPerBound = Sum.ExecutionsPerBound;
+  Snap.Workers.reserve(ShardList.size());
+  for (const MetricShard &S : ShardList)
+    Snap.Workers.push_back(S.Worker);
+  // Per-worker busy/idle is already folded into Snap.Workers above, so
+  // the shard-summed copy inside Sum.Worker must not be double-counted.
+  Snap.merge(Base);
+  return Snap;
+}
+
+void MetricsRegistry::restore(const MetricsSnapshot &Snap) { Base = Snap; }
+
+} // namespace icb::obs

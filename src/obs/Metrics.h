@@ -1,0 +1,212 @@
+//===- obs/Metrics.h - Search telemetry registry ----------------*- C++ -*-===//
+//
+// Part of the ICB project (PLDI'07 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The observability subsystem's metrics layer: named monotonic counters,
+/// phase timers, and small distributions accumulated per worker and merged
+/// commutatively — the same discipline as the engine's SearchStats, so the
+/// merged totals of a `--jobs N` run are independent of scheduling.
+///
+/// The layout mirrors the parallel ICB driver: one cache-line-padded
+/// MetricShard per worker, written by that worker only, read (and merged)
+/// only at quiescent points — bound barriers, checkpoints, run end. There
+/// is no atomic in the hot path; a counter increment is one add into a
+/// worker-private slot.
+///
+/// Metrics come in two classes, reflected in the JSON export and the
+/// determinism guarantees:
+///
+///   * *work-derived counters* (cache hits/misses, chains run, items
+///     branched/deferred, replay depth, executions per bound) count events
+///     of the bounded search tree itself. The tree is the same whatever
+///     the worker count or interleaving, so the merged values are
+///     byte-identical between `--jobs 1` and `--jobs N` runs, and between
+///     an interrupted+resumed run and an uninterrupted one (snapshots
+///     carry the counters; reconstruction work such as replaying a
+///     checkpointed prefix through VmExecutor::loadItem is deliberately
+///     not counted, mirroring how the engine keeps statistics
+///     reconstruction-free);
+///
+///   * *timing metrics* (phase nanoseconds, worker busy/idle time, deque
+///     steal attempts/hits, snapshot count) measure one particular run on
+///     one particular machine and are never deterministic.
+///
+/// `ICB_NO_METRICS` compiles the hot-path instrumentation out entirely:
+/// the helpers below become no-ops, ScopedPhase (PhaseTimer.h) reads no
+/// clock, and every exported value is zero, while all types keep existing
+/// so call sites and serialization build unchanged.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ICB_OBS_METRICS_H
+#define ICB_OBS_METRICS_H
+
+#include "support/Stats.h"
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+namespace icb::obs {
+
+/// Monotonic event counters. The order is the wire order of the JSON
+/// export; countersDeterministic() documents which prefix is work-derived.
+enum class Counter : unsigned {
+  // Work-derived (deterministic across worker counts and resume).
+  SeenHit,       ///< Visited-state probe found the digest already present.
+  SeenMiss,      ///< Visited-state probe inserted a new digest.
+  TerminalHit,   ///< Terminal-fingerprint probe hit (rt executor).
+  TerminalMiss,  ///< Terminal-fingerprint probe inserted (rt executor).
+  ItemHit,       ///< (state, thread) work-item cache pruned a revisit.
+  ItemMiss,      ///< (state, thread) work-item cache claimed a new item.
+  Chains,        ///< Work-item chains executed (one execution each).
+  BranchedItems, ///< Nonpreempting branches published (same bound).
+  DeferredItems, ///< Preempting continuations published (bound c + 1).
+  ReplaySteps,   ///< Schedule-prefix steps replayed before divergence.
+  // Timing-class (run- and machine-specific).
+  StealAttempts, ///< Chase-Lev trySteal() calls by idle workers.
+  StealHits,     ///< trySteal() calls that returned an item.
+  Snapshots,     ///< Engine snapshots emitted (periodic/stop/final).
+
+  NumCounters,
+};
+
+inline constexpr size_t NumCounters =
+    static_cast<size_t>(Counter::NumCounters);
+
+/// Scoped phases of the hot path, timed by ScopedPhase (PhaseTimer.h).
+/// `Execute` is the outer per-chain scope; the others are nested slices of
+/// it (their sums overlap Execute's, not partition it).
+enum class Phase : unsigned {
+  Replay,     ///< Schedule-prefix replay (rt divergence-point split, vm
+              ///< checkpoint-item reconstruction).
+  Execute,    ///< Running one work-item chain end to end.
+  Hash,       ///< Happens-before fingerprint maintenance (rt executor).
+  CacheProbe, ///< Visited/terminal/work-item digest-set probes.
+  RaceDetect, ///< Per-execution race detector work (rt executor).
+  Snapshot,   ///< Building + handing off an engine snapshot.
+
+  NumPhases,
+};
+
+inline constexpr size_t NumPhases = static_cast<size_t>(Phase::NumPhases);
+
+/// Stable wire/report name of a counter ("seen_hit", "steal_attempts", ...).
+const char *counterName(Counter C);
+
+/// True for the work-derived counters whose merged values are identical
+/// across worker counts (and across checkpoint/resume).
+bool counterIsDeterministic(Counter C);
+
+/// Stable wire/report name of a phase ("replay", "cache_probe", ...).
+const char *phaseName(Phase P);
+
+/// Per-worker wall-clock split of one engine round-robin worker.
+struct WorkerMetrics {
+  uint64_t BusyNanos = 0; ///< Inside Executor::runChain.
+  uint64_t IdleNanos = 0; ///< Spinning/yielding with an empty deque.
+
+  void merge(const WorkerMetrics &Other) {
+    BusyNanos += Other.BusyNanos;
+    IdleNanos += Other.IdleNanos;
+  }
+};
+
+/// One worker's private slice of every metric. Padded to a cache line so
+/// neighbouring workers' hot counters do not false-share (the same layout
+/// discipline as the engine's WorkerState).
+struct alignas(64) MetricShard {
+  uint64_t Counters[NumCounters] = {};
+  /// Per-phase durations in nanoseconds: count = scopes entered,
+  /// sum = total ns, min/max = extreme scope durations.
+  MinMax Phases[NumPhases];
+  /// Schedule-prefix replay depth per chain (rt executor).
+  MinMax ReplayDepth;
+  /// Executions completed per preemption bound.
+  Histogram ExecutionsPerBound;
+  WorkerMetrics Worker;
+
+  void merge(const MetricShard &Other);
+  void reset();
+};
+
+/// A mergeable, serializable image of every metric — what the manifest's
+/// `metrics` block and a checkpoint's snapshot carry. Field order matches
+/// the enums above.
+struct MetricsSnapshot {
+  std::vector<uint64_t> Counters; ///< NumCounters entries (or empty).
+  std::vector<MinMax> Phases;     ///< NumPhases entries (or empty).
+  MinMax ReplayDepth;
+  Histogram ExecutionsPerBound;
+  /// One entry per worker of the segment(s); index-wise merged across
+  /// resumed segments (the checkpoint pins the job count).
+  std::vector<WorkerMetrics> Workers;
+
+  bool empty() const;
+  void merge(const MetricsSnapshot &Other);
+};
+
+/// Owns the per-worker shards plus the restored base of earlier run
+/// segments. Shard handout and snapshotting happen on the driving thread
+/// at quiescent points; each shard is then written by exactly one worker.
+class MetricsRegistry {
+public:
+  explicit MetricsRegistry(unsigned Shards = 1) { ensureShards(Shards); }
+
+  /// Grows the shard pool to at least \p N shards. Must be called before
+  /// workers hold shard references (addresses are stable afterwards).
+  void ensureShards(unsigned N);
+
+  unsigned shards() const { return static_cast<unsigned>(ShardList.size()); }
+
+  MetricShard &shard(unsigned Index) { return ShardList[Index]; }
+
+  /// Merged view of the restored base plus every shard. Callers must
+  /// quiesce the workers first (the drivers snapshot only at barriers or
+  /// between chains).
+  MetricsSnapshot snapshot() const;
+
+  /// Seeds the registry from a checkpointed snapshot; the next
+  /// snapshot() returns base + whatever the new segment accumulates.
+  void restore(const MetricsSnapshot &Snap);
+
+private:
+  std::deque<MetricShard> ShardList; ///< Stable addresses across growth.
+  MetricsSnapshot Base;
+};
+
+/// Adds \p N to a counter; no-op on a null shard or under ICB_NO_METRICS.
+inline void count(MetricShard *S, Counter C, uint64_t N = 1) {
+#ifndef ICB_NO_METRICS
+  if (S)
+    S->Counters[static_cast<size_t>(C)] += N;
+#else
+  (void)S;
+  (void)C;
+  (void)N;
+#endif
+}
+
+/// Runs \p Stmt (an expression using shard pointer \p S) only when metrics
+/// are compiled in and \p S is non-null. For the few call sites count()
+/// does not cover (MinMax/Histogram observations).
+#ifndef ICB_NO_METRICS
+#define ICB_OBS(S, ...)                                                      \
+  do {                                                                       \
+    if ((S) != nullptr) {                                                    \
+      __VA_ARGS__;                                                           \
+    }                                                                        \
+  } while (0)
+#else
+#define ICB_OBS(S, ...)                                                      \
+  do {                                                                       \
+    (void)(S);                                                               \
+  } while (0)
+#endif
+
+} // namespace icb::obs
+
+#endif // ICB_OBS_METRICS_H

@@ -1,0 +1,91 @@
+//===- obs/Progress.cpp - Live search progress ticker ---------------------===//
+//
+// Part of the ICB project (PLDI'07 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/Progress.h"
+#include "obs/PhaseTimer.h"
+#include <algorithm>
+#include <cinttypes>
+#include <cstring>
+#include <unistd.h>
+
+namespace icb::obs {
+
+ProgressMeter::ProgressMeter(uint64_t PeriodMillis, FILE *Out)
+    : Out(Out ? Out : stderr), IsTty(isatty(fileno(this->Out)) != 0),
+      PeriodNanos(PeriodMillis * 1000000ull), StartNanos(nowNanos()),
+      NextDeadline(StartNanos) {}
+
+bool ProgressMeter::due() {
+  uint64_t Deadline = NextDeadline.load(std::memory_order_relaxed);
+  uint64_t Now = nowNanos();
+  if (Now < Deadline)
+    return false;
+  // Claim the deadline; losers were beaten to this tick and move on.
+  return NextDeadline.compare_exchange_strong(Deadline, Now + PeriodNanos,
+                                              std::memory_order_relaxed);
+}
+
+void ProgressMeter::tick(const ProgressSample &S) { render(S, false); }
+
+void ProgressMeter::finish(const ProgressSample &S) {
+  render(S, true);
+  if (IsTty)
+    fputc('\n', Out);
+  fflush(Out);
+}
+
+void ProgressMeter::render(const ProgressSample &S, bool Final) {
+  uint64_t ElapsedNanos = nowNanos() - StartNanos;
+  // executions/s with one decimal, in integer math.
+  uint64_t RateDeci = 0;
+  if (ElapsedNanos > 0)
+    RateDeci = S.Executions * 10000000000ull / ElapsedNanos;
+
+  char Line[256];
+  int N = snprintf(Line, sizeof(Line),
+                   "[icb] bound %" PRIu64 "/%" PRIu64 "  exec %" PRIu64
+                   " (%" PRIu64 ".%" PRIu64 "/s)  states %" PRIu64
+                   "  frontier %" PRIu64 "+%" PRIu64 "  bugs %" PRIu64,
+                   S.Bound, S.MaxBound, S.Executions, RateDeci / 10,
+                   RateDeci % 10, S.States, S.FrontierRemaining,
+                   S.DeferredNext, S.Bugs);
+  if (N < 0)
+    return;
+  size_t Len = std::min(sizeof(Line) - 1, static_cast<size_t>(N));
+
+  // ETA: items left at this bound over the execution rate. A lower bound
+  // on remaining work — the next bound's queue is still being filled.
+  if (!Final && RateDeci > 0 && S.FrontierRemaining > 0) {
+    uint64_t EtaSecs = S.FrontierRemaining * 10 / RateDeci;
+    int M = snprintf(Line + Len, sizeof(Line) - Len, "  eta ~%" PRIu64 "s",
+                     EtaSecs);
+    if (M > 0)
+      Len = std::min(sizeof(Line) - 1, Len + static_cast<size_t>(M));
+  }
+  if (Final) {
+    uint64_t Secs = ElapsedNanos / 1000000000ull;
+    uint64_t Millis = ElapsedNanos % 1000000000ull / 1000000ull;
+    int M = snprintf(Line + Len, sizeof(Line) - Len,
+                     "  done (%" PRIu64 ".%03" PRIu64 "s)", Secs, Millis);
+    if (M > 0)
+      Len = std::min(sizeof(Line) - 1, Len + static_cast<size_t>(M));
+  }
+
+  if (IsTty) {
+    // Redraw in place, blanking any tail of a longer previous line.
+    fputc('\r', Out);
+    fwrite(Line, 1, Len, Out);
+    for (uint64_t I = Len; I < LastLineLen; ++I)
+      fputc(' ', Out);
+    LastLineLen = Len;
+  } else {
+    fwrite(Line, 1, Len, Out);
+    fputc('\n', Out);
+  }
+  fflush(Out);
+}
+
+} // namespace icb::obs

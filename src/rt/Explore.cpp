@@ -118,6 +118,7 @@ ExploreResult IcbExplorer::explore(const TestCase &Test) {
   EngineOpts.CanonicalBugs = true;
   EngineOpts.Observer = Opts.Observer;
   EngineOpts.Resume = Opts.Resume;
+  EngineOpts.Metrics = Opts.Metrics;
 
   if (Opts.Jobs == 1) {
     ReplayExecutor Executor(Test, Opts.Exec);

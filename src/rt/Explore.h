@@ -69,6 +69,8 @@ struct ExploreOptions {
   /// ICB only: session hooks and resume snapshot (see EngineObserver.h).
   search::EngineObserver *Observer = nullptr;
   const search::EngineSnapshot *Resume = nullptr;
+  /// ICB only: observability registry (see obs/Metrics.h).
+  obs::MetricsRegistry *Metrics = nullptr;
 
   /// The runtime's historical safety nets: exploration stops after 2^20
   /// executions (the fiber runtime cannot enumerate forever on the larger

@@ -25,6 +25,8 @@
 #ifndef ICB_RT_REPLAYEXECUTOR_H
 #define ICB_RT_REPLAYEXECUTOR_H
 
+#include "obs/Metrics.h"
+#include "obs/PhaseTimer.h"
 #include "rt/ExecutionResult.h"
 #include "rt/SchedulePolicy.h"
 #include "rt/Scheduler.h"
@@ -89,10 +91,33 @@ inline search::Bug bugFromResult(const ExecutionResult &R) {
 /// alternatives at yield or blocking points are free (same bound).
 class IcbPolicy : public SchedulePolicy {
 public:
-  explicit IcbPolicy(const PrefixItem &Item)
-      : Prefix(Item.Prefix), Forced(Item.NextTid) {}
+  explicit IcbPolicy(const PrefixItem &Item,
+                     obs::MetricShard *MS = nullptr)
+      : Prefix(Item.Prefix), Forced(Item.NextTid), MS(MS) {
+#ifndef ICB_NO_METRICS
+    if (MS && !Prefix.empty())
+      ReplayStart = obs::nowNanos();
+#endif
+  }
+
+  /// Records the prefix-replay duration if the execution ended while (or
+  /// exactly when) the replay did; called once after the run.
+  void flushReplayPhase() {
+#ifndef ICB_NO_METRICS
+    if (ReplayStart) {
+      MS->Phases[static_cast<size_t>(obs::Phase::Replay)].observe(
+          obs::nowNanos() - ReplayStart);
+      ReplayStart = 0;
+    }
+#endif
+  }
 
   ThreadId pick(const SchedPoint &P) override {
+#ifndef ICB_NO_METRICS
+    // First choice past the prefix: the replay phase of this chain ends.
+    if (ReplayStart && P.Index >= Prefix.size())
+      flushReplayPhase();
+#endif
     ThreadId Chosen;
     if (P.Index < Prefix.size()) {
       Chosen = Prefix[P.Index];
@@ -146,6 +171,8 @@ private:
   ThreadId Forced;
   ThreadId Current = InvalidThread;
   std::vector<ThreadId> Mirror;
+  obs::MetricShard *MS;
+  uint64_t ReplayStart = 0;
 };
 
 /// Executor advancing the search by replaying schedule prefixes on the
@@ -166,8 +193,13 @@ public:
   }
 
   template <typename Ctx> void runChain(WorkItem Item, Ctx &C) {
-    IcbPolicy Policy(Item);
+    obs::MetricShard *MS = C.metrics();
+    Sched.setMetricShard(MS);
+    IcbPolicy Policy(Item, MS);
     ExecutionResult R = Sched.run(Test, Policy);
+    Policy.flushReplayPhase();
+    obs::count(MS, obs::Counter::ReplaySteps, Item.Prefix.size());
+    ICB_OBS(MS, MS->ReplayDepth.observe(Item.Prefix.size()));
     // The work-queue structure guarantees every execution at bound c has
     // exactly c preemptions; this is Algorithm 1's core invariant.
     ICB_ASSERT(R.Preemptions == C.bound(),

@@ -5,6 +5,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "rt/Scheduler.h"
+#include "obs/PhaseTimer.h"
 #include "race/Goldilocks.h"
 #include "race/VcRaceDetector.h"
 #include "rt/SyncObject.h"
@@ -173,8 +174,11 @@ void Scheduler::recordStep(ThreadId Tid, bool Switch, bool Preempt) {
     // operation of t accesses e_t). A creation point itself (VarCode 0)
     // records nothing.
     if (T.Op.VarCode != 0) {
-      if (Detector)
+      if (Detector) {
+        obs::ScopedPhase RaceTimer(MShard, obs::Phase::RaceDetect);
         Detector->onSyncOp(Tid, T.Op.VarCode);
+      }
+      obs::ScopedPhase HashTimer(MShard, obs::Phase::Hash);
       Fingerprint->addStep(Tid, T.Op.VarCode, /*IsSync=*/true,
                            static_cast<uint16_t>(T.Op.Kind));
       noteVisitedState();
@@ -185,10 +189,14 @@ void Scheduler::recordStep(ThreadId Tid, bool Switch, bool Preempt) {
   case OpKind::DataAccess: {
     // A data access promoted to a scheduling point by EveryAccess mode
     // still has data-variable happens-before semantics.
-    Fingerprint->addStep(Tid, T.Op.VarCode, /*IsSync=*/false,
-                         static_cast<uint16_t>(T.Op.IsWrite ? 1 : 0));
-    noteVisitedState();
+    {
+      obs::ScopedPhase HashTimer(MShard, obs::Phase::Hash);
+      Fingerprint->addStep(Tid, T.Op.VarCode, /*IsSync=*/false,
+                           static_cast<uint16_t>(T.Op.IsWrite ? 1 : 0));
+      noteVisitedState();
+    }
     if (Detector) {
+      obs::ScopedPhase RaceTimer(MShard, obs::Phase::RaceDetect);
       if (auto Race = Detector->onDataAccess(Tid, T.Op.VarCode, T.Op.IsWrite);
           Race && Opts.StopOnRace) {
         Result.Status = RunStatus::DataRace;
@@ -200,14 +208,18 @@ void Scheduler::recordStep(ThreadId Tid, bool Switch, bool Preempt) {
     }
     break;
   }
-  default:
+  default: {
     // Every other kind operates on a synchronization variable.
-    if (Detector)
+    if (Detector) {
+      obs::ScopedPhase RaceTimer(MShard, obs::Phase::RaceDetect);
       Detector->onSyncOp(Tid, T.Op.VarCode);
+    }
+    obs::ScopedPhase HashTimer(MShard, obs::Phase::Hash);
     Fingerprint->addStep(Tid, T.Op.VarCode, /*IsSync=*/true,
                          static_cast<uint16_t>(T.Op.Kind));
     noteVisitedState();
     break;
+  }
   }
 }
 
@@ -283,8 +295,11 @@ void Scheduler::scheduleLoop(SchedulePolicy &Policy) {
       T.Done = true;
       // The thread's final action signals its termination event so that
       // joiners happen-after everything the thread did.
-      if (Detector)
+      if (Detector) {
+        obs::ScopedPhase RaceTimer(MShard, obs::Phase::RaceDetect);
         Detector->onSyncOp(Tid, threadEndCode(Tid));
+      }
+      obs::ScopedPhase HashTimer(MShard, obs::Phase::Hash);
       Fingerprint->addStep(Tid, threadEndCode(Tid), /*IsSync=*/true,
                            /*OpCode=*/0xff);
       noteVisitedState();
@@ -371,11 +386,15 @@ void Scheduler::schedulingPoint(PendingOp Op) {
 void Scheduler::dataAccess(uint64_t VarCode, bool IsWrite, const char *What) {
   ICB_ASSERT(Running != InvalidThread,
              "data access outside a controlled execution");
-  Fingerprint->addStep(Running, VarCode, /*IsSync=*/false,
-                       static_cast<uint16_t>(IsWrite ? 1 : 0));
-  noteVisitedState();
+  {
+    obs::ScopedPhase HashTimer(MShard, obs::Phase::Hash);
+    Fingerprint->addStep(Running, VarCode, /*IsSync=*/false,
+                         static_cast<uint16_t>(IsWrite ? 1 : 0));
+    noteVisitedState();
+  }
   if (!Detector)
     return;
+  obs::ScopedPhase RaceTimer(MShard, obs::Phase::RaceDetect);
   if (auto Race = Detector->onDataAccess(Running, VarCode, IsWrite)) {
     std::string Msg = Race->str();
     if (What && What[0])
@@ -437,11 +456,16 @@ ThreadId Scheduler::spawnThread(std::function<void()> Fn, std::string Name) {
   Record->Fib = std::make_unique<Fiber>(std::move(Fn));
   Threads.push_back(std::move(Record));
 
-  if (Detector)
+  if (Detector) {
+    obs::ScopedPhase RaceTimer(MShard, obs::Phase::RaceDetect);
     Detector->onSyncOp(Running, threadEndCode(Child));
-  Fingerprint->addStep(Running, threadEndCode(Child), /*IsSync=*/true,
-                       /*OpCode=*/0xfe);
-  noteVisitedState();
+  }
+  {
+    obs::ScopedPhase HashTimer(MShard, obs::Phase::Hash);
+    Fingerprint->addStep(Running, threadEndCode(Child), /*IsSync=*/true,
+                         /*OpCode=*/0xfe);
+    noteVisitedState();
+  }
   return Child;
 }
 

@@ -29,6 +29,7 @@
 #ifndef ICB_RT_SCHEDULER_H
 #define ICB_RT_SCHEDULER_H
 
+#include "obs/Metrics.h"
 #include "race/DynamicPartition.h"
 #include "race/RaceDetector.h"
 #include "rt/ExecutionResult.h"
@@ -147,6 +148,12 @@ public:
 
   const Options &options() const { return Opts; }
 
+  /// Observability: per-step fingerprint (hash) and race-detector work is
+  /// timed into \p MS (see obs/PhaseTimer.h). Null (the default) disables
+  /// the timers; ReplayExecutor points this at its worker's shard once per
+  /// chain. The shard outlives the run() it is installed for.
+  void setMetricShard(obs::MetricShard *MS) { MShard = MS; }
+
 private:
   struct ThreadRecord;
 
@@ -184,6 +191,7 @@ private:
   ExecutionResult Result;
   bool ExecutionOver = false;
   bool Teardown = false;
+  obs::MetricShard *MShard = nullptr;
 
   /// Upper bound on threads per execution (fingerprint width).
   static constexpr unsigned MaxThreads = 32;

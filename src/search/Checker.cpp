@@ -26,6 +26,7 @@ std::unique_ptr<Strategy> icb::search::makeStrategy(const SearchOptions &Opts) {
       O.Limits = Opts.Limits;
       O.Observer = Opts.Observer;
       O.Resume = Opts.Resume;
+      O.Metrics = Opts.Metrics;
       return std::make_unique<ParallelIcbSearch>(O);
     }
     IcbSearch::Options O;
@@ -34,6 +35,7 @@ std::unique_ptr<Strategy> icb::search::makeStrategy(const SearchOptions &Opts) {
     O.Limits = Opts.Limits;
     O.Observer = Opts.Observer;
     O.Resume = Opts.Resume;
+    O.Metrics = Opts.Metrics;
     return std::make_unique<IcbSearch>(O);
   }
   case StrategyKind::Dfs: {

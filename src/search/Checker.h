@@ -53,6 +53,9 @@ struct SearchOptions {
   /// strategies ignore them.
   EngineObserver *Observer = nullptr;
   const EngineSnapshot *Resume = nullptr;
+  /// Icb: observability registry (see obs/Metrics.h); other strategies
+  /// ignore it.
+  obs::MetricsRegistry *Metrics = nullptr;
 };
 
 /// Instantiates the strategy described by \p Opts.

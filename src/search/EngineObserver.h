@@ -35,6 +35,8 @@
 #ifndef ICB_SEARCH_ENGINEOBSERVER_H
 #define ICB_SEARCH_ENGINEOBSERVER_H
 
+#include "obs/Metrics.h"
+#include "obs/Progress.h"
 #include "search/SearchTypes.h"
 #include "support/Stats.h"
 #include <cstdint>
@@ -72,6 +74,10 @@ struct EngineSnapshot {
   /// order, reproducing the historical report exactly). Canonical modes:
   /// (kind, message) order.
   std::vector<Bug> Bugs;
+  /// Observability totals so far (empty when the run has no registry).
+  /// Restored on resume so a resumed run's work-derived counters match an
+  /// uninterrupted run's.
+  obs::MetricsSnapshot Metrics;
 };
 
 /// Driver-side hooks. All methods are called from the driving thread only
@@ -97,6 +103,17 @@ public:
 
   /// A preemption bound was fully explored (manifest progress).
   virtual void onBoundComplete(const BoundCoverage & /*Snapshot*/) {}
+
+  /// Polled after each execution, possibly by any worker — implementations
+  /// must be lock-free (obs::ProgressMeter::due is the intended backing).
+  /// Returning true claims a progress tick; the driver follows up with
+  /// onProgress from the same thread.
+  virtual bool progressDue() { return false; }
+
+  /// A claimed progress tick with a fresh frontier sample. Coarse by
+  /// design: counts are read without quiescing the workers, so a sample
+  /// is approximate in ways the checkpoint/result paths never are.
+  virtual void onProgress(const obs::ProgressSample & /*Sample*/) {}
 };
 
 } // namespace icb::search

@@ -56,11 +56,18 @@ template <typename Ctx>
 void runIcbExecution(const vm::Interp &VM, IcbWorkItem W, bool UseStateCache,
                      bool RecordSchedules, Ctx &C) {
   while (true) {
-    if (UseStateCache && !C.claimItem(hashCombine(W.S.hash(), W.Tid))) {
-      // Revisited work item: everything beyond it was already explored
-      // (possibly at a lower bound). Counts as one pruned execution.
-      C.endExecution({W.PrefixSteps + W.Sched.size(), W.Blocking, 0});
-      return;
+    if (UseStateCache) {
+      // Deliberately not phase-timed: hashing the small VM state costs
+      // tens of nanoseconds, less than the clock reads that would time
+      // it. The Hash phase belongs to the rt executor's fingerprint
+      // maintenance; the cache probes themselves are timed by the
+      // engine's claimItem/noteState hooks.
+      if (!C.claimItem(hashCombine(W.S.hash(), W.Tid))) {
+        // Revisited work item: everything beyond it was already explored
+        // (possibly at a lower bound). Counts as one pruned execution.
+        C.endExecution({W.PrefixSteps + W.Sched.size(), W.Blocking, 0});
+        return;
+      }
     }
 
     vm::StepResult R = VM.step(W.S, W.Tid);

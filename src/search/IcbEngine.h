@@ -62,6 +62,8 @@
 #ifndef ICB_SEARCH_ICBENGINE_H
 #define ICB_SEARCH_ICBENGINE_H
 
+#include "obs/Metrics.h"
+#include "obs/PhaseTimer.h"
 #include "search/EngineObserver.h"
 #include "search/Executor.h"
 #include "search/SearchTypes.h"
@@ -95,6 +97,11 @@ struct IcbEngineOptions {
   /// Session hooks: periodic checkpoints, cooperative stop, per-bound
   /// progress. Null = unobserved (the historical behavior).
   EngineObserver *Observer = nullptr;
+  /// Observability registry: the drivers hand each worker its MetricShard
+  /// and fold the shards into every snapshot. Null = unmetered; under
+  /// ICB_NO_METRICS the hot-path instrumentation is compiled out and the
+  /// registry only ever reports zeros.
+  obs::MetricsRegistry *Metrics = nullptr;
   /// Continue from this resumable safe-point snapshot instead of the
   /// executor's root items. Must come from a run with the same executor,
   /// benchmark, and driver configuration; Final snapshots are re-emitted
@@ -111,7 +118,12 @@ public:
   using WorkItem = typename Executor::WorkItem;
 
   SequentialEngineDriver(Executor &E, const IcbEngineOptions &Opts)
-      : E(E), Opts(Opts) {}
+      : E(E), Opts(Opts) {
+    if (Opts.Metrics) {
+      Opts.Metrics->ensureShards(1);
+      MShard = &Opts.Metrics->shard(0);
+    }
+  }
 
   SearchResult run() {
     SearchResult Result;
@@ -171,13 +183,35 @@ public:
   }
 
   // --- Executor context hooks ------------------------------------------
-  bool claimItem(uint64_t Digest) { return ItemCache.insert(Digest); }
-  void noteState(uint64_t Digest) { Seen.insert(Digest); }
-  void noteTerminal(uint64_t Digest) { Terminal.insert(Digest); }
+  bool claimItem(uint64_t Digest) {
+    obs::ScopedPhase Timer(MShard, obs::Phase::CacheProbe);
+    bool Claimed = ItemCache.insert(Digest);
+    obs::count(MShard,
+               Claimed ? obs::Counter::ItemMiss : obs::Counter::ItemHit);
+    return Claimed;
+  }
+  void noteState(uint64_t Digest) {
+    obs::ScopedPhase Timer(MShard, obs::Phase::CacheProbe);
+    bool New = Seen.insert(Digest);
+    obs::count(MShard, New ? obs::Counter::SeenMiss : obs::Counter::SeenHit);
+  }
+  void noteTerminal(uint64_t Digest) {
+    obs::ScopedPhase Timer(MShard, obs::Phase::CacheProbe);
+    bool New = Terminal.insert(Digest);
+    obs::count(MShard,
+               New ? obs::Counter::TerminalMiss : obs::Counter::TerminalHit);
+  }
   void countSteps(uint64_t N) { Stats.TotalSteps += N; }
-  void defer(WorkItem &&Item) { NextQueue.push_back(std::move(Item)); }
-  void branch(WorkItem &&Item) { Local.push_back(std::move(Item)); }
+  void defer(WorkItem &&Item) {
+    obs::count(MShard, obs::Counter::DeferredItems);
+    NextQueue.push_back(std::move(Item));
+  }
+  void branch(WorkItem &&Item) {
+    obs::count(MShard, obs::Counter::BranchedItems);
+    Local.push_back(std::move(Item));
+  }
   unsigned bound() const { return CurrBound; }
+  obs::MetricShard *metrics() { return MShard; }
 
   void recordBug(Bug NewBug) {
     NewBug.Preemptions = CurrBound;
@@ -198,20 +232,44 @@ public:
     if (F.ThreadsUsed)
       Stats.ThreadsPerExecution.observe(F.ThreadsUsed);
     Sampler.observe(Stats.Coverage, Stats.Executions, Seen.size());
+    ICB_OBS(MShard, MShard->ExecutionsPerBound.increment(CurrBound));
     if (Stats.Executions >= Opts.Limits.MaxExecutions ||
         Stats.TotalSteps >= Opts.Limits.MaxSteps ||
         Seen.size() >= Opts.Limits.MaxStates)
       LimitHit = true;
+    if (Opts.Observer && Opts.Observer->progressDue())
+      Opts.Observer->onProgress(progressSample());
   }
   // ---------------------------------------------------------------------
 
 private:
+  /// Coarse frontier sample for the progress ticker. Local holds the
+  /// in-flight chain's nonpreempting branches, so it counts as frontier.
+  obs::ProgressSample progressSample() const {
+    obs::ProgressSample S;
+    S.Bound = CurrBound;
+    S.MaxBound = Opts.Limits.MaxPreemptionBound;
+    S.Executions = Stats.Executions;
+    S.TotalSteps = Stats.TotalSteps;
+    S.States = Seen.size();
+    S.FrontierRemaining = WorkQueue.size() + Local.size();
+    S.DeferredNext = NextQueue.size();
+    S.Bugs = Opts.CanonicalBugs ? Canonical.size() : Bugs.bugs().size();
+    return S;
+  }
+
   /// Rebuilds the driver from a resumable snapshot: frontier queues in
   /// their original FIFO order, digest sets, statistics, the sampler
   /// cursor, and the bug state (re-added in recorded order, so the
   /// non-canonical collector's discovery order survives the round trip).
+  /// Item reconstruction (the model-VM executor replays each prefix
+  /// through the interpreter) is timed as the replay phase but touches no
+  /// counters — the counters must match an uninterrupted run's.
   void restore(const EngineSnapshot &Snap) {
     ICB_ASSERT(!Snap.Final, "resuming a finished run through the engine");
+    if (Opts.Metrics)
+      Opts.Metrics->restore(Snap.Metrics);
+    obs::ScopedPhase Timer(MShard, obs::Phase::Replay);
     CurrBound = Snap.Bound;
     for (const SavedWorkItem &S : Snap.CurrentQueue)
       WorkQueue.push_back(E.loadItem(S));
@@ -236,6 +294,8 @@ private:
 
   /// Emits a resumable safe-point snapshot (Local is empty here).
   void emitResumable() {
+    obs::ScopedPhase Timer(MShard, obs::Phase::Snapshot);
+    obs::count(MShard, obs::Counter::Snapshots);
     EngineSnapshot Snap;
     Snap.Bound = CurrBound;
     Snap.CurrentQueue.reserve(WorkQueue.size());
@@ -255,16 +315,21 @@ private:
         Snap.Bugs.push_back(Entry.second);
     else
       Snap.Bugs = Bugs.bugs();
+    if (Opts.Metrics)
+      Snap.Metrics = Opts.Metrics->snapshot();
     Opts.Observer->onCheckpoint(Snap);
   }
 
   /// Emits the Final snapshot of a run that ended on its own.
   void emitFinal(const SearchResult &Result) {
+    obs::count(MShard, obs::Counter::Snapshots);
     EngineSnapshot Snap;
     Snap.Bound = CurrBound;
     Snap.Final = true;
     Snap.Stats = Result.Stats;
     Snap.Bugs = Result.Bugs;
+    if (Opts.Metrics)
+      Snap.Metrics = Opts.Metrics->snapshot();
     Opts.Observer->onCheckpoint(Snap);
   }
 
@@ -276,6 +341,8 @@ private:
     while (!Local.empty() && !LimitHit) {
       WorkItem W = std::move(Local.back());
       Local.pop_back();
+      obs::count(MShard, obs::Counter::Chains);
+      obs::ScopedPhase Timer(MShard, obs::Phase::Execute);
       E.runChain(std::move(W), *this);
     }
   }
@@ -294,6 +361,7 @@ private:
   CoverageSampler<CoveragePoint> Sampler;
   BugCollector Bugs;
   CanonicalBugMap Canonical;
+  obs::MetricShard *MShard = nullptr; ///< Registry shard 0 (or null).
 };
 
 /// Work-stealing parallel driver; one executor per worker.
@@ -308,7 +376,10 @@ public:
         Seen(shardCountFor(O.Shards, Jobs)),
         Terminal(shardCountFor(O.Shards, Jobs)),
         ItemCache(shardCountFor(O.Shards, Jobs)), NextQueue(Jobs),
-        Workers(Jobs) {}
+        Workers(Jobs) {
+    if (Opts.Metrics)
+      Opts.Metrics->ensureShards(Jobs);
+  }
 
   SearchResult run() {
     SearchResult Result;
@@ -365,6 +436,7 @@ public:
         Opts.Observer->onBoundComplete(Base.PerBound.back());
 
       Items = NextQueue.drain();
+      DeferredCount.store(0, std::memory_order_relaxed);
       if (Stop.load() || Items.empty() ||
           CurrBound >= Opts.Limits.MaxPreemptionBound) {
         MoreBounds = !Items.empty();
@@ -405,44 +477,76 @@ private:
   };
 
   /// The per-worker Ctx the executor drives. Thin: routes the hooks to
-  /// the driver with the worker index attached.
+  /// the driver with the worker index attached, plus the worker's private
+  /// metric shard (null when the run has no registry).
   struct WorkerCtx {
     ParallelEngineDriver &D;
     unsigned Index;
+    obs::MetricShard *MS;
 
-    bool claimItem(uint64_t Digest) { return D.ItemCache.insert(Digest); }
-    void noteState(uint64_t Digest) { D.Seen.insert(Digest); }
-    void noteTerminal(uint64_t Digest) { D.Terminal.insert(Digest); }
+    WorkerCtx(ParallelEngineDriver &D, unsigned Index)
+        : D(D), Index(Index),
+          MS(D.Opts.Metrics ? &D.Opts.Metrics->shard(Index) : nullptr) {}
+
+    bool claimItem(uint64_t Digest) {
+      obs::ScopedPhase Timer(MS, obs::Phase::CacheProbe);
+      bool Claimed = D.ItemCache.insert(Digest);
+      obs::count(MS,
+                 Claimed ? obs::Counter::ItemMiss : obs::Counter::ItemHit);
+      return Claimed;
+    }
+    void noteState(uint64_t Digest) {
+      obs::ScopedPhase Timer(MS, obs::Phase::CacheProbe);
+      bool New = D.Seen.insert(Digest);
+      obs::count(MS, New ? obs::Counter::SeenMiss : obs::Counter::SeenHit);
+    }
+    void noteTerminal(uint64_t Digest) {
+      obs::ScopedPhase Timer(MS, obs::Phase::CacheProbe);
+      bool New = D.Terminal.insert(Digest);
+      obs::count(MS,
+                 New ? obs::Counter::TerminalMiss : obs::Counter::TerminalHit);
+    }
     void countSteps(uint64_t N) {
       D.TotalSteps.fetch_add(N, std::memory_order_relaxed);
     }
     void defer(WorkItem &&Item) {
+      obs::count(MS, obs::Counter::DeferredItems);
+      D.DeferredCount.fetch_add(1, std::memory_order_relaxed);
       D.NextQueue.push(Index, std::move(Item));
     }
     void branch(WorkItem &&Item) {
       // Onto the owner's bottom: popped LIFO by the owner (depth-first,
       // keeps memory bounded), stolen FIFO from the top by idle workers.
+      obs::count(MS, obs::Counter::BranchedItems);
       D.Pending.fetch_add(1, std::memory_order_relaxed);
       D.Workers[Index].Deque.pushBottom(std::move(Item));
     }
     unsigned bound() const { return D.CurrBound; }
+    obs::MetricShard *metrics() { return MS; }
     void recordBug(Bug NewBug) { D.recordBug(Index, std::move(NewBug)); }
     void endExecution(const ExecutionFacts &F) {
-      D.endExecution(Index, F);
+      D.endExecution(Index, MS, F);
     }
   };
 
-  bool takeItem(unsigned Index, WorkItem &Out) {
+  bool takeItem(unsigned Index, obs::MetricShard *MS, WorkItem &Out) {
     if (Workers[Index].Deque.tryPopBottom(Out))
       return true;
-    for (unsigned Hop = 1; Hop < Jobs; ++Hop)
-      if (Workers[(Index + Hop) % Jobs].Deque.trySteal(Out))
+    for (unsigned Hop = 1; Hop < Jobs; ++Hop) {
+      obs::count(MS, obs::Counter::StealAttempts);
+      if (Workers[(Index + Hop) % Jobs].Deque.trySteal(Out)) {
+        obs::count(MS, obs::Counter::StealHits);
         return true;
+      }
+    }
     return false;
   }
 
   void workerMain(unsigned Index) {
     WorkerCtx Ctx{*this, Index};
+    obs::MetricShard *MS = Ctx.MS;
+    uint64_t *Busy = MS ? &MS->Worker.BusyNanos : nullptr;
+    uint64_t *Idle = MS ? &MS->Worker.IdleNanos : nullptr;
     Executor &E = *Executors[Index];
     WorkItem Item;
     while (!Stop.load(std::memory_order_relaxed)) {
@@ -451,8 +555,12 @@ private:
         Stop.store(true, std::memory_order_relaxed);
         return;
       }
-      if (takeItem(Index, Item)) {
-        E.runChain(std::move(Item), Ctx);
+      if (takeItem(Index, MS, Item)) {
+        {
+          obs::count(MS, obs::Counter::Chains);
+          obs::ScopedPhase Timer(MS, obs::Phase::Execute, Busy);
+          E.runChain(std::move(Item), Ctx);
+        }
         // The chain (and everything it pushed) is accounted; releasing
         // our claim last means Pending only hits zero once no work
         // remains.
@@ -461,6 +569,7 @@ private:
       }
       if (Pending.load(std::memory_order_acquire) == 0)
         return; // Bound drained: no queued items, no running executions.
+      obs::ScopedPhase Wait(nullptr, obs::Phase::Execute, Idle);
       std::this_thread::yield(); // Someone is still producing; retry.
     }
   }
@@ -468,11 +577,13 @@ private:
   void recordBug(unsigned Index, Bug NewBug) {
     NewBug.Preemptions = CurrBound;
     canonicalMergeBug(Workers[Index].Bugs, std::move(NewBug));
+    BugCount.fetch_add(1, std::memory_order_relaxed);
     if (Opts.Limits.StopAtFirstBug)
       Stop.store(true, std::memory_order_relaxed);
   }
 
-  void endExecution(unsigned Index, const ExecutionFacts &F) {
+  void endExecution(unsigned Index, obs::MetricShard *MS,
+                    const ExecutionFacts &F) {
     WorkerState &W = Workers[Index];
     uint64_t Execs = Executions.fetch_add(1, std::memory_order_relaxed) + 1;
     W.StepsPerExecution.observe(F.Steps);
@@ -481,10 +592,28 @@ private:
     W.BlockingPerExecution.observe(F.Blocking);
     if (F.ThreadsUsed)
       W.ThreadsPerExecution.observe(F.ThreadsUsed);
+    ICB_OBS(MS, MS->ExecutionsPerBound.increment(CurrBound));
     if (Execs >= Opts.Limits.MaxExecutions ||
         TotalSteps.load(std::memory_order_relaxed) >= Opts.Limits.MaxSteps ||
         Seen.size() >= Opts.Limits.MaxStates)
       Stop.store(true, std::memory_order_relaxed);
+    if (Opts.Observer && Opts.Observer->progressDue())
+      Opts.Observer->onProgress(progressSample(Execs));
+  }
+
+  /// Coarse frontier sample assembled from the shared atomics; any worker
+  /// may call this after claiming a progress tick.
+  obs::ProgressSample progressSample(uint64_t Execs) const {
+    obs::ProgressSample S;
+    S.Bound = CurrBound;
+    S.MaxBound = Opts.Limits.MaxPreemptionBound;
+    S.Executions = Execs;
+    S.TotalSteps = TotalSteps.load(std::memory_order_relaxed);
+    S.States = Seen.size();
+    S.FrontierRemaining = Pending.load(std::memory_order_relaxed);
+    S.DeferredNext = DeferredCount.load(std::memory_order_relaxed);
+    S.Bugs = BugCount.load(std::memory_order_relaxed);
+    return S;
   }
 
   /// Folds (and resets) every worker's local slices into the Base
@@ -520,15 +649,22 @@ private:
   }
 
   /// Seeds the driver from a resumable snapshot; \p Items receives the
-  /// current bound's roots.
+  /// current bound's roots. Reconstruction is timed as the replay phase
+  /// but touches no counters (they must match an uninterrupted run's).
   void restore(const EngineSnapshot &Snap, std::vector<WorkItem> &Items) {
     ICB_ASSERT(!Snap.Final, "resuming a finished run through the engine");
+    if (Opts.Metrics)
+      Opts.Metrics->restore(Snap.Metrics);
+    obs::MetricShard *MS = Opts.Metrics ? &Opts.Metrics->shard(0) : nullptr;
+    obs::ScopedPhase Timer(MS, obs::Phase::Replay);
     CurrBound = Snap.Bound;
     Items.reserve(Snap.CurrentQueue.size());
     for (const SavedWorkItem &S : Snap.CurrentQueue)
       Items.push_back(Executors[0]->loadItem(S));
-    for (const SavedWorkItem &S : Snap.NextQueue)
+    for (const SavedWorkItem &S : Snap.NextQueue) {
+      DeferredCount.fetch_add(1, std::memory_order_relaxed);
       NextQueue.push(0, Executors[0]->loadItem(S));
+    }
     for (uint64_t Digest : Snap.SeenDigests)
       Seen.insert(Digest);
     for (uint64_t Digest : Snap.TerminalDigests)
@@ -541,6 +677,7 @@ private:
     TotalSteps.store(Snap.Stats.TotalSteps);
     for (const Bug &B : Snap.Bugs)
       canonicalMergeBug(BaseBugs, B);
+    BugCount.store(Snap.Bugs.size(), std::memory_order_relaxed);
   }
 
   /// Shared tail of both resumable snapshot forms: statistics, digest
@@ -556,11 +693,16 @@ private:
     Snap.ItemDigests = ItemCache.digests();
     for (const auto &Entry : BaseBugs)
       Snap.Bugs.push_back(Entry.second);
+    if (Opts.Metrics)
+      Snap.Metrics = Opts.Metrics->snapshot();
   }
 
   /// Bound-barrier checkpoint: \p Items are the (already advanced)
   /// current bound's roots; the striped queue is empty here.
   void emitBarrierSnapshot(const std::vector<WorkItem> &Items) {
+    obs::MetricShard *MS = Opts.Metrics ? &Opts.Metrics->shard(0) : nullptr;
+    obs::ScopedPhase Timer(MS, obs::Phase::Snapshot);
+    obs::count(MS, obs::Counter::Snapshots);
     mergeWorkersIntoBase();
     EngineSnapshot Snap;
     Snap.Bound = CurrBound;
@@ -574,6 +716,9 @@ private:
   /// Mid-bound cooperative-stop checkpoint: drains the worker deques and
   /// the striped next queue (the pool has joined; nothing is in flight).
   void emitStopSnapshot() {
+    obs::MetricShard *MS = Opts.Metrics ? &Opts.Metrics->shard(0) : nullptr;
+    obs::ScopedPhase Timer(MS, obs::Phase::Snapshot);
+    obs::count(MS, obs::Counter::Snapshots);
     mergeWorkersIntoBase();
     EngineSnapshot Snap;
     Snap.Bound = CurrBound;
@@ -590,11 +735,15 @@ private:
 
   /// Final snapshot of a run that ended on its own.
   void emitFinal(const SearchResult &Result) {
+    obs::MetricShard *MS = Opts.Metrics ? &Opts.Metrics->shard(0) : nullptr;
+    obs::count(MS, obs::Counter::Snapshots);
     EngineSnapshot Snap;
     Snap.Bound = CurrBound;
     Snap.Final = true;
     Snap.Stats = Result.Stats;
     Snap.Bugs = Result.Bugs;
+    if (Opts.Metrics)
+      Snap.Metrics = Opts.Metrics->snapshot();
     Opts.Observer->onCheckpoint(Snap);
   }
 
@@ -624,6 +773,10 @@ private:
   /// Stop was externally requested (observer), not a resource limit —
   /// the frontier is snapshotted for resume instead of discarded.
   std::atomic<bool> ExternalStop{false};
+  /// Progress-ticker feeds only (reset at barriers / seeded on resume);
+  /// the authoritative counts live in the worker shards and bug maps.
+  std::atomic<uint64_t> DeferredCount{0};
+  std::atomic<uint64_t> BugCount{0};
 
   /// Cross-round accumulated statistics and bugs: seeded by restore(),
   /// grown by mergeWorkersIntoBase() at quiescent points.

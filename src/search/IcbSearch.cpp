@@ -20,5 +20,6 @@ SearchResult IcbSearch::run(const vm::Interp &Interp) {
   EngineOpts.CanonicalBugs = false;
   EngineOpts.Observer = Opts.Observer;
   EngineOpts.Resume = Opts.Resume;
+  EngineOpts.Metrics = Opts.Metrics;
   return runSequentialIcbEngine(Executor, EngineOpts);
 }

@@ -50,6 +50,8 @@ public:
     /// Session hooks and resume snapshot (see EngineObserver.h).
     EngineObserver *Observer = nullptr;
     const EngineSnapshot *Resume = nullptr;
+    /// Observability registry (see obs/Metrics.h).
+    obs::MetricsRegistry *Metrics = nullptr;
   };
 
   explicit IcbSearch(Options Opts) : Opts(Opts) {}

@@ -33,5 +33,6 @@ SearchResult ParallelIcbSearch::run(const vm::Interp &Interp) {
   EngineOpts.CanonicalBugs = true; // What the parallel merge always does.
   EngineOpts.Observer = Opts.Observer;
   EngineOpts.Resume = Opts.Resume;
+  EngineOpts.Metrics = Opts.Metrics;
   return runParallelIcbEngine(Executors, EngineOpts);
 }

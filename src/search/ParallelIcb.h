@@ -80,6 +80,8 @@ public:
     /// Session hooks and resume snapshot (see EngineObserver.h).
     EngineObserver *Observer = nullptr;
     const EngineSnapshot *Resume = nullptr;
+    /// Observability registry (see obs/Metrics.h).
+    obs::MetricsRegistry *Metrics = nullptr;
   };
 
   explicit ParallelIcbSearch(Options Opts) : Opts(Opts) {}

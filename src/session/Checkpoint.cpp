@@ -17,7 +17,11 @@ namespace icb::session {
 // File format
 //===----------------------------------------------------------------------===//
 
-static constexpr uint64_t CheckpointFormatVersion = 1;
+/// Version 2 added the optional `metrics` block to snapshots (and
+/// `mean_milli` to every MinMax object). Loaders accept both: the metrics
+/// field is optional and extra MinMax fields were always ignored.
+static constexpr uint64_t CheckpointFormatVersion = 2;
+static constexpr uint64_t MinCheckpointFormatVersion = 1;
 
 static JsonValue metaToJson(const CheckpointMeta &Meta) {
   JsonValue V = JsonValue::object();
@@ -78,7 +82,8 @@ bool loadCheckpoint(const std::string &Path, CheckpointData &Out,
     return false;
   uint64_t Version = 0;
   if (!Doc.getU64("icb_checkpoint", Version) ||
-      Version != CheckpointFormatVersion) {
+      Version < MinCheckpointFormatVersion ||
+      Version > CheckpointFormatVersion) {
     if (Error)
       *Error = "not an icb checkpoint (or unsupported version)";
     return false;

@@ -27,6 +27,9 @@ JsonValue minMaxToJson(const MinMax &M) {
   V.set("max", JsonValue::number(M.max()));
   V.set("sum", JsonValue::number(M.sum()));
   V.set("count", JsonValue::number(M.count()));
+  // Derived, for readers: the uint64-only export of the mean (scaled by
+  // 1000, rounded). Ignored on parse — min/max/sum/count are canonical.
+  V.set("mean_milli", JsonValue::number(M.meanMilli()));
   return V;
 }
 
@@ -171,6 +174,107 @@ bool icb::session::statsFromJson(const JsonValue &V, SearchStats &Out) {
 }
 
 //===----------------------------------------------------------------------===//
+// MetricsSnapshot
+//===----------------------------------------------------------------------===//
+
+JsonValue icb::session::metricsToJson(const obs::MetricsSnapshot &M) {
+  JsonValue V = JsonValue::object();
+
+  // Work-derived section: identical across worker counts and resume.
+  JsonValue Counters = JsonValue::object();
+  JsonValue TimingCounters = JsonValue::object();
+  for (size_t I = 0; I != obs::NumCounters; ++I) {
+    auto C = static_cast<obs::Counter>(I);
+    uint64_t Value = I < M.Counters.size() ? M.Counters[I] : 0;
+    (obs::counterIsDeterministic(C) ? Counters : TimingCounters)
+        .set(obs::counterName(C), JsonValue::number(Value));
+  }
+  V.set("counters", std::move(Counters));
+  V.set("replay_depth", minMaxToJson(M.ReplayDepth));
+
+  JsonValue PerBound = JsonValue::array();
+  for (uint64_t Bucket : M.ExecutionsPerBound.buckets())
+    PerBound.Arr.push_back(JsonValue::number(Bucket));
+  V.set("executions_per_bound", std::move(PerBound));
+
+  // Timing section: one particular run on one particular machine. The
+  // determinism tests and the resume CI normalization drop this subtree.
+  JsonValue Timing = JsonValue::object();
+  Timing.set("counters", std::move(TimingCounters));
+  JsonValue Phases = JsonValue::object();
+  for (size_t I = 0; I != obs::NumPhases; ++I) {
+    MinMax P = I < M.Phases.size() ? M.Phases[I] : MinMax();
+    Phases.set(obs::phaseName(static_cast<obs::Phase>(I)),
+               minMaxToJson(P));
+  }
+  Timing.set("phases_ns", std::move(Phases));
+  JsonValue Workers = JsonValue::array();
+  for (const obs::WorkerMetrics &W : M.Workers) {
+    JsonValue Row = JsonValue::object();
+    Row.set("busy_ns", JsonValue::number(W.BusyNanos));
+    Row.set("idle_ns", JsonValue::number(W.IdleNanos));
+    Workers.Arr.push_back(std::move(Row));
+  }
+  Timing.set("workers", std::move(Workers));
+  V.set("timing", std::move(Timing));
+  return V;
+}
+
+bool icb::session::metricsFromJson(const JsonValue &V,
+                                   obs::MetricsSnapshot &Out) {
+  if (!V.isObject())
+    return false;
+  Out = obs::MetricsSnapshot();
+  Out.Counters.assign(obs::NumCounters, 0);
+  Out.Phases.assign(obs::NumPhases, MinMax());
+
+  const JsonValue *Counters = V.find("counters");
+  const JsonValue *Timing = V.find("timing");
+  if (!Counters || !Counters->isObject() || !Timing || !Timing->isObject())
+    return false;
+  const JsonValue *TimingCounters = Timing->find("counters");
+  const JsonValue *Phases = Timing->find("phases_ns");
+  if (!TimingCounters || !TimingCounters->isObject() || !Phases ||
+      !Phases->isObject())
+    return false;
+  for (size_t I = 0; I != obs::NumCounters; ++I) {
+    auto C = static_cast<obs::Counter>(I);
+    const JsonValue &Section =
+        obs::counterIsDeterministic(C) ? *Counters : *TimingCounters;
+    if (!Section.getU64(obs::counterName(C), Out.Counters[I]))
+      return false;
+  }
+  if (!minMaxFromJson(V.find("replay_depth"), Out.ReplayDepth))
+    return false;
+  for (size_t I = 0; I != obs::NumPhases; ++I)
+    if (!minMaxFromJson(
+            Phases->find(obs::phaseName(static_cast<obs::Phase>(I))),
+            Out.Phases[I]))
+      return false;
+
+  const JsonValue *PerBound = V.find("executions_per_bound");
+  if (!PerBound || !PerBound->isArray())
+    return false;
+  for (size_t I = 0; I != PerBound->Arr.size(); ++I) {
+    if (PerBound->Arr[I].K != JsonValue::Kind::Number)
+      return false;
+    Out.ExecutionsPerBound.increment(I, PerBound->Arr[I].U);
+  }
+
+  const JsonValue *Workers = Timing->find("workers");
+  if (!Workers || !Workers->isArray())
+    return false;
+  for (const JsonValue &RowV : Workers->Arr) {
+    obs::WorkerMetrics W;
+    if (!RowV.getU64("busy_ns", W.BusyNanos) ||
+        !RowV.getU64("idle_ns", W.IdleNanos))
+      return false;
+    Out.Workers.push_back(W);
+  }
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
 // Bug
 //===----------------------------------------------------------------------===//
 
@@ -291,6 +395,11 @@ JsonValue icb::session::snapshotToJson(const EngineSnapshot &Snap) {
     Bugs.Arr.push_back(bugToJson(B));
   V.set("bugs", std::move(Bugs));
 
+  // Absent entirely for unmetered runs; resuming restores it so the
+  // continued run's work-derived counters match an uninterrupted run's.
+  if (!Snap.Metrics.empty())
+    V.set("metrics", metricsToJson(Snap.Metrics));
+
   if (!Snap.Final) {
     V.set("current_queue", itemsToJson(Snap.CurrentQueue));
     V.set("next_queue", itemsToJson(Snap.NextQueue));
@@ -333,6 +442,10 @@ bool icb::session::snapshotFromJson(const JsonValue &V,
       return false;
     Out.Bugs.push_back(std::move(B));
   }
+
+  if (const JsonValue *Metrics = V.find("metrics"))
+    if (!metricsFromJson(*Metrics, Out.Metrics))
+      return false;
 
   if (Out.Final)
     return true;

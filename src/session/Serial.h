@@ -29,6 +29,15 @@ namespace icb::session {
 JsonValue statsToJson(const search::SearchStats &Stats);
 bool statsFromJson(const JsonValue &V, search::SearchStats &Out);
 
+/// The `metrics` block of manifests and checkpoints. Two sections:
+/// `counters` / `replay_depth` / `executions_per_bound` are work-derived
+/// and byte-identical across worker counts; everything under `timing`
+/// (phase durations, steal counters, per-worker busy/idle) describes one
+/// particular run. Tests and CI compare only the deterministic section.
+/// All fields are uint64; means are exported scaled (`mean_milli`).
+JsonValue metricsToJson(const obs::MetricsSnapshot &M);
+bool metricsFromJson(const JsonValue &V, obs::MetricsSnapshot &Out);
+
 JsonValue bugToJson(const search::Bug &B);
 bool bugFromJson(const JsonValue &V, search::Bug &Out);
 

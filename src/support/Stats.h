@@ -55,6 +55,17 @@ public:
     return Count ? static_cast<double>(Sum) / static_cast<double>(Count) : 0.0;
   }
 
+  /// Mean scaled by 1000 and rounded to nearest, as an integer — the form
+  /// the uint64-only JSON layer exports (field names carry a `_milli`
+  /// suffix). The widened multiply keeps the scaling exact for any Sum a
+  /// uint64 can hold, so this is stable wherever mean() would lose bits.
+  uint64_t meanMilli() const {
+    if (Count == 0)
+      return 0;
+    unsigned __int128 Scaled = static_cast<unsigned __int128>(Sum) * 1000;
+    return static_cast<uint64_t>((Scaled + Count / 2) / Count);
+  }
+
   /// Rebuilds a tracker from its four saved components (checkpoint
   /// restore); the inverse of reading min()/max()/sum()/count().
   static MinMax restore(uint64_t Min, uint64_t Max, uint64_t Sum,

@@ -1,0 +1,415 @@
+//===- tests/obs_test.cpp - Observability subsystem tests -----------------===//
+//
+// Part of the ICB project (PLDI'07 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The observability subsystem: shard merging, snapshot/restore algebra,
+/// scaled-integer means, phase timers, the progress meter, the metrics
+/// JSON dialect, and — the property everything above exists to protect —
+/// byte-identical work-derived metrics between `--jobs 1` and `--jobs N`
+/// runs of both executors.
+///
+//===----------------------------------------------------------------------===//
+
+#include "benchmarks/Bluetooth.h"
+#include "benchmarks/WorkStealingQueue.h"
+#include "benchmarks/WsqModel.h"
+#include "obs/Metrics.h"
+#include "obs/PhaseTimer.h"
+#include "obs/Progress.h"
+#include "rt/Explore.h"
+#include "search/IcbSearch.h"
+#include "search/ParallelIcb.h"
+#include "session/Serial.h"
+#include "testutil/ResultChecks.h"
+#include "vm/Interp.h"
+#include <gtest/gtest.h>
+#include <limits>
+
+using namespace icb;
+using namespace icb::bench;
+using icb::testutil::expectSameDeterministicMetrics;
+
+namespace {
+
+[[maybe_unused]] uint64_t counterOf(const obs::MetricsSnapshot &Snap,
+                                    obs::Counter C) {
+  size_t I = static_cast<size_t>(C);
+  return I < Snap.Counters.size() ? Snap.Counters[I] : 0;
+}
+
+//===----------------------------------------------------------------------===//
+// MinMax::meanMilli
+//===----------------------------------------------------------------------===//
+
+TEST(MeanMilli, RoundsToNearest) {
+  MinMax M;
+  M.observe(1);
+  M.observe(2);
+  EXPECT_EQ(M.meanMilli(), 1500u); // 1.5 exactly.
+  M.observe(2);
+  EXPECT_EQ(M.meanMilli(), 1667u); // 5/3 = 1.666... rounds up.
+  MinMax Down;
+  Down.observe(1);
+  Down.observe(1);
+  Down.observe(2);
+  EXPECT_EQ(Down.meanMilli(), 1333u); // 4/3 = 1.333... rounds down.
+}
+
+TEST(MeanMilli, EmptyIsZero) { EXPECT_EQ(MinMax().meanMilli(), 0u); }
+
+TEST(MeanMilli, ExactBeyondDoublePrecision) {
+  // Sum * 1000 overflows uint64 and Sum itself exceeds 2^53, where a
+  // double-based mean would already be lossy; the widened multiply must
+  // stay exact.
+  // Odd and above 2^53 (doubles are lossy), with Sum * 1000 above 2^64
+  // (the naive unwidened multiply would wrap) while the result still
+  // fits a uint64.
+  uint64_t Big = (uint64_t(1) << 54) + 1;
+  MinMax M = MinMax::restore(Big, Big, /*Sum=*/Big * 3, /*Count=*/3);
+  EXPECT_EQ(M.meanMilli(), Big * 1000);
+  // A non-exact division at the same magnitude still rounds to nearest.
+  MinMax N = MinMax::restore(1, Big, /*Sum=*/Big * 3 + 2, /*Count=*/3);
+  EXPECT_EQ(N.meanMilli(), Big * 1000 + 667);
+}
+
+TEST(MeanMilli, RoundingStableAcrossEquivalentSplits) {
+  // The same observations merged in any grouping give the same mean.
+  MinMax A, B, All;
+  for (uint64_t V : {7u, 11u, 13u}) {
+    A.observe(V);
+    All.observe(V);
+  }
+  for (uint64_t V : {17u, 19u}) {
+    B.observe(V);
+    All.observe(V);
+  }
+  A.merge(B);
+  EXPECT_EQ(A.meanMilli(), All.meanMilli());
+  EXPECT_EQ(A.meanMilli(), 13400u); // 67/5 = 13.4.
+}
+
+//===----------------------------------------------------------------------===//
+// Shard and snapshot algebra
+//===----------------------------------------------------------------------===//
+
+TEST(MetricShard, MergeIsElementWise) {
+  obs::MetricShard A, B;
+  A.Counters[static_cast<size_t>(obs::Counter::SeenHit)] = 3;
+  B.Counters[static_cast<size_t>(obs::Counter::SeenHit)] = 4;
+  B.Counters[static_cast<size_t>(obs::Counter::Chains)] = 9;
+  A.Phases[static_cast<size_t>(obs::Phase::Execute)].observe(100);
+  B.Phases[static_cast<size_t>(obs::Phase::Execute)].observe(50);
+  A.ReplayDepth.observe(2);
+  B.ReplayDepth.observe(8);
+  A.ExecutionsPerBound.increment(0, 5);
+  B.ExecutionsPerBound.increment(2, 7);
+  A.Worker.BusyNanos = 10;
+  B.Worker.BusyNanos = 20;
+  B.Worker.IdleNanos = 30;
+
+  A.merge(B);
+  EXPECT_EQ(A.Counters[static_cast<size_t>(obs::Counter::SeenHit)], 7u);
+  EXPECT_EQ(A.Counters[static_cast<size_t>(obs::Counter::Chains)], 9u);
+  const MinMax &Exec = A.Phases[static_cast<size_t>(obs::Phase::Execute)];
+  EXPECT_EQ(Exec.count(), 2u);
+  EXPECT_EQ(Exec.min(), 50u);
+  EXPECT_EQ(Exec.max(), 100u);
+  EXPECT_EQ(A.ReplayDepth.sum(), 10u);
+  EXPECT_EQ(A.ExecutionsPerBound.at(0), 5u);
+  EXPECT_EQ(A.ExecutionsPerBound.at(2), 7u);
+  EXPECT_EQ(A.Worker.BusyNanos, 30u);
+  EXPECT_EQ(A.Worker.IdleNanos, 30u);
+
+  A.reset();
+  EXPECT_EQ(A.Counters[static_cast<size_t>(obs::Counter::SeenHit)], 0u);
+  EXPECT_TRUE(A.ReplayDepth.empty());
+  EXPECT_EQ(A.ExecutionsPerBound.total(), 0u);
+  EXPECT_EQ(A.Worker.BusyNanos, 0u);
+}
+
+TEST(MetricsRegistry, SnapshotMergesAllShardsCommutatively) {
+  obs::MetricsRegistry Reg(3);
+  ASSERT_EQ(Reg.shards(), 3u);
+  for (unsigned I = 0; I != 3; ++I) {
+    obs::count(&Reg.shard(I), obs::Counter::Chains, I + 1);
+    Reg.shard(I).ReplayDepth.observe(10 * (I + 1));
+    Reg.shard(I).ExecutionsPerBound.increment(I, 2);
+    Reg.shard(I).Worker.BusyNanos = 100 * (I + 1);
+  }
+  obs::MetricsSnapshot Snap = Reg.snapshot();
+#ifndef ICB_NO_METRICS
+  EXPECT_EQ(counterOf(Snap, obs::Counter::Chains), 6u);
+#endif
+  EXPECT_EQ(Snap.ReplayDepth.count(), 3u);
+  EXPECT_EQ(Snap.ReplayDepth.min(), 10u);
+  EXPECT_EQ(Snap.ReplayDepth.max(), 30u);
+  EXPECT_EQ(Snap.ExecutionsPerBound.total(), 6u);
+  // Per-worker accounting is per shard, not summed into one.
+  ASSERT_EQ(Snap.Workers.size(), 3u);
+  EXPECT_EQ(Snap.Workers[1].BusyNanos, 200u);
+}
+
+TEST(MetricsRegistry, RestoreSeedsTheNextSnapshot) {
+  obs::MetricsRegistry First(2);
+  obs::count(&First.shard(0), obs::Counter::SeenMiss, 5);
+  obs::count(&First.shard(1), obs::Counter::SeenMiss, 7);
+  First.shard(0).ExecutionsPerBound.increment(1, 4);
+  First.shard(0).Worker.BusyNanos = 50;
+  obs::MetricsSnapshot Mid = First.snapshot();
+
+  // A "resumed" registry continues from the checkpointed image; the
+  // merged result equals one uninterrupted run's.
+  obs::MetricsRegistry Second(2);
+  Second.restore(Mid);
+  obs::count(&Second.shard(0), obs::Counter::SeenMiss, 10);
+  Second.shard(0).ExecutionsPerBound.increment(2, 1);
+  Second.shard(1).Worker.IdleNanos = 9;
+  obs::MetricsSnapshot End = Second.snapshot();
+#ifndef ICB_NO_METRICS
+  EXPECT_EQ(counterOf(End, obs::Counter::SeenMiss), 22u);
+  EXPECT_EQ(End.ExecutionsPerBound.at(1), 4u);
+  EXPECT_EQ(End.ExecutionsPerBound.at(2), 1u);
+  ASSERT_EQ(End.Workers.size(), 2u);
+  EXPECT_EQ(End.Workers[0].BusyNanos, 50u);
+  EXPECT_EQ(End.Workers[1].IdleNanos, 9u);
+#else
+  (void)End;
+#endif
+}
+
+TEST(MetricsSnapshot, EmptyDetectsAnyContent) {
+  obs::MetricsSnapshot S;
+  EXPECT_TRUE(S.empty());
+  S.Workers.push_back({0, 0});
+  EXPECT_TRUE(S.empty()) << "all-zero workers carry no information";
+  S.Workers[0].IdleNanos = 1;
+  EXPECT_FALSE(S.empty());
+  obs::MetricsSnapshot C;
+  C.Counters.assign(obs::NumCounters, 0);
+  C.Counters[0] = 1;
+  EXPECT_FALSE(C.empty());
+}
+
+//===----------------------------------------------------------------------===//
+// ScopedPhase
+//===----------------------------------------------------------------------===//
+
+TEST(ScopedPhase, ObservesShardAndAccumulator) {
+  obs::MetricShard Shard;
+  uint64_t Also = 0;
+  {
+    obs::ScopedPhase Timer(&Shard, obs::Phase::Hash, &Also);
+  }
+  {
+    obs::ScopedPhase Timer(&Shard, obs::Phase::Hash);
+  }
+#ifndef ICB_NO_METRICS
+  const MinMax &Hash = Shard.Phases[static_cast<size_t>(obs::Phase::Hash)];
+  EXPECT_EQ(Hash.count(), 2u);
+  EXPECT_GE(Also, Hash.min());
+#else
+  EXPECT_TRUE(
+      Shard.Phases[static_cast<size_t>(obs::Phase::Hash)].empty());
+  EXPECT_EQ(Also, 0u);
+#endif
+}
+
+TEST(ScopedPhase, NullShardIsSafeAndAccumulatorOnlyWorks) {
+  uint64_t Idle = 0;
+  {
+    obs::ScopedPhase Wait(nullptr, obs::Phase::Execute, &Idle);
+  }
+  {
+    obs::ScopedPhase Nothing(nullptr, obs::Phase::Execute);
+  }
+  SUCCEED(); // No crash; Idle may be 0 or tiny — both fine.
+  (void)Idle;
+}
+
+#ifdef ICB_NO_METRICS
+TEST(NoMetricsBuild, CountIsANoOp) {
+  obs::MetricShard Shard;
+  obs::count(&Shard, obs::Counter::Chains, 100);
+  EXPECT_EQ(Shard.Counters[static_cast<size_t>(obs::Counter::Chains)], 0u);
+  ICB_OBS(&Shard, Shard.ReplayDepth.observe(5));
+  EXPECT_TRUE(Shard.ReplayDepth.empty());
+}
+#endif
+
+//===----------------------------------------------------------------------===//
+// ProgressMeter
+//===----------------------------------------------------------------------===//
+
+TEST(ProgressMeter, FirstDeadlineIsImmediateAndClaimedOnce) {
+  FILE *Out = tmpfile();
+  ASSERT_NE(Out, nullptr);
+  obs::ProgressMeter Meter(/*PeriodMillis=*/3600 * 1000, Out);
+  EXPECT_TRUE(Meter.due()) << "construction arms an immediate first tick";
+  EXPECT_FALSE(Meter.due()) << "the next deadline is a period away";
+  obs::ProgressSample S;
+  S.Bound = 1;
+  S.MaxBound = 2;
+  S.Executions = 10;
+  Meter.tick(S);
+  Meter.finish(S);
+  long Size = std::ftell(Out);
+  EXPECT_GT(Size, 0) << "tick and finish render lines";
+  std::fclose(Out);
+}
+
+//===----------------------------------------------------------------------===//
+// JSON round trip
+//===----------------------------------------------------------------------===//
+
+obs::MetricsSnapshot sampleSnapshot() {
+  obs::MetricsRegistry Reg(2);
+  for (size_t I = 0; I != obs::NumCounters; ++I)
+    Reg.shard(0).Counters[I] = 100 + I;
+  Reg.shard(1).Counters[0] = 1;
+  Reg.shard(0).Phases[static_cast<size_t>(obs::Phase::Replay)].observe(42);
+  Reg.shard(1).Phases[static_cast<size_t>(obs::Phase::Execute)].observe(7);
+  Reg.shard(0).ReplayDepth.observe(3);
+  Reg.shard(0).ReplayDepth.observe(5);
+  Reg.shard(1).ExecutionsPerBound.increment(0, 2);
+  Reg.shard(1).ExecutionsPerBound.increment(3, 1);
+  Reg.shard(0).Worker = {123456, 789};
+  Reg.shard(1).Worker = {42, 0};
+  return Reg.snapshot();
+}
+
+TEST(MetricsJson, RoundTripsExactly) {
+  obs::MetricsSnapshot In = sampleSnapshot();
+  session::JsonValue V = session::metricsToJson(In);
+  obs::MetricsSnapshot Out;
+  ASSERT_TRUE(session::metricsFromJson(V, Out));
+  ASSERT_EQ(Out.Counters.size(), obs::NumCounters);
+  for (size_t I = 0; I != obs::NumCounters; ++I)
+    EXPECT_EQ(Out.Counters[I], In.Counters[I])
+        << obs::counterName(static_cast<obs::Counter>(I));
+  ASSERT_EQ(Out.Phases.size(), obs::NumPhases);
+  for (size_t I = 0; I != obs::NumPhases; ++I) {
+    EXPECT_EQ(Out.Phases[I].count(), In.Phases[I].count());
+    EXPECT_EQ(Out.Phases[I].sum(), In.Phases[I].sum());
+  }
+  EXPECT_EQ(Out.ReplayDepth.sum(), In.ReplayDepth.sum());
+  EXPECT_EQ(Out.ExecutionsPerBound.at(0), In.ExecutionsPerBound.at(0));
+  EXPECT_EQ(Out.ExecutionsPerBound.at(3), In.ExecutionsPerBound.at(3));
+  ASSERT_EQ(Out.Workers.size(), In.Workers.size());
+  for (size_t I = 0; I != Out.Workers.size(); ++I) {
+    EXPECT_EQ(Out.Workers[I].BusyNanos, In.Workers[I].BusyNanos);
+    EXPECT_EQ(Out.Workers[I].IdleNanos, In.Workers[I].IdleNanos);
+  }
+}
+
+TEST(MetricsJson, SectionsSortCountersByClass) {
+  session::JsonValue V = session::metricsToJson(sampleSnapshot());
+  const session::JsonValue *Det = V.find("counters");
+  const session::JsonValue *Timing = V.find("timing");
+  ASSERT_NE(Det, nullptr);
+  ASSERT_NE(Timing, nullptr);
+  EXPECT_NE(Det->find("seen_hit"), nullptr);
+  EXPECT_EQ(Det->find("steal_attempts"), nullptr)
+      << "timing-class counters must not pollute the deterministic section";
+  const session::JsonValue *TCounters = Timing->find("counters");
+  ASSERT_NE(TCounters, nullptr);
+  EXPECT_NE(TCounters->find("steal_attempts"), nullptr);
+  // Every minmax export carries the scaled mean for generic readers.
+  const session::JsonValue *Depth = V.find("replay_depth");
+  ASSERT_NE(Depth, nullptr);
+  uint64_t MeanMilli = 0;
+  EXPECT_TRUE(Depth->getU64("mean_milli", MeanMilli));
+  EXPECT_EQ(MeanMilli, 4000u); // (3 + 5) / 2 = 4.
+}
+
+TEST(MetricsJson, StrictParseRejectsMissingPieces) {
+  session::JsonValue V = session::metricsToJson(sampleSnapshot());
+  obs::MetricsSnapshot Out;
+  session::JsonValue NoDepth = V;
+  NoDepth.set("replay_depth", session::JsonValue::null());
+  EXPECT_FALSE(session::metricsFromJson(NoDepth, Out));
+  session::JsonValue NoTiming = V;
+  NoTiming.set("timing", session::JsonValue::null());
+  EXPECT_FALSE(session::metricsFromJson(NoTiming, Out));
+  EXPECT_FALSE(session::metricsFromJson(session::JsonValue::null(), Out));
+}
+
+//===----------------------------------------------------------------------===//
+// Determinism across worker counts, both executors
+//===----------------------------------------------------------------------===//
+
+#ifndef ICB_NO_METRICS
+
+obs::MetricsSnapshot runVmIcb(const vm::Program &Prog, unsigned Jobs,
+                              bool UseCache) {
+  obs::MetricsRegistry Reg;
+  vm::Interp VM(Prog);
+  if (Jobs == 1) {
+    search::IcbSearch::Options Opts;
+    Opts.UseStateCache = UseCache;
+    Opts.Limits.MaxPreemptionBound = 2;
+    Opts.Limits.StopAtFirstBug = false;
+    Opts.Metrics = &Reg;
+    search::IcbSearch(Opts).run(VM);
+  } else {
+    search::ParallelIcbSearch::Options Opts;
+    Opts.Jobs = Jobs;
+    Opts.UseStateCache = UseCache;
+    Opts.Limits.MaxPreemptionBound = 2;
+    Opts.Limits.StopAtFirstBug = false;
+    Opts.Metrics = &Reg;
+    search::ParallelIcbSearch(Opts).run(VM);
+  }
+  return Reg.snapshot();
+}
+
+TEST(MetricsDeterminism, VmExecutorJobsOneVsN) {
+  for (bool UseCache : {false, true}) {
+    SCOPED_TRACE(UseCache ? "state cache on" : "state cache off");
+    vm::Program Prog = wsqModel({2, WsqBug::PopCheckThenAct});
+    obs::MetricsSnapshot Seq = runVmIcb(Prog, 1, UseCache);
+    EXPECT_GT(counterOf(Seq, obs::Counter::Chains), 0u);
+    if (UseCache) {
+      EXPECT_GT(counterOf(Seq, obs::Counter::ItemMiss), 0u);
+    }
+    for (unsigned Jobs : {2u, 4u}) {
+      SCOPED_TRACE("jobs " + std::to_string(Jobs));
+      expectSameDeterministicMetrics(Seq, runVmIcb(Prog, Jobs, UseCache));
+    }
+  }
+}
+
+obs::MetricsSnapshot runRtIcb(const rt::TestCase &Test, unsigned Jobs) {
+  obs::MetricsRegistry Reg;
+  rt::ExploreOptions Opts;
+  Opts.Limits.MaxPreemptionBound = 2;
+  Opts.Limits.StopAtFirstBug = false;
+  Opts.Jobs = Jobs;
+  Opts.Metrics = &Reg;
+  rt::IcbExplorer(Opts).explore(Test);
+  return Reg.snapshot();
+}
+
+TEST(MetricsDeterminism, RtExecutorJobsOneVsN) {
+  rt::TestCase Test = workStealingTest({3, 4, WsqBug::PopRetryNoLock});
+  obs::MetricsSnapshot Seq = runRtIcb(Test, 1);
+  EXPECT_GT(counterOf(Seq, obs::Counter::Chains), 0u);
+  EXPECT_GT(counterOf(Seq, obs::Counter::ReplaySteps), 0u);
+  EXPECT_GT(counterOf(Seq, obs::Counter::TerminalMiss), 0u);
+  for (unsigned Jobs : {2u, 4u}) {
+    SCOPED_TRACE("jobs " + std::to_string(Jobs));
+    expectSameDeterministicMetrics(Seq, runRtIcb(Test, Jobs));
+  }
+}
+
+TEST(MetricsDeterminism, RtCleanTestToo) {
+  rt::TestCase Test = bluetoothTest({2, /*WithBug=*/false});
+  obs::MetricsSnapshot Seq = runRtIcb(Test, 1);
+  expectSameDeterministicMetrics(Seq, runRtIcb(Test, 3));
+}
+
+#endif // !ICB_NO_METRICS
+
+} // namespace

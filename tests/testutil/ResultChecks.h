@@ -18,6 +18,7 @@
 #ifndef ICB_TESTS_TESTUTIL_RESULTCHECKS_H
 #define ICB_TESTS_TESTUTIL_RESULTCHECKS_H
 
+#include "obs/Metrics.h"
 #include "search/SearchTypes.h"
 #include <gtest/gtest.h>
 #include <vector>
@@ -53,6 +54,35 @@ inline void expectIdenticalResults(const search::SearchResult &L,
     EXPECT_EQ(L.Bugs[I].str(), R.Bugs[I].str());
     EXPECT_EQ(L.Bugs[I].Sched.length(), R.Bugs[I].Sched.length());
   }
+}
+
+/// The work-derived half of two metrics snapshots must agree exactly:
+/// deterministic counters, the replay-depth distribution, and the
+/// per-bound execution histogram are all independent of worker count and
+/// of checkpoint/resume splits. The timing half (phase durations, steal
+/// counters, busy/idle) is never compared — it describes one particular
+/// run.
+inline void
+expectSameDeterministicMetrics(const obs::MetricsSnapshot &L,
+                               const obs::MetricsSnapshot &R) {
+  for (size_t I = 0; I != obs::NumCounters; ++I) {
+    auto C = static_cast<obs::Counter>(I);
+    if (!obs::counterIsDeterministic(C))
+      continue;
+    uint64_t LV = I < L.Counters.size() ? L.Counters[I] : 0;
+    uint64_t RV = I < R.Counters.size() ? R.Counters[I] : 0;
+    EXPECT_EQ(LV, RV) << "counter " << obs::counterName(C);
+  }
+  EXPECT_EQ(L.ReplayDepth.count(), R.ReplayDepth.count());
+  EXPECT_EQ(L.ReplayDepth.min(), R.ReplayDepth.min());
+  EXPECT_EQ(L.ReplayDepth.max(), R.ReplayDepth.max());
+  EXPECT_EQ(L.ReplayDepth.sum(), R.ReplayDepth.sum());
+  EXPECT_EQ(L.ExecutionsPerBound.total(), R.ExecutionsPerBound.total());
+  size_t Buckets =
+      std::max(L.ExecutionsPerBound.size(), R.ExecutionsPerBound.size());
+  for (size_t I = 0; I != Buckets; ++I)
+    EXPECT_EQ(L.ExecutionsPerBound.at(I), R.ExecutionsPerBound.at(I))
+        << "executions at bound " << I;
 }
 
 } // namespace icb::testutil

@@ -11,6 +11,20 @@
 /// explore it. Reports bugs with their minimal preemption counts and can
 /// replay the counterexample as a full trace.
 ///
+/// Observability:
+///   --progress             single-line live ticker on stderr (bound,
+///                          executions/s, frontier, ETA); stdout stays
+///                          byte-identical with and without it
+///   --progress-every=MS    ticker period in milliseconds (implies
+///                          --progress)
+///   --json=FILE            each finished run record carries a `metrics`
+///                          block (deterministic counters + timing); feed
+///                          the manifest to tools/icb_report for tables
+///
+/// Exit codes (documented in --help): 0 clean, 1 bug found, 2 usage or
+/// configuration error, 3 replay mismatch, 4 session I/O failure, 130
+/// interrupted with a resumable checkpoint flushed.
+///
 /// The session flags make runs durable and bugs portable:
 ///   --json=FILE            machine-readable run manifest, updated as the
 ///                          run progresses (atomic rewrite per bound)
@@ -40,12 +54,15 @@
 //===----------------------------------------------------------------------===//
 
 #include "benchmarks/Registry.h"
+#include "obs/Metrics.h"
+#include "obs/Progress.h"
 #include "rt/Explore.h"
 #include "search/Checker.h"
 #include "session/Checkpoint.h"
 #include "session/Manifest.h"
 #include "session/Minimize.h"
 #include "session/Repro.h"
+#include "session/Serial.h"
 #include "support/CommandLine.h"
 #include "support/Format.h"
 #include "support/WorkerPool.h"
@@ -83,6 +100,8 @@ struct RunConfig {
   bool EveryAccess = false;
   bool PreferModel = false;
   std::string Detector = "vc";
+  bool Progress = false;
+  uint64_t ProgressEveryMillis = 1000;
 };
 
 /// Session-wide state shared by the per-variant runs: manifest, repro
@@ -103,6 +122,7 @@ struct SessionState {
 class ToolObserver final : public search::EngineObserver {
 public:
   session::CheckpointSink *Sink = nullptr;
+  obs::ProgressMeter *Meter = nullptr;
   std::function<void(const search::BoundCoverage &)> BoundHook;
 
   bool checkpointDue(uint64_t Executions) override {
@@ -116,6 +136,13 @@ public:
   void onBoundComplete(const search::BoundCoverage &Snapshot) override {
     if (BoundHook)
       BoundHook(Snapshot);
+  }
+  // Polled by every worker on the hot path: the meter's deadline check is
+  // a single relaxed atomic load until a tick is actually due.
+  bool progressDue() override { return Meter && Meter->due(); }
+  void onProgress(const obs::ProgressSample &Sample) override {
+    if (Meter)
+      Meter->tick(Sample);
   }
 };
 
@@ -195,12 +222,17 @@ public:
           S.Resume ? S.Resume->Snap.Stats.Executions : 0, PriorWall);
       Obs.Sink = Sink.get();
     }
+    if (Config.Progress) {
+      Meter = std::make_unique<obs::ProgressMeter>(Config.ProgressEveryMillis);
+      Obs.Meter = Meter.get();
+    }
   }
 
   bool failed() const { return Failed; }
   search::EngineObserver *observer() {
-    return (S.Json || Sink) ? &Obs : nullptr;
+    return (S.Json || Sink || Meter) ? &Obs : nullptr;
   }
+  obs::MetricsRegistry *metrics() { return &Metrics; }
   /// The engine-level snapshot to resume from (null when none, or when the
   /// checkpoint describes a finished run — see finishedResume()).
   const search::EngineSnapshot *resumeSnapshot() const {
@@ -223,15 +255,25 @@ public:
   }
 
   /// Repro artifacts, final manifest record, checkpoint error surfacing.
-  /// Returns the session part of the exit code (0, 2, or 130).
+  /// Returns the session part of the exit code (0, 4, or 130).
   int finish(const search::SearchResult &R) {
     int Rc = 0;
+    if (Meter) {
+      obs::ProgressSample Last;
+      Last.Bound = R.Stats.PerBound.empty() ? 0 : R.Stats.PerBound.back().Bound;
+      Last.MaxBound = Config.MaxBound;
+      Last.Executions = R.Stats.Executions;
+      Last.TotalSteps = R.Stats.TotalSteps;
+      Last.States = R.Stats.DistinctStates;
+      Last.Bugs = R.Bugs.size();
+      Meter->finish(Last);
+    }
     std::vector<std::string> Repros;
     if (!S.ReproDir.empty() && !R.Bugs.empty()) {
       std::string Err;
       if (!session::ensureDir(S.ReproDir, &Err)) {
         std::fprintf(stderr, "%s\n", Err.c_str());
-        Rc = 2;
+        Rc = 4;
       } else {
         for (const search::Bug &B : R.Bugs) {
           session::ReproArtifact A;
@@ -244,7 +286,7 @@ public:
           std::string Path = S.ReproDir + "/" + session::reproFileName(A);
           if (!session::saveRepro(Path, A, &Err)) {
             std::fprintf(stderr, "repro write failed: %s\n", Err.c_str());
-            Rc = 2;
+            Rc = 4;
           } else {
             std::printf("  repro written: %s\n", Path.c_str());
             Repros.push_back(Path);
@@ -261,17 +303,20 @@ public:
       for (const std::string &P : Repros)
         Arr.Arr.push_back(JsonValue::str(P));
       Run.set("repros", std::move(Arr));
+      obs::MetricsSnapshot MSnap = Metrics.snapshot();
+      if (!MSnap.empty())
+        Run.set("metrics", session::metricsToJson(MSnap));
       S.Json->updateRun(RunIdx, std::move(Run));
       std::string Err;
       if (!S.Json->writeTo(S.JsonPath, &Err)) {
         std::fprintf(stderr, "manifest write failed: %s\n", Err.c_str());
-        Rc = 2;
+        Rc = 4;
       }
     }
     if (Sink && !Sink->ok()) {
       std::fprintf(stderr, "checkpoint write failed: %s\n",
                    Sink->error().c_str());
-      Rc = 2;
+      Rc = 4;
     }
     if (R.Interrupted) {
       std::printf("  interrupted; resumable checkpoint in %s\n",
@@ -288,6 +333,11 @@ private:
   ToolObserver Obs;
   std::unique_ptr<session::SignalGuard> Guard;
   std::unique_ptr<session::CheckpointSink> Sink;
+  /// One registry per run: each variant's manifest record carries its own
+  /// metrics. Under ICB_NO_METRICS every shard stays zero, the snapshot
+  /// reports empty(), and the manifest block is simply omitted.
+  obs::MetricsRegistry Metrics;
+  std::unique_ptr<obs::ProgressMeter> Meter;
   std::vector<search::BoundCoverage> Bounds;
   size_t RunIdx = 0;
   std::chrono::steady_clock::time_point Start =
@@ -297,7 +347,7 @@ private:
 };
 
 /// Runs one runtime-form test; returns 1 when a bug was found, 130 when
-/// interrupted, 2 on a session I/O failure.
+/// interrupted, 2 on a configuration error, 4 on a session I/O failure.
 int runRt(const rt::TestCase &Test, const RunConfig &Config,
           SessionState &S) {
   rt::ExploreOptions Opts;
@@ -314,9 +364,10 @@ int runRt(const rt::TestCase &Test, const RunConfig &Config,
 
   RunSession Sess(S, Config, "rt");
   if (Sess.failed())
-    return 2;
+    return 4;
   Opts.Observer = Sess.observer();
   Opts.Resume = Sess.resumeSnapshot();
+  Opts.Metrics = Sess.metrics();
 
   std::unique_ptr<rt::Explorer> Explorer;
   if (Config.Strategy == "icb")
@@ -403,9 +454,10 @@ int runVm(const vm::Program &Prog, const RunConfig &Config,
 
   RunSession Sess(S, Config, "vm");
   if (Sess.failed())
-    return 2;
+    return 4;
   Opts.Observer = Sess.observer();
   Opts.Resume = Sess.resumeSnapshot();
+  Opts.Metrics = Sess.metrics();
 
   if (Config.Jobs != 1)
     std::printf("exploring model '%s' with %s (%u jobs)...\n",
@@ -488,13 +540,15 @@ bool resolveArtifact(const session::ReproArtifact &A,
 
 /// The --replay[=--minimize] entry: deterministic re-execution of one
 /// .icbrepro. Exit 0 iff the recorded bug reproduces (and, with
-/// --minimize, the artifact was rewritten).
+/// --minimize, the artifact was rewritten); 3 when the bug fails to
+/// reproduce, 2 when the artifact names an unknown benchmark/bug, 4 when
+/// the file cannot be read or rewritten.
 int replayArtifact(const std::string &Path, bool Minimize, bool Trace) {
   session::ReproArtifact A;
   std::string Error;
   if (!session::loadRepro(Path, A, &Error)) {
     std::fprintf(stderr, "%s\n", Error.c_str());
-    return 2;
+    return 4;
   }
   std::function<rt::TestCase()> MakeRt;
   std::function<vm::Program()> MakeVm;
@@ -510,7 +564,7 @@ int replayArtifact(const std::string &Path, bool Minimize, bool Trace) {
     Outcome = session::replayArtifactVm(A, MakeVm());
   std::printf("  %s\n", Outcome.Detail.c_str());
   if (!Outcome.Reproduced)
-    return 1;
+    return 3;
   if (Trace && A.Form == "rt")
     std::printf("\n%s",
                 rt::renderBugTrace(MakeRt(), Outcome.Observed,
@@ -529,7 +583,7 @@ int replayArtifact(const std::string &Path, bool Minimize, bool Trace) {
     std::fprintf(stderr,
                  "minimization could not re-reproduce the bug (%u replays)\n",
                  M.Replays);
-    return 1;
+    return 3;
   }
   std::printf("  minimized in %u replays: directives %u -> %u, preemptions "
               "%u -> %u, steps %s -> %s\n",
@@ -544,7 +598,7 @@ int replayArtifact(const std::string &Path, bool Minimize, bool Trace) {
   A.Found = M.Minimized;
   if (!session::saveRepro(Path, A, &Error)) {
     std::fprintf(stderr, "%s\n", Error.c_str());
-    return 2;
+    return 4;
   }
   std::printf("  minimized artifact rewritten: %s\n", Path.c_str());
   return 0;
@@ -553,8 +607,18 @@ int replayArtifact(const std::string &Path, bool Minimize, bool Trace) {
 } // namespace
 
 int main(int Argc, char **Argv) {
-  FlagSet Flags("icb_check: systematic concurrency testing with iterative "
-                "context bounding (PLDI'07 reproduction)");
+  FlagSet Flags(
+      "icb_check: systematic concurrency testing with iterative "
+      "context bounding (PLDI'07 reproduction)\n"
+      "\n"
+      "exit codes:\n"
+      "  0    clean: no bug within the explored bound, or the replayed /\n"
+      "       minimized artifact reproduced its bug\n"
+      "  1    a bug was found by the search\n"
+      "  2    usage or configuration error\n"
+      "  3    replay mismatch: the recorded bug did not reproduce\n"
+      "  4    session I/O failure (manifest, checkpoint, or repro file)\n"
+      "  130  interrupted; a resumable checkpoint was flushed first");
   Flags.addBool("list", false, "list benchmarks and seeded bugs, then exit");
   Flags.addString("benchmark", "", "benchmark name from --list");
   Flags.addString("bug", "none",
@@ -575,6 +639,10 @@ int main(int Argc, char **Argv) {
   Flags.addBool("every-access", false,
                 "scheduling points at every data access (ablation mode)");
   Flags.addString("detector", "vc", "race detector: vc or goldilocks");
+  Flags.addBool("progress", false,
+                "live single-line progress ticker on stderr");
+  Flags.addInt("progress-every", 1000,
+               "progress ticker period in milliseconds (implies --progress)");
   Flags.addString("json", "", "write a machine-readable run manifest here");
   Flags.addString("checkpoint-dir", "",
                   "write resumable checkpoints into this directory (icb)");
@@ -607,7 +675,7 @@ int main(int Argc, char **Argv) {
         "max-executions", "seed",    "jobs",            "shards",
         "model",     "keep-going",   "every-access",    "detector",
         "json",      "checkpoint-dir", "checkpoint-every", "resume",
-        "repro-dir",
+        "repro-dir", "progress",     "progress-every",
     };
     for (const char *Name : Incompatible)
       if (Flags.wasSet(Name)) {
@@ -638,6 +706,14 @@ int main(int Argc, char **Argv) {
   Config.Jobs = static_cast<unsigned>(Flags.getInt("jobs"));
   Config.Shards = static_cast<unsigned>(Flags.getInt("shards"));
   Config.PreferModel = Flags.getBool("model");
+  Config.Progress =
+      Flags.getBool("progress") || Flags.wasSet("progress-every");
+  Config.ProgressEveryMillis =
+      static_cast<uint64_t>(Flags.getInt("progress-every"));
+  if (Config.Progress && Flags.getInt("progress-every") <= 0) {
+    std::fprintf(stderr, "--progress-every must be positive (milliseconds)\n");
+    return 2;
+  }
 
   std::string BenchName = Flags.getString("benchmark");
   std::string BugLabel = Flags.getString("bug");
@@ -680,7 +756,7 @@ int main(int Argc, char **Argv) {
     if (!session::loadCheckpoint(session::checkpointPath(ResumeDir),
                                  ResumeData, &Error)) {
       std::fprintf(stderr, "--resume: %s\n", Error.c_str());
-      return 2;
+      return 4;
     }
     const session::CheckpointMeta &M = ResumeData.Meta;
     bool Bad = false;
@@ -787,7 +863,7 @@ int main(int Argc, char **Argv) {
     S.Json = &Manifest;
     if (!Manifest.writeTo(S.JsonPath, &Error)) {
       std::fprintf(stderr, "%s\n", Error.c_str());
-      return 2;
+      return 4;
     }
   }
 

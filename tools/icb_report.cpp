@@ -1,0 +1,357 @@
+//===- tools/icb_report.cpp - Render run metrics as tables -----------------===//
+//
+// Part of the ICB project (PLDI'07 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Renders the observability data of a finished (or checkpointed) run as
+/// human-readable tables: per-bound coverage, phase-time breakdown, worker
+/// utilization, and cache effectiveness. Reads either an icb_check
+/// `--json` manifest or a `--checkpoint-dir` directory (equivalently its
+/// checkpoint.json), so the same report works on a completed run and on a
+/// run interrupted halfway.
+///
+///   icb_report manifest.json
+///   icb_report ckpt/                 # or ckpt/checkpoint.json
+///
+/// Exit codes: 0 report rendered, 2 usage error, 4 unreadable or
+/// unparseable input.
+///
+//===----------------------------------------------------------------------===//
+
+#include "session/Json.h"
+#include "support/CommandLine.h"
+#include "support/Format.h"
+#include <cinttypes>
+#include <cstdio>
+#include <string>
+#include <sys/stat.h>
+#include <vector>
+
+using namespace icb;
+using session::JsonValue;
+
+namespace {
+
+uint64_t numField(const JsonValue *V, const char *Key) {
+  uint64_t Out = 0;
+  if (V)
+    V->getU64(Key, Out);
+  return Out;
+}
+
+std::string strField(const JsonValue *V, const char *Key) {
+  std::string Out;
+  if (V)
+    V->getString(Key, Out);
+  return Out;
+}
+
+/// Nanoseconds as milliseconds with 3 decimals ("12.345").
+std::string nsToMs(uint64_t Nanos) {
+  return strFormat("%" PRIu64 ".%03" PRIu64, Nanos / 1000000,
+                   (Nanos / 1000) % 1000);
+}
+
+/// Microseconds with 1 decimal from nanoseconds ("4.2").
+std::string nsToUs(uint64_t Nanos) {
+  return strFormat("%" PRIu64 ".%" PRIu64, Nanos / 1000, (Nanos % 1000) / 100);
+}
+
+/// Integer-ratio percentage with 1 decimal ("97.3%"); "-" when the
+/// denominator is zero.
+std::string pct(uint64_t Part, uint64_t Whole) {
+  if (Whole == 0)
+    return "-";
+  uint64_t Milli = (Part * 1000 + Whole / 2) / Whole;
+  return strFormat("%" PRIu64 ".%" PRIu64 "%%", Milli / 10, Milli % 10);
+}
+
+void printRow(const std::vector<std::string> &Cells,
+              const std::vector<size_t> &Widths) {
+  std::string Line = " ";
+  for (size_t I = 0; I != Cells.size(); ++I)
+    Line += " " + padLeft(Cells[I], Widths[I]);
+  std::printf("%s\n", Line.c_str());
+}
+
+/// Prints a right-aligned table: one header row, then data rows. Column
+/// widths adapt to content.
+void printTable(const std::vector<std::string> &Header,
+                const std::vector<std::vector<std::string>> &Rows) {
+  std::vector<size_t> Widths;
+  for (const std::string &H : Header)
+    Widths.push_back(H.size());
+  for (const auto &Row : Rows)
+    for (size_t I = 0; I != Row.size() && I != Widths.size(); ++I)
+      Widths[I] = std::max(Widths[I], Row[I].size());
+  printRow(Header, Widths);
+  for (const auto &Row : Rows)
+    printRow(Row, Widths);
+}
+
+//===----------------------------------------------------------------------===//
+// Report sections
+//===----------------------------------------------------------------------===//
+
+/// Per-bound coverage: cumulative stats rows joined (by bound) with the
+/// metrics' per-bound execution histogram when present.
+void renderPerBound(const JsonValue *Stats, const JsonValue *Metrics) {
+  const JsonValue *PerBound = Stats ? Stats->find("per_bound") : nullptr;
+  if (!PerBound || !PerBound->isArray() || PerBound->Arr.empty()) {
+    std::printf("  (no per-bound coverage recorded)\n");
+    return;
+  }
+  const JsonValue *Epb = Metrics ? Metrics->find("executions_per_bound")
+                                 : nullptr;
+  std::vector<std::vector<std::string>> Rows;
+  uint64_t PrevExec = 0, PrevStates = 0;
+  for (const JsonValue &Row : PerBound->Arr) {
+    uint64_t Bound = numField(&Row, "bound");
+    uint64_t Exec = numField(&Row, "executions");
+    uint64_t States = numField(&Row, "states");
+    // The metrics histogram counts this bound's own executions; the stats
+    // rows are cumulative. Report both views side by side.
+    std::string Own = "-";
+    if (Epb && Epb->isArray() && Bound < Epb->Arr.size() &&
+        Epb->Arr[Bound].K == JsonValue::Kind::Number)
+      Own = withCommas(Epb->Arr[Bound].U);
+    Rows.push_back({withCommas(Bound), withCommas(Exec),
+                    withCommas(Exec - PrevExec), Own, withCommas(States),
+                    withCommas(States - PrevStates)});
+    PrevExec = Exec;
+    PrevStates = States;
+  }
+  printTable({"bound", "cum exec", "new exec", "exec@bound", "cum states",
+              "new states"},
+             Rows);
+}
+
+void renderPhases(const JsonValue *Metrics) {
+  const JsonValue *Timing = Metrics ? Metrics->find("timing") : nullptr;
+  const JsonValue *Phases = Timing ? Timing->find("phases_ns") : nullptr;
+  if (!Phases || !Phases->isObject() || Phases->Obj.empty()) {
+    std::printf("  (no phase timings recorded)\n");
+    return;
+  }
+  uint64_t TotalNanos = 0;
+  for (const auto &[Name, P] : Phases->Obj)
+    TotalNanos += numField(&P, "sum");
+  std::vector<std::vector<std::string>> Rows;
+  for (const auto &[Name, P] : Phases->Obj) {
+    uint64_t Sum = numField(&P, "sum");
+    uint64_t Count = numField(&P, "count");
+    uint64_t Mean = Count ? (Sum + Count / 2) / Count : 0;
+    Rows.push_back({Name, withCommas(Count), nsToMs(Sum),
+                    Count ? nsToUs(Mean) : "-",
+                    Count ? nsToUs(numField(&P, "min")) : "-",
+                    Count ? nsToUs(numField(&P, "max")) : "-",
+                    pct(Sum, TotalNanos)});
+  }
+  printTable({"phase", "scopes", "total ms", "mean us", "min us", "max us",
+              "share"},
+             Rows);
+}
+
+void renderWorkers(const JsonValue *Metrics) {
+  const JsonValue *Timing = Metrics ? Metrics->find("timing") : nullptr;
+  const JsonValue *Workers = Timing ? Timing->find("workers") : nullptr;
+  if (!Workers || !Workers->isArray() || Workers->Arr.empty()) {
+    std::printf("  (no worker accounting recorded)\n");
+    return;
+  }
+  std::vector<std::vector<std::string>> Rows;
+  uint64_t TotalBusy = 0, TotalIdle = 0;
+  for (size_t I = 0; I != Workers->Arr.size(); ++I) {
+    uint64_t Busy = numField(&Workers->Arr[I], "busy_ns");
+    uint64_t Idle = numField(&Workers->Arr[I], "idle_ns");
+    TotalBusy += Busy;
+    TotalIdle += Idle;
+    Rows.push_back({withCommas(I), nsToMs(Busy), nsToMs(Idle),
+                    pct(Busy, Busy + Idle)});
+  }
+  if (Workers->Arr.size() > 1)
+    Rows.push_back({"all", nsToMs(TotalBusy), nsToMs(TotalIdle),
+                    pct(TotalBusy, TotalBusy + TotalIdle)});
+  printTable({"worker", "busy ms", "idle ms", "utilization"}, Rows);
+}
+
+void renderCaches(const JsonValue *Metrics) {
+  const JsonValue *Counters = Metrics ? Metrics->find("counters") : nullptr;
+  if (!Counters || !Counters->isObject()) {
+    std::printf("  (no counters recorded)\n");
+    return;
+  }
+  std::vector<std::vector<std::string>> Rows;
+  auto CacheRow = [&](const char *Label, const char *HitKey,
+                      const char *MissKey) {
+    uint64_t Hits = numField(Counters, HitKey);
+    uint64_t Misses = numField(Counters, MissKey);
+    Rows.push_back({Label, withCommas(Hits), withCommas(Misses),
+                    pct(Hits, Hits + Misses)});
+  };
+  CacheRow("visited states", "seen_hit", "seen_miss");
+  CacheRow("terminal states", "terminal_hit", "terminal_miss");
+  CacheRow("work items", "item_hit", "item_miss");
+  const JsonValue *Timing = Metrics->find("timing");
+  const JsonValue *TCounters = Timing ? Timing->find("counters") : nullptr;
+  if (TCounters) {
+    uint64_t Attempts = numField(TCounters, "steal_attempts");
+    uint64_t Hits = numField(TCounters, "steal_hits");
+    Rows.push_back({"deque steals", withCommas(Hits),
+                    withCommas(Attempts - std::min(Attempts, Hits)),
+                    pct(Hits, Attempts)});
+  }
+  printTable({"cache", "hits", "misses", "hit rate"}, Rows);
+}
+
+void renderWork(const JsonValue *Metrics) {
+  const JsonValue *Counters = Metrics ? Metrics->find("counters") : nullptr;
+  if (!Counters)
+    return;
+  std::printf(
+      "  chains %s, branched %s, deferred %s, replay steps %s\n",
+      withCommas(numField(Counters, "chains")).c_str(),
+      withCommas(numField(Counters, "branched_items")).c_str(),
+      withCommas(numField(Counters, "deferred_items")).c_str(),
+      withCommas(numField(Counters, "replay_steps")).c_str());
+  if (const JsonValue *Depth = Metrics->find("replay_depth")) {
+    uint64_t MeanMilli = numField(Depth, "mean_milli");
+    std::printf("  replay depth: min %s, mean %" PRIu64 ".%03" PRIu64
+                ", max %s\n",
+                withCommas(numField(Depth, "min")).c_str(), MeanMilli / 1000,
+                MeanMilli % 1000,
+                withCommas(numField(Depth, "max")).c_str());
+  }
+}
+
+/// One run's full report. \p Metrics may be null (unmetered run): the
+/// coverage table still renders, the metric sections say so.
+void renderRun(const std::string &Title, const JsonValue *Stats,
+               const JsonValue *Metrics, uint64_t WallMillis,
+               uint64_t BugCount, bool Interrupted) {
+  std::printf("%s\n", Title.c_str());
+  std::printf("  executions %s, steps %s, states %s, wall %s ms%s\n",
+              withCommas(numField(Stats, "executions")).c_str(),
+              withCommas(numField(Stats, "total_steps")).c_str(),
+              withCommas(numField(Stats, "distinct_states")).c_str(),
+              withCommas(WallMillis).c_str(),
+              Interrupted ? " (interrupted)" : "");
+  std::printf("  bugs found: %s\n\n", withCommas(BugCount).c_str());
+  std::printf("per-bound coverage:\n");
+  renderPerBound(Stats, Metrics);
+  std::printf("\nphase breakdown:\n");
+  renderPhases(Metrics);
+  std::printf("\nworker utilization:\n");
+  renderWorkers(Metrics);
+  std::printf("\ncache effectiveness:\n");
+  renderCaches(Metrics);
+  std::printf("\nwork-derived totals:\n");
+  renderWork(Metrics);
+}
+
+size_t bugCount(const JsonValue *Record) {
+  const JsonValue *Bugs = Record ? Record->find("bugs") : nullptr;
+  return Bugs && Bugs->isArray() ? Bugs->Arr.size() : 0;
+}
+
+int reportManifest(const JsonValue &Doc) {
+  const JsonValue *Runs = Doc.find("runs");
+  if (!Runs || !Runs->isArray()) {
+    std::fprintf(stderr, "manifest has no runs array\n");
+    return 4;
+  }
+  if (Runs->Arr.empty()) {
+    std::fprintf(stderr, "manifest records no runs\n");
+    return 4;
+  }
+  std::printf("manifest: tool %s, %zu run(s)\n\n",
+              strField(&Doc, "tool").c_str(), Runs->Arr.size());
+  for (size_t I = 0; I != Runs->Arr.size(); ++I) {
+    const JsonValue &Run = Runs->Arr[I];
+    if (I)
+      std::printf("\n%s\n\n", std::string(64, '-').c_str());
+    bool InProgress = false;
+    Run.getBool("in_progress", InProgress);
+    std::string Title = strFormat(
+        "run %zu: %s / %s (%s form, strategy %s, jobs %" PRIu64 ")%s", I,
+        strField(&Run, "benchmark").c_str(), strField(&Run, "bug").c_str(),
+        strField(&Run, "form").c_str(), strField(&Run, "strategy").c_str(),
+        numField(&Run, "jobs"), InProgress ? " [in progress]" : "");
+    bool Interrupted = false;
+    Run.getBool("interrupted", Interrupted);
+    renderRun(Title, Run.find("stats"), Run.find("metrics"),
+              numField(&Run, "wall_ms"), bugCount(&Run), Interrupted);
+  }
+  return 0;
+}
+
+int reportCheckpoint(const JsonValue &Doc) {
+  const JsonValue *Meta = Doc.find("meta");
+  const JsonValue *Snap = Doc.find("snapshot");
+  if (!Meta || !Snap) {
+    std::fprintf(stderr, "checkpoint is missing meta/snapshot\n");
+    return 4;
+  }
+  bool Final = false;
+  Snap->getBool("final", Final);
+  std::string Title = strFormat(
+      "checkpoint: %s / %s (%s form, strategy %s, jobs %" PRIu64 ")%s",
+      strField(Meta, "benchmark").c_str(), strField(Meta, "bug").c_str(),
+      strField(Meta, "form").c_str(), strField(Meta, "strategy").c_str(),
+      numField(Meta, "jobs"),
+      Final ? " [final]"
+            : strFormat(" [resumable at bound %" PRIu64 "]",
+                        numField(Snap, "bound"))
+                  .c_str());
+  renderRun(Title, Snap->find("stats"), Snap->find("metrics"),
+            numField(&Doc, "wall_ms"), bugCount(Snap), !Final);
+  return 0;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  FlagSet Flags(
+      "icb_report: render an icb_check run's observability data as tables\n"
+      "\n"
+      "usage: icb_report FILE-OR-DIR\n"
+      "  FILE-OR-DIR is an icb_check --json manifest, a --checkpoint-dir\n"
+      "  directory, or a checkpoint.json inside one\n"
+      "\n"
+      "exit codes: 0 report rendered, 2 usage error, 4 unreadable or\n"
+      "unparseable input");
+  std::string Error;
+  if (!Flags.parse(Argc, Argv, &Error)) {
+    std::fprintf(stderr, "%s\n", Error.c_str());
+    return 2;
+  }
+  if (Flags.positional().size() != 1) {
+    std::fprintf(stderr, "%s\n",
+                 Flags.usage(Argv[0] ? Argv[0] : "icb_report").c_str());
+    return 2;
+  }
+  std::string Path = Flags.positional()[0];
+  struct stat St;
+  if (::stat(Path.c_str(), &St) == 0 && S_ISDIR(St.st_mode))
+    Path += "/checkpoint.json";
+
+  std::string Text;
+  if (!session::readFile(Path, Text, &Error)) {
+    std::fprintf(stderr, "%s\n", Error.c_str());
+    return 4;
+  }
+  JsonValue Doc;
+  if (!session::jsonParse(Text, Doc, &Error)) {
+    std::fprintf(stderr, "%s: %s\n", Path.c_str(), Error.c_str());
+    return 4;
+  }
+  if (Doc.find("icb_checkpoint"))
+    return reportCheckpoint(Doc);
+  if (Doc.find("runs"))
+    return reportManifest(Doc);
+  std::fprintf(stderr, "%s: neither a run manifest nor a checkpoint\n",
+               Path.c_str());
+  return 4;
+}
