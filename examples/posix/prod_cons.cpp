@@ -1,0 +1,75 @@
+//===- examples/posix/prod_cons.cpp - Lost-wakeup deadlock (bound 2) ------===//
+//
+// Part of the ICB project (PLDI'07 reproduction).
+//
+//===----------------------------------------------------------------------===//
+//
+// A producer/consumer pair with the classic lost-wakeup bug: the consumer
+// tests its condition and decides to wait *outside* any protocol that
+// orders the producer's signal after the wait. Two independent preemptions
+// are needed to lose the wakeup:
+//
+//   1. preempt the consumer after sem_post(&tick) but before it has
+//      entered pthread_cond_wait (its "announce window"), and
+//   2. preempt the producer between pthread_cond_signal and
+//      pthread_mutex_lock, so the signal fires while nobody waits and
+//      ready=1 is not yet visible when the consumer finally waits.
+//
+// The tick semaphore gates the producer so it cannot run before the
+// consumer's announcement at all — without a preemption the producer has
+// no way to act early for free. Hence: no deadlock at preemption bound 1,
+// deadlock (consumer blocked forever, main blocked in join) at bound 2 —
+// the shape of Table 2 of the paper, expressed in ordinary pthreads.
+//
+// This file is PURE POSIX: no icb header is included. It is built twice —
+// once with `-include icb/posix.h` (macro redirection) and once completely
+// unmodified with the --wrap link options — proving both delivery
+// mechanisms of the frontend on identical source.
+//
+//===----------------------------------------------------------------------===//
+
+#include <pthread.h>
+#include <semaphore.h>
+
+namespace {
+
+pthread_mutex_t Lock = PTHREAD_MUTEX_INITIALIZER;
+pthread_cond_t Ready = PTHREAD_COND_INITIALIZER;
+sem_t Tick;
+int DataReady;
+
+void *consumer(void *) {
+  // Announce interest, then (bug) publish/wait non-atomically.
+  sem_post(&Tick);
+  pthread_mutex_lock(&Lock);
+  if (!DataReady)
+    pthread_cond_wait(&Ready, &Lock);
+  pthread_mutex_unlock(&Lock);
+  return nullptr;
+}
+
+void *producer(void *) {
+  sem_wait(&Tick);
+  // Bug: signal before the store is published under the lock. Correct
+  // code signals with the mutex held after setting DataReady.
+  pthread_cond_signal(&Ready);
+  pthread_mutex_lock(&Lock);
+  DataReady = 1;
+  pthread_mutex_unlock(&Lock);
+  return nullptr;
+}
+
+} // namespace
+
+extern "C" const char *icb_test_name(void) { return "posix-prod-cons"; }
+
+extern "C" void icb_test_main(void) {
+  sem_init(&Tick, 0, 0);
+  DataReady = 0;
+  pthread_t C, P;
+  pthread_create(&C, nullptr, consumer, nullptr);
+  pthread_create(&P, nullptr, producer, nullptr);
+  pthread_join(C, nullptr);
+  pthread_join(P, nullptr);
+  sem_destroy(&Tick);
+}

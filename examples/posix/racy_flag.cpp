@@ -1,0 +1,59 @@
+//===- examples/posix/racy_flag.cpp - Seeded data race (bound 0) ----------===//
+//
+// Part of the ICB project (PLDI'07 reproduction).
+//
+//===----------------------------------------------------------------------===//
+//
+// The smallest interesting race: one thread writes a flag without taking
+// the lock, another reads it with the lock held. The accesses share no
+// lock and no happens-before edge, so the vector-clock detector flags
+// them in *every* interleaving — icb_run reports the race within
+// preemption bound 0, on the very first execution, deterministically at
+// any --jobs count.
+//
+// Unlike prod_cons.cpp this test includes the shim header directly (the
+// macro-renaming delivery): plain memory accesses are invisible to the
+// frontend, so the test annotates them with icb_posix_shared_read/write.
+// The first annotated access to Flag happens on the main test thread,
+// which gives the location a stable cross-execution identity (see
+// include/icb/posix.h).
+//
+//===----------------------------------------------------------------------===//
+
+#include "icb/posix.h"
+
+namespace {
+
+pthread_mutex_t Lock = PTHREAD_MUTEX_INITIALIZER;
+int Flag;
+
+void *setter(void *) {
+  // BUG: writes the flag without holding Lock.
+  icb_posix_shared_write(&Flag, "Flag");
+  Flag = 1;
+  return nullptr;
+}
+
+void *reader(void *) {
+  pthread_mutex_lock(&Lock);
+  icb_posix_shared_read(&Flag, "Flag");
+  // Note: nothing branches on the value — module globals are shared by
+  // the --jobs N worker threads, so control flow must not depend on what
+  // another worker's execution happens to have stored.
+  pthread_mutex_unlock(&Lock);
+  return nullptr;
+}
+
+} // namespace
+
+extern "C" const char *icb_test_name(void) { return "posix-racy-flag"; }
+
+extern "C" void icb_test_main(void) {
+  icb_posix_shared_write(&Flag, "Flag");
+  Flag = 0;
+  pthread_t S, R;
+  pthread_create(&S, nullptr, setter, nullptr);
+  pthread_create(&R, nullptr, reader, nullptr);
+  pthread_join(S, nullptr);
+  pthread_join(R, nullptr);
+}

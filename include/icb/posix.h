@@ -1,0 +1,220 @@
+/*===- icb/posix.h - pthread-compatible shim over the ICB runtime -*- C -*-===//
+ *
+ * Part of the ICB project (PLDI'07 reproduction).
+ *
+ *===----------------------------------------------------------------------===//
+ *
+ * The POSIX frontend: a pthread-compatible API surface implemented on the
+ * icb::rt controlled scheduler, so ordinary pthreads test programs run
+ * under systematic exploration (the CHESS model: intercept the platform's
+ * thread/sync API; the paper used Win32, this is the pthreads analogue).
+ *
+ * A test is a shared object exporting
+ *
+ *     void icb_test_main(void);
+ *
+ * driven by tools/icb_run. The test reaches the controlled primitives one
+ * of two ways:
+ *
+ *  1. Header shim: include this header (or compile with
+ *     `-include icb/posix.h`). Function-like macros redirect every
+ *     supported pthreads/semaphore call site to its icb_* twin. The
+ *     native types (pthread_mutex_t, sem_t, ...) are kept as opaque
+ *     keys — the frontend never reads or writes their storage, so
+ *     PTHREAD_*_INITIALIZER static initialization works unchanged.
+ *
+ *  2. Linker wrap: compile the unmodified source and link the module with
+ *     `-Wl,--wrap,pthread_create,...` (the full flag list is exported by
+ *     CMake as ICB_POSIX_WRAP_LINK_OPTIONS). src/posix/Wrap.cpp provides
+ *     the __wrap_* forwarders, resolved from the icb_run executable at
+ *     dlopen time.
+ *
+ * Semantics notes (the full table is in DESIGN.md §8):
+ *  - Every call is a scheduling point of the systematic scheduler except
+ *    TLS get/set, attribute ops, and recursive re-lock/unlock.
+ *  - pthread_cond_timedwait is a schedule point whose timeout is modeled:
+ *    the waiter stays enabled, and scheduling it before a signal arrives
+ *    IS the timeout (equivalently a spurious wakeup) — both outcomes of
+ *    every signal/expiry race are explored, no wall clock involved.
+ *  - sched_yield/usleep/sleep/nanosleep are yield points (Sleep(0) in the
+ *    paper's terms): scheduling points where switching away is free.
+ *  - Misuse that POSIX defines as an error returns the documented errno
+ *    (EBUSY, EDEADLK, ETIMEDOUT, EPERM, EAGAIN, ...); misuse that POSIX
+ *    leaves undefined ends the execution as a reported bug.
+ *
+ * Plain memory accesses are invisible to the frontend; a test that wants
+ * data-race checking annotates them with icb_posix_shared_read/write.
+ *
+ *===----------------------------------------------------------------------===*/
+
+#ifndef ICB_POSIX_H
+#define ICB_POSIX_H
+
+#include <errno.h>
+#include <pthread.h>
+#include <sched.h>
+#include <semaphore.h>
+#include <time.h>
+#include <unistd.h>
+
+#ifdef __cplusplus
+extern "C" {
+#endif
+
+/* --- Threads ---------------------------------------------------------- */
+
+int icb_pthread_create(pthread_t *Thread, const pthread_attr_t *Attr,
+                       void *(*Start)(void *), void *Arg);
+int icb_pthread_join(pthread_t Thread, void **Ret);
+int icb_pthread_detach(pthread_t Thread);
+pthread_t icb_pthread_self(void);
+int icb_pthread_equal(pthread_t A, pthread_t B);
+void icb_pthread_exit(void *Ret);
+
+int icb_pthread_attr_init(pthread_attr_t *Attr);
+int icb_pthread_attr_destroy(pthread_attr_t *Attr);
+int icb_pthread_attr_setdetachstate(pthread_attr_t *Attr, int State);
+int icb_pthread_attr_getdetachstate(const pthread_attr_t *Attr, int *State);
+
+/* --- Mutexes ---------------------------------------------------------- */
+
+int icb_pthread_mutex_init(pthread_mutex_t *M, const pthread_mutexattr_t *A);
+int icb_pthread_mutex_destroy(pthread_mutex_t *M);
+int icb_pthread_mutex_lock(pthread_mutex_t *M);
+int icb_pthread_mutex_trylock(pthread_mutex_t *M);
+int icb_pthread_mutex_unlock(pthread_mutex_t *M);
+
+int icb_pthread_mutexattr_init(pthread_mutexattr_t *A);
+int icb_pthread_mutexattr_destroy(pthread_mutexattr_t *A);
+int icb_pthread_mutexattr_settype(pthread_mutexattr_t *A, int Type);
+int icb_pthread_mutexattr_gettype(const pthread_mutexattr_t *A, int *Type);
+
+/* --- Condition variables ---------------------------------------------- */
+
+int icb_pthread_cond_init(pthread_cond_t *C, const pthread_condattr_t *A);
+int icb_pthread_cond_destroy(pthread_cond_t *C);
+int icb_pthread_cond_wait(pthread_cond_t *C, pthread_mutex_t *M);
+int icb_pthread_cond_timedwait(pthread_cond_t *C, pthread_mutex_t *M,
+                               const struct timespec *AbsTime);
+int icb_pthread_cond_signal(pthread_cond_t *C);
+int icb_pthread_cond_broadcast(pthread_cond_t *C);
+
+/* --- Reader-writer locks ---------------------------------------------- */
+
+int icb_pthread_rwlock_init(pthread_rwlock_t *RW,
+                            const pthread_rwlockattr_t *A);
+int icb_pthread_rwlock_destroy(pthread_rwlock_t *RW);
+int icb_pthread_rwlock_rdlock(pthread_rwlock_t *RW);
+int icb_pthread_rwlock_tryrdlock(pthread_rwlock_t *RW);
+int icb_pthread_rwlock_wrlock(pthread_rwlock_t *RW);
+int icb_pthread_rwlock_trywrlock(pthread_rwlock_t *RW);
+int icb_pthread_rwlock_unlock(pthread_rwlock_t *RW);
+
+/* --- Semaphores (return -1 and set errno on failure, like the real
+ *     sem_* family) ----------------------------------------------------- */
+
+int icb_sem_init(sem_t *S, int PShared, unsigned Value);
+int icb_sem_destroy(sem_t *S);
+int icb_sem_wait(sem_t *S);
+int icb_sem_trywait(sem_t *S);
+int icb_sem_post(sem_t *S);
+int icb_sem_getvalue(sem_t *S, int *Out);
+
+/* --- Once + TLS keys --------------------------------------------------- */
+
+int icb_pthread_once(pthread_once_t *Control, void (*Routine)(void));
+
+int icb_pthread_key_create(pthread_key_t *Key, void (*Dtor)(void *));
+int icb_pthread_key_delete(pthread_key_t Key);
+int icb_pthread_setspecific(pthread_key_t Key, const void *Value);
+void *icb_pthread_getspecific(pthread_key_t Key);
+
+/* --- Yield points ------------------------------------------------------ */
+
+int icb_sched_yield(void);
+int icb_usleep(unsigned Usec);
+unsigned icb_sleep(unsigned Seconds);
+int icb_nanosleep(const struct timespec *Req, struct timespec *Rem);
+
+/* --- Checker surface (no pthreads equivalent) -------------------------- */
+
+/* Annotate a plain shared-memory access so the execution's data-race
+ * detector sees it. `What` names the variable in bug reports (may be
+ * NULL). For stable cross-execution identity, perform the first annotated
+ * access to each location from its creating thread. */
+void icb_posix_shared_read(const void *Addr, const char *What);
+void icb_posix_shared_write(void *Addr, const char *What);
+
+/* Assert inside test code; failure ends the execution as a reported bug. */
+void icb_posix_assert(int Cond, const char *What);
+
+#ifdef __cplusplus
+} /* extern "C" */
+#endif
+
+/* --- Macro redirection -------------------------------------------------
+ * Function-like macros so only call sites are rewritten; declarations in
+ * system headers are untouched. Define ICB_POSIX_NO_RENAME to get the
+ * icb_* declarations without the redirection. */
+#ifndef ICB_POSIX_NO_RENAME
+
+#define pthread_create(t, a, f, g) icb_pthread_create(t, a, f, g)
+#define pthread_join(t, r) icb_pthread_join(t, r)
+#define pthread_detach(t) icb_pthread_detach(t)
+#define pthread_self() icb_pthread_self()
+#define pthread_equal(a, b) icb_pthread_equal(a, b)
+#define pthread_exit(r) icb_pthread_exit(r)
+
+#define pthread_attr_init(a) icb_pthread_attr_init(a)
+#define pthread_attr_destroy(a) icb_pthread_attr_destroy(a)
+#define pthread_attr_setdetachstate(a, s) icb_pthread_attr_setdetachstate(a, s)
+#define pthread_attr_getdetachstate(a, s) icb_pthread_attr_getdetachstate(a, s)
+
+#define pthread_mutex_init(m, a) icb_pthread_mutex_init(m, a)
+#define pthread_mutex_destroy(m) icb_pthread_mutex_destroy(m)
+#define pthread_mutex_lock(m) icb_pthread_mutex_lock(m)
+#define pthread_mutex_trylock(m) icb_pthread_mutex_trylock(m)
+#define pthread_mutex_unlock(m) icb_pthread_mutex_unlock(m)
+
+#define pthread_mutexattr_init(a) icb_pthread_mutexattr_init(a)
+#define pthread_mutexattr_destroy(a) icb_pthread_mutexattr_destroy(a)
+#define pthread_mutexattr_settype(a, t) icb_pthread_mutexattr_settype(a, t)
+#define pthread_mutexattr_gettype(a, t) icb_pthread_mutexattr_gettype(a, t)
+
+#define pthread_cond_init(c, a) icb_pthread_cond_init(c, a)
+#define pthread_cond_destroy(c) icb_pthread_cond_destroy(c)
+#define pthread_cond_wait(c, m) icb_pthread_cond_wait(c, m)
+#define pthread_cond_timedwait(c, m, t) icb_pthread_cond_timedwait(c, m, t)
+#define pthread_cond_signal(c) icb_pthread_cond_signal(c)
+#define pthread_cond_broadcast(c) icb_pthread_cond_broadcast(c)
+
+#define pthread_rwlock_init(l, a) icb_pthread_rwlock_init(l, a)
+#define pthread_rwlock_destroy(l) icb_pthread_rwlock_destroy(l)
+#define pthread_rwlock_rdlock(l) icb_pthread_rwlock_rdlock(l)
+#define pthread_rwlock_tryrdlock(l) icb_pthread_rwlock_tryrdlock(l)
+#define pthread_rwlock_wrlock(l) icb_pthread_rwlock_wrlock(l)
+#define pthread_rwlock_trywrlock(l) icb_pthread_rwlock_trywrlock(l)
+#define pthread_rwlock_unlock(l) icb_pthread_rwlock_unlock(l)
+
+#define sem_init(s, p, v) icb_sem_init(s, p, v)
+#define sem_destroy(s) icb_sem_destroy(s)
+#define sem_wait(s) icb_sem_wait(s)
+#define sem_trywait(s) icb_sem_trywait(s)
+#define sem_post(s) icb_sem_post(s)
+#define sem_getvalue(s, o) icb_sem_getvalue(s, o)
+
+#define pthread_once(o, f) icb_pthread_once(o, f)
+
+#define pthread_key_create(k, d) icb_pthread_key_create(k, d)
+#define pthread_key_delete(k) icb_pthread_key_delete(k)
+#define pthread_setspecific(k, v) icb_pthread_setspecific(k, v)
+#define pthread_getspecific(k) icb_pthread_getspecific(k)
+
+#define sched_yield() icb_sched_yield()
+#define usleep(us) icb_usleep(us)
+#define sleep(s) icb_sleep(s)
+#define nanosleep(rq, rm) icb_nanosleep(rq, rm)
+
+#endif /* ICB_POSIX_NO_RENAME */
+
+#endif /* ICB_POSIX_H */

@@ -1,0 +1,60 @@
+//===- posix/Module.cpp - dlopen convention for posix test modules --------===//
+//
+// Part of the ICB project (PLDI'07 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "posix/Module.h"
+#include "posix/Runtime.h"
+#include "support/Format.h"
+#include <dlfcn.h>
+
+using namespace icb;
+using namespace icb::posix;
+
+static std::string fileStem(const std::string &Path) {
+  size_t Slash = Path.find_last_of('/');
+  std::string Base = Slash == std::string::npos ? Path : Path.substr(Slash + 1);
+  size_t Dot = Base.find_last_of('.');
+  if (Dot != std::string::npos && Dot != 0)
+    Base = Base.substr(0, Dot);
+  // Strip a conventional "lib" prefix so artifact names stay tidy.
+  if (Base.rfind("lib", 0) == 0 && Base.size() > 3)
+    Base = Base.substr(3);
+  return Base.empty() ? "posix_test" : Base;
+}
+
+bool icb::posix::loadTestModule(const std::string &Path, TestModule &Out,
+                                std::string &Err) {
+  // RTLD_NOW: fail here, with a useful message, rather than mid-execution;
+  // RTLD_LOCAL keeps one module's symbols from leaking into the next.
+  void *Handle = dlopen(Path.c_str(), RTLD_NOW | RTLD_LOCAL);
+  if (!Handle) {
+    const char *D = dlerror();
+    Err = strFormat("cannot load test module '%s': %s", Path.c_str(),
+                    D ? D : "unknown dlopen error");
+    return false;
+  }
+  void *Entry = dlsym(Handle, "icb_test_main");
+  if (!Entry) {
+    Err = strFormat("test module '%s' does not export icb_test_main",
+                    Path.c_str());
+    dlclose(Handle);
+    return false;
+  }
+  Out.Path = Path;
+  Out.Handle = Handle;
+  Out.Entry = reinterpret_cast<void (*)()>(Entry);
+  Out.Name = fileStem(Path);
+  if (void *NameFn = dlsym(Handle, "icb_test_name")) {
+    const char *N = reinterpret_cast<const char *(*)()>(NameFn)();
+    if (N && *N)
+      Out.Name = N;
+  }
+  return true;
+}
+
+rt::TestCase icb::posix::moduleTestCase(const TestModule &M) {
+  void (*Entry)() = M.Entry;
+  return makeTestCase(M.Name, [Entry] { Entry(); });
+}

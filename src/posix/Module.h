@@ -1,0 +1,52 @@
+//===- posix/Module.h - dlopen convention for posix test modules -*- C++ -*-===//
+//
+// Part of the ICB project (PLDI'07 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The dlopen entry-point convention of the POSIX frontend: a test is a
+/// shared object exporting
+///
+///     extern "C" void icb_test_main(void);       // required
+///     extern "C" const char *icb_test_name(void); // optional
+///
+/// The module leaves its icb_* references undefined (the --wrap delivery
+/// compiles __wrap_* forwarders into the module, which call icb_*); they
+/// resolve at dlopen time against the loading executable, which must be
+/// linked with ENABLE_EXPORTS (tools/icb_run is). Resolving against the
+/// executable — instead of linking the runtime into each module — keeps
+/// exactly one copy of the scheduler state per process, which the
+/// `--jobs N` worker model depends on.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ICB_POSIX_MODULE_H
+#define ICB_POSIX_MODULE_H
+
+#include "rt/Scheduler.h"
+#include <string>
+
+namespace icb::posix {
+
+/// A loaded test shared object.
+struct TestModule {
+  std::string Path;
+  std::string Name; ///< icb_test_name() if exported, else the file stem.
+  void *Handle = nullptr;
+  void (*Entry)() = nullptr;
+};
+
+/// Loads \p Path with dlopen and resolves the entry points. Returns false
+/// with a human-readable \p Err on failure (unreadable file, missing
+/// icb_test_main, ...).
+bool loadTestModule(const std::string &Path, TestModule &Out,
+                    std::string &Err);
+
+/// Wraps the module's entry point into an engine-ready TestCase (body
+/// bracketed by the per-execution ExecContext).
+rt::TestCase moduleTestCase(const TestModule &M);
+
+} // namespace icb::posix
+
+#endif // ICB_POSIX_MODULE_H

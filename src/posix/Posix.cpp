@@ -1,0 +1,575 @@
+//===- posix/Posix.cpp - The pthread-compatible shim surface --------------===//
+//
+// Part of the ICB project (PLDI'07 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The icb_* twins of the pthreads/semaphore API (include/icb/posix.h),
+/// translating POSIX semantics onto the controlled rt primitives. The
+/// translation rules (full table in DESIGN.md §8):
+///
+///   * defined POSIX errors come back as the documented errno value with
+///     no bug report (EBUSY, EDEADLK, EPERM, ETIMEDOUT, EAGAIN, ...);
+///   * undefined behavior — unlocking a NORMAL mutex one does not hold,
+///     waiting on a condvar without the mutex — ends the execution as a
+///     reported bug, which is the whole point of running under a checker;
+///   * recursive re-lock/unlock of a RECURSIVE mutex is a pure counter
+///     update (no scheduling point: no synchronization happens);
+///   * timed waits have no clock — the timeout is one scheduler branch.
+///
+//===----------------------------------------------------------------------===//
+
+#define ICB_POSIX_NO_RENAME
+#include "icb/posix.h"
+
+#include "posix/Runtime.h"
+#include "support/Debug.h"
+#include <climits>
+
+using namespace icb;
+using namespace icb::posix;
+
+namespace {
+rt::ThreadId self() { return rt::Scheduler::current()->runningThread(); }
+
+unsigned readDepth(const RwState &R, rt::ThreadId Tid) {
+  auto It = R.ReadDepth.find(Tid);
+  return It == R.ReadDepth.end() ? 0 : It->second;
+}
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Threads
+//===----------------------------------------------------------------------===//
+
+extern "C" int icb_pthread_create(pthread_t *Thread,
+                                  const pthread_attr_t *Attr,
+                                  void *(*Start)(void *), void *Arg) {
+  if (!Thread || !Start)
+    return EINVAL;
+  ExecContext &C = ExecContext::current();
+  bool Detached = Attr && C.threadAttrDetached(Attr);
+  unsigned long Handle = C.createThread(Start, Arg, Detached);
+  if (Handle == 0)
+    return EAGAIN;
+  *Thread = static_cast<pthread_t>(Handle);
+  return 0;
+}
+
+extern "C" int icb_pthread_join(pthread_t Thread, void **Ret) {
+  ExecContext &C = ExecContext::current();
+  ThreadRec *R = C.threadByHandle(static_cast<unsigned long>(Thread));
+  if (!R)
+    return ESRCH;
+  if (R->Tid == self())
+    return EDEADLK;
+  if (R->Detached || R->Joined)
+    return EINVAL;
+  rt::Scheduler::current()->joinThread(R->Tid);
+  R->Joined = true;
+  if (Ret)
+    *Ret = R->Ret;
+  return 0;
+}
+
+extern "C" int icb_pthread_detach(pthread_t Thread) {
+  ExecContext &C = ExecContext::current();
+  ThreadRec *R = C.threadByHandle(static_cast<unsigned long>(Thread));
+  if (!R)
+    return ESRCH;
+  if (R->Detached || R->Joined)
+    return EINVAL;
+  R->Detached = true;
+  return 0;
+}
+
+extern "C" pthread_t icb_pthread_self(void) {
+  return static_cast<pthread_t>(ExecContext::current().handleOfSelf());
+}
+
+extern "C" int icb_pthread_equal(pthread_t A, pthread_t B) {
+  return A == B ? 1 : 0;
+}
+
+extern "C" void icb_pthread_exit(void *Ret) { throw ThreadExit{Ret}; }
+
+extern "C" int icb_pthread_attr_init(pthread_attr_t *Attr) {
+  if (!Attr)
+    return EINVAL;
+  ExecContext::current().setThreadAttrDetached(Attr, false);
+  return 0;
+}
+
+extern "C" int icb_pthread_attr_destroy(pthread_attr_t *Attr) {
+  if (!Attr)
+    return EINVAL;
+  ExecContext::current().setThreadAttrDetached(Attr, false);
+  return 0;
+}
+
+extern "C" int icb_pthread_attr_setdetachstate(pthread_attr_t *Attr,
+                                               int State) {
+  if (!Attr ||
+      (State != PTHREAD_CREATE_JOINABLE && State != PTHREAD_CREATE_DETACHED))
+    return EINVAL;
+  ExecContext::current().setThreadAttrDetached(
+      Attr, State == PTHREAD_CREATE_DETACHED);
+  return 0;
+}
+
+extern "C" int icb_pthread_attr_getdetachstate(const pthread_attr_t *Attr,
+                                               int *State) {
+  if (!Attr || !State)
+    return EINVAL;
+  *State = ExecContext::current().threadAttrDetached(Attr)
+               ? PTHREAD_CREATE_DETACHED
+               : PTHREAD_CREATE_JOINABLE;
+  return 0;
+}
+
+//===----------------------------------------------------------------------===//
+// Mutexes
+//===----------------------------------------------------------------------===//
+
+extern "C" int icb_pthread_mutex_init(pthread_mutex_t *M,
+                                      const pthread_mutexattr_t *A) {
+  if (!M)
+    return EINVAL;
+  ExecContext &C = ExecContext::current();
+  C.initMutex(M, A ? C.mutexAttrType(A) : PTHREAD_MUTEX_DEFAULT);
+  return 0;
+}
+
+extern "C" int icb_pthread_mutex_destroy(pthread_mutex_t *M) {
+  if (!M)
+    return EINVAL;
+  ExecContext &C = ExecContext::current();
+  MutexState &MS = C.mutexFor(M);
+  if (MS.M->held())
+    return EBUSY;
+  C.dropMutex(M);
+  return 0;
+}
+
+extern "C" int icb_pthread_mutex_lock(pthread_mutex_t *M) {
+  if (!M)
+    return EINVAL;
+  MutexState &MS = ExecContext::current().mutexFor(M);
+  if (MS.M->heldBy(self())) {
+    if (MS.Type == PTHREAD_MUTEX_RECURSIVE) {
+      ++MS.Depth;
+      return 0;
+    }
+    if (MS.Type == PTHREAD_MUTEX_ERRORCHECK)
+      return EDEADLK;
+    // NORMAL self-relock blocks forever like the real primitive; the
+    // scheduler reports the resulting deadlock.
+  }
+  MS.M->lock();
+  MS.Depth = 1;
+  return 0;
+}
+
+extern "C" int icb_pthread_mutex_trylock(pthread_mutex_t *M) {
+  if (!M)
+    return EINVAL;
+  MutexState &MS = ExecContext::current().mutexFor(M);
+  if (MS.Type == PTHREAD_MUTEX_RECURSIVE && MS.M->heldBy(self())) {
+    ++MS.Depth;
+    return 0;
+  }
+  if (!MS.M->tryLock())
+    return EBUSY;
+  MS.Depth = 1;
+  return 0;
+}
+
+extern "C" int icb_pthread_mutex_unlock(pthread_mutex_t *M) {
+  if (!M)
+    return EINVAL;
+  MutexState &MS = ExecContext::current().mutexFor(M);
+  if (!MS.M->heldBy(self())) {
+    if (MS.Type == PTHREAD_MUTEX_ERRORCHECK ||
+        MS.Type == PTHREAD_MUTEX_RECURSIVE)
+      return EPERM;
+    // NORMAL: undefined by POSIX — reported as a bug by rt::Mutex.
+    MS.M->unlock();
+    return 0;
+  }
+  if (MS.Depth > 1) {
+    --MS.Depth;
+    return 0;
+  }
+  MS.Depth = 0;
+  MS.M->unlock();
+  return 0;
+}
+
+extern "C" int icb_pthread_mutexattr_init(pthread_mutexattr_t *A) {
+  if (!A)
+    return EINVAL;
+  ExecContext::current().setMutexAttrType(A, PTHREAD_MUTEX_DEFAULT);
+  return 0;
+}
+
+extern "C" int icb_pthread_mutexattr_destroy(pthread_mutexattr_t *A) {
+  if (!A)
+    return EINVAL;
+  ExecContext::current().setMutexAttrType(A, PTHREAD_MUTEX_DEFAULT);
+  return 0;
+}
+
+extern "C" int icb_pthread_mutexattr_settype(pthread_mutexattr_t *A,
+                                             int Type) {
+  if (!A || (Type != PTHREAD_MUTEX_NORMAL && Type != PTHREAD_MUTEX_RECURSIVE &&
+             Type != PTHREAD_MUTEX_ERRORCHECK &&
+             Type != PTHREAD_MUTEX_DEFAULT))
+    return EINVAL;
+  ExecContext::current().setMutexAttrType(A, Type);
+  return 0;
+}
+
+extern "C" int icb_pthread_mutexattr_gettype(const pthread_mutexattr_t *A,
+                                             int *Type) {
+  if (!A || !Type)
+    return EINVAL;
+  *Type = ExecContext::current().mutexAttrType(A);
+  return 0;
+}
+
+//===----------------------------------------------------------------------===//
+// Condition variables
+//===----------------------------------------------------------------------===//
+
+extern "C" int icb_pthread_cond_init(pthread_cond_t *Cond,
+                                     const pthread_condattr_t *A) {
+  (void)A; // No supported condvar attributes (clock choice is moot).
+  if (!Cond)
+    return EINVAL;
+  ExecContext::current().initCond(Cond);
+  return 0;
+}
+
+extern "C" int icb_pthread_cond_destroy(pthread_cond_t *Cond) {
+  if (!Cond)
+    return EINVAL;
+  ExecContext &C = ExecContext::current();
+  CondState &CS = C.condFor(Cond);
+  if (CS.C->waiterCount() != 0)
+    return EBUSY;
+  C.dropCond(Cond);
+  return 0;
+}
+
+extern "C" int icb_pthread_cond_wait(pthread_cond_t *Cond,
+                                     pthread_mutex_t *M) {
+  if (!Cond || !M)
+    return EINVAL;
+  ExecContext &C = ExecContext::current();
+  CondState &CS = C.condFor(Cond);
+  MutexState &MS = C.mutexFor(M);
+  if (MS.Type == PTHREAD_MUTEX_ERRORCHECK && !MS.M->heldBy(self()))
+    return EPERM;
+  if (MS.Depth > 1)
+    return EINVAL; // Waiting with a recursively-held mutex.
+  // Unheld NORMAL mutex is undefined: rt::CondVar reports it as a bug.
+  CS.C->wait(*MS.M);
+  return 0;
+}
+
+extern "C" int icb_pthread_cond_timedwait(pthread_cond_t *Cond,
+                                          pthread_mutex_t *M,
+                                          const struct timespec *AbsTime) {
+  if (!Cond || !M || !AbsTime)
+    return EINVAL;
+  ExecContext &C = ExecContext::current();
+  CondState &CS = C.condFor(Cond);
+  MutexState &MS = C.mutexFor(M);
+  if (MS.Type == PTHREAD_MUTEX_ERRORCHECK && !MS.M->heldBy(self()))
+    return EPERM;
+  if (MS.Depth > 1)
+    return EINVAL;
+  // The deadline value is irrelevant: the timeout is a scheduler branch
+  // (the waiter stays enabled; waking unsignaled IS the expiry), so the
+  // search explores both sides of every signal/timeout race.
+  return CS.C->timedWait(*MS.M) ? 0 : ETIMEDOUT;
+}
+
+extern "C" int icb_pthread_cond_signal(pthread_cond_t *Cond) {
+  if (!Cond)
+    return EINVAL;
+  ExecContext::current().condFor(Cond).C->signal();
+  return 0;
+}
+
+extern "C" int icb_pthread_cond_broadcast(pthread_cond_t *Cond) {
+  if (!Cond)
+    return EINVAL;
+  ExecContext::current().condFor(Cond).C->broadcast();
+  return 0;
+}
+
+//===----------------------------------------------------------------------===//
+// Reader-writer locks
+//===----------------------------------------------------------------------===//
+
+extern "C" int icb_pthread_rwlock_init(pthread_rwlock_t *RW,
+                                       const pthread_rwlockattr_t *A) {
+  (void)A; // Fairness attributes are moot: every admission order is
+           // explored as a schedule anyway.
+  if (!RW)
+    return EINVAL;
+  ExecContext::current().initRw(RW);
+  return 0;
+}
+
+extern "C" int icb_pthread_rwlock_destroy(pthread_rwlock_t *RW) {
+  if (!RW)
+    return EINVAL;
+  ExecContext &C = ExecContext::current();
+  RwState &R = C.rwFor(RW);
+  if (R.RW->writerHeld() || R.RW->readerCount() != 0)
+    return EBUSY;
+  C.dropRw(RW);
+  return 0;
+}
+
+extern "C" int icb_pthread_rwlock_rdlock(pthread_rwlock_t *RW) {
+  if (!RW)
+    return EINVAL;
+  RwState &R = ExecContext::current().rwFor(RW);
+  if (R.Writer == self())
+    return EDEADLK; // glibc detects read-after-own-write-lock.
+  R.RW->lockShared();
+  ++R.ReadDepth[self()];
+  return 0;
+}
+
+extern "C" int icb_pthread_rwlock_tryrdlock(pthread_rwlock_t *RW) {
+  if (!RW)
+    return EINVAL;
+  RwState &R = ExecContext::current().rwFor(RW);
+  if (!R.RW->tryLockShared())
+    return EBUSY;
+  ++R.ReadDepth[self()];
+  return 0;
+}
+
+extern "C" int icb_pthread_rwlock_wrlock(pthread_rwlock_t *RW) {
+  if (!RW)
+    return EINVAL;
+  RwState &R = ExecContext::current().rwFor(RW);
+  if (R.Writer == self() || readDepth(R, self()) != 0)
+    return EDEADLK; // Write-after-own-lock can never succeed.
+  R.RW->lockExclusive();
+  R.Writer = self();
+  return 0;
+}
+
+extern "C" int icb_pthread_rwlock_trywrlock(pthread_rwlock_t *RW) {
+  if (!RW)
+    return EINVAL;
+  RwState &R = ExecContext::current().rwFor(RW);
+  if (!R.RW->tryLockExclusive())
+    return EBUSY;
+  R.Writer = self();
+  return 0;
+}
+
+extern "C" int icb_pthread_rwlock_unlock(pthread_rwlock_t *RW) {
+  if (!RW)
+    return EINVAL;
+  RwState &R = ExecContext::current().rwFor(RW);
+  rt::ThreadId Me = self();
+  if (R.Writer == Me) {
+    R.Writer = rt::InvalidThread;
+    R.RW->unlockExclusive();
+    return 0;
+  }
+  if (readDepth(R, Me) != 0) {
+    --R.ReadDepth[Me];
+    R.RW->unlockShared();
+    return 0;
+  }
+  return EPERM;
+}
+
+//===----------------------------------------------------------------------===//
+// Semaphores (sem_* family: -1/errno on failure)
+//===----------------------------------------------------------------------===//
+
+extern "C" int icb_sem_init(sem_t *S, int PShared, unsigned Value) {
+  (void)PShared; // In-process checking: process-shared is accepted and
+                 // behaves identically.
+  if (!S || Value > static_cast<unsigned>(INT_MAX)) {
+    errno = EINVAL;
+    return -1;
+  }
+  ExecContext::current().initSem(S, Value);
+  return 0;
+}
+
+extern "C" int icb_sem_destroy(sem_t *S) {
+  if (!S) {
+    errno = EINVAL;
+    return -1;
+  }
+  ExecContext::current().dropSem(S);
+  return 0;
+}
+
+extern "C" int icb_sem_wait(sem_t *S) {
+  if (!S) {
+    errno = EINVAL;
+    return -1;
+  }
+  ExecContext::current().semFor(S).S->acquire();
+  return 0;
+}
+
+extern "C" int icb_sem_trywait(sem_t *S) {
+  if (!S) {
+    errno = EINVAL;
+    return -1;
+  }
+  if (!ExecContext::current().semFor(S).S->tryAcquire()) {
+    errno = EAGAIN;
+    return -1;
+  }
+  return 0;
+}
+
+extern "C" int icb_sem_post(sem_t *S) {
+  if (!S) {
+    errno = EINVAL;
+    return -1;
+  }
+  ExecContext::current().semFor(S).S->release();
+  return 0;
+}
+
+extern "C" int icb_sem_getvalue(sem_t *S, int *Out) {
+  if (!S || !Out) {
+    errno = EINVAL;
+    return -1;
+  }
+  *Out = ExecContext::current().semFor(S).S->count();
+  return 0;
+}
+
+//===----------------------------------------------------------------------===//
+// Once + TLS keys
+//===----------------------------------------------------------------------===//
+
+extern "C" int icb_pthread_once(pthread_once_t *Control,
+                                void (*Routine)(void)) {
+  if (!Control || !Routine)
+    return EINVAL;
+  OnceState &O = ExecContext::current().onceFor(Control);
+  switch (O.Phase) {
+  case OnceState::NotRun:
+    O.Phase = OnceState::Running;
+    Routine();
+    O.Phase = OnceState::Done;
+    O.DoneEvent->set();
+    return 0;
+  case OnceState::Running:
+  case OnceState::Done:
+    // Parks until the initializer finishes; once it has, the manual-reset
+    // event stays set and the wait is a non-blocking scheduling point that
+    // also carries the happens-before edge from the initializer.
+    O.DoneEvent->wait();
+    return 0;
+  }
+  return 0;
+}
+
+extern "C" int icb_pthread_key_create(pthread_key_t *Key,
+                                      void (*Dtor)(void *)) {
+  if (!Key)
+    return EINVAL;
+  ExecContext &C = ExecContext::current();
+  C.Keys.push_back(KeyRec{true, Dtor});
+  *Key = static_cast<pthread_key_t>(C.Keys.size() - 1);
+  return 0;
+}
+
+extern "C" int icb_pthread_key_delete(pthread_key_t Key) {
+  ExecContext &C = ExecContext::current();
+  size_t K = static_cast<size_t>(Key);
+  if (K >= C.Keys.size() || !C.Keys[K].Alive)
+    return EINVAL;
+  C.Keys[K].Alive = false;
+  return 0;
+}
+
+extern "C" int icb_pthread_setspecific(pthread_key_t Key, const void *Value) {
+  ExecContext &C = ExecContext::current();
+  size_t K = static_cast<size_t>(Key);
+  if (K >= C.Keys.size() || !C.Keys[K].Alive)
+    return EINVAL;
+  ThreadRec &R = C.selfRec();
+  if (R.Tls.size() <= K)
+    R.Tls.resize(K + 1, nullptr);
+  R.Tls[K] = const_cast<void *>(Value);
+  return 0;
+}
+
+extern "C" void *icb_pthread_getspecific(pthread_key_t Key) {
+  ExecContext &C = ExecContext::current();
+  size_t K = static_cast<size_t>(Key);
+  if (K >= C.Keys.size() || !C.Keys[K].Alive)
+    return nullptr;
+  ThreadRec &R = C.selfRec();
+  return K < R.Tls.size() ? R.Tls[K] : nullptr;
+}
+
+//===----------------------------------------------------------------------===//
+// Yield points
+//===----------------------------------------------------------------------===//
+
+extern "C" int icb_sched_yield(void) {
+  rt::yield();
+  return 0;
+}
+
+extern "C" int icb_usleep(unsigned Usec) {
+  (void)Usec; // Durations are meaningless under the model clock.
+  rt::yield();
+  return 0;
+}
+
+extern "C" unsigned icb_sleep(unsigned Seconds) {
+  (void)Seconds;
+  rt::yield();
+  return 0;
+}
+
+extern "C" int icb_nanosleep(const struct timespec *Req,
+                             struct timespec *Rem) {
+  if (!Req) {
+    errno = EINVAL;
+    return -1;
+  }
+  rt::yield();
+  if (Rem)
+    *Rem = timespec{0, 0};
+  return 0;
+}
+
+//===----------------------------------------------------------------------===//
+// Checker surface
+//===----------------------------------------------------------------------===//
+
+extern "C" void icb_posix_shared_read(const void *Addr, const char *What) {
+  ExecContext::current().sharedAccess(Addr, /*IsWrite=*/false, What);
+}
+
+extern "C" void icb_posix_shared_write(void *Addr, const char *What) {
+  ExecContext::current().sharedAccess(Addr, /*IsWrite=*/true, What);
+}
+
+extern "C" void icb_posix_assert(int Cond, const char *What) {
+  rt::testAssert(Cond != 0, What ? What : "icb_posix_assert");
+}

@@ -1,0 +1,294 @@
+//===- posix/Runtime.cpp - Per-execution state of the POSIX shim ----------===//
+//
+// Part of the ICB project (PLDI'07 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "posix/Runtime.h"
+#include "support/Debug.h"
+#include "support/Format.h"
+#include <pthread.h>
+
+using namespace icb;
+using namespace icb::posix;
+
+namespace {
+/// One context per worker OS thread: fibers switch stacks, not OS threads,
+/// so every shim call of an execution sees the same instance, and parallel
+/// `--jobs N` workers never share POSIX-shim state.
+thread_local ExecContext WorkerContext;
+} // namespace
+
+ExecContext &ExecContext::current() {
+  ICB_ASSERT(rt::Scheduler::current(),
+             "POSIX shim call outside a controlled execution");
+  ICB_ASSERT(WorkerContext.Live,
+             "POSIX shim call outside an icb posix test (wrap the test "
+             "body with posix::makeTestCase)");
+  return WorkerContext;
+}
+
+void ExecContext::begin() {
+  reset();
+  Sched = rt::Scheduler::current();
+  ICB_ASSERT(Sched, "posix test body outside a controlled execution");
+  Live = true;
+  // Register the main thread (rt thread 0) as pthread handle 1.
+  auto Rec = std::make_unique<ThreadRec>();
+  Rec->Tid = 0;
+  Threads.push_back(std::move(Rec));
+  HandleOfTid.assign(1, 1);
+}
+
+void ExecContext::end() {
+  // Join every still-unjoined thread, detached or not, in creation order:
+  // the test is a closed unit, so "main returned" waits for stragglers
+  // exactly like CHESS's end-of-test barrier, and the deterministic order
+  // keeps schedules replayable.
+  for (size_t I = 1; I < Threads.size(); ++I) {
+    ThreadRec &R = *Threads[I];
+    if (!R.Joined && R.Tid != rt::InvalidThread) {
+      Sched->joinThread(R.Tid);
+      R.Joined = true;
+    }
+  }
+  reset();
+}
+
+void ExecContext::reset() {
+  Live = false;
+  Mutexes.clear();
+  Conds.clear();
+  RwLocks.clear();
+  Sems.clear();
+  Onces.clear();
+  MutexAttrs.clear();
+  ThreadAttrs.clear();
+  VarCodes.clear();
+  Threads.clear();
+  HandleOfTid.clear();
+  Keys.clear();
+  for (unsigned &S : Serial)
+    S = 0;
+  // Reverse creation order; also disposes leftovers from an execution
+  // that ended early via failExecution (which never reaches end()).
+  while (!Arena.empty())
+    Arena.pop_back();
+  Sched = nullptr;
+}
+
+template <typename T, typename... A>
+T *ExecContext::makeObject(std::string Name, A &&...Args) {
+  auto Obj = std::make_unique<T>(std::move(Name), std::forward<A>(Args)...);
+  T *Raw = Obj.get();
+  Arena.push_back(std::move(Obj));
+  return Raw;
+}
+
+MutexState &ExecContext::mutexFor(const void *Addr) {
+  auto It = Mutexes.find(Addr);
+  if (It != Mutexes.end())
+    return It->second;
+  // Lazy default init: covers PTHREAD_MUTEX_INITIALIZER statics.
+  MutexState MS;
+  MS.M = makeObject<rt::Mutex>(strFormat("pmutex#%u", Serial[0]++));
+  MS.Type = PTHREAD_MUTEX_DEFAULT;
+  return Mutexes.emplace(Addr, MS).first->second;
+}
+
+CondState &ExecContext::condFor(const void *Addr) {
+  auto It = Conds.find(Addr);
+  if (It != Conds.end())
+    return It->second;
+  CondState CS;
+  CS.C = makeObject<rt::CondVar>(strFormat("pcond#%u", Serial[1]++));
+  return Conds.emplace(Addr, CS).first->second;
+}
+
+RwState &ExecContext::rwFor(const void *Addr) {
+  auto It = RwLocks.find(Addr);
+  if (It != RwLocks.end())
+    return It->second;
+  RwState RS;
+  RS.RW = makeObject<rt::RwLock>(strFormat("prwlock#%u", Serial[2]++));
+  return RwLocks.emplace(Addr, std::move(RS)).first->second;
+}
+
+SemState &ExecContext::semFor(const void *Addr) {
+  auto It = Sems.find(Addr);
+  if (It != Sems.end())
+    return It->second;
+  // Lazy init at count 0 (use before sem_init is undefined; this choice
+  // turns it into a visible block instead of garbage).
+  SemState SS;
+  SS.S = makeObject<rt::Semaphore>(strFormat("psem#%u", Serial[3]++), 0);
+  return Sems.emplace(Addr, SS).first->second;
+}
+
+OnceState &ExecContext::onceFor(const void *Addr) {
+  auto It = Onces.find(Addr);
+  if (It != Onces.end())
+    return It->second;
+  OnceState OS;
+  OS.DoneEvent = makeObject<rt::Event>(strFormat("ponce#%u", Serial[4]++),
+                                       /*ManualReset=*/true,
+                                       /*InitiallySet=*/false);
+  return Onces.emplace(Addr, OS).first->second;
+}
+
+void ExecContext::initMutex(const void *Addr, int Type) {
+  MutexState MS;
+  MS.M = makeObject<rt::Mutex>(strFormat("pmutex#%u", Serial[0]++));
+  MS.Type = Type;
+  Mutexes[Addr] = MS;
+}
+
+void ExecContext::initCond(const void *Addr) {
+  CondState CS;
+  CS.C = makeObject<rt::CondVar>(strFormat("pcond#%u", Serial[1]++));
+  Conds[Addr] = CS;
+}
+
+void ExecContext::initRw(const void *Addr) {
+  RwState RS;
+  RS.RW = makeObject<rt::RwLock>(strFormat("prwlock#%u", Serial[2]++));
+  RwLocks[Addr] = std::move(RS);
+}
+
+void ExecContext::initSem(const void *Addr, unsigned Value) {
+  SemState SS;
+  SS.S = makeObject<rt::Semaphore>(strFormat("psem#%u", Serial[3]++),
+                                   static_cast<int>(Value));
+  Sems[Addr] = SS;
+}
+
+void ExecContext::dropMutex(const void *Addr) { Mutexes.erase(Addr); }
+void ExecContext::dropCond(const void *Addr) { Conds.erase(Addr); }
+void ExecContext::dropRw(const void *Addr) { RwLocks.erase(Addr); }
+void ExecContext::dropSem(const void *Addr) { Sems.erase(Addr); }
+
+void ExecContext::setMutexAttrType(const void *Addr, int Type) {
+  MutexAttrs[Addr] = Type;
+}
+
+int ExecContext::mutexAttrType(const void *Addr) const {
+  auto It = MutexAttrs.find(Addr);
+  return It == MutexAttrs.end() ? PTHREAD_MUTEX_DEFAULT : It->second;
+}
+
+void ExecContext::setThreadAttrDetached(const void *Addr, bool Detached) {
+  ThreadAttrs[Addr] = Detached;
+}
+
+bool ExecContext::threadAttrDetached(const void *Addr) const {
+  auto It = ThreadAttrs.find(Addr);
+  return It != ThreadAttrs.end() && It->second;
+}
+
+unsigned long ExecContext::createThread(void *(*Start)(void *), void *Arg,
+                                        bool Detached) {
+  // rt::Scheduler caps executions at 32 threads (fingerprint width);
+  // surface exhaustion as EAGAIN like the real pthread_create.
+  if (Threads.size() >= 32)
+    return 0;
+  unsigned long Handle = Threads.size() + 1;
+  auto Rec = std::make_unique<ThreadRec>();
+  Rec->Detached = Detached;
+  ThreadRec *R = Rec.get();
+  Threads.push_back(std::move(Rec));
+  rt::ThreadId Tid = Sched->spawnThread(
+      [this, R, Start, Arg] {
+        void *Ret = nullptr;
+        try {
+          Ret = Start(Arg);
+        } catch (ThreadExit &E) {
+          Ret = E.Ret;
+        }
+        runTlsDestructors(*R);
+        R->Ret = Ret;
+        R->Finished = true;
+      },
+      strFormat("pthread#%lu", Handle));
+  // The child cannot run before the creating thread's next scheduling
+  // point, so publishing its id here is race-free.
+  R->Tid = Tid;
+  if (HandleOfTid.size() <= Tid)
+    HandleOfTid.resize(Tid + 1, 0);
+  HandleOfTid[Tid] = Handle;
+  return Handle;
+}
+
+ThreadRec *ExecContext::threadByHandle(unsigned long Handle) {
+  if (Handle == 0 || Handle > Threads.size())
+    return nullptr;
+  return Threads[Handle - 1].get();
+}
+
+unsigned long ExecContext::handleOfSelf() {
+  rt::ThreadId Me = Sched->runningThread();
+  if (Me < HandleOfTid.size() && HandleOfTid[Me] != 0)
+    return HandleOfTid[Me];
+  // A thread created outside the shim (mixed rt::Thread + posix tests):
+  // register it lazily so pthread_self/TLS work; it is not joinable
+  // through the shim and end() skips it (its owner joins it).
+  unsigned long Handle = Threads.size() + 1;
+  auto Rec = std::make_unique<ThreadRec>();
+  Rec->Tid = Me;
+  Rec->Detached = true;
+  Rec->Joined = true; // Owned elsewhere; end() must not join it.
+  Threads.push_back(std::move(Rec));
+  if (HandleOfTid.size() <= Me)
+    HandleOfTid.resize(Me + 1, 0);
+  HandleOfTid[Me] = Handle;
+  return Handle;
+}
+
+ThreadRec &ExecContext::selfRec() {
+  return *Threads[handleOfSelf() - 1];
+}
+
+void ExecContext::runTlsDestructors(ThreadRec &R) {
+  // POSIX: iterate until clean, bounded by PTHREAD_DESTRUCTOR_ITERATIONS.
+  for (int Round = 0; Round < PTHREAD_DESTRUCTOR_ITERATIONS; ++Round) {
+    bool Any = false;
+    for (size_t K = 0; K < Keys.size() && K < R.Tls.size(); ++K) {
+      if (!Keys[K].Alive || !Keys[K].Dtor || !R.Tls[K])
+        continue;
+      void *Value = R.Tls[K];
+      R.Tls[K] = nullptr;
+      Keys[K].Dtor(Value);
+      Any = true;
+    }
+    if (!Any)
+      break;
+  }
+}
+
+void ExecContext::sharedAccess(const void *Addr, bool IsWrite,
+                               const char *What) {
+  auto It = VarCodes.find(Addr);
+  uint64_t Code;
+  if (It != VarCodes.end()) {
+    Code = It->second;
+  } else {
+    Code = Sched->allocateVarCode();
+    VarCodes.emplace(Addr, Code);
+  }
+  Sched->sharedAccess(Code, IsWrite, What ? What : "shared");
+}
+
+rt::TestCase icb::posix::makeTestCase(std::string Name,
+                                      std::function<void()> Body) {
+  return rt::TestCase{std::move(Name), [Body = std::move(Body)] {
+                        ExecContext &C = WorkerContext;
+                        C.begin();
+                        try {
+                          Body();
+                        } catch (ThreadExit &) {
+                          // pthread_exit from the main thread: the
+                          // remaining threads still run to completion
+                          // (end() joins them), matching POSIX.
+                        }
+                        C.end();
+                      }};
+}

@@ -1,0 +1,184 @@
+//===- posix/Runtime.h - Per-execution state of the POSIX shim --*- C++ -*-===//
+//
+// Part of the ICB project (PLDI'07 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The bookkeeping behind include/icb/posix.h: one ExecContext per worker
+/// OS thread (thread_local, matching the one-Scheduler-per-worker model of
+/// rt::ReplayExecutor), fully reset at the start of every controlled
+/// execution.
+///
+/// Native POSIX objects (pthread_mutex_t, sem_t, ...) are used purely as
+/// opaque address keys into per-kind side tables; their storage is never
+/// read or written. That gives PTHREAD_*_INITIALIZER static init for free,
+/// keeps objects with storage smaller than a handle (pthread_once_t is an
+/// int) working, and — crucially — means `--jobs N` workers concurrently
+/// replaying a test that uses global objects never race on the globals:
+/// each worker's state lives in its own thread_local tables.
+///
+/// First use of an uninitialized-but-zero object lazily creates default
+/// state (semaphores start at 0), so both explicit *_init calls and static
+/// initializers funnel into the same path. The backing rt::SyncObjects are
+/// destroyed in reverse creation order at the end of the execution, after
+/// joining every still-unjoined thread — both orders are deterministic, so
+/// replay is exact.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ICB_POSIX_RUNTIME_H
+#define ICB_POSIX_RUNTIME_H
+
+#include "rt/CondVar.h"
+#include "rt/RwLock.h"
+#include "rt/Scheduler.h"
+#include "rt/Sync.h"
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace icb::posix {
+
+/// Thrown by icb_pthread_exit; unwinds to the thread wrapper (or the test
+/// body wrapper for the main thread) carrying the return value.
+struct ThreadExit {
+  void *Ret;
+};
+
+struct MutexState {
+  rt::Mutex *M = nullptr;
+  int Type = 0;       ///< PTHREAD_MUTEX_{NORMAL,ERRORCHECK,RECURSIVE}.
+  unsigned Depth = 0; ///< Recursion depth while held.
+};
+
+struct CondState {
+  rt::CondVar *C = nullptr;
+};
+
+struct RwState {
+  rt::RwLock *RW = nullptr;
+  rt::ThreadId Writer = rt::InvalidThread;
+  /// Per-thread shared-hold counts (rt::RwLock tracks only a total).
+  std::unordered_map<rt::ThreadId, unsigned> ReadDepth;
+};
+
+struct SemState {
+  rt::Semaphore *S = nullptr;
+};
+
+struct OnceState {
+  enum { NotRun, Running, Done } Phase = NotRun;
+  rt::Event *DoneEvent = nullptr; ///< Manual-reset; set when Routine ends.
+};
+
+struct KeyRec {
+  bool Alive = false;
+  void (*Dtor)(void *) = nullptr;
+};
+
+/// One simulated pthread. Handles are 1-based indices into the context's
+/// thread table (handle 1 is the main thread); records are never removed
+/// within an execution, so joined/finished threads stay resolvable.
+struct ThreadRec {
+  rt::ThreadId Tid = rt::InvalidThread;
+  void *Ret = nullptr;
+  bool Detached = false;
+  bool Finished = false;
+  bool Joined = false;
+  std::vector<void *> Tls; ///< Indexed by key id.
+};
+
+/// All POSIX-shim state of the execution currently running on this worker.
+class ExecContext {
+public:
+  /// The worker's context. Asserts a controlled execution is live.
+  static ExecContext &current();
+
+  /// Reset for a fresh execution and register the main thread. Leftover
+  /// state from a previous execution that ended via failExecution (which
+  /// never reaches end()) is discarded here.
+  void begin();
+
+  /// Orderly end of the test body: joins every unjoined thread in creation
+  /// order, then destroys the rt objects in reverse creation order.
+  void end();
+
+  // --- Object lookup (lazily default-initializing) ----------------------
+  MutexState &mutexFor(const void *Addr);
+  CondState &condFor(const void *Addr);
+  RwState &rwFor(const void *Addr);
+  SemState &semFor(const void *Addr);
+  OnceState &onceFor(const void *Addr);
+
+  // --- Explicit (re-)initialization and destruction ---------------------
+  void initMutex(const void *Addr, int Type);
+  void initCond(const void *Addr);
+  void initRw(const void *Addr);
+  void initSem(const void *Addr, unsigned Value);
+  /// Forget the state keyed at \p Addr so a later *_init (or lazy first
+  /// use) starts fresh; the backing rt object lives until end().
+  void dropMutex(const void *Addr);
+  void dropCond(const void *Addr);
+  void dropRw(const void *Addr);
+  void dropSem(const void *Addr);
+
+  // --- Mutex attributes (address-keyed, like the objects) ---------------
+  void setMutexAttrType(const void *Addr, int Type);
+  int mutexAttrType(const void *Addr) const; ///< Default when unknown.
+  void setThreadAttrDetached(const void *Addr, bool Detached);
+  bool threadAttrDetached(const void *Addr) const;
+
+  // --- Threads ----------------------------------------------------------
+  /// Spawns a simulated pthread; returns its 1-based handle.
+  unsigned long createThread(void *(*Start)(void *), void *Arg,
+                             bool Detached);
+  ThreadRec *threadByHandle(unsigned long Handle);
+  unsigned long handleOfSelf();
+
+  // --- TLS keys ---------------------------------------------------------
+  std::vector<KeyRec> Keys;
+  ThreadRec &selfRec();
+
+  // --- Race annotations -------------------------------------------------
+  void sharedAccess(const void *Addr, bool IsWrite, const char *What);
+
+private:
+  template <typename T, typename... A>
+  T *makeObject(std::string Name, A &&...Args);
+  void runTlsDestructors(ThreadRec &R);
+  void reset();
+
+  rt::Scheduler *Sched = nullptr; ///< The scheduler of the live execution.
+  bool Live = false;
+
+  std::unordered_map<const void *, MutexState> Mutexes;
+  std::unordered_map<const void *, CondState> Conds;
+  std::unordered_map<const void *, RwState> RwLocks;
+  std::unordered_map<const void *, SemState> Sems;
+  std::unordered_map<const void *, OnceState> Onces;
+  std::unordered_map<const void *, int> MutexAttrs;
+  std::unordered_map<const void *, bool> ThreadAttrs;
+  std::unordered_map<const void *, uint64_t> VarCodes;
+
+  /// Backing rt objects in creation order (destroyed in reverse).
+  std::vector<std::unique_ptr<rt::SyncObject>> Arena;
+  /// Per-kind counters for deterministic object names in traces.
+  unsigned Serial[5] = {0, 0, 0, 0, 0};
+
+  std::vector<std::unique_ptr<ThreadRec>> Threads; ///< Handle-1 indexed.
+  /// rt thread id -> handle (0 = unknown), for pthread_self.
+  std::vector<unsigned long> HandleOfTid;
+};
+
+/// Wraps a test entry point into an rt::TestCase whose body runs inside a
+/// fresh ExecContext (begin/end bracketing, pthread_exit-from-main
+/// support). This is the seam between the POSIX world and the engine:
+/// everything above it is plain pthreads code, everything below is the
+/// stock rt/search machinery.
+rt::TestCase makeTestCase(std::string Name, std::function<void()> Body);
+
+} // namespace icb::posix
+
+#endif // ICB_POSIX_RUNTIME_H

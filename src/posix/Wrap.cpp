@@ -1,0 +1,164 @@
+//===- posix/Wrap.cpp - Linker --wrap forwarders for the POSIX shim -------===//
+//
+// Part of the ICB project (PLDI'07 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The second delivery mechanism of the frontend: a test module compiled
+/// from completely unmodified pthreads sources is linked against the
+/// icb_posix_wrap target, whose `-Wl,--wrap,pthread_create ...` options
+/// rewrite the module's undefined references to `__wrap_<fn>` and whose
+/// objects (this file) provide the forwarders — so no icb header ever
+/// touches the test's translation units. The forwarders are compiled into
+/// the module itself, not resolved against the executable: libgcc.a
+/// defines its own __wrap_pthread_create (split-stack support), and an
+/// unresolved reference would pull that member and silently hand
+/// pthread_create back to glibc. Only the icb_* twins the forwarders call
+/// resolve at dlopen time against the icb_run executable.
+///
+//===----------------------------------------------------------------------===//
+
+#define ICB_POSIX_NO_RENAME
+#include "icb/posix.h"
+
+extern "C" {
+
+int __wrap_pthread_create(pthread_t *Thread, const pthread_attr_t *Attr,
+                          void *(*Start)(void *), void *Arg) {
+  return icb_pthread_create(Thread, Attr, Start, Arg);
+}
+int __wrap_pthread_join(pthread_t Thread, void **Ret) {
+  return icb_pthread_join(Thread, Ret);
+}
+int __wrap_pthread_detach(pthread_t Thread) {
+  return icb_pthread_detach(Thread);
+}
+pthread_t __wrap_pthread_self(void) { return icb_pthread_self(); }
+int __wrap_pthread_equal(pthread_t A, pthread_t B) {
+  return icb_pthread_equal(A, B);
+}
+void __wrap_pthread_exit(void *Ret) { icb_pthread_exit(Ret); }
+
+int __wrap_pthread_attr_init(pthread_attr_t *Attr) {
+  return icb_pthread_attr_init(Attr);
+}
+int __wrap_pthread_attr_destroy(pthread_attr_t *Attr) {
+  return icb_pthread_attr_destroy(Attr);
+}
+int __wrap_pthread_attr_setdetachstate(pthread_attr_t *Attr, int State) {
+  return icb_pthread_attr_setdetachstate(Attr, State);
+}
+int __wrap_pthread_attr_getdetachstate(const pthread_attr_t *Attr,
+                                       int *State) {
+  return icb_pthread_attr_getdetachstate(Attr, State);
+}
+
+int __wrap_pthread_mutex_init(pthread_mutex_t *M,
+                              const pthread_mutexattr_t *A) {
+  return icb_pthread_mutex_init(M, A);
+}
+int __wrap_pthread_mutex_destroy(pthread_mutex_t *M) {
+  return icb_pthread_mutex_destroy(M);
+}
+int __wrap_pthread_mutex_lock(pthread_mutex_t *M) {
+  return icb_pthread_mutex_lock(M);
+}
+int __wrap_pthread_mutex_trylock(pthread_mutex_t *M) {
+  return icb_pthread_mutex_trylock(M);
+}
+int __wrap_pthread_mutex_unlock(pthread_mutex_t *M) {
+  return icb_pthread_mutex_unlock(M);
+}
+
+int __wrap_pthread_mutexattr_init(pthread_mutexattr_t *A) {
+  return icb_pthread_mutexattr_init(A);
+}
+int __wrap_pthread_mutexattr_destroy(pthread_mutexattr_t *A) {
+  return icb_pthread_mutexattr_destroy(A);
+}
+int __wrap_pthread_mutexattr_settype(pthread_mutexattr_t *A, int Type) {
+  return icb_pthread_mutexattr_settype(A, Type);
+}
+int __wrap_pthread_mutexattr_gettype(const pthread_mutexattr_t *A,
+                                     int *Type) {
+  return icb_pthread_mutexattr_gettype(A, Type);
+}
+
+int __wrap_pthread_cond_init(pthread_cond_t *C, const pthread_condattr_t *A) {
+  return icb_pthread_cond_init(C, A);
+}
+int __wrap_pthread_cond_destroy(pthread_cond_t *C) {
+  return icb_pthread_cond_destroy(C);
+}
+int __wrap_pthread_cond_wait(pthread_cond_t *C, pthread_mutex_t *M) {
+  return icb_pthread_cond_wait(C, M);
+}
+int __wrap_pthread_cond_timedwait(pthread_cond_t *C, pthread_mutex_t *M,
+                                  const struct timespec *AbsTime) {
+  return icb_pthread_cond_timedwait(C, M, AbsTime);
+}
+int __wrap_pthread_cond_signal(pthread_cond_t *C) {
+  return icb_pthread_cond_signal(C);
+}
+int __wrap_pthread_cond_broadcast(pthread_cond_t *C) {
+  return icb_pthread_cond_broadcast(C);
+}
+
+int __wrap_pthread_rwlock_init(pthread_rwlock_t *RW,
+                               const pthread_rwlockattr_t *A) {
+  return icb_pthread_rwlock_init(RW, A);
+}
+int __wrap_pthread_rwlock_destroy(pthread_rwlock_t *RW) {
+  return icb_pthread_rwlock_destroy(RW);
+}
+int __wrap_pthread_rwlock_rdlock(pthread_rwlock_t *RW) {
+  return icb_pthread_rwlock_rdlock(RW);
+}
+int __wrap_pthread_rwlock_tryrdlock(pthread_rwlock_t *RW) {
+  return icb_pthread_rwlock_tryrdlock(RW);
+}
+int __wrap_pthread_rwlock_wrlock(pthread_rwlock_t *RW) {
+  return icb_pthread_rwlock_wrlock(RW);
+}
+int __wrap_pthread_rwlock_trywrlock(pthread_rwlock_t *RW) {
+  return icb_pthread_rwlock_trywrlock(RW);
+}
+int __wrap_pthread_rwlock_unlock(pthread_rwlock_t *RW) {
+  return icb_pthread_rwlock_unlock(RW);
+}
+
+int __wrap_sem_init(sem_t *S, int PShared, unsigned Value) {
+  return icb_sem_init(S, PShared, Value);
+}
+int __wrap_sem_destroy(sem_t *S) { return icb_sem_destroy(S); }
+int __wrap_sem_wait(sem_t *S) { return icb_sem_wait(S); }
+int __wrap_sem_trywait(sem_t *S) { return icb_sem_trywait(S); }
+int __wrap_sem_post(sem_t *S) { return icb_sem_post(S); }
+int __wrap_sem_getvalue(sem_t *S, int *Out) { return icb_sem_getvalue(S, Out); }
+
+int __wrap_pthread_once(pthread_once_t *Control, void (*Routine)(void)) {
+  return icb_pthread_once(Control, Routine);
+}
+
+int __wrap_pthread_key_create(pthread_key_t *Key, void (*Dtor)(void *)) {
+  return icb_pthread_key_create(Key, Dtor);
+}
+int __wrap_pthread_key_delete(pthread_key_t Key) {
+  return icb_pthread_key_delete(Key);
+}
+int __wrap_pthread_setspecific(pthread_key_t Key, const void *Value) {
+  return icb_pthread_setspecific(Key, Value);
+}
+void *__wrap_pthread_getspecific(pthread_key_t Key) {
+  return icb_pthread_getspecific(Key);
+}
+
+int __wrap_sched_yield(void) { return icb_sched_yield(); }
+int __wrap_usleep(unsigned Usec) { return icb_usleep(Usec); }
+unsigned __wrap_sleep(unsigned Seconds) { return icb_sleep(Seconds); }
+int __wrap_nanosleep(const struct timespec *Req, struct timespec *Rem) {
+  return icb_nanosleep(Req, Rem);
+}
+
+} // extern "C"

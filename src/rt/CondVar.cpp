@@ -20,7 +20,9 @@ bool CondVar::canProceed(const PendingOp &Op, ThreadId Tid) const {
     return true;
   for (size_t I = 0; I != Waiters.size(); ++I)
     if (Waiters[I] == Tid)
-      return Signaled[I];
+      // A timed waiter is always eligible: scheduling it before a signal
+      // arrives is the timeout/spurious-wakeup branch of the schedule.
+      return Signaled[I] || Timed[I];
   // Not registered (already dequeued): runnable.
   return true;
 }
@@ -39,6 +41,7 @@ void CondVar::wait(Mutex &M) {
   // delivered between the unlock and our park must not be lost.
   Waiters.push_back(Me);
   Signaled.push_back(false);
+  Timed.push_back(false);
   M.unlock();
   opPoint(OpKind::CondWait, "condwait");
   // Signaled: dequeue ourselves and re-acquire the mutex.
@@ -46,9 +49,40 @@ void CondVar::wait(Mutex &M) {
     if (Waiters[I] == Me) {
       Waiters.erase(Waiters.begin() + static_cast<ptrdiff_t>(I));
       Signaled.erase(Signaled.begin() + static_cast<ptrdiff_t>(I));
+      Timed.erase(Timed.begin() + static_cast<ptrdiff_t>(I));
       break;
     }
   M.lock();
+}
+
+bool CondVar::timedWait(Mutex &M) {
+  Scheduler *S = Scheduler::current();
+  ICB_ASSERT(S, "condvar timedWait outside a controlled execution");
+  checkAlive("timedWait");
+  ThreadId Me = S->runningThread();
+  if (!M.heldBy(Me))
+    S->failExecution(RunStatus::AssertFailed,
+                     strFormat("condvar '%s': timedWait() without holding "
+                               "the mutex '%s'",
+                               name().c_str(), M.name().c_str()));
+  Waiters.push_back(Me);
+  Signaled.push_back(false);
+  Timed.push_back(true);
+  M.unlock();
+  opPoint(OpKind::CondWait, "condtimedwait");
+  // Woken either by a signal or by the modeled timeout (the scheduler
+  // picked us while unsignaled — timed waiters are always enabled).
+  bool ConsumedSignal = false;
+  for (size_t I = 0; I != Waiters.size(); ++I)
+    if (Waiters[I] == Me) {
+      ConsumedSignal = Signaled[I];
+      Waiters.erase(Waiters.begin() + static_cast<ptrdiff_t>(I));
+      Signaled.erase(Signaled.begin() + static_cast<ptrdiff_t>(I));
+      Timed.erase(Timed.begin() + static_cast<ptrdiff_t>(I));
+      break;
+    }
+  M.lock();
+  return ConsumedSignal;
 }
 
 void CondVar::signal() {
@@ -68,4 +102,11 @@ void CondVar::broadcast() {
   opPoint(OpKind::CondSignal, "broadcast");
   for (size_t I = 0; I != Waiters.size(); ++I)
     Signaled[I] = true;
+}
+
+bool CondVar::hasSignalFor(ThreadId Tid) const {
+  for (size_t I = 0; I != Waiters.size(); ++I)
+    if (Waiters[I] == Tid)
+      return Signaled[I];
+  return false;
 }

@@ -9,11 +9,18 @@
 /// control. `wait(M)` atomically releases the mutex and parks the thread
 /// on the condition's wait queue; `signal()` releases one waiter,
 /// `broadcast()` all of them; woken threads re-acquire the mutex before
-/// returning. Spurious wakeups are *not* modeled (every wakeup is caused
-/// by a signal), which keeps the schedule space faithful to what a signal
-/// delivery can do; user code should still use the standard
-/// wait-in-a-loop idiom, and the checker will find the bugs when it does
-/// not (lost wakeups, signal-before-wait, ...).
+/// returning. For plain wait() spurious wakeups are *not* modeled (every
+/// wakeup is caused by a signal), which keeps the schedule space faithful
+/// to what a signal delivery can do; user code should still use the
+/// standard wait-in-a-loop idiom, and the checker will find the bugs when
+/// it does not (lost wakeups, signal-before-wait, ...).
+///
+/// `timedWait(M)` is the timed variant: the waiter stays *enabled* at its
+/// park point, so the explorer can schedule it before any signal arrives —
+/// that branch models the timeout (equivalently a spurious wakeup) and
+/// returns false; being scheduled after a signal returns true. No clock is
+/// involved, so replay stays deterministic and the schedule space contains
+/// both outcomes of every real race between signal delivery and expiry.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -34,6 +41,13 @@ public:
   /// before returning. \p M must be held by the caller.
   void wait(Mutex &M);
 
+  /// Timed wait: like wait(), but the parked thread remains enabled, so
+  /// the scheduler may wake it without a signal — that schedule is the
+  /// timeout/spurious-wakeup outcome. Returns true when the wakeup
+  /// consumed a signal, false on the modeled timeout. Re-acquires \p M
+  /// before returning either way.
+  bool timedWait(Mutex &M);
+
   /// Wakes one waiter (no-op when none).
   void signal();
 
@@ -43,12 +57,18 @@ public:
   /// Waiters currently parked (for assertions in tests).
   size_t waiterCount() const { return Waiters.size(); }
 
+  /// Whether \p Tid is a parked waiter with a pending signal (for
+  /// assertions in tests).
+  bool hasSignalFor(ThreadId Tid) const;
+
   bool canProceed(const PendingOp &Op, ThreadId Tid) const override;
 
 private:
-  /// Threads parked in wait(); Signaled[i] parallels Waiters[i].
+  /// Threads parked in wait(); Signaled[i] and Timed[i] parallel
+  /// Waiters[i]. Timed waiters are always enabled (see timedWait()).
   std::vector<ThreadId> Waiters;
   std::vector<bool> Signaled;
+  std::vector<bool> Timed;
 };
 
 } // namespace icb::rt

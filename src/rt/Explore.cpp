@@ -5,6 +5,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "rt/Explore.h"
+#include "obs/PhaseTimer.h"
 #include "rt/ReplayExecutor.h"
 #include "search/IcbEngine.h"
 #include "search/StateCache.h"
@@ -25,11 +26,13 @@ namespace {
 
 /// Shared accounting of the non-ICB explorers (DFS, idfs, random): stats,
 /// fingerprint coverage, bug deduplication (keyed by kind+message,
-/// keeping the fewest-preemption exposure). The ICB explorer gets all of
-/// this from the shared engine instead.
+/// keeping the fewest-preemption exposure), and — when a registry is
+/// passed through ExploreOptions — the same observability counters the
+/// ICB engine records (single shard; these explorers are sequential).
 class ExploreAccounting {
 public:
-  explicit ExploreAccounting(const ExploreLimits &Limits) : Limits(Limits) {}
+  ExploreAccounting(const ExploreLimits &Limits, obs::MetricShard *Shard)
+      : Limits(Limits), Shard(Shard) {}
 
   /// Folds one finished execution in; returns true when a limit was hit.
   bool onExecution(const ExecutionResult &R) {
@@ -40,9 +43,20 @@ public:
     Stats.PreemptionsPerExecution.observe(R.Preemptions);
     Stats.PreemptionHistogram.increment(R.Preemptions);
     Stats.ThreadsPerExecution.observe(R.ThreadsUsed);
+    uint64_t NewDigests = 0;
     for (uint64_t Digest : R.StepFingerprints)
-      Visited.insert(Digest);
-    Terminal.insert(R.Fingerprint);
+      NewDigests += Visited.insert(Digest);
+    obs::count(Shard, obs::Counter::SeenMiss, NewDigests);
+    obs::count(Shard, obs::Counter::SeenHit,
+               R.StepFingerprints.size() - NewDigests);
+    if (Terminal.insert(R.Fingerprint))
+      obs::count(Shard, obs::Counter::TerminalMiss);
+    else
+      obs::count(Shard, obs::Counter::TerminalHit);
+    // Every execution of these explorers is one complete chain starting
+    // from the root (no prefix replay), so Chains mirrors Executions.
+    obs::count(Shard, obs::Counter::Chains);
+    ICB_OBS(Shard, Shard->ExecutionsPerBound.increment(R.Preemptions));
     Sampler.observe(Stats.Coverage, Stats.Executions, Visited.size());
 
     if (isErrorStatus(R.Status)) {
@@ -56,6 +70,7 @@ public:
   }
 
   bool limitHit() const { return LimitHit; }
+  obs::MetricShard *shard() const { return Shard; }
 
   ExploreResult finish(bool Completed) {
     Sampler.finish(Stats.Coverage);
@@ -72,6 +87,7 @@ public:
 
 private:
   ExploreLimits Limits;
+  obs::MetricShard *Shard;
   CoverageSampler<CoveragePoint> Sampler;
   search::StateCache Visited;
   search::StateCache Terminal;
@@ -102,6 +118,15 @@ private:
   std::vector<ThreadId> Prefix;
   NonPreemptivePolicy Fallback;
 };
+
+/// The single metric shard of a sequential explorer (these explorers run
+/// on the calling thread), or null when no registry was supplied.
+obs::MetricShard *singleShard(const ExploreOptions &Opts) {
+  if (!Opts.Metrics)
+    return nullptr;
+  Opts.Metrics->ensureShards(1);
+  return &Opts.Metrics->shard(0);
+}
 
 } // namespace
 
@@ -182,7 +207,11 @@ bool runDfsRound(const TestCase &Test, Scheduler &Sched,
   bool AnyTruncated = false;
   while (!Acct.limitHit()) {
     DfsPolicy Policy(Path, DepthBound);
-    ExecutionResult R = Sched.run(Test, Policy);
+    ExecutionResult R;
+    {
+      obs::ScopedPhase Timer(Acct.shard(), obs::Phase::Execute);
+      R = Sched.run(Test, Policy);
+    }
     AnyTruncated |= Policy.Truncated;
     Acct.onExecution(R);
     // Backtrack: advance the deepest entry with an untried alternative.
@@ -203,8 +232,9 @@ bool runDfsRound(const TestCase &Test, Scheduler &Sched,
 } // namespace
 
 ExploreResult DfsExplorer::explore(const TestCase &Test) {
-  ExploreAccounting Acct(Opts.Limits);
+  ExploreAccounting Acct(Opts.Limits, singleShard(Opts));
   Scheduler Sched(Opts.Exec);
+  Sched.setMetricShard(Acct.shard());
   bool Truncated = runDfsRound(Test, Sched, Acct, DepthBound);
   return Acct.finish(!Truncated);
 }
@@ -216,8 +246,9 @@ std::string DfsExplorer::name() const {
 }
 
 ExploreResult IdfsExplorer::explore(const TestCase &Test) {
-  ExploreAccounting Acct(Opts.Limits);
+  ExploreAccounting Acct(Opts.Limits, singleShard(Opts));
   Scheduler Sched(Opts.Exec);
+  Sched.setMetricShard(Acct.shard());
   unsigned Bound = InitialBound;
   bool Completed = false;
   while (!Acct.limitHit()) {
@@ -278,17 +309,21 @@ private:
 } // namespace
 
 ExploreResult RandomExplorer::explore(const TestCase &Test) {
-  ExploreAccounting Acct(Opts.Limits);
+  ExploreAccounting Acct(Opts.Limits, singleShard(Opts));
   Scheduler Sched(Opts.Exec);
+  Sched.setMetricShard(Acct.shard());
   Xoshiro256 Rng(Seed);
   for (uint64_t I = 0; I != Executions && !Acct.limitHit(); ++I) {
     ExecutionResult R;
-    if (StressSlices) {
-      RandomSlicePolicy Policy(Rng, MeanSlice);
-      R = Sched.run(Test, Policy);
-    } else {
-      RandomPolicy Policy(Rng);
-      R = Sched.run(Test, Policy);
+    {
+      obs::ScopedPhase Timer(Acct.shard(), obs::Phase::Execute);
+      if (StressSlices) {
+        RandomSlicePolicy Policy(Rng, MeanSlice);
+        R = Sched.run(Test, Policy);
+      } else {
+        RandomPolicy Policy(Rng);
+        R = Sched.run(Test, Policy);
+      }
     }
     Acct.onExecution(R);
   }

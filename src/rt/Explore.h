@@ -69,7 +69,11 @@ struct ExploreOptions {
   /// ICB only: session hooks and resume snapshot (see EngineObserver.h).
   search::EngineObserver *Observer = nullptr;
   const search::EngineSnapshot *Resume = nullptr;
-  /// ICB only: observability registry (see obs/Metrics.h).
+  /// Observability registry (see obs/Metrics.h), honoured by every
+  /// explorer. The ICB engine shards it per worker; the sequential
+  /// explorers (dfs, db:N, idfs, random) record into a single shard:
+  /// cache probes, chains, per-bound executions, and the Execute /
+  /// Hash / RaceDetect phase timers.
   obs::MetricsRegistry *Metrics = nullptr;
 
   /// The runtime's historical safety nets: exploration stops after 2^20

@@ -51,6 +51,26 @@ void RwLock::lockExclusive() {
   Writer = Scheduler::current()->runningThread();
 }
 
+bool RwLock::tryLockShared() {
+  // Non-blocking: publish as an unlock-class (never blocks) operation so
+  // the scheduler still gets a scheduling point here.
+  opPoint(OpKind::RwUnlock, "tryrdlock");
+  if (Writer != InvalidThread)
+    return false;
+  ++Readers;
+  return true;
+}
+
+bool RwLock::tryLockExclusive() {
+  Scheduler *S = Scheduler::current();
+  ICB_ASSERT(S, "rwlock tryLockExclusive outside a controlled execution");
+  opPoint(OpKind::RwUnlock, "trywrlock");
+  if (Writer != InvalidThread || Readers != 0)
+    return false;
+  Writer = S->runningThread();
+  return true;
+}
+
 void RwLock::unlockExclusive() {
   Scheduler *S = Scheduler::current();
   ICB_ASSERT(S, "rwlock unlock outside a controlled execution");

@@ -31,6 +31,11 @@ public:
   void lockExclusive(); ///< Blocks while anyone holds the lock.
   void unlockExclusive();
 
+  /// Non-blocking acquires; return true on success. Still scheduling
+  /// points (published as a never-blocking op, like Mutex::tryLock).
+  bool tryLockShared();
+  bool tryLockExclusive();
+
   unsigned readerCount() const { return Readers; }
   bool writerHeld() const { return Writer != InvalidThread; }
 

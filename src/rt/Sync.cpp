@@ -116,6 +116,16 @@ void Semaphore::release() {
   ++Count;
 }
 
+bool Semaphore::tryAcquire() {
+  // Non-blocking: publish as a release-class (never blocks) operation so
+  // the scheduler still gets a scheduling point here.
+  opPoint(OpKind::SemRelease, "tryacquire");
+  if (Count <= 0)
+    return false;
+  --Count;
+  return true;
+}
+
 //===----------------------------------------------------------------------===//
 // yield
 //===----------------------------------------------------------------------===//

@@ -73,6 +73,9 @@ public:
   void acquire(); ///< P: blocks until the count is positive.
   void release(); ///< V.
 
+  /// Non-blocking P; returns true on success. Still a scheduling point.
+  bool tryAcquire();
+
   int count() const { return Count; }
 
   bool canProceed(const PendingOp &Op, ThreadId Tid) const override;

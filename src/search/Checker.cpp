@@ -43,6 +43,7 @@ std::unique_ptr<Strategy> icb::search::makeStrategy(const SearchOptions &Opts) {
     O.UseStateCache = Opts.UseStateCache;
     O.DepthBound = 0;
     O.Limits = Opts.Limits;
+    O.Metrics = Opts.Metrics;
     return std::make_unique<DfsSearch>(O);
   }
   case StrategyKind::DepthBoundedDfs: {
@@ -50,6 +51,7 @@ std::unique_ptr<Strategy> icb::search::makeStrategy(const SearchOptions &Opts) {
     O.UseStateCache = false;
     O.DepthBound = Opts.DepthBound;
     O.Limits = Opts.Limits;
+    O.Metrics = Opts.Metrics;
     return std::make_unique<DfsSearch>(O);
   }
   case StrategyKind::IterativeDfs: {
@@ -57,6 +59,7 @@ std::unique_ptr<Strategy> icb::search::makeStrategy(const SearchOptions &Opts) {
     O.InitialBound = Opts.DepthBound;
     O.Increment = Opts.DepthBound;
     O.Limits = Opts.Limits;
+    O.Metrics = Opts.Metrics;
     return std::make_unique<IterativeDeepeningSearch>(O);
   }
   case StrategyKind::Random: {
@@ -64,6 +67,7 @@ std::unique_ptr<Strategy> icb::search::makeStrategy(const SearchOptions &Opts) {
     O.Seed = Opts.Seed;
     O.Executions = Opts.RandomExecutions;
     O.Limits = Opts.Limits;
+    O.Metrics = Opts.Metrics;
     return std::make_unique<RandomWalk>(O);
   }
   }

@@ -53,8 +53,9 @@ struct SearchOptions {
   /// strategies ignore them.
   EngineObserver *Observer = nullptr;
   const EngineSnapshot *Resume = nullptr;
-  /// Icb: observability registry (see obs/Metrics.h); other strategies
-  /// ignore it.
+  /// Observability registry (see obs/Metrics.h), honoured by every
+  /// strategy. Icb shards it per worker; the sequential strategies
+  /// record into a single shard.
   obs::MetricsRegistry *Metrics = nullptr;
 };
 

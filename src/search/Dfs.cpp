@@ -5,6 +5,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "search/Dfs.h"
+#include "obs/PhaseTimer.h"
 #include "search/StateCache.h"
 #include "support/Debug.h"
 #include "support/Format.h"
@@ -59,13 +60,23 @@ std::string describeDeadlock(const Interp &Interp, const State &S) {
 
 namespace {
 
+/// The single metric shard of a sequential strategy, or null when no
+/// registry was supplied.
+obs::MetricShard *singleShard(obs::MetricsRegistry *Metrics) {
+  if (!Metrics)
+    return nullptr;
+  Metrics->ensureShards(1);
+  return &Metrics->shard(0);
+}
+
 /// Shared DFS engine: one object accumulates statistics, distinct states,
 /// and bugs across one or more rounds (IterativeDeepeningSearch runs many
 /// rounds with rising depth bounds against the same driver).
 class DfsDriver {
 public:
-  DfsDriver(const vm::Interp &VM, const SearchLimits &Limits)
-      : VM(VM), Limits(Limits) {}
+  DfsDriver(const vm::Interp &VM, const SearchLimits &Limits,
+            obs::MetricShard *Shard)
+      : VM(VM), Limits(Limits), Shard(Shard) {}
 
   struct RoundOutcome {
     bool LimitHit = false;
@@ -108,10 +119,20 @@ private:
     Stats.PreemptionsPerExecution.observe(Np);
     Stats.PreemptionHistogram.increment(Np);
     Stats.BlockingPerExecution.observe(Blocking);
+    obs::count(Shard, obs::Counter::Chains);
+    ICB_OBS(Shard, Shard->ExecutionsPerBound.increment(Np));
     Sampler.observe(Stats.Coverage, Stats.Executions, Seen.size());
     return Stats.Executions >= Limits.MaxExecutions ||
            Stats.TotalSteps >= Limits.MaxSteps ||
            Seen.size() >= Limits.MaxStates;
+  }
+
+  /// State-cache probe with hit/miss accounting.
+  bool probeSeen(uint64_t Hash) {
+    obs::ScopedPhase Timer(Shard, obs::Phase::CacheProbe);
+    bool New = Seen.insert(Hash);
+    obs::count(Shard, New ? obs::Counter::SeenMiss : obs::Counter::SeenHit);
+    return New;
   }
 
   void recordBug(BugKind Kind, std::string Message, unsigned Np,
@@ -128,6 +149,7 @@ private:
 
   const vm::Interp &VM;
   SearchLimits Limits;
+  obs::MetricShard *Shard;
   StateCache Seen;
   SearchStats Stats;
   CoverageSampler<CoveragePoint> Sampler;
@@ -139,11 +161,14 @@ DfsDriver::RoundOutcome DfsDriver::runRound(unsigned DepthBound,
                                             bool UseStateCache,
                                             bool UseSleepSets) {
   RoundOutcome Outcome;
+  // One Execute scope per round: the stateless vm DFS has no per-chain
+  // replay boundary to time individually.
+  obs::ScopedPhase ExecTimer(Shard, obs::Phase::Execute);
   std::vector<Frame> Stack;
   std::vector<ThreadId> PathSched;
 
   State S0 = VM.initialState();
-  Seen.insert(S0.hash());
+  probeSeen(S0.hash());
   std::vector<ThreadId> Enabled0 = VM.enabledThreads(S0);
   if (Enabled0.empty()) {
     if (!S0.allDone())
@@ -185,7 +210,7 @@ DfsDriver::RoundOutcome DfsDriver::runRound(unsigned DepthBound,
     ChildBlocking += R.WasBlockingOp ? 1 : 0;
     PathSched.push_back(T);
     uint64_t Depth = PathSched.size();
-    bool NewState = Seen.insert(Child.hash());
+    bool NewState = probeSeen(Child.hash());
 
     bool Leaf = false;
     if (R.Status == StepStatus::AssertFailed) {
@@ -255,7 +280,7 @@ SearchResult DfsSearch::run(const Interp &Interp) {
   // cached states to stay sound (Godefroid 1996, ch. 5); keep them apart.
   ICB_ASSERT(!(Opts.UseStateCache && Opts.UseSleepSets),
              "sleep sets cannot be combined with the state cache");
-  DfsDriver Driver(Interp, Opts.Limits);
+  DfsDriver Driver(Interp, Opts.Limits, singleShard(Opts.Metrics));
   DfsDriver::RoundOutcome Outcome = Driver.runRound(
       Opts.DepthBound, Opts.UseStateCache, Opts.UseSleepSets);
   // A depth-bounded round that truncated executions did not exhaust the
@@ -271,7 +296,7 @@ std::string DfsSearch::name() const {
 }
 
 SearchResult IterativeDeepeningSearch::run(const Interp &Interp) {
-  DfsDriver Driver(Interp, Opts.Limits);
+  DfsDriver Driver(Interp, Opts.Limits, singleShard(Opts.Metrics));
   unsigned Bound = Opts.InitialBound;
   bool Completed = false;
   while (true) {

@@ -19,6 +19,7 @@
 #ifndef ICB_SEARCH_DFS_H
 #define ICB_SEARCH_DFS_H
 
+#include "obs/Metrics.h"
 #include "search/Strategy.h"
 
 namespace icb::search {
@@ -42,6 +43,10 @@ public:
     /// Truncate executions at this many steps; 0 means unbounded.
     unsigned DepthBound = 0;
     SearchLimits Limits;
+    /// Optional observability registry (single shard: the search is
+    /// sequential). Records state-cache probes, chains, per-bound
+    /// executions and the Execute/CacheProbe phase timers.
+    obs::MetricsRegistry *Metrics = nullptr;
   };
 
   explicit DfsSearch(Options Opts) : Opts(Opts) {}
@@ -63,6 +68,8 @@ public:
     unsigned InitialBound = 20;
     unsigned Increment = 20;
     SearchLimits Limits;
+    /// Optional observability registry (see DfsSearch::Options::Metrics).
+    obs::MetricsRegistry *Metrics = nullptr;
   };
 
   explicit IterativeDeepeningSearch(Options Opts) : Opts(Opts) {}

@@ -5,6 +5,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "search/RandomWalk.h"
+#include "obs/PhaseTimer.h"
 #include "search/StateCache.h"
 #include "support/Prng.h"
 #include <algorithm>
@@ -26,13 +27,25 @@ SearchResult RandomWalk::run(const Interp &Interp) {
   SearchStats &Stats = Result.Stats;
   CoverageSampler<CoveragePoint> Sampler;
 
+  obs::MetricShard *Shard = nullptr;
+  if (Opts.Metrics) {
+    Opts.Metrics->ensureShards(1);
+    Shard = &Opts.Metrics->shard(0);
+  }
+  auto ProbeSeen = [&](uint64_t Hash) {
+    bool New = Seen.insert(Hash);
+    obs::count(Shard, New ? obs::Counter::SeenMiss : obs::Counter::SeenHit);
+    return New;
+  };
+
   State S0 = Interp.initialState();
   uint64_t InitialHash = S0.hash();
 
   bool LimitHit = false;
   for (uint64_t Exec = 0; Exec != Opts.Executions && !LimitHit; ++Exec) {
+    obs::ScopedPhase ExecTimer(Shard, obs::Phase::Execute);
     State S = S0;
-    Seen.insert(InitialHash);
+    ProbeSeen(InitialHash);
     std::vector<ThreadId> Sched;
     unsigned Np = 0;
     uint64_t Blocking = 0;
@@ -64,7 +77,7 @@ SearchResult RandomWalk::run(const Interp &Interp) {
       ++Stats.TotalSteps;
       Blocking += R.WasBlockingOp ? 1 : 0;
       Sched.push_back(T);
-      Seen.insert(S.hash());
+      ProbeSeen(S.hash());
       Last = T;
       if (R.Status == StepStatus::AssertFailed ||
           R.Status == StepStatus::ModelError) {
@@ -89,6 +102,8 @@ SearchResult RandomWalk::run(const Interp &Interp) {
     Stats.PreemptionsPerExecution.observe(Np);
     Stats.PreemptionHistogram.increment(Np);
     Stats.BlockingPerExecution.observe(Blocking);
+    obs::count(Shard, obs::Counter::Chains);
+    ICB_OBS(Shard, Shard->ExecutionsPerBound.increment(Np));
     Sampler.observe(Stats.Coverage, Stats.Executions, Seen.size());
     LimitHit = Stats.Executions >= Opts.Limits.MaxExecutions ||
                Stats.TotalSteps >= Opts.Limits.MaxSteps ||

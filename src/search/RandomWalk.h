@@ -16,6 +16,7 @@
 #ifndef ICB_SEARCH_RANDOMWALK_H
 #define ICB_SEARCH_RANDOMWALK_H
 
+#include "obs/Metrics.h"
 #include "search/Strategy.h"
 
 namespace icb::search {
@@ -28,6 +29,10 @@ public:
     /// Number of executions to run (also capped by Limits.MaxExecutions).
     uint64_t Executions = 1000;
     SearchLimits Limits;
+    /// Optional observability registry (single shard: the walk is
+    /// sequential). Records state-cache probes, chains, per-bound
+    /// executions and the Execute phase timer.
+    obs::MetricsRegistry *Metrics = nullptr;
   };
 
   explicit RandomWalk(Options Opts) : Opts(Opts) {}

@@ -1,0 +1,344 @@
+//===- tests/posix_test.cpp - POSIX frontend semantics tests ---------------===//
+//
+// Part of the ICB project (PLDI'07 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The pthread-compatible shim under full schedule exploration: POSIX
+/// errno semantics (EBUSY, EDEADLK, EPERM, ETIMEDOUT, EAGAIN), the modeled
+/// timedwait timeout (both outcomes of every signal/expiry race must be
+/// explored), pthread_once ordering, TLS destructors, the in-tree replica
+/// of the examples/posix lost-wakeup deadlock (clean at bound 1, exposed
+/// at bound 2), and jobs-1-vs-N determinism through the shim.
+///
+/// The icb_* entry points are called directly (ICB_POSIX_NO_RENAME): this
+/// translation unit also contains gtest, which owns real pthreads.
+///
+//===----------------------------------------------------------------------===//
+
+#define ICB_POSIX_NO_RENAME
+#include "icb/posix.h"
+
+#include "obs/Metrics.h"
+#include "posix/Runtime.h"
+#include "rt/Explore.h"
+#include "testutil/ResultChecks.h"
+#include <gtest/gtest.h>
+
+using namespace icb;
+using namespace icb::rt;
+
+namespace {
+
+ExploreResult explorePosix(std::function<void()> Body, unsigned MaxBound,
+                           bool StopAtFirst = false, unsigned Jobs = 1,
+                           obs::MetricsRegistry *Metrics = nullptr) {
+  ExploreOptions Opts;
+  Opts.Limits.MaxExecutions = 200000;
+  Opts.Limits.StopAtFirstBug = StopAtFirst;
+  Opts.Limits.MaxPreemptionBound = MaxBound;
+  Opts.Jobs = Jobs;
+  Opts.Metrics = Metrics;
+  IcbExplorer E(Opts);
+  return E.explore(posix::makeTestCase("posix-test", std::move(Body)));
+}
+
+//===----------------------------------------------------------------------===//
+// Errno semantics (deterministic: asserted on every explored schedule)
+//===----------------------------------------------------------------------===//
+
+void errnoChecksBody() {
+  // NORMAL mutex: trylock of a held mutex fails with EBUSY.
+  pthread_mutex_t Normal = PTHREAD_MUTEX_INITIALIZER;
+  icb_posix_assert(icb_pthread_mutex_lock(&Normal) == 0, "normal lock");
+  icb_posix_assert(icb_pthread_mutex_trylock(&Normal) == EBUSY,
+                   "trylock of held mutex -> EBUSY");
+  icb_posix_assert(icb_pthread_mutex_unlock(&Normal) == 0, "normal unlock");
+
+  // ERRORCHECK mutex: self-relock is EDEADLK, unowned unlock is EPERM.
+  pthread_mutexattr_t Attr;
+  icb_pthread_mutexattr_init(&Attr);
+  icb_pthread_mutexattr_settype(&Attr, PTHREAD_MUTEX_ERRORCHECK);
+  pthread_mutex_t Checked;
+  icb_pthread_mutex_init(&Checked, &Attr);
+  icb_posix_assert(icb_pthread_mutex_unlock(&Checked) == EPERM,
+                   "errorcheck unowned unlock -> EPERM");
+  icb_posix_assert(icb_pthread_mutex_lock(&Checked) == 0, "errorcheck lock");
+  icb_posix_assert(icb_pthread_mutex_lock(&Checked) == EDEADLK,
+                   "errorcheck self-relock -> EDEADLK");
+  icb_posix_assert(icb_pthread_mutex_unlock(&Checked) == 0,
+                   "errorcheck unlock");
+  icb_pthread_mutex_destroy(&Checked);
+
+  // RECURSIVE mutex: depth counts; the lock releases only at depth 0.
+  icb_pthread_mutexattr_settype(&Attr, PTHREAD_MUTEX_RECURSIVE);
+  pthread_mutex_t Rec;
+  icb_pthread_mutex_init(&Rec, &Attr);
+  icb_posix_assert(icb_pthread_mutex_lock(&Rec) == 0, "recursive lock 1");
+  icb_posix_assert(icb_pthread_mutex_lock(&Rec) == 0, "recursive lock 2");
+  icb_posix_assert(icb_pthread_mutex_trylock(&Rec) == 0, "recursive trylock");
+  icb_posix_assert(icb_pthread_mutex_unlock(&Rec) == 0, "recursive unlock 3");
+  icb_posix_assert(icb_pthread_mutex_unlock(&Rec) == 0, "recursive unlock 2");
+  // Still held at depth 1: destroy must refuse.
+  icb_posix_assert(icb_pthread_mutex_destroy(&Rec) == EBUSY,
+                   "destroy of held mutex -> EBUSY");
+  icb_posix_assert(icb_pthread_mutex_unlock(&Rec) == 0, "recursive unlock 1");
+  icb_posix_assert(icb_pthread_mutex_unlock(&Rec) == EPERM,
+                   "recursive over-unlock -> EPERM");
+  icb_pthread_mutex_destroy(&Rec);
+  icb_pthread_mutexattr_destroy(&Attr);
+
+  // Semaphore at zero: trywait fails with errno EAGAIN.
+  sem_t Sem;
+  icb_sem_init(&Sem, 0, 0);
+  errno = 0;
+  icb_posix_assert(icb_sem_trywait(&Sem) == -1 && errno == EAGAIN,
+                   "trywait of empty semaphore -> EAGAIN");
+  icb_sem_post(&Sem);
+  icb_posix_assert(icb_sem_trywait(&Sem) == 0, "trywait after post");
+  icb_sem_destroy(&Sem);
+
+  // Rwlock: a reader blocks trywrlock (EBUSY); a writer's own tryrdlock
+  // can never succeed (EDEADLK, as glibc detects).
+  pthread_rwlock_t RW = PTHREAD_RWLOCK_INITIALIZER;
+  icb_posix_assert(icb_pthread_rwlock_rdlock(&RW) == 0, "rdlock");
+  icb_posix_assert(icb_pthread_rwlock_tryrdlock(&RW) == 0, "shared rdlock");
+  icb_posix_assert(icb_pthread_rwlock_trywrlock(&RW) == EBUSY,
+                   "trywrlock under readers -> EBUSY");
+  icb_posix_assert(icb_pthread_rwlock_unlock(&RW) == 0, "rd unlock 1");
+  icb_posix_assert(icb_pthread_rwlock_unlock(&RW) == 0, "rd unlock 2");
+  icb_posix_assert(icb_pthread_rwlock_wrlock(&RW) == 0, "wrlock");
+  icb_posix_assert(icb_pthread_rwlock_rdlock(&RW) == EDEADLK,
+                   "rdlock under own writer -> EDEADLK");
+  icb_posix_assert(icb_pthread_rwlock_tryrdlock(&RW) == EBUSY,
+                   "tryrdlock under a writer -> EBUSY");
+  icb_posix_assert(icb_pthread_rwlock_unlock(&RW) == 0, "wr unlock");
+  icb_pthread_rwlock_destroy(&RW);
+
+  // timedwait with nobody to signal: the modeled timeout is the only
+  // outcome.
+  pthread_mutex_t M = PTHREAD_MUTEX_INITIALIZER;
+  pthread_cond_t C = PTHREAD_COND_INITIALIZER;
+  struct timespec Ts = {0, 1000};
+  icb_posix_assert(icb_pthread_mutex_lock(&M) == 0, "tw lock");
+  icb_posix_assert(icb_pthread_cond_timedwait(&C, &M, &Ts) == ETIMEDOUT,
+                   "unsignaled timedwait -> ETIMEDOUT");
+  icb_posix_assert(icb_pthread_mutex_unlock(&M) == 0, "tw unlock");
+}
+
+TEST(PosixErrno, SemanticsHoldOnEverySchedule) {
+  ExploreResult R = explorePosix(errnoChecksBody, /*MaxBound=*/2);
+  EXPECT_TRUE(R.Bugs.empty()) << (R.Bugs.empty() ? "" : R.Bugs[0].str());
+  EXPECT_GE(R.Stats.Executions, 1u);
+}
+
+//===----------------------------------------------------------------------===//
+// Modeled timedwait: both outcomes of the signal/expiry race are explored
+//===----------------------------------------------------------------------===//
+
+struct TwCtx {
+  pthread_mutex_t Lock = PTHREAD_MUTEX_INITIALIZER;
+  pthread_cond_t Cond = PTHREAD_COND_INITIALIZER;
+  int Ready = 0;
+  int *SignaledRuns;
+  int *TimedOutRuns;
+};
+
+void *twWaiter(void *Arg) {
+  TwCtx *Cx = static_cast<TwCtx *>(Arg);
+  icb_pthread_mutex_lock(&Cx->Lock);
+  if (!Cx->Ready) {
+    struct timespec Ts = {0, 1000};
+    int Rc = icb_pthread_cond_timedwait(&Cx->Cond, &Cx->Lock, &Ts);
+    icb_posix_assert(Rc == 0 || Rc == ETIMEDOUT, "timedwait rc");
+    if (Rc == ETIMEDOUT)
+      ++*Cx->TimedOutRuns;
+    else
+      ++*Cx->SignaledRuns;
+  }
+  icb_pthread_mutex_unlock(&Cx->Lock);
+  return nullptr;
+}
+
+void *twSignaler(void *Arg) {
+  TwCtx *Cx = static_cast<TwCtx *>(Arg);
+  icb_pthread_mutex_lock(&Cx->Lock);
+  Cx->Ready = 1;
+  icb_pthread_cond_signal(&Cx->Cond);
+  icb_pthread_mutex_unlock(&Cx->Lock);
+  return nullptr;
+}
+
+TEST(PosixTimedwait, ExploresBothSignalAndExpiry) {
+  int Signaled = 0, TimedOut = 0;
+  ExploreResult R = explorePosix(
+      [&Signaled, &TimedOut] {
+        TwCtx Cx;
+        Cx.SignaledRuns = &Signaled;
+        Cx.TimedOutRuns = &TimedOut;
+        pthread_t W, S;
+        icb_pthread_create(&W, nullptr, twWaiter, &Cx);
+        icb_pthread_create(&S, nullptr, twSignaler, &Cx);
+        icb_pthread_join(W, nullptr);
+        icb_pthread_join(S, nullptr);
+      },
+      /*MaxBound=*/2);
+  EXPECT_TRUE(R.Bugs.empty()) << (R.Bugs.empty() ? "" : R.Bugs[0].str());
+  // The waiter must have been woken by the signal in some schedules and by
+  // the modeled expiry (equivalently a spurious wakeup) in others — a
+  // timeout that only ever fires when no signal can arrive would hide
+  // every lost-wakeup bug behind it.
+  EXPECT_GT(Signaled, 0) << "no schedule delivered the signal";
+  EXPECT_GT(TimedOut, 0) << "no schedule expired the wait";
+}
+
+//===----------------------------------------------------------------------===//
+// pthread_once: exactly one invocation on every schedule
+//===----------------------------------------------------------------------===//
+
+int *OnceCounter = nullptr;
+
+void onceRoutine() { ++*OnceCounter; }
+
+void *onceCaller(void *Arg) {
+  icb_pthread_once(static_cast<pthread_once_t *>(Arg), onceRoutine);
+  return nullptr;
+}
+
+TEST(PosixOnce, RunsExactlyOnceOnEverySchedule) {
+  ExploreResult R = explorePosix(
+      [] {
+        int Count = 0;
+        OnceCounter = &Count;
+        pthread_once_t Control = PTHREAD_ONCE_INIT;
+        pthread_t T[3];
+        for (pthread_t &H : T)
+          icb_pthread_create(&H, nullptr, onceCaller, &Control);
+        icb_pthread_once(&Control, onceRoutine);
+        for (pthread_t &H : T)
+          icb_pthread_join(H, nullptr);
+        icb_posix_assert(Count == 1, "pthread_once ran exactly once");
+      },
+      /*MaxBound=*/2);
+  EXPECT_TRUE(R.Bugs.empty()) << (R.Bugs.empty() ? "" : R.Bugs[0].str());
+  EXPECT_GT(R.Stats.Executions, 1u) << "the schedule space did not branch";
+}
+
+//===----------------------------------------------------------------------===//
+// TLS destructors run at thread exit with the stored value
+//===----------------------------------------------------------------------===//
+
+void tlsDtor(void *P) { ++*static_cast<int *>(P); }
+
+struct TlsCtx {
+  pthread_key_t Key;
+  int *DtorRuns;
+};
+
+void *tlsSetter(void *Arg) {
+  TlsCtx *Cx = static_cast<TlsCtx *>(Arg);
+  icb_posix_assert(icb_pthread_getspecific(Cx->Key) == nullptr,
+                   "fresh thread sees no TLS value");
+  icb_posix_assert(icb_pthread_setspecific(Cx->Key, Cx->DtorRuns) == 0,
+                   "setspecific");
+  icb_posix_assert(icb_pthread_getspecific(Cx->Key) == Cx->DtorRuns,
+                   "getspecific reads back");
+  return nullptr;
+}
+
+TEST(PosixTls, DestructorsRunPerThread) {
+  ExploreResult R = explorePosix(
+      [] {
+        int DtorRuns = 0;
+        TlsCtx Cx;
+        Cx.DtorRuns = &DtorRuns;
+        icb_posix_assert(icb_pthread_key_create(&Cx.Key, tlsDtor) == 0,
+                         "key_create");
+        pthread_t A, B;
+        icb_pthread_create(&A, nullptr, tlsSetter, &Cx);
+        icb_pthread_create(&B, nullptr, tlsSetter, &Cx);
+        icb_pthread_join(A, nullptr);
+        icb_pthread_join(B, nullptr);
+        icb_posix_assert(DtorRuns == 2,
+                         "one destructor run per exiting thread");
+        icb_pthread_key_delete(Cx.Key);
+      },
+      /*MaxBound=*/1);
+  EXPECT_TRUE(R.Bugs.empty()) << (R.Bugs.empty() ? "" : R.Bugs[0].str());
+}
+
+//===----------------------------------------------------------------------===//
+// The examples/posix lost-wakeup deadlock, in-tree: the bound guarantee
+//===----------------------------------------------------------------------===//
+
+struct PcCtx {
+  pthread_mutex_t Lock = PTHREAD_MUTEX_INITIALIZER;
+  pthread_cond_t Ready = PTHREAD_COND_INITIALIZER;
+  sem_t Tick;
+  int DataReady = 0;
+};
+
+void *pcConsumer(void *Arg) {
+  PcCtx *Cx = static_cast<PcCtx *>(Arg);
+  icb_sem_post(&Cx->Tick);
+  icb_pthread_mutex_lock(&Cx->Lock);
+  if (!Cx->DataReady) // BUG: if-not-while + signal outside the lock.
+    icb_pthread_cond_wait(&Cx->Ready, &Cx->Lock);
+  icb_pthread_mutex_unlock(&Cx->Lock);
+  return nullptr;
+}
+
+void *pcProducer(void *Arg) {
+  PcCtx *Cx = static_cast<PcCtx *>(Arg);
+  icb_sem_wait(&Cx->Tick);
+  icb_pthread_cond_signal(&Cx->Ready); // Lost if the consumer isn't waiting.
+  icb_pthread_mutex_lock(&Cx->Lock);
+  Cx->DataReady = 1;
+  icb_pthread_mutex_unlock(&Cx->Lock);
+  return nullptr;
+}
+
+void prodConsBody() {
+  PcCtx Cx;
+  icb_sem_init(&Cx.Tick, 0, 0);
+  pthread_t C, P;
+  icb_pthread_create(&C, nullptr, pcConsumer, &Cx);
+  icb_pthread_create(&P, nullptr, pcProducer, &Cx);
+  icb_pthread_join(C, nullptr);
+  icb_pthread_join(P, nullptr);
+  icb_sem_destroy(&Cx.Tick);
+}
+
+TEST(PosixProdCons, CleanBelowTheBugsBound) {
+  ExploreResult R = explorePosix(prodConsBody, /*MaxBound=*/1);
+  EXPECT_TRUE(R.Bugs.empty()) << (R.Bugs.empty() ? "" : R.Bugs[0].str());
+  // Completed stays false: the preemption bound truncated the space (the
+  // bug two preemptions away is exactly what was cut off).
+  EXPECT_FALSE(R.Stats.Completed);
+}
+
+TEST(PosixProdCons, DeadlockExposedAtBoundTwo) {
+  ExploreResult R =
+      explorePosix(prodConsBody, /*MaxBound=*/2, /*StopAtFirst=*/true);
+  ASSERT_EQ(R.Bugs.size(), 1u);
+  EXPECT_EQ(R.Bugs[0].Kind, search::BugKind::Deadlock);
+  EXPECT_EQ(R.Bugs[0].Preemptions, 2u)
+      << "the lost wakeup needs exactly two preemptions";
+}
+
+//===----------------------------------------------------------------------===//
+// Determinism: a jobs-4 run through the shim matches jobs-1 exactly
+//===----------------------------------------------------------------------===//
+
+TEST(PosixDeterminism, JobsOneVersusFour) {
+  obs::MetricsRegistry M1, M4;
+  ExploreResult Seq = explorePosix(prodConsBody, /*MaxBound=*/2,
+                                   /*StopAtFirst=*/false, /*Jobs=*/1, &M1);
+  ExploreResult Par = explorePosix(prodConsBody, /*MaxBound=*/2,
+                                   /*StopAtFirst=*/false, /*Jobs=*/4, &M4);
+  testutil::expectIdenticalResults(Seq, Par);
+  testutil::expectSameDeterministicMetrics(M1.snapshot(), M4.snapshot());
+}
+
+} // namespace

@@ -1,0 +1,675 @@
+//===- tools/common/ToolCommon.cpp - Shared checker-CLI plumbing ----------===//
+//
+// Part of the ICB project (PLDI'07 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "common/ToolCommon.h"
+#include "session/Minimize.h"
+#include "session/Serial.h"
+#include "support/Format.h"
+#include "support/WorkerPool.h"
+#include <cstdio>
+#include <cstdlib>
+#include <sys/stat.h>
+
+using namespace icb;
+using namespace icb::tool;
+
+const char icb::tool::kExitCodesHelp[] =
+    "exit codes:\n"
+    "  0    clean: no bug within the explored bound, or the replayed /\n"
+    "       minimized artifact reproduced its bug\n"
+    "  1    a bug was found by the search\n"
+    "  2    usage or configuration error\n"
+    "  3    replay mismatch: the recorded bug did not reproduce\n"
+    "  4    session I/O failure (manifest, checkpoint, or repro file)\n"
+    "  130  interrupted; a resumable checkpoint was flushed first";
+
+namespace {
+
+session::CheckpointMeta makeMeta(const SessionState &S, const RunConfig &C,
+                                 const char *Form) {
+  session::CheckpointMeta M;
+  M.Benchmark = S.Benchmark;
+  M.Bug = S.Bug;
+  M.Form = Form;
+  M.Strategy = C.Strategy;
+  M.Jobs = C.Jobs;
+  M.Shards = C.Shards;
+  M.Seed = C.Seed;
+  M.EveryAccess = C.EveryAccess;
+  M.Detector = C.Detector;
+  M.Limits.MaxExecutions = C.MaxExecutions;
+  M.Limits.MaxPreemptionBound = C.MaxBound;
+  M.Limits.StopAtFirstBug = C.StopAtFirst;
+  return M;
+}
+
+/// The manifest record of a run still in flight: identity plus the bounds
+/// finished so far.
+session::JsonValue partialRunRecord(
+    const SessionState &S, const char *Form, const RunConfig &C,
+    const std::vector<search::BoundCoverage> &Bounds) {
+  using session::JsonValue;
+  JsonValue Run = JsonValue::object();
+  Run.set("benchmark", JsonValue::str(S.Benchmark));
+  Run.set("bug", JsonValue::str(S.Bug));
+  Run.set("form", JsonValue::str(Form));
+  Run.set("strategy", JsonValue::str(C.Strategy));
+  Run.set("jobs", JsonValue::number(C.Jobs));
+  Run.set("in_progress", JsonValue::boolean(true));
+  JsonValue Arr = JsonValue::array();
+  for (const search::BoundCoverage &B : Bounds) {
+    JsonValue O = JsonValue::object();
+    O.set("bound", JsonValue::number(B.Bound));
+    O.set("states", JsonValue::number(B.States));
+    O.set("executions", JsonValue::number(B.Executions));
+    Arr.Arr.push_back(std::move(O));
+  }
+  Run.set("bounds_done", std::move(Arr));
+  return Run;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// RunSession
+//===----------------------------------------------------------------------===//
+
+RunSession::RunSession(SessionState &S, const RunConfig &Config,
+                       const char *Form)
+    : S(S), Config(Config), Form(Form),
+      PriorWall(S.Resume ? S.Resume->WallMillis : 0) {
+  if (S.Json) {
+    RunIdx = S.Json->addRun(partialRunRecord(S, Form, Config, {}));
+    S.Json->writeTo(S.JsonPath, nullptr);
+    Obs.BoundHook = [this](const search::BoundCoverage &B) {
+      Bounds.push_back(B);
+      this->S.Json->updateRun(
+          RunIdx,
+          partialRunRecord(this->S, this->Form, this->Config, Bounds));
+      this->S.Json->writeTo(this->S.JsonPath, nullptr);
+    };
+  }
+  if (!S.CheckpointDir.empty()) {
+    std::string Err;
+    if (!session::ensureDir(S.CheckpointDir, &Err)) {
+      std::fprintf(stderr, "%s\n", Err.c_str());
+      Failed = true;
+      return;
+    }
+    Guard = std::make_unique<session::SignalGuard>();
+    Sink = std::make_unique<session::CheckpointSink>(
+        S.CheckpointDir, S.CheckpointEvery, makeMeta(S, Config, Form),
+        S.Resume ? S.Resume->Snap.Stats.Executions : 0, PriorWall);
+    Obs.Sink = Sink.get();
+  }
+  if (Config.Progress) {
+    Meter = std::make_unique<obs::ProgressMeter>(Config.ProgressEveryMillis);
+    Obs.Meter = Meter.get();
+  }
+}
+
+uint64_t RunSession::wallMillis() const {
+  if (Sink)
+    return Sink->wallMillis();
+  auto Elapsed = std::chrono::steady_clock::now() - Start;
+  return PriorWall +
+         static_cast<uint64_t>(
+             std::chrono::duration_cast<std::chrono::milliseconds>(Elapsed)
+                 .count());
+}
+
+int RunSession::finish(const search::SearchResult &R) {
+  int Rc = 0;
+  if (Meter) {
+    obs::ProgressSample Last;
+    Last.Bound = R.Stats.PerBound.empty() ? 0 : R.Stats.PerBound.back().Bound;
+    Last.MaxBound = Config.MaxBound;
+    Last.Executions = R.Stats.Executions;
+    Last.TotalSteps = R.Stats.TotalSteps;
+    Last.States = R.Stats.DistinctStates;
+    Last.Bugs = R.Bugs.size();
+    Meter->finish(Last);
+  }
+  std::vector<std::string> Repros;
+  if (!S.ReproDir.empty() && !R.Bugs.empty()) {
+    std::string Err;
+    if (!session::ensureDir(S.ReproDir, &Err)) {
+      std::fprintf(stderr, "%s\n", Err.c_str());
+      Rc = 4;
+    } else {
+      for (const search::Bug &B : R.Bugs) {
+        session::ReproArtifact A;
+        A.Benchmark = S.Benchmark;
+        A.Bug = S.Bug;
+        A.Form = Form;
+        A.EveryAccess = Config.EveryAccess;
+        A.Detector = Config.Detector;
+        A.Found = B;
+        std::string Path = S.ReproDir + "/" + session::reproFileName(A);
+        if (!session::saveRepro(Path, A, &Err)) {
+          std::fprintf(stderr, "repro write failed: %s\n", Err.c_str());
+          Rc = 4;
+        } else {
+          std::printf("  repro written: %s\n", Path.c_str());
+          Repros.push_back(Path);
+        }
+      }
+    }
+  }
+  if (S.Json) {
+    using session::JsonValue;
+    JsonValue Run = session::runRecord(S.Benchmark, S.Bug, Form,
+                                       Config.Strategy, Config.Jobs, R,
+                                       wallMillis());
+    JsonValue Arr = JsonValue::array();
+    for (const std::string &P : Repros)
+      Arr.Arr.push_back(JsonValue::str(P));
+    Run.set("repros", std::move(Arr));
+    obs::MetricsSnapshot MSnap = Metrics.snapshot();
+    if (!MSnap.empty())
+      Run.set("metrics", session::metricsToJson(MSnap));
+    S.Json->updateRun(RunIdx, std::move(Run));
+    std::string Err;
+    if (!S.Json->writeTo(S.JsonPath, &Err)) {
+      std::fprintf(stderr, "manifest write failed: %s\n", Err.c_str());
+      Rc = 4;
+    }
+  }
+  if (Sink && !Sink->ok()) {
+    std::fprintf(stderr, "checkpoint write failed: %s\n",
+                 Sink->error().c_str());
+    Rc = 4;
+  }
+  if (R.Interrupted) {
+    std::printf("  interrupted; resumable checkpoint in %s\n",
+                S.CheckpointDir.c_str());
+    Rc = std::max(Rc, 130);
+  }
+  return Rc;
+}
+
+//===----------------------------------------------------------------------===//
+// Flag registration / parsing
+//===----------------------------------------------------------------------===//
+
+void icb::tool::addSearchFlags(FlagSet &Flags) {
+  Flags.addString("strategy", "icb", "icb, dfs, db:N, or random");
+  Flags.addInt("max-bound", 4, "maximum preemption bound (icb)");
+  Flags.addInt("max-executions", 1 << 20, "execution budget");
+  Flags.addInt("seed", 1, "PRNG seed (random strategy)");
+  Flags.addInt("jobs", 1,
+               "worker threads for the icb strategy, model or runtime form "
+               "(0 = hardware concurrency)");
+  Flags.addInt("shards", 0,
+               "state-cache shards with --jobs != 1 (0 = auto)");
+  Flags.addBool("trace", false, "replay and print the counterexample");
+  Flags.addBool("keep-going", false, "collect all bugs, not just the first");
+  Flags.addBool("every-access", false,
+                "scheduling points at every data access (ablation mode)");
+  Flags.addString("detector", "vc", "race detector: vc or goldilocks");
+  Flags.addBool("progress", false,
+                "live single-line progress ticker on stderr");
+  Flags.addInt("progress-every", 1000,
+               "progress ticker period in milliseconds (implies --progress)");
+}
+
+void icb::tool::addSessionFlags(FlagSet &Flags) {
+  Flags.addString("json", "", "write a machine-readable run manifest here");
+  Flags.addString("checkpoint-dir", "",
+                  "write resumable checkpoints into this directory (icb)");
+  Flags.addInt("checkpoint-every", 4096,
+               "checkpoint period in executions (0 = only on signal/finish)");
+  Flags.addString("resume", "",
+                  "resume the checkpointed run in this directory");
+  Flags.addString("replay", "",
+                  "replay a .icbrepro artifact and verify its bug fires");
+  Flags.addBool("minimize", false,
+                "with --replay: delta-debug the schedule, rewrite the "
+                "artifact in place");
+  Flags.addString("repro-dir", "",
+                  "write a .icbrepro artifact per discovered bug here");
+}
+
+bool icb::tool::readRunConfig(const FlagSet &Flags, RunConfig &Config) {
+  Config.Strategy = Flags.getString("strategy");
+  Config.MaxBound = static_cast<unsigned>(Flags.getInt("max-bound"));
+  Config.MaxExecutions = static_cast<uint64_t>(Flags.getInt("max-executions"));
+  Config.Seed = static_cast<uint64_t>(Flags.getInt("seed"));
+  Config.Trace = Flags.getBool("trace");
+  Config.StopAtFirst = !Flags.getBool("keep-going");
+  Config.EveryAccess = Flags.getBool("every-access");
+  Config.Detector = Flags.getString("detector");
+  Config.Jobs = static_cast<unsigned>(Flags.getInt("jobs"));
+  Config.Shards = static_cast<unsigned>(Flags.getInt("shards"));
+  Config.Progress =
+      Flags.getBool("progress") || Flags.wasSet("progress-every");
+  Config.ProgressEveryMillis =
+      static_cast<uint64_t>(Flags.getInt("progress-every"));
+  if (Config.Progress && Flags.getInt("progress-every") <= 0) {
+    std::fprintf(stderr, "--progress-every must be positive (milliseconds)\n");
+    return false;
+  }
+  // Reject flag combinations that have no defined meaning rather than
+  // silently ignoring a flag or falling back to another engine.
+  if (Config.Jobs != 1 && Config.Strategy != "icb") {
+    std::fprintf(stderr,
+                 "--jobs applies to the icb strategy only (got --strategy=%s)\n",
+                 Config.Strategy.c_str());
+    return false;
+  }
+  if (Config.Shards != 0 && Config.Jobs == 1) {
+    std::fprintf(stderr,
+                 "--shards configures the parallel engine; it requires "
+                 "--jobs != 1\n");
+    return false;
+  }
+  return true;
+}
+
+bool icb::tool::readSessionFlags(const FlagSet &Flags, SessionState &S,
+                                 std::string &ResumeDir) {
+  ResumeDir = Flags.getString("resume");
+  if (!Flags.getString("checkpoint-dir").empty() && !ResumeDir.empty()) {
+    std::fprintf(stderr,
+                 "--resume continues checkpointing into its own directory; "
+                 "do not also pass --checkpoint-dir\n");
+    return false;
+  }
+  if (Flags.wasSet("checkpoint-every") &&
+      Flags.getString("checkpoint-dir").empty() && ResumeDir.empty()) {
+    std::fprintf(stderr,
+                 "--checkpoint-every requires --checkpoint-dir or --resume\n");
+    return false;
+  }
+  S.CheckpointDir = Flags.getString("checkpoint-dir");
+  S.CheckpointEvery = static_cast<uint64_t>(Flags.getInt("checkpoint-every"));
+  S.ReproDir = Flags.getString("repro-dir");
+  S.JsonPath = Flags.getString("json");
+  return true;
+}
+
+bool icb::tool::checkReplayExclusive(
+    const FlagSet &Flags, std::initializer_list<const char *> ExtraFlags) {
+  static const char *const Incompatible[] = {
+      "strategy",     "max-bound",      "max-executions",   "seed",
+      "jobs",         "shards",         "keep-going",       "every-access",
+      "detector",     "json",           "checkpoint-dir",   "checkpoint-every",
+      "resume",       "repro-dir",      "progress",         "progress-every",
+  };
+  auto Reject = [](const char *Name) {
+    std::fprintf(stderr,
+                 "--replay re-executes a recorded artifact; --%s "
+                 "cannot be combined with it\n",
+                 Name);
+    return false;
+  };
+  for (const char *Name : Incompatible)
+    if (Flags.wasSet(Name))
+      return Reject(Name);
+  for (const char *Name : ExtraFlags)
+    if (Flags.wasSet(Name))
+      return Reject(Name);
+  return true;
+}
+
+bool icb::tool::checkSessionStrategy(const RunConfig &Config,
+                                     const SessionState &S) {
+  if (!S.CheckpointDir.empty() && Config.Strategy != "icb") {
+    std::fprintf(stderr,
+                 "--checkpoint-dir/--resume apply to the icb strategy only "
+                 "(got --strategy=%s)\n",
+                 Config.Strategy.c_str());
+    return false;
+  }
+  return true;
+}
+
+int icb::tool::applyResume(const FlagSet &Flags, const std::string &ResumeDir,
+                           session::CheckpointData &Data, RunConfig &Config,
+                           SessionState &S, std::string *BenchName,
+                           std::string *BugLabel) {
+  std::string Error;
+  if (!session::loadCheckpoint(session::checkpointPath(ResumeDir), Data,
+                               &Error)) {
+    std::fprintf(stderr, "--resume: %s\n", Error.c_str());
+    return 4;
+  }
+  const session::CheckpointMeta &M = Data.Meta;
+  bool Bad = false;
+  auto Conflict = [&](const char *Flag, const std::string &Cli,
+                      const std::string &Recorded) {
+    std::fprintf(stderr,
+                 "--resume: --%s=%s conflicts with the checkpoint's "
+                 "recorded %s=%s\n",
+                 Flag, Cli.c_str(), Flag, Recorded.c_str());
+    Bad = true;
+  };
+  auto CheckStr = [&](const char *Flag, const std::string &Cli,
+                      const std::string &Recorded) {
+    if (Flags.wasSet(Flag) && Cli != Recorded)
+      Conflict(Flag, Cli, Recorded);
+  };
+  auto CheckNum = [&](const char *Flag, uint64_t Cli, uint64_t Recorded) {
+    if (Flags.wasSet(Flag) && Cli != Recorded)
+      Conflict(Flag, std::to_string(Cli), std::to_string(Recorded));
+  };
+  auto CheckBool = [&](const char *Flag, bool Cli, bool Recorded) {
+    if (Flags.wasSet(Flag) && Cli != Recorded)
+      Conflict(Flag, Cli ? "true" : "false", Recorded ? "true" : "false");
+  };
+  if (BenchName)
+    CheckStr("benchmark", *BenchName, M.Benchmark);
+  if (BugLabel)
+    CheckStr("bug", *BugLabel == "none" ? "default" : *BugLabel, M.Bug);
+  CheckStr("strategy", Config.Strategy, M.Strategy);
+  CheckStr("detector", Config.Detector, M.Detector);
+  // --jobs/--shards are intentionally NOT conflict-checked: the engine
+  // frontier is worker-topology-neutral, so a checkpoint taken at one job
+  // count resumes correctly at another.
+  CheckNum("seed", Config.Seed, M.Seed);
+  CheckNum("max-bound", Config.MaxBound, M.Limits.MaxPreemptionBound);
+  CheckNum("max-executions", Config.MaxExecutions, M.Limits.MaxExecutions);
+  CheckBool("every-access", Config.EveryAccess, M.EveryAccess);
+  CheckBool("keep-going", !Config.StopAtFirst, !M.Limits.StopAtFirstBug);
+  // --model exists only on tools that offer both forms (wasSet asserts on
+  // unregistered names); BenchName doubles as the "registry tool" signal.
+  if (BenchName)
+    CheckBool("model", Config.PreferModel, M.Form == "vm");
+  if (Bad)
+    return 2;
+
+  Config.Strategy = M.Strategy;
+  Config.Detector = M.Detector;
+  if (!Flags.wasSet("jobs"))
+    Config.Jobs = M.Jobs;
+  if (!Flags.wasSet("shards"))
+    Config.Shards = Config.Jobs != 1 ? M.Shards : 0;
+  if (Config.Shards != 0 && Config.Jobs == 1) {
+    std::fprintf(stderr,
+                 "--shards configures the parallel engine; it requires "
+                 "--jobs != 1\n");
+    return 2;
+  }
+  Config.Seed = M.Seed;
+  Config.MaxBound = M.Limits.MaxPreemptionBound;
+  Config.MaxExecutions = M.Limits.MaxExecutions;
+  Config.EveryAccess = M.EveryAccess;
+  Config.StopAtFirst = M.Limits.StopAtFirstBug;
+  Config.PreferModel = M.Form == "vm";
+  if (BenchName)
+    *BenchName = M.Benchmark;
+  if (BugLabel)
+    *BugLabel = M.Bug == "default" ? "none" : M.Bug;
+  S.Resume = &Data;
+  S.CheckpointDir = ResumeDir;
+  return 0;
+}
+
+session::JsonValue icb::tool::configRecord(const RunConfig &Config) {
+  using session::JsonValue;
+  JsonValue Cfg = JsonValue::object();
+  Cfg.set("strategy", JsonValue::str(Config.Strategy));
+  Cfg.set("max_bound", JsonValue::number(Config.MaxBound));
+  Cfg.set("max_executions", JsonValue::number(Config.MaxExecutions));
+  Cfg.set("seed", JsonValue::number(Config.Seed));
+  Cfg.set("jobs", JsonValue::number(Config.Jobs));
+  Cfg.set("shards", JsonValue::number(Config.Shards));
+  Cfg.set("every_access", JsonValue::boolean(Config.EveryAccess));
+  Cfg.set("detector", JsonValue::str(Config.Detector));
+  Cfg.set("keep_going", JsonValue::boolean(!Config.StopAtFirst));
+  return Cfg;
+}
+
+//===----------------------------------------------------------------------===//
+// Run drivers
+//===----------------------------------------------------------------------===//
+
+int icb::tool::runRt(const rt::TestCase &Test, const RunConfig &Config,
+                     SessionState &S) {
+  rt::ExploreOptions Opts;
+  Opts.Limits.MaxExecutions = Config.MaxExecutions;
+  Opts.Limits.MaxPreemptionBound = Config.MaxBound;
+  Opts.Limits.StopAtFirstBug = Config.StopAtFirst;
+  Opts.Jobs = Config.Jobs;
+  Opts.Shards = Config.Shards;
+  if (Config.EveryAccess)
+    Opts.Exec.Mode = rt::SchedPointMode::EveryAccess;
+  Opts.Exec.Detector = Config.Detector == "goldilocks"
+                           ? rt::DetectorKind::Goldilocks
+                           : rt::DetectorKind::VectorClock;
+
+  RunSession Sess(S, Config, "rt");
+  if (Sess.failed())
+    return 4;
+  Opts.Observer = Sess.observer();
+  Opts.Resume = Sess.resumeSnapshot();
+  Opts.Metrics = Sess.metrics();
+
+  std::unique_ptr<rt::Explorer> Explorer;
+  if (Config.Strategy == "icb")
+    Explorer = std::make_unique<rt::IcbExplorer>(Opts);
+  else if (Config.Strategy == "dfs")
+    Explorer = std::make_unique<rt::DfsExplorer>(Opts);
+  else if (Config.Strategy.rfind("db:", 0) == 0)
+    Explorer = std::make_unique<rt::DfsExplorer>(
+        Opts, static_cast<unsigned>(
+                  std::strtoul(Config.Strategy.c_str() + 3, nullptr, 10)));
+  else if (Config.Strategy == "random")
+    Explorer = std::make_unique<rt::RandomExplorer>(Opts, Config.Seed,
+                                                    Config.MaxExecutions);
+  else {
+    std::fprintf(stderr, "unknown strategy '%s' (icb, dfs, db:N, random)\n",
+                 Config.Strategy.c_str());
+    return 2;
+  }
+
+  if (Config.Jobs != 1)
+    std::printf("exploring '%s' with %s (%u jobs)...\n", Test.Name.c_str(),
+                Explorer->name().c_str(),
+                Config.Jobs ? Config.Jobs : WorkerPool::defaultWorkers());
+  else
+    std::printf("exploring '%s' with %s...\n", Test.Name.c_str(),
+                Explorer->name().c_str());
+
+  rt::ExploreResult R;
+  if (const search::EngineSnapshot *Done = Sess.finishedResume()) {
+    std::printf("  checkpoint describes a finished run; re-emitting its "
+                "results\n");
+    R.Stats = Done->Stats;
+    R.Bugs = Done->Bugs;
+  } else {
+    R = Explorer->explore(Test);
+  }
+  std::printf("  executions %s, steps %s, visited states %s%s\n",
+              withCommas(R.Stats.Executions).c_str(),
+              withCommas(R.Stats.TotalSteps).c_str(),
+              withCommas(R.Stats.DistinctStates).c_str(),
+              R.Stats.Completed ? " (state space exhausted)" : "");
+  for (const rt::BoundCoverage &B : R.Stats.PerBound)
+    std::printf("  bound %u: executions %s, visited states %s\n", B.Bound,
+                withCommas(B.Executions).c_str(),
+                withCommas(B.States).c_str());
+  for (const rt::RtBug &Bug : R.Bugs)
+    std::printf("  BUG %s\n", Bug.str().c_str());
+  if (R.Bugs.empty() && !R.Interrupted)
+    std::printf("  no bug within preemption bound %u\n", Config.MaxBound);
+  if (Config.Trace && R.foundBug())
+    std::printf("\n%s",
+                rt::renderBugTrace(Test, *R.simplestBug(), Opts.Exec)
+                    .c_str());
+  int Rc = Sess.finish(R);
+  return std::max(Rc, R.foundBug() ? 1 : 0);
+}
+
+int icb::tool::runVm(const vm::Program &Prog, const RunConfig &Config,
+                     SessionState &S) {
+  search::SearchOptions Opts;
+  if (Config.Strategy == "icb")
+    Opts.Kind = search::StrategyKind::Icb;
+  else if (Config.Strategy == "dfs")
+    Opts.Kind = search::StrategyKind::Dfs;
+  else if (Config.Strategy == "random")
+    Opts.Kind = search::StrategyKind::Random;
+  else if (Config.Strategy.rfind("db:", 0) == 0) {
+    Opts.Kind = search::StrategyKind::DepthBoundedDfs;
+    Opts.DepthBound = static_cast<unsigned>(
+        std::strtoul(Config.Strategy.c_str() + 3, nullptr, 10));
+  } else {
+    std::fprintf(stderr, "unknown strategy '%s' (icb, dfs, db:N, random)\n",
+                 Config.Strategy.c_str());
+    return 2;
+  }
+  Opts.Seed = Config.Seed;
+  Opts.RandomExecutions = Config.MaxExecutions;
+  Opts.Jobs = Config.Jobs;
+  Opts.Shards = Config.Shards;
+  Opts.Limits.MaxExecutions = Config.MaxExecutions;
+  Opts.Limits.MaxPreemptionBound = Config.MaxBound;
+  Opts.Limits.StopAtFirstBug = Config.StopAtFirst;
+
+  RunSession Sess(S, Config, "vm");
+  if (Sess.failed())
+    return 4;
+  Opts.Observer = Sess.observer();
+  Opts.Resume = Sess.resumeSnapshot();
+  Opts.Metrics = Sess.metrics();
+
+  if (Config.Jobs != 1)
+    std::printf("exploring model '%s' with %s (%u jobs)...\n",
+                Prog.Name.c_str(), Config.Strategy.c_str(),
+                Config.Jobs ? Config.Jobs : WorkerPool::defaultWorkers());
+  else
+    std::printf("exploring model '%s' with %s...\n", Prog.Name.c_str(),
+                Config.Strategy.c_str());
+
+  search::SearchResult R;
+  if (const search::EngineSnapshot *Done = Sess.finishedResume()) {
+    std::printf("  checkpoint describes a finished run; re-emitting its "
+                "results\n");
+    R.Stats = Done->Stats;
+    R.Bugs = Done->Bugs;
+  } else {
+    R = search::checkProgram(Prog, Opts);
+  }
+  std::printf("  executions %s, steps %s, states %s%s\n",
+              withCommas(R.Stats.Executions).c_str(),
+              withCommas(R.Stats.TotalSteps).c_str(),
+              withCommas(R.Stats.DistinctStates).c_str(),
+              R.Stats.Completed ? " (state space exhausted)" : "");
+  for (const search::Bug &Bug : R.Bugs) {
+    std::printf("  BUG %s\n", Bug.str().c_str());
+    if (Config.Trace && !Bug.Schedule.empty()) {
+      std::printf("    schedule:");
+      for (vm::ThreadId Tid : Bug.Schedule)
+        std::printf(" %s", Prog.Threads[Tid].Name.c_str());
+      std::printf("\n");
+    }
+  }
+  if (R.Bugs.empty() && !R.Interrupted)
+    std::printf("  no bug within preemption bound %u\n", Config.MaxBound);
+  int Rc = Sess.finish(R);
+  return std::max(Rc, R.foundBug() ? 1 : 0);
+}
+
+//===----------------------------------------------------------------------===//
+// Replay driver
+//===----------------------------------------------------------------------===//
+
+int icb::tool::replayArtifact(const std::string &Path, bool Minimize,
+                              bool Trace, const ArtifactResolver &Resolve) {
+  session::ReproArtifact A;
+  std::string Error;
+  if (!session::loadRepro(Path, A, &Error)) {
+    std::fprintf(stderr, "%s\n", Error.c_str());
+    return 4;
+  }
+  std::function<rt::TestCase()> MakeRt;
+  std::function<vm::Program()> MakeVm;
+  if (!Resolve(A, MakeRt, MakeVm))
+    return 2;
+
+  std::printf("replaying %s (%s / %s, %s form)...\n", Path.c_str(),
+              A.Benchmark.c_str(), A.Bug.c_str(), A.Form.c_str());
+  session::ReplayOutcome Outcome;
+  if (A.Form == "rt")
+    Outcome = session::replayArtifactRt(A, MakeRt());
+  else
+    Outcome = session::replayArtifactVm(A, MakeVm());
+  std::printf("  %s\n", Outcome.Detail.c_str());
+  if (!Outcome.Reproduced)
+    return 3;
+  if (Trace && A.Form == "rt")
+    std::printf("\n%s",
+                rt::renderBugTrace(MakeRt(), Outcome.Observed,
+                                   session::reproExecOptions(A))
+                    .c_str());
+
+  if (!Minimize)
+    return 0;
+
+  session::MinimizeResult M = A.Form == "rt"
+                                  ? session::minimizeRt(A, MakeRt())
+                                  : session::minimizeVm(A, MakeVm());
+  if (!M.Reproduced) {
+    // Cannot happen after a successful replay unless the test is
+    // nondeterministic; report it rather than rewriting the artifact.
+    std::fprintf(stderr,
+                 "minimization could not re-reproduce the bug (%u replays)\n",
+                 M.Replays);
+    return 3;
+  }
+  std::printf("  minimized in %u replays: directives %u -> %u, preemptions "
+              "%u -> %u, steps %s -> %s\n",
+              M.Replays, M.DirectivesBefore, M.DirectivesAfter,
+              M.PreemptionsBefore, M.PreemptionsAfter,
+              withCommas(A.Found.Steps).c_str(),
+              withCommas(M.Minimized.Steps).c_str());
+  if (!M.Improved) {
+    std::printf("  schedule was already minimal; artifact unchanged\n");
+    return 0;
+  }
+  A.Found = M.Minimized;
+  if (!session::saveRepro(Path, A, &Error)) {
+    std::fprintf(stderr, "%s\n", Error.c_str());
+    return 4;
+  }
+  std::printf("  minimized artifact rewritten: %s\n", Path.c_str());
+  return 0;
+}
+
+//===----------------------------------------------------------------------===//
+// Report-side JSON helpers
+//===----------------------------------------------------------------------===//
+
+uint64_t icb::tool::jsonNum(const session::JsonValue *V, const char *Key) {
+  uint64_t Out = 0;
+  if (V)
+    V->getU64(Key, Out);
+  return Out;
+}
+
+std::string icb::tool::jsonStr(const session::JsonValue *V, const char *Key) {
+  std::string Out;
+  if (V)
+    V->getString(Key, Out);
+  return Out;
+}
+
+int icb::tool::loadJsonDoc(std::string Path, session::JsonValue &Doc) {
+  struct stat St;
+  if (::stat(Path.c_str(), &St) == 0 && S_ISDIR(St.st_mode))
+    Path += "/checkpoint.json";
+  std::string Text, Error;
+  if (!session::readFile(Path, Text, &Error)) {
+    std::fprintf(stderr, "%s\n", Error.c_str());
+    return 4;
+  }
+  if (!session::jsonParse(Text, Doc, &Error)) {
+    std::fprintf(stderr, "%s: %s\n", Path.c_str(), Error.c_str());
+    return 4;
+  }
+  return 0;
+}

@@ -11,34 +11,14 @@
 /// explore it. Reports bugs with their minimal preemption counts and can
 /// replay the counterexample as a full trace.
 ///
-/// Observability:
-///   --progress             single-line live ticker on stderr (bound,
-///                          executions/s, frontier, ETA); stdout stays
-///                          byte-identical with and without it
-///   --progress-every=MS    ticker period in milliseconds (implies
-///                          --progress)
-///   --json=FILE            each finished run record carries a `metrics`
-///                          block (deterministic counters + timing); feed
-///                          the manifest to tools/icb_report for tables
+/// All session machinery (manifest, checkpoints, resume, repro artifacts,
+/// replay/minimize, progress, metrics) lives in tools/common/ToolCommon.h
+/// and is shared with icb_run; this file contributes only what is
+/// registry-specific — benchmark/bug selection and artifact resolution.
 ///
 /// Exit codes (documented in --help): 0 clean, 1 bug found, 2 usage or
 /// configuration error, 3 replay mismatch, 4 session I/O failure, 130
 /// interrupted with a resumable checkpoint flushed.
-///
-/// The session flags make runs durable and bugs portable:
-///   --json=FILE            machine-readable run manifest, updated as the
-///                          run progresses (atomic rewrite per bound)
-///   --checkpoint-dir=DIR   periodic resumable checkpoints; SIGINT/SIGTERM
-///                          flush a final one before exiting
-///   --resume=DIR           continue a checkpointed run to results
-///                          identical to an uninterrupted run
-///   --repro-dir=DIR        write a self-contained .icbrepro artifact per
-///                          discovered bug
-///   --replay=FILE          re-execute a .icbrepro deterministically and
-///                          verify the same bug fires (exit 0 on success)
-///   --minimize             with --replay: delta-debug the schedule down
-///                          to a 1-minimal directive set and rewrite the
-///                          artifact in place
 ///
 /// Examples:
 ///   icb_check --list
@@ -54,25 +34,14 @@
 //===----------------------------------------------------------------------===//
 
 #include "benchmarks/Registry.h"
-#include "obs/Metrics.h"
-#include "obs/Progress.h"
-#include "rt/Explore.h"
-#include "search/Checker.h"
-#include "session/Checkpoint.h"
-#include "session/Manifest.h"
-#include "session/Minimize.h"
-#include "session/Repro.h"
-#include "session/Serial.h"
-#include "support/CommandLine.h"
-#include "support/Format.h"
-#include "support/WorkerPool.h"
-#include <chrono>
+#include "common/ToolCommon.h"
 #include <cstdio>
 #include <functional>
-#include <memory>
+#include <string>
 
 using namespace icb;
 using namespace icb::bench;
+using namespace icb::tool;
 
 namespace {
 
@@ -86,414 +55,6 @@ void listBenchmarks() {
       std::printf("      --bug=%-24s (paper bound %u)\n", B.Label.c_str(),
                   B.PaperBound);
   }
-}
-
-struct RunConfig {
-  std::string Strategy = "icb";
-  unsigned MaxBound = 4;
-  uint64_t MaxExecutions = 1u << 20;
-  uint64_t Seed = 1;
-  unsigned Jobs = 1;
-  unsigned Shards = 0;
-  bool Trace = false;
-  bool StopAtFirst = true;
-  bool EveryAccess = false;
-  bool PreferModel = false;
-  std::string Detector = "vc";
-  bool Progress = false;
-  uint64_t ProgressEveryMillis = 1000;
-};
-
-/// Session-wide state shared by the per-variant runs: manifest, repro
-/// output, checkpointing, and (for one variant) a loaded resume snapshot.
-struct SessionState {
-  session::Manifest *Json = nullptr;
-  std::string JsonPath;
-  std::string ReproDir;
-  std::string CheckpointDir;
-  uint64_t CheckpointEvery = 0;
-  const session::CheckpointData *Resume = nullptr;
-  std::string Benchmark; ///< Current run identity (set per variant).
-  std::string Bug;       ///< Bug variant label, "default" for none.
-};
-
-/// Bridges the engine observer to the optional checkpoint sink and the
-/// optional per-bound manifest refresh.
-class ToolObserver final : public search::EngineObserver {
-public:
-  session::CheckpointSink *Sink = nullptr;
-  obs::ProgressMeter *Meter = nullptr;
-  std::function<void(const search::BoundCoverage &)> BoundHook;
-
-  bool checkpointDue(uint64_t Executions) override {
-    return Sink && Sink->checkpointDue(Executions);
-  }
-  bool stopRequested() override { return Sink && Sink->stopRequested(); }
-  void onCheckpoint(const search::EngineSnapshot &Snap) override {
-    if (Sink)
-      Sink->onCheckpoint(Snap);
-  }
-  void onBoundComplete(const search::BoundCoverage &Snapshot) override {
-    if (BoundHook)
-      BoundHook(Snapshot);
-  }
-  // Polled by every worker on the hot path: the meter's deadline check is
-  // a single relaxed atomic load until a tick is actually due.
-  bool progressDue() override { return Meter && Meter->due(); }
-  void onProgress(const obs::ProgressSample &Sample) override {
-    if (Meter)
-      Meter->tick(Sample);
-  }
-};
-
-session::CheckpointMeta makeMeta(const SessionState &S, const RunConfig &C,
-                                 const char *Form) {
-  session::CheckpointMeta M;
-  M.Benchmark = S.Benchmark;
-  M.Bug = S.Bug;
-  M.Form = Form;
-  M.Strategy = C.Strategy;
-  M.Jobs = C.Jobs;
-  M.Shards = C.Shards;
-  M.Seed = C.Seed;
-  M.EveryAccess = C.EveryAccess;
-  M.Detector = C.Detector;
-  M.Limits.MaxExecutions = C.MaxExecutions;
-  M.Limits.MaxPreemptionBound = C.MaxBound;
-  M.Limits.StopAtFirstBug = C.StopAtFirst;
-  return M;
-}
-
-/// The manifest record of a run still in flight: identity plus the bounds
-/// finished so far.
-session::JsonValue partialRunRecord(
-    const SessionState &S, const char *Form, const RunConfig &C,
-    const std::vector<search::BoundCoverage> &Bounds) {
-  using session::JsonValue;
-  JsonValue Run = JsonValue::object();
-  Run.set("benchmark", JsonValue::str(S.Benchmark));
-  Run.set("bug", JsonValue::str(S.Bug));
-  Run.set("form", JsonValue::str(Form));
-  Run.set("strategy", JsonValue::str(C.Strategy));
-  Run.set("jobs", JsonValue::number(C.Jobs));
-  Run.set("in_progress", JsonValue::boolean(true));
-  JsonValue Arr = JsonValue::array();
-  for (const search::BoundCoverage &B : Bounds) {
-    JsonValue O = JsonValue::object();
-    O.set("bound", JsonValue::number(B.Bound));
-    O.set("states", JsonValue::number(B.States));
-    O.set("executions", JsonValue::number(B.Executions));
-    Arr.Arr.push_back(std::move(O));
-  }
-  Run.set("bounds_done", std::move(Arr));
-  return Run;
-}
-
-/// Per-run session plumbing shared by the runtime and model forms: opens
-/// the manifest record, installs signal handling + checkpoint sink when
-/// requested, and finalizes everything (repros, manifest, exit code)
-/// after the search returns.
-class RunSession {
-public:
-  RunSession(SessionState &S, const RunConfig &Config, const char *Form)
-      : S(S), Config(Config), Form(Form),
-        PriorWall(S.Resume ? S.Resume->WallMillis : 0) {
-    if (S.Json) {
-      RunIdx = S.Json->addRun(partialRunRecord(S, Form, Config, {}));
-      S.Json->writeTo(S.JsonPath, nullptr);
-      Obs.BoundHook = [this](const search::BoundCoverage &B) {
-        Bounds.push_back(B);
-        this->S.Json->updateRun(
-            RunIdx, partialRunRecord(this->S, this->Form, this->Config,
-                                     Bounds));
-        this->S.Json->writeTo(this->S.JsonPath, nullptr);
-      };
-    }
-    if (!S.CheckpointDir.empty()) {
-      std::string Err;
-      if (!session::ensureDir(S.CheckpointDir, &Err)) {
-        std::fprintf(stderr, "%s\n", Err.c_str());
-        Failed = true;
-        return;
-      }
-      Guard = std::make_unique<session::SignalGuard>();
-      Sink = std::make_unique<session::CheckpointSink>(
-          S.CheckpointDir, S.CheckpointEvery, makeMeta(S, Config, Form),
-          S.Resume ? S.Resume->Snap.Stats.Executions : 0, PriorWall);
-      Obs.Sink = Sink.get();
-    }
-    if (Config.Progress) {
-      Meter = std::make_unique<obs::ProgressMeter>(Config.ProgressEveryMillis);
-      Obs.Meter = Meter.get();
-    }
-  }
-
-  bool failed() const { return Failed; }
-  search::EngineObserver *observer() {
-    return (S.Json || Sink || Meter) ? &Obs : nullptr;
-  }
-  obs::MetricsRegistry *metrics() { return &Metrics; }
-  /// The engine-level snapshot to resume from (null when none, or when the
-  /// checkpoint describes a finished run — see finishedResume()).
-  const search::EngineSnapshot *resumeSnapshot() const {
-    return (S.Resume && !S.Resume->Snap.Final) ? &S.Resume->Snap : nullptr;
-  }
-  /// Non-null when --resume points at a finished run's final checkpoint:
-  /// its results are re-emitted without searching again.
-  const search::EngineSnapshot *finishedResume() const {
-    return (S.Resume && S.Resume->Snap.Final) ? &S.Resume->Snap : nullptr;
-  }
-
-  uint64_t wallMillis() const {
-    if (Sink)
-      return Sink->wallMillis();
-    auto Elapsed = std::chrono::steady_clock::now() - Start;
-    return PriorWall +
-           static_cast<uint64_t>(
-               std::chrono::duration_cast<std::chrono::milliseconds>(Elapsed)
-                   .count());
-  }
-
-  /// Repro artifacts, final manifest record, checkpoint error surfacing.
-  /// Returns the session part of the exit code (0, 4, or 130).
-  int finish(const search::SearchResult &R) {
-    int Rc = 0;
-    if (Meter) {
-      obs::ProgressSample Last;
-      Last.Bound = R.Stats.PerBound.empty() ? 0 : R.Stats.PerBound.back().Bound;
-      Last.MaxBound = Config.MaxBound;
-      Last.Executions = R.Stats.Executions;
-      Last.TotalSteps = R.Stats.TotalSteps;
-      Last.States = R.Stats.DistinctStates;
-      Last.Bugs = R.Bugs.size();
-      Meter->finish(Last);
-    }
-    std::vector<std::string> Repros;
-    if (!S.ReproDir.empty() && !R.Bugs.empty()) {
-      std::string Err;
-      if (!session::ensureDir(S.ReproDir, &Err)) {
-        std::fprintf(stderr, "%s\n", Err.c_str());
-        Rc = 4;
-      } else {
-        for (const search::Bug &B : R.Bugs) {
-          session::ReproArtifact A;
-          A.Benchmark = S.Benchmark;
-          A.Bug = S.Bug;
-          A.Form = Form;
-          A.EveryAccess = Config.EveryAccess;
-          A.Detector = Config.Detector;
-          A.Found = B;
-          std::string Path = S.ReproDir + "/" + session::reproFileName(A);
-          if (!session::saveRepro(Path, A, &Err)) {
-            std::fprintf(stderr, "repro write failed: %s\n", Err.c_str());
-            Rc = 4;
-          } else {
-            std::printf("  repro written: %s\n", Path.c_str());
-            Repros.push_back(Path);
-          }
-        }
-      }
-    }
-    if (S.Json) {
-      using session::JsonValue;
-      JsonValue Run = session::runRecord(S.Benchmark, S.Bug, Form,
-                                         Config.Strategy, Config.Jobs, R,
-                                         wallMillis());
-      JsonValue Arr = JsonValue::array();
-      for (const std::string &P : Repros)
-        Arr.Arr.push_back(JsonValue::str(P));
-      Run.set("repros", std::move(Arr));
-      obs::MetricsSnapshot MSnap = Metrics.snapshot();
-      if (!MSnap.empty())
-        Run.set("metrics", session::metricsToJson(MSnap));
-      S.Json->updateRun(RunIdx, std::move(Run));
-      std::string Err;
-      if (!S.Json->writeTo(S.JsonPath, &Err)) {
-        std::fprintf(stderr, "manifest write failed: %s\n", Err.c_str());
-        Rc = 4;
-      }
-    }
-    if (Sink && !Sink->ok()) {
-      std::fprintf(stderr, "checkpoint write failed: %s\n",
-                   Sink->error().c_str());
-      Rc = 4;
-    }
-    if (R.Interrupted) {
-      std::printf("  interrupted; resumable checkpoint in %s\n",
-                  S.CheckpointDir.c_str());
-      Rc = std::max(Rc, 130);
-    }
-    return Rc;
-  }
-
-private:
-  SessionState &S;
-  const RunConfig &Config;
-  const char *Form;
-  ToolObserver Obs;
-  std::unique_ptr<session::SignalGuard> Guard;
-  std::unique_ptr<session::CheckpointSink> Sink;
-  /// One registry per run: each variant's manifest record carries its own
-  /// metrics. Under ICB_NO_METRICS every shard stays zero, the snapshot
-  /// reports empty(), and the manifest block is simply omitted.
-  obs::MetricsRegistry Metrics;
-  std::unique_ptr<obs::ProgressMeter> Meter;
-  std::vector<search::BoundCoverage> Bounds;
-  size_t RunIdx = 0;
-  std::chrono::steady_clock::time_point Start =
-      std::chrono::steady_clock::now();
-  uint64_t PriorWall = 0;
-  bool Failed = false;
-};
-
-/// Runs one runtime-form test; returns 1 when a bug was found, 130 when
-/// interrupted, 2 on a configuration error, 4 on a session I/O failure.
-int runRt(const rt::TestCase &Test, const RunConfig &Config,
-          SessionState &S) {
-  rt::ExploreOptions Opts;
-  Opts.Limits.MaxExecutions = Config.MaxExecutions;
-  Opts.Limits.MaxPreemptionBound = Config.MaxBound;
-  Opts.Limits.StopAtFirstBug = Config.StopAtFirst;
-  Opts.Jobs = Config.Jobs;
-  Opts.Shards = Config.Shards;
-  if (Config.EveryAccess)
-    Opts.Exec.Mode = rt::SchedPointMode::EveryAccess;
-  Opts.Exec.Detector = Config.Detector == "goldilocks"
-                           ? rt::DetectorKind::Goldilocks
-                           : rt::DetectorKind::VectorClock;
-
-  RunSession Sess(S, Config, "rt");
-  if (Sess.failed())
-    return 4;
-  Opts.Observer = Sess.observer();
-  Opts.Resume = Sess.resumeSnapshot();
-  Opts.Metrics = Sess.metrics();
-
-  std::unique_ptr<rt::Explorer> Explorer;
-  if (Config.Strategy == "icb")
-    Explorer = std::make_unique<rt::IcbExplorer>(Opts);
-  else if (Config.Strategy == "dfs")
-    Explorer = std::make_unique<rt::DfsExplorer>(Opts);
-  else if (Config.Strategy.rfind("db:", 0) == 0)
-    Explorer = std::make_unique<rt::DfsExplorer>(
-        Opts, static_cast<unsigned>(
-                  std::strtoul(Config.Strategy.c_str() + 3, nullptr, 10)));
-  else if (Config.Strategy == "random")
-    Explorer = std::make_unique<rt::RandomExplorer>(Opts, Config.Seed,
-                                                    Config.MaxExecutions);
-  else {
-    std::fprintf(stderr, "unknown strategy '%s' (icb, dfs, db:N, random)\n",
-                 Config.Strategy.c_str());
-    return 2;
-  }
-
-  if (Config.Jobs != 1)
-    std::printf("exploring '%s' with %s (%u jobs)...\n", Test.Name.c_str(),
-                Explorer->name().c_str(),
-                Config.Jobs ? Config.Jobs : WorkerPool::defaultWorkers());
-  else
-    std::printf("exploring '%s' with %s...\n", Test.Name.c_str(),
-                Explorer->name().c_str());
-
-  rt::ExploreResult R;
-  if (const search::EngineSnapshot *Done = Sess.finishedResume()) {
-    std::printf("  checkpoint describes a finished run; re-emitting its "
-                "results\n");
-    R.Stats = Done->Stats;
-    R.Bugs = Done->Bugs;
-  } else {
-    R = Explorer->explore(Test);
-  }
-  std::printf("  executions %s, steps %s, visited states %s%s\n",
-              withCommas(R.Stats.Executions).c_str(),
-              withCommas(R.Stats.TotalSteps).c_str(),
-              withCommas(R.Stats.DistinctStates).c_str(),
-              R.Stats.Completed ? " (state space exhausted)" : "");
-  for (const rt::BoundCoverage &B : R.Stats.PerBound)
-    std::printf("  bound %u: executions %s, visited states %s\n", B.Bound,
-                withCommas(B.Executions).c_str(),
-                withCommas(B.States).c_str());
-  for (const rt::RtBug &Bug : R.Bugs)
-    std::printf("  BUG %s\n", Bug.str().c_str());
-  if (R.Bugs.empty() && !R.Interrupted)
-    std::printf("  no bug within preemption bound %u\n", Config.MaxBound);
-  if (Config.Trace && R.foundBug())
-    std::printf("\n%s",
-                rt::renderBugTrace(Test, *R.simplestBug(), Opts.Exec)
-                    .c_str());
-  int Rc = Sess.finish(R);
-  return std::max(Rc, R.foundBug() ? 1 : 0);
-}
-
-/// Runs one model-form test; same exit-code scheme as runRt.
-int runVm(const vm::Program &Prog, const RunConfig &Config,
-          SessionState &S) {
-  search::SearchOptions Opts;
-  if (Config.Strategy == "icb")
-    Opts.Kind = search::StrategyKind::Icb;
-  else if (Config.Strategy == "dfs")
-    Opts.Kind = search::StrategyKind::Dfs;
-  else if (Config.Strategy == "random")
-    Opts.Kind = search::StrategyKind::Random;
-  else if (Config.Strategy.rfind("db:", 0) == 0) {
-    Opts.Kind = search::StrategyKind::DepthBoundedDfs;
-    Opts.DepthBound = static_cast<unsigned>(
-        std::strtoul(Config.Strategy.c_str() + 3, nullptr, 10));
-  } else {
-    std::fprintf(stderr, "unknown strategy '%s' (icb, dfs, db:N, random)\n",
-                 Config.Strategy.c_str());
-    return 2;
-  }
-  Opts.Seed = Config.Seed;
-  Opts.RandomExecutions = Config.MaxExecutions;
-  Opts.Jobs = Config.Jobs;
-  Opts.Shards = Config.Shards;
-  Opts.Limits.MaxExecutions = Config.MaxExecutions;
-  Opts.Limits.MaxPreemptionBound = Config.MaxBound;
-  Opts.Limits.StopAtFirstBug = Config.StopAtFirst;
-
-  RunSession Sess(S, Config, "vm");
-  if (Sess.failed())
-    return 4;
-  Opts.Observer = Sess.observer();
-  Opts.Resume = Sess.resumeSnapshot();
-  Opts.Metrics = Sess.metrics();
-
-  if (Config.Jobs != 1)
-    std::printf("exploring model '%s' with %s (%u jobs)...\n",
-                Prog.Name.c_str(), Config.Strategy.c_str(),
-                Config.Jobs ? Config.Jobs : WorkerPool::defaultWorkers());
-  else
-    std::printf("exploring model '%s' with %s...\n", Prog.Name.c_str(),
-                Config.Strategy.c_str());
-
-  search::SearchResult R;
-  if (const search::EngineSnapshot *Done = Sess.finishedResume()) {
-    std::printf("  checkpoint describes a finished run; re-emitting its "
-                "results\n");
-    R.Stats = Done->Stats;
-    R.Bugs = Done->Bugs;
-  } else {
-    R = search::checkProgram(Prog, Opts);
-  }
-  std::printf("  executions %s, steps %s, states %s%s\n",
-              withCommas(R.Stats.Executions).c_str(),
-              withCommas(R.Stats.TotalSteps).c_str(),
-              withCommas(R.Stats.DistinctStates).c_str(),
-              R.Stats.Completed ? " (state space exhausted)" : "");
-  for (const search::Bug &Bug : R.Bugs) {
-    std::printf("  BUG %s\n", Bug.str().c_str());
-    if (Config.Trace && !Bug.Schedule.empty()) {
-      std::printf("    schedule:");
-      for (vm::ThreadId Tid : Bug.Schedule)
-        std::printf(" %s", Prog.Threads[Tid].Name.c_str());
-      std::printf("\n");
-    }
-  }
-  if (R.Bugs.empty() && !R.Interrupted)
-    std::printf("  no bug within preemption bound %u\n", Config.MaxBound);
-  int Rc = Sess.finish(R);
-  return std::max(Rc, R.foundBug() ? 1 : 0);
 }
 
 /// Resolves a repro artifact's (benchmark, bug) names against the
@@ -538,125 +99,21 @@ bool resolveArtifact(const session::ReproArtifact &A,
   return true;
 }
 
-/// The --replay[=--minimize] entry: deterministic re-execution of one
-/// .icbrepro. Exit 0 iff the recorded bug reproduces (and, with
-/// --minimize, the artifact was rewritten); 3 when the bug fails to
-/// reproduce, 2 when the artifact names an unknown benchmark/bug, 4 when
-/// the file cannot be read or rewritten.
-int replayArtifact(const std::string &Path, bool Minimize, bool Trace) {
-  session::ReproArtifact A;
-  std::string Error;
-  if (!session::loadRepro(Path, A, &Error)) {
-    std::fprintf(stderr, "%s\n", Error.c_str());
-    return 4;
-  }
-  std::function<rt::TestCase()> MakeRt;
-  std::function<vm::Program()> MakeVm;
-  if (!resolveArtifact(A, MakeRt, MakeVm))
-    return 2;
-
-  std::printf("replaying %s (%s / %s, %s form)...\n", Path.c_str(),
-              A.Benchmark.c_str(), A.Bug.c_str(), A.Form.c_str());
-  session::ReplayOutcome Outcome;
-  if (A.Form == "rt")
-    Outcome = session::replayArtifactRt(A, MakeRt());
-  else
-    Outcome = session::replayArtifactVm(A, MakeVm());
-  std::printf("  %s\n", Outcome.Detail.c_str());
-  if (!Outcome.Reproduced)
-    return 3;
-  if (Trace && A.Form == "rt")
-    std::printf("\n%s",
-                rt::renderBugTrace(MakeRt(), Outcome.Observed,
-                                   session::reproExecOptions(A))
-                    .c_str());
-
-  if (!Minimize)
-    return 0;
-
-  session::MinimizeResult M = A.Form == "rt"
-                                  ? session::minimizeRt(A, MakeRt())
-                                  : session::minimizeVm(A, MakeVm());
-  if (!M.Reproduced) {
-    // Cannot happen after a successful replay unless the test is
-    // nondeterministic; report it rather than rewriting the artifact.
-    std::fprintf(stderr,
-                 "minimization could not re-reproduce the bug (%u replays)\n",
-                 M.Replays);
-    return 3;
-  }
-  std::printf("  minimized in %u replays: directives %u -> %u, preemptions "
-              "%u -> %u, steps %s -> %s\n",
-              M.Replays, M.DirectivesBefore, M.DirectivesAfter,
-              M.PreemptionsBefore, M.PreemptionsAfter,
-              withCommas(A.Found.Steps).c_str(),
-              withCommas(M.Minimized.Steps).c_str());
-  if (!M.Improved) {
-    std::printf("  schedule was already minimal; artifact unchanged\n");
-    return 0;
-  }
-  A.Found = M.Minimized;
-  if (!session::saveRepro(Path, A, &Error)) {
-    std::fprintf(stderr, "%s\n", Error.c_str());
-    return 4;
-  }
-  std::printf("  minimized artifact rewritten: %s\n", Path.c_str());
-  return 0;
-}
-
 } // namespace
 
 int main(int Argc, char **Argv) {
   FlagSet Flags(
-      "icb_check: systematic concurrency testing with iterative "
-      "context bounding (PLDI'07 reproduction)\n"
-      "\n"
-      "exit codes:\n"
-      "  0    clean: no bug within the explored bound, or the replayed /\n"
-      "       minimized artifact reproduced its bug\n"
-      "  1    a bug was found by the search\n"
-      "  2    usage or configuration error\n"
-      "  3    replay mismatch: the recorded bug did not reproduce\n"
-      "  4    session I/O failure (manifest, checkpoint, or repro file)\n"
-      "  130  interrupted; a resumable checkpoint was flushed first");
+      std::string("icb_check: systematic concurrency testing with iterative "
+                  "context bounding (PLDI'07 reproduction)\n\n") +
+      kExitCodesHelp);
   Flags.addBool("list", false, "list benchmarks and seeded bugs, then exit");
   Flags.addString("benchmark", "", "benchmark name from --list");
   Flags.addString("bug", "none",
                   "seeded bug label, 'all', or 'none' (correct variant)");
-  Flags.addString("strategy", "icb", "icb, dfs, db:N, or random");
-  Flags.addInt("max-bound", 4, "maximum preemption bound (icb)");
-  Flags.addInt("max-executions", 1 << 20, "execution budget");
-  Flags.addInt("seed", 1, "PRNG seed (random strategy)");
-  Flags.addInt("jobs", 1,
-               "worker threads for the icb strategy, model or runtime form "
-               "(0 = hardware concurrency)");
-  Flags.addInt("shards", 0,
-               "state-cache shards with --jobs != 1 (0 = auto)");
   Flags.addBool("model", false,
                 "prefer the model-VM form when a benchmark has both");
-  Flags.addBool("trace", false, "replay and print the counterexample");
-  Flags.addBool("keep-going", false, "collect all bugs, not just the first");
-  Flags.addBool("every-access", false,
-                "scheduling points at every data access (ablation mode)");
-  Flags.addString("detector", "vc", "race detector: vc or goldilocks");
-  Flags.addBool("progress", false,
-                "live single-line progress ticker on stderr");
-  Flags.addInt("progress-every", 1000,
-               "progress ticker period in milliseconds (implies --progress)");
-  Flags.addString("json", "", "write a machine-readable run manifest here");
-  Flags.addString("checkpoint-dir", "",
-                  "write resumable checkpoints into this directory (icb)");
-  Flags.addInt("checkpoint-every", 4096,
-               "checkpoint period in executions (0 = only on signal/finish)");
-  Flags.addString("resume", "",
-                  "resume the checkpointed run in this directory");
-  Flags.addString("replay", "",
-                  "replay a .icbrepro artifact and verify its bug fires");
-  Flags.addBool("minimize", false,
-                "with --replay: delta-debug the schedule, rewrite the "
-                "artifact in place");
-  Flags.addString("repro-dir", "",
-                  "write a .icbrepro artifact per discovered bug here");
+  addSearchFlags(Flags);
+  addSessionFlags(Flags);
   std::string Error;
   if (!Flags.parse(Argc, Argv, &Error)) {
     std::fprintf(stderr, "%s\n", Error.c_str());
@@ -667,26 +124,12 @@ int main(int Argc, char **Argv) {
     return 0;
   }
 
-  // --replay is a mode of its own: a deterministic re-execution, not a
-  // search. Any search/session flag alongside it is incoherent.
   if (!Flags.getString("replay").empty()) {
-    static const char *const Incompatible[] = {
-        "benchmark", "bug",          "strategy",        "max-bound",
-        "max-executions", "seed",    "jobs",            "shards",
-        "model",     "keep-going",   "every-access",    "detector",
-        "json",      "checkpoint-dir", "checkpoint-every", "resume",
-        "repro-dir", "progress",     "progress-every",
-    };
-    for (const char *Name : Incompatible)
-      if (Flags.wasSet(Name)) {
-        std::fprintf(stderr,
-                     "--replay re-executes a recorded artifact; --%s "
-                     "cannot be combined with it\n",
-                     Name);
-        return 2;
-      }
+    if (!checkReplayExclusive(Flags, {"benchmark", "bug", "model"}))
+      return 2;
     return replayArtifact(Flags.getString("replay"),
-                          Flags.getBool("minimize"), Flags.getBool("trace"));
+                          Flags.getBool("minimize"), Flags.getBool("trace"),
+                          resolveArtifact);
   }
   if (Flags.getBool("minimize")) {
     std::fprintf(stderr, "--minimize requires --replay=FILE\n");
@@ -694,138 +137,31 @@ int main(int Argc, char **Argv) {
   }
 
   RunConfig Config;
-  Config.Strategy = Flags.getString("strategy");
-  Config.MaxBound = static_cast<unsigned>(Flags.getInt("max-bound"));
-  Config.MaxExecutions =
-      static_cast<uint64_t>(Flags.getInt("max-executions"));
-  Config.Seed = static_cast<uint64_t>(Flags.getInt("seed"));
-  Config.Trace = Flags.getBool("trace");
-  Config.StopAtFirst = !Flags.getBool("keep-going");
-  Config.EveryAccess = Flags.getBool("every-access");
-  Config.Detector = Flags.getString("detector");
-  Config.Jobs = static_cast<unsigned>(Flags.getInt("jobs"));
-  Config.Shards = static_cast<unsigned>(Flags.getInt("shards"));
-  Config.PreferModel = Flags.getBool("model");
-  Config.Progress =
-      Flags.getBool("progress") || Flags.wasSet("progress-every");
-  Config.ProgressEveryMillis =
-      static_cast<uint64_t>(Flags.getInt("progress-every"));
-  if (Config.Progress && Flags.getInt("progress-every") <= 0) {
-    std::fprintf(stderr, "--progress-every must be positive (milliseconds)\n");
+  if (!readRunConfig(Flags, Config))
     return 2;
-  }
+  Config.PreferModel = Flags.getBool("model");
 
   std::string BenchName = Flags.getString("benchmark");
   std::string BugLabel = Flags.getString("bug");
 
-  // Reject flag combinations that have no defined meaning rather than
-  // silently ignoring a flag or falling back to another engine.
-  if (Config.Jobs != 1 && Config.Strategy != "icb") {
-    std::fprintf(stderr,
-                 "--jobs applies to the icb strategy only (got --strategy=%s)\n",
-                 Config.Strategy.c_str());
+  SessionState S;
+  std::string ResumeDir;
+  if (!readSessionFlags(Flags, S, ResumeDir))
     return 2;
-  }
-  if (Config.Shards != 0 && Config.Jobs == 1) {
-    std::fprintf(stderr,
-                 "--shards configures the parallel engine; it requires "
-                 "--jobs != 1\n");
-    return 2;
-  }
-  if (!Flags.getString("checkpoint-dir").empty() &&
-      !Flags.getString("resume").empty()) {
-    std::fprintf(stderr,
-                 "--resume continues checkpointing into its own directory; "
-                 "do not also pass --checkpoint-dir\n");
-    return 2;
-  }
-  if (Flags.wasSet("checkpoint-every") &&
-      Flags.getString("checkpoint-dir").empty() &&
-      Flags.getString("resume").empty()) {
-    std::fprintf(stderr,
-                 "--checkpoint-every requires --checkpoint-dir or --resume\n");
-    return 2;
-  }
 
   // Resume: load the checkpoint, refuse explicitly conflicting flags, and
-  // let everything unset adopt the recorded configuration.
+  // let everything unset adopt the recorded configuration (--jobs/--shards
+  // may reshape the worker pool; the frontier is topology-neutral).
   session::CheckpointData ResumeData;
-  SessionState S;
-  std::string ResumeDir = Flags.getString("resume");
   if (!ResumeDir.empty()) {
-    if (!session::loadCheckpoint(session::checkpointPath(ResumeDir),
-                                 ResumeData, &Error)) {
-      std::fprintf(stderr, "--resume: %s\n", Error.c_str());
-      return 4;
-    }
-    const session::CheckpointMeta &M = ResumeData.Meta;
-    bool Bad = false;
-    auto Conflict = [&](const char *Flag, const std::string &Cli,
-                        const std::string &Recorded) {
-      std::fprintf(stderr,
-                   "--resume: --%s=%s conflicts with the checkpoint's "
-                   "recorded %s=%s\n",
-                   Flag, Cli.c_str(), Flag, Recorded.c_str());
-      Bad = true;
-    };
-    auto CheckStr = [&](const char *Flag, const std::string &Cli,
-                        const std::string &Recorded) {
-      if (Flags.wasSet(Flag) && Cli != Recorded)
-        Conflict(Flag, Cli, Recorded);
-    };
-    auto CheckNum = [&](const char *Flag, uint64_t Cli, uint64_t Recorded) {
-      if (Flags.wasSet(Flag) && Cli != Recorded)
-        Conflict(Flag, std::to_string(Cli), std::to_string(Recorded));
-    };
-    auto CheckBool = [&](const char *Flag, bool Cli, bool Recorded) {
-      if (Flags.wasSet(Flag) && Cli != Recorded)
-        Conflict(Flag, Cli ? "true" : "false", Recorded ? "true" : "false");
-    };
-    CheckStr("benchmark", BenchName, M.Benchmark);
-    CheckStr("bug", BugLabel == "none" ? "default" : BugLabel, M.Bug);
-    CheckStr("strategy", Config.Strategy, M.Strategy);
-    CheckStr("detector", Config.Detector, M.Detector);
-    CheckNum("jobs", Config.Jobs, M.Jobs);
-    CheckNum("shards", Config.Shards, M.Shards);
-    CheckNum("seed", Config.Seed, M.Seed);
-    CheckNum("max-bound", Config.MaxBound, M.Limits.MaxPreemptionBound);
-    CheckNum("max-executions", Config.MaxExecutions,
-             M.Limits.MaxExecutions);
-    CheckBool("every-access", Config.EveryAccess, M.EveryAccess);
-    CheckBool("keep-going", !Config.StopAtFirst, !M.Limits.StopAtFirstBug);
-    CheckBool("model", Config.PreferModel, M.Form == "vm");
-    if (Bad)
-      return 2;
-
-    Config.Strategy = M.Strategy;
-    Config.Detector = M.Detector;
-    Config.Jobs = M.Jobs;
-    Config.Shards = M.Shards;
-    Config.Seed = M.Seed;
-    Config.MaxBound = M.Limits.MaxPreemptionBound;
-    Config.MaxExecutions = M.Limits.MaxExecutions;
-    Config.EveryAccess = M.EveryAccess;
-    Config.StopAtFirst = M.Limits.StopAtFirstBug;
-    Config.PreferModel = M.Form == "vm";
-    BenchName = M.Benchmark;
-    BugLabel = M.Bug == "default" ? "none" : M.Bug;
-    S.Resume = &ResumeData;
-    S.CheckpointDir = ResumeDir;
-  } else {
-    S.CheckpointDir = Flags.getString("checkpoint-dir");
+    int Rc = applyResume(Flags, ResumeDir, ResumeData, Config, S, &BenchName,
+                         &BugLabel);
+    if (Rc)
+      return Rc;
   }
-  S.CheckpointEvery =
-      static_cast<uint64_t>(Flags.getInt("checkpoint-every"));
-  S.ReproDir = Flags.getString("repro-dir");
-  S.JsonPath = Flags.getString("json");
 
-  if (!S.CheckpointDir.empty() && Config.Strategy != "icb") {
-    std::fprintf(stderr,
-                 "--checkpoint-dir/--resume apply to the icb strategy only "
-                 "(got --strategy=%s)\n",
-                 Config.Strategy.c_str());
+  if (!checkSessionStrategy(Config, S))
     return 2;
-  }
   if (!S.CheckpointDir.empty() && BugLabel == "all") {
     std::fprintf(stderr,
                  "--checkpoint-dir/--resume track a single run; use a "
@@ -844,19 +180,10 @@ int main(int Argc, char **Argv) {
   session::Manifest Manifest("icb_check");
   if (!S.JsonPath.empty()) {
     using session::JsonValue;
-    JsonValue Cfg = JsonValue::object();
+    JsonValue Cfg = configRecord(Config);
     Cfg.set("benchmark", JsonValue::str(BenchName));
     Cfg.set("bug", JsonValue::str(BugLabel));
-    Cfg.set("strategy", JsonValue::str(Config.Strategy));
-    Cfg.set("max_bound", JsonValue::number(Config.MaxBound));
-    Cfg.set("max_executions", JsonValue::number(Config.MaxExecutions));
-    Cfg.set("seed", JsonValue::number(Config.Seed));
-    Cfg.set("jobs", JsonValue::number(Config.Jobs));
-    Cfg.set("shards", JsonValue::number(Config.Shards));
     Cfg.set("model", JsonValue::boolean(Config.PreferModel));
-    Cfg.set("every_access", JsonValue::boolean(Config.EveryAccess));
-    Cfg.set("detector", JsonValue::str(Config.Detector));
-    Cfg.set("keep_going", JsonValue::boolean(!Config.StopAtFirst));
     if (!ResumeDir.empty())
       Cfg.set("resumed_from", JsonValue::str(ResumeDir));
     Manifest.setConfig(std::move(Cfg));

@@ -20,32 +20,29 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "common/ToolCommon.h"
 #include "session/Json.h"
 #include "support/CommandLine.h"
 #include "support/Format.h"
 #include <cinttypes>
 #include <cstdio>
 #include <string>
-#include <sys/stat.h>
 #include <vector>
 
 using namespace icb;
 using session::JsonValue;
+using tool::jsonNum;
+using tool::jsonStr;
 
 namespace {
 
+// Field reads shared with the other tools (tools/common/ToolCommon.h).
 uint64_t numField(const JsonValue *V, const char *Key) {
-  uint64_t Out = 0;
-  if (V)
-    V->getU64(Key, Out);
-  return Out;
+  return jsonNum(V, Key);
 }
 
 std::string strField(const JsonValue *V, const char *Key) {
-  std::string Out;
-  if (V)
-    V->getString(Key, Out);
-  return Out;
+  return jsonStr(V, Key);
 }
 
 /// Nanoseconds as milliseconds with 3 decimals ("12.345").
@@ -333,20 +330,9 @@ int main(int Argc, char **Argv) {
     return 2;
   }
   std::string Path = Flags.positional()[0];
-  struct stat St;
-  if (::stat(Path.c_str(), &St) == 0 && S_ISDIR(St.st_mode))
-    Path += "/checkpoint.json";
-
-  std::string Text;
-  if (!session::readFile(Path, Text, &Error)) {
-    std::fprintf(stderr, "%s\n", Error.c_str());
-    return 4;
-  }
   JsonValue Doc;
-  if (!session::jsonParse(Text, Doc, &Error)) {
-    std::fprintf(stderr, "%s: %s\n", Path.c_str(), Error.c_str());
-    return 4;
-  }
+  if (int Rc = tool::loadJsonDoc(Path, Doc))
+    return Rc;
   if (Doc.find("icb_checkpoint"))
     return reportCheckpoint(Doc);
   if (Doc.find("runs"))

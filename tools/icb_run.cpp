@@ -1,0 +1,164 @@
+//===- tools/icb_run.cpp - Systematic checker for pthreads modules ---------===//
+//
+// Part of the ICB project (PLDI'07 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Runs the ICB engine over an ordinary pthreads test program compiled as
+/// a shared object — the CHESS-style "wrap a real test binary" workflow.
+/// The module exports
+///
+///     extern "C" void icb_test_main(void);        // required
+///     extern "C" const char *icb_test_name(void); // optional
+///
+/// and calls plain pthread/sem functions, redirected into the icb::posix
+/// shim either by including <icb/posix.h> (macro renaming) or by linking
+/// the module with the ICB_POSIX_WRAP link options (no source changes at
+/// all). The undefined icb_* / __wrap_* references resolve against this
+/// executable at dlopen time, which is why it is linked ENABLE_EXPORTS.
+///
+/// All search and session flags are shared with icb_check (see
+/// tools/common/ToolCommon.h): --jobs, --checkpoint-dir/--resume,
+/// --repro-dir/--replay/--minimize, --json, --progress all behave
+/// identically.
+///
+/// Examples:
+///   icb_run prod_cons.so
+///   icb_run prod_cons.so --max-bound=2 --jobs=4 --repro-dir=.
+///   icb_run prod_cons.so --replay=prod_cons-default-deadlock.icbrepro
+///   icb_run racy_flag.so --trace
+///
+//===----------------------------------------------------------------------===//
+
+#include "common/ToolCommon.h"
+#include "posix/Module.h"
+#include <cstdio>
+#include <string>
+
+using namespace icb;
+using namespace icb::tool;
+
+int main(int Argc, char **Argv) {
+  FlagSet Flags(
+      std::string("icb_run: systematic concurrency testing of a pthreads "
+                  "test module (PLDI'07 reproduction)\n"
+                  "\n"
+                  "usage: icb_run [flags] MODULE.so\n"
+                  "  MODULE.so exports `void icb_test_main(void)` and uses "
+                  "plain pthreads,\n"
+                  "  redirected through the icb::posix shim (include "
+                  "icb/posix.h, or link\n"
+                  "  the module with the --wrap options of icb_posix_wrap)\n"
+                  "\n") +
+      kExitCodesHelp);
+  addSearchFlags(Flags);
+  addSessionFlags(Flags);
+  std::string Error;
+  if (!Flags.parse(Argc, Argv, &Error)) {
+    std::fprintf(stderr, "%s\n", Error.c_str());
+    return 2;
+  }
+  if (Flags.positional().size() != 1) {
+    std::fprintf(stderr, "%s\n",
+                 Flags.usage(Argv[0] ? Argv[0] : "icb_run").c_str());
+    return 2;
+  }
+
+  posix::TestModule Module;
+  if (!posix::loadTestModule(Flags.positional()[0], Module, Error)) {
+    std::fprintf(stderr, "%s\n", Error.c_str());
+    return 2;
+  }
+
+  // --replay: the artifact must have been recorded through this frontend
+  // against the same module; the module itself is the resolver.
+  if (!Flags.getString("replay").empty()) {
+    if (!checkReplayExclusive(Flags, {}))
+      return 2;
+    auto Resolve = [&Module](const session::ReproArtifact &A,
+                             std::function<rt::TestCase()> &MakeRt,
+                             std::function<vm::Program()> &MakeVm) {
+      (void)MakeVm;
+      if (A.Form != "rt") {
+        std::fprintf(stderr,
+                     "repro records the %s form; icb_run replays only "
+                     "runtime-form (posix) artifacts\n",
+                     A.Form.c_str());
+        return false;
+      }
+      if (A.Benchmark != Module.Name) {
+        std::fprintf(stderr,
+                     "repro was recorded against test '%s', but this module "
+                     "is '%s'\n",
+                     A.Benchmark.c_str(), Module.Name.c_str());
+        return false;
+      }
+      MakeRt = [&Module] { return posix::moduleTestCase(Module); };
+      return true;
+    };
+    return replayArtifact(Flags.getString("replay"),
+                          Flags.getBool("minimize"), Flags.getBool("trace"),
+                          Resolve);
+  }
+  if (Flags.getBool("minimize")) {
+    std::fprintf(stderr, "--minimize requires --replay=FILE\n");
+    return 2;
+  }
+
+  RunConfig Config;
+  if (!readRunConfig(Flags, Config))
+    return 2;
+
+  SessionState S;
+  std::string ResumeDir;
+  if (!readSessionFlags(Flags, S, ResumeDir))
+    return 2;
+
+  session::CheckpointData ResumeData;
+  if (!ResumeDir.empty()) {
+    int Rc = applyResume(Flags, ResumeDir, ResumeData, Config, S,
+                         /*BenchName=*/nullptr, /*BugLabel=*/nullptr);
+    if (Rc)
+      return Rc;
+    // The checkpoint has no --benchmark flag to check against; the module
+    // on the command line is the identity, so verify it matches.
+    if (ResumeData.Meta.Form != "rt") {
+      std::fprintf(stderr,
+                   "--resume: checkpoint was taken on the %s form; icb_run "
+                   "runs the runtime form only\n",
+                   ResumeData.Meta.Form.c_str());
+      return 2;
+    }
+    if (ResumeData.Meta.Benchmark != Module.Name) {
+      std::fprintf(stderr,
+                   "--resume: checkpoint records test '%s', but this module "
+                   "is '%s'\n",
+                   ResumeData.Meta.Benchmark.c_str(), Module.Name.c_str());
+      return 2;
+    }
+  }
+
+  if (!checkSessionStrategy(Config, S))
+    return 2;
+
+  session::Manifest Manifest("icb_run");
+  if (!S.JsonPath.empty()) {
+    using session::JsonValue;
+    JsonValue Cfg = configRecord(Config);
+    Cfg.set("module", JsonValue::str(Module.Path));
+    Cfg.set("test", JsonValue::str(Module.Name));
+    if (!ResumeDir.empty())
+      Cfg.set("resumed_from", JsonValue::str(ResumeDir));
+    Manifest.setConfig(std::move(Cfg));
+    S.Json = &Manifest;
+    if (!Manifest.writeTo(S.JsonPath, &Error)) {
+      std::fprintf(stderr, "%s\n", Error.c_str());
+      return 4;
+    }
+  }
+
+  S.Benchmark = Module.Name;
+  S.Bug = "default";
+  return runRt(posix::moduleTestCase(Module), Config, S);
+}
