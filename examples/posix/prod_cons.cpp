@@ -36,7 +36,11 @@ namespace {
 pthread_mutex_t Lock = PTHREAD_MUTEX_INITIALIZER;
 pthread_cond_t Ready = PTHREAD_COND_INITIALIZER;
 sem_t Tick;
-int DataReady;
+// thread_local: under `icb_run --jobs N` the N workers run concurrent
+// executions of this module in one process, so mutable test state needs
+// one copy per worker (the worker's modeled threads — fibers — share it).
+// The sync objects above need no copy: only their addresses are used.
+thread_local int DataReady;
 
 void *consumer(void *) {
   // Announce interest, then (bug) publish/wait non-atomically.

@@ -25,7 +25,8 @@
 namespace {
 
 pthread_mutex_t Lock = PTHREAD_MUTEX_INITIALIZER;
-int Flag;
+// One copy per icb_run worker; see prod_cons.cpp.
+thread_local int Flag;
 
 void *setter(void *) {
   // BUG: writes the flag without holding Lock.

@@ -57,6 +57,17 @@
 #include <time.h>
 #include <unistd.h>
 
+/* C11 <threads.h> is shimmed too (thrd_*, mtx_*, cnd_*, tss_*, call_once)
+ * when the libc provides it; the aliases reuse the pthread translation —
+ * mtx_t/cnd_t/tss_t/once_flag are opaque address keys exactly like their
+ * pthread twins. */
+#if defined(__has_include)
+#if __has_include(<threads.h>)
+#define ICB_POSIX_HAS_THREADS_H 1
+#include <threads.h>
+#endif
+#endif
+
 #ifdef __cplusplus
 extern "C" {
 #endif
@@ -110,6 +121,30 @@ int icb_pthread_rwlock_wrlock(pthread_rwlock_t *RW);
 int icb_pthread_rwlock_trywrlock(pthread_rwlock_t *RW);
 int icb_pthread_rwlock_unlock(pthread_rwlock_t *RW);
 
+/* --- Barriers ---------------------------------------------------------- */
+
+int icb_pthread_barrier_init(pthread_barrier_t *B,
+                             const pthread_barrierattr_t *A, unsigned Count);
+int icb_pthread_barrier_destroy(pthread_barrier_t *B);
+/* Returns PTHREAD_BARRIER_SERIAL_THREAD for the releasing arrival and 0
+ * for the others, like the real primitive. */
+int icb_pthread_barrier_wait(pthread_barrier_t *B);
+
+int icb_pthread_barrierattr_init(pthread_barrierattr_t *A);
+int icb_pthread_barrierattr_destroy(pthread_barrierattr_t *A);
+
+/* --- Spinlocks ----------------------------------------------------------
+ * Under a model scheduler a spinning acquire and a blocking acquire are
+ * the same thing: the scheduler simply never runs the spinner until the
+ * lock is free. A self-relock therefore spins forever and is reported as
+ * the deadlock it is (POSIX leaves it undefined / optional EDEADLK). */
+
+int icb_pthread_spin_init(pthread_spinlock_t *S, int PShared);
+int icb_pthread_spin_destroy(pthread_spinlock_t *S);
+int icb_pthread_spin_lock(pthread_spinlock_t *S);
+int icb_pthread_spin_trylock(pthread_spinlock_t *S);
+int icb_pthread_spin_unlock(pthread_spinlock_t *S);
+
 /* --- Semaphores (return -1 and set errno on failure, like the real
  *     sem_* family) ----------------------------------------------------- */
 
@@ -135,6 +170,49 @@ int icb_sched_yield(void);
 int icb_usleep(unsigned Usec);
 unsigned icb_sleep(unsigned Seconds);
 int icb_nanosleep(const struct timespec *Req, struct timespec *Rem);
+
+/* --- C11 threads (aliases over the same translation) ------------------- */
+
+#ifdef ICB_POSIX_HAS_THREADS_H
+
+int icb_thrd_create(thrd_t *Thr, thrd_start_t Fn, void *Arg);
+int icb_thrd_join(thrd_t Thr, int *Res);
+int icb_thrd_detach(thrd_t Thr);
+thrd_t icb_thrd_current(void);
+int icb_thrd_equal(thrd_t A, thrd_t B);
+#if defined(__GNUC__) || defined(__clang__)
+__attribute__((noreturn))
+#endif
+void icb_thrd_exit(int Res);
+void icb_thrd_yield(void);
+int icb_thrd_sleep(const struct timespec *Dur, struct timespec *Rem);
+
+int icb_mtx_init(mtx_t *M, int Type);
+void icb_mtx_destroy(mtx_t *M);
+int icb_mtx_lock(mtx_t *M);
+/* mtx_timedlock: the model has no clock; the acquire simply blocks, and a
+ * lock that can never arrive is reported as the deadlock it is. */
+int icb_mtx_timedlock(mtx_t *M, const struct timespec *Deadline);
+int icb_mtx_trylock(mtx_t *M);
+int icb_mtx_unlock(mtx_t *M);
+
+int icb_cnd_init(cnd_t *C);
+void icb_cnd_destroy(cnd_t *C);
+int icb_cnd_wait(cnd_t *C, mtx_t *M);
+/* Modeled timeout, like pthread_cond_timedwait: waking unsignaled IS the
+ * expiry, so both outcomes of every signal/timeout race are explored. */
+int icb_cnd_timedwait(cnd_t *C, mtx_t *M, const struct timespec *Deadline);
+int icb_cnd_signal(cnd_t *C);
+int icb_cnd_broadcast(cnd_t *C);
+
+void icb_call_once(once_flag *Flag, void (*Fn)(void));
+
+int icb_tss_create(tss_t *Key, tss_dtor_t Dtor);
+void icb_tss_delete(tss_t Key);
+int icb_tss_set(tss_t Key, void *Value);
+void *icb_tss_get(tss_t Key);
+
+#endif /* ICB_POSIX_HAS_THREADS_H */
 
 /* --- Checker surface (no pthreads equivalent) -------------------------- */
 
@@ -196,6 +274,18 @@ void icb_posix_assert(int Cond, const char *What);
 #define pthread_rwlock_trywrlock(l) icb_pthread_rwlock_trywrlock(l)
 #define pthread_rwlock_unlock(l) icb_pthread_rwlock_unlock(l)
 
+#define pthread_barrier_init(b, a, n) icb_pthread_barrier_init(b, a, n)
+#define pthread_barrier_destroy(b) icb_pthread_barrier_destroy(b)
+#define pthread_barrier_wait(b) icb_pthread_barrier_wait(b)
+#define pthread_barrierattr_init(a) icb_pthread_barrierattr_init(a)
+#define pthread_barrierattr_destroy(a) icb_pthread_barrierattr_destroy(a)
+
+#define pthread_spin_init(s, p) icb_pthread_spin_init(s, p)
+#define pthread_spin_destroy(s) icb_pthread_spin_destroy(s)
+#define pthread_spin_lock(s) icb_pthread_spin_lock(s)
+#define pthread_spin_trylock(s) icb_pthread_spin_trylock(s)
+#define pthread_spin_unlock(s) icb_pthread_spin_unlock(s)
+
 #define sem_init(s, p, v) icb_sem_init(s, p, v)
 #define sem_destroy(s) icb_sem_destroy(s)
 #define sem_wait(s) icb_sem_wait(s)
@@ -214,6 +304,40 @@ void icb_posix_assert(int Cond, const char *What);
 #define usleep(us) icb_usleep(us)
 #define sleep(s) icb_sleep(s)
 #define nanosleep(rq, rm) icb_nanosleep(rq, rm)
+
+#ifdef ICB_POSIX_HAS_THREADS_H
+
+#define thrd_create(t, f, a) icb_thrd_create(t, f, a)
+#define thrd_join(t, r) icb_thrd_join(t, r)
+#define thrd_detach(t) icb_thrd_detach(t)
+#define thrd_current() icb_thrd_current()
+#define thrd_equal(a, b) icb_thrd_equal(a, b)
+#define thrd_exit(r) icb_thrd_exit(r)
+#define thrd_yield() icb_thrd_yield()
+#define thrd_sleep(d, r) icb_thrd_sleep(d, r)
+
+#define mtx_init(m, t) icb_mtx_init(m, t)
+#define mtx_destroy(m) icb_mtx_destroy(m)
+#define mtx_lock(m) icb_mtx_lock(m)
+#define mtx_timedlock(m, d) icb_mtx_timedlock(m, d)
+#define mtx_trylock(m) icb_mtx_trylock(m)
+#define mtx_unlock(m) icb_mtx_unlock(m)
+
+#define cnd_init(c) icb_cnd_init(c)
+#define cnd_destroy(c) icb_cnd_destroy(c)
+#define cnd_wait(c, m) icb_cnd_wait(c, m)
+#define cnd_timedwait(c, m, d) icb_cnd_timedwait(c, m, d)
+#define cnd_signal(c) icb_cnd_signal(c)
+#define cnd_broadcast(c) icb_cnd_broadcast(c)
+
+#define call_once(o, f) icb_call_once(o, f)
+
+#define tss_create(k, d) icb_tss_create(k, d)
+#define tss_delete(k) icb_tss_delete(k)
+#define tss_set(k, v) icb_tss_set(k, v)
+#define tss_get(k) icb_tss_get(k)
+
+#endif /* ICB_POSIX_HAS_THREADS_H */
 
 #endif /* ICB_POSIX_NO_RENAME */
 

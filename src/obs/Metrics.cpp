@@ -58,6 +58,12 @@ const char *counterName(Counter C) {
     return "deferred_items";
   case Counter::ReplaySteps:
     return "replay_steps";
+  case Counter::TransitionsSlept:
+    return "transitions_slept";
+  case Counter::WokenByBudget:
+    return "woken_by_budget";
+  case Counter::SleptExecutions:
+    return "slept_executions";
   case Counter::StealAttempts:
     return "steal_attempts";
   case Counter::StealHits:
@@ -83,6 +89,9 @@ bool counterIsDeterministic(Counter C) {
   case Counter::BranchedItems:
   case Counter::DeferredItems:
   case Counter::ReplaySteps:
+  case Counter::TransitionsSlept:
+  case Counter::WokenByBudget:
+  case Counter::SleptExecutions:
     return true;
   case Counter::StealAttempts:
   case Counter::StealHits:
@@ -107,6 +116,8 @@ const char *phaseName(Phase P) {
     return "race_detect";
   case Phase::Snapshot:
     return "snapshot";
+  case Phase::Por:
+    return "por";
   case Phase::NumPhases:
     break;
   }
@@ -121,6 +132,7 @@ void MetricShard::merge(const MetricShard &Other) {
     Phases[I].merge(Other.Phases[I]);
   ReplayDepth.merge(Other.ReplayDepth);
   ExecutionsPerBound.merge(Other.ExecutionsPerBound);
+  SleepSavedPerBound.merge(Other.SleepSavedPerBound);
   Worker.merge(Other.Worker);
 }
 
@@ -133,7 +145,8 @@ bool MetricsSnapshot::empty() const {
   for (const MinMax &P : Phases)
     if (!P.empty())
       return false;
-  if (!ReplayDepth.empty() || !ExecutionsPerBound.buckets().empty())
+  if (!ReplayDepth.empty() || !ExecutionsPerBound.buckets().empty() ||
+      !SleepSavedPerBound.buckets().empty())
     return false;
   for (const WorkerMetrics &W : Workers)
     if (W.BusyNanos != 0 || W.IdleNanos != 0)
@@ -150,6 +163,7 @@ void MetricsSnapshot::merge(const MetricsSnapshot &Other) {
     Phases[I].merge(Other.Phases[I]);
   ReplayDepth.merge(Other.ReplayDepth);
   ExecutionsPerBound.merge(Other.ExecutionsPerBound);
+  SleepSavedPerBound.merge(Other.SleepSavedPerBound);
   if (Workers.size() < Other.Workers.size())
     Workers.resize(Other.Workers.size());
   for (size_t I = 0; I != Other.Workers.size(); ++I)
@@ -171,6 +185,7 @@ MetricsSnapshot MetricsRegistry::snapshot() const {
   Snap.Phases.assign(Sum.Phases, Sum.Phases + NumPhases);
   Snap.ReplayDepth = Sum.ReplayDepth;
   Snap.ExecutionsPerBound = Sum.ExecutionsPerBound;
+  Snap.SleepSavedPerBound = Sum.SleepSavedPerBound;
   Snap.Workers.reserve(ShardList.size());
   for (const MetricShard &S : ShardList)
     Snap.Workers.push_back(S.Worker);

@@ -66,6 +66,10 @@ enum class Counter : unsigned {
   BranchedItems, ///< Nonpreempting branches published (same bound).
   DeferredItems, ///< Preempting continuations published (bound c + 1).
   ReplaySteps,   ///< Schedule-prefix steps replayed before divergence.
+  TransitionsSlept, ///< Enabled transitions skipped because asleep (POR).
+  WokenByBudget,    ///< Sleepers conservatively woken at a preemption
+                    ///< (budget changed — the Coons-style correction).
+  SleptExecutions,  ///< Chains cut short with every enabled thread asleep.
   // Timing-class (run- and machine-specific).
   StealAttempts, ///< Chase-Lev trySteal() calls by idle workers.
   StealHits,     ///< trySteal() calls that returned an item.
@@ -88,6 +92,7 @@ enum class Phase : unsigned {
   CacheProbe, ///< Visited/terminal/work-item digest-set probes.
   RaceDetect, ///< Per-execution race detector work (rt executor).
   Snapshot,   ///< Building + handing off an engine snapshot.
+  Por,        ///< Sleep-set maintenance (independence filtering, pruning).
 
   NumPhases,
 };
@@ -127,6 +132,9 @@ struct alignas(64) MetricShard {
   MinMax ReplayDepth;
   /// Executions completed per preemption bound.
   Histogram ExecutionsPerBound;
+  /// Same-bound branches pruned by sleep sets, per preemption bound — each
+  /// would have seeded at least one whole execution chain.
+  Histogram SleepSavedPerBound;
   WorkerMetrics Worker;
 
   void merge(const MetricShard &Other);
@@ -141,6 +149,7 @@ struct MetricsSnapshot {
   std::vector<MinMax> Phases;     ///< NumPhases entries (or empty).
   MinMax ReplayDepth;
   Histogram ExecutionsPerBound;
+  Histogram SleepSavedPerBound;
   /// One entry per worker of the segment(s); index-wise merged across
   /// resumed segments (the checkpoint pins the job count).
   std::vector<WorkerMetrics> Workers;

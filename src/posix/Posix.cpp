@@ -26,6 +26,7 @@
 #include "posix/Runtime.h"
 #include "support/Debug.h"
 #include <climits>
+#include <cstdint>
 
 using namespace icb;
 using namespace icb::posix;
@@ -396,6 +397,109 @@ extern "C" int icb_pthread_rwlock_unlock(pthread_rwlock_t *RW) {
 }
 
 //===----------------------------------------------------------------------===//
+// Barriers
+//===----------------------------------------------------------------------===//
+
+extern "C" int icb_pthread_barrier_init(pthread_barrier_t *B,
+                                        const pthread_barrierattr_t *A,
+                                        unsigned Count) {
+  (void)A; // Process-shared is moot for in-process checking.
+  if (!B || Count == 0)
+    return EINVAL;
+  ExecContext::current().initBarrier(B, Count);
+  return 0;
+}
+
+extern "C" int icb_pthread_barrier_destroy(pthread_barrier_t *B) {
+  if (!B)
+    return EINVAL;
+  ExecContext &C = ExecContext::current();
+  BarrierState &BS = C.barrierFor(B);
+  if (BS.Arrived != 0)
+    return EBUSY; // Threads are parked inside the current generation.
+  C.dropBarrier(B);
+  return 0;
+}
+
+extern "C" int icb_pthread_barrier_wait(pthread_barrier_t *B) {
+  if (!B)
+    return EINVAL;
+  BarrierState &BS = ExecContext::current().barrierFor(B);
+  if (BS.Count == 0)
+    return EINVAL; // Never initialized (POSIX: undefined; be kind).
+  BS.M->lock();
+  unsigned Gen = BS.Gen;
+  if (++BS.Arrived == BS.Count) {
+    // Last arrival releases the generation and plays the serial thread.
+    BS.Arrived = 0;
+    ++BS.Gen;
+    BS.C->broadcast();
+    BS.M->unlock();
+    return PTHREAD_BARRIER_SERIAL_THREAD;
+  }
+  while (BS.Gen == Gen)
+    BS.C->wait(*BS.M);
+  BS.M->unlock();
+  return 0;
+}
+
+extern "C" int icb_pthread_barrierattr_init(pthread_barrierattr_t *A) {
+  return A ? 0 : EINVAL;
+}
+
+extern "C" int icb_pthread_barrierattr_destroy(pthread_barrierattr_t *A) {
+  return A ? 0 : EINVAL;
+}
+
+//===----------------------------------------------------------------------===//
+// Spinlocks
+//===----------------------------------------------------------------------===//
+
+extern "C" int icb_pthread_spin_init(pthread_spinlock_t *S, int PShared) {
+  (void)PShared; // Accepted; identical in-process.
+  if (!S)
+    return EINVAL;
+  // pthread_spinlock_t is volatile; only the address is used as a key.
+  ExecContext::current().initSpin(const_cast<int *>(S));
+  return 0;
+}
+
+extern "C" int icb_pthread_spin_destroy(pthread_spinlock_t *S) {
+  if (!S)
+    return EINVAL;
+  ExecContext &C = ExecContext::current();
+  if (C.spinFor(const_cast<int *>(S)).M->held())
+    return EBUSY;
+  C.dropSpin(const_cast<int *>(S));
+  return 0;
+}
+
+extern "C" int icb_pthread_spin_lock(pthread_spinlock_t *S) {
+  if (!S)
+    return EINVAL;
+  // A self-relock spins forever on the real primitive; here the scheduler
+  // never enables the spinner again and reports the deadlock.
+  ExecContext::current().spinFor(const_cast<int *>(S)).M->lock();
+  return 0;
+}
+
+extern "C" int icb_pthread_spin_trylock(pthread_spinlock_t *S) {
+  if (!S)
+    return EINVAL;
+  return ExecContext::current().spinFor(const_cast<int *>(S)).M->tryLock()
+             ? 0
+             : EBUSY;
+}
+
+extern "C" int icb_pthread_spin_unlock(pthread_spinlock_t *S) {
+  if (!S)
+    return EINVAL;
+  // Unlock of an unheld spinlock is undefined; rt::Mutex reports it.
+  ExecContext::current().spinFor(const_cast<int *>(S)).M->unlock();
+  return 0;
+}
+
+//===----------------------------------------------------------------------===//
 // Semaphores (sem_* family: -1/errno on failure)
 //===----------------------------------------------------------------------===//
 
@@ -557,6 +661,223 @@ extern "C" int icb_nanosleep(const struct timespec *Req,
     *Rem = timespec{0, 0};
   return 0;
 }
+
+//===----------------------------------------------------------------------===//
+// C11 threads (thin aliases over the pthread translation; all C11 types
+// are opaque address keys, so the pthread entry points can be reused
+// directly — only signatures and result codes differ)
+//===----------------------------------------------------------------------===//
+
+#ifdef ICB_POSIX_HAS_THREADS_H
+
+namespace {
+
+/// errno-style result -> C11 thrd_* result code.
+int c11Result(int Err) {
+  switch (Err) {
+  case 0:
+    return thrd_success;
+  case EBUSY:
+    return thrd_busy;
+  case ETIMEDOUT:
+    return thrd_timedout;
+  case ENOMEM:
+  case EAGAIN:
+    return thrd_nomem;
+  default:
+    return thrd_error;
+  }
+}
+
+/// Adapter record for thrd_create's int-returning start routine.
+struct ThrdStart {
+  thrd_start_t Fn;
+  void *Arg;
+};
+
+void *thrdTrampoline(void *P) {
+  ThrdStart Rec = *static_cast<ThrdStart *>(P);
+  delete static_cast<ThrdStart *>(P);
+  int Res = Rec.Fn(Rec.Arg);
+  return reinterpret_cast<void *>(static_cast<intptr_t>(Res));
+}
+
+} // namespace
+
+extern "C" int icb_thrd_create(thrd_t *Thr, thrd_start_t Fn, void *Arg) {
+  if (!Thr || !Fn)
+    return thrd_error;
+  auto *Rec = new ThrdStart{Fn, Arg};
+  unsigned long Handle =
+      ExecContext::current().createThread(thrdTrampoline, Rec,
+                                          /*Detached=*/false);
+  if (Handle == 0) {
+    delete Rec;
+    return thrd_nomem;
+  }
+  *Thr = static_cast<thrd_t>(Handle);
+  return thrd_success;
+}
+
+extern "C" int icb_thrd_join(thrd_t Thr, int *Res) {
+  void *Ret = nullptr;
+  int Err = icb_pthread_join(static_cast<pthread_t>(Thr), &Ret);
+  if (Err != 0)
+    return thrd_error;
+  if (Res)
+    *Res = static_cast<int>(reinterpret_cast<intptr_t>(Ret));
+  return thrd_success;
+}
+
+extern "C" int icb_thrd_detach(thrd_t Thr) {
+  return icb_pthread_detach(static_cast<pthread_t>(Thr)) == 0 ? thrd_success
+                                                              : thrd_error;
+}
+
+extern "C" thrd_t icb_thrd_current(void) {
+  return static_cast<thrd_t>(icb_pthread_self());
+}
+
+extern "C" int icb_thrd_equal(thrd_t A, thrd_t B) { return A == B ? 1 : 0; }
+
+extern "C" void icb_thrd_exit(int Res) {
+  throw ThreadExit{reinterpret_cast<void *>(static_cast<intptr_t>(Res))};
+}
+
+extern "C" void icb_thrd_yield(void) { rt::yield(); }
+
+extern "C" int icb_thrd_sleep(const struct timespec *Dur,
+                              struct timespec *Rem) {
+  if (!Dur)
+    return -1;
+  rt::yield();
+  if (Rem)
+    *Rem = timespec{0, 0};
+  return 0;
+}
+
+extern "C" int icb_mtx_init(mtx_t *M, int Type) {
+  if (!M || (Type & ~(mtx_plain | mtx_timed | mtx_recursive)) != 0)
+    return thrd_error;
+  // C11 mutexes are not errorcheck: misuse is undefined, which NORMAL's
+  // translation already reports as a bug or deadlock.
+  ExecContext::current().initMutex(M, (Type & mtx_recursive)
+                                          ? PTHREAD_MUTEX_RECURSIVE
+                                          : PTHREAD_MUTEX_NORMAL);
+  return thrd_success;
+}
+
+extern "C" void icb_mtx_destroy(mtx_t *M) {
+  if (M)
+    icb_pthread_mutex_destroy(reinterpret_cast<pthread_mutex_t *>(M));
+}
+
+extern "C" int icb_mtx_lock(mtx_t *M) {
+  if (!M)
+    return thrd_error;
+  return c11Result(
+      icb_pthread_mutex_lock(reinterpret_cast<pthread_mutex_t *>(M)));
+}
+
+extern "C" int icb_mtx_timedlock(mtx_t *M, const struct timespec *Deadline) {
+  if (!M || !Deadline)
+    return thrd_error;
+  // No clock in the model: the acquire blocks until granted; a grant that
+  // can never come is the deadlock the checker reports.
+  return c11Result(
+      icb_pthread_mutex_lock(reinterpret_cast<pthread_mutex_t *>(M)));
+}
+
+extern "C" int icb_mtx_trylock(mtx_t *M) {
+  if (!M)
+    return thrd_error;
+  return c11Result(
+      icb_pthread_mutex_trylock(reinterpret_cast<pthread_mutex_t *>(M)));
+}
+
+extern "C" int icb_mtx_unlock(mtx_t *M) {
+  if (!M)
+    return thrd_error;
+  return c11Result(
+      icb_pthread_mutex_unlock(reinterpret_cast<pthread_mutex_t *>(M)));
+}
+
+extern "C" int icb_cnd_init(cnd_t *C) {
+  if (!C)
+    return thrd_error;
+  ExecContext::current().initCond(C);
+  return thrd_success;
+}
+
+extern "C" void icb_cnd_destroy(cnd_t *C) {
+  if (C)
+    icb_pthread_cond_destroy(reinterpret_cast<pthread_cond_t *>(C));
+}
+
+extern "C" int icb_cnd_wait(cnd_t *C, mtx_t *M) {
+  if (!C || !M)
+    return thrd_error;
+  return c11Result(
+      icb_pthread_cond_wait(reinterpret_cast<pthread_cond_t *>(C),
+                            reinterpret_cast<pthread_mutex_t *>(M)));
+}
+
+extern "C" int icb_cnd_timedwait(cnd_t *C, mtx_t *M,
+                                 const struct timespec *Deadline) {
+  if (!C || !M || !Deadline)
+    return thrd_error;
+  struct timespec Dummy = *Deadline;
+  return c11Result(
+      icb_pthread_cond_timedwait(reinterpret_cast<pthread_cond_t *>(C),
+                                 reinterpret_cast<pthread_mutex_t *>(M),
+                                 &Dummy));
+}
+
+extern "C" int icb_cnd_signal(cnd_t *C) {
+  if (!C)
+    return thrd_error;
+  return c11Result(
+      icb_pthread_cond_signal(reinterpret_cast<pthread_cond_t *>(C)));
+}
+
+extern "C" int icb_cnd_broadcast(cnd_t *C) {
+  if (!C)
+    return thrd_error;
+  return c11Result(
+      icb_pthread_cond_broadcast(reinterpret_cast<pthread_cond_t *>(C)));
+}
+
+extern "C" void icb_call_once(once_flag *Flag, void (*Fn)(void)) {
+  if (!Flag || !Fn)
+    return;
+  icb_pthread_once(reinterpret_cast<pthread_once_t *>(Flag), Fn);
+}
+
+extern "C" int icb_tss_create(tss_t *Key, tss_dtor_t Dtor) {
+  if (!Key)
+    return thrd_error;
+  pthread_key_t K = 0;
+  if (icb_pthread_key_create(&K, Dtor) != 0)
+    return thrd_error;
+  *Key = static_cast<tss_t>(K);
+  return thrd_success;
+}
+
+extern "C" void icb_tss_delete(tss_t Key) {
+  icb_pthread_key_delete(static_cast<pthread_key_t>(Key));
+}
+
+extern "C" int icb_tss_set(tss_t Key, void *Value) {
+  return icb_pthread_setspecific(static_cast<pthread_key_t>(Key), Value) == 0
+             ? thrd_success
+             : thrd_error;
+}
+
+extern "C" void *icb_tss_get(tss_t Key) {
+  return icb_pthread_getspecific(static_cast<pthread_key_t>(Key));
+}
+
+#endif // ICB_POSIX_HAS_THREADS_H
 
 //===----------------------------------------------------------------------===//
 // Checker surface

@@ -62,6 +62,8 @@ void ExecContext::reset() {
   RwLocks.clear();
   Sems.clear();
   Onces.clear();
+  Barriers.clear();
+  Spins.clear();
   MutexAttrs.clear();
   ThreadAttrs.clear();
   VarCodes.clear();
@@ -136,6 +138,28 @@ OnceState &ExecContext::onceFor(const void *Addr) {
   return Onces.emplace(Addr, OS).first->second;
 }
 
+BarrierState &ExecContext::barrierFor(const void *Addr) {
+  auto It = Barriers.find(Addr);
+  if (It != Barriers.end())
+    return It->second;
+  // Lazy state with Count 0: there is no PTHREAD_BARRIER_INITIALIZER, so
+  // a wait landing here is misuse and the caller reports EINVAL.
+  BarrierState BS;
+  BS.M = makeObject<rt::Mutex>(strFormat("pbarrier#%u.m", Serial[5]));
+  BS.C = makeObject<rt::CondVar>(strFormat("pbarrier#%u.cv", Serial[5]));
+  ++Serial[5];
+  return Barriers.emplace(Addr, BS).first->second;
+}
+
+SpinState &ExecContext::spinFor(const void *Addr) {
+  auto It = Spins.find(Addr);
+  if (It != Spins.end())
+    return It->second;
+  SpinState SS;
+  SS.M = makeObject<rt::Mutex>(strFormat("pspin#%u", Serial[6]++));
+  return Spins.emplace(Addr, SS).first->second;
+}
+
 void ExecContext::initMutex(const void *Addr, int Type) {
   MutexState MS;
   MS.M = makeObject<rt::Mutex>(strFormat("pmutex#%u", Serial[0]++));
@@ -162,10 +186,37 @@ void ExecContext::initSem(const void *Addr, unsigned Value) {
   Sems[Addr] = SS;
 }
 
+void ExecContext::initBarrier(const void *Addr, unsigned Count) {
+  BarrierState BS;
+  BS.M = makeObject<rt::Mutex>(strFormat("pbarrier#%u.m", Serial[5]));
+  BS.C = makeObject<rt::CondVar>(strFormat("pbarrier#%u.cv", Serial[5]));
+  ++Serial[5];
+  BS.Count = Count;
+  Barriers[Addr] = BS;
+}
+
+void ExecContext::initSpin(const void *Addr) {
+  SpinState SS;
+  SS.M = makeObject<rt::Mutex>(strFormat("pspin#%u", Serial[6]++));
+  Spins[Addr] = SS;
+}
+
 void ExecContext::dropMutex(const void *Addr) { Mutexes.erase(Addr); }
 void ExecContext::dropCond(const void *Addr) { Conds.erase(Addr); }
 void ExecContext::dropRw(const void *Addr) { RwLocks.erase(Addr); }
 void ExecContext::dropSem(const void *Addr) { Sems.erase(Addr); }
+void ExecContext::dropBarrier(const void *Addr) {
+  // Reset in place instead of erasing: threads released by the final
+  // generation may still be re-acquiring the barrier mutex and re-reading
+  // Gen, so the node must stay valid. Count 0 marks it destroyed; a later
+  // *_init replaces the state in the same node.
+  auto It = Barriers.find(Addr);
+  if (It != Barriers.end()) {
+    It->second.Count = 0;
+    It->second.Arrived = 0;
+  }
+}
+void ExecContext::dropSpin(const void *Addr) { Spins.erase(Addr); }
 
 void ExecContext::setMutexAttrType(const void *Addr, int Type) {
   MutexAttrs[Addr] = Type;

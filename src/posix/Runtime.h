@@ -68,6 +68,22 @@ struct SemState {
   rt::Semaphore *S = nullptr;
 };
 
+/// Classic generation-counted barrier over a controlled mutex + condvar.
+/// The mutex hand-off gives the all-to-all happens-before edge a barrier
+/// implies; Count == 0 marks a never-initialized barrier (POSIX has no
+/// static initializer for barriers, so lazy first use is misuse).
+struct BarrierState {
+  rt::Mutex *M = nullptr;
+  rt::CondVar *C = nullptr;
+  unsigned Count = 0;   ///< Required arrivals; 0 = uninitialized.
+  unsigned Arrived = 0; ///< Arrivals in the current generation.
+  unsigned Gen = 0;     ///< Bumped when a generation releases.
+};
+
+struct SpinState {
+  rt::Mutex *M = nullptr;
+};
+
 struct OnceState {
   enum { NotRun, Running, Done } Phase = NotRun;
   rt::Event *DoneEvent = nullptr; ///< Manual-reset; set when Routine ends.
@@ -111,18 +127,24 @@ public:
   RwState &rwFor(const void *Addr);
   SemState &semFor(const void *Addr);
   OnceState &onceFor(const void *Addr);
+  BarrierState &barrierFor(const void *Addr);
+  SpinState &spinFor(const void *Addr);
 
   // --- Explicit (re-)initialization and destruction ---------------------
   void initMutex(const void *Addr, int Type);
   void initCond(const void *Addr);
   void initRw(const void *Addr);
   void initSem(const void *Addr, unsigned Value);
+  void initBarrier(const void *Addr, unsigned Count);
+  void initSpin(const void *Addr);
   /// Forget the state keyed at \p Addr so a later *_init (or lazy first
   /// use) starts fresh; the backing rt object lives until end().
   void dropMutex(const void *Addr);
   void dropCond(const void *Addr);
   void dropRw(const void *Addr);
   void dropSem(const void *Addr);
+  void dropBarrier(const void *Addr);
+  void dropSpin(const void *Addr);
 
   // --- Mutex attributes (address-keyed, like the objects) ---------------
   void setMutexAttrType(const void *Addr, int Type);
@@ -158,6 +180,8 @@ private:
   std::unordered_map<const void *, RwState> RwLocks;
   std::unordered_map<const void *, SemState> Sems;
   std::unordered_map<const void *, OnceState> Onces;
+  std::unordered_map<const void *, BarrierState> Barriers;
+  std::unordered_map<const void *, SpinState> Spins;
   std::unordered_map<const void *, int> MutexAttrs;
   std::unordered_map<const void *, bool> ThreadAttrs;
   std::unordered_map<const void *, uint64_t> VarCodes;
@@ -165,7 +189,7 @@ private:
   /// Backing rt objects in creation order (destroyed in reverse).
   std::vector<std::unique_ptr<rt::SyncObject>> Arena;
   /// Per-kind counters for deterministic object names in traces.
-  unsigned Serial[5] = {0, 0, 0, 0, 0};
+  unsigned Serial[7] = {0, 0, 0, 0, 0, 0, 0};
 
   std::vector<std::unique_ptr<ThreadRec>> Threads; ///< Handle-1 indexed.
   /// rt thread id -> handle (0 = unknown), for pthread_self.

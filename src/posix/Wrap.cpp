@@ -128,6 +128,40 @@ int __wrap_pthread_rwlock_unlock(pthread_rwlock_t *RW) {
   return icb_pthread_rwlock_unlock(RW);
 }
 
+int __wrap_pthread_barrier_init(pthread_barrier_t *B,
+                                const pthread_barrierattr_t *A,
+                                unsigned Count) {
+  return icb_pthread_barrier_init(B, A, Count);
+}
+int __wrap_pthread_barrier_destroy(pthread_barrier_t *B) {
+  return icb_pthread_barrier_destroy(B);
+}
+int __wrap_pthread_barrier_wait(pthread_barrier_t *B) {
+  return icb_pthread_barrier_wait(B);
+}
+int __wrap_pthread_barrierattr_init(pthread_barrierattr_t *A) {
+  return icb_pthread_barrierattr_init(A);
+}
+int __wrap_pthread_barrierattr_destroy(pthread_barrierattr_t *A) {
+  return icb_pthread_barrierattr_destroy(A);
+}
+
+int __wrap_pthread_spin_init(pthread_spinlock_t *S, int PShared) {
+  return icb_pthread_spin_init(S, PShared);
+}
+int __wrap_pthread_spin_destroy(pthread_spinlock_t *S) {
+  return icb_pthread_spin_destroy(S);
+}
+int __wrap_pthread_spin_lock(pthread_spinlock_t *S) {
+  return icb_pthread_spin_lock(S);
+}
+int __wrap_pthread_spin_trylock(pthread_spinlock_t *S) {
+  return icb_pthread_spin_trylock(S);
+}
+int __wrap_pthread_spin_unlock(pthread_spinlock_t *S) {
+  return icb_pthread_spin_unlock(S);
+}
+
 int __wrap_sem_init(sem_t *S, int PShared, unsigned Value) {
   return icb_sem_init(S, PShared, Value);
 }
@@ -160,5 +194,52 @@ unsigned __wrap_sleep(unsigned Seconds) { return icb_sleep(Seconds); }
 int __wrap_nanosleep(const struct timespec *Req, struct timespec *Rem) {
   return icb_nanosleep(Req, Rem);
 }
+
+#ifdef ICB_POSIX_HAS_THREADS_H
+
+int __wrap_thrd_create(thrd_t *Thr, thrd_start_t Fn, void *Arg) {
+  return icb_thrd_create(Thr, Fn, Arg);
+}
+int __wrap_thrd_join(thrd_t Thr, int *Res) { return icb_thrd_join(Thr, Res); }
+int __wrap_thrd_detach(thrd_t Thr) { return icb_thrd_detach(Thr); }
+thrd_t __wrap_thrd_current(void) { return icb_thrd_current(); }
+int __wrap_thrd_equal(thrd_t A, thrd_t B) { return icb_thrd_equal(A, B); }
+void __wrap_thrd_exit(int Res) { icb_thrd_exit(Res); }
+void __wrap_thrd_yield(void) { icb_thrd_yield(); }
+int __wrap_thrd_sleep(const struct timespec *Dur, struct timespec *Rem) {
+  return icb_thrd_sleep(Dur, Rem);
+}
+
+int __wrap_mtx_init(mtx_t *M, int Type) { return icb_mtx_init(M, Type); }
+void __wrap_mtx_destroy(mtx_t *M) { icb_mtx_destroy(M); }
+int __wrap_mtx_lock(mtx_t *M) { return icb_mtx_lock(M); }
+int __wrap_mtx_timedlock(mtx_t *M, const struct timespec *Deadline) {
+  return icb_mtx_timedlock(M, Deadline);
+}
+int __wrap_mtx_trylock(mtx_t *M) { return icb_mtx_trylock(M); }
+int __wrap_mtx_unlock(mtx_t *M) { return icb_mtx_unlock(M); }
+
+int __wrap_cnd_init(cnd_t *C) { return icb_cnd_init(C); }
+void __wrap_cnd_destroy(cnd_t *C) { icb_cnd_destroy(C); }
+int __wrap_cnd_wait(cnd_t *C, mtx_t *M) { return icb_cnd_wait(C, M); }
+int __wrap_cnd_timedwait(cnd_t *C, mtx_t *M,
+                         const struct timespec *Deadline) {
+  return icb_cnd_timedwait(C, M, Deadline);
+}
+int __wrap_cnd_signal(cnd_t *C) { return icb_cnd_signal(C); }
+int __wrap_cnd_broadcast(cnd_t *C) { return icb_cnd_broadcast(C); }
+
+void __wrap_call_once(once_flag *Flag, void (*Fn)(void)) {
+  icb_call_once(Flag, Fn);
+}
+
+int __wrap_tss_create(tss_t *Key, tss_dtor_t Dtor) {
+  return icb_tss_create(Key, Dtor);
+}
+void __wrap_tss_delete(tss_t Key) { icb_tss_delete(Key); }
+int __wrap_tss_set(tss_t Key, void *Value) { return icb_tss_set(Key, Value); }
+void *__wrap_tss_get(tss_t Key) { return icb_tss_get(Key); }
+
+#endif /* ICB_POSIX_HAS_THREADS_H */
 
 } // extern "C"

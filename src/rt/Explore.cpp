@@ -146,7 +146,7 @@ ExploreResult IcbExplorer::explore(const TestCase &Test) {
   EngineOpts.Metrics = Opts.Metrics;
 
   if (Opts.Jobs == 1) {
-    ReplayExecutor Executor(Test, Opts.Exec);
+    ReplayExecutor Executor(Test, Opts.Exec, Opts.Por);
     return search::runSequentialIcbEngine(Executor, EngineOpts);
   }
 
@@ -154,7 +154,8 @@ ExploreResult IcbExplorer::explore(const TestCase &Test) {
   std::vector<std::unique_ptr<ReplayExecutor>> Executors;
   Executors.reserve(Jobs);
   for (unsigned I = 0; I != Jobs; ++I)
-    Executors.push_back(std::make_unique<ReplayExecutor>(Test, Opts.Exec));
+    Executors.push_back(
+        std::make_unique<ReplayExecutor>(Test, Opts.Exec, Opts.Por));
   return search::runParallelIcbEngine(Executors, EngineOpts);
 }
 

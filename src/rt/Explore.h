@@ -66,6 +66,12 @@ struct ExploreOptions {
   /// ICB only: shards in the concurrent fingerprint caches when Jobs != 1
   /// (0 = auto).
   unsigned Shards = 0;
+  /// ICB only: bounded POR — sleep sets composed with the preemption
+  /// bound (rt::IcbPolicy). Prunes same-bound siblings covered by
+  /// independence without changing which bugs exist at which minimal
+  /// bounds; sleep sets travel inside work items, so Jobs does not affect
+  /// results.
+  bool Por = false;
   /// ICB only: session hooks and resume snapshot (see EngineObserver.h).
   search::EngineObserver *Observer = nullptr;
   const search::EngineSnapshot *Resume = nullptr;

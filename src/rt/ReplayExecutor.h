@@ -46,6 +46,15 @@ namespace icb::rt {
 struct PrefixItem {
   std::vector<ThreadId> Prefix;
   ThreadId NextTid = InvalidThread;
+  /// Bounded-POR sleep set at the divergence state (after replaying
+  /// Prefix): threads whose continuations from there are covered
+  /// elsewhere at no extra preemption cost. Sorted ascending; empty when
+  /// POR is off. Same-bound (free-switch) siblings inherit the chain's
+  /// set unchanged; a *deferred* (next-bound) item carries the
+  /// continuation thread it preempted plus any entries still asleep at
+  /// the defer point, and every other inherited entry is woken (dropped)
+  /// there — the Coons-style budget correction.
+  std::vector<ThreadId> Sleep;
 };
 
 /// Maps an error RunStatus onto the shared bug vocabulary.
@@ -91,9 +100,10 @@ inline search::Bug bugFromResult(const ExecutionResult &R) {
 /// alternatives at yield or blocking points are free (same bound).
 class IcbPolicy : public SchedulePolicy {
 public:
-  explicit IcbPolicy(const PrefixItem &Item,
-                     obs::MetricShard *MS = nullptr)
-      : Prefix(Item.Prefix), Forced(Item.NextTid), MS(MS) {
+  explicit IcbPolicy(const PrefixItem &Item, obs::MetricShard *MS = nullptr,
+                     bool Por = false)
+      : Prefix(Item.Prefix), Forced(Item.NextTid), ChainSleep(Item.Sleep),
+        Por(Por), MS(MS) {
 #ifndef ICB_NO_METRICS
     if (MS && !Prefix.empty())
       ReplayStart = obs::nowNanos();
@@ -118,6 +128,11 @@ public:
     if (ReplayStart && P.Index >= Prefix.size())
       flushReplayPhase();
 #endif
+    // Wake sleepers that depend on the step just executed. Item.Sleep
+    // describes the divergence state, so filtering starts with the first
+    // step taken past the prefix.
+    if (Por && HaveExec)
+      filterSleep(P);
     ThreadId Chosen;
     if (P.Index < Prefix.size()) {
       Chosen = Prefix[P.Index];
@@ -139,18 +154,86 @@ public:
         // Lines 29-32 / yield handling: alternatives here are
         // preemptions unless the current thread volunteered.
         bool Free = P.LastYielded && P.Last == Current;
+        // Each deferred item sleeps the continuation thread: the pruned
+        // continuation-later traces are covered by this chain itself,
+        // which re-defers the same preemptor one step on, at the deferred
+        // item's own bound. A still-asleep thread is not deferred at all
+        // (covered via its install site, cheaper by one preemption) but
+        // stays asleep for the later deferred siblings. Everything else
+        // inherited is conservatively woken (dropped) — the deferred
+        // budget differs from the install-time budget, the Coons-style
+        // correction. Unlike the model VM, this executor cannot probe
+        // whether a sibling's step would disable it, so awake siblings
+        // never sleep each other here.
+        std::vector<ThreadId> DeferredSleep;
+        bool PublishedDefer = false;
+        uint64_t Carried = 0;
+        if (Por && !Free)
+          DeferredSleep.push_back(Current);
         for (ThreadId Other : P.Enabled) {
           if (Other == Current)
             continue;
-          (Free ? SameBound : NextBound).push_back({Mirror, Other});
+          if (Por && sleeping(Other)) {
+            ++SleptTransitions;
+            if (!Free) {
+              ++Carried;
+              addSorted(DeferredSleep, Other);
+            }
+            continue;
+          }
+          PrefixItem Item;
+          Item.Prefix = Mirror;
+          Item.NextTid = Other;
+          if (Free) {
+            // Yield siblings share this chain's budget and state, so the
+            // chain's sleep set transfers to them unchanged.
+            if (Por)
+              Item.Sleep = ChainSleep;
+            SameBound.push_back(std::move(Item));
+          } else {
+            if (Por)
+              Item.Sleep = DeferredSleep;
+            NextBound.push_back(std::move(Item));
+            PublishedDefer = true;
+          }
         }
+        if (Por && PublishedDefer && ChainSleep.size() > Carried)
+          BudgetWoken += ChainSleep.size() - Carried;
         Chosen = Current;
       } else {
         // Lines 33-37: the current thread blocked or finished; switching
-        // is free. Continue with the lowest-id thread, branch the rest.
-        for (size_t I = 1; I < P.Enabled.size(); ++I)
-          SameBound.push_back({Mirror, P.Enabled[I]});
-        Chosen = P.Enabled.front();
+        // is free. Continue with the lowest awake thread, branch the
+        // rest. Sleeping threads' subtrees are covered by their install
+        // sites at this same budget, so they are skipped; the chain's
+        // sleep set transfers to the awake siblings unchanged (same
+        // state, same budget). Awake siblings do not sleep each other —
+        // without the VM's lookahead probe, the covering trace could
+        // cost an extra preemption and push a bug past its minimal
+        // bound.
+        ThreadId First = InvalidThread;
+        for (ThreadId T : P.Enabled) {
+          if (Por && sleeping(T)) {
+            ++SleptTransitions;
+            continue;
+          }
+          if (First == InvalidThread) {
+            First = T;
+            continue;
+          }
+          PrefixItem Item;
+          Item.Prefix = Mirror;
+          Item.NextTid = T;
+          if (Por)
+            Item.Sleep = ChainSleep;
+          SameBound.push_back(std::move(Item));
+        }
+        if (First == InvalidThread) {
+          // Every enabled thread is asleep: everything reachable from
+          // here is covered by earlier siblings. Prune the chain.
+          PrunedBySleep = true;
+          return AbortExecution;
+        }
+        Chosen = First;
         Current = Chosen;
       }
     }
@@ -158,6 +241,13 @@ public:
       // While replaying, track the running thread so the continuation
       // starts from the right place even for pure-replay items.
       Current = Chosen;
+    } else if (Por) {
+      // Remember the step about to execute for the next pick's wake pass.
+      const PendingOp &Op = P.Sched->pendingOp(Chosen);
+      ExecTid = Chosen;
+      ExecKind = Op.Kind;
+      ExecVar = Op.VarCode;
+      HaveExec = true;
     }
     Mirror.push_back(Chosen);
     return Chosen;
@@ -166,13 +256,85 @@ public:
   std::vector<PrefixItem> SameBound;
   std::vector<PrefixItem> NextBound;
 
+  // --- Bounded-POR accounting, read by runChain after the run -------------
+  uint64_t SleptTransitions = 0; ///< Enabled siblings skipped while asleep.
+  uint64_t BudgetWoken = 0;      ///< Sleepers dropped at preemption points.
+  bool PrunedBySleep = false;    ///< Chain cut with every thread asleep.
+
 private:
+  bool sleeping(ThreadId T) const {
+    return std::binary_search(ChainSleep.begin(), ChainSleep.end(), T);
+  }
+
+  static void addSorted(std::vector<ThreadId> &V, ThreadId T) {
+    V.insert(std::lower_bound(V.begin(), V.end(), T), T);
+  }
+
+  /// Does the executed step (thread \p ExecTid performing \p ExecKind on
+  /// \p ExecVar) depend on sleeper \p B's parked operation? Conservative
+  /// wherever the one-var-per-step abstraction leaks:
+  ///  * any step of thread t could be t's terminating one, so pending
+  ///    joins on t wake on every step t takes;
+  ///  * a creation point (Start, VarCode 0) spawns a thread and touches
+  ///    its termination event in the trailing slice — always dependent,
+  ///    from either side;
+  ///  * condvar wait queues are mutated in the slice *before* the
+  ///    MutexUnlock point inside wait(), invisible to var codes, so a
+  ///    CondSignal commutes with nothing — from either side. A pending
+  ///    CondSignal never stays asleep, and an *executed* CondSignal wakes
+  ///    every sleeper: a sleeper's next step may run the enqueue slice of
+  ///    a wait on the same condvar (its pending op only shows the mutex),
+  ///    and signal-before-enqueue loses exactly the wakeup whose loss the
+  ///    pruned interleaving would have exposed.
+  /// Data accesses inside slices are covered by the data-race-freedom
+  /// argument (CHESS Section 3.1): SyncOnly executions are race-checked,
+  /// so racy commutations surface as DataRace bugs rather than silently
+  /// diverging. Yields touch no shared object and commute with anything.
+  static bool dependent(ThreadId ExecTid, OpKind ExecKind, uint64_t ExecVar,
+                        const PendingOp &B) {
+    if (B.Kind == OpKind::Join)
+      return B.JoinTarget == ExecTid;
+    if (B.Kind == OpKind::CondSignal || ExecKind == OpKind::CondSignal)
+      return true;
+    if (ExecKind == OpKind::Start && ExecVar == 0)
+      return true;
+    if (B.Kind == OpKind::Start && B.VarCode == 0)
+      return true;
+    if (ExecKind == OpKind::Yield || B.Kind == OpKind::Yield)
+      return false;
+    return ExecVar != 0 && ExecVar == B.VarCode;
+  }
+
+  /// Drops every sleeper whose parked operation depends on the last
+  /// executed step (Godefroid's wake rule, over the runtime's pending-op
+  /// independence relation).
+  void filterSleep(const SchedPoint &P) {
+    if (ChainSleep.empty())
+      return;
+    obs::ScopedPhase Timer(MS, obs::Phase::Por);
+    size_t Kept = 0;
+    for (ThreadId U : ChainSleep)
+      if (!dependent(ExecTid, ExecKind, ExecVar, P.Sched->pendingOp(U)))
+        ChainSleep[Kept++] = U;
+    ChainSleep.resize(Kept);
+  }
+
   std::vector<ThreadId> Prefix;
   ThreadId Forced;
+  /// Sleep set carried along the chain (sorted ascending). Seeded from the
+  /// work item; filtered after every executed step; consulted and extended
+  /// when same-bound siblings are published.
+  std::vector<ThreadId> ChainSleep;
+  bool Por;
   ThreadId Current = InvalidThread;
   std::vector<ThreadId> Mirror;
   obs::MetricShard *MS;
   uint64_t ReplayStart = 0;
+  /// Summary of the last executed (post-prefix) step, for filterSleep.
+  bool HaveExec = false;
+  ThreadId ExecTid = InvalidThread;
+  OpKind ExecKind = OpKind::Yield;
+  uint64_t ExecVar = 0;
 };
 
 /// Executor advancing the search by replaying schedule prefixes on the
@@ -181,27 +343,42 @@ class ReplayExecutor {
 public:
   using WorkItem = PrefixItem;
 
-  ReplayExecutor(const TestCase &Test, const Scheduler::Options &ExecOpts)
-      : Test(Test), Sched(ExecOpts) {}
+  ReplayExecutor(const TestCase &Test, const Scheduler::Options &ExecOpts,
+                 bool Por = false)
+      : Test(Test), Sched(ExecOpts), Por(Por) {}
 
   template <typename Ctx> std::vector<WorkItem> rootItems(Ctx &) {
     // One root: the empty prefix with a free first choice. The runtime
     // always has a runnable main thread, so there is no degenerate case.
     std::vector<WorkItem> Roots;
-    Roots.push_back({{}, InvalidThread});
+    Roots.push_back({{}, InvalidThread, {}});
     return Roots;
   }
 
   template <typename Ctx> void runChain(WorkItem Item, Ctx &C) {
     obs::MetricShard *MS = C.metrics();
     Sched.setMetricShard(MS);
-    IcbPolicy Policy(Item, MS);
+    IcbPolicy Policy(Item, MS, Por);
     ExecutionResult R = Sched.run(Test, Policy);
     Policy.flushReplayPhase();
     obs::count(MS, obs::Counter::ReplaySteps, Item.Prefix.size());
     ICB_OBS(MS, MS->ReplayDepth.observe(Item.Prefix.size()));
+    if (Por) {
+      if (Policy.SleptTransitions) {
+        obs::count(MS, obs::Counter::TransitionsSlept,
+                   Policy.SleptTransitions);
+        ICB_OBS(MS, MS->SleepSavedPerBound.increment(C.bound(),
+                                                     Policy.SleptTransitions));
+      }
+      if (Policy.BudgetWoken)
+        obs::count(MS, obs::Counter::WokenByBudget, Policy.BudgetWoken);
+      if (Policy.PrunedBySleep)
+        obs::count(MS, obs::Counter::SleptExecutions);
+    }
     // The work-queue structure guarantees every execution at bound c has
-    // exactly c preemptions; this is Algorithm 1's core invariant.
+    // exactly c preemptions; this is Algorithm 1's core invariant. A
+    // sleep-pruned chain (Aborted) still replayed its full prefix, so the
+    // invariant holds for it too.
     ICB_ASSERT(R.Preemptions == C.bound(),
                "ICB invariant violated: unexpected preemption count");
     for (PrefixItem &Branch : Policy.SameBound)
@@ -223,21 +400,23 @@ public:
     C.endExecution(Facts);
   }
 
-  /// Checkpoint form: a PrefixItem *is* (prefix, next) already.
+  /// Checkpoint form: a PrefixItem *is* (prefix, next, sleep) already.
   search::SavedWorkItem saveItem(const WorkItem &W) const {
     search::SavedWorkItem S;
     S.Prefix = W.Prefix;
     S.Next = W.NextTid;
+    S.Sleep = W.Sleep;
     return S;
   }
 
   WorkItem loadItem(const search::SavedWorkItem &S) const {
-    return {S.Prefix, S.Next};
+    return {S.Prefix, S.Next, S.Sleep};
   }
 
 private:
   const TestCase &Test;
   Scheduler Sched;
+  bool Por;
 };
 
 } // namespace icb::rt

@@ -20,6 +20,8 @@
 
 namespace icb::rt {
 
+class Scheduler;
+
 /// Everything a policy may inspect at one scheduling point.
 struct SchedPoint {
   /// Enabled threads in ascending id order; never empty when pick() runs.
@@ -32,6 +34,11 @@ struct SchedPoint {
   bool LastYielded = false;
   /// Index of this scheduling point (= steps executed so far).
   uint64_t Index = 0;
+  /// The scheduler running the execution, for policies that need more
+  /// than the enabled set — e.g. the bounded-POR policy reads parked
+  /// threads' pending operations (Scheduler::pendingOp) to decide
+  /// independence. Never null when pick() runs.
+  const Scheduler *Sched = nullptr;
 };
 
 /// Scheduling decisions for one execution. A fresh policy instance (or a

@@ -116,6 +116,11 @@ const std::string &Scheduler::threadName(ThreadId Tid) const {
   return Threads[Tid]->Name;
 }
 
+const PendingOp &Scheduler::pendingOp(ThreadId Tid) const {
+  ICB_ASSERT(Tid < Threads.size(), "thread id out of range");
+  return Threads[Tid]->Op;
+}
+
 uint64_t Scheduler::allocateVarCode() {
   ICB_ASSERT(Running != InvalidThread,
              "variable created outside a controlled execution");
@@ -270,7 +275,7 @@ void Scheduler::scheduleLoop(SchedulePolicy &Policy) {
         Threads[LastScheduled]->Op.Kind == OpKind::Yield;
 
     SchedPoint Point{Enabled, LastScheduled, LastStillEnabled, LastIsYielded,
-                     Result.Steps};
+                     Result.Steps, this};
     ThreadId Tid = Policy.pick(Point);
     if (Tid == SchedulePolicy::AbortExecution) {
       Result.Status = RunStatus::Aborted;

@@ -130,6 +130,12 @@ public:
   ThreadId runningThread() const { return Running; }
   const std::string &threadName(ThreadId Tid) const;
 
+  /// The operation thread \p Tid is parked at (published at its last
+  /// scheduling point). Policies use it to judge independence between a
+  /// chosen step and a parked thread's next step (bounded POR); only
+  /// meaningful for live threads.
+  const PendingOp &pendingOp(ThreadId Tid) const;
+
   /// Fresh per-execution identity for a variable created by the running
   /// thread. Stable across interleavings: (creator, per-creator sequence).
   uint64_t allocateVarCode();

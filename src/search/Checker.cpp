@@ -23,6 +23,7 @@ std::unique_ptr<Strategy> icb::search::makeStrategy(const SearchOptions &Opts) {
       O.Shards = Opts.Shards;
       O.UseStateCache = Opts.UseStateCache;
       O.RecordSchedules = Opts.RecordSchedules;
+      O.UseSleepSets = Opts.UseSleepSets;
       O.Limits = Opts.Limits;
       O.Observer = Opts.Observer;
       O.Resume = Opts.Resume;
@@ -32,6 +33,7 @@ std::unique_ptr<Strategy> icb::search::makeStrategy(const SearchOptions &Opts) {
     IcbSearch::Options O;
     O.UseStateCache = Opts.UseStateCache;
     O.RecordSchedules = Opts.RecordSchedules;
+    O.UseSleepSets = Opts.UseSleepSets;
     O.Limits = Opts.Limits;
     O.Observer = Opts.Observer;
     O.Resume = Opts.Resume;

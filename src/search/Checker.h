@@ -39,6 +39,10 @@ struct SearchOptions {
   bool UseStateCache = false;
   /// Icb: carry schedules in work items (replayable bug reports).
   bool RecordSchedules = true;
+  /// Icb: bounded POR — sleep sets composed with the preemption bound.
+  /// Prunes same-bound siblings covered by independence without changing
+  /// which bugs exist at which minimal bounds. Other strategies ignore it.
+  bool UseSleepSets = false;
   /// Icb: worker threads. 1 runs the sequential reference engine; >1 (or
   /// 0 = hardware concurrency) runs the work-stealing parallel engine.
   unsigned Jobs = 1;

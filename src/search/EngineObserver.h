@@ -52,6 +52,9 @@ struct SavedWorkItem {
 
   std::vector<uint32_t> Prefix;
   uint32_t Next = NoNext;
+  /// Threads asleep at the item's start state (bounded POR); empty when
+  /// POR is off. Serialized only when non-empty (checkpoint format v3).
+  std::vector<uint32_t> Sleep;
 };
 
 /// A consistent safe-point image of one ICB driver. `Final` snapshots

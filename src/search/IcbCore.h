@@ -18,6 +18,7 @@
 #ifndef ICB_SEARCH_ICBCORE_H
 #define ICB_SEARCH_ICBCORE_H
 
+#include "obs/PhaseTimer.h"
 #include "search/Executor.h"
 #include "search/SearchTypes.h"
 #include "support/Hashing.h"
@@ -45,16 +46,77 @@ struct IcbWorkItem {
   /// when RecordSchedules is off (the prefix is dropped to save memory but
   /// its length still feeds the K statistic).
   uint64_t PrefixSteps = 0;
+  /// Bounded-POR sleep set: threads whose continuations from this item's
+  /// state are covered elsewhere at no extra preemption cost (sorted
+  /// ascending; empty when sleep sets are off). Same-bound siblings
+  /// thread the set through ascending creation order, sleeping each
+  /// earlier sibling whose step disables it. A *deferred* (next-bound)
+  /// item carries the continuation thread it preempted plus any entries
+  /// still asleep at the defer point; every other inherited entry is
+  /// woken (dropped) there — the Coons-style budget correction, since the
+  /// deferred budget differs from the entry's install-time budget.
+  std::vector<vm::ThreadId> Sleep;
 };
+
+/// Order-insensitive-enough mix of a sorted sleep set into a work-item
+/// digest: with sleep sets on, (state, thread) alone no longer determines
+/// the explored subtree, so the visited-item semantics must key on the
+/// sleep set too.
+inline uint64_t sleepSetHash(const std::vector<vm::ThreadId> &Sleep) {
+  uint64_t H = 0x9e3779b97f4a7c15ull;
+  for (vm::ThreadId U : Sleep)
+    H = hashCombine(H, U);
+  return H;
+}
+
+/// True when executing \p U's pending step from \p S leaves \p U
+/// blocked or finished. Sibling sleeps are budget-neutral exactly in
+/// this case: hoisting the sleeper's step to the front of the covering
+/// trace then costs a *free* switch back, so the covered execution
+/// lives at the same preemption bound as the pruned one. (A sleeper
+/// that stays enabled would force a preemption in the covering trace —
+/// pruning on it could push a bug one bound later, breaking ICB's
+/// minimal-exposure guarantee.) Probes a scratch copy of the state;
+/// nothing from the probe is recorded.
+inline bool stepDisables(const vm::Interp &VM, const vm::State &S,
+                         vm::ThreadId U) {
+  vm::State Probe = S;
+  vm::StepResult R = VM.step(Probe, U);
+  // A failing step must never be slept: the pruned trace would be the bug
+  // report. (The probe state is also unusable then — a failed assert
+  // leaves the thread parked mid-local-suffix.) Independent interleaved
+  // steps cannot change the step's outcome — it reads only its own shared
+  // object and thread-local registers — so probing here is conclusive.
+  if (R.Status == vm::StepStatus::AssertFailed ||
+      R.Status == vm::StepStatus::ModelError)
+    return false;
+  return !VM.isEnabled(Probe, U);
+}
+
+/// Sorted-insert helper for the small sleep vectors.
+inline void sleepInsert(std::vector<vm::ThreadId> &Sleep, vm::ThreadId U) {
+  auto It = std::lower_bound(Sleep.begin(), Sleep.end(), U);
+  if (It == Sleep.end() || *It != U)
+    Sleep.insert(It, U);
+}
 
 /// Runs one execution: follows \p W.Tid for as long as it stays enabled
 /// (Algorithm 1 lines 25-28), deferring every preemptive alternative via
 /// Ctx::defer (lines 29-32) and every nonpreempting alternative via
 /// Ctx::branch (lines 33-37), until the execution ends (pruned by the work
-/// item cache, bug found, or all threads done/blocked).
+/// item cache or a sleep set, bug found, or all threads done/blocked).
+///
+/// With \p UseSleepSets on, the item's sleep set is maintained along the
+/// chain (a sleeper wakes when a step touches its pending shared object),
+/// sleeping threads are skipped at free-switch points (their subtrees are
+/// covered by the sibling that put them to sleep), and every preemptive
+/// continuation is published with the inherited set dropped — within a
+/// chain the preemption budget never changes, so this defer-time wake is
+/// exactly where Coons-style budget-sensitive wakeups are needed.
 template <typename Ctx>
 void runIcbExecution(const vm::Interp &VM, IcbWorkItem W, bool UseStateCache,
-                     bool RecordSchedules, Ctx &C) {
+                     bool RecordSchedules, bool UseSleepSets, Ctx &C) {
+  std::vector<vm::VarRef> SleeperVars;
   while (true) {
     if (UseStateCache) {
       // Deliberately not phase-timed: hashing the small VM state costs
@@ -62,7 +124,10 @@ void runIcbExecution(const vm::Interp &VM, IcbWorkItem W, bool UseStateCache,
       // it. The Hash phase belongs to the rt executor's fingerprint
       // maintenance; the cache probes themselves are timed by the
       // engine's claimItem/noteState hooks.
-      if (!C.claimItem(hashCombine(W.S.hash(), W.Tid))) {
+      uint64_t Digest = hashCombine(W.S.hash(), W.Tid);
+      if (UseSleepSets)
+        Digest = hashCombine(Digest, sleepSetHash(W.Sleep));
+      if (!C.claimItem(Digest)) {
         // Revisited work item: everything beyond it was already explored
         // (possibly at a lower bound). Counts as one pruned execution.
         C.endExecution({W.PrefixSteps + W.Sched.size(), W.Blocking, 0});
@@ -70,11 +135,31 @@ void runIcbExecution(const vm::Interp &VM, IcbWorkItem W, bool UseStateCache,
       }
     }
 
+    // A sleeper's pending access must be read before the step mutates the
+    // state; its parked instruction cannot change while it is not run.
+    if (UseSleepSets && !W.Sleep.empty()) {
+      obs::ScopedPhase Timer(C.metrics(), obs::Phase::Por);
+      SleeperVars.clear();
+      for (vm::ThreadId U : W.Sleep)
+        SleeperVars.push_back(VM.nextVar(W.S, U));
+    }
+
     vm::StepResult R = VM.step(W.S, W.Tid);
     C.countSteps(1);
     W.Blocking += R.WasBlockingOp ? 1 : 0;
     W.Sched.push_back(W.Tid);
     C.noteState(W.S.hash());
+
+    if (UseSleepSets && !W.Sleep.empty()) {
+      // Wake every sleeper whose pending access is dependent with the
+      // step just executed; commuting the two would change the result.
+      obs::ScopedPhase Timer(C.metrics(), obs::Phase::Por);
+      size_t Kept = 0;
+      for (size_t I = 0; I != W.Sleep.size(); ++I)
+        if (!(SleeperVars[I] == R.Var))
+          W.Sleep[Kept++] = W.Sleep[I];
+      W.Sleep.resize(Kept);
+    }
 
     if (R.Status == vm::StepStatus::AssertFailed ||
         R.Status == vm::StepStatus::ModelError) {
@@ -98,10 +183,36 @@ void runIcbExecution(const vm::Interp &VM, IcbWorkItem W, bool UseStateCache,
 
     if (SelfEnabled) {
       // Scheduling any other enabled thread here preempts W.Tid: defer
-      // those continuations to the next bound (lines 29-32).
+      // those continuations to the next bound (lines 29-32). Deferred
+      // items run with one less unit of preemption budget than the budget
+      // the inherited sleepers were put to sleep under, so the inherited
+      // set is conservatively woken (dropped) — pruning on it could hide
+      // a bug that needs the budget the sleeping sibling no longer has.
+      //
+      // Each deferred item sleeps the *continuation thread* W.Tid: a
+      // pruned trace that takes W.Tid's (still independent) step later is
+      // covered by the continuation chain itself, which re-defers the
+      // same preemptor one step further on — at exactly the deferred
+      // item's own bound. A still-asleep enabled thread is not deferred
+      // at all (its preemptive continuation commutes back to its install
+      // site at strictly lower cost) but stays asleep for the later
+      // siblings. An awake earlier sibling is slept only when its step
+      // disables it (stepDisables keeps the covering trace free of an
+      // extra preemption; the siblings all share one budget).
+      std::vector<vm::ThreadId> DeferredSleep;
+      bool PublishedDefer = false;
+      uint64_t DeferSlept = 0;
+      if (UseSleepSets)
+        DeferredSleep.push_back(W.Tid);
       for (vm::ThreadId Other : Enabled) {
         if (Other == W.Tid)
           continue;
+        if (UseSleepSets &&
+            std::binary_search(W.Sleep.begin(), W.Sleep.end(), Other)) {
+          ++DeferSlept;
+          sleepInsert(DeferredSleep, Other);
+          continue;
+        }
         IcbWorkItem Deferred;
         Deferred.S = W.S;
         Deferred.Tid = Other;
@@ -110,7 +221,26 @@ void runIcbExecution(const vm::Interp &VM, IcbWorkItem W, bool UseStateCache,
         else
           Deferred.PrefixSteps = W.PrefixSteps + W.Sched.size();
         Deferred.Blocking = W.Blocking;
+        if (UseSleepSets) {
+          Deferred.Sleep = DeferredSleep;
+          if (stepDisables(VM, W.S, Other))
+            sleepInsert(DeferredSleep, Other);
+        }
+        PublishedDefer = true;
         C.defer(std::move(Deferred));
+      }
+      if (UseSleepSets) {
+        if (DeferSlept) {
+          obs::count(C.metrics(), obs::Counter::TransitionsSlept, DeferSlept);
+          ICB_OBS(C.metrics(), C.metrics()->SleepSavedPerBound.increment(
+                                   C.bound() + 1, DeferSlept));
+        }
+        // Inherited sleepers not re-justified above are conservatively
+        // woken for the deferred siblings — their budget differs from the
+        // install-time budget (the Coons-style correction).
+        uint64_t Dropped = W.Sleep.size() - DeferSlept;
+        if (PublishedDefer && Dropped)
+          obs::count(C.metrics(), obs::Counter::WokenByBudget, Dropped);
       }
       continue; // Keep running W.Tid at this bound (line 28).
     }
@@ -129,8 +259,45 @@ void runIcbExecution(const vm::Interp &VM, IcbWorkItem W, bool UseStateCache,
     }
 
     // W.Tid blocked or terminated: switching is free (nonpreempting).
-    // Continue with the first enabled thread; publish the rest for
-    // exploration at this same bound (lines 33-37).
+    // Continue with the first awake enabled thread; publish the rest for
+    // exploration at this same bound (lines 33-37). Sleeping threads are
+    // skipped outright: every trace taking one of them first is a
+    // commutation of a trace in the sibling subtree that put it to sleep,
+    // at the same preemption cost (all siblings here share one budget).
+    if (UseSleepSets && !W.Sleep.empty()) {
+      obs::ScopedPhase Timer(C.metrics(), obs::Phase::Por);
+      std::vector<vm::ThreadId> Awake;
+      Awake.reserve(Enabled.size());
+      uint64_t Slept = 0;
+      for (vm::ThreadId T : Enabled) {
+        if (std::binary_search(W.Sleep.begin(), W.Sleep.end(), T))
+          ++Slept;
+        else
+          Awake.push_back(T);
+      }
+      if (Slept != 0) {
+        obs::count(C.metrics(), obs::Counter::TransitionsSlept, Slept);
+        ICB_OBS(C.metrics(),
+                C.metrics()->SleepSavedPerBound.increment(C.bound(), Slept));
+      }
+      if (Awake.empty()) {
+        // Every enabled continuation is covered elsewhere: the chain ends
+        // here as a pruned execution.
+        obs::count(C.metrics(), obs::Counter::SleptExecutions);
+        C.endExecution({W.PrefixSteps + W.Sched.size(), W.Blocking, 0});
+        return;
+      }
+      Enabled = std::move(Awake);
+    }
+    // Later siblings sleep each earlier one whose step disables it: the
+    // commuted covering trace (sleeper's step hoisted to this state) then
+    // switches back for free, staying at this same bound. A sleeper that
+    // would stay enabled is left awake — covering it costs a preemption.
+    // The accumulated set is threaded through ascending creation order;
+    // each sibling also inherits the chain's own sleepers.
+    std::vector<vm::ThreadId> SiblingSleep;
+    if (UseSleepSets)
+      SiblingSleep = W.Sleep;
     for (size_t I = 1; I < Enabled.size(); ++I) {
       IcbWorkItem Branch;
       Branch.S = W.S;
@@ -140,6 +307,11 @@ void runIcbExecution(const vm::Interp &VM, IcbWorkItem W, bool UseStateCache,
       else
         Branch.PrefixSteps = W.PrefixSteps + W.Sched.size();
       Branch.Blocking = W.Blocking;
+      if (UseSleepSets) {
+        if (stepDisables(VM, W.S, Enabled[I - 1]))
+          sleepInsert(SiblingSleep, Enabled[I - 1]);
+        Branch.Sleep = SiblingSleep;
+      }
       C.branch(std::move(Branch));
     }
     W.Tid = Enabled[0];

@@ -12,7 +12,8 @@ using namespace icb;
 using namespace icb::search;
 
 SearchResult IcbSearch::run(const vm::Interp &Interp) {
-  VmExecutor Executor(Interp, {Opts.UseStateCache, Opts.RecordSchedules});
+  VmExecutor Executor(
+      Interp, {Opts.UseStateCache, Opts.RecordSchedules, Opts.UseSleepSets});
   IcbEngineOptions EngineOpts;
   EngineOpts.Limits = Opts.Limits;
   // Historical model-VM bug policy: first exposure wins at equal

@@ -46,6 +46,9 @@ public:
     /// Carry full schedules in work items so bug reports are replayable.
     /// Disable for exhaustive coverage runs to save queue memory.
     bool RecordSchedules = true;
+    /// Bounded POR: sleep sets composed with the preemption bound
+    /// (VmExecutor::Options::UseSleepSets).
+    bool UseSleepSets = false;
     SearchLimits Limits;
     /// Session hooks and resume snapshot (see EngineObserver.h).
     EngineObserver *Observer = nullptr;

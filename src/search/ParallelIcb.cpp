@@ -24,8 +24,8 @@ SearchResult ParallelIcbSearch::run(const vm::Interp &Interp) {
   Executors.reserve(Jobs);
   for (unsigned I = 0; I != Jobs; ++I)
     Executors.push_back(std::make_unique<VmExecutor>(
-        Interp,
-        VmExecutor::Options{Opts.UseStateCache, Opts.RecordSchedules}));
+        Interp, VmExecutor::Options{Opts.UseStateCache, Opts.RecordSchedules,
+                                    Opts.UseSleepSets}));
 
   IcbEngineOptions EngineOpts;
   EngineOpts.Limits = Opts.Limits;

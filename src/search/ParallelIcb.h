@@ -76,6 +76,10 @@ public:
     bool UseStateCache = false;
     /// Carry full schedules in work items so bug reports are replayable.
     bool RecordSchedules = true;
+    /// Bounded POR: sleep sets composed with the preemption bound
+    /// (VmExecutor::Options::UseSleepSets). Sleep sets travel inside the
+    /// work items, so worker count still does not affect results.
+    bool UseSleepSets = false;
     SearchLimits Limits;
     /// Session hooks and resume snapshot (see EngineObserver.h).
     EngineObserver *Observer = nullptr;

@@ -35,6 +35,10 @@ public:
     bool UseStateCache = false;
     /// Carry full schedules in work items so bug reports are replayable.
     bool RecordSchedules = true;
+    /// Bounded POR: maintain sleep sets along chains and across same-bound
+    /// siblings, waking on dependence and on preemption-budget changes
+    /// (IcbCore.h). Per-bound completeness is preserved.
+    bool UseSleepSets = false;
   };
 
   VmExecutor(const vm::Interp &VM, const Options &Opts)
@@ -58,12 +62,22 @@ public:
     }
 
     // Algorithm 1 lines 6-8: one work item per initially enabled thread.
+    // With sleep sets on, each root sleeps those earlier roots whose step
+    // disables them: the roots all share the zero-preemption budget, and
+    // the disable check keeps the sibling covering trace free of extra
+    // preemptions (see IcbCore.h).
     std::vector<WorkItem> Items;
     Items.reserve(Enabled0.size());
-    for (vm::ThreadId Tid : Enabled0) {
+    std::vector<vm::ThreadId> RootSleep;
+    for (size_t I = 0; I != Enabled0.size(); ++I) {
       WorkItem Item;
       Item.S = S0;
-      Item.Tid = Tid;
+      Item.Tid = Enabled0[I];
+      if (Opts.UseSleepSets) {
+        if (I != 0 && detail::stepDisables(VM, S0, Enabled0[I - 1]))
+          detail::sleepInsert(RootSleep, Enabled0[I - 1]);
+        Item.Sleep = RootSleep;
+      }
       Items.push_back(std::move(Item));
     }
     return Items;
@@ -71,7 +85,7 @@ public:
 
   template <typename Ctx> void runChain(WorkItem Item, Ctx &C) {
     detail::runIcbExecution(VM, std::move(Item), Opts.UseStateCache,
-                            Opts.RecordSchedules, C);
+                            Opts.RecordSchedules, Opts.UseSleepSets, C);
   }
 
   /// Checkpoint form of a work item: its schedule prefix plus the chosen
@@ -83,6 +97,7 @@ public:
     SavedWorkItem S;
     S.Prefix = W.Sched;
     S.Next = W.Tid;
+    S.Sleep = W.Sleep;
     return S;
   }
 
@@ -99,6 +114,7 @@ public:
       W.Sched.push_back(Tid);
     }
     W.Tid = S.Next;
+    W.Sleep = S.Sleep;
     return W;
   }
 

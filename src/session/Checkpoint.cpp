@@ -18,9 +18,12 @@ namespace icb::session {
 //===----------------------------------------------------------------------===//
 
 /// Version 2 added the optional `metrics` block to snapshots (and
-/// `mean_milli` to every MinMax object). Loaders accept both: the metrics
-/// field is optional and extra MinMax fields were always ignored.
-static constexpr uint64_t CheckpointFormatVersion = 2;
+/// `mean_milli` to every MinMax object). Version 3 added bounded POR
+/// (optional `por` meta field, optional `sleep` on saved work items, POR
+/// counters in the metrics block) and the "*"-compact digest encoding.
+/// Loaders accept all three: every v3 field is optional with a pre-POR
+/// default, and the digest decoder reads both hex forms.
+static constexpr uint64_t CheckpointFormatVersion = 3;
 static constexpr uint64_t MinCheckpointFormatVersion = 1;
 
 static JsonValue metaToJson(const CheckpointMeta &Meta) {
@@ -34,6 +37,7 @@ static JsonValue metaToJson(const CheckpointMeta &Meta) {
   V.set("seed", JsonValue::number(Meta.Seed));
   V.set("every_access", JsonValue::boolean(Meta.EveryAccess));
   V.set("detector", JsonValue::str(Meta.Detector));
+  V.set("por", JsonValue::boolean(Meta.Por));
   V.set("limits", limitsToJson(Meta.Limits));
   return V;
 }
@@ -50,6 +54,9 @@ static bool metaFromJson(const JsonValue &V, CheckpointMeta &Out) {
       !V.getBool("every_access", Out.EveryAccess) ||
       !V.getString("detector", Out.Detector) || !Limits ||
       !limitsFromJson(*Limits, Out.Limits))
+    return false;
+  // Absent in format v2 and earlier (POR did not exist): defaults false.
+  if (V.find("por") && !V.getBool("por", Out.Por))
     return false;
   if (Jobs > ~0u || Shards > ~0u)
     return false;

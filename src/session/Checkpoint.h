@@ -49,6 +49,9 @@ struct CheckpointMeta {
   uint64_t Seed = 0;
   bool EveryAccess = false;  ///< rt: schedule points at every access.
   std::string Detector;      ///< rt: race detector name.
+  /// Bounded POR (sleep sets). Changes which items exist in the frontier
+  /// queues, so resuming with the other setting is a conflict.
+  bool Por = false;
   search::SearchLimits Limits;
 };
 

@@ -6,6 +6,7 @@
 
 #include "session/Json.h"
 #include "support/Format.h"
+#include <algorithm>
 #include <cerrno>
 #include <cstdio>
 #include <cstring>
@@ -458,10 +459,43 @@ std::string icb::session::digestsToHex(const std::vector<uint64_t> &Digests) {
   return Out;
 }
 
+std::string
+icb::session::digestsToHexCompact(const std::vector<uint64_t> &Digests,
+                                  size_t CompactThreshold) {
+  if (Digests.size() < CompactThreshold)
+    return digestsToHex(Digests);
+  std::vector<uint64_t> Sorted = Digests;
+  std::sort(Sorted.begin(), Sorted.end());
+  std::string Out;
+  Out.reserve(Sorted.size() * 6 + 2);
+  Out += '*';
+  char Buf[17];
+  uint64_t Prev = 0;
+  for (uint64_t D : Sorted) {
+    Out += ' ';
+    std::snprintf(Buf, sizeof(Buf), "%llx",
+                  static_cast<unsigned long long>(D - Prev));
+    Out += Buf;
+    Prev = D;
+  }
+  return Out;
+}
+
 bool icb::session::digestsFromHex(const std::string &Text,
                                   std::vector<uint64_t> &Out) {
   Out.clear();
   size_t Pos = 0;
+  while (Pos < Text.size() && Text[Pos] == ' ')
+    ++Pos;
+  // "*" marks the compact (sorted, delta-encoded) form.
+  bool Delta = false;
+  if (Pos < Text.size() && Text[Pos] == '*') {
+    Delta = true;
+    ++Pos;
+    if (Pos < Text.size() && Text[Pos] != ' ')
+      return false;
+  }
+  uint64_t Prev = 0;
   while (Pos < Text.size()) {
     if (Text[Pos] == ' ') {
       ++Pos;
@@ -482,6 +516,10 @@ bool icb::session::digestsFromHex(const std::string &Text,
         return false; // More than 64 bits.
       Value = (Value << 4) | Nibble;
       ++Pos;
+    }
+    if (Delta) {
+      Value += Prev;
+      Prev = Value;
     }
     Out.push_back(Value);
   }

@@ -105,6 +105,18 @@ bool jsonParse(const std::string &Text, JsonValue &Out, std::string *Error);
 /// Encodes digests as a space-separated hex string ("a1b2 0 ff…"), the
 /// lossless-in-every-tool representation of 64-bit values.
 std::string digestsToHex(const std::vector<uint64_t> &Digests);
+
+/// Like digestsToHex, but once \p CompactThreshold entries are reached
+/// switches to the compact form "* base d1 d2 …": the digests sorted
+/// ascending and delta-encoded (value_i = value_{i-1} + d_i), marked by
+/// the leading "*". Digest fields are sets — their order is unspecified —
+/// so sorting is lossless, and deltas between sorted uniform 64-bit
+/// hashes are short: large visited sections shrink roughly 3x (checkpoint
+/// format v3).
+std::string digestsToHexCompact(const std::vector<uint64_t> &Digests,
+                                size_t CompactThreshold);
+
+/// Decodes either hex form (plain or "*"-compact).
 bool digestsFromHex(const std::string &Text, std::vector<uint64_t> &Out);
 
 /// Durably replaces \p Path: writes Path.tmp, flushes it to disk, then

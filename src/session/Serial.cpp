@@ -197,6 +197,11 @@ JsonValue icb::session::metricsToJson(const obs::MetricsSnapshot &M) {
     PerBound.Arr.push_back(JsonValue::number(Bucket));
   V.set("executions_per_bound", std::move(PerBound));
 
+  JsonValue SleepSaved = JsonValue::array();
+  for (uint64_t Bucket : M.SleepSavedPerBound.buckets())
+    SleepSaved.Arr.push_back(JsonValue::number(Bucket));
+  V.set("sleep_saved_per_bound", std::move(SleepSaved));
+
   // Timing section: one particular run on one particular machine. The
   // determinism tests and the resume CI normalization drop this subtree.
   JsonValue Timing = JsonValue::object();
@@ -237,20 +242,24 @@ bool icb::session::metricsFromJson(const JsonValue &V,
   if (!TimingCounters || !TimingCounters->isObject() || !Phases ||
       !Phases->isObject())
     return false;
+  // Counter/phase names absent from the file default to zero: format v2
+  // checkpoints predate the POR metrics but must keep loading.
   for (size_t I = 0; I != obs::NumCounters; ++I) {
     auto C = static_cast<obs::Counter>(I);
     const JsonValue &Section =
         obs::counterIsDeterministic(C) ? *Counters : *TimingCounters;
-    if (!Section.getU64(obs::counterName(C), Out.Counters[I]))
+    const char *Name = obs::counterName(C);
+    if (Section.find(Name) && !Section.getU64(Name, Out.Counters[I]))
       return false;
   }
   if (!minMaxFromJson(V.find("replay_depth"), Out.ReplayDepth))
     return false;
-  for (size_t I = 0; I != obs::NumPhases; ++I)
-    if (!minMaxFromJson(
-            Phases->find(obs::phaseName(static_cast<obs::Phase>(I))),
-            Out.Phases[I]))
+  for (size_t I = 0; I != obs::NumPhases; ++I) {
+    const JsonValue *P =
+        Phases->find(obs::phaseName(static_cast<obs::Phase>(I)));
+    if (P && !minMaxFromJson(P, Out.Phases[I]))
       return false;
+  }
 
   const JsonValue *PerBound = V.find("executions_per_bound");
   if (!PerBound || !PerBound->isArray())
@@ -259,6 +268,17 @@ bool icb::session::metricsFromJson(const JsonValue &V,
     if (PerBound->Arr[I].K != JsonValue::Kind::Number)
       return false;
     Out.ExecutionsPerBound.increment(I, PerBound->Arr[I].U);
+  }
+
+  // Optional: absent in format v2 checkpoints.
+  if (const JsonValue *SleepSaved = V.find("sleep_saved_per_bound")) {
+    if (!SleepSaved->isArray())
+      return false;
+    for (size_t I = 0; I != SleepSaved->Arr.size(); ++I) {
+      if (SleepSaved->Arr[I].K != JsonValue::Kind::Number)
+        return false;
+      Out.SleepSavedPerBound.increment(I, SleepSaved->Arr[I].U);
+    }
   }
 
   const JsonValue *Workers = Timing->find("workers");
@@ -356,6 +376,8 @@ JsonValue itemsToJson(const std::vector<SavedWorkItem> &Items) {
     JsonValue Row = JsonValue::object();
     Row.set("prefix", JsonValue::str(tidsToText(Item.Prefix)));
     Row.set("next", JsonValue::number(Item.Next));
+    if (!Item.Sleep.empty())
+      Row.set("sleep", JsonValue::str(tidsToText(Item.Sleep)));
     V.Arr.push_back(std::move(Row));
   }
   return V;
@@ -371,6 +393,13 @@ bool itemsFromJson(const JsonValue *V, std::vector<SavedWorkItem> &Out) {
         !tidsFromText(PrefixText, Item.Prefix) ||
         !RowV.getU32("next", Item.Next))
       return false;
+    // Optional: only POR items carry sleep sets (and v2 files never do).
+    if (RowV.find("sleep")) {
+      std::string SleepText;
+      if (!RowV.getString("sleep", SleepText) ||
+          !tidsFromText(SleepText, Item.Sleep))
+        return false;
+    }
     Out.push_back(std::move(Item));
   }
   return true;
@@ -411,10 +440,18 @@ JsonValue icb::session::snapshotToJson(const EngineSnapshot &Snap) {
     Sampler.set("have_pending",
                 JsonValue::boolean(Snap.Sampler.HavePending));
     V.set("sampler", std::move(Sampler));
-    V.set("seen_digests", JsonValue::str(digestsToHex(Snap.SeenDigests)));
+    // Digest sets dominate checkpoint size on long runs; past the
+    // threshold they switch to the sorted delta-encoded form (format v3).
+    constexpr size_t DigestCompactThreshold = 4096;
+    V.set("seen_digests",
+          JsonValue::str(
+              digestsToHexCompact(Snap.SeenDigests, DigestCompactThreshold)));
     V.set("terminal_digests",
-          JsonValue::str(digestsToHex(Snap.TerminalDigests)));
-    V.set("item_digests", JsonValue::str(digestsToHex(Snap.ItemDigests)));
+          JsonValue::str(digestsToHexCompact(Snap.TerminalDigests,
+                                             DigestCompactThreshold)));
+    V.set("item_digests",
+          JsonValue::str(
+              digestsToHexCompact(Snap.ItemDigests, DigestCompactThreshold)));
   }
   return V;
 }

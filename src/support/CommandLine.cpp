@@ -54,16 +54,17 @@ bool FlagSet::setValue(Flag &F, const std::string &Text,
     return true;
   }
   case FlagKind::Bool:
-    if (Text == "true" || Text == "1") {
+    if (Text == "true" || Text == "1" || Text == "on") {
       F.BoolValue = true;
       return true;
     }
-    if (Text == "false" || Text == "0") {
+    if (Text == "false" || Text == "0" || Text == "off") {
       F.BoolValue = false;
       return true;
     }
     if (ErrorOut)
-      *ErrorOut = strFormat("flag --%s expects true/false, got '%s'",
+      *ErrorOut = strFormat("flag --%s expects on/off (or true/false), "
+                            "got '%s'",
                             Name.c_str(), Text.c_str());
     return false;
   case FlagKind::String:

@@ -33,13 +33,15 @@ namespace {
 
 ExploreResult explorePosix(std::function<void()> Body, unsigned MaxBound,
                            bool StopAtFirst = false, unsigned Jobs = 1,
-                           obs::MetricsRegistry *Metrics = nullptr) {
+                           obs::MetricsRegistry *Metrics = nullptr,
+                           bool Por = false) {
   ExploreOptions Opts;
   Opts.Limits.MaxExecutions = 200000;
   Opts.Limits.StopAtFirstBug = StopAtFirst;
   Opts.Limits.MaxPreemptionBound = MaxBound;
   Opts.Jobs = Jobs;
   Opts.Metrics = Metrics;
+  Opts.Por = Por;
   IcbExplorer E(Opts);
   return E.explore(posix::makeTestCase("posix-test", std::move(Body)));
 }
@@ -269,6 +271,235 @@ TEST(PosixTls, DestructorsRunPerThread) {
 }
 
 //===----------------------------------------------------------------------===//
+// Barriers: nobody passes before everyone arrives, on every schedule
+//===----------------------------------------------------------------------===//
+
+struct BarCtx {
+  pthread_barrier_t Bar;
+  int Phase1 = 0;
+  int Phase2 = 0;
+  int Serial = 0;
+};
+
+void *barWorker(void *Arg) {
+  BarCtx *Cx = static_cast<BarCtx *>(Arg);
+  ++Cx->Phase1;
+  int Rc = icb_pthread_barrier_wait(&Cx->Bar);
+  icb_posix_assert(Rc == 0 || Rc == PTHREAD_BARRIER_SERIAL_THREAD,
+                   "barrier_wait rc");
+  if (Rc == PTHREAD_BARRIER_SERIAL_THREAD)
+    ++Cx->Serial;
+  icb_posix_assert(Cx->Phase1 == 3,
+                   "no thread passes the barrier before all arrive");
+  ++Cx->Phase2;
+  Rc = icb_pthread_barrier_wait(&Cx->Bar);
+  if (Rc == PTHREAD_BARRIER_SERIAL_THREAD)
+    ++Cx->Serial;
+  icb_posix_assert(Cx->Phase2 == 3, "second generation synchronizes too");
+  return nullptr;
+}
+
+TEST(PosixBarrier, PhaseSynchronizationOnEverySchedule) {
+  ExploreResult R = explorePosix(
+      [] {
+        BarCtx Cx;
+        icb_posix_assert(
+            icb_pthread_barrier_init(&Cx.Bar, nullptr, 0) == EINVAL,
+            "count 0 -> EINVAL");
+        icb_posix_assert(icb_pthread_barrier_init(&Cx.Bar, nullptr, 3) == 0,
+                         "barrier_init");
+        pthread_t T[3];
+        for (pthread_t &H : T)
+          icb_pthread_create(&H, nullptr, barWorker, &Cx);
+        for (pthread_t &H : T)
+          icb_pthread_join(H, nullptr);
+        icb_posix_assert(Cx.Serial == 2,
+                         "SERIAL_THREAD exactly once per generation");
+        icb_posix_assert(icb_pthread_barrier_destroy(&Cx.Bar) == 0,
+                         "barrier_destroy");
+        // No static initializer exists for barriers: use before init (or
+        // after destroy) is misuse, reported as EINVAL, never a hang.
+        icb_posix_assert(icb_pthread_barrier_wait(&Cx.Bar) == EINVAL,
+                         "wait after destroy -> EINVAL");
+        pthread_barrier_t Cold;
+        icb_posix_assert(icb_pthread_barrier_wait(&Cold) == EINVAL,
+                         "wait before init -> EINVAL");
+      },
+      /*MaxBound=*/1);
+  EXPECT_TRUE(R.Bugs.empty()) << (R.Bugs.empty() ? "" : R.Bugs[0].str());
+  EXPECT_GT(R.Stats.Executions, 1u) << "the schedule space did not branch";
+}
+
+//===----------------------------------------------------------------------===//
+// Spinlocks: blocking lock + trylock EBUSY, both outcomes explored
+//===----------------------------------------------------------------------===//
+
+struct SpinCtx {
+  pthread_spinlock_t Lock;
+  int Counter = 0;
+  int *Acquired;
+  int *Busy;
+};
+
+void *spinHolder(void *Arg) {
+  SpinCtx *Cx = static_cast<SpinCtx *>(Arg);
+  icb_posix_assert(icb_pthread_spin_lock(&Cx->Lock) == 0, "spin_lock");
+  icb_sched_yield(); // Hold across a scheduling point.
+  ++Cx->Counter;
+  icb_posix_assert(icb_pthread_spin_unlock(&Cx->Lock) == 0, "spin_unlock");
+  return nullptr;
+}
+
+void *spinTrier(void *Arg) {
+  SpinCtx *Cx = static_cast<SpinCtx *>(Arg);
+  int Rc = icb_pthread_spin_trylock(&Cx->Lock);
+  if (Rc == 0) {
+    ++Cx->Counter;
+    icb_posix_assert(icb_pthread_spin_unlock(&Cx->Lock) == 0, "spin_unlock");
+    ++*Cx->Acquired;
+  } else {
+    icb_posix_assert(Rc == EBUSY, "spin_trylock of held lock -> EBUSY");
+    ++*Cx->Busy;
+  }
+  return nullptr;
+}
+
+TEST(PosixSpin, ExclusionAndTrylockBothWays) {
+  int Acquired = 0, Busy = 0;
+  ExploreResult R = explorePosix(
+      [&Acquired, &Busy] {
+        SpinCtx Cx;
+        Cx.Acquired = &Acquired;
+        Cx.Busy = &Busy;
+        icb_posix_assert(
+            icb_pthread_spin_init(&Cx.Lock, PTHREAD_PROCESS_PRIVATE) == 0,
+            "spin_init");
+        pthread_t H, T;
+        icb_pthread_create(&H, nullptr, spinHolder, &Cx);
+        icb_pthread_create(&T, nullptr, spinTrier, &Cx);
+        icb_pthread_join(H, nullptr);
+        icb_pthread_join(T, nullptr);
+        // Destroy of a held lock must refuse.
+        icb_posix_assert(icb_pthread_spin_lock(&Cx.Lock) == 0, "relock");
+        icb_posix_assert(icb_pthread_spin_destroy(&Cx.Lock) == EBUSY,
+                         "destroy of held spinlock -> EBUSY");
+        icb_posix_assert(icb_pthread_spin_unlock(&Cx.Lock) == 0, "unlock");
+        icb_posix_assert(icb_pthread_spin_destroy(&Cx.Lock) == 0,
+                         "spin_destroy");
+      },
+      /*MaxBound=*/2);
+  EXPECT_TRUE(R.Bugs.empty()) << (R.Bugs.empty() ? "" : R.Bugs[0].str());
+  EXPECT_GT(Acquired, 0) << "no schedule let trylock win";
+  EXPECT_GT(Busy, 0) << "no schedule made trylock observe EBUSY";
+}
+
+#ifdef ICB_POSIX_HAS_THREADS_H
+
+//===----------------------------------------------------------------------===//
+// C11 <threads.h>: aliases carry the same modeled semantics
+//===----------------------------------------------------------------------===//
+
+struct C11Ctx {
+  mtx_t Lock;
+  cnd_t Cond;
+  int Ready = 0;
+};
+
+int c11Worker(void *Arg) {
+  C11Ctx *Cx = static_cast<C11Ctx *>(Arg);
+  icb_posix_assert(icb_mtx_lock(&Cx->Lock) == thrd_success, "mtx_lock");
+  Cx->Ready = 1;
+  icb_posix_assert(icb_cnd_signal(&Cx->Cond) == thrd_success, "cnd_signal");
+  icb_posix_assert(icb_mtx_unlock(&Cx->Lock) == thrd_success, "mtx_unlock");
+  return 42;
+}
+
+int c11Exiter(void *Arg) {
+  (void)Arg;
+  icb_thrd_exit(7); // Result must reach thrd_join like a plain return.
+}
+
+int *C11OnceCounter = nullptr;
+
+void c11OnceRoutine() { ++*C11OnceCounter; }
+
+void c11Body() {
+  C11Ctx Cx;
+  icb_posix_assert(icb_mtx_init(&Cx.Lock, mtx_plain) == thrd_success,
+                   "mtx_init");
+  icb_posix_assert(icb_cnd_init(&Cx.Cond) == thrd_success, "cnd_init");
+
+  thrd_t W;
+  icb_posix_assert(icb_thrd_create(&W, c11Worker, &Cx) == thrd_success,
+                   "thrd_create");
+  icb_posix_assert(!icb_thrd_equal(icb_thrd_current(), W),
+                   "worker is not self");
+  icb_posix_assert(icb_mtx_lock(&Cx.Lock) == thrd_success, "main mtx_lock");
+  while (!Cx.Ready)
+    icb_posix_assert(icb_cnd_wait(&Cx.Cond, &Cx.Lock) == thrd_success,
+                     "cnd_wait");
+  icb_posix_assert(icb_mtx_unlock(&Cx.Lock) == thrd_success,
+                   "main mtx_unlock");
+  int Res = 0;
+  icb_posix_assert(icb_thrd_join(W, &Res) == thrd_success, "thrd_join");
+  icb_posix_assert(Res == 42, "thrd_join reads the start routine's result");
+
+  thrd_t E;
+  icb_posix_assert(icb_thrd_create(&E, c11Exiter, nullptr) == thrd_success,
+                   "thrd_create exiter");
+  icb_posix_assert(icb_thrd_join(E, &Res) == thrd_success, "join exiter");
+  icb_posix_assert(Res == 7, "thrd_exit result reaches thrd_join");
+
+  // Recursive mutex type flag maps through.
+  mtx_t Rec;
+  icb_posix_assert(icb_mtx_init(&Rec, mtx_plain | mtx_recursive) ==
+                       thrd_success,
+                   "recursive mtx_init");
+  icb_posix_assert(icb_mtx_lock(&Rec) == thrd_success, "rec lock 1");
+  icb_posix_assert(icb_mtx_lock(&Rec) == thrd_success, "rec lock 2");
+  icb_posix_assert(icb_mtx_trylock(&Rec) == thrd_success, "rec trylock");
+  icb_posix_assert(icb_mtx_unlock(&Rec) == thrd_success, "rec unlock 3");
+  icb_posix_assert(icb_mtx_unlock(&Rec) == thrd_success, "rec unlock 2");
+  icb_posix_assert(icb_mtx_unlock(&Rec) == thrd_success, "rec unlock 1");
+  icb_mtx_destroy(&Rec);
+
+  // Unsignaled cnd_timedwait: the modeled expiry is the only outcome.
+  struct timespec Ts = {0, 1000};
+  icb_posix_assert(icb_mtx_lock(&Cx.Lock) == thrd_success, "tw lock");
+  icb_posix_assert(icb_cnd_timedwait(&Cx.Cond, &Cx.Lock, &Ts) ==
+                       thrd_timedout,
+                   "unsignaled cnd_timedwait -> thrd_timedout");
+  icb_posix_assert(icb_mtx_unlock(&Cx.Lock) == thrd_success, "tw unlock");
+
+  int OnceRuns = 0;
+  C11OnceCounter = &OnceRuns;
+  once_flag Flag = ONCE_FLAG_INIT;
+  icb_call_once(&Flag, c11OnceRoutine);
+  icb_call_once(&Flag, c11OnceRoutine);
+  icb_posix_assert(OnceRuns == 1, "call_once ran exactly once");
+
+  tss_t Key;
+  int Slot = 0;
+  icb_posix_assert(icb_tss_create(&Key, nullptr) == thrd_success,
+                   "tss_create");
+  icb_posix_assert(icb_tss_get(Key) == nullptr, "fresh tss slot is null");
+  icb_posix_assert(icb_tss_set(Key, &Slot) == thrd_success, "tss_set");
+  icb_posix_assert(icb_tss_get(Key) == &Slot, "tss_get reads back");
+  icb_tss_delete(Key);
+
+  icb_cnd_destroy(&Cx.Cond);
+  icb_mtx_destroy(&Cx.Lock);
+}
+
+TEST(PosixC11, ThreadsMutexesCondOnceTlsOnEverySchedule) {
+  ExploreResult R = explorePosix(c11Body, /*MaxBound=*/2);
+  EXPECT_TRUE(R.Bugs.empty()) << (R.Bugs.empty() ? "" : R.Bugs[0].str());
+  EXPECT_GT(R.Stats.Executions, 1u) << "the schedule space did not branch";
+}
+
+#endif // ICB_POSIX_HAS_THREADS_H
+
+//===----------------------------------------------------------------------===//
 // The examples/posix lost-wakeup deadlock, in-tree: the bound guarantee
 //===----------------------------------------------------------------------===//
 
@@ -325,6 +556,23 @@ TEST(PosixProdCons, DeadlockExposedAtBoundTwo) {
   EXPECT_EQ(R.Bugs[0].Kind, search::BugKind::Deadlock);
   EXPECT_EQ(R.Bugs[0].Preemptions, 2u)
       << "the lost wakeup needs exactly two preemptions";
+}
+
+TEST(PosixProdCons, DeadlockSurvivesPartialOrderReduction) {
+  // Regression: a signal must never be treated as independent of a
+  // sleeper's upcoming wait — the enqueue runs in the slice behind the
+  // waiter's MutexLock point, invisible to var codes, and pruning on it
+  // hides exactly this lost-wakeup deadlock.
+  ExploreResult Off = explorePosix(prodConsBody, /*MaxBound=*/2);
+  ExploreResult On = explorePosix(prodConsBody, /*MaxBound=*/2,
+                                  /*StopAtFirst=*/false, /*Jobs=*/1,
+                                  /*Metrics=*/nullptr, /*Por=*/true);
+  ASSERT_EQ(On.Bugs.size(), Off.Bugs.size());
+  ASSERT_FALSE(On.Bugs.empty());
+  EXPECT_EQ(On.Bugs[0].Kind, search::BugKind::Deadlock);
+  EXPECT_EQ(On.Bugs[0].Preemptions, Off.Bugs[0].Preemptions);
+  EXPECT_LT(On.Stats.Executions, Off.Stats.Executions)
+      << "POR stopped pruning anything through the shim";
 }
 
 //===----------------------------------------------------------------------===//

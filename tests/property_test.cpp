@@ -227,7 +227,9 @@ TEST_P(LadderSweepTest, MinimalBoundMatchesConstruction) {
 INSTANTIATE_TEST_SUITE_P(Depths, LadderSweepTest,
                          ::testing::Values(1u, 3u, 5u),
                          [](const ::testing::TestParamInfo<unsigned> &Info) {
-                           return "p" + std::to_string(Info.param);
+                           std::string Name("p");
+                           Name += std::to_string(Info.param);
+                           return Name;
                          });
 
 } // namespace

@@ -30,11 +30,13 @@ using icb::testutil::expectIdenticalResults;
 namespace {
 
 rt::ExploreResult runIcb(const rt::TestCase &Test, unsigned MaxBound,
-                         unsigned Jobs, bool KeepGoing = true) {
+                         unsigned Jobs, bool KeepGoing = true,
+                         bool Por = false) {
   rt::ExploreOptions Opts;
   Opts.Limits.MaxPreemptionBound = MaxBound;
   Opts.Limits.StopAtFirstBug = !KeepGoing;
   Opts.Jobs = Jobs;
+  Opts.Por = Por;
   rt::IcbExplorer Icb(Opts);
   return Icb.explore(Test);
 }
@@ -72,6 +74,33 @@ TEST(RtParallelIcb, JobsZeroPicksHardwareConcurrency) {
   rt::ExploreResult Seq = runIcb(Test, 1, /*Jobs=*/1);
   rt::ExploreResult Auto = runIcb(Test, 1, /*Jobs=*/0);
   expectIdenticalResults(Seq, Auto);
+}
+
+TEST(RtParallelIcb, PorBugReportsMatchSequential) {
+  // Sleep sets ride inside work items, so the pruning decisions — and
+  // therefore the full result, bug reports included — cannot depend on
+  // which worker drains which item.
+  for (WsqBug Bug : {WsqBug::PopCheckThenAct, WsqBug::PopRetryNoLock}) {
+    SCOPED_TRACE(wsqBugName(Bug));
+    rt::TestCase Test = workStealingTest({3, 4, Bug});
+    rt::ExploreResult Seq =
+        runIcb(Test, 2, /*Jobs=*/1, /*KeepGoing=*/true, /*Por=*/true);
+    ASSERT_TRUE(Seq.foundBug());
+    for (unsigned Jobs : {2u, 4u}) {
+      rt::ExploreResult Par = runIcb(Test, 2, Jobs, true, true);
+      expectIdenticalResults(Seq, Par);
+    }
+  }
+}
+
+TEST(RtParallelIcb, PorCleanTestStaysCleanAndExhaustsSpace) {
+  rt::TestCase Test = bluetoothTest({2, /*WithBug=*/false});
+  rt::ExploreResult Seq = runIcb(Test, 2, /*Jobs=*/1, true, /*Por=*/true);
+  EXPECT_FALSE(Seq.foundBug());
+  rt::ExploreResult Off = runIcb(Test, 2, /*Jobs=*/1);
+  EXPECT_LT(Seq.Stats.Executions, Off.Stats.Executions)
+      << "POR should prune part of the clean Bluetooth space";
+  expectIdenticalResults(Seq, runIcb(Test, 2, /*Jobs=*/3, true, true));
 }
 
 TEST(RtParallelIcb, StopAtFirstBugStillReportsMinimalBound) {

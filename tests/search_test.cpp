@@ -337,21 +337,30 @@ TEST(SleepSets, PreserveBugsWithFewerExecutions) {
   }
 }
 
-TEST(SleepSets, ActuallyReduceOnIndependentWork) {
-  // Threads touching disjoint globals commute completely: sleep sets
-  // should collapse the factorial blowup dramatically.
+/// Threads touching disjoint globals commute completely: POR's best case.
+Program disjointProgram(int Threads) {
   ProgramBuilder PB("disjoint");
   std::vector<GlobalVar> Gs;
-  for (int I = 0; I != 3; ++I)
-    Gs.push_back(PB.addGlobal("g" + std::to_string(I), 0));
-  for (int I = 0; I != 3; ++I) {
-    ThreadBuilder &T = PB.addThread("t" + std::to_string(I));
+  for (int I = 0; I != Threads; ++I) {
+    std::string GName("g");
+    GName += static_cast<char>('0' + I);
+    Gs.push_back(PB.addGlobal(GName, 0));
+  }
+  for (int I = 0; I != Threads; ++I) {
+    std::string TName("t");
+    TName += static_cast<char>('0' + I);
+    ThreadBuilder &T = PB.addThread(TName);
     T.imm(Reg{0}, 1);
     T.storeG(Gs[static_cast<size_t>(I)], Reg{0});
     T.storeG(Gs[static_cast<size_t>(I)], Reg{0});
     T.halt();
   }
-  Program Prog = PB.build();
+  return PB.build();
+}
+
+TEST(SleepSets, ActuallyReduceOnIndependentWork) {
+  // Sleep sets should collapse the factorial blowup dramatically.
+  Program Prog = disjointProgram(3);
   Interp VM(Prog);
   DfsSearch Plain(DfsSearch::Options{});
   DfsSearch::Options PorOpts;
@@ -365,6 +374,31 @@ TEST(SleepSets, ActuallyReduceOnIndependentWork) {
   // all equivalent; sleep sets keep exactly one.
   EXPECT_EQ(A.Stats.Executions, 90u);
   EXPECT_EQ(B.Stats.Executions, 1u);
+  EXPECT_FALSE(A.foundBug());
+  EXPECT_FALSE(B.foundBug());
+}
+
+TEST(IcbSleepSets, ReduceOnIndependentWork) {
+  // Bounded POR composed with ICB: within each preemption bound, later
+  // same-budget siblings sleep earlier ones, so commuting interleavings
+  // of independent steps collapse. The full 90-interleaving space of the
+  // 3-thread disjoint program must shrink substantially while the search
+  // still completes (covers every bound).
+  Program Prog = disjointProgram(3);
+
+  SearchOptions Plain;
+  Plain.Kind = StrategyKind::Icb;
+  SearchResult A = checkProgram(Prog, Plain);
+  ASSERT_TRUE(A.Stats.Completed);
+
+  SearchOptions Por = Plain;
+  Por.UseSleepSets = true;
+  SearchResult B = checkProgram(Prog, Por);
+  ASSERT_TRUE(B.Stats.Completed);
+
+  EXPECT_EQ(A.Stats.Executions, 90u);
+  EXPECT_LE(B.Stats.Executions * 2, A.Stats.Executions)
+      << "bounded POR should prune at least half the interleavings";
   EXPECT_FALSE(A.foundBug());
   EXPECT_FALSE(B.foundBug());
 }

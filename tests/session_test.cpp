@@ -115,6 +115,37 @@ TEST(SessionJson, DigestHexRoundTrip) {
   EXPECT_FALSE(digestsFromHex("12 xyz", Back));
 }
 
+TEST(SessionJson, DigestHexCompactRoundTrip) {
+  // Above the threshold the writer switches to the sorted delta form
+  // ("*" prefix); digest sets are order-free, so reading one back yields
+  // the same set in sorted order.
+  std::vector<uint64_t> Digests = {0xdeadbeef, 3, UINT64_MAX, 3,
+                                   (1ull << 53) + 1, 0};
+  std::string Compact = digestsToHexCompact(Digests, /*CompactThreshold=*/4);
+  ASSERT_FALSE(Compact.empty());
+  EXPECT_EQ(Compact[0], '*');
+  std::vector<uint64_t> Back;
+  ASSERT_TRUE(digestsFromHex(Compact, Back));
+  std::vector<uint64_t> Sorted = Digests;
+  std::sort(Sorted.begin(), Sorted.end());
+  EXPECT_EQ(Back, Sorted);
+
+  // Below the threshold the plain form (and original order) is kept.
+  EXPECT_EQ(digestsToHexCompact(Digests, /*CompactThreshold=*/100),
+            digestsToHex(Digests));
+
+  // The compact form is what makes huge digest sets affordable: deltas of
+  // a dense sorted set are short, so the encoding shrinks accordingly.
+  std::vector<uint64_t> Dense;
+  for (uint64_t I = 0; I != 8192; ++I)
+    Dense.push_back(I * 7);
+  std::string Plain = digestsToHex(Dense);
+  std::string Small = digestsToHexCompact(Dense, 4096);
+  EXPECT_LT(Small.size() * 2, Plain.size());
+  ASSERT_TRUE(digestsFromHex(Small, Back));
+  EXPECT_EQ(Back, Dense);
+}
+
 TEST(SessionJson, AtomicWriteThenRead) {
   std::string Path = testing::TempDir() + "icb_session_json_test.tmp";
   std::string Error;
@@ -210,11 +241,13 @@ private:
 
 rt::ExploreResult runRtIcb(const rt::TestCase &Test, unsigned Jobs,
                            search::EngineObserver *Obs = nullptr,
-                           const search::EngineSnapshot *Resume = nullptr) {
+                           const search::EngineSnapshot *Resume = nullptr,
+                           bool Por = false) {
   rt::ExploreOptions Opts;
   Opts.Limits.MaxPreemptionBound = 2;
   Opts.Limits.StopAtFirstBug = false;
   Opts.Jobs = Jobs;
+  Opts.Por = Por;
   Opts.Observer = Obs;
   Opts.Resume = Resume;
   rt::IcbExplorer Icb(Opts);
@@ -223,11 +256,13 @@ rt::ExploreResult runRtIcb(const rt::TestCase &Test, unsigned Jobs,
 
 search::SearchResult runVmIcb(const vm::Program &Prog, unsigned Jobs,
                               search::EngineObserver *Obs = nullptr,
-                              const search::EngineSnapshot *Resume = nullptr) {
+                              const search::EngineSnapshot *Resume = nullptr,
+                              bool Por = false) {
   vm::Interp VM(Prog);
   if (Jobs == 1) {
     search::IcbSearch::Options Opts;
     Opts.UseStateCache = false;
+    Opts.UseSleepSets = Por;
     Opts.Limits.MaxPreemptionBound = 2;
     Opts.Limits.StopAtFirstBug = false;
     Opts.Observer = Obs;
@@ -237,6 +272,7 @@ search::SearchResult runVmIcb(const vm::Program &Prog, unsigned Jobs,
   search::ParallelIcbSearch::Options Opts;
   Opts.Jobs = Jobs;
   Opts.UseStateCache = false;
+  Opts.UseSleepSets = Por;
   Opts.Limits.MaxPreemptionBound = 2;
   Opts.Limits.StopAtFirstBug = false;
   Opts.Observer = Obs;
@@ -245,36 +281,39 @@ search::SearchResult runVmIcb(const vm::Program &Prog, unsigned Jobs,
 }
 
 /// Interrupt a run mid-flight, resume from the emitted snapshot, and
-/// demand results identical to the uninterrupted reference.
-void checkRtResume(unsigned Jobs) {
+/// demand results identical to the uninterrupted reference. With POR on,
+/// the sleep sets serialized inside work items must survive the trip —
+/// dropping them would make the resumed run explore *more* than the
+/// reference; inventing them would lose executions.
+void checkRtResume(unsigned Jobs, bool Por = false) {
   rt::TestCase Test = workStealingTest({3, 4, WsqBug::PopCheckThenAct});
-  rt::ExploreResult Reference = runRtIcb(Test, Jobs);
+  rt::ExploreResult Reference = runRtIcb(Test, Jobs, nullptr, nullptr, Por);
   ASSERT_TRUE(Reference.foundBug());
 
   SnapshotProbe Probe(/*StopAfterPolls=*/40);
-  rt::ExploreResult Cut = runRtIcb(Test, Jobs, &Probe);
+  rt::ExploreResult Cut = runRtIcb(Test, Jobs, &Probe, nullptr, Por);
   ASSERT_TRUE(Cut.Interrupted);
   ASSERT_FALSE(Probe.Resumable.empty());
   EXPECT_LT(Cut.Stats.Executions, Reference.Stats.Executions);
 
   rt::ExploreResult Resumed =
-      runRtIcb(Test, Jobs, nullptr, &Probe.Resumable.back());
+      runRtIcb(Test, Jobs, nullptr, &Probe.Resumable.back(), Por);
   EXPECT_FALSE(Resumed.Interrupted);
   expectIdenticalResults(Reference, Resumed);
 }
 
-void checkVmResume(unsigned Jobs) {
+void checkVmResume(unsigned Jobs, bool Por = false) {
   vm::Program Prog = wsqModel({3, WsqBug::PopCheckThenAct});
-  search::SearchResult Reference = runVmIcb(Prog, Jobs);
+  search::SearchResult Reference = runVmIcb(Prog, Jobs, nullptr, nullptr, Por);
   ASSERT_TRUE(Reference.foundBug());
 
   SnapshotProbe Probe(/*StopAfterPolls=*/40);
-  search::SearchResult Cut = runVmIcb(Prog, Jobs, &Probe);
+  search::SearchResult Cut = runVmIcb(Prog, Jobs, &Probe, nullptr, Por);
   ASSERT_TRUE(Cut.Interrupted);
   ASSERT_FALSE(Probe.Resumable.empty());
 
   search::SearchResult Resumed =
-      runVmIcb(Prog, Jobs, nullptr, &Probe.Resumable.back());
+      runVmIcb(Prog, Jobs, nullptr, &Probe.Resumable.back(), Por);
   EXPECT_FALSE(Resumed.Interrupted);
   expectIdenticalResults(Reference, Resumed);
 }
@@ -283,6 +322,18 @@ TEST(SessionResume, RtSequentialMatchesUninterrupted) { checkRtResume(1); }
 TEST(SessionResume, RtParallelMatchesUninterrupted) { checkRtResume(3); }
 TEST(SessionResume, VmSequentialMatchesUninterrupted) { checkVmResume(1); }
 TEST(SessionResume, VmParallelMatchesUninterrupted) { checkVmResume(3); }
+TEST(SessionResume, RtPorSequentialMatchesUninterrupted) {
+  checkRtResume(1, /*Por=*/true);
+}
+TEST(SessionResume, RtPorParallelMatchesUninterrupted) {
+  checkRtResume(3, /*Por=*/true);
+}
+TEST(SessionResume, VmPorSequentialMatchesUninterrupted) {
+  checkVmResume(1, /*Por=*/true);
+}
+TEST(SessionResume, VmPorParallelMatchesUninterrupted) {
+  checkVmResume(3, /*Por=*/true);
+}
 
 TEST(SessionResume, PeriodicSnapshotResumesToSameResults) {
   // A completed run's periodic mid-run snapshots are just as resumable as
@@ -344,6 +395,91 @@ TEST(SessionCheckpoint, SerializedSnapshotResumesIdentically) {
   EXPECT_EQ(Loaded.Snap.NextQueue.size(), Data.Snap.NextQueue.size());
   EXPECT_EQ(Loaded.Snap.SeenDigests, Data.Snap.SeenDigests);
   EXPECT_EQ(Loaded.Snap.Stats.Executions, Data.Snap.Stats.Executions);
+
+  rt::ExploreResult Resumed = runRtIcb(Test, 1, nullptr, &Loaded.Snap);
+  expectIdenticalResults(Reference, Resumed);
+}
+
+TEST(SessionCheckpoint, PorSnapshotRoundTripsThroughDisk) {
+  // Same durability path with bounded POR on: the sleep sets inside saved
+  // work items must survive serialization, or the resumed run diverges.
+  rt::TestCase Test = workStealingTest({3, 4, WsqBug::PopCheckThenAct});
+  rt::ExploreResult Reference =
+      runRtIcb(Test, 1, nullptr, nullptr, /*Por=*/true);
+
+  SnapshotProbe Probe(/*StopAfterPolls=*/60);
+  rt::ExploreResult Cut = runRtIcb(Test, 1, &Probe, nullptr, /*Por=*/true);
+  ASSERT_TRUE(Cut.Interrupted);
+  ASSERT_FALSE(Probe.Resumable.empty());
+
+  CheckpointData Data;
+  Data.Meta.Form = "rt";
+  Data.Meta.Strategy = "icb";
+  Data.Meta.Por = true;
+  Data.Meta.Limits.MaxPreemptionBound = 2;
+  Data.Snap = Probe.Resumable.back();
+
+  std::string Path = checkpointPath(testing::TempDir());
+  std::string Error;
+  ASSERT_TRUE(saveCheckpoint(Path, Data, &Error)) << Error;
+  CheckpointData Loaded;
+  ASSERT_TRUE(loadCheckpoint(Path, Loaded, &Error)) << Error;
+  std::remove(Path.c_str());
+
+  EXPECT_TRUE(Loaded.Meta.Por);
+  rt::ExploreResult Resumed =
+      runRtIcb(Test, 1, nullptr, &Loaded.Snap, /*Por=*/true);
+  expectIdenticalResults(Reference, Resumed);
+}
+
+TEST(SessionCheckpoint, LoadsFormatVersionTwoFiles) {
+  // Bounded POR bumped the checkpoint format to v3; files written by
+  // pre-POR builds (v2: no `por` meta field, no `sleep` on work items,
+  // plain digest encoding) must keep loading with POR defaulted off.
+  rt::TestCase Test = workStealingTest({3, 4, WsqBug::PopCheckThenAct});
+  rt::ExploreResult Reference = runRtIcb(Test, 1);
+
+  SnapshotProbe Probe(/*StopAfterPolls=*/60);
+  rt::ExploreResult Cut = runRtIcb(Test, 1, &Probe);
+  ASSERT_TRUE(Cut.Interrupted);
+  ASSERT_FALSE(Probe.Resumable.empty());
+
+  CheckpointData Data;
+  Data.Meta.Form = "rt";
+  Data.Meta.Strategy = "icb";
+  Data.Meta.Limits.MaxPreemptionBound = 2;
+  Data.Snap = Probe.Resumable.back();
+
+  std::string Path = checkpointPath(testing::TempDir());
+  std::string Error;
+  ASSERT_TRUE(saveCheckpoint(Path, Data, &Error)) << Error;
+  std::string Text;
+  ASSERT_TRUE(readFile(Path, Text, &Error)) << Error;
+
+  // Regress the file to what a v2 writer produced: version 2 and no
+  // `por` member. (A POR-off v3 writer emits no `sleep` members and this
+  // snapshot is far below the digest-compaction threshold, so the rest of
+  // the bytes already match the v2 shape.)
+  JsonValue Doc;
+  ASSERT_TRUE(jsonParse(Text, Doc, &Error)) << Error;
+  Doc.set("icb_checkpoint", JsonValue::number(2));
+  JsonValue *Meta = nullptr;
+  for (JsonValue::Member &M : Doc.Obj)
+    if (M.first == "meta")
+      Meta = &M.second;
+  ASSERT_NE(Meta, nullptr);
+  for (size_t I = 0; I != Meta->Obj.size(); ++I)
+    if (Meta->Obj[I].first == "por") {
+      Meta->Obj.erase(Meta->Obj.begin() + I);
+      break;
+    }
+  EXPECT_EQ(Meta->find("por"), nullptr);
+  ASSERT_TRUE(atomicWriteFile(Path, jsonWrite(Doc) + "\n", &Error)) << Error;
+
+  CheckpointData Loaded;
+  ASSERT_TRUE(loadCheckpoint(Path, Loaded, &Error)) << Error;
+  std::remove(Path.c_str());
+  EXPECT_FALSE(Loaded.Meta.Por);
 
   rt::ExploreResult Resumed = runRtIcb(Test, 1, nullptr, &Loaded.Snap);
   expectIdenticalResults(Reference, Resumed);

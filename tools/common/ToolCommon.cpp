@@ -40,6 +40,7 @@ session::CheckpointMeta makeMeta(const SessionState &S, const RunConfig &C,
   M.Seed = C.Seed;
   M.EveryAccess = C.EveryAccess;
   M.Detector = C.Detector;
+  M.Por = C.Por;
   M.Limits.MaxExecutions = C.MaxExecutions;
   M.Limits.MaxPreemptionBound = C.MaxBound;
   M.Limits.StopAtFirstBug = C.StopAtFirst;
@@ -209,6 +210,9 @@ void icb::tool::addSearchFlags(FlagSet &Flags) {
   Flags.addBool("keep-going", false, "collect all bugs, not just the first");
   Flags.addBool("every-access", false,
                 "scheduling points at every data access (ablation mode)");
+  Flags.addBool("por", true,
+                "bounded partial-order reduction (sleep sets) with the icb "
+                "strategy: on or off");
   Flags.addString("detector", "vc", "race detector: vc or goldilocks");
   Flags.addBool("progress", false,
                 "live single-line progress ticker on stderr");
@@ -266,6 +270,17 @@ bool icb::tool::readRunConfig(const FlagSet &Flags, RunConfig &Config) {
                  "--jobs != 1\n");
     return false;
   }
+  Config.Por = Flags.getBool("por");
+  if (Config.Strategy != "icb") {
+    if (Flags.wasSet("por")) {
+      std::fprintf(stderr,
+                   "--por applies to the icb strategy only (got "
+                   "--strategy=%s)\n",
+                   Config.Strategy.c_str());
+      return false;
+    }
+    Config.Por = false; // The default gates on the strategy.
+  }
   return true;
 }
 
@@ -296,8 +311,9 @@ bool icb::tool::checkReplayExclusive(
   static const char *const Incompatible[] = {
       "strategy",     "max-bound",      "max-executions",   "seed",
       "jobs",         "shards",         "keep-going",       "every-access",
-      "detector",     "json",           "checkpoint-dir",   "checkpoint-every",
-      "resume",       "repro-dir",      "progress",         "progress-every",
+      "por",          "detector",       "json",             "checkpoint-dir",
+      "checkpoint-every", "resume",     "repro-dir",        "progress",
+      "progress-every",
   };
   auto Reject = [](const char *Name) {
     std::fprintf(stderr,
@@ -374,6 +390,9 @@ int icb::tool::applyResume(const FlagSet &Flags, const std::string &ResumeDir,
   CheckNum("max-executions", Config.MaxExecutions, M.Limits.MaxExecutions);
   CheckBool("every-access", Config.EveryAccess, M.EveryAccess);
   CheckBool("keep-going", !Config.StopAtFirst, !M.Limits.StopAtFirstBug);
+  // POR decides which work items exist in the checkpointed frontier, so a
+  // run must resume under the setting it was started with.
+  CheckBool("por", Config.Por, M.Por);
   // --model exists only on tools that offer both forms (wasSet asserts on
   // unregistered names); BenchName doubles as the "registry tool" signal.
   if (BenchName)
@@ -398,6 +417,7 @@ int icb::tool::applyResume(const FlagSet &Flags, const std::string &ResumeDir,
   Config.MaxExecutions = M.Limits.MaxExecutions;
   Config.EveryAccess = M.EveryAccess;
   Config.StopAtFirst = M.Limits.StopAtFirstBug;
+  Config.Por = M.Por;
   Config.PreferModel = M.Form == "vm";
   if (BenchName)
     *BenchName = M.Benchmark;
@@ -418,6 +438,7 @@ session::JsonValue icb::tool::configRecord(const RunConfig &Config) {
   Cfg.set("jobs", JsonValue::number(Config.Jobs));
   Cfg.set("shards", JsonValue::number(Config.Shards));
   Cfg.set("every_access", JsonValue::boolean(Config.EveryAccess));
+  Cfg.set("por", JsonValue::boolean(Config.Por));
   Cfg.set("detector", JsonValue::str(Config.Detector));
   Cfg.set("keep_going", JsonValue::boolean(!Config.StopAtFirst));
   return Cfg;
@@ -435,6 +456,7 @@ int icb::tool::runRt(const rt::TestCase &Test, const RunConfig &Config,
   Opts.Limits.StopAtFirstBug = Config.StopAtFirst;
   Opts.Jobs = Config.Jobs;
   Opts.Shards = Config.Shards;
+  Opts.Por = Config.Por;
   if (Config.EveryAccess)
     Opts.Exec.Mode = rt::SchedPointMode::EveryAccess;
   Opts.Exec.Detector = Config.Detector == "goldilocks"
@@ -526,6 +548,7 @@ int icb::tool::runVm(const vm::Program &Prog, const RunConfig &Config,
   Opts.RandomExecutions = Config.MaxExecutions;
   Opts.Jobs = Config.Jobs;
   Opts.Shards = Config.Shards;
+  Opts.UseSleepSets = Config.Por;
   Opts.Limits.MaxExecutions = Config.MaxExecutions;
   Opts.Limits.MaxPreemptionBound = Config.MaxBound;
   Opts.Limits.StopAtFirstBug = Config.StopAtFirst;

@@ -54,6 +54,9 @@ struct RunConfig {
   bool Trace = false;
   bool StopAtFirst = true;
   bool EveryAccess = false;
+  /// Bounded POR (sleep sets composed with the preemption bound). On by
+  /// default for the icb strategy; forced off for every other strategy.
+  bool Por = true;
   bool PreferModel = false;
   std::string Detector = "vc";
   bool Progress = false;
