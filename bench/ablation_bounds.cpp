@@ -1,0 +1,240 @@
+//===- bench/ablation_bounds.cpp - Bound-policy ablation -------------------===//
+//
+// Part of the ICB project (PLDI'07 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Compares the three bound policies behind the BoundPolicy seam on the
+/// registry's seeded bugs: preemption bounding (the paper's metric),
+/// delay bounding (every deviation from the default scheduler costs one
+/// unit), and thread/variable bounding (budgets on the set of distinct
+/// preempted threads and preempted-upon variables, after Bindal-Bansal-
+/// Lal). The measurement is executions-to-first-bug under iterative
+/// deepening: every policy explores its frontier bound-by-bound, so the
+/// comparison is purely about which cost metric ranks the buggy schedule
+/// cheap.
+///
+/// Each policy gets the same generous ceiling and execution cap; a bug a
+/// policy cannot reach inside the cap is reported as not found rather
+/// than failing the harness (variable budgets legitimately prune, and
+/// delay frontiers grow faster than preemption frontiers). What the
+/// harness *does* enforce — it is the CI gate for the seam's usefulness —
+/// is that delay bounding and thread/variable bounding each find at
+/// least one registry bug in strictly fewer executions than preemption
+/// bounding does.
+///
+/// Besides the human-readable table, the harness emits the measurements
+/// as a session-JSON block (BEGIN/END JSON markers) and writes them to
+/// BENCH_bounds.json in the working directory, which CI archives per
+/// commit.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+#include "benchmarks/Registry.h"
+#include "rt/Explore.h"
+#include "search/BoundPolicy.h"
+#include "search/IcbSearch.h"
+#include "session/Json.h"
+#include "support/Format.h"
+#include <cstdio>
+#include <memory>
+
+using namespace icb;
+using namespace icb::bench;
+using namespace icb::benchutil;
+using namespace icb::search;
+
+namespace {
+
+/// Safety net only: with StopAtFirstBug every interesting run stops long
+/// before this, and a policy that cannot reach a bug at all would
+/// otherwise sweep its whole (much larger) bounded space.
+constexpr uint64_t kMaxExecutions = 200000;
+
+/// The contenders. The preemption and delay ceilings are generous on
+/// purpose — iterative deepening means the first bug found is minimal
+/// under the policy's own metric regardless of the ceiling, which only
+/// caps clean sweeps. The variable budget is the opposite: pruning is
+/// its entire value proposition, so it is kept tight (a loose budget
+/// degenerates into thread bounding over an enormous per-bound space).
+std::vector<BoundSpec> policySpecs() {
+  return {{"preemption", 16, 0}, {"delay", 32, 0}, {"thread", 2, 4}};
+}
+
+struct PolicyOutcome {
+  std::string Spec;
+  bool Found = false;
+  uint64_t Executions = 0;
+  uint64_t Steps = 0;
+  unsigned Preemptions = 0; ///< True preemption count of the first bug.
+};
+
+PolicyOutcome summarize(const std::string &Spec, const SearchResult &R) {
+  PolicyOutcome O;
+  O.Spec = Spec;
+  O.Found = R.foundBug();
+  O.Executions = R.Stats.Executions;
+  O.Steps = R.Stats.TotalSteps;
+  if (O.Found)
+    O.Preemptions = R.simplestBug()->Preemptions;
+  return O;
+}
+
+PolicyOutcome runVm(const vm::Program &Prog, const BoundSpec &Spec) {
+  std::unique_ptr<BoundPolicy> Policy = makeBoundPolicy(Spec);
+  vm::Interp VM(Prog);
+  IcbSearch::Options Opts;
+  // State caching on, matching how icb_check runs the model VM: the
+  // policies are compared as a user would actually run them.
+  Opts.UseStateCache = true;
+  Opts.RecordSchedules = false;
+  Opts.Policy = Policy.get();
+  Opts.Limits.StopAtFirstBug = true;
+  Opts.Limits.MaxExecutions = kMaxExecutions;
+  return summarize(Policy->spec(), IcbSearch(Opts).run(VM));
+}
+
+PolicyOutcome runRt(const rt::TestCase &Test, const BoundSpec &Spec) {
+  std::unique_ptr<BoundPolicy> Policy = makeBoundPolicy(Spec);
+  rt::ExploreOptions Opts;
+  Opts.Policy = Policy.get();
+  Opts.Limits.StopAtFirstBug = true;
+  Opts.Limits.MaxExecutions = kMaxExecutions;
+  rt::IcbExplorer Icb(Opts);
+  return summarize(Policy->spec(), Icb.explore(Test));
+}
+
+/// One seeded bug measured under every policy on one executor form.
+struct BoundsCase {
+  std::string Benchmark;
+  std::string Variant;
+  std::string Form; ///< "vm" or "rt".
+  unsigned PaperBound = 0;
+  std::vector<PolicyOutcome> Runs; ///< Parallel to policySpecs().
+};
+
+std::string cell(const PolicyOutcome &O) {
+  if (!O.Found)
+    return strFormat("- (%s)", withCommas(O.Executions).c_str());
+  return withCommas(O.Executions);
+}
+
+} // namespace
+
+int main() {
+  printHeader("Ablation: bound policies on the registry's seeded bugs",
+              "executions-to-first-bug under preemption, delay, and "
+              "thread/variable bounding");
+
+  std::vector<BoundSpec> Specs = policySpecs();
+  std::vector<BoundsCase> Cases;
+  for (const BenchmarkEntry &E : allBenchmarks()) {
+    for (const BugVariant &V : E.Bugs) {
+      if (V.MakeVm) {
+        BoundsCase C;
+        C.Benchmark = E.Name;
+        C.Variant = V.Label;
+        C.Form = "vm";
+        C.PaperBound = V.PaperBound;
+        for (const BoundSpec &S : Specs)
+          C.Runs.push_back(runVm(V.MakeVm(), S));
+        Cases.push_back(std::move(C));
+      }
+      if (V.MakeRt) {
+        BoundsCase C;
+        C.Benchmark = E.Name;
+        C.Variant = V.Label;
+        C.Form = "rt";
+        C.PaperBound = V.PaperBound;
+        for (const BoundSpec &S : Specs)
+          C.Runs.push_back(runRt(V.MakeRt(), S));
+        Cases.push_back(std::move(C));
+      }
+    }
+  }
+
+  // A policy "wins" a case when it finds the bug in strictly fewer
+  // executions than preemption bounding did (both must find it).
+  std::vector<unsigned> Wins(Specs.size(), 0);
+  std::vector<std::vector<std::string>> Rows;
+  for (const BoundsCase &C : Cases) {
+    const PolicyOutcome &Ref = C.Runs[0];
+    std::string Best = "-";
+    uint64_t BestExecs = ~0ull;
+    for (size_t I = 0; I != C.Runs.size(); ++I) {
+      const PolicyOutcome &O = C.Runs[I];
+      if (I && O.Found && Ref.Found && O.Executions < Ref.Executions)
+        ++Wins[I];
+      if (O.Found && O.Executions < BestExecs) {
+        BestExecs = O.Executions;
+        Best = O.Spec;
+      }
+    }
+    Rows.push_back({strFormat("%s %s", C.Benchmark.c_str(),
+                              C.Variant.c_str()),
+                    C.Form, strFormat("%u", C.PaperBound), cell(C.Runs[0]),
+                    cell(C.Runs[1]), cell(C.Runs[2]), Best});
+  }
+  printTable({"benchmark", "form", "paper bound", Specs[0].Name + " execs",
+              Specs[1].Name + " execs",
+              Specs[2].Name + "/variable execs", "cheapest policy"},
+             Rows);
+  std::printf("\n'- (N)' means not found within the %s-execution cap.\n",
+              withCommas(kMaxExecutions).c_str());
+  for (size_t I = 1; I != Specs.size(); ++I)
+    std::printf("%s beats preemption on %u of %zu cases\n",
+                formatBoundSpec(Specs[I]).c_str(), Wins[I], Cases.size());
+
+  // The acceptance gate: each alternative policy must earn its keep
+  // somewhere, or the seam is dead weight.
+  bool Ok = true;
+  for (size_t I = 1; I != Specs.size(); ++I)
+    Ok &= Wins[I] > 0;
+
+  //===--------------------------------------------------------------------===//
+  // Machine-readable baseline: JSON block + BENCH_bounds.json on disk
+  //===--------------------------------------------------------------------===//
+
+  session::JsonValue Doc = session::JsonValue::object();
+  Doc.set("experiment", session::JsonValue::str("ablation_bounds"));
+  session::JsonValue SpecArr = session::JsonValue::array();
+  for (const BoundSpec &S : Specs)
+    SpecArr.Arr.push_back(session::JsonValue::str(formatBoundSpec(S)));
+  Doc.set("policies", std::move(SpecArr));
+  Doc.set("max_executions", session::JsonValue::number(kMaxExecutions));
+  Doc.set("each_policy_wins_somewhere", session::JsonValue::boolean(Ok));
+  session::JsonValue CaseArr = session::JsonValue::array();
+  for (const BoundsCase &C : Cases) {
+    session::JsonValue Row = session::JsonValue::object();
+    Row.set("benchmark", session::JsonValue::str(C.Benchmark));
+    Row.set("variant", session::JsonValue::str(C.Variant));
+    Row.set("form", session::JsonValue::str(C.Form));
+    Row.set("paper_bound", session::JsonValue::number(C.PaperBound));
+    session::JsonValue RunArr = session::JsonValue::array();
+    for (const PolicyOutcome &O : C.Runs) {
+      session::JsonValue Run = session::JsonValue::object();
+      Run.set("policy", session::JsonValue::str(O.Spec));
+      Run.set("found", session::JsonValue::boolean(O.Found));
+      Run.set("executions", session::JsonValue::number(O.Executions));
+      Run.set("total_steps", session::JsonValue::number(O.Steps));
+      Run.set("preemptions", session::JsonValue::number(O.Preemptions));
+      RunArr.Arr.push_back(std::move(Run));
+    }
+    Row.set("runs", std::move(RunArr));
+    CaseArr.Arr.push_back(std::move(Row));
+  }
+  Doc.set("cases", std::move(CaseArr));
+  printJsonBlock("ablation_bounds", Doc);
+
+  std::string Error;
+  if (!session::atomicWriteFile("BENCH_bounds.json", session::jsonWrite(Doc),
+                                &Error)) {
+    std::fprintf(stderr, "failed to write BENCH_bounds.json: %s\n",
+                 Error.c_str());
+    return 1;
+  }
+  std::printf("wrote BENCH_bounds.json\n");
+  return Ok ? 0 : 1;
+}

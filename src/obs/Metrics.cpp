@@ -128,8 +128,10 @@ const char *phaseName(Phase P) {
 void MetricShard::merge(const MetricShard &Other) {
   for (size_t I = 0; I != NumCounters; ++I)
     Counters[I] += Other.Counters[I];
-  for (size_t I = 0; I != NumPhases; ++I)
+  for (size_t I = 0; I != NumPhases; ++I) {
     Phases[I].merge(Other.Phases[I]);
+    PhaseHist[I].merge(Other.PhaseHist[I]);
+  }
   ReplayDepth.merge(Other.ReplayDepth);
   ExecutionsPerBound.merge(Other.ExecutionsPerBound);
   SleepSavedPerBound.merge(Other.SleepSavedPerBound);
@@ -144,6 +146,9 @@ bool MetricsSnapshot::empty() const {
       return false;
   for (const MinMax &P : Phases)
     if (!P.empty())
+      return false;
+  for (const Histogram &H : PhaseHist)
+    if (!H.buckets().empty())
       return false;
   if (!ReplayDepth.empty() || !ExecutionsPerBound.buckets().empty() ||
       !SleepSavedPerBound.buckets().empty())
@@ -161,6 +166,9 @@ void MetricsSnapshot::merge(const MetricsSnapshot &Other) {
   Phases.resize(NumPhases);
   for (size_t I = 0; I != Other.Phases.size() && I != NumPhases; ++I)
     Phases[I].merge(Other.Phases[I]);
+  PhaseHist.resize(NumPhases);
+  for (size_t I = 0; I != Other.PhaseHist.size() && I != NumPhases; ++I)
+    PhaseHist[I].merge(Other.PhaseHist[I]);
   ReplayDepth.merge(Other.ReplayDepth);
   ExecutionsPerBound.merge(Other.ExecutionsPerBound);
   SleepSavedPerBound.merge(Other.SleepSavedPerBound);
@@ -183,6 +191,7 @@ MetricsSnapshot MetricsRegistry::snapshot() const {
   MetricsSnapshot Snap;
   Snap.Counters.assign(Sum.Counters, Sum.Counters + NumCounters);
   Snap.Phases.assign(Sum.Phases, Sum.Phases + NumPhases);
+  Snap.PhaseHist.assign(Sum.PhaseHist, Sum.PhaseHist + NumPhases);
   Snap.ReplayDepth = Sum.ReplayDepth;
   Snap.ExecutionsPerBound = Sum.ExecutionsPerBound;
   Snap.SleepSavedPerBound = Sum.SleepSavedPerBound;

@@ -128,6 +128,11 @@ struct alignas(64) MetricShard {
   /// Per-phase durations in nanoseconds: count = scopes entered,
   /// sum = total ns, min/max = extreme scope durations.
   MinMax Phases[NumPhases];
+  /// Per-phase latency distributions: bucket b counts scopes whose
+  /// duration had b significant bits (log2 buckets: bucket 0 = 0 ns,
+  /// bucket b covers [2^(b-1), 2^b) ns). Together with the MinMax mean
+  /// this gives icb_report percentile estimates without per-scope storage.
+  Histogram PhaseHist[NumPhases];
   /// Schedule-prefix replay depth per chain (rt executor).
   MinMax ReplayDepth;
   /// Executions completed per preemption bound.
@@ -147,6 +152,7 @@ struct alignas(64) MetricShard {
 struct MetricsSnapshot {
   std::vector<uint64_t> Counters; ///< NumCounters entries (or empty).
   std::vector<MinMax> Phases;     ///< NumPhases entries (or empty).
+  std::vector<Histogram> PhaseHist; ///< NumPhases entries (or empty).
   MinMax ReplayDepth;
   Histogram ExecutionsPerBound;
   Histogram SleepSavedPerBound;

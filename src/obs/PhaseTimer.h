@@ -82,8 +82,14 @@ public:
     // would poison the phase's max and sum.
     uint64_t End = nowNanos();
     uint64_t Elapsed = End > Start ? End - Start : 0;
-    if (Shard)
+    if (Shard) {
       Shard->Phases[static_cast<size_t>(P)].observe(Elapsed);
+      // Log2 latency bucket: 0 for a 0 ns scope, else the bit width of
+      // the duration — bucket b covers [2^(b-1), 2^b) ns.
+      size_t Bucket =
+          Elapsed ? static_cast<size_t>(64 - __builtin_clzll(Elapsed)) : 0;
+      Shard->PhaseHist[static_cast<size_t>(P)].increment(Bucket);
+    }
     if (Also)
       *Also += Elapsed;
   }

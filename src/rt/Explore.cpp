@@ -137,6 +137,7 @@ obs::MetricShard *singleShard(const ExploreOptions &Opts) {
 ExploreResult IcbExplorer::explore(const TestCase &Test) {
   search::IcbEngineOptions EngineOpts;
   EngineOpts.Limits = Opts.Limits;
+  EngineOpts.Policy = Opts.Policy;
   EngineOpts.Shards = Opts.Shards;
   // Canonical bug reports make a Jobs=1 run byte-comparable to a Jobs=N
   // run of the same test.

@@ -28,6 +28,7 @@
 
 #include "rt/ExecutionResult.h"
 #include "rt/Scheduler.h"
+#include "search/BoundPolicy.h"
 #include "search/EngineObserver.h"
 #include "search/SearchTypes.h"
 #include <string>
@@ -72,6 +73,10 @@ struct ExploreOptions {
   /// bounds; sleep sets travel inside work items, so Jobs does not affect
   /// results.
   bool Por = false;
+  /// ICB only: the bound policy (see search/BoundPolicy.h). Null =
+  /// preemption bounding at Limits.MaxPreemptionBound. Must outlive the
+  /// run.
+  const search::BoundPolicy *Policy = nullptr;
   /// ICB only: session hooks and resume snapshot (see EngineObserver.h).
   search::EngineObserver *Observer = nullptr;
   const search::EngineSnapshot *Resume = nullptr;

@@ -30,6 +30,7 @@
 #include "rt/ExecutionResult.h"
 #include "rt/SchedulePolicy.h"
 #include "rt/Scheduler.h"
+#include "search/BoundPolicy.h"
 #include "search/EngineObserver.h"
 #include "search/Executor.h"
 #include "search/SearchTypes.h"
@@ -40,9 +41,9 @@
 namespace icb::rt {
 
 /// A stateless ICB work item: replay Prefix, then force NextTid.
-/// (InvalidThread means "no forced choice" — only the root item.) The
-/// preemption count is implicit: every item queued for bound c replays to
-/// an execution with exactly c preemptions.
+/// (InvalidThread means "no forced choice" — only the root item.) Under
+/// the preemption policy the bound index is implicit: every item queued
+/// for bound c replays to an execution with exactly c preemptions.
 struct PrefixItem {
   std::vector<ThreadId> Prefix;
   ThreadId NextTid = InvalidThread;
@@ -55,6 +56,9 @@ struct PrefixItem {
   /// the defer point, and every other inherited entry is woken (dropped)
   /// there — the Coons-style budget correction.
   std::vector<ThreadId> Sleep;
+  /// The budget the active BoundPolicy carries on this item; empty for
+  /// stateless policies (preemption, delay).
+  search::BoundState BState;
 };
 
 /// Maps an error RunStatus onto the shared bug vocabulary.
@@ -101,9 +105,11 @@ inline search::Bug bugFromResult(const ExecutionResult &R) {
 class IcbPolicy : public SchedulePolicy {
 public:
   explicit IcbPolicy(const PrefixItem &Item, obs::MetricShard *MS = nullptr,
-                     bool Por = false)
+                     bool Por = false,
+                     const search::BoundPolicy *BP = nullptr)
       : Prefix(Item.Prefix), Forced(Item.NextTid), ChainSleep(Item.Sleep),
-        Por(Por), MS(MS) {
+        ChainState(Item.BState), Por(Por), BP(BP ? BP : &fallbackPolicy()),
+        MS(MS) {
 #ifndef ICB_NO_METRICS
     if (MS && !Prefix.empty())
       ReplayStart = obs::nowNanos();
@@ -115,8 +121,15 @@ public:
   void flushReplayPhase() {
 #ifndef ICB_NO_METRICS
     if (ReplayStart) {
-      MS->Phases[static_cast<size_t>(obs::Phase::Replay)].observe(
-          obs::nowNanos() - ReplayStart);
+      uint64_t Now = obs::nowNanos();
+      uint64_t Elapsed = Now > ReplayStart ? Now - ReplayStart : 0;
+      MS->Phases[static_cast<size_t>(obs::Phase::Replay)].observe(Elapsed);
+      // Same log2 latency bucket ScopedPhase records, so the replay
+      // phase gets percentile estimates like every other phase.
+      size_t Bucket =
+          Elapsed ? static_cast<size_t>(64 - __builtin_clzll(Elapsed)) : 0;
+      MS->PhaseHist[static_cast<size_t>(obs::Phase::Replay)].increment(
+          Bucket);
       ReplayStart = 0;
     }
 #endif
@@ -152,64 +165,85 @@ public:
               P.Enabled.end();
       if (CurrentEnabled) {
         // Lines 29-32 / yield handling: alternatives here are
-        // preemptions unless the current thread volunteered.
+        // preemptions unless the current thread volunteered. The active
+        // policy charges the point once — the charge keys on the
+        // preempted thread and its pending variable, not on which
+        // alternative runs instead — and routes the published items:
+        // NextBound defers, SameBound branches at this bound (a
+        // thread-policy preemption of an already-budgeted thread), Prune
+        // drops the alternatives outright (the variable cap).
+        //
+        // Each conservatively published item sleeps the continuation
+        // thread: the pruned continuation-later traces are covered by
+        // this chain itself, which re-publishes the same preemptor one
+        // step on, at the published item's own bound. A still-asleep
+        // thread is not published at all (covered via its install site,
+        // cheaper by one budget unit) but stays asleep for the later
+        // siblings. Everything else inherited is conservatively woken
+        // (dropped) — the published budget differs from the install-time
+        // budget, the Coons-style correction. Unlike the model VM, this
+        // executor cannot probe whether a sibling's step would disable
+        // it, so awake siblings never sleep each other here.
         bool Free = P.LastYielded && P.Last == Current;
-        // Each deferred item sleeps the continuation thread: the pruned
-        // continuation-later traces are covered by this chain itself,
-        // which re-defers the same preemptor one step on, at the deferred
-        // item's own bound. A still-asleep thread is not deferred at all
-        // (covered via its install site, cheaper by one preemption) but
-        // stays asleep for the later deferred siblings. Everything else
-        // inherited is conservatively woken (dropped) — the deferred
-        // budget differs from the install-time budget, the Coons-style
-        // correction. Unlike the model VM, this executor cannot probe
-        // whether a sibling's step would disable it, so awake siblings
-        // never sleep each other here.
+        search::Decision D;
+        D.Kind = Free ? search::DecisionKind::FreeSwitch
+                      : search::DecisionKind::Preemption;
+        D.Preempted = Current;
+        if (!Free && BP->kind() == search::BoundKind::ThreadVariable)
+          D.Var = P.Sched->pendingOp(Current).VarCode;
+        search::BoundState ChildState;
+        search::ChargeOutcome O = BP->chargeFor(D, ChainState, ChildState);
+        bool Conservative = BP->conservativeWake(D, O);
         std::vector<ThreadId> DeferredSleep;
-        bool PublishedDefer = false;
+        bool PublishedConservative = false;
         uint64_t Carried = 0;
-        if (Por && !Free)
+        if (Por && Conservative)
           DeferredSleep.push_back(Current);
         for (ThreadId Other : P.Enabled) {
           if (Other == Current)
             continue;
           if (Por && sleeping(Other)) {
             ++SleptTransitions;
-            if (!Free) {
+            if (Conservative) {
               ++Carried;
               addSorted(DeferredSleep, Other);
             }
             continue;
           }
+          if (O == search::ChargeOutcome::Prune)
+            continue;
           PrefixItem Item;
           Item.Prefix = Mirror;
           Item.NextTid = Other;
-          if (Free) {
-            // Yield siblings share this chain's budget and state, so the
-            // chain's sleep set transfers to them unchanged.
-            if (Por)
-              Item.Sleep = ChainSleep;
-            SameBound.push_back(std::move(Item));
-          } else {
-            if (Por)
-              Item.Sleep = DeferredSleep;
-            NextBound.push_back(std::move(Item));
-            PublishedDefer = true;
-          }
+          Item.BState = ChildState;
+          // Free-switch siblings share this chain's budget and state, so
+          // the chain's sleep set transfers to them unchanged.
+          if (Por)
+            Item.Sleep = Conservative ? DeferredSleep : ChainSleep;
+          PublishedConservative |= Conservative;
+          (O == search::ChargeOutcome::NextBound ? NextBound : SameBound)
+              .push_back(std::move(Item));
         }
-        if (Por && PublishedDefer && ChainSleep.size() > Carried)
+        if (Por && PublishedConservative && ChainSleep.size() > Carried)
           BudgetWoken += ChainSleep.size() - Carried;
         Chosen = Current;
       } else {
         // Lines 33-37: the current thread blocked or finished; switching
-        // is free. Continue with the lowest awake thread, branch the
-        // rest. Sleeping threads' subtrees are covered by their install
-        // sites at this same budget, so they are skipped; the chain's
+        // is free. Continue with the lowest awake thread; the policy
+        // charges the remaining alternatives once (SameBound keeps
+        // today's same-bound branch; the delay policy charges every
+        // deviation from the default, deferring each alternative with
+        // the conservative sleep set {First}). Sleeping threads'
+        // subtrees are covered by their install sites at this same
+        // budget, so they are skipped; in the SameBound case the chain's
         // sleep set transfers to the awake siblings unchanged (same
         // state, same budget). Awake siblings do not sleep each other —
         // without the VM's lookahead probe, the covering trace could
         // cost an extra preemption and push a bug past its minimal
         // bound.
+        search::Decision D;
+        search::BoundState ChildState;
+        search::ChargeOutcome O = BP->chargeFor(D, ChainState, ChildState);
         ThreadId First = InvalidThread;
         for (ThreadId T : P.Enabled) {
           if (Por && sleeping(T)) {
@@ -220,12 +254,21 @@ public:
             First = T;
             continue;
           }
+          if (O == search::ChargeOutcome::Prune)
+            continue;
           PrefixItem Item;
           Item.Prefix = Mirror;
           Item.NextTid = T;
-          if (Por)
-            Item.Sleep = ChainSleep;
-          SameBound.push_back(std::move(Item));
+          Item.BState = ChildState;
+          if (O == search::ChargeOutcome::NextBound) {
+            if (Por)
+              Item.Sleep = {First};
+            NextBound.push_back(std::move(Item));
+          } else {
+            if (Por)
+              Item.Sleep = ChainSleep;
+            SameBound.push_back(std::move(Item));
+          }
         }
         if (First == InvalidThread) {
           // Every enabled thread is asleep: everything reachable from
@@ -319,13 +362,24 @@ private:
     ChainSleep.resize(Kept);
   }
 
+  /// Policy fallback so a bare IcbPolicy (no engine context) behaves as
+  /// the classic preemption-bounded continuation.
+  static const search::BoundPolicy &fallbackPolicy() {
+    static const search::PreemptionBoundPolicy P{~0u};
+    return P;
+  }
+
   std::vector<ThreadId> Prefix;
   ThreadId Forced;
   /// Sleep set carried along the chain (sorted ascending). Seeded from the
   /// work item; filtered after every executed step; consulted and extended
   /// when same-bound siblings are published.
   std::vector<ThreadId> ChainSleep;
+  /// The item's BoundPolicy budget; the chain itself is never charged, so
+  /// this stays constant while published items carry charged successors.
+  search::BoundState ChainState;
   bool Por;
+  const search::BoundPolicy *BP;
   ThreadId Current = InvalidThread;
   std::vector<ThreadId> Mirror;
   obs::MetricShard *MS;
@@ -351,14 +405,14 @@ public:
     // One root: the empty prefix with a free first choice. The runtime
     // always has a runnable main thread, so there is no degenerate case.
     std::vector<WorkItem> Roots;
-    Roots.push_back({{}, InvalidThread, {}});
+    Roots.push_back({{}, InvalidThread, {}, {}});
     return Roots;
   }
 
   template <typename Ctx> void runChain(WorkItem Item, Ctx &C) {
     obs::MetricShard *MS = C.metrics();
     Sched.setMetricShard(MS);
-    IcbPolicy Policy(Item, MS, Por);
+    IcbPolicy Policy(Item, MS, Por, &C.policy());
     ExecutionResult R = Sched.run(Test, Policy);
     Policy.flushReplayPhase();
     obs::count(MS, obs::Counter::ReplaySteps, Item.Prefix.size());
@@ -375,11 +429,14 @@ public:
       if (Policy.PrunedBySleep)
         obs::count(MS, obs::Counter::SleptExecutions);
     }
-    // The work-queue structure guarantees every execution at bound c has
-    // exactly c preemptions; this is Algorithm 1's core invariant. A
-    // sleep-pruned chain (Aborted) still replayed its full prefix, so the
-    // invariant holds for it too.
-    ICB_ASSERT(R.Preemptions == C.bound(),
+    // Under the preemption policy the work-queue structure guarantees
+    // every execution at bound c has exactly c preemptions; this is
+    // Algorithm 1's core invariant. A sleep-pruned chain (Aborted) still
+    // replayed its full prefix, so the invariant holds for it too. Other
+    // policies budget different resources, so the equality does not hold
+    // for them.
+    ICB_ASSERT(C.policy().kind() != search::BoundKind::Preemption ||
+                   R.Preemptions == C.bound(),
                "ICB invariant violated: unexpected preemption count");
     for (PrefixItem &Branch : Policy.SameBound)
       C.branch(std::move(Branch));
@@ -400,17 +457,20 @@ public:
     C.endExecution(Facts);
   }
 
-  /// Checkpoint form: a PrefixItem *is* (prefix, next, sleep) already.
+  /// Checkpoint form: a PrefixItem *is* (prefix, next, sleep, budget)
+  /// already.
   search::SavedWorkItem saveItem(const WorkItem &W) const {
     search::SavedWorkItem S;
     S.Prefix = W.Prefix;
     S.Next = W.NextTid;
     S.Sleep = W.Sleep;
+    S.BoundThreads = W.BState.Threads;
+    S.BoundVars = W.BState.Vars;
     return S;
   }
 
   WorkItem loadItem(const search::SavedWorkItem &S) const {
-    return {S.Prefix, S.Next, S.Sleep};
+    return {S.Prefix, S.Next, S.Sleep, {S.BoundThreads, S.BoundVars}};
   }
 
 private:

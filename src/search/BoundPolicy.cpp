@@ -1,0 +1,130 @@
+//===- search/BoundPolicy.cpp - Pluggable scheduling-bound policies -------===//
+//
+// Part of the ICB project (PLDI'07 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "search/BoundPolicy.h"
+#include "support/Format.h"
+#include <cstdlib>
+
+using namespace icb;
+using namespace icb::search;
+
+std::string PreemptionBoundPolicy::spec() const {
+  return strFormat("preemption:%u", MaxBound);
+}
+
+std::string DelayBoundPolicy::spec() const {
+  return strFormat("delay:%u", MaxBound);
+}
+
+std::string ThreadVariableBoundPolicy::spec() const {
+  if (VarBound)
+    return strFormat("thread:%u,variable:%u", MaxThreads, VarBound);
+  return strFormat("thread:%u", MaxThreads);
+}
+
+namespace {
+
+/// Parses a decimal bound value; rejects empty, non-digit, and oversized
+/// text so the CLI error table stays precise.
+bool parseBoundValue(const std::string &Text, unsigned &Out,
+                     std::string *Error) {
+  if (Text.empty() ||
+      Text.find_first_not_of("0123456789") != std::string::npos) {
+    if (Error)
+      *Error = strFormat("--bound: '%s' is not a bound value (expected a "
+                         "non-negative integer)",
+                         Text.c_str());
+    return false;
+  }
+  unsigned long V = std::strtoul(Text.c_str(), nullptr, 10);
+  if (V > 1u << 20) {
+    if (Error)
+      *Error = strFormat("--bound: %s is out of range (max %u)", Text.c_str(),
+                         1u << 20);
+    return false;
+  }
+  Out = static_cast<unsigned>(V);
+  return true;
+}
+
+} // namespace
+
+bool icb::search::parseBoundSpec(const std::string &Text, BoundSpec &Out,
+                                 std::string *Error) {
+  Out = BoundSpec();
+  std::string Head = Text;
+  std::string Tail;
+  size_t Comma = Text.find(',');
+  if (Comma != std::string::npos) {
+    Head = Text.substr(0, Comma);
+    Tail = Text.substr(Comma + 1);
+  }
+
+  std::string Name = Head;
+  std::string Value;
+  size_t Colon = Head.find(':');
+  bool HaveValue = Colon != std::string::npos;
+  if (HaveValue) {
+    Name = Head.substr(0, Colon);
+    Value = Head.substr(Colon + 1);
+  }
+
+  if (Name != "preemption" && Name != "delay" && Name != "thread") {
+    if (Error)
+      *Error = strFormat("--bound: unknown policy '%s' (expected "
+                         "preemption:K, delay:K, or thread:K[,variable:V])",
+                         Name.c_str());
+    return false;
+  }
+  Out.Name = Name;
+  if (HaveValue && !parseBoundValue(Value, Out.Bound, Error))
+    return false;
+
+  if (Tail.empty())
+    return true;
+  if (Name != "thread") {
+    if (Error)
+      *Error = strFormat("--bound: ',%s' — only the thread policy takes a "
+                         "variable:V component",
+                         Tail.c_str());
+    return false;
+  }
+  size_t TailColon = Tail.find(':');
+  std::string TailName =
+      TailColon == std::string::npos ? Tail : Tail.substr(0, TailColon);
+  if (TailName != "variable" || TailColon == std::string::npos) {
+    if (Error)
+      *Error = strFormat("--bound: ',%s' — expected ',variable:V' after "
+                         "thread:K",
+                         Tail.c_str());
+    return false;
+  }
+  if (!parseBoundValue(Tail.substr(TailColon + 1), Out.VarBound, Error))
+    return false;
+  if (Out.VarBound == 0) {
+    if (Error)
+      *Error = "--bound: variable:0 is meaningless (omit the component to "
+               "disable the variable cap)";
+    return false;
+  }
+  return true;
+}
+
+std::string icb::search::formatBoundSpec(const BoundSpec &Spec) {
+  if (Spec.Name == "thread" && Spec.VarBound)
+    return strFormat("thread:%u,variable:%u", Spec.Bound, Spec.VarBound);
+  return strFormat("%s:%u", Spec.Name.c_str(), Spec.Bound);
+}
+
+std::unique_ptr<BoundPolicy>
+icb::search::makeBoundPolicy(const BoundSpec &Spec) {
+  if (Spec.Name == "delay")
+    return std::make_unique<DelayBoundPolicy>(Spec.Bound);
+  if (Spec.Name == "thread")
+    return std::make_unique<ThreadVariableBoundPolicy>(Spec.Bound,
+                                                       Spec.VarBound);
+  return std::make_unique<PreemptionBoundPolicy>(Spec.Bound);
+}

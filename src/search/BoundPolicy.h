@@ -1,0 +1,242 @@
+//===- search/BoundPolicy.h - Pluggable scheduling-bound policies -*- C++ -*-===//
+//
+// Part of the ICB project (PLDI'07 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The bound as a strategy. The iterative engine explores a frontier of
+/// work items bound-by-bound; *which* scheduling resource each bound
+/// index budgets — preemptions (the paper), delays (Emmi et al.),
+/// threads-and-variables (Bindal–Bansal–Lal, arXiv 1207.2544) — is a
+/// `BoundPolicy`. A policy owns the budget state carried by each work
+/// item (an opaque, digest-stable `BoundState`), charges each scheduling
+/// decision (`chargeFor`), reports the frontier limit (`frontierBound`),
+/// and names itself for manifests and reports.
+///
+/// Digest-stability contract: two work items that a policy would treat
+/// identically must produce equal `BoundState::hash()` values, and the
+/// empty state must hash to 0 so policies that carry no state (preemption,
+/// delay) leave item digests byte-identical to the pre-seam engine.
+///
+/// Bounded-POR interaction: the sleep-set rules are sound only between
+/// executions at the same budget; a deferred alternative crosses into the
+/// next bound, so the engine must publish it with the conservative wake
+/// set whenever `conservativeWake()` says the budget changed. Under the
+/// preemption policy this reduces exactly to the "wake at preemption
+/// points" rule of Coons/Musuvathi/McKinley.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ICB_SEARCH_BOUNDPOLICY_H
+#define ICB_SEARCH_BOUNDPOLICY_H
+
+#include "support/Hashing.h"
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace icb::search {
+
+/// The budget state a policy carries on each work item. Opaque to the
+/// engine: only the owning policy reads or writes the sets. Both vectors
+/// are kept sorted so equal sets hash equally regardless of the order
+/// decisions were charged in.
+struct BoundState {
+  std::vector<uint32_t> Threads; ///< Thread budget (thread policy).
+  std::vector<uint64_t> Vars;    ///< Variable budget (variable policy).
+
+  bool empty() const { return Threads.empty() && Vars.empty(); }
+
+  /// Digest contribution. The empty state hashes to 0 — engines mix the
+  /// hash into item digests only when non-zero, keeping stateless
+  /// policies (preemption, delay) byte-identical to the pre-seam digests.
+  uint64_t hash() const {
+    if (empty())
+      return 0;
+    uint64_t H = hashMix(0x9e3779b97f4a7c15ull);
+    for (uint32_t T : Threads)
+      H = hashCombine(H, T);
+    H = hashCombine(H, 0xb0u); // Section separator.
+    for (uint64_t V : Vars)
+      H = hashCombine(H, V);
+    return H;
+  }
+
+  bool operator==(const BoundState &O) const {
+    return Threads == O.Threads && Vars == O.Vars;
+  }
+};
+
+/// The resource families a policy can budget.
+enum class BoundKind {
+  Preemption,     ///< PLDI'07: non-yield context switches.
+  Delay,          ///< Delay bounding: every deviation from the default.
+  ThreadVariable, ///< Bindal–Bansal–Lal thread + variable composition.
+};
+
+/// How an alternative scheduling decision deviates from the default
+/// continuation at one scheduling point.
+enum class DecisionKind {
+  FreeSwitch, ///< The running thread yielded/blocked; any pick is free.
+  Preemption, ///< The running thread was still enabled and is descheduled.
+};
+
+/// One alternative the engine is about to publish. All alternatives at a
+/// scheduling point share one Decision: the charge keys on what was
+/// interrupted, not on which thread runs instead.
+struct Decision {
+  DecisionKind Kind = DecisionKind::FreeSwitch;
+  /// The thread being descheduled (meaningful for Preemption decisions).
+  uint32_t Preempted = 0;
+  /// The variable the *preempted* thread was about to touch, encoded by
+  /// the executor (vm::VarRef::encode() / rt pending-op code); 0 when
+  /// unknown or when the policy does not budget variables.
+  uint64_t Var = 0;
+};
+
+/// The verdict on charging one decision against a budget.
+enum class ChargeOutcome {
+  SameBound, ///< Free under this policy: stays in the current bound.
+  NextBound, ///< Consumes one budget unit: defer to the next bound.
+  Prune,     ///< Exceeds a hard cap: drop the alternative entirely.
+};
+
+/// The seam. One instance per engine run, shared read-only across
+/// workers; all methods must be thread-safe (stateless or const).
+class BoundPolicy {
+public:
+  virtual ~BoundPolicy() = default;
+
+  virtual BoundKind kind() const = 0;
+
+  /// Short family name for manifests/checkpoints: "preemption", "delay",
+  /// "thread".
+  virtual std::string name() const = 0;
+
+  /// Full round-trippable spec, e.g. "preemption:2" or "thread:2,variable:3".
+  virtual std::string spec() const = 0;
+
+  /// The frontier limit: bound indices 0..frontierBound() inclusive are
+  /// explored; items charged past it wait in vain (the engine stops).
+  virtual unsigned frontierBound() const = 0;
+
+  /// Charges one decision taken from the budget \p In. \p Out receives
+  /// the successor budget (meaningful for SameBound/NextBound only).
+  virtual ChargeOutcome chargeFor(const Decision &D, const BoundState &In,
+                                  BoundState &Out) const = 0;
+
+  /// The bounded-POR wake rule: true when publishing this alternative
+  /// must use the conservative sleep set because the sleep-set machinery
+  /// is unsound across it. A budget charge always crosses bounds; a
+  /// preemption additionally breaks the dependence assumptions even when
+  /// free under the policy, so both conditions wake.
+  bool conservativeWake(const Decision &D, ChargeOutcome O) const {
+    return O != ChargeOutcome::SameBound || D.Kind == DecisionKind::Preemption;
+  }
+};
+
+/// PLDI'07 preemption bounding: free switches are free, each preemption
+/// costs one, no carried state. Byte-identical to the pre-seam engine.
+class PreemptionBoundPolicy final : public BoundPolicy {
+public:
+  explicit PreemptionBoundPolicy(unsigned MaxBound) : MaxBound(MaxBound) {}
+  BoundKind kind() const override { return BoundKind::Preemption; }
+  std::string name() const override { return "preemption"; }
+  std::string spec() const override;
+  unsigned frontierBound() const override { return MaxBound; }
+  ChargeOutcome chargeFor(const Decision &D, const BoundState &In,
+                          BoundState &Out) const override {
+    Out = In;
+    return D.Kind == DecisionKind::Preemption ? ChargeOutcome::NextBound
+                                              : ChargeOutcome::SameBound;
+  }
+
+private:
+  unsigned MaxBound;
+};
+
+/// Delay bounding: every deviation from the default continuation — free
+/// or preemptive — costs one delay. The frontier at bound d holds every
+/// schedule reachable with d deviations, a much cheaper frontier per
+/// bound than preemption's on wide programs.
+class DelayBoundPolicy final : public BoundPolicy {
+public:
+  explicit DelayBoundPolicy(unsigned MaxBound) : MaxBound(MaxBound) {}
+  BoundKind kind() const override { return BoundKind::Delay; }
+  std::string name() const override { return "delay"; }
+  std::string spec() const override;
+  unsigned frontierBound() const override { return MaxBound; }
+  ChargeOutcome chargeFor(const Decision &, const BoundState &In,
+                          BoundState &Out) const override {
+    Out = In;
+    return ChargeOutcome::NextBound;
+  }
+
+private:
+  unsigned MaxBound;
+};
+
+/// Bindal–Bansal–Lal composition: the first preemption *of* each distinct
+/// thread costs one (bound index = number of budgeted threads); every
+/// preempted variable access is recorded and the item is pruned outright
+/// once more than \p VarBound distinct variables have been involved.
+/// VarBound == 0 disables the variable cap.
+class ThreadVariableBoundPolicy final : public BoundPolicy {
+public:
+  ThreadVariableBoundPolicy(unsigned MaxThreads, unsigned VarBound)
+      : MaxThreads(MaxThreads), VarBound(VarBound) {}
+  BoundKind kind() const override { return BoundKind::ThreadVariable; }
+  std::string name() const override { return "thread"; }
+  std::string spec() const override;
+  unsigned frontierBound() const override { return MaxThreads; }
+  ChargeOutcome chargeFor(const Decision &D, const BoundState &In,
+                          BoundState &Out) const override {
+    Out = In;
+    if (D.Kind != DecisionKind::Preemption)
+      return ChargeOutcome::SameBound;
+    if (VarBound && D.Var) {
+      auto It = std::lower_bound(Out.Vars.begin(), Out.Vars.end(), D.Var);
+      if (It == Out.Vars.end() || *It != D.Var) {
+        Out.Vars.insert(It, D.Var);
+        if (Out.Vars.size() > VarBound)
+          return ChargeOutcome::Prune;
+      }
+    }
+    uint32_t Tid = D.Preempted;
+    auto It = std::lower_bound(Out.Threads.begin(), Out.Threads.end(), Tid);
+    if (It != Out.Threads.end() && *It == Tid)
+      return ChargeOutcome::SameBound;
+    Out.Threads.insert(It, Tid);
+    return ChargeOutcome::NextBound;
+  }
+
+private:
+  unsigned MaxThreads;
+  unsigned VarBound;
+};
+
+/// A parsed --bound specification.
+struct BoundSpec {
+  std::string Name = "preemption";
+  unsigned Bound = 4;
+  unsigned VarBound = 0;
+};
+
+/// Parses `preemption:K`, `delay:K`, or `thread:K[,variable:V]` (a bare
+/// family name keeps the default K). On failure writes a usage message to
+/// \p Error and returns false.
+bool parseBoundSpec(const std::string &Text, BoundSpec &Out,
+                    std::string *Error);
+
+/// The canonical round-trip text of \p Spec, e.g. "thread:2,variable:3".
+std::string formatBoundSpec(const BoundSpec &Spec);
+
+/// Instantiates the policy \p Spec names. The spec must have parsed.
+std::unique_ptr<BoundPolicy> makeBoundPolicy(const BoundSpec &Spec);
+
+} // namespace icb::search
+
+#endif // ICB_SEARCH_BOUNDPOLICY_H

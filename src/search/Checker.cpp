@@ -25,6 +25,7 @@ std::unique_ptr<Strategy> icb::search::makeStrategy(const SearchOptions &Opts) {
       O.RecordSchedules = Opts.RecordSchedules;
       O.UseSleepSets = Opts.UseSleepSets;
       O.Limits = Opts.Limits;
+      O.Policy = Opts.Policy;
       O.Observer = Opts.Observer;
       O.Resume = Opts.Resume;
       O.Metrics = Opts.Metrics;
@@ -35,6 +36,7 @@ std::unique_ptr<Strategy> icb::search::makeStrategy(const SearchOptions &Opts) {
     O.RecordSchedules = Opts.RecordSchedules;
     O.UseSleepSets = Opts.UseSleepSets;
     O.Limits = Opts.Limits;
+    O.Policy = Opts.Policy;
     O.Observer = Opts.Observer;
     O.Resume = Opts.Resume;
     O.Metrics = Opts.Metrics;

@@ -13,6 +13,7 @@
 #ifndef ICB_SEARCH_CHECKER_H
 #define ICB_SEARCH_CHECKER_H
 
+#include "search/BoundPolicy.h"
 #include "search/EngineObserver.h"
 #include "search/SearchTypes.h"
 #include "search/Strategy.h"
@@ -35,6 +36,10 @@ enum class StrategyKind : uint8_t {
 struct SearchOptions {
   StrategyKind Kind = StrategyKind::Icb;
   SearchLimits Limits;
+  /// Icb: the bound policy (see BoundPolicy.h). Null = preemption
+  /// bounding at Limits.MaxPreemptionBound. Must outlive the run; other
+  /// strategies ignore it.
+  const BoundPolicy *Policy = nullptr;
   /// Icb, Dfs: prune revisited states / work items.
   bool UseStateCache = false;
   /// Icb: carry schedules in work items (replayable bug reports).

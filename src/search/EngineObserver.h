@@ -55,6 +55,11 @@ struct SavedWorkItem {
   /// Threads asleep at the item's start state (bounded POR); empty when
   /// POR is off. Serialized only when non-empty (checkpoint format v3).
   std::vector<uint32_t> Sleep;
+  /// BoundPolicy budget state (checkpoint format v4): the thread and
+  /// variable sets a stateful policy carries. Empty for the preemption
+  /// and delay policies; serialized only when non-empty.
+  std::vector<uint32_t> BoundThreads;
+  std::vector<uint64_t> BoundVars;
 };
 
 /// A consistent safe-point image of one ICB driver. `Final` snapshots

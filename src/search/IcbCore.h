@@ -19,6 +19,7 @@
 #define ICB_SEARCH_ICBCORE_H
 
 #include "obs/PhaseTimer.h"
+#include "search/BoundPolicy.h"
 #include "search/Executor.h"
 #include "search/SearchTypes.h"
 #include "support/Hashing.h"
@@ -34,14 +35,20 @@ std::string describeDeadlock(const vm::Interp &Interp, const vm::State &S);
 
 /// Algorithm 1's WorkItem, extended with the bookkeeping the experiments
 /// need: the schedule prefix (for replayable bug reports) and the number of
-/// blocking operations executed so far (Table 1's B column). The preemption
-/// count is implicit: every item queued for bound c has exactly c
-/// preemptions in its prefix.
+/// blocking operations executed so far (Table 1's B column). Under the
+/// preemption policy the bound index is implicit: every item queued for
+/// bound c has exactly c preemptions in its prefix.
 struct IcbWorkItem {
   vm::State S;
   vm::ThreadId Tid = vm::InvalidThread;
   std::vector<vm::ThreadId> Sched;
   uint64_t Blocking = 0;
+  /// Preemptions in the prefix. Redundant with the bound index under the
+  /// preemption policy; the true count for bug reports under the others.
+  unsigned Preempts = 0;
+  /// The budget the active BoundPolicy carries on this item; empty for
+  /// stateless policies (preemption, delay).
+  BoundState BState;
   /// Steps executed before this item's schedule vector starts. Nonzero only
   /// when RecordSchedules is off (the prefix is dropped to save memory but
   /// its length still feeds the K statistic).
@@ -127,6 +134,11 @@ void runIcbExecution(const vm::Interp &VM, IcbWorkItem W, bool UseStateCache,
       uint64_t Digest = hashCombine(W.S.hash(), W.Tid);
       if (UseSleepSets)
         Digest = hashCombine(Digest, sleepSetHash(W.Sleep));
+      // Policies that carry budget state key the visited-item semantics on
+      // it; the empty state hashes to 0, keeping stateless policies
+      // byte-identical to the pre-seam digests.
+      if (uint64_t BH = W.BState.hash())
+        Digest = hashCombine(Digest, BH);
       if (!C.claimItem(Digest)) {
         // Revisited work item: everything beyond it was already explored
         // (possibly at a lower bound). Counts as one pruned execution.
@@ -172,6 +184,7 @@ void runIcbExecution(const vm::Interp &VM, IcbWorkItem W, bool UseStateCache,
                            : R.ModelErrorText;
       NewBug.Steps = W.Sched.size();
       NewBug.Schedule = W.Sched;
+      NewBug.Preemptions = W.Preempts;
       C.recordBug(std::move(NewBug));
       C.endExecution({W.PrefixSteps + W.Sched.size(), W.Blocking, 0});
       return;
@@ -182,23 +195,40 @@ void runIcbExecution(const vm::Interp &VM, IcbWorkItem W, bool UseStateCache,
         std::find(Enabled.begin(), Enabled.end(), W.Tid) != Enabled.end();
 
     if (SelfEnabled) {
-      // Scheduling any other enabled thread here preempts W.Tid: defer
-      // those continuations to the next bound (lines 29-32). Deferred
-      // items run with one less unit of preemption budget than the budget
-      // the inherited sleepers were put to sleep under, so the inherited
-      // set is conservatively woken (dropped) — pruning on it could hide
-      // a bug that needs the budget the sleeping sibling no longer has.
+      // Scheduling any other enabled thread here preempts W.Tid; the
+      // active policy charges the preemption once for the whole point
+      // (the charge depends on the preempted thread and its pending
+      // variable, not on which alternative is scheduled). NextBound
+      // alternatives defer (lines 29-32); a policy may also rule the
+      // preemption free (SameBound: a thread-policy preemption of an
+      // already-budgeted thread branches at this bound) or prune it
+      // outright (the variable cap).
       //
-      // Each deferred item sleeps the *continuation thread* W.Tid: a
+      // Published items run under a different budget than the budget the
+      // inherited sleepers were put to sleep under, so the inherited set
+      // is conservatively woken (dropped) — pruning on it could hide a
+      // bug that needs the budget the sleeping sibling no longer has
+      // (conservativeWake: any preemption breaks the install-time
+      // assumptions).
+      //
+      // Each published item sleeps the *continuation thread* W.Tid: a
       // pruned trace that takes W.Tid's (still independent) step later is
-      // covered by the continuation chain itself, which re-defers the
-      // same preemptor one step further on — at exactly the deferred
-      // item's own bound. A still-asleep enabled thread is not deferred
+      // covered by the continuation chain itself, which re-publishes the
+      // same preemptor one step further on — at exactly the published
+      // item's own bound. A still-asleep enabled thread is not published
       // at all (its preemptive continuation commutes back to its install
       // site at strictly lower cost) but stays asleep for the later
       // siblings. An awake earlier sibling is slept only when its step
       // disables it (stepDisables keeps the covering trace free of an
       // extra preemption; the siblings all share one budget).
+      const BoundPolicy &BP = C.policy();
+      Decision D;
+      D.Kind = DecisionKind::Preemption;
+      D.Preempted = W.Tid;
+      if (BP.kind() == BoundKind::ThreadVariable)
+        D.Var = VM.nextVar(W.S, W.Tid).encode();
+      BoundState ChildState;
+      ChargeOutcome O = BP.chargeFor(D, W.BState, ChildState);
       std::vector<vm::ThreadId> DeferredSleep;
       bool PublishedDefer = false;
       uint64_t DeferSlept = 0;
@@ -213,6 +243,8 @@ void runIcbExecution(const vm::Interp &VM, IcbWorkItem W, bool UseStateCache,
           sleepInsert(DeferredSleep, Other);
           continue;
         }
+        if (O == ChargeOutcome::Prune)
+          continue;
         IcbWorkItem Deferred;
         Deferred.S = W.S;
         Deferred.Tid = Other;
@@ -221,22 +253,29 @@ void runIcbExecution(const vm::Interp &VM, IcbWorkItem W, bool UseStateCache,
         else
           Deferred.PrefixSteps = W.PrefixSteps + W.Sched.size();
         Deferred.Blocking = W.Blocking;
+        Deferred.Preempts = W.Preempts + 1;
+        Deferred.BState = ChildState;
         if (UseSleepSets) {
           Deferred.Sleep = DeferredSleep;
           if (stepDisables(VM, W.S, Other))
             sleepInsert(DeferredSleep, Other);
         }
         PublishedDefer = true;
-        C.defer(std::move(Deferred));
+        if (O == ChargeOutcome::NextBound)
+          C.defer(std::move(Deferred));
+        else
+          C.branch(std::move(Deferred));
       }
       if (UseSleepSets) {
         if (DeferSlept) {
           obs::count(C.metrics(), obs::Counter::TransitionsSlept, DeferSlept);
-          ICB_OBS(C.metrics(), C.metrics()->SleepSavedPerBound.increment(
-                                   C.bound() + 1, DeferSlept));
+          ICB_OBS(C.metrics(),
+                  C.metrics()->SleepSavedPerBound.increment(
+                      C.bound() + (O == ChargeOutcome::NextBound ? 1 : 0),
+                      DeferSlept));
         }
         // Inherited sleepers not re-justified above are conservatively
-        // woken for the deferred siblings — their budget differs from the
+        // woken for the published siblings — their budget differs from the
         // install-time budget (the Coons-style correction).
         uint64_t Dropped = W.Sleep.size() - DeferSlept;
         if (PublishedDefer && Dropped)
@@ -252,6 +291,7 @@ void runIcbExecution(const vm::Interp &VM, IcbWorkItem W, bool UseStateCache,
         NewBug.Message = describeDeadlock(VM, W.S);
         NewBug.Steps = W.Sched.size();
         NewBug.Schedule = W.Sched;
+        NewBug.Preemptions = W.Preempts;
         C.recordBug(std::move(NewBug));
       }
       C.endExecution({W.PrefixSteps + W.Sched.size(), W.Blocking, 0});
@@ -289,16 +329,30 @@ void runIcbExecution(const vm::Interp &VM, IcbWorkItem W, bool UseStateCache,
       }
       Enabled = std::move(Awake);
     }
-    // Later siblings sleep each earlier one whose step disables it: the
-    // commuted covering trace (sleeper's step hoisted to this state) then
-    // switches back for free, staying at this same bound. A sleeper that
-    // would stay enabled is left awake — covering it costs a preemption.
-    // The accumulated set is threaded through ascending creation order;
-    // each sibling also inherits the chain's own sleepers.
+    // The policy charges the free alternatives once for the whole point:
+    // SameBound (preemption/thread policies) keeps today's same-bound
+    // sibling walk; NextBound (the delay policy: every deviation from the
+    // default continuation costs a delay) defers each alternative with
+    // the conservative sleep set {default continuation} — the chain
+    // re-defers the same alternative one step later at the same bound.
+    //
+    // In the SameBound walk, later siblings sleep each earlier one whose
+    // step disables it: the commuted covering trace (sleeper's step
+    // hoisted to this state) then switches back for free, staying at this
+    // same bound. A sleeper that would stay enabled is left awake —
+    // covering it costs a preemption. The accumulated set is threaded
+    // through ascending creation order; each sibling also inherits the
+    // chain's own sleepers.
+    Decision FreeD;
+    FreeD.Kind = DecisionKind::FreeSwitch;
+    BoundState FreeState;
+    ChargeOutcome FreeO = C.policy().chargeFor(FreeD, W.BState, FreeState);
     std::vector<vm::ThreadId> SiblingSleep;
-    if (UseSleepSets)
+    if (UseSleepSets && FreeO == ChargeOutcome::SameBound)
       SiblingSleep = W.Sleep;
     for (size_t I = 1; I < Enabled.size(); ++I) {
+      if (FreeO == ChargeOutcome::Prune)
+        break;
       IcbWorkItem Branch;
       Branch.S = W.S;
       Branch.Tid = Enabled[I];
@@ -307,12 +361,20 @@ void runIcbExecution(const vm::Interp &VM, IcbWorkItem W, bool UseStateCache,
       else
         Branch.PrefixSteps = W.PrefixSteps + W.Sched.size();
       Branch.Blocking = W.Blocking;
-      if (UseSleepSets) {
-        if (stepDisables(VM, W.S, Enabled[I - 1]))
-          sleepInsert(SiblingSleep, Enabled[I - 1]);
-        Branch.Sleep = SiblingSleep;
+      Branch.Preempts = W.Preempts;
+      Branch.BState = FreeState;
+      if (FreeO == ChargeOutcome::SameBound) {
+        if (UseSleepSets) {
+          if (stepDisables(VM, W.S, Enabled[I - 1]))
+            sleepInsert(SiblingSleep, Enabled[I - 1]);
+          Branch.Sleep = SiblingSleep;
+        }
+        C.branch(std::move(Branch));
+      } else {
+        if (UseSleepSets)
+          Branch.Sleep = {Enabled[0]};
+        C.defer(std::move(Branch));
       }
-      C.branch(std::move(Branch));
     }
     W.Tid = Enabled[0];
   }

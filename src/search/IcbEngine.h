@@ -64,6 +64,7 @@
 
 #include "obs/Metrics.h"
 #include "obs/PhaseTimer.h"
+#include "search/BoundPolicy.h"
 #include "search/EngineObserver.h"
 #include "search/Executor.h"
 #include "search/SearchTypes.h"
@@ -85,6 +86,11 @@ namespace icb::search {
 /// Driver knobs common to both engines.
 struct IcbEngineOptions {
   SearchLimits Limits;
+  /// The bound policy charging every scheduling decision (BoundPolicy.h).
+  /// Null = preemption bounding at Limits.MaxPreemptionBound, the
+  /// historical behavior. The policy must outlive the run; it is shared
+  /// read-only across workers.
+  const BoundPolicy *Policy = nullptr;
   /// Deduplicate bugs to the canonical minimal (Preemptions, Steps,
   /// Schedule) exposure, reported in (kind, message) order — what the
   /// parallel driver always does, and what makes a sequential run's bug
@@ -118,7 +124,8 @@ public:
   using WorkItem = typename Executor::WorkItem;
 
   SequentialEngineDriver(Executor &E, const IcbEngineOptions &Opts)
-      : E(E), Opts(Opts) {
+      : E(E), Opts(Opts), DefaultPolicy(Opts.Limits.MaxPreemptionBound),
+        BP(Opts.Policy ? *Opts.Policy : DefaultPolicy) {
     if (Opts.Metrics) {
       Opts.Metrics->ensureShards(1);
       MShard = &Opts.Metrics->shard(0);
@@ -131,8 +138,7 @@ public:
     if (Opts.Resume)
       restore(*Opts.Resume);
     else
-      for (WorkItem &Item : E.rootItems(*this))
-        WorkQueue.push_back(std::move(Item));
+      seedRoots(E.rootItems(*this));
 
     // Algorithm 1 lines 9-21: drain the current bound, snapshot coverage,
     // move on to the next. Checkpoint safe points sit between work-item
@@ -157,8 +163,7 @@ public:
       Stats.PerBound.push_back({CurrBound, Seen.size(), Stats.Executions});
       if (Opts.Observer)
         Opts.Observer->onBoundComplete(Stats.PerBound.back());
-      if (LimitHit || NextQueue.empty() ||
-          CurrBound >= Opts.Limits.MaxPreemptionBound)
+      if (LimitHit || NextQueue.empty() || CurrBound >= BP.frontierBound())
         break;
       ++CurrBound;
       std::swap(WorkQueue, NextQueue);
@@ -211,10 +216,15 @@ public:
     Local.push_back(std::move(Item));
   }
   unsigned bound() const { return CurrBound; }
+  const BoundPolicy &policy() const { return BP; }
   obs::MetricShard *metrics() { return MShard; }
 
   void recordBug(Bug NewBug) {
-    NewBug.Preemptions = CurrBound;
+    // Under preemption bounding the bound index *is* the preemption count
+    // (the paper's minimality guarantee); other policies keep the true
+    // count the executor measured.
+    if (BP.kind() == BoundKind::Preemption)
+      NewBug.Preemptions = CurrBound;
     if (Opts.CanonicalBugs)
       canonicalMergeBug(Canonical, std::move(NewBug));
     else
@@ -248,7 +258,7 @@ private:
   obs::ProgressSample progressSample() const {
     obs::ProgressSample S;
     S.Bound = CurrBound;
-    S.MaxBound = Opts.Limits.MaxPreemptionBound;
+    S.MaxBound = BP.frontierBound();
     S.Executions = Stats.Executions;
     S.TotalSteps = Stats.TotalSteps;
     S.States = Seen.size();
@@ -256,6 +266,30 @@ private:
     S.DeferredNext = NextQueue.size();
     S.Bugs = Opts.CanonicalBugs ? Canonical.size() : Bugs.bugs().size();
     return S;
+  }
+
+  /// Seeds the bound-0 frontier from the executor's root items. The first
+  /// root is the default schedule; the policy charges every other root as
+  /// a free-switch deviation from it (the delay policy defers them to
+  /// bound 1; preemption and thread keep them all free — byte-identical
+  /// to the pre-seam seeding).
+  void seedRoots(std::vector<WorkItem> Roots) {
+    for (size_t I = 0; I != Roots.size(); ++I) {
+      if (I == 0) {
+        WorkQueue.push_back(std::move(Roots[I]));
+        continue;
+      }
+      Decision D; // FreeSwitch.
+      BoundState Charged;
+      ChargeOutcome O = BP.chargeFor(D, Roots[I].BState, Charged);
+      if (O == ChargeOutcome::Prune)
+        continue;
+      Roots[I].BState = std::move(Charged);
+      if (O == ChargeOutcome::NextBound)
+        NextQueue.push_back(std::move(Roots[I]));
+      else
+        WorkQueue.push_back(std::move(Roots[I]));
+    }
   }
 
   /// Rebuilds the driver from a resumable snapshot: frontier queues in
@@ -349,6 +383,9 @@ private:
 
   Executor &E;
   IcbEngineOptions Opts;
+  /// The preemption fallback when Opts.Policy is null (historical runs).
+  PreemptionBoundPolicy DefaultPolicy;
+  const BoundPolicy &BP;
   std::deque<WorkItem> WorkQueue;
   std::deque<WorkItem> NextQueue;
   std::vector<WorkItem> Local;
@@ -372,6 +409,8 @@ public:
   ParallelEngineDriver(std::vector<std::unique_ptr<Executor>> &Executors,
                        const IcbEngineOptions &O)
       : Executors(Executors), Opts(O),
+        DefaultPolicy(O.Limits.MaxPreemptionBound),
+        BP(O.Policy ? *O.Policy : DefaultPolicy),
         Jobs(static_cast<unsigned>(Executors.size())),
         Seen(shardCountFor(O.Shards, Jobs)),
         Terminal(shardCountFor(O.Shards, Jobs)),
@@ -389,7 +428,7 @@ public:
       restore(*Opts.Resume, Items);
     } else {
       WorkerCtx Ctx0{*this, 0};
-      Items = Executors[0]->rootItems(Ctx0);
+      Items = seedRoots(Executors[0]->rootItems(Ctx0));
       if (Items.empty()) {
         // Degenerate single-execution program (already accounted by
         // rootItems); mirror the sequential driver's snapshots.
@@ -437,8 +476,7 @@ public:
 
       Items = NextQueue.drain();
       DeferredCount.store(0, std::memory_order_relaxed);
-      if (Stop.load() || Items.empty() ||
-          CurrBound >= Opts.Limits.MaxPreemptionBound) {
+      if (Stop.load() || Items.empty() || CurrBound >= BP.frontierBound()) {
         MoreBounds = !Items.empty();
         break;
       }
@@ -522,12 +560,42 @@ private:
       D.Workers[Index].Deque.pushBottom(std::move(Item));
     }
     unsigned bound() const { return D.CurrBound; }
+    const BoundPolicy &policy() const { return D.BP; }
     obs::MetricShard *metrics() { return MS; }
     void recordBug(Bug NewBug) { D.recordBug(Index, std::move(NewBug)); }
     void endExecution(const ExecutionFacts &F) {
       D.endExecution(Index, MS, F);
     }
   };
+
+  /// Seeds the bound-0 frontier from the executor's root items, mirroring
+  /// the sequential driver: the first root is the default schedule and the
+  /// policy charges every other root as a free-switch deviation. Returns
+  /// the current bound's roots; NextBound-charged roots go to the striped
+  /// next queue.
+  std::vector<WorkItem> seedRoots(std::vector<WorkItem> Roots) {
+    std::vector<WorkItem> Kept;
+    Kept.reserve(Roots.size());
+    for (size_t I = 0; I != Roots.size(); ++I) {
+      if (I == 0) {
+        Kept.push_back(std::move(Roots[I]));
+        continue;
+      }
+      Decision D; // FreeSwitch.
+      BoundState Charged;
+      ChargeOutcome O = BP.chargeFor(D, Roots[I].BState, Charged);
+      if (O == ChargeOutcome::Prune)
+        continue;
+      Roots[I].BState = std::move(Charged);
+      if (O == ChargeOutcome::NextBound) {
+        DeferredCount.fetch_add(1, std::memory_order_relaxed);
+        NextQueue.push(0, std::move(Roots[I]));
+      } else {
+        Kept.push_back(std::move(Roots[I]));
+      }
+    }
+    return Kept;
+  }
 
   bool takeItem(unsigned Index, obs::MetricShard *MS, WorkItem &Out) {
     if (Workers[Index].Deque.tryPopBottom(Out))
@@ -575,7 +643,10 @@ private:
   }
 
   void recordBug(unsigned Index, Bug NewBug) {
-    NewBug.Preemptions = CurrBound;
+    // Bound index == preemption count only under the preemption policy;
+    // other policies keep the executor's measured count.
+    if (BP.kind() == BoundKind::Preemption)
+      NewBug.Preemptions = CurrBound;
     canonicalMergeBug(Workers[Index].Bugs, std::move(NewBug));
     BugCount.fetch_add(1, std::memory_order_relaxed);
     if (Opts.Limits.StopAtFirstBug)
@@ -606,7 +677,7 @@ private:
   obs::ProgressSample progressSample(uint64_t Execs) const {
     obs::ProgressSample S;
     S.Bound = CurrBound;
-    S.MaxBound = Opts.Limits.MaxPreemptionBound;
+    S.MaxBound = BP.frontierBound();
     S.Executions = Execs;
     S.TotalSteps = TotalSteps.load(std::memory_order_relaxed);
     S.States = Seen.size();
@@ -756,6 +827,9 @@ private:
 
   std::vector<std::unique_ptr<Executor>> &Executors;
   IcbEngineOptions Opts;
+  /// The preemption fallback when Opts.Policy is null (historical runs).
+  PreemptionBoundPolicy DefaultPolicy;
+  const BoundPolicy &BP;
   unsigned Jobs;
 
   ShardedStateCache Seen;      ///< Distinct visited states.

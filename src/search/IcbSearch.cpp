@@ -16,6 +16,7 @@ SearchResult IcbSearch::run(const vm::Interp &Interp) {
       Interp, {Opts.UseStateCache, Opts.RecordSchedules, Opts.UseSleepSets});
   IcbEngineOptions EngineOpts;
   EngineOpts.Limits = Opts.Limits;
+  EngineOpts.Policy = Opts.Policy;
   // Historical model-VM bug policy: first exposure wins at equal
   // preemption counts, reported in discovery order.
   EngineOpts.CanonicalBugs = false;

@@ -32,6 +32,7 @@
 #ifndef ICB_SEARCH_ICBSEARCH_H
 #define ICB_SEARCH_ICBSEARCH_H
 
+#include "search/BoundPolicy.h"
 #include "search/EngineObserver.h"
 #include "search/Strategy.h"
 
@@ -50,6 +51,9 @@ public:
     /// (VmExecutor::Options::UseSleepSets).
     bool UseSleepSets = false;
     SearchLimits Limits;
+    /// Bound policy (see BoundPolicy.h). Null = preemption bounding at
+    /// Limits.MaxPreemptionBound. Must outlive the run.
+    const BoundPolicy *Policy = nullptr;
     /// Session hooks and resume snapshot (see EngineObserver.h).
     EngineObserver *Observer = nullptr;
     const EngineSnapshot *Resume = nullptr;

@@ -29,6 +29,7 @@ SearchResult ParallelIcbSearch::run(const vm::Interp &Interp) {
 
   IcbEngineOptions EngineOpts;
   EngineOpts.Limits = Opts.Limits;
+  EngineOpts.Policy = Opts.Policy;
   EngineOpts.Shards = Opts.Shards;
   EngineOpts.CanonicalBugs = true; // What the parallel merge always does.
   EngineOpts.Observer = Opts.Observer;

@@ -56,6 +56,7 @@
 #ifndef ICB_SEARCH_PARALLELICB_H
 #define ICB_SEARCH_PARALLELICB_H
 
+#include "search/BoundPolicy.h"
 #include "search/EngineObserver.h"
 #include "search/Strategy.h"
 
@@ -81,6 +82,9 @@ public:
     /// work items, so worker count still does not affect results.
     bool UseSleepSets = false;
     SearchLimits Limits;
+    /// Bound policy (see BoundPolicy.h). Null = preemption bounding at
+    /// Limits.MaxPreemptionBound. Must outlive the run.
+    const BoundPolicy *Policy = nullptr;
     /// Session hooks and resume snapshot (see EngineObserver.h).
     EngineObserver *Observer = nullptr;
     const EngineSnapshot *Resume = nullptr;

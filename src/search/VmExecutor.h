@@ -98,23 +98,37 @@ public:
     S.Prefix = W.Sched;
     S.Next = W.Tid;
     S.Sleep = W.Sleep;
+    S.BoundThreads = W.BState.Threads;
+    S.BoundVars = W.BState.Vars;
     return S;
   }
 
   /// Rebuilds a (state, thread) item by replaying the prefix through the
   /// interpreter from the initial state. Replay steps are reconstruction,
-  /// not exploration — they touch no statistics.
+  /// not exploration — they touch no statistics. The prefix preemption
+  /// count is recomputed along the way (a switch away from a still-enabled
+  /// thread), so resumed bug reports stay exact under every policy.
   WorkItem loadItem(const SavedWorkItem &S) const {
     WorkItem W;
     W.S = VM.initialState();
     W.Sched.reserve(S.Prefix.size());
+    vm::ThreadId Last = vm::InvalidThread;
     for (vm::ThreadId Tid : S.Prefix) {
+      if (Last != vm::InvalidThread && Tid != Last &&
+          VM.isEnabled(W.S, Last))
+        ++W.Preempts;
       vm::StepResult R = VM.step(W.S, Tid);
       W.Blocking += R.WasBlockingOp ? 1 : 0;
       W.Sched.push_back(Tid);
+      Last = Tid;
     }
+    if (S.Next != Last && Last != vm::InvalidThread &&
+        VM.isEnabled(W.S, Last))
+      ++W.Preempts;
     W.Tid = S.Next;
     W.Sleep = S.Sleep;
+    W.BState.Threads = S.BoundThreads;
+    W.BState.Vars = S.BoundVars;
     return W;
   }
 

@@ -21,9 +21,13 @@ namespace icb::session {
 /// `mean_milli` to every MinMax object). Version 3 added bounded POR
 /// (optional `por` meta field, optional `sleep` on saved work items, POR
 /// counters in the metrics block) and the "*"-compact digest encoding.
-/// Loaders accept all three: every v3 field is optional with a pre-POR
-/// default, and the digest decoder reads both hex forms.
-static constexpr uint64_t CheckpointFormatVersion = 3;
+/// Version 4 added the bound policy (optional `bound`/`var_bound` meta
+/// fields, optional `bound_threads`/`bound_vars` on saved work items) and
+/// deduplicates digest sets on write. Loaders accept all four: every
+/// later-version field is optional with a backward-compatible default
+/// (missing policy fields imply preemption bounding), and the digest
+/// decoder reads both hex forms.
+static constexpr uint64_t CheckpointFormatVersion = 4;
 static constexpr uint64_t MinCheckpointFormatVersion = 1;
 
 static JsonValue metaToJson(const CheckpointMeta &Meta) {
@@ -38,6 +42,8 @@ static JsonValue metaToJson(const CheckpointMeta &Meta) {
   V.set("every_access", JsonValue::boolean(Meta.EveryAccess));
   V.set("detector", JsonValue::str(Meta.Detector));
   V.set("por", JsonValue::boolean(Meta.Por));
+  V.set("bound", JsonValue::str(Meta.Bound));
+  V.set("var_bound", JsonValue::number(Meta.VarBound));
   V.set("limits", limitsToJson(Meta.Limits));
   return V;
 }
@@ -58,6 +64,16 @@ static bool metaFromJson(const JsonValue &V, CheckpointMeta &Out) {
   // Absent in format v2 and earlier (POR did not exist): defaults false.
   if (V.find("por") && !V.getBool("por", Out.Por))
     return false;
+  // Absent in format v3 and earlier (one hard-wired bound policy):
+  // defaults to preemption bounding with no variable cap.
+  if (V.find("bound") && !V.getString("bound", Out.Bound))
+    return false;
+  uint64_t VarBound = 0;
+  if (V.find("var_bound")) {
+    if (!V.getU64("var_bound", VarBound) || VarBound > ~0u)
+      return false;
+    Out.VarBound = static_cast<unsigned>(VarBound);
+  }
   if (Jobs > ~0u || Shards > ~0u)
     return false;
   Out.Jobs = static_cast<unsigned>(Jobs);

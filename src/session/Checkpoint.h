@@ -52,6 +52,12 @@ struct CheckpointMeta {
   /// Bounded POR (sleep sets). Changes which items exist in the frontier
   /// queues, so resuming with the other setting is a conflict.
   bool Por = false;
+  /// Bound policy family name ("preemption", "delay", "thread") and the
+  /// thread policy's variable cap (0 = off). The policy decides how items
+  /// are charged across bounds, so resuming under a different policy is a
+  /// conflict. Checkpoint format v4; v1-v3 files imply "preemption".
+  std::string Bound = "preemption";
+  unsigned VarBound = 0;
   search::SearchLimits Limits;
 };
 

@@ -462,10 +462,14 @@ std::string icb::session::digestsToHex(const std::vector<uint64_t> &Digests) {
 std::string
 icb::session::digestsToHexCompact(const std::vector<uint64_t> &Digests,
                                   size_t CompactThreshold) {
-  if (Digests.size() < CompactThreshold)
-    return digestsToHex(Digests);
+  // Sorting and deduplicating on write (format v4) makes the section
+  // deterministic whatever order the (possibly sharded) caches drained
+  // in; the loader accepts any order in either encoding.
   std::vector<uint64_t> Sorted = Digests;
   std::sort(Sorted.begin(), Sorted.end());
+  Sorted.erase(std::unique(Sorted.begin(), Sorted.end()), Sorted.end());
+  if (Sorted.size() < CompactThreshold)
+    return digestsToHex(Sorted);
   std::string Out;
   Out.reserve(Sorted.size() * 6 + 2);
   Out += '*';

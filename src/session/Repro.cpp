@@ -52,6 +52,10 @@ bool saveRepro(const std::string &Path, const ReproArtifact &A,
   Doc.set("form", JsonValue::str(A.Form));
   Doc.set("every_access", JsonValue::boolean(A.EveryAccess));
   Doc.set("detector", JsonValue::str(A.Detector));
+  // Optional: omitted for default preemption runs, so those artifacts
+  // stay byte-identical to pre-policy-seam ones.
+  if (!A.Bound.empty())
+    Doc.set("bound", JsonValue::str(A.Bound));
   Doc.set("found", bugToJson(A.Found));
   return atomicWriteFile(Path, jsonWrite(Doc) + "\n", Error);
 }
@@ -80,12 +84,35 @@ bool loadRepro(const std::string &Path, ReproArtifact &Out,
       *Error = "malformed repro artifact: " + Path;
     return false;
   }
+  // Optional: absent in artifacts from default preemption runs.
+  if (Doc.find("bound") && !Doc.getString("bound", Out.Bound)) {
+    if (Error)
+      *Error = "malformed repro artifact: " + Path;
+    return false;
+  }
   if (Out.Form != "rt" && Out.Form != "vm") {
     if (Error)
       *Error = "repro artifact names unknown form '" + Out.Form + "'";
     return false;
   }
   return true;
+}
+
+bool reproBoundCompatible(const ReproArtifact &A,
+                          const std::string &RequestedName,
+                          std::string *Error) {
+  if (RequestedName.empty())
+    return true; // No explicit request: replay under any recorded policy.
+  std::string Recorded = A.Bound.substr(0, A.Bound.find(':'));
+  if (Recorded.empty())
+    Recorded = "preemption";
+  if (Recorded == RequestedName)
+    return true;
+  if (Error)
+    *Error = strFormat("repro artifact was recorded under the '%s' bound "
+                       "policy but --bound requests '%s'",
+                       Recorded.c_str(), RequestedName.c_str());
+  return false;
 }
 
 rt::Scheduler::Options reproExecOptions(const ReproArtifact &A) {

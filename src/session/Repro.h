@@ -41,6 +41,11 @@ struct ReproArtifact {
   /// silently pass).
   bool EveryAccess = false;
   std::string Detector; ///< "vc", "goldilocks", or "none".
+  /// Bound-policy spec the bug was found under (e.g. "delay:3"), or empty
+  /// when not recorded — artifacts predating the policy seam, and
+  /// artifacts from default preemption runs, omit the field and imply
+  /// preemption bounding.
+  std::string Bound;
   /// The exposed bug with its full schedule (annotated for rt, thread-id
   /// list for vm).
   search::Bug Found;
@@ -58,6 +63,18 @@ bool loadRepro(const std::string &Path, ReproArtifact &Out,
 /// Scheduler options matching the artifact's recorded detector
 /// configuration (runtime form).
 rt::Scheduler::Options reproExecOptions(const ReproArtifact &A);
+
+/// Replay policy-compatibility check. A replay re-executes the recorded
+/// schedule verbatim, so the bound policy does not affect the re-execution
+/// itself — but an explicit `--bound` naming a *different* policy family
+/// than the artifact recorded is a contradiction the tool refuses (exit
+/// code 3) rather than silently ignoring. \p RequestedName is the
+/// requested policy family ("preemption", "delay", "thread"), or empty
+/// when the user did not pass --bound; an empty / absent artifact field
+/// means preemption. Returns false and fills \p Error on a mismatch.
+bool reproBoundCompatible(const ReproArtifact &A,
+                          const std::string &RequestedName,
+                          std::string *Error);
 
 /// What a replay did.
 struct ReplayOutcome {

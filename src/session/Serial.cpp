@@ -70,6 +70,42 @@ bool tidsFromText(const std::string &Text, std::vector<vm::ThreadId> &Out) {
   return true;
 }
 
+/// A list of 64-bit values (the thread policy's variable budget) as one
+/// space-separated decimal string.
+std::string u64sToText(const std::vector<uint64_t> &Values) {
+  std::string Out;
+  for (size_t I = 0; I != Values.size(); ++I) {
+    if (I)
+      Out += ' ';
+    Out += std::to_string(Values[I]);
+  }
+  return Out;
+}
+
+bool u64sFromText(const std::string &Text, std::vector<uint64_t> &Out) {
+  Out.clear();
+  size_t I = 0;
+  while (I < Text.size()) {
+    if (Text[I] == ' ') {
+      ++I;
+      continue;
+    }
+    uint64_t Value = 0;
+    size_t Start = I;
+    while (I < Text.size() && Text[I] >= '0' && Text[I] <= '9') {
+      uint64_t Digit = static_cast<uint64_t>(Text[I] - '0');
+      if (Value > (~0ull - Digit) / 10)
+        return false; // Overflow.
+      Value = Value * 10 + Digit;
+      ++I;
+    }
+    if (I == Start)
+      return false; // Not a digit.
+    Out.push_back(Value);
+  }
+  return true;
+}
+
 } // namespace
 
 //===----------------------------------------------------------------------===//
@@ -213,6 +249,16 @@ JsonValue icb::session::metricsToJson(const obs::MetricsSnapshot &M) {
                minMaxToJson(P));
   }
   Timing.set("phases_ns", std::move(Phases));
+  JsonValue PhaseHist = JsonValue::object();
+  for (size_t I = 0; I != obs::NumPhases; ++I) {
+    JsonValue Buckets = JsonValue::array();
+    if (I < M.PhaseHist.size())
+      for (uint64_t Bucket : M.PhaseHist[I].buckets())
+        Buckets.Arr.push_back(JsonValue::number(Bucket));
+    PhaseHist.set(obs::phaseName(static_cast<obs::Phase>(I)),
+                  std::move(Buckets));
+  }
+  Timing.set("phase_hist_log2", std::move(PhaseHist));
   JsonValue Workers = JsonValue::array();
   for (const obs::WorkerMetrics &W : M.Workers) {
     JsonValue Row = JsonValue::object();
@@ -259,6 +305,26 @@ bool icb::session::metricsFromJson(const JsonValue &V,
         Phases->find(obs::phaseName(static_cast<obs::Phase>(I)));
     if (P && !minMaxFromJson(P, Out.Phases[I]))
       return false;
+  }
+
+  // Optional: absent in checkpoints predating format v4.
+  Out.PhaseHist.assign(obs::NumPhases, Histogram());
+  if (const JsonValue *PhaseHist = Timing->find("phase_hist_log2")) {
+    if (!PhaseHist->isObject())
+      return false;
+    for (size_t I = 0; I != obs::NumPhases; ++I) {
+      const JsonValue *Buckets =
+          PhaseHist->find(obs::phaseName(static_cast<obs::Phase>(I)));
+      if (!Buckets)
+        continue;
+      if (!Buckets->isArray())
+        return false;
+      for (size_t J = 0; J != Buckets->Arr.size(); ++J) {
+        if (Buckets->Arr[J].K != JsonValue::Kind::Number)
+          return false;
+        Out.PhaseHist[I].increment(J, Buckets->Arr[J].U);
+      }
+    }
   }
 
   const JsonValue *PerBound = V.find("executions_per_bound");
@@ -378,6 +444,12 @@ JsonValue itemsToJson(const std::vector<SavedWorkItem> &Items) {
     Row.set("next", JsonValue::number(Item.Next));
     if (!Item.Sleep.empty())
       Row.set("sleep", JsonValue::str(tidsToText(Item.Sleep)));
+    // Bound-policy budget state (format v4); only the thread policy
+    // produces non-empty sets.
+    if (!Item.BoundThreads.empty())
+      Row.set("bound_threads", JsonValue::str(tidsToText(Item.BoundThreads)));
+    if (!Item.BoundVars.empty())
+      Row.set("bound_vars", JsonValue::str(u64sToText(Item.BoundVars)));
     V.Arr.push_back(std::move(Row));
   }
   return V;
@@ -398,6 +470,19 @@ bool itemsFromJson(const JsonValue *V, std::vector<SavedWorkItem> &Out) {
       std::string SleepText;
       if (!RowV.getString("sleep", SleepText) ||
           !tidsFromText(SleepText, Item.Sleep))
+        return false;
+    }
+    // Optional (format v4): only thread-policy items carry budget sets.
+    if (RowV.find("bound_threads")) {
+      std::string ThreadsText;
+      if (!RowV.getString("bound_threads", ThreadsText) ||
+          !tidsFromText(ThreadsText, Item.BoundThreads))
+        return false;
+    }
+    if (RowV.find("bound_vars")) {
+      std::string VarsText;
+      if (!RowV.getString("bound_vars", VarsText) ||
+          !u64sFromText(VarsText, Item.BoundVars))
         return false;
     }
     Out.push_back(std::move(Item));

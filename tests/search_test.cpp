@@ -403,4 +403,209 @@ TEST(IcbSleepSets, ReduceOnIndependentWork) {
   EXPECT_FALSE(B.foundBug());
 }
 
+//===----------------------------------------------------------------------===//
+// Bound policies
+//===----------------------------------------------------------------------===//
+
+TEST(BoundPolicy, ParseSpecAcceptsTheGrammar) {
+  struct Case {
+    const char *Text;
+    const char *Name;
+    unsigned Bound;
+    unsigned VarBound;
+  };
+  const Case Good[] = {
+      {"preemption:2", "preemption", 2, 0},
+      {"preemption:0", "preemption", 0, 0},
+      {"delay:7", "delay", 7, 0},
+      {"thread:3", "thread", 3, 0},
+      {"thread:2,variable:5", "thread", 2, 5},
+      // A bare family name keeps the default K.
+      {"delay", "delay", 4, 0},
+  };
+  for (const Case &C : Good) {
+    SCOPED_TRACE(C.Text);
+    BoundSpec Spec;
+    std::string Error;
+    ASSERT_TRUE(parseBoundSpec(C.Text, Spec, &Error)) << Error;
+    EXPECT_EQ(Spec.Name, C.Name);
+    EXPECT_EQ(Spec.Bound, C.Bound);
+    EXPECT_EQ(Spec.VarBound, C.VarBound);
+  }
+}
+
+TEST(BoundPolicy, ParseSpecRejectsMalformedText) {
+  const char *Bad[] = {
+      "",                      // empty
+      "bogus:3",               // unknown family
+      "preemption:",           // missing value
+      "preemption:x",          // non-numeric value
+      "preemption:-1",         // negative
+      "preemption:2097152",    // over the 2^20 cap
+      "delay:3,variable:2",    // variable on a non-thread policy
+      "thread:2,bogus:1",      // unknown second component
+      "thread:2,variable",     // component without a value
+      "thread:2,variable:",    // empty component value
+      "thread:2,variable:0",   // meaningless zero cap
+  };
+  for (const char *Text : Bad) {
+    SCOPED_TRACE(Text);
+    BoundSpec Spec;
+    std::string Error;
+    EXPECT_FALSE(parseBoundSpec(Text, Spec, &Error));
+    EXPECT_FALSE(Error.empty());
+  }
+}
+
+TEST(BoundPolicy, SpecFormatRoundTrips) {
+  for (const char *Text :
+       {"preemption:4", "delay:2", "thread:3", "thread:2,variable:5"}) {
+    SCOPED_TRACE(Text);
+    BoundSpec Spec;
+    ASSERT_TRUE(parseBoundSpec(Text, Spec, nullptr));
+    EXPECT_EQ(formatBoundSpec(Spec), Text);
+    EXPECT_EQ(makeBoundPolicy(Spec)->spec(), Text);
+  }
+}
+
+TEST(BoundPolicy, PreemptionChargesOnlyPreemptions) {
+  PreemptionBoundPolicy P(3);
+  EXPECT_EQ(P.frontierBound(), 3u);
+  BoundState Out;
+  EXPECT_EQ(P.chargeFor({DecisionKind::FreeSwitch, 0, 0}, {}, Out),
+            ChargeOutcome::SameBound);
+  EXPECT_EQ(P.chargeFor({DecisionKind::Preemption, 1, 0}, {}, Out),
+            ChargeOutcome::NextBound);
+  // No carried state: the successor budget stays empty (hash 0), so item
+  // digests match the pre-seam engine byte for byte.
+  EXPECT_TRUE(Out.empty());
+  EXPECT_EQ(Out.hash(), 0u);
+}
+
+TEST(BoundPolicy, DelayChargesEveryDeviation) {
+  DelayBoundPolicy P(5);
+  BoundState Out;
+  EXPECT_EQ(P.chargeFor({DecisionKind::FreeSwitch, 0, 0}, {}, Out),
+            ChargeOutcome::NextBound);
+  EXPECT_EQ(P.chargeFor({DecisionKind::Preemption, 2, 0}, {}, Out),
+            ChargeOutcome::NextBound);
+  EXPECT_TRUE(Out.empty());
+}
+
+TEST(BoundPolicy, ThreadVariableBudgetsDistinctResources) {
+  ThreadVariableBoundPolicy P(/*MaxThreads=*/2, /*VarBound=*/2);
+  BoundState S;
+  BoundState Out;
+  // First preemption of thread 1 consumes a thread-budget unit...
+  ASSERT_EQ(P.chargeFor({DecisionKind::Preemption, 1, 10}, S, Out),
+            ChargeOutcome::NextBound);
+  S = Out;
+  EXPECT_EQ(S.Threads, (std::vector<uint32_t>{1}));
+  EXPECT_EQ(S.Vars, (std::vector<uint64_t>{10}));
+  // ...but preempting the same thread again is free, whatever the order
+  // of budget checks.
+  EXPECT_EQ(P.chargeFor({DecisionKind::Preemption, 1, 10}, S, Out),
+            ChargeOutcome::SameBound);
+  // A second thread and a second variable still fit.
+  ASSERT_EQ(P.chargeFor({DecisionKind::Preemption, 2, 11}, S, Out),
+            ChargeOutcome::NextBound);
+  S = Out;
+  // A third distinct variable breaches the variable cap: prune outright.
+  EXPECT_EQ(P.chargeFor({DecisionKind::Preemption, 1, 12}, S, Out),
+            ChargeOutcome::Prune);
+  // Free switches never touch either budget.
+  EXPECT_EQ(P.chargeFor({DecisionKind::FreeSwitch, 0, 99}, S, Out),
+            ChargeOutcome::SameBound);
+  EXPECT_EQ(Out, S);
+}
+
+TEST(BoundPolicy, BoundStateHashContract) {
+  BoundState Empty;
+  EXPECT_EQ(Empty.hash(), 0u);
+  BoundState A;
+  A.Threads = {1, 2};
+  BoundState B;
+  B.Threads = {1, 2};
+  EXPECT_NE(A.hash(), 0u);
+  EXPECT_EQ(A.hash(), B.hash());
+  // The separator keeps thread and variable sets from aliasing.
+  BoundState C;
+  C.Vars = {1, 2};
+  EXPECT_NE(A.hash(), C.hash());
+  B.Threads = {1, 3};
+  EXPECT_NE(A.hash(), B.hash());
+}
+
+TEST(BoundPolicy, ConservativeWakeFollowsBudgetAndPreemption) {
+  PreemptionBoundPolicy P(4);
+  Decision Free{DecisionKind::FreeSwitch, 0, 0};
+  Decision Preempt{DecisionKind::Preemption, 1, 0};
+  // Same-budget free switches keep the sleep sets; everything else wakes.
+  EXPECT_FALSE(P.conservativeWake(Free, ChargeOutcome::SameBound));
+  EXPECT_TRUE(P.conservativeWake(Free, ChargeOutcome::NextBound));
+  EXPECT_TRUE(P.conservativeWake(Preempt, ChargeOutcome::SameBound));
+  EXPECT_TRUE(P.conservativeWake(Preempt, ChargeOutcome::NextBound));
+}
+
+TEST(BoundPolicy, ExplicitPreemptionPolicyMatchesDefault) {
+  // The seam's byte-compat claim in miniature: an explicit preemption
+  // policy must reproduce the default engine's results exactly.
+  Program Prog = testutil::racyCounter(2);
+  SearchResult Default = runIcb(Prog, /*Cache=*/false, /*MaxBound=*/3);
+
+  PreemptionBoundPolicy Policy(3);
+  SearchOptions Opts;
+  Opts.Kind = StrategyKind::Icb;
+  Opts.Limits.MaxPreemptionBound = 3;
+  Opts.Policy = &Policy;
+  SearchResult Explicit = checkProgram(Prog, Opts);
+
+  EXPECT_EQ(Default.Stats.Executions, Explicit.Stats.Executions);
+  EXPECT_EQ(Default.Stats.TotalSteps, Explicit.Stats.TotalSteps);
+  EXPECT_EQ(Default.Stats.DistinctStates, Explicit.Stats.DistinctStates);
+  ASSERT_EQ(Default.Bugs.size(), Explicit.Bugs.size());
+  for (size_t I = 0; I != Default.Bugs.size(); ++I) {
+    EXPECT_EQ(Default.Bugs[I].Message, Explicit.Bugs[I].Message);
+    EXPECT_EQ(Default.Bugs[I].Preemptions, Explicit.Bugs[I].Preemptions);
+    EXPECT_EQ(Default.Bugs[I].Schedule, Explicit.Bugs[I].Schedule);
+  }
+}
+
+SearchResult runWithPolicy(const Program &Prog, const BoundPolicy &Policy) {
+  SearchOptions Opts;
+  Opts.Kind = StrategyKind::Icb;
+  Opts.Limits.MaxPreemptionBound = Policy.frontierBound();
+  Opts.Policy = &Policy;
+  return checkProgram(Prog, Opts);
+}
+
+TEST(BoundPolicy, DelayBoundingFindsTheLadderBug) {
+  // The ladder bug needs one preemption; under delay bounding that same
+  // schedule costs a handful of delays (every deviation is charged), so a
+  // generous delay budget must still expose it.
+  DelayBoundPolicy Policy(8);
+  SearchResult R = runWithPolicy(testutil::preemptionLadder(1), Policy);
+  ASSERT_TRUE(R.foundBug());
+  EXPECT_EQ(R.Bugs[0].Kind, BugKind::AssertFailure);
+}
+
+TEST(BoundPolicy, ThreadBoundingFindsTheLadderBug) {
+  // One preemption of one thread: a thread budget of 1 is enough, and the
+  // executor-measured preemption count on the bug must stay exact even
+  // though the policy's bound indices now count budgeted threads.
+  ThreadVariableBoundPolicy Policy(/*MaxThreads=*/1, /*VarBound=*/0);
+  SearchResult R = runWithPolicy(testutil::preemptionLadder(1), Policy);
+  ASSERT_TRUE(R.foundBug());
+  EXPECT_EQ(R.Bugs[0].Preemptions, 1u);
+}
+
+TEST(BoundPolicy, DelayBoundZeroExploresOnlyTheDefaultSchedule) {
+  // With zero delays the search runs exactly one execution: the default
+  // continuation at every scheduling point.
+  DelayBoundPolicy Policy(0);
+  SearchResult R = runWithPolicy(testutil::racyCounter(2), Policy);
+  EXPECT_EQ(R.Stats.Executions, 1u);
+  EXPECT_FALSE(R.foundBug());
+}
+
 } // namespace

@@ -27,6 +27,7 @@
 #include "session/Repro.h"
 #include "testutil/ResultChecks.h"
 #include "vm/Interp.h"
+#include <algorithm>
 #include <atomic>
 #include <cstdio>
 #include <gtest/gtest.h>
@@ -116,23 +117,26 @@ TEST(SessionJson, DigestHexRoundTrip) {
 }
 
 TEST(SessionJson, DigestHexCompactRoundTrip) {
-  // Above the threshold the writer switches to the sorted delta form
-  // ("*" prefix); digest sets are order-free, so reading one back yields
-  // the same set in sorted order.
+  // Digest sets are order-free, so the writer normalizes every set to
+  // sorted-unique before choosing an encoding; above the threshold it
+  // switches to the delta form ("*" prefix).
   std::vector<uint64_t> Digests = {0xdeadbeef, 3, UINT64_MAX, 3,
                                    (1ull << 53) + 1, 0};
+  std::vector<uint64_t> Unique = Digests;
+  std::sort(Unique.begin(), Unique.end());
+  Unique.erase(std::unique(Unique.begin(), Unique.end()), Unique.end());
+
   std::string Compact = digestsToHexCompact(Digests, /*CompactThreshold=*/4);
   ASSERT_FALSE(Compact.empty());
   EXPECT_EQ(Compact[0], '*');
   std::vector<uint64_t> Back;
   ASSERT_TRUE(digestsFromHex(Compact, Back));
-  std::vector<uint64_t> Sorted = Digests;
-  std::sort(Sorted.begin(), Sorted.end());
-  EXPECT_EQ(Back, Sorted);
+  EXPECT_EQ(Back, Unique);
 
-  // Below the threshold the plain form (and original order) is kept.
+  // Below the threshold the plain hex form is kept, but the set is still
+  // written sorted and deduplicated.
   EXPECT_EQ(digestsToHexCompact(Digests, /*CompactThreshold=*/100),
-            digestsToHex(Digests));
+            digestsToHex(Unique));
 
   // The compact form is what makes huge digest sets affordable: deltas of
   // a dense sorted set are short, so the encoding shrinks accordingly.
@@ -393,7 +397,13 @@ TEST(SessionCheckpoint, SerializedSnapshotResumesIdentically) {
   EXPECT_FALSE(Loaded.Snap.Final);
   EXPECT_EQ(Loaded.Snap.CurrentQueue.size(), Data.Snap.CurrentQueue.size());
   EXPECT_EQ(Loaded.Snap.NextQueue.size(), Data.Snap.NextQueue.size());
-  EXPECT_EQ(Loaded.Snap.SeenDigests, Data.Snap.SeenDigests);
+  // Digest sets are compacted (sorted, deduplicated) on write, so compare
+  // them as sets; the engine only ever membership-tests them.
+  std::vector<uint64_t> WantDigests = Data.Snap.SeenDigests;
+  std::sort(WantDigests.begin(), WantDigests.end());
+  WantDigests.erase(std::unique(WantDigests.begin(), WantDigests.end()),
+                    WantDigests.end());
+  EXPECT_EQ(Loaded.Snap.SeenDigests, WantDigests);
   EXPECT_EQ(Loaded.Snap.Stats.Executions, Data.Snap.Stats.Executions);
 
   rt::ExploreResult Resumed = runRtIcb(Test, 1, nullptr, &Loaded.Snap);
@@ -483,6 +493,108 @@ TEST(SessionCheckpoint, LoadsFormatVersionTwoFiles) {
 
   rt::ExploreResult Resumed = runRtIcb(Test, 1, nullptr, &Loaded.Snap);
   expectIdenticalResults(Reference, Resumed);
+}
+
+/// Recursively erases every member named \p Name from \p V.
+void eraseMembersNamed(JsonValue &V, const char *Name) {
+  if (V.isObject()) {
+    for (size_t I = 0; I < V.Obj.size();) {
+      if (V.Obj[I].first == Name) {
+        V.Obj.erase(V.Obj.begin() + I);
+      } else {
+        eraseMembersNamed(V.Obj[I].second, Name);
+        ++I;
+      }
+    }
+  } else if (V.isArray()) {
+    for (JsonValue &E : V.Arr)
+      eraseMembersNamed(E, Name);
+  }
+}
+
+TEST(SessionCheckpoint, LoadsAllOlderFormatVersions) {
+  // The bound-policy seam bumped the format to v4; files written by v1,
+  // v2, and v3 builds must keep loading, with every missing field
+  // defaulting to the hard-wired behavior of its era (POR off,
+  // preemption bounding, no metrics), and must resume to results
+  // identical to an uninterrupted run.
+  rt::TestCase Test = workStealingTest({3, 4, WsqBug::PopCheckThenAct});
+  rt::ExploreResult Reference = runRtIcb(Test, 1);
+
+  SnapshotProbe Probe(/*StopAfterPolls=*/60);
+  rt::ExploreResult Cut = runRtIcb(Test, 1, &Probe);
+  ASSERT_TRUE(Cut.Interrupted);
+  ASSERT_FALSE(Probe.Resumable.empty());
+
+  CheckpointData Data;
+  Data.Meta.Form = "rt";
+  Data.Meta.Strategy = "icb";
+  Data.Meta.Limits.MaxPreemptionBound = 2;
+  Data.Snap = Probe.Resumable.back();
+
+  std::string Path = checkpointPath(testing::TempDir());
+  std::string Error;
+  ASSERT_TRUE(saveCheckpoint(Path, Data, &Error)) << Error;
+  std::string Text;
+  ASSERT_TRUE(readFile(Path, Text, &Error)) << Error;
+
+  for (uint64_t Version : {uint64_t(3), uint64_t(2), uint64_t(1)}) {
+    SCOPED_TRACE(Version);
+    JsonValue Doc;
+    ASSERT_TRUE(jsonParse(Text, Doc, &Error)) << Error;
+    Doc.set("icb_checkpoint", JsonValue::number(Version));
+    JsonValue *Meta = nullptr;
+    for (JsonValue::Member &M : Doc.Obj)
+      if (M.first == "meta")
+        Meta = &M.second;
+    ASSERT_NE(Meta, nullptr);
+    // v4 additions: the policy meta fields, per-item budget sets, and the
+    // phase latency histograms. The snapshot's own "bound" member (the
+    // frontier index) predates v4, so only the meta object loses the
+    // member of that name.
+    for (size_t I = 0; I < Meta->Obj.size();)
+      if (Meta->Obj[I].first == "bound" || Meta->Obj[I].first == "var_bound")
+        Meta->Obj.erase(Meta->Obj.begin() + I);
+      else
+        ++I;
+    eraseMembersNamed(Doc, "bound_threads");
+    eraseMembersNamed(Doc, "bound_vars");
+    eraseMembersNamed(Doc, "phase_hist_log2");
+    if (Version <= 2) {
+      // v3 additions: the POR meta field and per-item sleep sets.
+      for (size_t I = 0; I < Meta->Obj.size();)
+        if (Meta->Obj[I].first == "por")
+          Meta->Obj.erase(Meta->Obj.begin() + I);
+        else
+          ++I;
+      eraseMembersNamed(Doc, "sleep");
+    }
+    if (Version <= 1) {
+      // v2 additions: the metrics block and the derived MinMax mean.
+      eraseMembersNamed(Doc, "metrics");
+      eraseMembersNamed(Doc, "mean_milli");
+    }
+    ASSERT_TRUE(atomicWriteFile(Path, jsonWrite(Doc) + "\n", &Error)) << Error;
+
+    CheckpointData Loaded;
+    ASSERT_TRUE(loadCheckpoint(Path, Loaded, &Error)) << Error;
+    EXPECT_FALSE(Loaded.Meta.Por);
+    EXPECT_EQ(Loaded.Meta.Bound, "preemption");
+    EXPECT_EQ(Loaded.Meta.VarBound, 0u);
+
+    rt::ExploreResult Resumed = runRtIcb(Test, 1, nullptr, &Loaded.Snap);
+    expectIdenticalResults(Reference, Resumed);
+  }
+
+  // And forward again: a v4 file records a non-default policy in full.
+  Data.Meta.Bound = "thread";
+  Data.Meta.VarBound = 3;
+  ASSERT_TRUE(saveCheckpoint(Path, Data, &Error)) << Error;
+  CheckpointData V4;
+  ASSERT_TRUE(loadCheckpoint(Path, V4, &Error)) << Error;
+  std::remove(Path.c_str());
+  EXPECT_EQ(V4.Meta.Bound, "thread");
+  EXPECT_EQ(V4.Meta.VarBound, 3u);
 }
 
 TEST(SessionCheckpoint, LoadRejectsCorruptFiles) {
@@ -584,6 +696,44 @@ TEST(SessionRepro, LoadRejectsCorruptArtifacts) {
   EXPECT_FALSE(loadRepro(Path, Out, &Error));
   EXPECT_FALSE(Error.empty());
   std::remove(Path.c_str());
+}
+
+TEST(SessionRepro, BoundFieldRoundTripsAndGatesReplay) {
+  rt::TestCase Test = workStealingTest({3, 4, WsqBug::PopCheckThenAct});
+  rt::ExploreResult R = runRtIcb(Test, 1);
+  ASSERT_TRUE(R.foundBug());
+  ReproArtifact A = rtArtifactFor(R);
+
+  // Default preemption artifacts carry no bound field at all, so the
+  // bytes of every pre-existing artifact are unchanged; they stay
+  // compatible with an explicit preemption request and refuse any other
+  // policy family.
+  std::string Path = testing::TempDir() + reproFileName(A);
+  std::string Error;
+  ASSERT_TRUE(saveRepro(Path, A, &Error)) << Error;
+  std::string Text;
+  ASSERT_TRUE(readFile(Path, Text, &Error)) << Error;
+  EXPECT_EQ(Text.find("\"bound\""), std::string::npos);
+  ReproArtifact Loaded;
+  ASSERT_TRUE(loadRepro(Path, Loaded, &Error)) << Error;
+  EXPECT_TRUE(Loaded.Bound.empty());
+  EXPECT_TRUE(reproBoundCompatible(Loaded, "", nullptr));
+  EXPECT_TRUE(reproBoundCompatible(Loaded, "preemption", nullptr));
+  std::string Why;
+  EXPECT_FALSE(reproBoundCompatible(Loaded, "delay", &Why));
+  EXPECT_FALSE(Why.empty());
+
+  // A non-default policy records its full spec; compatibility compares
+  // the family only (the K under which the bug was found is advisory).
+  A.Bound = "delay:8";
+  ASSERT_TRUE(saveRepro(Path, A, &Error)) << Error;
+  ASSERT_TRUE(loadRepro(Path, Loaded, &Error)) << Error;
+  std::remove(Path.c_str());
+  EXPECT_EQ(Loaded.Bound, "delay:8");
+  EXPECT_TRUE(reproBoundCompatible(Loaded, "", nullptr));
+  EXPECT_TRUE(reproBoundCompatible(Loaded, "delay", nullptr));
+  EXPECT_FALSE(reproBoundCompatible(Loaded, "preemption", &Why));
+  EXPECT_FALSE(Why.empty());
 }
 
 //===----------------------------------------------------------------------===//

@@ -44,7 +44,21 @@ session::CheckpointMeta makeMeta(const SessionState &S, const RunConfig &C,
   M.Limits.MaxExecutions = C.MaxExecutions;
   M.Limits.MaxPreemptionBound = C.MaxBound;
   M.Limits.StopAtFirstBug = C.StopAtFirst;
+  M.Bound = C.BoundName;
+  M.VarBound = C.VarBound;
   return M;
+}
+
+/// The canonical spec text of the configured bound policy.
+std::string boundSpecOf(const RunConfig &C) {
+  return search::formatBoundSpec({C.BoundName, C.MaxBound, C.VarBound});
+}
+
+/// True when the configuration names the default policy family — the one
+/// whose manifests, artifacts, and stdout must stay byte-identical to the
+/// pre-policy-seam tools.
+bool defaultBound(const RunConfig &C) {
+  return C.BoundName == "preemption" && C.VarBound == 0;
 }
 
 /// The manifest record of a run still in flight: identity plus the bounds
@@ -106,10 +120,46 @@ RunSession::RunSession(SessionState &S, const RunConfig &Config,
         S.Resume ? S.Resume->Snap.Stats.Executions : 0, PriorWall);
     Obs.Sink = Sink.get();
   }
-  if (Config.Progress) {
+  if (Config.Progress || !Config.MetricsCsv.empty()) {
+    // The meter is the sampling clock even when only the CSV wants rows;
+    // RenderMeter keeps the stderr ticker tied to --progress alone.
     Meter = std::make_unique<obs::ProgressMeter>(Config.ProgressEveryMillis);
     Obs.Meter = Meter.get();
+    Obs.RenderMeter = Config.Progress;
   }
+  if (!Config.MetricsCsv.empty()) {
+    Csv = std::fopen(Config.MetricsCsv.c_str(), "a");
+    if (!Csv) {
+      std::fprintf(stderr, "--metrics-csv: cannot open %s\n",
+                   Config.MetricsCsv.c_str());
+      Failed = true;
+      return;
+    }
+    std::fseek(Csv, 0, SEEK_END);
+    if (std::ftell(Csv) == 0)
+      std::fprintf(Csv, "bound,max_bound,executions,total_steps,states,"
+                        "frontier_remaining,deferred_next,bugs\n");
+    Obs.SampleHook = [this](const obs::ProgressSample &P) { csvRow(P); };
+  }
+}
+
+RunSession::~RunSession() {
+  if (Csv)
+    std::fclose(Csv);
+}
+
+void RunSession::csvRow(const obs::ProgressSample &P) {
+  if (!Csv)
+    return;
+  std::fprintf(Csv,
+               "%llu,%llu,%llu,%llu,%llu,%llu,%llu,%llu\n",
+               (unsigned long long)P.Bound, (unsigned long long)P.MaxBound,
+               (unsigned long long)P.Executions,
+               (unsigned long long)P.TotalSteps, (unsigned long long)P.States,
+               (unsigned long long)P.FrontierRemaining,
+               (unsigned long long)P.DeferredNext,
+               (unsigned long long)P.Bugs);
+  std::fflush(Csv);
 }
 
 uint64_t RunSession::wallMillis() const {
@@ -124,7 +174,7 @@ uint64_t RunSession::wallMillis() const {
 
 int RunSession::finish(const search::SearchResult &R) {
   int Rc = 0;
-  if (Meter) {
+  if (Meter || Csv) {
     obs::ProgressSample Last;
     Last.Bound = R.Stats.PerBound.empty() ? 0 : R.Stats.PerBound.back().Bound;
     Last.MaxBound = Config.MaxBound;
@@ -132,7 +182,9 @@ int RunSession::finish(const search::SearchResult &R) {
     Last.TotalSteps = R.Stats.TotalSteps;
     Last.States = R.Stats.DistinctStates;
     Last.Bugs = R.Bugs.size();
-    Meter->finish(Last);
+    csvRow(Last); // Final row so even a sub-period run leaves data.
+    if (Meter && Config.Progress)
+      Meter->finish(Last);
   }
   std::vector<std::string> Repros;
   if (!S.ReproDir.empty() && !R.Bugs.empty()) {
@@ -148,6 +200,8 @@ int RunSession::finish(const search::SearchResult &R) {
         A.Form = Form;
         A.EveryAccess = Config.EveryAccess;
         A.Detector = Config.Detector;
+        if (!defaultBound(Config))
+          A.Bound = boundSpecOf(Config);
         A.Found = B;
         std::string Path = S.ReproDir + "/" + session::reproFileName(A);
         if (!session::saveRepro(Path, A, &Err)) {
@@ -199,6 +253,10 @@ int RunSession::finish(const search::SearchResult &R) {
 void icb::tool::addSearchFlags(FlagSet &Flags) {
   Flags.addString("strategy", "icb", "icb, dfs, db:N, or random");
   Flags.addInt("max-bound", 4, "maximum preemption bound (icb)");
+  Flags.addString("bound", "",
+                  "bound policy for the icb strategy: preemption:K, delay:K, "
+                  "or thread:K[,variable:V]; a bare family name takes K from "
+                  "--max-bound");
   Flags.addInt("max-executions", 1 << 20, "execution budget");
   Flags.addInt("seed", 1, "PRNG seed (random strategy)");
   Flags.addInt("jobs", 1,
@@ -218,6 +276,9 @@ void icb::tool::addSearchFlags(FlagSet &Flags) {
                 "live single-line progress ticker on stderr");
   Flags.addInt("progress-every", 1000,
                "progress ticker period in milliseconds (implies --progress)");
+  Flags.addString("metrics-csv", "",
+                  "append one CSV row per progress tick (same fields as the "
+                  "--progress ticker) to this file");
 }
 
 void icb::tool::addSessionFlags(FlagSet &Flags) {
@@ -252,9 +313,43 @@ bool icb::tool::readRunConfig(const FlagSet &Flags, RunConfig &Config) {
       Flags.getBool("progress") || Flags.wasSet("progress-every");
   Config.ProgressEveryMillis =
       static_cast<uint64_t>(Flags.getInt("progress-every"));
-  if (Config.Progress && Flags.getInt("progress-every") <= 0) {
+  Config.MetricsCsv = Flags.getString("metrics-csv");
+  if ((Config.Progress || !Config.MetricsCsv.empty()) &&
+      Flags.getInt("progress-every") <= 0) {
     std::fprintf(stderr, "--progress-every must be positive (milliseconds)\n");
     return false;
+  }
+  if (Flags.wasSet("bound")) {
+    std::string Text = Flags.getString("bound");
+    search::BoundSpec Spec;
+    std::string Err;
+    if (!search::parseBoundSpec(Text, Spec, &Err)) {
+      std::fprintf(stderr, "%s\n", Err.c_str());
+      return false;
+    }
+    // A bare family name ("delay") takes its K from --max-bound; a full
+    // spec ("delay:3") owns K, and a contradicting --max-bound is an
+    // error rather than a silent pick between the two.
+    std::string Head = Text.substr(0, Text.find(','));
+    if (Head.find(':') == std::string::npos)
+      Spec.Bound = Config.MaxBound;
+    else if (Flags.wasSet("max-bound") && Config.MaxBound != Spec.Bound) {
+      std::fprintf(stderr,
+                   "--max-bound=%u conflicts with --bound=%s; pass the bound "
+                   "through one flag only\n",
+                   Config.MaxBound, Text.c_str());
+      return false;
+    }
+    Config.MaxBound = Spec.Bound;
+    Config.BoundName = Spec.Name;
+    Config.VarBound = Spec.VarBound;
+    if (Config.Strategy != "icb") {
+      std::fprintf(stderr,
+                   "--bound applies to the icb strategy only (got "
+                   "--strategy=%s)\n",
+                   Config.Strategy.c_str());
+      return false;
+    }
   }
   // Reject flag combinations that have no defined meaning rather than
   // silently ignoring a flag or falling back to another engine.
@@ -308,12 +403,15 @@ bool icb::tool::readSessionFlags(const FlagSet &Flags, SessionState &S,
 
 bool icb::tool::checkReplayExclusive(
     const FlagSet &Flags, std::initializer_list<const char *> ExtraFlags) {
+  // --bound is deliberately absent: with --replay it names the policy the
+  // artifact must have been recorded under (replayArtifact's mismatch
+  // check), not a search configuration.
   static const char *const Incompatible[] = {
       "strategy",     "max-bound",      "max-executions",   "seed",
       "jobs",         "shards",         "keep-going",       "every-access",
       "por",          "detector",       "json",             "checkpoint-dir",
       "checkpoint-every", "resume",     "repro-dir",        "progress",
-      "progress-every",
+      "progress-every",   "metrics-csv",
   };
   auto Reject = [](const char *Name) {
     std::fprintf(stderr,
@@ -387,6 +485,16 @@ int icb::tool::applyResume(const FlagSet &Flags, const std::string &ResumeDir,
   // count resumes correctly at another.
   CheckNum("seed", Config.Seed, M.Seed);
   CheckNum("max-bound", Config.MaxBound, M.Limits.MaxPreemptionBound);
+  // The policy decides which work items exist in the frontier (and what
+  // their budgets mean), so the whole spec must match; the canonical spec
+  // text compares family, K, and variable cap at once.
+  if (Flags.wasSet("bound")) {
+    std::string Cli = boundSpecOf(Config);
+    std::string Recorded = search::formatBoundSpec(
+        {M.Bound, M.Limits.MaxPreemptionBound, M.VarBound});
+    if (Cli != Recorded)
+      Conflict("bound", Cli, Recorded);
+  }
   CheckNum("max-executions", Config.MaxExecutions, M.Limits.MaxExecutions);
   CheckBool("every-access", Config.EveryAccess, M.EveryAccess);
   CheckBool("keep-going", !Config.StopAtFirst, !M.Limits.StopAtFirstBug);
@@ -414,6 +522,8 @@ int icb::tool::applyResume(const FlagSet &Flags, const std::string &ResumeDir,
   }
   Config.Seed = M.Seed;
   Config.MaxBound = M.Limits.MaxPreemptionBound;
+  Config.BoundName = M.Bound;
+  Config.VarBound = M.VarBound;
   Config.MaxExecutions = M.Limits.MaxExecutions;
   Config.EveryAccess = M.EveryAccess;
   Config.StopAtFirst = M.Limits.StopAtFirstBug;
@@ -433,6 +543,10 @@ session::JsonValue icb::tool::configRecord(const RunConfig &Config) {
   JsonValue Cfg = JsonValue::object();
   Cfg.set("strategy", JsonValue::str(Config.Strategy));
   Cfg.set("max_bound", JsonValue::number(Config.MaxBound));
+  // Only a non-default policy is recorded, keeping default-run manifests
+  // byte-identical to pre-policy-seam ones.
+  if (!defaultBound(Config))
+    Cfg.set("bound", JsonValue::str(boundSpecOf(Config)));
   Cfg.set("max_executions", JsonValue::number(Config.MaxExecutions));
   Cfg.set("seed", JsonValue::number(Config.Seed));
   Cfg.set("jobs", JsonValue::number(Config.Jobs));
@@ -454,6 +568,9 @@ int icb::tool::runRt(const rt::TestCase &Test, const RunConfig &Config,
   Opts.Limits.MaxExecutions = Config.MaxExecutions;
   Opts.Limits.MaxPreemptionBound = Config.MaxBound;
   Opts.Limits.StopAtFirstBug = Config.StopAtFirst;
+  std::unique_ptr<search::BoundPolicy> Policy = search::makeBoundPolicy(
+      {Config.BoundName, Config.MaxBound, Config.VarBound});
+  Opts.Policy = Policy.get();
   Opts.Jobs = Config.Jobs;
   Opts.Shards = Config.Shards;
   Opts.Por = Config.Por;
@@ -516,8 +633,12 @@ int icb::tool::runRt(const rt::TestCase &Test, const RunConfig &Config,
                 withCommas(B.States).c_str());
   for (const rt::RtBug &Bug : R.Bugs)
     std::printf("  BUG %s\n", Bug.str().c_str());
-  if (R.Bugs.empty() && !R.Interrupted)
-    std::printf("  no bug within preemption bound %u\n", Config.MaxBound);
+  if (R.Bugs.empty() && !R.Interrupted) {
+    if (defaultBound(Config))
+      std::printf("  no bug within preemption bound %u\n", Config.MaxBound);
+    else
+      std::printf("  no bug within bound %s\n", Policy->spec().c_str());
+  }
   if (Config.Trace && R.foundBug())
     std::printf("\n%s",
                 rt::renderBugTrace(Test, *R.simplestBug(), Opts.Exec)
@@ -546,6 +667,9 @@ int icb::tool::runVm(const vm::Program &Prog, const RunConfig &Config,
   }
   Opts.Seed = Config.Seed;
   Opts.RandomExecutions = Config.MaxExecutions;
+  std::unique_ptr<search::BoundPolicy> Policy = search::makeBoundPolicy(
+      {Config.BoundName, Config.MaxBound, Config.VarBound});
+  Opts.Policy = Policy.get();
   Opts.Jobs = Config.Jobs;
   Opts.Shards = Config.Shards;
   Opts.UseSleepSets = Config.Por;
@@ -591,8 +715,12 @@ int icb::tool::runVm(const vm::Program &Prog, const RunConfig &Config,
       std::printf("\n");
     }
   }
-  if (R.Bugs.empty() && !R.Interrupted)
-    std::printf("  no bug within preemption bound %u\n", Config.MaxBound);
+  if (R.Bugs.empty() && !R.Interrupted) {
+    if (defaultBound(Config))
+      std::printf("  no bug within preemption bound %u\n", Config.MaxBound);
+    else
+      std::printf("  no bug within bound %s\n", Policy->spec().c_str());
+  }
   int Rc = Sess.finish(R);
   return std::max(Rc, R.foundBug() ? 1 : 0);
 }
@@ -602,12 +730,17 @@ int icb::tool::runVm(const vm::Program &Prog, const RunConfig &Config,
 //===----------------------------------------------------------------------===//
 
 int icb::tool::replayArtifact(const std::string &Path, bool Minimize,
-                              bool Trace, const ArtifactResolver &Resolve) {
+                              bool Trace, const std::string &BoundName,
+                              const ArtifactResolver &Resolve) {
   session::ReproArtifact A;
   std::string Error;
   if (!session::loadRepro(Path, A, &Error)) {
     std::fprintf(stderr, "%s\n", Error.c_str());
     return 4;
+  }
+  if (!session::reproBoundCompatible(A, BoundName, &Error)) {
+    std::fprintf(stderr, "%s\n", Error.c_str());
+    return 3;
   }
   std::function<rt::TestCase()> MakeRt;
   std::function<vm::Program()> MakeVm;

@@ -24,6 +24,7 @@
 #include "obs/Metrics.h"
 #include "obs/Progress.h"
 #include "rt/Explore.h"
+#include "search/BoundPolicy.h"
 #include "search/Checker.h"
 #include "session/Checkpoint.h"
 #include "session/Json.h"
@@ -31,6 +32,7 @@
 #include "session/Repro.h"
 #include "support/CommandLine.h"
 #include <chrono>
+#include <cstdio>
 #include <functional>
 #include <initializer_list>
 #include <memory>
@@ -59,8 +61,15 @@ struct RunConfig {
   bool Por = true;
   bool PreferModel = false;
   std::string Detector = "vc";
+  /// Bound policy family for the icb strategy ("preemption", "delay",
+  /// "thread"); MaxBound carries the K of --bound=NAME:K and VarBound the
+  /// optional variable bound of the thread policy.
+  std::string BoundName = "preemption";
+  unsigned VarBound = 0;
   bool Progress = false;
   uint64_t ProgressEveryMillis = 1000;
+  /// Append one CSV row per progress tick to this file (empty = off).
+  std::string MetricsCsv;
 };
 
 /// Session-wide state shared by the per-variant runs: manifest, repro
@@ -81,8 +90,14 @@ struct SessionState {
 class ToolObserver final : public search::EngineObserver {
 public:
   session::CheckpointSink *Sink = nullptr;
+  /// Cadence source for progress sampling. Rendering to stderr is gated
+  /// separately (RenderMeter) so --metrics-csv can drive the sampling
+  /// clock without implying the ticker.
   obs::ProgressMeter *Meter = nullptr;
+  bool RenderMeter = true;
   std::function<void(const search::BoundCoverage &)> BoundHook;
+  /// Fires on every claimed progress tick, before rendering (--metrics-csv).
+  std::function<void(const obs::ProgressSample &)> SampleHook;
 
   bool checkpointDue(uint64_t Executions) override {
     return Sink && Sink->checkpointDue(Executions);
@@ -100,7 +115,9 @@ public:
   // a single relaxed atomic load until a tick is actually due.
   bool progressDue() override { return Meter && Meter->due(); }
   void onProgress(const obs::ProgressSample &Sample) override {
-    if (Meter)
+    if (SampleHook)
+      SampleHook(Sample);
+    if (Meter && RenderMeter)
       Meter->tick(Sample);
   }
 };
@@ -112,6 +129,7 @@ public:
 class RunSession {
 public:
   RunSession(SessionState &S, const RunConfig &Config, const char *Form);
+  ~RunSession();
 
   bool failed() const { return Failed; }
   search::EngineObserver *observer() {
@@ -136,6 +154,8 @@ public:
   int finish(const search::SearchResult &R);
 
 private:
+  void csvRow(const obs::ProgressSample &P);
+
   SessionState &S;
   const RunConfig &Config;
   const char *Form;
@@ -147,6 +167,7 @@ private:
   /// reports empty(), and the manifest block is simply omitted.
   obs::MetricsRegistry Metrics;
   std::unique_ptr<obs::ProgressMeter> Meter;
+  std::FILE *Csv = nullptr; ///< --metrics-csv sink (append mode).
   std::vector<search::BoundCoverage> Bounds;
   size_t RunIdx = 0;
   std::chrono::steady_clock::time_point Start =
@@ -235,11 +256,15 @@ using ArtifactResolver =
                        std::function<vm::Program()> &MakeVm)>;
 
 /// The --replay[ --minimize] entry: deterministic re-execution of one
-/// .icbrepro, resolving its identity through \p Resolve. Exit 0 iff the
-/// recorded bug reproduces (and, with --minimize, the artifact was
-/// rewritten); 3 when the bug fails to reproduce, 2 when the artifact
+/// .icbrepro, resolving its identity through \p Resolve. \p BoundName is
+/// the policy family an explicit --bound requested (empty = replay under
+/// whatever the artifact recorded); a mismatch is a replay failure (3),
+/// since the recorded schedule was found under a different budget. Exit 0
+/// iff the recorded bug reproduces (and, with --minimize, the artifact
+/// was rewritten); 3 when the bug fails to reproduce, 2 when the artifact
 /// does not resolve, 4 when the file cannot be read or rewritten.
 int replayArtifact(const std::string &Path, bool Minimize, bool Trace,
+                   const std::string &BoundName,
                    const ArtifactResolver &Resolve);
 
 //===----------------------------------------------------------------------===//

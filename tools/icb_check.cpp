@@ -127,9 +127,20 @@ int main(int Argc, char **Argv) {
   if (!Flags.getString("replay").empty()) {
     if (!checkReplayExclusive(Flags, {"benchmark", "bug", "model"}))
       return 2;
+    // --bound here asserts which policy family the artifact must have
+    // been recorded under; replayArtifact refuses a mismatch (exit 3).
+    std::string BoundName;
+    if (Flags.wasSet("bound")) {
+      search::BoundSpec Spec;
+      if (!search::parseBoundSpec(Flags.getString("bound"), Spec, &Error)) {
+        std::fprintf(stderr, "%s\n", Error.c_str());
+        return 2;
+      }
+      BoundName = Spec.Name;
+    }
     return replayArtifact(Flags.getString("replay"),
                           Flags.getBool("minimize"), Flags.getBool("trace"),
-                          resolveArtifact);
+                          BoundName, resolveArtifact);
   }
   if (Flags.getBool("minimize")) {
     std::fprintf(stderr, "--minimize requires --replay=FILE\n");

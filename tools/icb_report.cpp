@@ -125,6 +125,27 @@ void renderPerBound(const JsonValue *Stats, const JsonValue *Metrics) {
              Rows);
 }
 
+/// Approximate percentile of a log2 latency histogram: the midpoint of
+/// the bucket where the cumulative count crosses \p Q percent of the
+/// total (bucket 0 = 0 ns, bucket b covers [2^(b-1), 2^b) ns).
+uint64_t histPercentileNs(const JsonValue *Buckets, unsigned Q) {
+  if (!Buckets || !Buckets->isArray())
+    return 0;
+  uint64_t Total = 0;
+  for (const JsonValue &B : Buckets->Arr)
+    Total += B.U;
+  if (Total == 0)
+    return 0;
+  uint64_t Target = (Total * Q + 99) / 100;
+  uint64_t Cum = 0;
+  for (size_t B = 0; B != Buckets->Arr.size(); ++B) {
+    Cum += Buckets->Arr[B].U;
+    if (Cum >= Target)
+      return B == 0 ? 0 : (B >= 2 ? 3ull << (B - 2) : 1);
+  }
+  return 0;
+}
+
 void renderPhases(const JsonValue *Metrics) {
   const JsonValue *Timing = Metrics ? Metrics->find("timing") : nullptr;
   const JsonValue *Phases = Timing ? Timing->find("phases_ns") : nullptr;
@@ -132,6 +153,11 @@ void renderPhases(const JsonValue *Metrics) {
     std::printf("  (no phase timings recorded)\n");
     return;
   }
+  // Optional (manifests predating the latency histograms lack it): the
+  // per-phase log2 distribution behind the percentile columns.
+  const JsonValue *Hist = Timing->find("phase_hist_log2");
+  if (Hist && !Hist->isObject())
+    Hist = nullptr;
   uint64_t TotalNanos = 0;
   for (const auto &[Name, P] : Phases->Obj)
     TotalNanos += numField(&P, "sum");
@@ -140,15 +166,32 @@ void renderPhases(const JsonValue *Metrics) {
     uint64_t Sum = numField(&P, "sum");
     uint64_t Count = numField(&P, "count");
     uint64_t Mean = Count ? (Sum + Count / 2) / Count : 0;
-    Rows.push_back({Name, withCommas(Count), nsToMs(Sum),
-                    Count ? nsToUs(Mean) : "-",
-                    Count ? nsToUs(numField(&P, "min")) : "-",
-                    Count ? nsToUs(numField(&P, "max")) : "-",
-                    pct(Sum, TotalNanos)});
+    std::vector<std::string> Row = {Name, withCommas(Count), nsToMs(Sum),
+                                    Count ? nsToUs(Mean) : "-",
+                                    Count ? nsToUs(numField(&P, "min")) : "-",
+                                    Count ? nsToUs(numField(&P, "max")) : "-",
+                                    pct(Sum, TotalNanos)};
+    if (Hist) {
+      // A phase timed outside ScopedPhase may have MinMax observations
+      // but no distribution; "-" beats a fabricated 0.0 percentile.
+      const JsonValue *Buckets = Hist->find(Name);
+      uint64_t HistCount = 0;
+      if (Buckets && Buckets->isArray())
+        for (const JsonValue &B : Buckets->Arr)
+          HistCount += B.U;
+      for (unsigned Q : {50u, 90u, 99u})
+        Row.push_back(HistCount ? nsToUs(histPercentileNs(Buckets, Q)) : "-");
+    }
+    Rows.push_back(std::move(Row));
   }
-  printTable({"phase", "scopes", "total ms", "mean us", "min us", "max us",
-              "share"},
-             Rows);
+  std::vector<std::string> Header = {"phase",  "scopes", "total ms", "mean us",
+                                     "min us", "max us", "share"};
+  if (Hist) {
+    Header.push_back("~p50 us");
+    Header.push_back("~p90 us");
+    Header.push_back("~p99 us");
+  }
+  printTable(Header, Rows);
 }
 
 void renderWorkers(const JsonValue *Metrics) {
@@ -263,8 +306,14 @@ int reportManifest(const JsonValue &Doc) {
     std::fprintf(stderr, "manifest records no runs\n");
     return 4;
   }
-  std::printf("manifest: tool %s, %zu run(s)\n\n",
-              strField(&Doc, "tool").c_str(), Runs->Arr.size());
+  // The config block records the bound policy only when it is not the
+  // default preemption bounding.
+  std::string Bound = strField(Doc.find("config"), "bound");
+  std::printf("manifest: tool %s, %zu run(s)%s\n\n",
+              strField(&Doc, "tool").c_str(), Runs->Arr.size(),
+              Bound.empty() ? ""
+                            : strFormat(", bound policy %s", Bound.c_str())
+                                  .c_str());
   for (size_t I = 0; I != Runs->Arr.size(); ++I) {
     const JsonValue &Run = Runs->Arr[I];
     if (I)
@@ -293,11 +342,23 @@ int reportCheckpoint(const JsonValue &Doc) {
   }
   bool Final = false;
   Snap->getBool("final", Final);
+  // Meta carries the policy from format v4 on; older checkpoints (and the
+  // default policy) imply preemption bounding, reported as before.
+  std::string BoundName = strField(Meta, "bound");
+  unsigned VarBound = static_cast<unsigned>(numField(Meta, "var_bound"));
+  std::string BoundNote;
+  if ((!BoundName.empty() && BoundName != "preemption") || VarBound) {
+    unsigned MaxBound = static_cast<unsigned>(
+        numField(Meta->find("limits"), "max_preemption_bound"));
+    BoundNote = strFormat(
+        ", bound %s",
+        search::formatBoundSpec({BoundName, MaxBound, VarBound}).c_str());
+  }
   std::string Title = strFormat(
-      "checkpoint: %s / %s (%s form, strategy %s, jobs %" PRIu64 ")%s",
+      "checkpoint: %s / %s (%s form, strategy %s%s, jobs %" PRIu64 ")%s",
       strField(Meta, "benchmark").c_str(), strField(Meta, "bug").c_str(),
       strField(Meta, "form").c_str(), strField(Meta, "strategy").c_str(),
-      numField(Meta, "jobs"),
+      BoundNote.c_str(), numField(Meta, "jobs"),
       Final ? " [final]"
             : strFormat(" [resumable at bound %" PRIu64 "]",
                         numField(Snap, "bound"))

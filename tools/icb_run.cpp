@@ -97,9 +97,20 @@ int main(int Argc, char **Argv) {
       MakeRt = [&Module] { return posix::moduleTestCase(Module); };
       return true;
     };
+    // --bound here asserts which policy family the artifact must have
+    // been recorded under; replayArtifact refuses a mismatch (exit 3).
+    std::string BoundName;
+    if (Flags.wasSet("bound")) {
+      search::BoundSpec Spec;
+      if (!search::parseBoundSpec(Flags.getString("bound"), Spec, &Error)) {
+        std::fprintf(stderr, "%s\n", Error.c_str());
+        return 2;
+      }
+      BoundName = Spec.Name;
+    }
     return replayArtifact(Flags.getString("replay"),
                           Flags.getBool("minimize"), Flags.getBool("trace"),
-                          Resolve);
+                          BoundName, Resolve);
   }
   if (Flags.getBool("minimize")) {
     std::fprintf(stderr, "--minimize requires --replay=FILE\n");
