@@ -1,0 +1,304 @@
+//===- bench/server_workload.cpp - Modeled-io server workload baseline ----===//
+//
+// Part of the ICB project (PLDI'07 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The io-frontend perf baseline: an in-tree replica of
+/// examples/posix/kv_server.cpp (epoll + non-blocking socketpairs +
+/// EFD_SEMAPHORE shutdown + single-slot slab cache with the seeded racy
+/// eviction use-after-free) explored under ICB with and without bounded
+/// POR, at --jobs 1 and 4. The harness verifies the workload's contract —
+/// clean at preemption bound 0, use-after-free at bound 1, identical
+/// results and bug reports across worker counts and POR modes — and
+/// records executions/steps/states/wall-time per configuration.
+///
+/// Besides the human-readable table, the harness emits the measurements
+/// as a session-JSON block (BEGIN/END JSON markers) and writes them to
+/// BENCH_io.json in the working directory, the machine-readable perf
+/// baseline CI archives per commit.
+///
+//===----------------------------------------------------------------------===//
+
+#define ICB_POSIX_NO_RENAME
+#include "icb/posix.h"
+
+#include "BenchUtil.h"
+#include "posix/Runtime.h"
+#include "rt/Explore.h"
+#include "session/Json.h"
+#include "support/Format.h"
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+
+using namespace icb;
+using namespace icb::benchutil;
+using namespace icb::rt;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// The workload: examples/posix/kv_server.cpp, calling icb_* directly
+//===----------------------------------------------------------------------===//
+
+enum { kWorkers = 2, kConns = 2 };
+
+struct Item {
+  char Key;
+  char Value[2];
+  int Hits;
+};
+
+pthread_mutex_t CacheLock = PTHREAD_MUTEX_INITIALIZER;
+
+thread_local Item *Slot;
+thread_local int EpollFd;
+thread_local int StopFd;
+thread_local int ServerFd[kConns];
+thread_local int ClientFd[kConns];
+
+void handleRequest(int Fd) {
+  char Req[4];
+  long Got = icb_read(Fd, Req, sizeof Req);
+  if (Got != (long)sizeof Req)
+    return; // EAGAIN: the other worker won the race for this request.
+  if (Req[0] == 'G') {
+    icb_pthread_mutex_lock(&CacheLock);
+    Item *It = (Slot && Slot->Key == Req[1]) ? Slot : nullptr;
+    icb_pthread_mutex_unlock(&CacheLock);
+    if (!It) {
+      icb_write(Fd, "??", 2);
+      return;
+    }
+    // BUG (seeded): raw pointer kept across the response write.
+    icb_write(Fd, It->Value, 2);
+    It->Hits++; // use-after-free when the eviction wins the race
+  } else if (Req[0] == 'S') {
+    Item *Fresh = (Item *)icb_malloc(sizeof(Item));
+    Fresh->Key = Req[1];
+    Fresh->Value[0] = Req[2];
+    Fresh->Value[1] = Req[3];
+    Fresh->Hits = 0;
+    icb_pthread_mutex_lock(&CacheLock);
+    Item *Old = Slot;
+    Slot = Fresh;
+    icb_pthread_mutex_unlock(&CacheLock);
+    icb_free(Old);
+    icb_write(Fd, "ok", 2);
+  }
+}
+
+void *worker(void *) {
+  struct epoll_event Evs[4];
+  int Running = 1;
+  while (Running) {
+    int N = icb_epoll_wait(EpollFd, Evs, 4, -1);
+    if (N < 0)
+      break;
+    for (int I = 0; I < N && Running; ++I) {
+      int Fd = (int)Evs[I].data.fd;
+      if (Fd == StopFd) {
+        uint64_t Token;
+        if (icb_read(StopFd, &Token, sizeof Token) == (long)sizeof Token)
+          Running = 0;
+        continue;
+      }
+      handleRequest(Fd);
+    }
+  }
+  return nullptr;
+}
+
+void serverBody() {
+  Slot = (Item *)icb_malloc(sizeof(Item));
+  Slot->Key = '1';
+  Slot->Value[0] = 'v';
+  Slot->Value[1] = '1';
+  Slot->Hits = 0;
+
+  EpollFd = icb_epoll_create1(0);
+  for (int I = 0; I < kConns; ++I) {
+    int Sv[2];
+    icb_socketpair(AF_UNIX, SOCK_STREAM | SOCK_NONBLOCK, 0, Sv);
+    ServerFd[I] = Sv[0];
+    ClientFd[I] = Sv[1];
+    struct epoll_event Ev;
+    std::memset(&Ev, 0, sizeof Ev);
+    Ev.events = EPOLLIN;
+    Ev.data.fd = ServerFd[I];
+    icb_epoll_ctl(EpollFd, EPOLL_CTL_ADD, ServerFd[I], &Ev);
+  }
+  StopFd = icb_eventfd(0, EFD_SEMAPHORE | EFD_NONBLOCK);
+  struct epoll_event StopEv;
+  std::memset(&StopEv, 0, sizeof StopEv);
+  StopEv.events = EPOLLIN;
+  StopEv.data.fd = StopFd;
+  icb_epoll_ctl(EpollFd, EPOLL_CTL_ADD, StopFd, &StopEv);
+
+  icb_write(ClientFd[0], "G1..", 4);
+  icb_write(ClientFd[1], "S2xy", 4);
+  uint64_t Tokens = kWorkers;
+  icb_write(StopFd, &Tokens, sizeof Tokens);
+
+  pthread_t Tids[kWorkers];
+  for (pthread_t &T : Tids)
+    icb_pthread_create(&T, nullptr, worker, nullptr);
+  for (pthread_t &T : Tids)
+    icb_pthread_join(T, nullptr);
+
+  icb_free(Slot);
+  Slot = nullptr;
+  for (int I = 0; I < kConns; ++I) {
+    icb_close(ServerFd[I]);
+    icb_close(ClientFd[I]);
+  }
+  icb_close(StopFd);
+  icb_close(EpollFd);
+}
+
+//===----------------------------------------------------------------------===//
+// Harness
+//===----------------------------------------------------------------------===//
+
+struct Config {
+  bool Por;
+  unsigned Jobs;
+  unsigned MaxBound;
+};
+
+struct Run {
+  Config Cfg;
+  ExploreResult Result;
+  uint64_t WallUs = 0;
+};
+
+Run runConfig(Config Cfg) {
+  ExploreOptions Opts;
+  Opts.Limits.MaxExecutions = 1u << 20;
+  Opts.Limits.StopAtFirstBug = false; // Full exploration: deterministic.
+  Opts.Limits.MaxPreemptionBound = Cfg.MaxBound;
+  Opts.Jobs = Cfg.Jobs;
+  Opts.Por = Cfg.Por;
+  IcbExplorer E(Opts);
+  auto T0 = std::chrono::steady_clock::now();
+  ExploreResult R = E.explore(posix::makeTestCase("kv-server", serverBody));
+  auto T1 = std::chrono::steady_clock::now();
+  uint64_t Us = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(T1 - T0).count());
+  return Run{Cfg, std::move(R), Us};
+}
+
+bool uafOnly(const ExploreResult &R) {
+  if (R.Bugs.empty())
+    return false;
+  for (const auto &B : R.Bugs)
+    if (B.Kind != search::BugKind::UseAfterFree)
+      return false;
+  return true;
+}
+
+bool sameResults(const ExploreResult &L, const ExploreResult &R) {
+  if (L.Stats.Executions != R.Stats.Executions ||
+      L.Stats.TotalSteps != R.Stats.TotalSteps ||
+      L.Stats.DistinctStates != R.Stats.DistinctStates ||
+      L.Bugs.size() != R.Bugs.size())
+    return false;
+  for (size_t I = 0; I != L.Bugs.size(); ++I)
+    if (L.Bugs[I].str() != R.Bugs[I].str())
+      return false;
+  return true;
+}
+
+} // namespace
+
+int main() {
+  printHeader("Server workload: modeled-io kv_server under ICB",
+              "epoll + nonblocking socketpairs + managed heap; seeded "
+              "eviction use-after-free");
+
+  // Contract first: the seeded bug is invisible without a preemption and
+  // exposed with one.
+  Run Calib0 = runConfig({/*Por=*/true, /*Jobs=*/1, /*MaxBound=*/0});
+  bool CleanAt0 = Calib0.Result.Bugs.empty();
+  Run Calib1 = runConfig({/*Por=*/true, /*Jobs=*/1, /*MaxBound=*/1});
+  bool BugAt1 = uafOnly(Calib1.Result);
+  printComparison("bound 0 (non-preemptive)", "clean",
+                  CleanAt0 ? "clean" : "BUG");
+  printComparison("bound 1", "use-after-free",
+                  BugAt1 ? "use-after-free" : "MISSED");
+
+  const Config Configs[] = {
+      {/*Por=*/false, /*Jobs=*/1, /*MaxBound=*/2},
+      {/*Por=*/false, /*Jobs=*/4, /*MaxBound=*/2},
+      {/*Por=*/true, /*Jobs=*/1, /*MaxBound=*/2},
+      {/*Por=*/true, /*Jobs=*/4, /*MaxBound=*/2},
+  };
+  std::vector<Run> Runs;
+  for (const Config &Cfg : Configs)
+    Runs.push_back(runConfig(Cfg));
+
+  bool Deterministic = sameResults(Runs[0].Result, Runs[1].Result) &&
+                       sameResults(Runs[2].Result, Runs[3].Result);
+  bool BugsEverywhere = true;
+  for (const Run &R : Runs)
+    BugsEverywhere &= uafOnly(R.Result);
+  // Sleep sets may only prune.
+  bool PorPrunes =
+      Runs[2].Result.Stats.Executions <= Runs[0].Result.Stats.Executions;
+
+  std::vector<std::vector<std::string>> Rows;
+  for (const Run &R : Runs)
+    Rows.push_back({R.Cfg.Por ? "icb+por" : "icb",
+                    strFormat("%u", R.Cfg.Jobs),
+                    strFormat("%u", R.Cfg.MaxBound),
+                    withCommas(R.Result.Stats.Executions),
+                    withCommas(R.Result.Stats.TotalSteps),
+                    withCommas(R.Result.Stats.DistinctStates),
+                    strFormat("%zu", R.Result.Bugs.size()),
+                    strFormat("%llu us", (unsigned long long)R.WallUs)});
+  std::printf("\n");
+  printTable({"mode", "jobs", "bound", "executions", "steps", "states",
+              "bugs", "wall"},
+             Rows);
+  printComparison("jobs 1 vs 4", "identical results",
+                  Deterministic ? "identical" : "DIVERGED");
+  printComparison("por composition", "bug preserved, fewer executions",
+                  (BugsEverywhere && PorPrunes) ? "holds" : "VIOLATED");
+
+  bool Ok = CleanAt0 && BugAt1 && Deterministic && BugsEverywhere && PorPrunes;
+
+  session::JsonValue Doc = session::JsonValue::object();
+  Doc.set("experiment", session::JsonValue::str("server_workload"));
+  Doc.set("clean_at_bound_0", session::JsonValue::boolean(CleanAt0));
+  Doc.set("uaf_at_bound_1", session::JsonValue::boolean(BugAt1));
+  Doc.set("jobs_deterministic", session::JsonValue::boolean(Deterministic));
+  Doc.set("por_preserves_and_prunes",
+          session::JsonValue::boolean(BugsEverywhere && PorPrunes));
+  session::JsonValue CaseArr = session::JsonValue::array();
+  for (const Run &R : Runs) {
+    session::JsonValue Row = session::JsonValue::object();
+    Row.set("mode", session::JsonValue::str(R.Cfg.Por ? "icb+por" : "icb"));
+    Row.set("jobs", session::JsonValue::number(R.Cfg.Jobs));
+    Row.set("bound", session::JsonValue::number(R.Cfg.MaxBound));
+    Row.set("executions", session::JsonValue::number(R.Result.Stats.Executions));
+    Row.set("steps", session::JsonValue::number(R.Result.Stats.TotalSteps));
+    Row.set("states",
+            session::JsonValue::number(R.Result.Stats.DistinctStates));
+    Row.set("bugs", session::JsonValue::number(R.Result.Bugs.size()));
+    Row.set("wall_us", session::JsonValue::number(R.WallUs));
+    CaseArr.Arr.push_back(std::move(Row));
+  }
+  Doc.set("cases", std::move(CaseArr));
+  printJsonBlock("server_workload", Doc);
+
+  std::string Error;
+  if (!session::atomicWriteFile("BENCH_io.json", session::jsonWrite(Doc),
+                                &Error)) {
+    std::fprintf(stderr, "failed to write BENCH_io.json: %s\n", Error.c_str());
+    return 1;
+  }
+  std::printf("wrote BENCH_io.json\n");
+  return Ok ? 0 : 1;
+}

@@ -1,0 +1,179 @@
+//===- examples/posix/kv_server.cpp - Racy LRU eviction UAF (bound 1) -----===//
+//
+// Part of the ICB project (PLDI'07 reproduction).
+//
+//===----------------------------------------------------------------------===//
+//
+// A memcached-shaped server in miniature: N worker threads share one epoll
+// instance over non-blocking client connections (modeled socketpairs) plus
+// an EFD_SEMAPHORE shutdown eventfd, draining 4-byte framed GET/SET
+// requests from a single-slot slab cache.
+//
+// The seeded bug is the classic ref-count-free eviction race: the GET
+// handler looks the item up under the cache lock but then *drops the lock*
+// to write the response, keeping a raw pointer to the item. The response
+// write() is an io scheduling point — preempt there (one preemption) and
+// a concurrent SET evicts the slot and free()s the item, so the handler's
+// trailing `It->Hits++` writes into freed memory. The managed heap arena
+// quarantines and poisons freed blocks, so the stray write surfaces as a
+// reported use-after-free at the next free's sweep:
+//
+//   bound 0: non-preemptive schedules only — the GET handler's
+//            unlock→write→Hits++ window contains no blocking call, so it
+//            always runs to completion before the SET; no bug.
+//   bound 1: preempt the GET worker at the response write(), run the SET
+//            worker's evict+free, resume — use-after-free.
+//
+// Both workers also race on each connection's readiness: level-triggered
+// epoll wakes both for one request, the loser's read() takes the modeled
+// EAGAIN branch (the sockets are SOCK_NONBLOCK) and moves on.
+//
+// This file is PURE POSIX: no icb header is included. Like prod_cons.cpp
+// it is built twice — macro shim and linker --wrap — proving both delivery
+// mechanisms of the io frontend on identical source.
+//
+//===----------------------------------------------------------------------===//
+
+#include <pthread.h>
+#include <stdint.h>
+#include <stdlib.h>
+#include <string.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace {
+
+enum { kWorkers = 2, kConns = 2 };
+
+// A cached item. Real memcached refcounts these; the seeded bug is
+// exactly a missing refcount on the do-IO-outside-the-lock path.
+struct Item {
+  char Key;
+  char Value[2];
+  int Hits;
+};
+
+pthread_mutex_t CacheLock = PTHREAD_MUTEX_INITIALIZER;
+
+// thread_local: under `icb_run --jobs N` the N workers run concurrent
+// executions of this module in one process, so mutable test state needs
+// one copy per worker OS thread (the execution's modeled threads — fibers
+// — share it). CacheLock needs no copy: only its address is used.
+thread_local Item *Slot;      // Single-slot slab: every SET evicts.
+thread_local int EpollFd;
+thread_local int StopFd;
+thread_local int ServerFd[kConns]; // Server side of each connection.
+thread_local int ClientFd[kConns]; // Client side, driven by main.
+
+void handleRequest(int Fd) {
+  char Req[4];
+  ssize_t Got = read(Fd, Req, sizeof Req);
+  if (Got != (ssize_t)sizeof Req)
+    return; // EAGAIN: the other worker won the race for this request.
+  if (Req[0] == 'G') {
+    pthread_mutex_lock(&CacheLock);
+    Item *It = (Slot && Slot->Key == Req[1]) ? Slot : NULL;
+    pthread_mutex_unlock(&CacheLock);
+    if (!It) {
+      write(Fd, "??", 2);
+      return;
+    }
+    // BUG: the lock is gone but the raw pointer is kept across the
+    // response write — an io scheduling point — so a concurrent SET can
+    // evict and free the item before the stats update below.
+    write(Fd, It->Value, 2);
+    It->Hits++; // use-after-free when the eviction wins the race
+  } else if (Req[0] == 'S') {
+    Item *Fresh = (Item *)malloc(sizeof(Item));
+    Fresh->Key = Req[1];
+    Fresh->Value[0] = Req[2];
+    Fresh->Value[1] = Req[3];
+    Fresh->Hits = 0;
+    pthread_mutex_lock(&CacheLock);
+    Item *Old = Slot;
+    Slot = Fresh;
+    pthread_mutex_unlock(&CacheLock);
+    free(Old); // Evict: the cache holds one slot.
+    write(Fd, "ok", 2);
+  }
+}
+
+void *worker(void *) {
+  struct epoll_event Evs[4];
+  int Running = 1;
+  while (Running) {
+    int N = epoll_wait(EpollFd, Evs, 4, -1);
+    if (N < 0)
+      break;
+    // The stop eventfd is registered last, so connection readiness sorts
+    // ahead of shutdown within a batch: no request is left behind.
+    for (int I = 0; I < N && Running; ++I) {
+      int Fd = (int)Evs[I].data.fd;
+      if (Fd == StopFd) {
+        uint64_t Token;
+        if (read(StopFd, &Token, sizeof Token) == (ssize_t)sizeof Token)
+          Running = 0;
+        continue;
+      }
+      handleRequest(Fd);
+    }
+  }
+  return NULL;
+}
+
+} // namespace
+
+extern "C" const char *icb_test_name(void) { return "kv-server"; }
+
+extern "C" void icb_test_main(void) {
+  // Seed the cache with k1 before any worker exists.
+  Slot = (Item *)malloc(sizeof(Item));
+  Slot->Key = '1';
+  Slot->Value[0] = 'v';
+  Slot->Value[1] = '1';
+  Slot->Hits = 0;
+
+  EpollFd = epoll_create1(0);
+  for (int I = 0; I < kConns; ++I) {
+    int Sv[2];
+    socketpair(AF_UNIX, SOCK_STREAM | SOCK_NONBLOCK, 0, Sv);
+    ServerFd[I] = Sv[0];
+    ClientFd[I] = Sv[1];
+    struct epoll_event Ev;
+    memset(&Ev, 0, sizeof Ev);
+    Ev.events = EPOLLIN;
+    Ev.data.fd = ServerFd[I];
+    epoll_ctl(EpollFd, EPOLL_CTL_ADD, ServerFd[I], &Ev);
+  }
+  StopFd = eventfd(0, EFD_SEMAPHORE | EFD_NONBLOCK);
+  struct epoll_event StopEv;
+  memset(&StopEv, 0, sizeof StopEv);
+  StopEv.events = EPOLLIN;
+  StopEv.data.fd = StopFd;
+  epoll_ctl(EpollFd, EPOLL_CTL_ADD, StopFd, &StopEv);
+
+  // Preload one request per connection: conn 0 reads k1, conn 1 evicts it
+  // — plus one shutdown token per worker. All writes land before the
+  // workers spawn, so the whole race budget goes to the handlers.
+  write(ClientFd[0], "G1..", 4);
+  write(ClientFd[1], "S2xy", 4);
+  uint64_t Tokens = kWorkers;
+  write(StopFd, &Tokens, sizeof Tokens);
+
+  pthread_t Tids[kWorkers];
+  for (int I = 0; I < kWorkers; ++I)
+    pthread_create(&Tids[I], NULL, worker, NULL);
+  for (int I = 0; I < kWorkers; ++I)
+    pthread_join(Tids[I], NULL);
+
+  free(Slot); // This free's sweep reports any quarantine trample.
+  Slot = NULL;
+  for (int I = 0; I < kConns; ++I) {
+    close(ServerFd[I]);
+    close(ClientFd[I]);
+  }
+  close(StopFd);
+  close(EpollFd);
+}

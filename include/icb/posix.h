@@ -51,9 +51,16 @@
 #define ICB_POSIX_H
 
 #include <errno.h>
+#include <fcntl.h>
+#include <poll.h>
 #include <pthread.h>
 #include <sched.h>
 #include <semaphore.h>
+#include <stdlib.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/select.h>
+#include <sys/socket.h>
 #include <time.h>
 #include <unistd.h>
 
@@ -92,6 +99,12 @@ int icb_pthread_attr_getdetachstate(const pthread_attr_t *Attr, int *State);
 int icb_pthread_mutex_init(pthread_mutex_t *M, const pthread_mutexattr_t *A);
 int icb_pthread_mutex_destroy(pthread_mutex_t *M);
 int icb_pthread_mutex_lock(pthread_mutex_t *M);
+/* Modeled timeout, like pthread_cond_timedwait: the acquirer stays
+ * enabled, and scheduling it while the mutex is still held IS the expiry
+ * (glibc-faithful ETIMEDOUT) — both outcomes of every release/deadline
+ * race are explored, no wall clock involved. */
+int icb_pthread_mutex_timedlock(pthread_mutex_t *M,
+                                const struct timespec *AbsTime);
 int icb_pthread_mutex_trylock(pthread_mutex_t *M);
 int icb_pthread_mutex_unlock(pthread_mutex_t *M);
 
@@ -151,6 +164,9 @@ int icb_pthread_spin_unlock(pthread_spinlock_t *S);
 int icb_sem_init(sem_t *S, int PShared, unsigned Value);
 int icb_sem_destroy(sem_t *S);
 int icb_sem_wait(sem_t *S);
+/* Modeled timeout: waking with the count still zero IS the expiry
+ * (returns -1 / ETIMEDOUT). */
+int icb_sem_timedwait(sem_t *S, const struct timespec *AbsTime);
 int icb_sem_trywait(sem_t *S);
 int icb_sem_post(sem_t *S);
 int icb_sem_getvalue(sem_t *S, int *Out);
@@ -190,8 +206,8 @@ int icb_thrd_sleep(const struct timespec *Dur, struct timespec *Rem);
 int icb_mtx_init(mtx_t *M, int Type);
 void icb_mtx_destroy(mtx_t *M);
 int icb_mtx_lock(mtx_t *M);
-/* mtx_timedlock: the model has no clock; the acquire simply blocks, and a
- * lock that can never arrive is reported as the deadlock it is. */
+/* Modeled timeout via the pthread_mutex_timedlock translation: waking
+ * with the mutex still held IS the expiry (thrd_timedout). */
 int icb_mtx_timedlock(mtx_t *M, const struct timespec *Deadline);
 int icb_mtx_trylock(mtx_t *M);
 int icb_mtx_unlock(mtx_t *M);
@@ -213,6 +229,46 @@ int icb_tss_set(tss_t Key, void *Value);
 void *icb_tss_get(tss_t Key);
 
 #endif /* ICB_POSIX_HAS_THREADS_H */
+
+/* --- Modeled io ---------------------------------------------------------
+ * A deterministic per-execution fd table: pipes, AF_UNIX stream socket
+ * pairs, eventfds, and epoll instances, numbered upward from a base far
+ * above any real fd the harness holds. read() on an empty modeled fd
+ * parks the thread exactly like a condvar wait; the peer's write() is the
+ * wakeup edge; O_NONBLOCK turns the park into an explorable EAGAIN
+ * branch; epoll_wait/poll/select are first-class blocking scheduling
+ * points (with modeled timeouts when a timeout is supplied). Calls on
+ * fds below the modeled range pass through to the real syscalls, so
+ * ordinary stdio keeps working under test. Full semantics table in
+ * DESIGN.md §11. */
+
+int icb_pipe(int Fds[2]);
+int icb_pipe2(int Fds[2], int Flags);
+int icb_socketpair(int Domain, int Type, int Protocol, int Fds[2]);
+int icb_eventfd(unsigned Initial, int Flags);
+int icb_epoll_create(int Size);
+int icb_epoll_create1(int Flags);
+int icb_epoll_ctl(int Ep, int Op, int Fd, struct epoll_event *Ev);
+int icb_epoll_wait(int Ep, struct epoll_event *Evs, int MaxEvents,
+                   int TimeoutMs);
+ssize_t icb_read(int Fd, void *Buf, size_t N);
+ssize_t icb_write(int Fd, const void *Buf, size_t N);
+int icb_close(int Fd);
+int icb_fcntl(int Fd, int Cmd, ...);
+int icb_poll(struct pollfd *Fds, nfds_t N, int TimeoutMs);
+int icb_select(int Nfds, fd_set *R, fd_set *W, fd_set *X, struct timeval *T);
+
+/* --- Managed heap -------------------------------------------------------
+ * While an execution is live, the malloc family is served from a
+ * quarantine-and-poison arena: freed blocks are poisoned and kept until
+ * the execution ends, so use-after-free and double free surface as
+ * reported (and replayable) bugs instead of silent corruption. Pointers
+ * allocated outside the execution pass through to the real allocator. */
+
+void *icb_malloc(size_t N);
+void *icb_calloc(size_t Count, size_t Size);
+void *icb_realloc(void *P, size_t N);
+void icb_free(void *P);
 
 /* --- Checker surface (no pthreads equivalent) -------------------------- */
 
@@ -251,6 +307,7 @@ void icb_posix_assert(int Cond, const char *What);
 #define pthread_mutex_init(m, a) icb_pthread_mutex_init(m, a)
 #define pthread_mutex_destroy(m) icb_pthread_mutex_destroy(m)
 #define pthread_mutex_lock(m) icb_pthread_mutex_lock(m)
+#define pthread_mutex_timedlock(m, t) icb_pthread_mutex_timedlock(m, t)
 #define pthread_mutex_trylock(m) icb_pthread_mutex_trylock(m)
 #define pthread_mutex_unlock(m) icb_pthread_mutex_unlock(m)
 
@@ -289,6 +346,7 @@ void icb_posix_assert(int Cond, const char *What);
 #define sem_init(s, p, v) icb_sem_init(s, p, v)
 #define sem_destroy(s) icb_sem_destroy(s)
 #define sem_wait(s) icb_sem_wait(s)
+#define sem_timedwait(s, t) icb_sem_timedwait(s, t)
 #define sem_trywait(s) icb_sem_trywait(s)
 #define sem_post(s) icb_sem_post(s)
 #define sem_getvalue(s, o) icb_sem_getvalue(s, o)
@@ -304,6 +362,30 @@ void icb_posix_assert(int Cond, const char *What);
 #define usleep(us) icb_usleep(us)
 #define sleep(s) icb_sleep(s)
 #define nanosleep(rq, rm) icb_nanosleep(rq, rm)
+
+/* Modeled io + managed heap. read/write/close are function-like macros,
+ * so C++ member calls spelled `x.read(a, b, c)` with exactly these
+ * arities are rewritten too — the shim targets C-style POSIX modules;
+ * use the --wrap delivery for sources where that bites. */
+#define pipe(f) icb_pipe(f)
+#define pipe2(f, fl) icb_pipe2(f, fl)
+#define socketpair(d, t, p, f) icb_socketpair(d, t, p, f)
+#define eventfd(i, fl) icb_eventfd(i, fl)
+#define epoll_create(n) icb_epoll_create(n)
+#define epoll_create1(fl) icb_epoll_create1(fl)
+#define epoll_ctl(e, o, f, ev) icb_epoll_ctl(e, o, f, ev)
+#define epoll_wait(e, ev, n, t) icb_epoll_wait(e, ev, n, t)
+#define read(f, b, n) icb_read(f, b, n)
+#define write(f, b, n) icb_write(f, b, n)
+#define close(f) icb_close(f)
+#define fcntl(...) icb_fcntl(__VA_ARGS__)
+#define poll(f, n, t) icb_poll(f, n, t)
+#define select(n, r, w, x, t) icb_select(n, r, w, x, t)
+
+#define malloc(n) icb_malloc(n)
+#define calloc(c, s) icb_calloc(c, s)
+#define realloc(p, n) icb_realloc(p, n)
+#define free(p) icb_free(p)
 
 #ifdef ICB_POSIX_HAS_THREADS_H
 

@@ -1,0 +1,94 @@
+//===- io/Channel.cpp - Modeled byte streams and eventfds -----------------===//
+//
+// Part of the ICB project (PLDI'07 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "io/Channel.h"
+#include "support/Debug.h"
+#include <cstring>
+
+using namespace icb;
+using namespace icb::io;
+
+//===----------------------------------------------------------------------===//
+// Stream
+//===----------------------------------------------------------------------===//
+
+Stream::Stream(std::string Name) : SyncObject("stream", std::move(Name)) {}
+
+size_t Stream::push(const void *Data, size_t N) {
+  size_t Space = kStreamCapacity - (Buffer.size() - Head);
+  size_t Take = N < Space ? N : Space;
+  if (Take == 0)
+    return 0;
+  Buffer.append(static_cast<const char *>(Data), Take);
+  ++InEpoch;
+  return Take;
+}
+
+size_t Stream::pop(void *Data, size_t N) {
+  size_t Have = Buffer.size() - Head;
+  size_t Take = N < Have ? N : Have;
+  if (Take == 0)
+    return 0;
+  std::memcpy(Data, Buffer.data() + Head, Take);
+  Head += Take;
+  if (Head == Buffer.size()) {
+    Buffer.clear();
+    Head = 0;
+  }
+  ++OutEpoch;
+  return Take;
+}
+
+void Stream::dropReader() {
+  ICB_ASSERT(Readers > 0, "reader refcount underflow");
+  if (--Readers == 0)
+    ++InEpoch; // Writers must wake to observe EPIPE.
+  ++OutEpoch;
+}
+
+void Stream::dropWriter() {
+  ICB_ASSERT(Writers > 0, "writer refcount underflow");
+  if (--Writers == 0)
+    ++InEpoch; // Readers must wake to observe EOF.
+  ++OutEpoch;
+}
+
+bool Stream::canProceed(const rt::PendingOp &Op, rt::ThreadId Tid) const {
+  (void)Tid;
+  if (Op.Kind != rt::OpKind::IoWait)
+    return true;
+  return Op.IsWrite ? writable() : readable();
+}
+
+//===----------------------------------------------------------------------===//
+// EventFd
+//===----------------------------------------------------------------------===//
+
+EventFd::EventFd(std::string Name, uint64_t Initial, bool SemaphoreMode)
+    : SyncObject("eventfd", std::move(Name)), Count(Initial),
+      SemaphoreMode(SemaphoreMode) {}
+
+uint64_t EventFd::take() {
+  ICB_ASSERT(Count > 0, "take() on an empty eventfd");
+  uint64_t V = SemaphoreMode ? 1 : Count;
+  Count -= V;
+  ++OutEpoch;
+  return V;
+}
+
+void EventFd::add(uint64_t V) {
+  Count += V;
+  if (V > 0)
+    ++InEpoch;
+}
+
+bool EventFd::canProceed(const rt::PendingOp &Op, rt::ThreadId Tid) const {
+  (void)Tid;
+  if (Op.Kind != rt::OpKind::IoWait)
+    return true;
+  // Writes never block in the model; reads wait for a nonzero count.
+  return Op.IsWrite ? true : readable();
+}

@@ -1,0 +1,112 @@
+//===- io/Channel.h - Modeled byte streams and eventfds ---------*- C++ -*-===//
+//
+// Part of the ICB project (PLDI'07 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The data-carrying halves of the modeled file-descriptor table
+/// (io/IoContext.h): a Stream is one direction of a pipe or socketpair (a
+/// bounded byte FIFO with open-end reference counts), an EventFd is the
+/// kernel eventfd counter. Both are rt::SyncObject subclasses so a fiber
+/// parked in a blocking read/write publishes an OpKind::IoWait the
+/// scheduler can evaluate without running it — exactly the CondVar
+/// discipline, with the peer's write/close as the wakeup edge.
+///
+/// Readiness *epochs* (InEpoch / OutEpoch) count the edges: every push of
+/// data and every writer close bumps InEpoch; every drain of space and
+/// every reader close bumps OutEpoch. Edge-triggered epoll watches compare
+/// their last-reported epoch against these, which is what makes the
+/// level-vs-edge lost-wakeup class explorable.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ICB_IO_CHANNEL_H
+#define ICB_IO_CHANNEL_H
+
+#include "rt/SyncObject.h"
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace icb::io {
+
+/// Byte capacity of one modeled stream direction (the modeled pipe
+/// buffer). Writes past it short-write or block, which is how the model
+/// makes short writes an explorable outcome.
+inline constexpr size_t kStreamCapacity = 4096;
+
+/// One direction of a modeled pipe/socketpair: a bounded byte FIFO with
+/// reference-counted ends. All mutation happens in the slice after an io
+/// scheduling point (IoContext enforces this), so no locking is needed —
+/// fibers of one worker are cooperatively scheduled.
+class Stream : public rt::SyncObject {
+public:
+  explicit Stream(std::string Name);
+
+  /// A read can complete without blocking: data is buffered, or every
+  /// writer closed (EOF).
+  bool readable() const { return !Buffer.empty() || Writers == 0; }
+
+  /// A write can complete without blocking: buffer space exists, or every
+  /// reader closed (EPIPE).
+  bool writable() const { return Buffer.size() < kStreamCapacity || Readers == 0; }
+
+  bool eof() const { return Buffer.empty() && Writers == 0; }
+  bool readerGone() const { return Readers == 0; }
+  bool writerGone() const { return Writers == 0; }
+  size_t bytes() const { return Buffer.size(); }
+
+  /// Appends up to min(N, free space) bytes; returns the count appended
+  /// (a short write when the buffer is nearly full).
+  size_t push(const void *Data, size_t N);
+
+  /// Removes up to min(N, buffered) bytes into \p Data; returns the count
+  /// (a partial read when less is buffered than asked for).
+  size_t pop(void *Data, size_t N);
+
+  void dropReader();
+  void dropWriter();
+
+  uint64_t inEpoch() const { return InEpoch; }
+  uint64_t outEpoch() const { return OutEpoch; }
+
+  bool canProceed(const rt::PendingOp &Op, rt::ThreadId Tid) const override;
+
+private:
+  std::string Buffer;
+  size_t Head = 0; ///< Consumed prefix of Buffer (compacted lazily).
+  unsigned Readers = 1;
+  unsigned Writers = 1;
+  uint64_t InEpoch = 0;
+  uint64_t OutEpoch = 0;
+};
+
+/// A modeled eventfd(2) counter. Reads block (or EAGAIN) while the count
+/// is zero; writes add and never block in the model (the counter ceiling
+/// is not a reachable state in bounded explorations).
+class EventFd : public rt::SyncObject {
+public:
+  EventFd(std::string Name, uint64_t Initial, bool SemaphoreMode);
+
+  bool readable() const { return Count > 0; }
+
+  /// EFD_SEMAPHORE reads take 1; plain reads take the whole count.
+  uint64_t take();
+  void add(uint64_t V);
+
+  uint64_t inEpoch() const { return InEpoch; }
+  uint64_t outEpoch() const { return OutEpoch; }
+
+  bool canProceed(const rt::PendingOp &Op, rt::ThreadId Tid) const override;
+
+private:
+  uint64_t Count;
+  bool SemaphoreMode;
+  uint64_t InEpoch = 0;
+  uint64_t OutEpoch = 0;
+};
+
+} // namespace icb::io
+
+#endif // ICB_IO_CHANNEL_H

@@ -1,0 +1,82 @@
+//===- io/Epoll.cpp - Modeled readiness multiplexing ----------------------===//
+//
+// Part of the ICB project (PLDI'07 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "io/Epoll.h"
+#include "support/Debug.h"
+#include <sys/epoll.h>
+
+using namespace icb;
+using namespace icb::io;
+
+Epoll::Epoll(std::string Name) : SyncObject("epoll", std::move(Name)) {}
+
+int Epoll::findWatch(int Fd) const {
+  for (size_t I = 0; I != Watches.size(); ++I)
+    if (Watches[I].Fd == Fd)
+      return static_cast<int>(I);
+  return -1;
+}
+
+void Epoll::removeWatch(int Fd) {
+  int I = findWatch(Fd);
+  if (I >= 0)
+    Watches.erase(Watches.begin() + I);
+}
+
+bool Epoll::reportableIn(const Watch &W) const {
+  if (!(W.Events & EPOLLIN))
+    return false;
+  bool Ready = W.Recv ? W.Recv->readable() : W.Efd && W.Efd->readable();
+  if (!Ready)
+    return false;
+  if (!(W.Events & EPOLLET))
+    return true;
+  uint64_t Epoch = W.Recv ? W.Recv->inEpoch() : W.Efd->inEpoch();
+  return W.SeenIn < Epoch;
+}
+
+bool Epoll::reportableOut(const Watch &W) const {
+  if (!(W.Events & EPOLLOUT))
+    return false;
+  bool Ready = W.Send ? W.Send->writable() : W.Efd != nullptr;
+  if (!Ready)
+    return false;
+  if (!(W.Events & EPOLLET))
+    return true;
+  uint64_t Epoch = W.Send ? W.Send->outEpoch() : W.Efd->outEpoch();
+  return W.SeenOut < Epoch;
+}
+
+bool Epoll::anyReportable() const {
+  for (const Watch &W : Watches)
+    if (reportable(W))
+      return true;
+  return false;
+}
+
+void Epoll::addWaiter(rt::ThreadId Tid, bool IsTimed) {
+  Waiters.push_back(Tid);
+  Timed.push_back(IsTimed);
+}
+
+void Epoll::removeWaiter(rt::ThreadId Tid) {
+  for (size_t I = 0; I != Waiters.size(); ++I)
+    if (Waiters[I] == Tid) {
+      Waiters.erase(Waiters.begin() + I);
+      Timed.erase(Timed.begin() + I);
+      return;
+    }
+  ICB_ASSERT(false, "epoll waiter not registered");
+}
+
+bool Epoll::canProceed(const rt::PendingOp &Op, rt::ThreadId Tid) const {
+  if (Op.Kind != rt::OpKind::IoWait)
+    return true;
+  for (size_t I = 0; I != Waiters.size(); ++I)
+    if (Waiters[I] == Tid && Timed[I])
+      return true; // Scheduling an unready timed waiter is the timeout.
+  return anyReportable();
+}

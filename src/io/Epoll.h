@@ -1,0 +1,86 @@
+//===- io/Epoll.h - Modeled readiness multiplexing --------------*- C++ -*-===//
+//
+// Part of the ICB project (PLDI'07 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The modeled epoll instance, also reused as the transient readiness
+/// gate behind poll(2)/select(2). An Epoll is an rt::SyncObject: a fiber
+/// parked in epoll_wait publishes OpKind::IoWait on it, and canProceed
+/// answers from the watch list without running the thread — a watcher is
+/// enabled exactly when some watch is *reportable*:
+///
+///   * level-triggered: the watched direction is ready right now;
+///   * edge-triggered (EPOLLET): ready AND a new readiness edge (channel
+///     epoch) arrived since this watch last reported — consuming data
+///     without draining it therefore does NOT re-arm the watch, which is
+///     the lost-wakeup the model exists to explore.
+///
+/// Timed waits use the CondVar::timedWait discipline: a timed waiter
+/// registers before parking and stays enabled, so being scheduled with no
+/// reportable watch IS the timeout branch (epoll_wait returns 0) — no
+/// clock, deterministic replay.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ICB_IO_EPOLL_H
+#define ICB_IO_EPOLL_H
+
+#include "io/Channel.h"
+#include <cstdint>
+#include <vector>
+
+namespace icb::io {
+
+/// One registered interest. Object pointers are resolved at epoll_ctl
+/// time and scrubbed by IoContext::close(), so they always point into the
+/// live per-execution arena.
+struct Watch {
+  int Fd = -1;
+  uint32_t Events = 0; ///< EPOLLIN | EPOLLOUT | EPOLLET (model subset).
+  uint64_t Data = 0;   ///< epoll_data.u64, returned verbatim.
+  Stream *Recv = nullptr;
+  Stream *Send = nullptr;
+  EventFd *Efd = nullptr;
+  uint64_t SeenIn = 0;  ///< In-direction epoch at last report (EPOLLET).
+  uint64_t SeenOut = 0; ///< Out-direction epoch at last report (EPOLLET).
+};
+
+class Epoll : public rt::SyncObject {
+public:
+  explicit Epoll(std::string Name);
+
+  /// Watch-list maintenance (epoll_ctl / poll-gate setup / close scrub).
+  int findWatch(int Fd) const; ///< Index, or -1.
+  void addWatch(const Watch &W) { Watches.push_back(W); }
+  void removeWatch(int Fd);
+  void clearWatches() { Watches.clear(); }
+  size_t watchCount() const { return Watches.size(); }
+  Watch &watchAt(size_t I) { return Watches[I]; }
+
+  /// True if the watched in/out direction is ready *and* (for EPOLLET)
+  /// carries an unreported edge.
+  bool reportableIn(const Watch &W) const;
+  bool reportableOut(const Watch &W) const;
+  bool reportable(const Watch &W) const {
+    return reportableIn(W) || reportableOut(W);
+  }
+  bool anyReportable() const;
+
+  /// Waiter registration, CondVar-style: register before parking so
+  /// canProceed can tell timed from untimed waiters.
+  void addWaiter(rt::ThreadId Tid, bool Timed);
+  void removeWaiter(rt::ThreadId Tid);
+
+  bool canProceed(const rt::PendingOp &Op, rt::ThreadId Tid) const override;
+
+private:
+  std::vector<Watch> Watches;
+  std::vector<rt::ThreadId> Waiters;
+  std::vector<bool> Timed;
+};
+
+} // namespace icb::io
+
+#endif // ICB_IO_EPOLL_H

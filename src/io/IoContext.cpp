@@ -1,0 +1,696 @@
+//===- io/IoContext.cpp - Per-execution modeled fd table ------------------===//
+//
+// Part of the ICB project (PLDI'07 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "io/IoContext.h"
+#include "obs/Metrics.h"
+#include "obs/PhaseTimer.h"
+#include "rt/Scheduler.h"
+#include "support/Debug.h"
+#include "support/Format.h"
+#include <cerrno>
+#include <cstring>
+#include <fcntl.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+
+using namespace icb;
+using namespace icb::io;
+
+namespace {
+
+thread_local IoContext WorkerIo;
+
+/// Publishes a never-blocking io scheduling point on \p Obj. All modeled
+/// state (fd table, streams, watches, serial counters) is read and
+/// mutated strictly *after* the point, so every interleaving-sensitive io
+/// effect lives in a slice anchored at an io op — the invariant the POR
+/// independence relation's "io ops never commute" rule relies on.
+void ioOpPoint(rt::Scheduler *S, rt::SyncObject *Obj, const char *OpName) {
+  rt::PendingOp Op;
+  Op.Kind = rt::OpKind::IoOp;
+  Op.Object = Obj;
+  Op.VarCode = Obj->varCode();
+  Op.Detail = strFormat("%s %s", OpName, Obj->name().c_str());
+  S->schedulingPoint(std::move(Op));
+  Obj->checkAlive(OpName);
+}
+
+/// Publishes a blocking io wait on \p Obj and parks until it is enabled
+/// (the object's canProceed for the given direction, or — for registered
+/// timed waiters — unconditionally, making the timeout a schedule
+/// branch). Counts the deterministic io_block/io_wake pair when the park
+/// actually found the object unready.
+void ioWaitPoint(rt::Scheduler *S, rt::SyncObject &Obj, bool IsWrite,
+                 const char *OpName) {
+  rt::PendingOp Op;
+  Op.Kind = rt::OpKind::IoWait;
+  Op.Object = &Obj;
+  Op.VarCode = Obj.varCode();
+  Op.IsWrite = IsWrite;
+  Op.Detail = strFormat("%s %s", OpName, Obj.name().c_str());
+  bool Ready = Obj.canProceed(Op, S->runningThread());
+  if (!Ready)
+    obs::count(S->metricShard(), obs::Counter::IoBlock);
+  S->schedulingPoint(std::move(Op));
+  if (!Ready)
+    obs::count(S->metricShard(), obs::Counter::IoWake);
+  Obj.checkAlive(OpName);
+}
+
+uint64_t inEpochOf(const Watch &W) {
+  return W.Recv ? W.Recv->inEpoch() : W.Efd->inEpoch();
+}
+
+uint64_t outEpochOf(const Watch &W) {
+  return W.Send ? W.Send->outEpoch() : W.Efd->outEpoch();
+}
+
+constexpr uint32_t kSupportedEpollEvents =
+    EPOLLIN | EPOLLOUT | EPOLLET | EPOLLHUP | EPOLLERR | EPOLLRDHUP;
+
+} // namespace
+
+IoContext &IoContext::current() { return WorkerIo; }
+
+void IoContext::begin() {
+  reset();
+  rt::Scheduler *S = rt::Scheduler::current();
+  ICB_ASSERT(S, "IoContext::begin outside a controlled execution");
+  Live = true;
+  TableObj = make<rt::SyncObject>("fdtable", "fdtable");
+}
+
+void IoContext::end() { reset(); }
+
+void IoContext::reset() {
+  Table.clear();
+  TableObj = nullptr;
+  // Reverse creation order, mirroring posix::ExecContext::reset.
+  while (!Arena.empty())
+    Arena.pop_back();
+  std::memset(Serial, 0, sizeof(Serial));
+  Live = false;
+}
+
+IoContext::FdEntry *IoContext::entry(int Fd) {
+  size_t I = static_cast<size_t>(Fd - kFdBase);
+  if (Fd < kFdBase || I >= Table.size() || Table[I].K == FdEntry::Kind::Closed)
+    return nullptr;
+  return &Table[I];
+}
+
+const IoContext::FdEntry *IoContext::entry(int Fd) const {
+  return const_cast<IoContext *>(this)->entry(Fd);
+}
+
+int IoContext::allocFd() {
+  for (size_t I = 0; I != Table.size(); ++I)
+    if (Table[I].K == FdEntry::Kind::Closed)
+      return kFdBase + static_cast<int>(I);
+  Table.push_back(FdEntry{});
+  return kFdBase + static_cast<int>(Table.size() - 1);
+}
+
+rt::SyncObject *IoContext::primary(const FdEntry &F) const {
+  if (F.Recv)
+    return F.Recv;
+  if (F.Send)
+    return F.Send;
+  if (F.Efd)
+    return F.Efd;
+  if (F.Ep)
+    return F.Ep;
+  return TableObj;
+}
+
+std::string IoContext::fdName(int Fd) const {
+  const FdEntry *F = entry(Fd);
+  if (!F)
+    return std::string();
+  return primary(*F)->name();
+}
+
+//===----------------------------------------------------------------------===//
+// Creation
+//===----------------------------------------------------------------------===//
+
+int IoContext::pipe2(int Out[2], int Flags) {
+  rt::Scheduler *S = rt::Scheduler::current();
+  ICB_ASSERT(S && Live, "modeled pipe2 outside a controlled execution");
+  ioOpPoint(S, TableObj, "pipe2");
+  obs::ScopedPhase IoTimer(S->metricShard(), obs::Phase::Io);
+  if (Flags & ~(O_NONBLOCK | O_CLOEXEC))
+    return -EINVAL;
+  Stream *Sm = make<Stream>(strFormat("pipe#%u", Serial[0]++));
+  int R = allocFd();
+  {
+    FdEntry &E = Table[R - kFdBase];
+    E.K = FdEntry::Kind::PipeRead;
+    E.Recv = Sm;
+    E.NonBlock = (Flags & O_NONBLOCK) != 0;
+  }
+  int W = allocFd();
+  {
+    FdEntry &E = Table[W - kFdBase];
+    E.K = FdEntry::Kind::PipeWrite;
+    E.Send = Sm;
+    E.NonBlock = (Flags & O_NONBLOCK) != 0;
+  }
+  Out[0] = R;
+  Out[1] = W;
+  return 0;
+}
+
+int IoContext::socketpair(int Domain, int Type, int Protocol, int Out[2]) {
+  rt::Scheduler *S = rt::Scheduler::current();
+  ICB_ASSERT(S && Live, "modeled socketpair outside a controlled execution");
+  ioOpPoint(S, TableObj, "socketpair");
+  obs::ScopedPhase IoTimer(S->metricShard(), obs::Phase::Io);
+  int TypeFlags = Type & (SOCK_NONBLOCK | SOCK_CLOEXEC);
+  int BaseType = Type & ~(SOCK_NONBLOCK | SOCK_CLOEXEC);
+  if (Domain != AF_UNIX)
+    return -EAFNOSUPPORT;
+  if (BaseType != SOCK_STREAM || Protocol != 0)
+    return -EOPNOTSUPP;
+  unsigned Id = Serial[1]++;
+  Stream *ToA = make<Stream>(strFormat("sock#%u.a", Id));
+  Stream *ToB = make<Stream>(strFormat("sock#%u.b", Id));
+  int A = allocFd();
+  {
+    FdEntry &E = Table[A - kFdBase];
+    E.K = FdEntry::Kind::Sock;
+    E.Recv = ToA;
+    E.Send = ToB;
+    E.NonBlock = (TypeFlags & SOCK_NONBLOCK) != 0;
+  }
+  int B = allocFd();
+  {
+    FdEntry &E = Table[B - kFdBase];
+    E.K = FdEntry::Kind::Sock;
+    E.Recv = ToB;
+    E.Send = ToA;
+    E.NonBlock = (TypeFlags & SOCK_NONBLOCK) != 0;
+  }
+  Out[0] = A;
+  Out[1] = B;
+  return 0;
+}
+
+int IoContext::eventfd(unsigned Initial, int Flags) {
+  rt::Scheduler *S = rt::Scheduler::current();
+  ICB_ASSERT(S && Live, "modeled eventfd outside a controlled execution");
+  ioOpPoint(S, TableObj, "eventfd");
+  obs::ScopedPhase IoTimer(S->metricShard(), obs::Phase::Io);
+  if (Flags & ~(EFD_SEMAPHORE | EFD_NONBLOCK | EFD_CLOEXEC))
+    return -EINVAL;
+  EventFd *E = make<EventFd>(strFormat("efd#%u", Serial[2]++), Initial,
+                             (Flags & EFD_SEMAPHORE) != 0);
+  int Fd = allocFd();
+  FdEntry &F = Table[Fd - kFdBase];
+  F.K = FdEntry::Kind::Event;
+  F.Efd = E;
+  F.NonBlock = (Flags & EFD_NONBLOCK) != 0;
+  return Fd;
+}
+
+int IoContext::epollCreate() {
+  rt::Scheduler *S = rt::Scheduler::current();
+  ICB_ASSERT(S && Live, "modeled epoll_create outside a controlled execution");
+  ioOpPoint(S, TableObj, "epoll_create");
+  obs::ScopedPhase IoTimer(S->metricShard(), obs::Phase::Io);
+  Epoll *E = make<Epoll>(strFormat("epoll#%u", Serial[3]++));
+  int Fd = allocFd();
+  FdEntry &F = Table[Fd - kFdBase];
+  F.K = FdEntry::Kind::Poller;
+  F.Ep = E;
+  return Fd;
+}
+
+//===----------------------------------------------------------------------===//
+// Data plane
+//===----------------------------------------------------------------------===//
+
+long IoContext::readStream(FdEntry &F, int Fd, void *Buf, unsigned long N) {
+  rt::Scheduler *S = rt::Scheduler::current();
+  Stream *Sm = F.Recv;
+  bool NonBlock = F.NonBlock;
+  if (N == 0) {
+    ioOpPoint(S, Sm, "read");
+    return 0;
+  }
+  if (NonBlock)
+    ioOpPoint(S, Sm, "read");
+  else
+    ioWaitPoint(S, *Sm, /*IsWrite=*/false, "read");
+  obs::ScopedPhase IoTimer(S->metricShard(), obs::Phase::Io);
+  // The fd may have been closed (or its slot reused) while we were parked.
+  const FdEntry *G = entry(Fd);
+  if (!G || G->Recv != Sm)
+    return -EBADF;
+  if (!Sm->readable())
+    return -EAGAIN; // Only reachable on O_NONBLOCK fds.
+  if (Sm->eof())
+    return 0;
+  return static_cast<long>(Sm->pop(Buf, N));
+}
+
+long IoContext::readEvent(FdEntry &F, void *Buf, unsigned long N) {
+  rt::Scheduler *S = rt::Scheduler::current();
+  EventFd *E = F.Efd;
+  bool NonBlock = F.NonBlock;
+  if (N < sizeof(uint64_t)) {
+    ioOpPoint(S, E, "read");
+    return -EINVAL;
+  }
+  if (NonBlock)
+    ioOpPoint(S, E, "read");
+  else
+    ioWaitPoint(S, *E, /*IsWrite=*/false, "read");
+  obs::ScopedPhase IoTimer(S->metricShard(), obs::Phase::Io);
+  if (!E->readable())
+    return -EAGAIN; // Only reachable on EFD_NONBLOCK fds.
+  uint64_t V = E->take();
+  std::memcpy(Buf, &V, sizeof(V));
+  return sizeof(V);
+}
+
+long IoContext::read(int Fd, void *Buf, unsigned long N) {
+  rt::Scheduler *S = rt::Scheduler::current();
+  ICB_ASSERT(S && Live, "modeled read outside a controlled execution");
+  FdEntry *F = entry(Fd);
+  if (!F) {
+    ioOpPoint(S, TableObj, "read");
+    return -EBADF;
+  }
+  switch (F->K) {
+  case FdEntry::Kind::Poller:
+    ioOpPoint(S, F->Ep, "read");
+    return -EINVAL;
+  case FdEntry::Kind::PipeWrite:
+    ioOpPoint(S, F->Send, "read");
+    return -EBADF;
+  case FdEntry::Kind::Event:
+    return readEvent(*F, Buf, N);
+  default:
+    return readStream(*F, Fd, Buf, N);
+  }
+}
+
+long IoContext::write(int Fd, const void *Buf, unsigned long N) {
+  rt::Scheduler *S = rt::Scheduler::current();
+  ICB_ASSERT(S && Live, "modeled write outside a controlled execution");
+  FdEntry *F = entry(Fd);
+  if (!F) {
+    ioOpPoint(S, TableObj, "write");
+    return -EBADF;
+  }
+  if (F->K == FdEntry::Kind::Poller) {
+    ioOpPoint(S, F->Ep, "write");
+    return -EINVAL;
+  }
+  if (F->K == FdEntry::Kind::PipeRead) {
+    ioOpPoint(S, F->Recv, "write");
+    return -EBADF;
+  }
+  if (F->K == FdEntry::Kind::Event) {
+    EventFd *E = F->Efd;
+    if (N < sizeof(uint64_t)) {
+      ioOpPoint(S, E, "write");
+      return -EINVAL;
+    }
+    uint64_t V;
+    std::memcpy(&V, Buf, sizeof(V));
+    ioOpPoint(S, E, "write");
+    obs::ScopedPhase IoTimer(S->metricShard(), obs::Phase::Io);
+    if (V == ~0ULL)
+      return -EINVAL;
+    E->add(V);
+    return sizeof(V);
+  }
+  Stream *Sm = F->Send;
+  bool NonBlock = F->NonBlock;
+  if (N == 0) {
+    ioOpPoint(S, Sm, "write");
+    return 0;
+  }
+  if (NonBlock)
+    ioOpPoint(S, Sm, "write");
+  else
+    ioWaitPoint(S, *Sm, /*IsWrite=*/true, "write");
+  obs::ScopedPhase IoTimer(S->metricShard(), obs::Phase::Io);
+  const FdEntry *G = entry(Fd);
+  if (!G || G->Send != Sm)
+    return -EBADF;
+  // The model reports EPIPE and raises no SIGPIPE (DESIGN.md §11).
+  if (Sm->readerGone())
+    return -EPIPE;
+  size_t W = Sm->push(Buf, N);
+  if (W == 0)
+    return -EAGAIN; // Only reachable on O_NONBLOCK fds (buffer full).
+  return static_cast<long>(W);
+}
+
+int IoContext::close(int Fd) {
+  rt::Scheduler *S = rt::Scheduler::current();
+  ICB_ASSERT(S && Live, "modeled close outside a controlled execution");
+  FdEntry *F = entry(Fd);
+  if (!F) {
+    ioOpPoint(S, TableObj, "close");
+    return -EBADF;
+  }
+  rt::SyncObject *Target = primary(*F);
+  ioOpPoint(S, Target, "close");
+  obs::ScopedPhase IoTimer(S->metricShard(), obs::Phase::Io);
+  FdEntry *G = entry(Fd);
+  if (!G || primary(*G) != Target)
+    return -EBADF; // Double close raced with us at the point.
+  switch (G->K) {
+  case FdEntry::Kind::PipeRead:
+    G->Recv->dropReader();
+    break;
+  case FdEntry::Kind::PipeWrite:
+    G->Send->dropWriter();
+    break;
+  case FdEntry::Kind::Sock:
+    G->Recv->dropReader();
+    G->Send->dropWriter();
+    break;
+  case FdEntry::Kind::Event:
+    break;
+  case FdEntry::Kind::Poller:
+    G->Ep->clearWatches();
+    break;
+  case FdEntry::Kind::Closed:
+    return -EBADF;
+  }
+  // Linux drops epoll registrations when the last fd for the open file
+  // goes away; modeled fds are never duplicated, so that is now.
+  for (FdEntry &E : Table)
+    if (E.K == FdEntry::Kind::Poller)
+      E.Ep->removeWatch(Fd);
+  *G = FdEntry{};
+  return 0;
+}
+
+int IoContext::fcntl(int Fd, int Cmd, long Arg) {
+  rt::Scheduler *S = rt::Scheduler::current();
+  ICB_ASSERT(S && Live, "modeled fcntl outside a controlled execution");
+  FdEntry *F = entry(Fd);
+  if (!F) {
+    ioOpPoint(S, TableObj, "fcntl");
+    return -EBADF;
+  }
+  rt::SyncObject *Target = primary(*F);
+  ioOpPoint(S, Target, "fcntl");
+  obs::ScopedPhase IoTimer(S->metricShard(), obs::Phase::Io);
+  FdEntry *G = entry(Fd);
+  if (!G || primary(*G) != Target)
+    return -EBADF;
+  switch (Cmd) {
+  case F_GETFL: {
+    int Access = G->K == FdEntry::Kind::PipeRead    ? O_RDONLY
+                 : G->K == FdEntry::Kind::PipeWrite ? O_WRONLY
+                                                    : O_RDWR;
+    return Access | (G->NonBlock ? O_NONBLOCK : 0);
+  }
+  case F_SETFL:
+    G->NonBlock = (Arg & O_NONBLOCK) != 0;
+    return 0;
+  case F_GETFD:
+  case F_SETFD:
+    return 0;
+  default:
+    return -EINVAL;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Readiness multiplexing
+//===----------------------------------------------------------------------===//
+
+int IoContext::waitGate(Epoll &Gate, bool Timed) {
+  rt::Scheduler *S = rt::Scheduler::current();
+  Gate.addWaiter(S->runningThread(), Timed);
+  ioWaitPoint(S, Gate, /*IsWrite=*/false, "wait");
+  Gate.removeWaiter(S->runningThread());
+  return Gate.anyReportable() ? 1 : 0;
+}
+
+int IoContext::poll(struct pollfd *Fds, unsigned long N, int TimeoutMs) {
+  rt::Scheduler *S = rt::Scheduler::current();
+  ICB_ASSERT(S && Live, "modeled poll outside a controlled execution");
+  ioOpPoint(S, TableObj, "poll");
+  Epoll *Gate;
+  unsigned NVal = 0;
+  {
+    obs::ScopedPhase IoTimer(S->metricShard(), obs::Phase::Io);
+    Gate = make<Epoll>(strFormat("poll#%u", Serial[4]++));
+    for (unsigned long I = 0; I != N; ++I) {
+      Fds[I].revents = 0;
+      int Fd = Fds[I].fd;
+      if (Fd < 0)
+        continue;
+      const FdEntry *T = entry(Fd);
+      if (!T || T->K == FdEntry::Kind::Poller) {
+        Fds[I].revents = POLLNVAL;
+        ++NVal;
+        continue;
+      }
+      Watch W;
+      W.Fd = Fd;
+      W.Events = ((Fds[I].events & POLLIN) ? EPOLLIN : 0u) |
+                 ((Fds[I].events & POLLOUT) ? EPOLLOUT : 0u);
+      W.Recv = T->Recv;
+      W.Send = T->Send;
+      W.Efd = T->Efd;
+      Gate->addWatch(W);
+    }
+  }
+  if (NVal == 0) {
+    if (!waitGate(*Gate, TimeoutMs >= 0)) {
+      obs::count(S->metricShard(), obs::Counter::IoSpurious);
+      return 0;
+    }
+  } else {
+    // POSIX: POLLNVAL entries make poll return without waiting.
+    ioOpPoint(S, Gate, "poll");
+  }
+  obs::ScopedPhase IoTimer(S->metricShard(), obs::Phase::Io);
+  int Count = 0;
+  for (unsigned long I = 0; I != N; ++I) {
+    int Fd = Fds[I].fd;
+    if (Fd < 0)
+      continue;
+    if (Fds[I].revents == POLLNVAL) {
+      ++Count;
+      continue;
+    }
+    const FdEntry *T = entry(Fd);
+    if (!T || T->K == FdEntry::Kind::Poller) {
+      Fds[I].revents = POLLNVAL; // Closed while we were parked.
+      ++Count;
+      continue;
+    }
+    short Re = 0;
+    bool In = T->Recv ? T->Recv->readable() : T->Efd && T->Efd->readable();
+    bool Out = T->Send ? T->Send->writable() : T->Efd != nullptr;
+    if ((Fds[I].events & POLLIN) && In)
+      Re |= POLLIN;
+    if ((Fds[I].events & POLLOUT) && Out)
+      Re |= POLLOUT;
+    if (T->Recv && T->Recv->writerGone())
+      Re |= POLLHUP;
+    if (T->Send && T->Send->readerGone())
+      Re |= POLLERR;
+    if (Re) {
+      Fds[I].revents = Re;
+      ++Count;
+    }
+  }
+  return Count;
+}
+
+int IoContext::select(int Nfds, fd_set *R, fd_set *W, fd_set *X,
+                      struct timeval *T) {
+  rt::Scheduler *S = rt::Scheduler::current();
+  ICB_ASSERT(S && Live, "modeled select outside a controlled execution");
+  ioOpPoint(S, TableObj, "select");
+  if (Nfds < 0 || Nfds > FD_SETSIZE)
+    return -EINVAL;
+  Epoll *Gate;
+  {
+    obs::ScopedPhase IoTimer(S->metricShard(), obs::Phase::Io);
+    Gate = make<Epoll>(strFormat("select#%u", Serial[5]++));
+    for (int Fd = 0; Fd < Nfds; ++Fd) {
+      bool InR = R && FD_ISSET(Fd, R);
+      bool InW = W && FD_ISSET(Fd, W);
+      if (!InR && !InW)
+        continue;
+      const FdEntry *E = entry(Fd);
+      if (!E || E->K == FdEntry::Kind::Poller)
+        return -EBADF; // Only modeled data fds are selectable under test.
+      Watch Wa;
+      Wa.Fd = Fd;
+      Wa.Events = (InR ? EPOLLIN : 0u) | (InW ? EPOLLOUT : 0u);
+      Wa.Recv = E->Recv;
+      Wa.Send = E->Send;
+      Wa.Efd = E->Efd;
+      Gate->addWatch(Wa);
+    }
+  }
+  bool Ready = waitGate(*Gate, /*Timed=*/T != nullptr) != 0;
+  obs::ScopedPhase IoTimer(S->metricShard(), obs::Phase::Io);
+  fd_set RIn, WIn;
+  FD_ZERO(&RIn);
+  FD_ZERO(&WIn);
+  if (R) {
+    RIn = *R;
+    FD_ZERO(R);
+  }
+  if (W) {
+    WIn = *W;
+    FD_ZERO(W);
+  }
+  if (X)
+    FD_ZERO(X); // Exceptional conditions are not modeled.
+  if (!Ready) {
+    obs::count(S->metricShard(), obs::Counter::IoSpurious);
+    return 0;
+  }
+  int Count = 0;
+  for (int Fd = 0; Fd < Nfds; ++Fd) {
+    bool InR = R && FD_ISSET(Fd, &RIn);
+    bool InW = W && FD_ISSET(Fd, &WIn);
+    if (!InR && !InW)
+      continue;
+    const FdEntry *E = entry(Fd);
+    if (!E)
+      continue; // Closed while we were parked; report nothing.
+    bool CanR = E->Recv ? E->Recv->readable() : E->Efd && E->Efd->readable();
+    bool CanW = E->Send ? E->Send->writable() : E->Efd != nullptr;
+    if (InR && CanR) {
+      FD_SET(Fd, R);
+      ++Count;
+    }
+    if (InW && CanW) {
+      FD_SET(Fd, W);
+      ++Count;
+    }
+  }
+  return Count;
+}
+
+int IoContext::epollCtl(int Ep, int Op, int Fd, struct epoll_event *Ev) {
+  rt::Scheduler *S = rt::Scheduler::current();
+  ICB_ASSERT(S && Live, "modeled epoll_ctl outside a controlled execution");
+  FdEntry *E = entry(Ep);
+  if (!E || E->K != FdEntry::Kind::Poller) {
+    ioOpPoint(S, TableObj, "epoll_ctl");
+    return E ? -EINVAL : -EBADF;
+  }
+  Epoll *P = E->Ep;
+  ioOpPoint(S, P, "epoll_ctl");
+  obs::ScopedPhase IoTimer(S->metricShard(), obs::Phase::Io);
+  FdEntry *G = entry(Ep);
+  if (!G || G->Ep != P)
+    return -EBADF;
+  FdEntry *T = entry(Fd);
+  if (!T)
+    return -EBADF;
+  if (Fd == Ep || T->K == FdEntry::Kind::Poller)
+    return -EINVAL; // Nested epoll is not modeled (DESIGN.md §11).
+  switch (Op) {
+  case EPOLL_CTL_ADD: {
+    if (!Ev)
+      return -EFAULT;
+    if (P->findWatch(Fd) >= 0)
+      return -EEXIST;
+    if (Ev->events & ~kSupportedEpollEvents)
+      return -EINVAL; // EPOLLONESHOT/EXCLUSIVE/... are not modeled.
+    Watch W;
+    W.Fd = Fd;
+    W.Events = Ev->events;
+    W.Data = Ev->data.u64;
+    W.Recv = T->Recv;
+    W.Send = T->Send;
+    W.Efd = T->Efd;
+    P->addWatch(W);
+    return 0;
+  }
+  case EPOLL_CTL_MOD: {
+    if (!Ev)
+      return -EFAULT;
+    int I = P->findWatch(Fd);
+    if (I < 0)
+      return -ENOENT;
+    if (Ev->events & ~kSupportedEpollEvents)
+      return -EINVAL;
+    Watch &W = P->watchAt(static_cast<size_t>(I));
+    W.Events = Ev->events;
+    W.Data = Ev->data.u64;
+    W.SeenIn = 0; // MOD re-arms an edge-triggered watch.
+    W.SeenOut = 0;
+    return 0;
+  }
+  case EPOLL_CTL_DEL: {
+    if (P->findWatch(Fd) < 0)
+      return -ENOENT;
+    P->removeWatch(Fd);
+    return 0;
+  }
+  default:
+    return -EINVAL;
+  }
+}
+
+int IoContext::epollWait(int Ep, struct epoll_event *Evs, int MaxEvents,
+                         int TimeoutMs) {
+  rt::Scheduler *S = rt::Scheduler::current();
+  ICB_ASSERT(S && Live, "modeled epoll_wait outside a controlled execution");
+  FdEntry *E = entry(Ep);
+  if (!E || E->K != FdEntry::Kind::Poller) {
+    ioOpPoint(S, TableObj, "epoll_wait");
+    return E ? -EINVAL : -EBADF;
+  }
+  Epoll *P = E->Ep;
+  if (MaxEvents <= 0 || !Evs) {
+    ioOpPoint(S, P, "epoll_wait");
+    return -EINVAL;
+  }
+  bool Timed = TimeoutMs >= 0;
+  P->addWaiter(S->runningThread(), Timed);
+  ioWaitPoint(S, *P, /*IsWrite=*/false, "epoll_wait");
+  P->removeWaiter(S->runningThread());
+  obs::ScopedPhase IoTimer(S->metricShard(), obs::Phase::Io);
+  int N = 0;
+  for (size_t I = 0; I != P->watchCount() && N < MaxEvents; ++I) {
+    Watch &W = P->watchAt(I);
+    uint32_t Re = 0;
+    if (P->reportableIn(W)) {
+      Re |= EPOLLIN;
+      W.SeenIn = inEpochOf(W);
+    }
+    if (P->reportableOut(W)) {
+      Re |= EPOLLOUT;
+      W.SeenOut = outEpochOf(W);
+    }
+    if (!Re)
+      continue;
+    if (W.Recv && W.Recv->writerGone())
+      Re |= EPOLLHUP;
+    if (W.Send && W.Send->readerGone())
+      Re |= EPOLLERR;
+    Evs[N].events = Re;
+    Evs[N].data.u64 = W.Data;
+    ++N;
+  }
+  if (N == 0) {
+    // Only a registered timed waiter can be scheduled with nothing
+    // reportable: this is the modeled timeout expiry.
+    obs::count(S->metricShard(), obs::Counter::IoSpurious);
+  }
+  return N;
+}

@@ -1,0 +1,130 @@
+//===- io/IoContext.h - Per-execution modeled fd table ----------*- C++ -*-===//
+//
+// Part of the ICB project (PLDI'07 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The deterministic, per-execution file-descriptor table behind the
+/// POSIX frontend's modeled-I/O surface (pipe/socketpair/eventfd +
+/// poll/select/epoll). One IoContext lives per worker thread (like
+/// posix::ExecContext, which owns its begin/end lifecycle); modeled fds
+/// are numbered kFdBase + slot with lowest-free slot reuse, so the fd
+/// values and the serial object names (pipe#0, sock#1, epoll#0, ...) a
+/// test observes are functions of the schedule alone — identical across
+/// --jobs 1 vs N, kill/resume, and replay.
+///
+/// Every entry point publishes an io scheduling point (OpKind::IoWait
+/// when it can block, OpKind::IoOp otherwise) *before* touching modeled
+/// state, so all interleaving-sensitive io effects are anchored at io
+/// ops, which the POR independence relation treats as always mutually
+/// dependent (rt/ReplayExecutor.h). Blocking ops park exactly like a
+/// condvar wait; a peer's write/close is the wakeup edge; EAGAIN, short
+/// writes and partial reads are plain outcomes of where a schedule placed
+/// the op.
+///
+/// Methods return >= 0 on success and -errno on failure; the posix shim
+/// (posix/PosixIo.cpp) converts to the -1-and-errno convention.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ICB_IO_IOCONTEXT_H
+#define ICB_IO_IOCONTEXT_H
+
+#include "io/Channel.h"
+#include "io/Epoll.h"
+#include <memory>
+#include <poll.h>
+#include <string>
+#include <sys/epoll.h>
+#include <sys/select.h>
+#include <vector>
+
+namespace icb::io {
+
+/// First modeled fd number. Low enough that modeled fds fit in an fd_set
+/// (select support requires fd < FD_SETSIZE = 1024), high enough that
+/// real kernel fds of the host process never reach it in practice; the
+/// shim routes fd >= kFdBase to the model and everything below to the
+/// real syscall.
+inline constexpr int kFdBase = 512;
+
+class IoContext {
+public:
+  /// The calling worker thread's io context (thread_local, like
+  /// posix::ExecContext).
+  static IoContext &current();
+
+  /// Starts a fresh execution: empty table, serial names restart at #0.
+  void begin();
+  /// Ends an execution cleanly; drops all modeled state.
+  void end();
+  /// Discards leftover state (also from executions that died mid-run via
+  /// failExecution). Safe to call outside any execution.
+  void reset();
+
+  bool live() const { return Live; }
+  bool modeled(int Fd) const { return Fd >= kFdBase; }
+
+  // Creation. Return the new fd (pairs via Out), or -errno.
+  int pipe2(int Out[2], int Flags);
+  int socketpair(int Domain, int Type, int Protocol, int Out[2]);
+  int eventfd(unsigned Initial, int Flags);
+  int epollCreate();
+
+  // Data plane.
+  long read(int Fd, void *Buf, unsigned long N);
+  long write(int Fd, const void *Buf, unsigned long N);
+  int close(int Fd);
+  int fcntl(int Fd, int Cmd, long Arg);
+
+  // Readiness multiplexing.
+  int poll(struct pollfd *Fds, unsigned long N, int TimeoutMs);
+  int select(int Nfds, fd_set *R, fd_set *W, fd_set *X, struct timeval *T);
+  int epollCtl(int Ep, int Op, int Fd, struct epoll_event *Ev);
+  int epollWait(int Ep, struct epoll_event *Evs, int MaxEvents, int TimeoutMs);
+
+  /// Serial name of the object behind a modeled fd ("pipe#0", "sock#2",
+  /// ...); empty for closed/unknown fds. Tests assert these to pin fd
+  /// table determinism.
+  std::string fdName(int Fd) const;
+
+private:
+  struct FdEntry {
+    enum class Kind : uint8_t { Closed, PipeRead, PipeWrite, Sock, Event, Poller };
+    Kind K = Kind::Closed;
+    Stream *Recv = nullptr; ///< Direction this fd reads from.
+    Stream *Send = nullptr; ///< Direction this fd writes to.
+    EventFd *Efd = nullptr;
+    Epoll *Ep = nullptr;
+    bool NonBlock = false;
+  };
+
+  FdEntry *entry(int Fd);
+  const FdEntry *entry(int Fd) const;
+  int allocFd(); ///< Lowest free slot (deterministic reuse).
+  rt::SyncObject *primary(const FdEntry &F) const;
+
+  template <typename T, typename... Args> T *make(Args &&...As) {
+    Arena.push_back(std::make_unique<T>(std::forward<Args>(As)...));
+    return static_cast<T *>(Arena.back().get());
+  }
+
+  long readStream(FdEntry &F, int Fd, void *Buf, unsigned long N);
+  long readEvent(FdEntry &F, void *Buf, unsigned long N);
+  int waitGate(Epoll &Gate, bool Timed); ///< Parks; returns 1 ready / 0 expired.
+
+  std::vector<FdEntry> Table;
+  /// Objects live here until reset — never freed mid-execution, so parked
+  /// waiters and epoll watches hold stable pointers even across close().
+  std::vector<std::unique_ptr<rt::SyncObject>> Arena;
+  /// Scheduling-point target for table-level ops (creation, bad fds).
+  rt::SyncObject *TableObj = nullptr;
+  /// Serial name counters: pipe, sock, efd, epoll, poll, select.
+  unsigned Serial[6] = {};
+  bool Live = false;
+};
+
+} // namespace icb::io
+
+#endif // ICB_IO_IOCONTEXT_H

@@ -1,0 +1,77 @@
+//===- io/ManagedHeap.h - Quarantine + poison heap arena --------*- C++ -*-===//
+//
+// Part of the ICB project (PLDI'07 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The per-execution heap arena behind the POSIX frontend's malloc/free
+/// interception. Allocations carry a header with a magic word and a
+/// serial number (allocation order — deterministic per schedule, so bug
+/// messages replay byte-identically); free() poisons the payload with
+/// 0xDB and quarantines the block instead of releasing it, and every
+/// subsequent free (plus the end of the execution) sweeps the quarantine
+/// verifying the poison is intact. A write through a dangling pointer
+/// trips the sweep and fails the execution as RunStatus::UseAfterFree;
+/// freeing a quarantined block again is reported as a double free.
+///
+/// The arena only manages blocks allocated while an execution is live;
+/// foreign pointers (module global ctors, libc internals) pass through to
+/// the real allocator untouched. malloc/free are NOT scheduling points —
+/// the racy window that makes a UAF reachable must contain a sync or io
+/// scheduling point, which server code invariably has (the kv_server
+/// bug's window is the response write(2)).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ICB_IO_MANAGEDHEAP_H
+#define ICB_IO_MANAGEDHEAP_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace icb::io {
+
+class ManagedHeap {
+public:
+  /// The calling worker thread's heap arena (thread_local, lifecycle
+  /// driven by posix::ExecContext like IoContext).
+  static ManagedHeap &current();
+
+  void begin();
+  /// Final sweep (reports use-after-free via failExecution) and release.
+  void end();
+  /// Releases everything without reporting (failed-execution cleanup).
+  void reset();
+
+  bool live() const { return Live; }
+
+  void *allocate(size_t N);
+  void *callocate(size_t Count, size_t Size);
+  void *reallocate(void *P, size_t N);
+  void release(void *P);
+
+  /// True if \p P is a live or quarantined payload of this arena.
+  bool owns(void *P) const;
+
+  /// Verifies every quarantined block's poison; fails the execution on a
+  /// trample. Called from release() and end().
+  void sweep();
+
+private:
+  struct Block {
+    unsigned char *Raw = nullptr; ///< Header + payload.
+    size_t Size = 0;              ///< Payload bytes.
+    bool Alive = false;
+  };
+
+  int blockIndex(void *P) const; ///< -1 for foreign pointers.
+
+  std::vector<Block> Blocks;
+  bool Live = false;
+};
+
+} // namespace icb::io
+
+#endif // ICB_IO_MANAGEDHEAP_H

@@ -64,6 +64,12 @@ const char *counterName(Counter C) {
     return "woken_by_budget";
   case Counter::SleptExecutions:
     return "slept_executions";
+  case Counter::IoBlock:
+    return "io_block";
+  case Counter::IoWake:
+    return "io_wake";
+  case Counter::IoSpurious:
+    return "io_spurious";
   case Counter::StealAttempts:
     return "steal_attempts";
   case Counter::StealHits:
@@ -92,6 +98,9 @@ bool counterIsDeterministic(Counter C) {
   case Counter::TransitionsSlept:
   case Counter::WokenByBudget:
   case Counter::SleptExecutions:
+  case Counter::IoBlock:
+  case Counter::IoWake:
+  case Counter::IoSpurious:
     return true;
   case Counter::StealAttempts:
   case Counter::StealHits:
@@ -118,6 +127,8 @@ const char *phaseName(Phase P) {
     return "snapshot";
   case Phase::Por:
     return "por";
+  case Phase::Io:
+    return "io";
   case Phase::NumPhases:
     break;
   }

@@ -70,6 +70,10 @@ enum class Counter : unsigned {
   WokenByBudget,    ///< Sleepers conservatively woken at a preemption
                     ///< (budget changed — the Coons-style correction).
   SleptExecutions,  ///< Chains cut short with every enabled thread asleep.
+  IoBlock,          ///< Fibers parked on a modeled fd that was not ready.
+  IoWake,           ///< Parked io waits resumed by a peer's readiness edge.
+  IoSpurious,       ///< Timed multiplexer waits that expired with nothing
+                    ///< ready (the modeled epoll/poll/select timeout branch).
   // Timing-class (run- and machine-specific).
   StealAttempts, ///< Chase-Lev trySteal() calls by idle workers.
   StealHits,     ///< trySteal() calls that returned an item.
@@ -93,6 +97,7 @@ enum class Phase : unsigned {
   RaceDetect, ///< Per-execution race detector work (rt executor).
   Snapshot,   ///< Building + handing off an engine snapshot.
   Por,        ///< Sleep-set maintenance (independence filtering, pruning).
+  Io,         ///< Modeled-I/O syscall bodies (fd table, streams, epoll).
 
   NumPhases,
 };

@@ -35,10 +35,18 @@ bool icb::posix::loadTestModule(const std::string &Path, TestModule &Out,
                     D ? D : "unknown dlopen error");
     return false;
   }
+  dlerror(); // Clear any stale error so the dlsym diagnosis below is ours.
   void *Entry = dlsym(Handle, "icb_test_main");
   if (!Entry) {
-    Err = strFormat("test module '%s' does not export icb_test_main",
-                    Path.c_str());
+    // Spell out the exact missing symbol and carry the dlerror text: the
+    // usual causes (entry point declared static, C++ name mangling from a
+    // missing extern "C", stripped dynamic symbol table) are all visible
+    // from that pair.
+    const char *D = dlerror();
+    Err = strFormat("test module '%s' does not export the required entry "
+                    "point 'icb_test_main' (declare it: extern \"C\" void "
+                    "icb_test_main(void)): %s",
+                    Path.c_str(), D ? D : "symbol not found");
     dlclose(Handle);
     return false;
   }

@@ -172,6 +172,34 @@ extern "C" int icb_pthread_mutex_lock(pthread_mutex_t *M) {
   return 0;
 }
 
+extern "C" int icb_pthread_mutex_timedlock(pthread_mutex_t *M,
+                                           const struct timespec *AbsTime) {
+  if (!M || !AbsTime)
+    return EINVAL;
+  // glibc validates the deadline before anything else.
+  if (AbsTime->tv_nsec < 0 || AbsTime->tv_nsec >= 1000000000L)
+    return EINVAL;
+  MutexState &MS = ExecContext::current().mutexFor(M);
+  if (MS.M->heldBy(self())) {
+    if (MS.Type == PTHREAD_MUTEX_RECURSIVE) {
+      ++MS.Depth;
+      return 0;
+    }
+    if (MS.Type == PTHREAD_MUTEX_ERRORCHECK)
+      return EDEADLK;
+    // NORMAL self-relock can never be granted; the modeled expiry below
+    // is the only outcome, matching glibc once the deadline passes.
+  }
+  // The deadline value is irrelevant beyond validation: the timeout is a
+  // scheduler branch (the thread stays enabled; being scheduled while
+  // the mutex is held IS the expiry), so the search explores both the
+  // granted and the timed-out side of every race.
+  if (!MS.M->timedLock())
+    return ETIMEDOUT;
+  MS.Depth = 1;
+  return 0;
+}
+
 extern "C" int icb_pthread_mutex_trylock(pthread_mutex_t *M) {
   if (!M)
     return EINVAL;
@@ -544,6 +572,24 @@ extern "C" int icb_sem_trywait(sem_t *S) {
   return 0;
 }
 
+extern "C" int icb_sem_timedwait(sem_t *S, const struct timespec *AbsTime) {
+  if (!S || !AbsTime) {
+    errno = EINVAL;
+    return -1;
+  }
+  if (AbsTime->tv_nsec < 0 || AbsTime->tv_nsec >= 1000000000L) {
+    errno = EINVAL;
+    return -1;
+  }
+  // Modeled timeout: being scheduled at count zero is the expiry branch
+  // (see icb_pthread_mutex_timedlock).
+  if (!ExecContext::current().semFor(S).S->timedAcquire()) {
+    errno = ETIMEDOUT;
+    return -1;
+  }
+  return 0;
+}
+
 extern "C" int icb_sem_post(sem_t *S) {
   if (!S) {
     errno = EINVAL;
@@ -782,10 +828,10 @@ extern "C" int icb_mtx_lock(mtx_t *M) {
 extern "C" int icb_mtx_timedlock(mtx_t *M, const struct timespec *Deadline) {
   if (!M || !Deadline)
     return thrd_error;
-  // No clock in the model: the acquire blocks until granted; a grant that
-  // can never come is the deadlock the checker reports.
-  return c11Result(
-      icb_pthread_mutex_lock(reinterpret_cast<pthread_mutex_t *>(M)));
+  // Modeled both-outcome timeout (see icb_pthread_mutex_timedlock);
+  // c11Result maps ETIMEDOUT to thrd_timedout.
+  return c11Result(icb_pthread_mutex_timedlock(
+      reinterpret_cast<pthread_mutex_t *>(M), Deadline));
 }
 
 extern "C" int icb_mtx_trylock(mtx_t *M) {

@@ -1,0 +1,241 @@
+//===- posix/PosixIo.cpp - Modeled io + managed heap entry points ---------===//
+//
+// Part of the ICB project (PLDI'07 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The icb_* twins of the fd-facing POSIX surface (pipe/socketpair/
+/// eventfd, read/write/close/fcntl, poll/select/epoll) and of the malloc
+/// family, routing into io::IoContext / io::ManagedHeap while a
+/// controlled execution is live and to the real libc otherwise.
+///
+/// Routing rules (full table in DESIGN.md §11):
+///
+///   * creation calls (pipe2, socketpair, eventfd, epoll_create*) are
+///     modeled whenever an execution is live — modeled fds are numbered
+///     from io::kFdBase so they never collide with real kernel fds;
+///   * data-plane calls route per fd: fd >= kFdBase goes to the model,
+///     anything below (stdio, files the harness opened) to the real
+///     syscall — so printf-debugging keeps working under test;
+///   * poll/select are modeled when any member fd is modeled; mixing
+///     modeled and real fds in one set is unsupported (the real ones
+///     report POLLNVAL / EBADF);
+///   * malloc/free/calloc/realloc use the quarantine-and-poison arena
+///     while live; pointers from outside the execution (module global
+///     ctors, libc internals) pass through untouched.
+///
+//===----------------------------------------------------------------------===//
+
+#define ICB_POSIX_NO_RENAME
+#include "icb/posix.h"
+
+#include "io/IoContext.h"
+#include "io/ManagedHeap.h"
+#include "rt/Scheduler.h"
+#include <cerrno>
+#include <cstdarg>
+#include <cstdlib>
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/select.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+using namespace icb;
+
+namespace {
+
+bool ioLive() {
+  return rt::Scheduler::current() != nullptr && io::IoContext::current().live();
+}
+
+bool heapLive() {
+  return rt::Scheduler::current() != nullptr &&
+         io::ManagedHeap::current().live();
+}
+
+bool modeledFd(int Fd) { return ioLive() && Fd >= io::kFdBase; }
+
+/// Converts the model's -errno convention to -1-and-errno.
+long finish(long R) {
+  if (R < 0) {
+    errno = static_cast<int>(-R);
+    return -1;
+  }
+  return R;
+}
+
+int finishInt(int R) { return static_cast<int>(finish(R)); }
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Creation
+//===----------------------------------------------------------------------===//
+
+extern "C" int icb_pipe(int Fds[2]) {
+  if (!ioLive())
+    return ::pipe(Fds);
+  if (!Fds) {
+    errno = EFAULT;
+    return -1;
+  }
+  return finishInt(io::IoContext::current().pipe2(Fds, 0));
+}
+
+extern "C" int icb_pipe2(int Fds[2], int Flags) {
+  if (!ioLive())
+    return ::pipe2(Fds, Flags);
+  if (!Fds) {
+    errno = EFAULT;
+    return -1;
+  }
+  return finishInt(io::IoContext::current().pipe2(Fds, Flags));
+}
+
+extern "C" int icb_socketpair(int Domain, int Type, int Protocol, int Fds[2]) {
+  if (!ioLive())
+    return ::socketpair(Domain, Type, Protocol, Fds);
+  if (!Fds) {
+    errno = EFAULT;
+    return -1;
+  }
+  return finishInt(
+      io::IoContext::current().socketpair(Domain, Type, Protocol, Fds));
+}
+
+extern "C" int icb_eventfd(unsigned Initial, int Flags) {
+  if (!ioLive())
+    return ::eventfd(Initial, Flags);
+  return finishInt(io::IoContext::current().eventfd(Initial, Flags));
+}
+
+extern "C" int icb_epoll_create1(int Flags) {
+  if (!ioLive())
+    return ::epoll_create1(Flags);
+  if (Flags & ~EPOLL_CLOEXEC) {
+    errno = EINVAL;
+    return -1;
+  }
+  return finishInt(io::IoContext::current().epollCreate());
+}
+
+extern "C" int icb_epoll_create(int Size) {
+  if (!ioLive())
+    return ::epoll_create(Size);
+  if (Size <= 0) {
+    errno = EINVAL;
+    return -1;
+  }
+  return finishInt(io::IoContext::current().epollCreate());
+}
+
+//===----------------------------------------------------------------------===//
+// Data plane
+//===----------------------------------------------------------------------===//
+
+extern "C" ssize_t icb_read(int Fd, void *Buf, size_t N) {
+  if (!modeledFd(Fd))
+    return ::read(Fd, Buf, N);
+  return finish(io::IoContext::current().read(Fd, Buf, N));
+}
+
+extern "C" ssize_t icb_write(int Fd, const void *Buf, size_t N) {
+  if (!modeledFd(Fd))
+    return ::write(Fd, Buf, N);
+  return finish(io::IoContext::current().write(Fd, Buf, N));
+}
+
+extern "C" int icb_close(int Fd) {
+  if (!modeledFd(Fd))
+    return ::close(Fd);
+  return finishInt(io::IoContext::current().close(Fd));
+}
+
+extern "C" int icb_fcntl(int Fd, int Cmd, ...) {
+  va_list Ap;
+  va_start(Ap, Cmd);
+  // Every command the model understands carries an int argument (or
+  // none); reading one unconditionally is the glibc-compatible move.
+  int Arg = 0;
+  if (Cmd == F_SETFL || Cmd == F_SETFD || Cmd == F_DUPFD ||
+      Cmd == F_DUPFD_CLOEXEC)
+    Arg = va_arg(Ap, int);
+  va_end(Ap);
+  if (!modeledFd(Fd))
+    return ::fcntl(Fd, Cmd, Arg);
+  return finishInt(io::IoContext::current().fcntl(Fd, Cmd, Arg));
+}
+
+//===----------------------------------------------------------------------===//
+// Readiness multiplexing
+//===----------------------------------------------------------------------===//
+
+extern "C" int icb_poll(struct pollfd *Fds, nfds_t N, int TimeoutMs) {
+  bool AnyModeled = false;
+  if (ioLive() && Fds)
+    for (nfds_t I = 0; I != N; ++I)
+      AnyModeled |= Fds[I].fd >= io::kFdBase;
+  if (!AnyModeled)
+    return ::poll(Fds, N, TimeoutMs);
+  return finishInt(io::IoContext::current().poll(Fds, N, TimeoutMs));
+}
+
+extern "C" int icb_select(int Nfds, fd_set *R, fd_set *W, fd_set *X,
+                          struct timeval *T) {
+  bool AnyModeled = false;
+  if (ioLive())
+    for (int Fd = io::kFdBase; Fd < Nfds && Fd < FD_SETSIZE; ++Fd)
+      AnyModeled |= (R && FD_ISSET(Fd, R)) || (W && FD_ISSET(Fd, W)) ||
+                    (X && FD_ISSET(Fd, X));
+  if (!AnyModeled)
+    return ::select(Nfds, R, W, X, T);
+  return finishInt(io::IoContext::current().select(Nfds, R, W, X, T));
+}
+
+extern "C" int icb_epoll_ctl(int Ep, int Op, int Fd, struct epoll_event *Ev) {
+  if (!modeledFd(Ep))
+    return ::epoll_ctl(Ep, Op, Fd, Ev);
+  return finishInt(io::IoContext::current().epollCtl(Ep, Op, Fd, Ev));
+}
+
+extern "C" int icb_epoll_wait(int Ep, struct epoll_event *Evs, int MaxEvents,
+                              int TimeoutMs) {
+  if (!modeledFd(Ep))
+    return ::epoll_wait(Ep, Evs, MaxEvents, TimeoutMs);
+  return finishInt(
+      io::IoContext::current().epollWait(Ep, Evs, MaxEvents, TimeoutMs));
+}
+
+//===----------------------------------------------------------------------===//
+// Managed heap
+//===----------------------------------------------------------------------===//
+
+extern "C" void *icb_malloc(size_t N) {
+  if (!heapLive())
+    return std::malloc(N);
+  return io::ManagedHeap::current().allocate(N);
+}
+
+extern "C" void *icb_calloc(size_t Count, size_t Size) {
+  if (!heapLive())
+    return std::calloc(Count, Size);
+  return io::ManagedHeap::current().callocate(Count, Size);
+}
+
+extern "C" void *icb_realloc(void *P, size_t N) {
+  if (!heapLive())
+    return std::realloc(P, N);
+  return io::ManagedHeap::current().reallocate(P, N);
+}
+
+extern "C" void icb_free(void *P) {
+  if (!heapLive()) {
+    std::free(P);
+    return;
+  }
+  io::ManagedHeap::current().release(P);
+}

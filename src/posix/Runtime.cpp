@@ -5,6 +5,8 @@
 //===----------------------------------------------------------------------===//
 
 #include "posix/Runtime.h"
+#include "io/IoContext.h"
+#include "io/ManagedHeap.h"
 #include "support/Debug.h"
 #include "support/Format.h"
 #include <pthread.h>
@@ -38,6 +40,9 @@ void ExecContext::begin() {
   Rec->Tid = 0;
   Threads.push_back(std::move(Rec));
   HandleOfTid.assign(1, 1);
+  // The io model and the managed heap share the execution's lifetime.
+  io::IoContext::current().begin();
+  io::ManagedHeap::current().begin();
 }
 
 void ExecContext::end() {
@@ -52,6 +57,10 @@ void ExecContext::end() {
       R.Joined = true;
     }
   }
+  // All threads are done: the heap's final sweep reports any trample of
+  // quarantined memory that no later free caught, then io winds down.
+  io::ManagedHeap::current().end();
+  io::IoContext::current().end();
   reset();
 }
 
@@ -76,6 +85,9 @@ void ExecContext::reset() {
   // that ended early via failExecution (which never reaches end()).
   while (!Arena.empty())
     Arena.pop_back();
+  // Quiet teardown (no reports): covers failExecution leftovers too.
+  io::ManagedHeap::current().reset();
+  io::IoContext::current().reset();
   Sched = nullptr;
 }
 

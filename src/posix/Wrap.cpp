@@ -64,6 +64,10 @@ int __wrap_pthread_mutex_destroy(pthread_mutex_t *M) {
 int __wrap_pthread_mutex_lock(pthread_mutex_t *M) {
   return icb_pthread_mutex_lock(M);
 }
+int __wrap_pthread_mutex_timedlock(pthread_mutex_t *M,
+                                   const struct timespec *AbsTime) {
+  return icb_pthread_mutex_timedlock(M, AbsTime);
+}
 int __wrap_pthread_mutex_trylock(pthread_mutex_t *M) {
   return icb_pthread_mutex_trylock(M);
 }
@@ -167,6 +171,9 @@ int __wrap_sem_init(sem_t *S, int PShared, unsigned Value) {
 }
 int __wrap_sem_destroy(sem_t *S) { return icb_sem_destroy(S); }
 int __wrap_sem_wait(sem_t *S) { return icb_sem_wait(S); }
+int __wrap_sem_timedwait(sem_t *S, const struct timespec *AbsTime) {
+  return icb_sem_timedwait(S, AbsTime);
+}
 int __wrap_sem_trywait(sem_t *S) { return icb_sem_trywait(S); }
 int __wrap_sem_post(sem_t *S) { return icb_sem_post(S); }
 int __wrap_sem_getvalue(sem_t *S, int *Out) { return icb_sem_getvalue(S, Out); }
@@ -194,6 +201,52 @@ unsigned __wrap_sleep(unsigned Seconds) { return icb_sleep(Seconds); }
 int __wrap_nanosleep(const struct timespec *Req, struct timespec *Rem) {
   return icb_nanosleep(Req, Rem);
 }
+
+/* Modeled io. glibc declares eventfd/epoll_wait with slightly different
+ * spellings across versions, so the forwarders use the icb signatures;
+ * the calling conventions are identical. */
+int __wrap_pipe(int Fds[2]) { return icb_pipe(Fds); }
+int __wrap_pipe2(int Fds[2], int Flags) { return icb_pipe2(Fds, Flags); }
+int __wrap_socketpair(int Domain, int Type, int Protocol, int Fds[2]) {
+  return icb_socketpair(Domain, Type, Protocol, Fds);
+}
+int __wrap_eventfd(unsigned Initial, int Flags) {
+  return icb_eventfd(Initial, Flags);
+}
+int __wrap_epoll_create(int Size) { return icb_epoll_create(Size); }
+int __wrap_epoll_create1(int Flags) { return icb_epoll_create1(Flags); }
+int __wrap_epoll_ctl(int Ep, int Op, int Fd, struct epoll_event *Ev) {
+  return icb_epoll_ctl(Ep, Op, Fd, Ev);
+}
+int __wrap_epoll_wait(int Ep, struct epoll_event *Evs, int MaxEvents,
+                      int TimeoutMs) {
+  return icb_epoll_wait(Ep, Evs, MaxEvents, TimeoutMs);
+}
+ssize_t __wrap_read(int Fd, void *Buf, size_t N) {
+  return icb_read(Fd, Buf, N);
+}
+ssize_t __wrap_write(int Fd, const void *Buf, size_t N) {
+  return icb_write(Fd, Buf, N);
+}
+int __wrap_close(int Fd) { return icb_close(Fd); }
+int __wrap_fcntl(int Fd, int Cmd, long Arg) {
+  return icb_fcntl(Fd, Cmd, Arg);
+}
+int __wrap_poll(struct pollfd *Fds, nfds_t N, int TimeoutMs) {
+  return icb_poll(Fds, N, TimeoutMs);
+}
+int __wrap_select(int Nfds, fd_set *R, fd_set *W, fd_set *X,
+                  struct timeval *T) {
+  return icb_select(Nfds, R, W, X, T);
+}
+
+/* Managed heap. */
+void *__wrap_malloc(size_t N) { return icb_malloc(N); }
+void *__wrap_calloc(size_t Count, size_t Size) {
+  return icb_calloc(Count, Size);
+}
+void *__wrap_realloc(void *P, size_t N) { return icb_realloc(P, N); }
+void __wrap_free(void *P) { icb_free(P); }
 
 #ifdef ICB_POSIX_HAS_THREADS_H
 

@@ -44,6 +44,14 @@ enum class OpKind : uint8_t {
                 ///< EveryAccess mode or after promotion.
   Join,       ///< Blocks until the target thread terminates.
   Yield,      ///< Voluntary yield: switching away is nonpreempting.
+  MutexTimedLock,  ///< Timed acquire: always enabled; being scheduled
+                   ///< while the mutex is held is the timeout branch.
+  SemTimedAcquire, ///< Timed P(): always enabled; being scheduled at
+                   ///< count zero is the timeout branch.
+  IoWait,     ///< Blocks until the modeled io object is ready for the
+              ///< parked direction (IsWrite selects read/write side).
+  IoOp,       ///< Modeled-I/O operation that never blocks (nonblocking
+              ///< read/write, close, epoll_ctl, timed multiplexer wait).
 };
 
 const char *opKindName(OpKind Kind);
@@ -53,7 +61,15 @@ constexpr bool isBlockingOp(OpKind Kind) {
   return Kind == OpKind::MutexLock || Kind == OpKind::EventWait ||
          Kind == OpKind::SemAcquire || Kind == OpKind::Join ||
          Kind == OpKind::CondWait || Kind == OpKind::RwReadLock ||
-         Kind == OpKind::RwWriteLock;
+         Kind == OpKind::RwWriteLock || Kind == OpKind::IoWait;
+}
+
+/// True for modeled-I/O operations. A single io op can make several io
+/// objects ready at once (a pipe write is the wakeup edge of every epoll
+/// watching that pipe), so the POR independence relation never commutes
+/// two io ops: their var codes do not capture the cross-object coupling.
+constexpr bool isIoOp(OpKind Kind) {
+  return Kind == OpKind::IoWait || Kind == OpKind::IoOp;
 }
 
 /// The operation a thread is parked on.
@@ -62,7 +78,7 @@ struct PendingOp {
   SyncObject *Object = nullptr; ///< Null for Start/Join/Yield/DataAccess.
   uint64_t VarCode = 0;         ///< Stable identity of the touched variable.
   ThreadId JoinTarget = InvalidThread;
-  bool IsWrite = false;         ///< For DataAccess.
+  bool IsWrite = false;         ///< For DataAccess and IoWait.
   std::string Detail;           ///< Human-readable ("lock m_baseCS").
 };
 

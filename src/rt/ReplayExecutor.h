@@ -339,6 +339,12 @@ private:
       return B.JoinTarget == ExecTid;
     if (B.Kind == OpKind::CondSignal || ExecKind == OpKind::CondSignal)
       return true;
+    // Modeled io couples objects across var codes: a pipe write is the
+    // wakeup edge of every epoll/poll gate watching that pipe, a close
+    // retires watches in third-party epolls, and the fd table itself is
+    // shared (slot reuse). Two io ops therefore never commute.
+    if (isIoOp(B.Kind) && isIoOp(ExecKind))
+      return true;
     if (ExecKind == OpKind::Start && ExecVar == 0)
       return true;
     if (B.Kind == OpKind::Start && B.VarCode == 0)

@@ -60,6 +60,14 @@ const char *icb::rt::opKindName(OpKind Kind) {
     return "join";
   case OpKind::Yield:
     return "yield";
+  case OpKind::MutexTimedLock:
+    return "timedlock";
+  case OpKind::SemTimedAcquire:
+    return "timedacquire";
+  case OpKind::IoWait:
+    return "iowait";
+  case OpKind::IoOp:
+    return "io";
   }
   ICB_UNREACHABLE("unknown op kind");
 }
@@ -140,6 +148,7 @@ bool Scheduler::isEnabled(const ThreadRecord &T) const {
   case OpKind::CondWait:
   case OpKind::RwReadLock:
   case OpKind::RwWriteLock:
+  case OpKind::IoWait:
     ICB_ASSERT(T.Op.Object, "blocking op with no object");
     return T.Op.Object->canProceed(T.Op, T.Id);
   default:

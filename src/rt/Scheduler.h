@@ -160,6 +160,11 @@ public:
   /// chain. The shard outlives the run() it is installed for.
   void setMetricShard(obs::MetricShard *MS) { MShard = MS; }
 
+  /// The shard installed by the executor (null when metrics are detached).
+  /// The io model counts its deterministic io_block/io_wake/io_spurious
+  /// events here without owning any registry plumbing of its own.
+  obs::MetricShard *metricShard() const { return MShard; }
+
 private:
   struct ThreadRecord;
 

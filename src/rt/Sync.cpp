@@ -57,6 +57,20 @@ bool Mutex::tryLock() {
   return true;
 }
 
+bool Mutex::timedLock() {
+  Scheduler *S = Scheduler::current();
+  ICB_ASSERT(S, "timedLock outside a controlled execution");
+  // MutexTimedLock is not a blocking kind: the thread stays enabled, and
+  // the schedule decides the outcome — scheduled while free acquires,
+  // scheduled while held times out. No clock is consulted, so replay and
+  // --jobs determinism are untouched.
+  opPoint(OpKind::MutexTimedLock, "timedlock");
+  if (Owner != InvalidThread)
+    return false;
+  Owner = S->runningThread();
+  return true;
+}
+
 //===----------------------------------------------------------------------===//
 // Event
 //===----------------------------------------------------------------------===//
@@ -120,6 +134,16 @@ bool Semaphore::tryAcquire() {
   // Non-blocking: publish as a release-class (never blocks) operation so
   // the scheduler still gets a scheduling point here.
   opPoint(OpKind::SemRelease, "tryacquire");
+  if (Count <= 0)
+    return false;
+  --Count;
+  return true;
+}
+
+bool Semaphore::timedAcquire() {
+  // Always enabled (see Mutex::timedLock): being scheduled at count zero
+  // is the modeled expiry branch.
+  opPoint(OpKind::SemTimedAcquire, "timedacquire");
   if (Count <= 0)
     return false;
   --Count;

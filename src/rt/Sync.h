@@ -35,6 +35,12 @@ public:
   /// point (TryEnterCriticalSection is an interception point in CHESS).
   bool tryLock();
 
+  /// Timed acquire with a modeled (clock-free) timeout: the thread stays
+  /// enabled while parked, and being scheduled while the mutex is still
+  /// held IS the expiry branch — returns false (pthread_mutex_timedlock's
+  /// ETIMEDOUT). Both outcomes are explored like CondVar::timedWait.
+  bool timedLock();
+
   bool heldBy(ThreadId Tid) const { return Owner == Tid; }
   bool held() const { return Owner != InvalidThread; }
 
@@ -75,6 +81,11 @@ public:
 
   /// Non-blocking P; returns true on success. Still a scheduling point.
   bool tryAcquire();
+
+  /// Timed P with a modeled timeout: always enabled while parked; being
+  /// scheduled at count zero is the expiry branch (sem_timedwait's
+  /// ETIMEDOUT). Returns true iff the count was decremented.
+  bool timedAcquire();
 
   int count() const { return Count; }
 

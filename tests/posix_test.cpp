@@ -196,6 +196,166 @@ TEST(PosixTimedwait, ExploresBothSignalAndExpiry) {
 }
 
 //===----------------------------------------------------------------------===//
+// Modeled timedlock/sem_timedwait: both outcomes of every release/expiry
+// race are explored, glibc-faithful ETIMEDOUT
+//===----------------------------------------------------------------------===//
+
+struct TlCtx {
+  pthread_mutex_t Lock = PTHREAD_MUTEX_INITIALIZER;
+  sem_t Sem;
+  int *WonRuns;
+  int *TimedOutRuns;
+};
+
+void *tlContender(void *Arg) {
+  TlCtx *Cx = static_cast<TlCtx *>(Arg);
+  struct timespec Ts = {0, 1000};
+  int Rc = icb_pthread_mutex_timedlock(&Cx->Lock, &Ts);
+  icb_posix_assert(Rc == 0 || Rc == ETIMEDOUT, "timedlock rc");
+  if (Rc == ETIMEDOUT) {
+    ++*Cx->TimedOutRuns;
+  } else {
+    ++*Cx->WonRuns;
+    icb_pthread_mutex_unlock(&Cx->Lock);
+  }
+  return nullptr;
+}
+
+void *tlHolder(void *Arg) {
+  TlCtx *Cx = static_cast<TlCtx *>(Arg);
+  icb_pthread_mutex_lock(&Cx->Lock);
+  icb_pthread_mutex_unlock(&Cx->Lock);
+  return nullptr;
+}
+
+TEST(PosixTimedlock, ExploresBothAcquireAndExpiry) {
+  int Won = 0, TimedOut = 0;
+  ExploreResult R = explorePosix(
+      [&Won, &TimedOut] {
+        TlCtx Cx;
+        Cx.WonRuns = &Won;
+        Cx.TimedOutRuns = &TimedOut;
+        pthread_t C, H;
+        icb_pthread_create(&C, nullptr, tlContender, &Cx);
+        icb_pthread_create(&H, nullptr, tlHolder, &Cx);
+        icb_pthread_join(C, nullptr);
+        icb_pthread_join(H, nullptr);
+      },
+      /*MaxBound=*/2);
+  EXPECT_TRUE(R.Bugs.empty()) << (R.Bugs.empty() ? "" : R.Bugs[0].str());
+  EXPECT_GT(Won, 0) << "no schedule acquired the contended timedlock";
+  EXPECT_GT(TimedOut, 0) << "no schedule expired the timedlock";
+}
+
+void timedlockErrnoBody() {
+  // Invalid timespec: EINVAL before any scheduling, like glibc.
+  pthread_mutex_t M = PTHREAD_MUTEX_INITIALIZER;
+  struct timespec Bad = {0, 1000000000L};
+  icb_posix_assert(icb_pthread_mutex_timedlock(&M, &Bad) == EINVAL,
+                   "nsec out of range -> EINVAL");
+  icb_posix_assert(icb_pthread_mutex_timedlock(&M, nullptr) == EINVAL,
+                   "null abstime -> EINVAL");
+  struct timespec Ts = {0, 1000};
+  // Uncontended timedlock acquires.
+  icb_posix_assert(icb_pthread_mutex_timedlock(&M, &Ts) == 0,
+                   "free timedlock acquires");
+  // ERRORCHECK self-timedlock: EDEADLK beats the modeled expiry.
+  pthread_mutexattr_t A;
+  icb_pthread_mutexattr_init(&A);
+  icb_pthread_mutexattr_settype(&A, PTHREAD_MUTEX_ERRORCHECK);
+  pthread_mutex_t E;
+  icb_pthread_mutex_init(&E, &A);
+  icb_posix_assert(icb_pthread_mutex_lock(&E) == 0, "errorcheck lock");
+  icb_posix_assert(icb_pthread_mutex_timedlock(&E, &Ts) == EDEADLK,
+                   "errorcheck self-timedlock -> EDEADLK");
+  icb_pthread_mutex_unlock(&E);
+  icb_pthread_mutex_destroy(&E);
+  // RECURSIVE self-timedlock just deepens the hold.
+  icb_pthread_mutexattr_settype(&A, PTHREAD_MUTEX_RECURSIVE);
+  pthread_mutex_t Rm;
+  icb_pthread_mutex_init(&Rm, &A);
+  icb_posix_assert(icb_pthread_mutex_timedlock(&Rm, &Ts) == 0, "rec 1");
+  icb_posix_assert(icb_pthread_mutex_timedlock(&Rm, &Ts) == 0, "rec 2");
+  icb_pthread_mutex_unlock(&Rm);
+  icb_pthread_mutex_unlock(&Rm);
+  icb_pthread_mutex_destroy(&Rm);
+  icb_pthread_mutexattr_destroy(&A);
+  icb_pthread_mutex_unlock(&M);
+  // NORMAL self-timedlock cannot acquire: the modeled expiry is the only
+  // outcome (the real call spins out the clock and times out too).
+  icb_pthread_mutex_lock(&M);
+  icb_posix_assert(icb_pthread_mutex_timedlock(&M, &Ts) == ETIMEDOUT,
+                   "normal self-timedlock -> ETIMEDOUT");
+  icb_pthread_mutex_unlock(&M);
+}
+
+TEST(PosixTimedlock, ErrnoSemantics) {
+  ExploreResult R = explorePosix(timedlockErrnoBody, /*MaxBound=*/1);
+  EXPECT_TRUE(R.Bugs.empty()) << (R.Bugs.empty() ? "" : R.Bugs[0].str());
+}
+
+void *stContender(void *Arg) {
+  TlCtx *Cx = static_cast<TlCtx *>(Arg);
+  struct timespec Ts = {0, 1000};
+  int Rc = icb_sem_timedwait(&Cx->Sem, &Ts);
+  if (Rc == 0)
+    ++*Cx->WonRuns;
+  else if (errno == ETIMEDOUT)
+    ++*Cx->TimedOutRuns;
+  else
+    icb_posix_assert(0, "sem_timedwait rc");
+  return nullptr;
+}
+
+void *stPoster(void *Arg) {
+  TlCtx *Cx = static_cast<TlCtx *>(Arg);
+  icb_posix_assert(icb_sem_post(&Cx->Sem) == 0, "sem_post");
+  return nullptr;
+}
+
+TEST(PosixSemTimedwait, ExploresBothPostAndExpiry) {
+  int Won = 0, TimedOut = 0;
+  ExploreResult R = explorePosix(
+      [&Won, &TimedOut] {
+        TlCtx Cx;
+        Cx.WonRuns = &Won;
+        Cx.TimedOutRuns = &TimedOut;
+        icb_sem_init(&Cx.Sem, 0, 0);
+        pthread_t C, P;
+        icb_pthread_create(&C, nullptr, stContender, &Cx);
+        icb_pthread_create(&P, nullptr, stPoster, &Cx);
+        icb_pthread_join(C, nullptr);
+        icb_pthread_join(P, nullptr);
+        icb_sem_destroy(&Cx.Sem);
+      },
+      /*MaxBound=*/2);
+  EXPECT_TRUE(R.Bugs.empty()) << (R.Bugs.empty() ? "" : R.Bugs[0].str());
+  EXPECT_GT(Won, 0) << "no schedule let the post win";
+  EXPECT_GT(TimedOut, 0) << "no schedule expired the wait";
+}
+
+void semTimedwaitErrnoBody() {
+  sem_t S;
+  icb_sem_init(&S, 0, 1);
+  struct timespec Bad = {0, -1};
+  errno = 0;
+  icb_posix_assert(icb_sem_timedwait(&S, &Bad) == -1 && errno == EINVAL,
+                   "negative nsec -> EINVAL");
+  struct timespec Ts = {0, 1000};
+  icb_posix_assert(icb_sem_timedwait(&S, &Ts) == 0,
+                   "positive count acquires");
+  errno = 0;
+  icb_posix_assert(icb_sem_timedwait(&S, &Ts) == -1 && errno == ETIMEDOUT,
+                   "drained semaphore -> ETIMEDOUT");
+  icb_sem_destroy(&S);
+}
+
+TEST(PosixSemTimedwait, ErrnoSemantics) {
+  ExploreResult R = explorePosix(semTimedwaitErrnoBody, /*MaxBound=*/1);
+  EXPECT_TRUE(R.Bugs.empty()) << (R.Bugs.empty() ? "" : R.Bugs[0].str());
+}
+
+//===----------------------------------------------------------------------===//
 // pthread_once: exactly one invocation on every schedule
 //===----------------------------------------------------------------------===//
 
