@@ -8,9 +8,16 @@
 /// Measures what the observability layer costs on the search hot path:
 /// the same ICB run with a MetricsRegistry attached (every counter, phase
 /// timer, and per-worker clock active) versus detached (null shard —
-/// every obs::count / ScopedPhase short-circuits). The third column of
-/// interest — ICB_NO_METRICS, where the instrumentation is compiled out
-/// entirely — is a separate build; the CI release job covers it.
+/// every obs::count / ScopedPhase short-circuits), plus a third leg with
+/// decision-level tracing enabled on the registry (ring-buffer appends at
+/// every branch/defer/execution boundary — the `--trace=FILE` cost). The
+/// remaining column of interest — ICB_NO_METRICS, where the
+/// instrumentation is compiled out entirely — is a separate build; the CI
+/// release job covers it.
+///
+/// Besides the human-readable table, the measurements go out as a
+/// session-JSON block and BENCH_obs.json in the working directory, the
+/// machine-readable baseline the CI observability job archives.
 ///
 /// The rt executor is the stressful case: its instrumentation sits inside
 /// the fiber scheduler (hash and race-detect scopes fire per step, not
@@ -25,6 +32,7 @@
 #include "obs/Metrics.h"
 #include "rt/Explore.h"
 #include "search/Checker.h"
+#include "session/Json.h"
 #include "support/Format.h"
 #include "vm/Interp.h"
 #include <chrono>
@@ -122,6 +130,7 @@ int main() {
     std::string Name;
     Measurement With;
     Measurement Without;
+    Measurement Traced;
   };
   std::vector<Case> Cases;
 
@@ -129,36 +138,44 @@ int main() {
     rt::TestCase Test = workStealingTest({3, 4, WsqBug::PopRetryNoLock});
     // Warm-up run to fault in fiber stacks and allocator arenas.
     runRt(Test, 1, nullptr);
-    obs::MetricsRegistry Reg;
-    Case C{"wsq rt jobs=1", {}, {}};
+    obs::MetricsRegistry Reg, TReg;
+    TReg.enableTracing(1 << 16);
+    Case C{"wsq rt jobs=1", {}, {}, {}};
     C.Without = runRt(Test, 1, nullptr);
     C.With = runRt(Test, 1, &Reg);
+    C.Traced = runRt(Test, 1, &TReg);
     Cases.push_back(C);
   }
   {
     rt::TestCase Test = workStealingTest({3, 4, WsqBug::PopRetryNoLock});
-    obs::MetricsRegistry Reg;
-    Case C{"wsq rt jobs=4", {}, {}};
+    obs::MetricsRegistry Reg, TReg;
+    TReg.enableTracing(1 << 16);
+    Case C{"wsq rt jobs=4", {}, {}, {}};
     C.Without = runRt(Test, 4, nullptr);
     C.With = runRt(Test, 4, &Reg);
+    C.Traced = runRt(Test, 4, &TReg);
     Cases.push_back(C);
   }
   {
     rt::TestCase Test = bluetoothTest({2, /*WithBug=*/true});
     runRt(Test, 1, nullptr);
-    obs::MetricsRegistry Reg;
-    Case C{"bluetooth rt jobs=1", {}, {}};
+    obs::MetricsRegistry Reg, TReg;
+    TReg.enableTracing(1 << 16);
+    Case C{"bluetooth rt jobs=1", {}, {}, {}};
     C.Without = runRt(Test, 1, nullptr);
     C.With = runRt(Test, 1, &Reg);
+    C.Traced = runRt(Test, 1, &TReg);
     Cases.push_back(C);
   }
   {
     vm::Program Prog = wsqModel({3, WsqBug::None});
     runVm(Prog, nullptr);
-    obs::MetricsRegistry Reg;
-    Case C{"wsq vm jobs=1", {}, {}};
+    obs::MetricsRegistry Reg, TReg;
+    TReg.enableTracing(1 << 16);
+    Case C{"wsq vm jobs=1", {}, {}, {}};
     C.Without = runVm(Prog, nullptr);
     C.With = runVm(Prog, &Reg);
+    C.Traced = runVm(Prog, &TReg);
     Cases.push_back(C);
   }
 
@@ -166,20 +183,48 @@ int main() {
   for (const Case &C : Cases)
     Rows.push_back({C.Name, withCommas(C.Without.Steps),
                     withCommas(C.Without.Micros), withCommas(C.With.Micros),
-                    perStepNanos(C.Without), perStepNanos(C.With),
-                    overheadPct(C.With.Micros, C.Without.Micros)});
-  printTable({"case", "steps", "bare us", "metered us", "bare ns/step",
-              "metered ns/step", "overhead"},
+                    withCommas(C.Traced.Micros), perStepNanos(C.Without),
+                    perStepNanos(C.With),
+                    overheadPct(C.With.Micros, C.Without.Micros),
+                    overheadPct(C.Traced.Micros, C.Without.Micros)});
+  printTable({"case", "steps", "bare us", "metered us", "traced us",
+              "bare ns/step", "metered ns/step", "overhead", "traced ovh"},
              Rows);
 
-  std::printf("\nNote: best-of-3 wall clocks; treat the overhead column "
+  std::printf("\nNote: best-of-3 wall clocks; treat the overhead columns "
               "as indicative, not a statistic.\n");
 
   std::vector<std::vector<std::string>> Csv;
   for (const Case &C : Cases)
     Csv.push_back({C.Name, std::to_string(C.Without.Steps),
                    std::to_string(C.Without.Micros),
-                   std::to_string(C.With.Micros)});
-  printCsv("obs_overhead", {"case", "steps", "bare_us", "metered_us"}, Csv);
+                   std::to_string(C.With.Micros),
+                   std::to_string(C.Traced.Micros)});
+  printCsv("obs_overhead",
+           {"case", "steps", "bare_us", "metered_us", "traced_us"}, Csv);
+
+  session::JsonValue Doc = session::JsonValue::object();
+  Doc.set("experiment", session::JsonValue::str("obs_overhead"));
+  session::JsonValue CaseArr = session::JsonValue::array();
+  for (const Case &C : Cases) {
+    session::JsonValue Row = session::JsonValue::object();
+    Row.set("case", session::JsonValue::str(C.Name));
+    Row.set("steps", session::JsonValue::number(C.Without.Steps));
+    Row.set("bare_us", session::JsonValue::number(C.Without.Micros));
+    Row.set("metered_us", session::JsonValue::number(C.With.Micros));
+    Row.set("traced_us", session::JsonValue::number(C.Traced.Micros));
+    CaseArr.Arr.push_back(std::move(Row));
+  }
+  Doc.set("cases", std::move(CaseArr));
+  printJsonBlock("obs_overhead", Doc);
+
+  std::string Error;
+  if (!session::atomicWriteFile("BENCH_obs.json", session::jsonWrite(Doc),
+                                &Error)) {
+    std::fprintf(stderr, "failed to write BENCH_obs.json: %s\n",
+                 Error.c_str());
+    return 1;
+  }
+  std::printf("wrote BENCH_obs.json\n");
   return 0;
 }

@@ -52,11 +52,37 @@ void ioWaitPoint(rt::Scheduler *S, rt::SyncObject &Obj, bool IsWrite,
   Op.IsWrite = IsWrite;
   Op.Detail = strFormat("%s %s", OpName, Obj.name().c_str());
   bool Ready = Obj.canProceed(Op, S->runningThread());
-  if (!Ready)
-    obs::count(S->metricShard(), obs::Counter::IoBlock);
+  obs::MetricShard *MS = S->metricShard();
+#ifndef ICB_NO_METRICS
+  // Intern before schedulingPoint moves the op; the wake event reuses the
+  // id (same buffer, same single writer across the park).
+  uint32_t DetailId = 0;
+  bool Tracing = !Ready && MS && MS->Trace;
+  if (Tracing)
+    DetailId = MS->Trace->intern(Op.Detail);
+  auto TraceIo = [&](obs::TraceEventKind Kind) {
+    obs::TraceEvent Ev;
+    Ev.Kind = Kind;
+    Ev.Nanos = obs::nowNanos();
+    Ev.Str = DetailId;
+    MS->Trace->append(Ev);
+  };
+#endif
+  if (!Ready) {
+    obs::count(MS, obs::Counter::IoBlock);
+#ifndef ICB_NO_METRICS
+    if (Tracing)
+      TraceIo(obs::TraceEventKind::IoBlock);
+#endif
+  }
   S->schedulingPoint(std::move(Op));
-  if (!Ready)
-    obs::count(S->metricShard(), obs::Counter::IoWake);
+  if (!Ready) {
+    obs::count(MS, obs::Counter::IoWake);
+#ifndef ICB_NO_METRICS
+    if (Tracing)
+      TraceIo(obs::TraceEventKind::IoWake);
+#endif
+  }
   Obj.checkAlive(OpName);
 }
 

@@ -146,10 +146,18 @@ void MetricShard::merge(const MetricShard &Other) {
   ReplayDepth.merge(Other.ReplayDepth);
   ExecutionsPerBound.merge(Other.ExecutionsPerBound);
   SleepSavedPerBound.merge(Other.SleepSavedPerBound);
+  EstMassPerBound.merge(Other.EstMassPerBound);
+  for (const auto &[Name, Stat] : Other.Sites)
+    Sites[Name].merge(Stat);
   Worker.merge(Other.Worker);
 }
 
-void MetricShard::reset() { *this = MetricShard(); }
+void MetricShard::reset() {
+  // Keep the registry-owned trace attachment across resets.
+  TraceBuf *Attached = Trace;
+  *this = MetricShard();
+  Trace = Attached;
+}
 
 bool MetricsSnapshot::empty() const {
   for (uint64_t C : Counters)
@@ -162,8 +170,12 @@ bool MetricsSnapshot::empty() const {
     if (!H.buckets().empty())
       return false;
   if (!ReplayDepth.empty() || !ExecutionsPerBound.buckets().empty() ||
-      !SleepSavedPerBound.buckets().empty())
+      !SleepSavedPerBound.buckets().empty() ||
+      !EstMassPerBound.buckets().empty())
     return false;
+  for (const auto &[Name, Stat] : Sites)
+    if (!Stat.empty())
+      return false;
   for (const WorkerMetrics &W : Workers)
     if (W.BusyNanos != 0 || W.IdleNanos != 0)
       return false;
@@ -183,6 +195,9 @@ void MetricsSnapshot::merge(const MetricsSnapshot &Other) {
   ReplayDepth.merge(Other.ReplayDepth);
   ExecutionsPerBound.merge(Other.ExecutionsPerBound);
   SleepSavedPerBound.merge(Other.SleepSavedPerBound);
+  EstMassPerBound.merge(Other.EstMassPerBound);
+  for (const auto &[Name, Stat] : Other.Sites)
+    Sites[Name].merge(Stat);
   if (Workers.size() < Other.Workers.size())
     Workers.resize(Other.Workers.size());
   for (size_t I = 0; I != Other.Workers.size(); ++I)
@@ -192,6 +207,25 @@ void MetricsSnapshot::merge(const MetricsSnapshot &Other) {
 void MetricsRegistry::ensureShards(unsigned N) {
   while (ShardList.size() < N)
     ShardList.emplace_back();
+#ifndef ICB_NO_METRICS
+  if (TraceCapacity != 0) {
+    while (TraceList.size() < ShardList.size())
+      TraceList.emplace_back(TraceCapacity);
+    for (size_t I = 0; I != ShardList.size(); ++I)
+      ShardList[I].Trace = &TraceList[I];
+  }
+#endif
+}
+
+void MetricsRegistry::enableTracing(size_t Capacity) {
+#ifndef ICB_NO_METRICS
+  if (Capacity == 0 || TraceCapacity != 0)
+    return;
+  TraceCapacity = Capacity;
+  ensureShards(static_cast<unsigned>(ShardList.size()));
+#else
+  (void)Capacity;
+#endif
 }
 
 MetricsSnapshot MetricsRegistry::snapshot() const {
@@ -206,6 +240,8 @@ MetricsSnapshot MetricsRegistry::snapshot() const {
   Snap.ReplayDepth = Sum.ReplayDepth;
   Snap.ExecutionsPerBound = Sum.ExecutionsPerBound;
   Snap.SleepSavedPerBound = Sum.SleepSavedPerBound;
+  Snap.EstMassPerBound = Sum.EstMassPerBound;
+  Snap.Sites = Sum.Sites;
   Snap.Workers.reserve(ShardList.size());
   for (const MetricShard &S : ShardList)
     Snap.Workers.push_back(S.Worker);

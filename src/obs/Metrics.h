@@ -44,13 +44,30 @@
 #ifndef ICB_OBS_METRICS_H
 #define ICB_OBS_METRICS_H
 
+#include "obs/TraceLog.h"
 #include "support/Stats.h"
 #include <cstddef>
 #include <cstdint>
 #include <deque>
+#include <map>
+#include <string>
 #include <vector>
 
 namespace icb::obs {
+
+/// The schedule-space mass of one whole exploration, in the fixed-point
+/// units the online Knuth-style estimator works in. The root work items
+/// split this between them; every decision point splits a chain's
+/// remaining mass evenly between its published children and its own
+/// continuation; every finished execution credits its residue to
+/// MetricShard::EstMassPerBound. Summed over a *completed* exploration
+/// the credits reconstitute EstimateOne exactly, so
+/// executions * EstimateOne / credited-mass is both an online estimate of
+/// the total execution count and exact at completion. 2^62 leaves
+/// headroom to sum credits without overflow while surviving ~60 halvings
+/// before integer division underflows a path's mass to zero (such paths
+/// simply stop contributing — the estimator degrades, never wraps).
+inline constexpr uint64_t EstimateOne = uint64_t(1) << 62;
 
 /// Monotonic event counters. The order is the wire order of the JSON
 /// export; countersDeterministic() documents which prefix is work-derived.
@@ -114,6 +131,38 @@ bool counterIsDeterministic(Counter C);
 /// Stable wire/report name of a phase ("replay", "cache_probe", ...).
 const char *phaseName(Phase P);
 
+/// Per-preemption-site profile: one row of the object-by-operation table
+/// `icb_report --sites` renders and the Landslide-style preemption-point
+/// search will consume. Keyed by the site's display name (the preempted
+/// thread's pending operation — "lock m_baseCS", "free conn", "lock[3]"),
+/// each histogram indexed by preemption bound.
+///
+/// Taken (counted at defer time) and Execs (counted at every item-start,
+/// whether the chain runs or is cache-pruned) are tree-derived and live
+/// in the deterministic snapshot half. Bugs and NewStates are
+/// timing-class: the shared work-item cache admits exactly one of
+/// several same-digest chains, so which site's chain runs past the claim
+/// — and therefore detects the bugs and first sees the states downstream
+/// of it — depends on worker timing under `--jobs N`. Both are honest
+/// attribution but serialize with the timing half.
+struct SiteStat {
+  Histogram Taken;     ///< Preemptive continuations published at the site.
+  Histogram Execs;     ///< Chains whose seeding preemption was this site.
+  Histogram Bugs;      ///< Bugs found in such chains.
+  Histogram NewStates; ///< New state digests discovered in such chains.
+
+  void merge(const SiteStat &Other) {
+    Taken.merge(Other.Taken);
+    Execs.merge(Other.Execs);
+    Bugs.merge(Other.Bugs);
+    NewStates.merge(Other.NewStates);
+  }
+  bool empty() const {
+    return Taken.buckets().empty() && Execs.buckets().empty() &&
+           Bugs.buckets().empty() && NewStates.buckets().empty();
+  }
+};
+
 /// Per-worker wall-clock split of one engine round-robin worker.
 struct WorkerMetrics {
   uint64_t BusyNanos = 0; ///< Inside Executor::runChain.
@@ -145,7 +194,16 @@ struct alignas(64) MetricShard {
   /// Same-bound branches pruned by sleep sets, per preemption bound — each
   /// would have seeded at least one whole execution chain.
   Histogram SleepSavedPerBound;
+  /// Schedule-space mass credited by finished executions, per bound (see
+  /// EstimateOne). Work-derived: the tree fixes every split, so the merged
+  /// histogram is identical across worker counts and resume.
+  Histogram EstMassPerBound;
+  /// Per-preemption-site profiles, keyed by display name (see SiteStat).
+  std::map<std::string, SiteStat> Sites;
   WorkerMetrics Worker;
+  /// Attached trace ring (owned by the registry); null when tracing is
+  /// off. Emission sites test for null — the common case costs one load.
+  TraceBuf *Trace = nullptr;
 
   void merge(const MetricShard &Other);
   void reset();
@@ -161,12 +219,34 @@ struct MetricsSnapshot {
   MinMax ReplayDepth;
   Histogram ExecutionsPerBound;
   Histogram SleepSavedPerBound;
+  Histogram EstMassPerBound;
+  std::map<std::string, SiteStat> Sites;
   /// One entry per worker of the segment(s); index-wise merged across
   /// resumed segments (the checkpoint pins the job count).
   std::vector<WorkerMetrics> Workers;
 
   bool empty() const;
   void merge(const MetricsSnapshot &Other);
+
+  /// Total credited schedule-space mass, all bounds.
+  uint64_t estMassTotal() const { return EstMassPerBound.total(); }
+  /// The Knuth estimate of the total execution count at every bound ≤ the
+  /// deepest credited one, given \p Executions completed so far. Zero when
+  /// nothing has been credited yet (callers render "-").
+  uint64_t estimatedTotalExecutions(uint64_t Executions) const {
+    uint64_t Mass = estMassTotal();
+    if (Mass == 0)
+      return 0;
+    unsigned __int128 Wide =
+        static_cast<unsigned __int128>(Executions) * EstimateOne;
+    return static_cast<uint64_t>(Wide / Mass);
+  }
+  /// Fraction of the schedule space explored, in parts per million.
+  uint64_t exploredPpm() const {
+    uint64_t Mass = estMassTotal();
+    unsigned __int128 Wide = static_cast<unsigned __int128>(Mass) * 1000000;
+    return static_cast<uint64_t>(Wide / EstimateOne);
+  }
 };
 
 /// Owns the per-worker shards plus the restored base of earlier run
@@ -193,8 +273,22 @@ public:
   /// snapshot() returns base + whatever the new segment accumulates.
   void restore(const MetricsSnapshot &Snap);
 
+  /// Turns on decision-level tracing: every current and future shard gets
+  /// a private TraceBuf of \p Capacity events attached. Must be called on
+  /// the driving thread before workers hold shard references. No-op under
+  /// ICB_NO_METRICS (the CLI rejects `--trace` there anyway).
+  void enableTracing(size_t Capacity);
+  bool tracingEnabled() const { return TraceCapacity != 0; }
+  unsigned traceBufs() const {
+    return static_cast<unsigned>(TraceList.size());
+  }
+  TraceBuf &traceBuf(unsigned Index) { return TraceList[Index]; }
+  const TraceBuf &traceBuf(unsigned Index) const { return TraceList[Index]; }
+
 private:
   std::deque<MetricShard> ShardList; ///< Stable addresses across growth.
+  std::deque<TraceBuf> TraceList;    ///< Parallel to ShardList when on.
+  size_t TraceCapacity = 0;
   MetricsSnapshot Base;
 };
 

@@ -89,6 +89,14 @@ public:
       size_t Bucket =
           Elapsed ? static_cast<size_t>(64 - __builtin_clzll(Elapsed)) : 0;
       Shard->PhaseHist[static_cast<size_t>(P)].increment(Bucket);
+      if (Shard->Trace) {
+        TraceEvent E;
+        E.Kind = TraceEventKind::PhaseSlice;
+        E.Nanos = Start;
+        E.Arg0 = Elapsed;
+        E.Extra = static_cast<uint16_t>(P);
+        Shard->Trace->append(E);
+      }
     }
     if (Also)
       *Also += Elapsed;

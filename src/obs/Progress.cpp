@@ -5,6 +5,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "obs/Progress.h"
+#include "obs/Metrics.h"
 #include "obs/PhaseTimer.h"
 #include <algorithm>
 #include <cinttypes>
@@ -12,6 +13,26 @@
 #include <unistd.h>
 
 namespace icb::obs {
+
+namespace {
+/// Knuth estimate of the total execution count from a sample: completed
+/// executions scaled by the inverse of the credited mass fraction. Zero
+/// when nothing has been credited (callers render "-").
+uint64_t estimatedTotal(const ProgressSample &S) {
+  if (S.EstMass == 0)
+    return 0;
+  unsigned __int128 Wide =
+      static_cast<unsigned __int128>(S.Executions) * EstimateOne;
+  return static_cast<uint64_t>(Wide / S.EstMass);
+}
+
+/// Credited fraction of the schedule space, in parts per million.
+uint64_t exploredPpm(const ProgressSample &S) {
+  unsigned __int128 Wide =
+      static_cast<unsigned __int128>(S.EstMass) * 1000000;
+  return static_cast<uint64_t>(Wide / EstimateOne);
+}
+} // namespace
 
 ProgressMeter::ProgressMeter(uint64_t PeriodMillis, FILE *Out)
     : Out(Out ? Out : stderr), IsTty(isatty(fileno(this->Out)) != 0),
@@ -56,14 +77,32 @@ void ProgressMeter::render(const ProgressSample &S, bool Final) {
     return;
   size_t Len = std::min(sizeof(Line) - 1, static_cast<size_t>(N));
 
-  // ETA: items left at this bound over the execution rate. A lower bound
-  // on remaining work — the next bound's queue is still being filled.
-  if (!Final && RateDeci > 0 && S.FrontierRemaining > 0) {
-    uint64_t EtaSecs = S.FrontierRemaining * 10 / RateDeci;
-    int M = snprintf(Line + Len, sizeof(Line) - Len, "  eta ~%" PRIu64 "s",
-                     EtaSecs);
+  // Online schedule-space estimate: projected total executions plus the
+  // credited fraction in percent (two decimals from parts per million).
+  uint64_t EstTotal = estimatedTotal(S);
+  if (EstTotal > 0) {
+    uint64_t Ppm = exploredPpm(S);
+    int M = snprintf(Line + Len, sizeof(Line) - Len,
+                     "  est %" PRIu64 " (%" PRIu64 ".%02" PRIu64 "%%)",
+                     EstTotal, Ppm / 10000, Ppm % 10000 / 100);
     if (M > 0)
       Len = std::min(sizeof(Line) - 1, Len + static_cast<size_t>(M));
+  }
+
+  // ETA: prefer the estimator's projected remainder over the execution
+  // rate; fall back to items left at this bound over the rate — a lower
+  // bound on remaining work, since the next bound's queue is still being
+  // filled.
+  if (!Final && RateDeci > 0) {
+    uint64_t Remaining = EstTotal > S.Executions ? EstTotal - S.Executions
+                                                 : S.FrontierRemaining;
+    if (Remaining > 0) {
+      uint64_t EtaSecs = Remaining * 10 / RateDeci;
+      int M = snprintf(Line + Len, sizeof(Line) - Len,
+                       "  eta ~%" PRIu64 "s", EtaSecs);
+      if (M > 0)
+        Len = std::min(sizeof(Line) - 1, Len + static_cast<size_t>(M));
+    }
   }
   if (Final) {
     uint64_t Secs = ElapsedNanos / 1000000000ull;

@@ -40,6 +40,11 @@ struct ProgressSample {
   uint64_t FrontierRemaining = 0; ///< Items still queued at this bound.
   uint64_t DeferredNext = 0;      ///< Items already deferred to bound+1.
   uint64_t Bugs = 0;              ///< Bugs recorded so far.
+  /// Schedule-space mass credited by finished executions so far, in
+  /// EstimateOne units (see obs/Metrics.h). Feeds the Knuth-style
+  /// estimated-total and fraction-explored columns; 0 = estimator dark
+  /// (ICB_NO_METRICS or nothing credited yet), rendered as "-".
+  uint64_t EstMass = 0;
 };
 
 /// Throttled single-line stderr renderer. Thread-safe: due() is lock-free

@@ -1,0 +1,213 @@
+//===- obs/TraceLog.cpp - Decision-level exploration tracing --------------===//
+//
+// Part of the ICB project (PLDI'07 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/TraceLog.h"
+#include "obs/Metrics.h"
+#include "support/Format.h"
+#include <cinttypes>
+#include <cstring>
+
+namespace icb::obs {
+
+uint32_t TraceBuf::intern(const std::string &Text) {
+  if (Text.empty())
+    return 0;
+  auto It = Index.find(Text);
+  if (It != Index.end())
+    return It->second;
+  uint32_t Id = static_cast<uint32_t>(Strings.size());
+  Strings.push_back(Text);
+  Index.emplace(Text, Id);
+  return Id;
+}
+
+namespace {
+
+/// Minimal JSON string escape: quotes, backslashes, and control bytes.
+std::string jsonEscape(const std::string &S) {
+  std::string Out;
+  Out.reserve(S.size() + 2);
+  for (unsigned char C : S) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    case '\r':
+      Out += "\\r";
+      break;
+    default:
+      if (C < 0x20)
+        Out += strFormat("\\u%04x", C);
+      else
+        Out += static_cast<char>(C);
+    }
+  }
+  return Out;
+}
+
+class TraceWriter {
+public:
+  TraceWriter(FILE *Out, uint64_t BaseNanos) : Out(Out), Base(BaseNanos) {}
+
+  /// Opens one event object with the common fields; the caller appends
+  /// `,"key":value` pairs and then calls close().
+  void open(const char *Ph, unsigned Tid, uint64_t Nanos, const char *Name,
+            const char *Cat) {
+    uint64_t Rel = Nanos >= Base ? Nanos - Base : 0;
+    std::fprintf(Out,
+                 "%s  {\"ph\":\"%s\",\"pid\":0,\"tid\":%u,"
+                 "\"ts\":%" PRIu64 ".%03" PRIu64 ",\"name\":\"%s\","
+                 "\"cat\":\"%s\"",
+                 First ? "" : ",\n", Ph, Tid, Rel / 1000, Rel % 1000, Name,
+                 Cat);
+    First = false;
+  }
+
+  void close() { std::fprintf(Out, "}"); }
+
+  void meta(unsigned Tid, const std::string &Name) {
+    std::fprintf(Out,
+                 "%s  {\"ph\":\"M\",\"pid\":0,\"tid\":%u,"
+                 "\"name\":\"thread_name\",\"args\":{\"name\":\"%s\"}}",
+                 First ? "" : ",\n", Tid, jsonEscape(Name).c_str());
+    First = false;
+  }
+
+private:
+  FILE *Out;
+  uint64_t Base;
+  bool First = true;
+};
+
+uint64_t earliestNanos(const MetricsRegistry &Reg) {
+  uint64_t Min = ~0ull;
+  for (unsigned B = 0; B != Reg.traceBufs(); ++B) {
+    const TraceBuf &Buf = Reg.traceBuf(B);
+    for (size_t I = 0; I != Buf.size(); ++I)
+      if (Buf.at(I).Nanos < Min)
+        Min = Buf.at(I).Nanos;
+  }
+  return Min == ~0ull ? 0 : Min;
+}
+
+} // namespace
+
+bool writePerfettoTrace(const MetricsRegistry &Reg, const std::string &Path,
+                        std::string *Error) {
+  FILE *Out = std::fopen(Path.c_str(), "w");
+  if (!Out) {
+    if (Error)
+      *Error = "cannot open trace file: " + Path;
+    return false;
+  }
+  uint64_t Base = earliestNanos(Reg);
+  std::fprintf(Out, "{\"traceEvents\":[\n");
+  TraceWriter W(Out, Base);
+  for (unsigned B = 0; B != Reg.traceBufs(); ++B)
+    W.meta(B, strFormat("worker %u", B));
+  for (unsigned B = 0; B != Reg.traceBufs(); ++B) {
+    const TraceBuf &Buf = Reg.traceBuf(B);
+    if (uint64_t Dropped = Buf.dropped()) {
+      W.open("i", B, Base, "trace window dropped events", "trace");
+      std::fprintf(Out, ",\"s\":\"t\",\"args\":{\"count\":%" PRIu64 "}",
+                   Dropped);
+      W.close();
+    }
+    for (size_t I = 0; I != Buf.size(); ++I) {
+      const TraceEvent &E = Buf.at(I);
+      switch (E.Kind) {
+      case TraceEventKind::PhaseSlice: {
+        const char *Name =
+            E.Extra < NumPhases ? phaseName(static_cast<Phase>(E.Extra))
+                                : "?";
+        W.open("X", B, E.Nanos, Name, "phase");
+        std::fprintf(Out, ",\"dur\":%" PRIu64 ".%03" PRIu64, E.Arg0 / 1000,
+                     E.Arg0 % 1000);
+        W.close();
+        break;
+      }
+      case TraceEventKind::ExecBegin: {
+        if (E.Arg0 != 0) {
+          W.open("f", B, E.Nanos, "item", "flow");
+          std::fprintf(Out, ",\"bp\":\"e\",\"id\":\"0x%" PRIx64 "\"",
+                       E.Arg0);
+          W.close();
+        }
+        W.open("i", B, E.Nanos, "exec begin", "exec");
+        std::fprintf(Out,
+                     ",\"s\":\"t\",\"args\":{\"bound\":%u,\"site\":\"%s\"}",
+                     E.Extra, jsonEscape(Buf.string(E.Str)).c_str());
+        W.close();
+        break;
+      }
+      case TraceEventKind::ExecEnd:
+        W.open("i", B, E.Nanos, "exec end", "exec");
+        std::fprintf(Out,
+                     ",\"s\":\"t\",\"args\":{\"bound\":%u,"
+                     "\"steps\":%" PRIu64 "}",
+                     E.Extra, E.Arg0);
+        W.close();
+        break;
+      case TraceEventKind::Branch:
+      case TraceEventKind::Defer: {
+        const char *Name =
+            E.Kind == TraceEventKind::Branch ? "branch" : "defer";
+        if (E.Arg0 != 0) {
+          W.open("s", B, E.Nanos, "item", "flow");
+          std::fprintf(Out, ",\"id\":\"0x%" PRIx64 "\"", E.Arg0);
+          W.close();
+        }
+        W.open("i", B, E.Nanos, Name, "exec");
+        std::fprintf(Out,
+                     ",\"s\":\"t\",\"args\":{\"bound\":%u,\"site\":\"%s\"}",
+                     E.Extra, jsonEscape(Buf.string(E.Str)).c_str());
+        W.close();
+        break;
+      }
+      case TraceEventKind::SleepSkip:
+        W.open("i", B, E.Nanos, "sleep skip", "por");
+        std::fprintf(Out, ",\"s\":\"t\",\"args\":{\"slept\":%" PRIu64 "}",
+                     E.Arg0);
+        W.close();
+        break;
+      case TraceEventKind::IoBlock:
+      case TraceEventKind::IoWake:
+        W.open("i", B, E.Nanos,
+               E.Kind == TraceEventKind::IoBlock ? "io block" : "io wake",
+               "io");
+        std::fprintf(Out, ",\"s\":\"t\",\"args\":{\"detail\":\"%s\"}",
+                     jsonEscape(Buf.string(E.Str)).c_str());
+        W.close();
+        break;
+      case TraceEventKind::Bug:
+        W.open("i", B, E.Nanos, "bug", "exec");
+        std::fprintf(Out,
+                     ",\"s\":\"p\",\"args\":{\"bound\":%u,"
+                     "\"message\":\"%s\"}",
+                     E.Extra, jsonEscape(Buf.string(E.Str)).c_str());
+        W.close();
+        break;
+      }
+    }
+  }
+  std::fprintf(Out, "\n]}\n");
+  bool Ok = std::fflush(Out) == 0 && !std::ferror(Out);
+  std::fclose(Out);
+  if (!Ok && Error)
+    *Error = "error writing trace file: " + Path;
+  return Ok;
+}
+
+} // namespace icb::obs

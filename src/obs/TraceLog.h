@@ -1,0 +1,131 @@
+//===- obs/TraceLog.h - Decision-level exploration tracing ------*- C++ -*-===//
+//
+// Part of the ICB project (PLDI'07 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Structured event tracing for the search itself: a per-worker,
+/// single-writer ring buffer of fixed-size TraceEvents recording the
+/// decision-level history of an exploration — executions beginning and
+/// ending, preemptive continuations branched or deferred, sleep-set
+/// skips, modeled-io blocks and wakes, and bugs — plus the phase-timer
+/// slices ScopedPhase already measures. The rings live next to the
+/// MetricShards (one per worker, written by that worker only, read at
+/// quiescent points), so tracing inherits the metrics layer's whole
+/// threading story: no atomics in the hot path, no locks, export only
+/// after the workers have joined.
+///
+/// Events carry interned string ids rather than strings; each buffer owns
+/// its own intern table (single writer again), and the exporter resolves
+/// ids per buffer. A full ring overwrites its oldest events and counts
+/// them in dropped() — a trace is a *window*, biased to the end of the
+/// run, which is the Perfetto-friendly tradeoff (bounded memory, no
+/// allocation after warmup).
+///
+/// writePerfettoTrace() renders every buffer of a registry as Chrome
+/// trace-event JSON (the `traceEvents` array form): phase slices become
+/// "X" duration events on one track per worker, executions become
+/// instants joined to the branch/defer instant that published their work
+/// item by flow events ("s"/"f" pairs keyed on the item's flow id) — so
+/// `ui.perfetto.dev` shows where each chain came from. Timestamps are
+/// rebased to the earliest event so the viewport starts at zero.
+///
+/// Everything here is dormant under ICB_NO_METRICS: the shard never gets
+/// a buffer attached, so every emission site (which tests `Trace` for
+/// null anyway) stays dark, and `--trace` is rejected at the CLI.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ICB_OBS_TRACELOG_H
+#define ICB_OBS_TRACELOG_H
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace icb::obs {
+
+class MetricsRegistry;
+
+/// What one TraceEvent records. Field meanings per kind are documented on
+/// the enumerators; unused fields are zero.
+enum class TraceEventKind : uint8_t {
+  PhaseSlice, ///< Nanos = start, Arg0 = duration ns, Extra = Phase index.
+  ExecBegin,  ///< Arg0 = flow id of the chain's work item (0 = root),
+              ///< Extra = bound, Str = seeding preemption site.
+  ExecEnd,    ///< Arg0 = steps executed, Arg1 = terminal digest (rt),
+              ///< Extra = bound.
+  Branch,     ///< Same-bound continuation published. Arg0 = child flow id,
+              ///< Extra = target bound, Str = preemption site.
+  Defer,      ///< Next-bound continuation published; fields as Branch.
+  SleepSkip,  ///< Arg0 = transitions skipped asleep at one point.
+  IoBlock,    ///< Fiber parked on a modeled fd. Str = op detail.
+  IoWake,     ///< Parked io wait resumed. Str = op detail.
+  Bug,        ///< Bug recorded. Extra = bound, Str = message.
+};
+
+/// One fixed-size trace record; 32 bytes, written by exactly one worker.
+struct TraceEvent {
+  uint64_t Nanos = 0;
+  uint64_t Arg0 = 0;
+  uint64_t Arg1 = 0;
+  uint32_t Str = 0; ///< Intern-table id; 0 is the empty string.
+  uint16_t Extra = 0;
+  TraceEventKind Kind = TraceEventKind::PhaseSlice;
+};
+
+/// A single-writer ring of TraceEvents plus its intern table. The owning
+/// worker appends; the driving thread reads only after the worker has
+/// quiesced (bound barrier, join) — the same contract as MetricShard.
+class TraceBuf {
+public:
+  explicit TraceBuf(size_t Capacity) : Ring(Capacity) {}
+
+  void append(const TraceEvent &E) {
+    if (Ring.empty())
+      return;
+    Ring[static_cast<size_t>(Head % Ring.size())] = E;
+    ++Head;
+  }
+
+  /// Id for \p Text, inserting on first sight. Id 0 is always "".
+  uint32_t intern(const std::string &Text);
+
+  size_t capacity() const { return Ring.size(); }
+  /// Events currently held (≤ capacity).
+  size_t size() const {
+    return Head < Ring.size() ? static_cast<size_t>(Head) : Ring.size();
+  }
+  /// Events overwritten because the ring was full.
+  uint64_t dropped() const {
+    return Head < Ring.size() ? 0 : Head - Ring.size();
+  }
+  /// \p I-th surviving event in chronological order (0 = oldest held).
+  const TraceEvent &at(size_t I) const {
+    uint64_t Oldest = Head < Ring.size() ? 0 : Head - Ring.size();
+    return Ring[static_cast<size_t>((Oldest + I) % Ring.size())];
+  }
+  const std::string &string(uint32_t Id) const {
+    return Id < Strings.size() ? Strings[Id] : Strings[0];
+  }
+
+private:
+  std::vector<TraceEvent> Ring;
+  uint64_t Head = 0;
+  std::vector<std::string> Strings{std::string()};
+  std::unordered_map<std::string, uint32_t> Index;
+};
+
+/// Renders every trace buffer of \p Reg as Chrome/Perfetto trace-event
+/// JSON at \p Path (pid 0, one tid per worker, timestamps rebased to the
+/// earliest event). Returns false (with \p Error) on I/O failure. Safe to
+/// call only after all workers have quiesced.
+bool writePerfettoTrace(const MetricsRegistry &Reg, const std::string &Path,
+                        std::string *Error);
+
+} // namespace icb::obs
+
+#endif // ICB_OBS_TRACELOG_H

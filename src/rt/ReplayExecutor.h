@@ -59,6 +59,16 @@ struct PrefixItem {
   /// The budget the active BoundPolicy carries on this item; empty for
   /// stateless policies (preemption, delay).
   search::BoundState BState;
+  /// Schedule-space mass of this item's subtree (obs::EstimateOne units);
+  /// 0 under ICB_NO_METRICS.
+  uint64_t Est = 0;
+  /// Display name of the preemption site that seeded this subtree (the
+  /// preempted thread's pending op detail); free-switch siblings inherit
+  /// the chain's site, the root carries "root".
+  std::string Site;
+  /// Trace flow id linking the publishing branch/defer event to this
+  /// item's ExecBegin; in-memory only, never serialized. 0 = no flow.
+  uint64_t Flow = 0;
 };
 
 /// Maps an error RunStatus onto the shared bug vocabulary.
@@ -107,7 +117,8 @@ public:
   explicit IcbPolicy(const PrefixItem &Item, obs::MetricShard *MS = nullptr,
                      bool Por = false,
                      const search::BoundPolicy *BP = nullptr)
-      : Prefix(Item.Prefix), Forced(Item.NextTid), ChainSleep(Item.Sleep),
+      : ChainEst(Item.Est), ChainSite(Item.Site), Prefix(Item.Prefix),
+        Forced(Item.NextTid), ChainSleep(Item.Sleep),
         ChainState(Item.BState), Por(Por), BP(BP ? BP : &fallbackPolicy()),
         MS(MS) {
 #ifndef ICB_NO_METRICS
@@ -194,6 +205,9 @@ public:
         search::BoundState ChildState;
         search::ChargeOutcome O = BP->chargeFor(D, ChainState, ChildState);
         bool Conservative = BP->conservativeWake(D, O);
+#ifndef ICB_NO_METRICS
+        size_t SB0 = SameBound.size(), NB0 = NextBound.size();
+#endif
         std::vector<ThreadId> DeferredSleep;
         bool PublishedConservative = false;
         uint64_t Carried = 0;
@@ -226,6 +240,9 @@ public:
         }
         if (Por && PublishedConservative && ChainSleep.size() > Carried)
           BudgetWoken += ChainSleep.size() - Carried;
+#ifndef ICB_NO_METRICS
+        stampPublished(SB0, NB0, P, /*Preempt=*/!Free);
+#endif
         Chosen = Current;
       } else {
         // Lines 33-37: the current thread blocked or finished; switching
@@ -244,6 +261,9 @@ public:
         search::Decision D;
         search::BoundState ChildState;
         search::ChargeOutcome O = BP->chargeFor(D, ChainState, ChildState);
+#ifndef ICB_NO_METRICS
+        size_t SB0 = SameBound.size(), NB0 = NextBound.size();
+#endif
         ThreadId First = InvalidThread;
         for (ThreadId T : P.Enabled) {
           if (Por && sleeping(T)) {
@@ -276,6 +296,9 @@ public:
           PrunedBySleep = true;
           return AbortExecution;
         }
+#ifndef ICB_NO_METRICS
+        stampPublished(SB0, NB0, P, /*Preempt=*/false);
+#endif
         Chosen = First;
         Current = Chosen;
       }
@@ -304,7 +327,42 @@ public:
   uint64_t BudgetWoken = 0;      ///< Sleepers dropped at preemption points.
   bool PrunedBySleep = false;    ///< Chain cut with every thread asleep.
 
+  // --- Estimator accounting, read by runChain after the run ---------------
+  /// Remaining schedule-space mass of the chain (the item's mass minus
+  /// every published child's share); credited by the driver at chain end.
+  uint64_t ChainEst = 0;
+  /// Site attribution of the chain itself, inherited by its free-switch
+  /// siblings (a free switch is not a preemption point).
+  std::string ChainSite;
+
 private:
+#ifndef ICB_NO_METRICS
+  /// Splits the chain's remaining mass evenly over the items published
+  /// since the ([\p S0, \p N0]) size snapshot (SameBound / NextBound
+  /// tails) and stamps their site: the preempted thread's pending
+  /// operation for a true preemption, the chain's own site otherwise.
+  void stampPublished(size_t S0, size_t N0, const SchedPoint &P,
+                      bool Preempt) {
+    size_t NNew = (SameBound.size() - S0) + (NextBound.size() - N0);
+    if (NNew == 0)
+      return;
+    std::string Site = ChainSite;
+    if (Preempt) {
+      const PendingOp &Op = P.Sched->pendingOp(Current);
+      Site = Op.Detail.empty() ? std::string(opKindName(Op.Kind)) : Op.Detail;
+    }
+    uint64_t Share = ChainEst / (NNew + 1);
+    ChainEst -= Share * static_cast<uint64_t>(NNew);
+    for (size_t I = S0; I != SameBound.size(); ++I) {
+      SameBound[I].Est = Share;
+      SameBound[I].Site = Site;
+    }
+    for (size_t I = N0; I != NextBound.size(); ++I) {
+      NextBound[I].Est = Share;
+      NextBound[I].Site = Site;
+    }
+  }
+#endif
   bool sleeping(ThreadId T) const {
     return std::binary_search(ChainSleep.begin(), ChainSleep.end(), T);
   }
@@ -411,7 +469,9 @@ public:
     // One root: the empty prefix with a free first choice. The runtime
     // always has a runnable main thread, so there is no degenerate case.
     std::vector<WorkItem> Roots;
-    Roots.push_back({{}, InvalidThread, {}, {}});
+    WorkItem Root;
+    Root.Site = "root";
+    Roots.push_back(std::move(Root));
     return Roots;
   }
 
@@ -460,6 +520,7 @@ public:
     Facts.Steps = R.Steps;
     Facts.Blocking = R.BlockingOps;
     Facts.ThreadsUsed = R.ThreadsUsed;
+    Facts.EstMass = Policy.ChainEst;
     C.endExecution(Facts);
   }
 
@@ -472,11 +533,20 @@ public:
     S.Sleep = W.Sleep;
     S.BoundThreads = W.BState.Threads;
     S.BoundVars = W.BState.Vars;
+    S.EstMass = W.Est;
+    S.Site = W.Site;
     return S;
   }
 
   WorkItem loadItem(const search::SavedWorkItem &S) const {
-    return {S.Prefix, S.Next, S.Sleep, {S.BoundThreads, S.BoundVars}};
+    WorkItem W;
+    W.Prefix = S.Prefix;
+    W.NextTid = S.Next;
+    W.Sleep = S.Sleep;
+    W.BState = {S.BoundThreads, S.BoundVars};
+    W.Est = S.EstMass;
+    W.Site = S.Site;
+    return W;
   }
 
 private:

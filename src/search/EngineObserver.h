@@ -40,6 +40,7 @@
 #include "search/SearchTypes.h"
 #include "support/Stats.h"
 #include <cstdint>
+#include <string>
 #include <vector>
 
 namespace icb::search {
@@ -60,6 +61,14 @@ struct SavedWorkItem {
   /// and delay policies; serialized only when non-empty.
   std::vector<uint32_t> BoundThreads;
   std::vector<uint64_t> BoundVars;
+  /// Schedule-space mass assigned to the item's subtree (checkpoint
+  /// format v5, see obs::EstimateOne); serialized only when nonzero so
+  /// old checkpoints load with the estimator simply uncredited.
+  uint64_t EstMass = 0;
+  /// Display name of the preemption site that seeded this subtree
+  /// (checkpoint format v5); empty for roots/free branches of untraced
+  /// provenance and serialized only when non-empty.
+  std::string Site;
 };
 
 /// A consistent safe-point image of one ICB driver. `Final` snapshots

@@ -68,6 +68,12 @@ struct ExecutionFacts {
   /// Threads used; 0 means "not tracked" (the model VM does not report
   /// it) and is excluded from the ThreadsPerExecution distribution.
   unsigned ThreadsUsed = 0;
+  /// Residual schedule-space mass of the finished chain (the work item's
+  /// mass minus everything split off to published children along the
+  /// way), credited by the driver to EstMassPerBound — see
+  /// obs::EstimateOne. Zero when the estimator is dark (ICB_NO_METRICS)
+  /// or for facts built by paths that predate it (defaulted).
+  uint64_t EstMass = 0;
 };
 
 } // namespace icb::search

@@ -63,6 +63,20 @@ struct IcbWorkItem {
   /// woken (dropped) there — the Coons-style budget correction, since the
   /// deferred budget differs from the entry's install-time budget.
   std::vector<vm::ThreadId> Sleep;
+  /// Schedule-space mass of this item's subtree, in obs::EstimateOne
+  /// units. Roots split EstimateOne; every decision point splits a
+  /// chain's remainder evenly between published children and its own
+  /// continuation. Always 0 under ICB_NO_METRICS.
+  uint64_t Est = 0;
+  /// Display name of the preemption site that seeded this subtree (the
+  /// preempted thread's pending shared object). Free-switch branches
+  /// inherit the chain's site — a free switch is not a preemption point.
+  /// "root" for the per-thread roots.
+  std::string Site;
+  /// Trace flow id linking the branch/defer event that published this
+  /// item to the ExecBegin of the chain that runs it. In-memory only —
+  /// never serialized (a resume starts new flows by design); 0 = no flow.
+  uint64_t Flow = 0;
 };
 
 /// Order-insensitive-enough mix of a sorted sleep set into a work-item
@@ -107,6 +121,33 @@ inline void sleepInsert(std::vector<vm::ThreadId> &Sleep, vm::ThreadId U) {
     Sleep.insert(It, U);
 }
 
+/// Display name of a model-VM preemption site: the shared object the
+/// preempted thread was about to touch. The rt executor's analogue is the
+/// parked PendingOp's detail string; both feed the same per-site profile.
+inline std::string varRefSiteName(vm::VarRef V) {
+  const char *Kind = "var";
+  switch (V.Kind) {
+  case vm::VarKind::None:
+    return "none";
+  case vm::VarKind::Global:
+    Kind = "global";
+    break;
+  case vm::VarKind::Lock:
+    Kind = "lock";
+    break;
+  case vm::VarKind::Event:
+    Kind = "event";
+    break;
+  case vm::VarKind::Semaphore:
+    Kind = "sem";
+    break;
+  case vm::VarKind::ThreadEnd:
+    Kind = "join";
+    break;
+  }
+  return std::string(Kind) + "[" + std::to_string(V.Index) + "]";
+}
+
 /// Runs one execution: follows \p W.Tid for as long as it stays enabled
 /// (Algorithm 1 lines 25-28), deferring every preemptive alternative via
 /// Ctx::defer (lines 29-32) and every nonpreempting alternative via
@@ -124,6 +165,9 @@ template <typename Ctx>
 void runIcbExecution(const vm::Interp &VM, IcbWorkItem W, bool UseStateCache,
                      bool RecordSchedules, bool UseSleepSets, Ctx &C) {
   std::vector<vm::VarRef> SleeperVars;
+  // Remaining schedule-space mass of this chain; every published child
+  // takes an even share, every exit path credits the residue.
+  uint64_t Mass = W.Est;
   while (true) {
     if (UseStateCache) {
       // Deliberately not phase-timed: hashing the small VM state costs
@@ -142,7 +186,7 @@ void runIcbExecution(const vm::Interp &VM, IcbWorkItem W, bool UseStateCache,
       if (!C.claimItem(Digest)) {
         // Revisited work item: everything beyond it was already explored
         // (possibly at a lower bound). Counts as one pruned execution.
-        C.endExecution({W.PrefixSteps + W.Sched.size(), W.Blocking, 0});
+        C.endExecution({W.PrefixSteps + W.Sched.size(), W.Blocking, 0, Mass});
         return;
       }
     }
@@ -186,7 +230,7 @@ void runIcbExecution(const vm::Interp &VM, IcbWorkItem W, bool UseStateCache,
       NewBug.Schedule = W.Sched;
       NewBug.Preemptions = W.Preempts;
       C.recordBug(std::move(NewBug));
-      C.endExecution({W.PrefixSteps + W.Sched.size(), W.Blocking, 0});
+      C.endExecution({W.PrefixSteps + W.Sched.size(), W.Blocking, 0, Mass});
       return;
     }
 
@@ -229,6 +273,25 @@ void runIcbExecution(const vm::Interp &VM, IcbWorkItem W, bool UseStateCache,
         D.Var = VM.nextVar(W.S, W.Tid).encode();
       BoundState ChildState;
       ChargeOutcome O = BP.chargeFor(D, W.BState, ChildState);
+#ifndef ICB_NO_METRICS
+      // Count the children the loop below will publish before it runs
+      // (it only mutates DeferredSleep, never W.Sleep, so the slept test
+      // is stable) — each gets an even share of the chain's remaining
+      // mass, the continuation keeps the rest including the remainder.
+      unsigned NPub = 0;
+      if (O != ChargeOutcome::Prune)
+        for (vm::ThreadId Other : Enabled)
+          if (Other != W.Tid &&
+              !(UseSleepSets &&
+                std::binary_search(W.Sleep.begin(), W.Sleep.end(), Other)))
+            ++NPub;
+      uint64_t Share = Mass / (NPub + 1);
+      std::string PointSite;
+      if (NPub != 0) {
+        PointSite = varRefSiteName(VM.nextVar(W.S, W.Tid));
+        Mass -= Share * NPub;
+      }
+#endif
       std::vector<vm::ThreadId> DeferredSleep;
       bool PublishedDefer = false;
       uint64_t DeferSlept = 0;
@@ -255,6 +318,10 @@ void runIcbExecution(const vm::Interp &VM, IcbWorkItem W, bool UseStateCache,
         Deferred.Blocking = W.Blocking;
         Deferred.Preempts = W.Preempts + 1;
         Deferred.BState = ChildState;
+#ifndef ICB_NO_METRICS
+        Deferred.Est = Share;
+        Deferred.Site = PointSite;
+#endif
         if (UseSleepSets) {
           Deferred.Sleep = DeferredSleep;
           if (stepDisables(VM, W.S, Other))
@@ -294,7 +361,7 @@ void runIcbExecution(const vm::Interp &VM, IcbWorkItem W, bool UseStateCache,
         NewBug.Preemptions = W.Preempts;
         C.recordBug(std::move(NewBug));
       }
-      C.endExecution({W.PrefixSteps + W.Sched.size(), W.Blocking, 0});
+      C.endExecution({W.PrefixSteps + W.Sched.size(), W.Blocking, 0, Mass});
       return;
     }
 
@@ -324,7 +391,7 @@ void runIcbExecution(const vm::Interp &VM, IcbWorkItem W, bool UseStateCache,
         // Every enabled continuation is covered elsewhere: the chain ends
         // here as a pruned execution.
         obs::count(C.metrics(), obs::Counter::SleptExecutions);
-        C.endExecution({W.PrefixSteps + W.Sched.size(), W.Blocking, 0});
+        C.endExecution({W.PrefixSteps + W.Sched.size(), W.Blocking, 0, Mass});
         return;
       }
       Enabled = std::move(Awake);
@@ -347,6 +414,13 @@ void runIcbExecution(const vm::Interp &VM, IcbWorkItem W, bool UseStateCache,
     FreeD.Kind = DecisionKind::FreeSwitch;
     BoundState FreeState;
     ChargeOutcome FreeO = C.policy().chargeFor(FreeD, W.BState, FreeState);
+#ifndef ICB_NO_METRICS
+    unsigned NFree = FreeO == ChargeOutcome::Prune
+                         ? 0
+                         : static_cast<unsigned>(Enabled.size() - 1);
+    uint64_t FreeShare = Mass / (NFree + 1);
+    Mass -= FreeShare * NFree;
+#endif
     std::vector<vm::ThreadId> SiblingSleep;
     if (UseSleepSets && FreeO == ChargeOutcome::SameBound)
       SiblingSleep = W.Sleep;
@@ -363,6 +437,12 @@ void runIcbExecution(const vm::Interp &VM, IcbWorkItem W, bool UseStateCache,
       Branch.Blocking = W.Blocking;
       Branch.Preempts = W.Preempts;
       Branch.BState = FreeState;
+#ifndef ICB_NO_METRICS
+      // A free switch is not a preemption point: siblings stay in the
+      // chain's own site attribution.
+      Branch.Est = FreeShare;
+      Branch.Site = W.Site;
+#endif
       if (FreeO == ChargeOutcome::SameBound) {
         if (UseSleepSets) {
           if (stepDisables(VM, W.S, Enabled[I - 1]))

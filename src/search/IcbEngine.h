@@ -117,6 +117,51 @@ struct IcbEngineOptions {
 
 namespace detail {
 
+#ifndef ICB_NO_METRICS
+/// True when \p MS carries an attached trace ring (tracing enabled on the
+/// registry). Emission sites branch on this once; the common case is one
+/// null test.
+inline bool tracing(const obs::MetricShard *MS) {
+  return MS && MS->Trace;
+}
+
+/// Appends one decision-level event to \p MS's trace ring. Callers have
+/// already checked tracing(MS).
+inline void traceEvent(obs::MetricShard *MS, obs::TraceEventKind Kind,
+                       uint64_t Arg0, uint64_t Arg1, const std::string &Str,
+                       unsigned Extra) {
+  obs::TraceEvent Ev;
+  Ev.Kind = Kind;
+  Ev.Nanos = obs::nowNanos();
+  Ev.Arg0 = Arg0;
+  Ev.Arg1 = Arg1;
+  Ev.Str = MS->Trace->intern(Str);
+  Ev.Extra = static_cast<uint16_t>(Extra);
+  MS->Trace->append(Ev);
+}
+
+/// Splits the whole schedule-space mass (obs::EstimateOne) across the
+/// surviving roots of both queues, the first root absorbing the integer
+/// remainder so the total is exact (see obs::EstimateOne).
+template <typename WorkItem>
+inline void splitRootMass(std::vector<WorkItem> &Current,
+                          std::vector<WorkItem> &Deferred) {
+  uint64_t Kept = Current.size() + Deferred.size();
+  if (Kept == 0)
+    return;
+  uint64_t Share = obs::EstimateOne / Kept;
+  bool First = true;
+  auto Assign = [&](WorkItem &W) {
+    W.Est = First ? obs::EstimateOne - Share * (Kept - 1) : Share;
+    First = false;
+  };
+  for (WorkItem &W : Current)
+    Assign(W);
+  for (WorkItem &W : Deferred)
+    Assign(W);
+}
+#endif
+
 /// Sequential reference driver: drains each bound's queue on the calling
 /// thread. This class is the Ctx its executor drives.
 template <typename Executor> class SequentialEngineDriver {
@@ -199,6 +244,11 @@ public:
     obs::ScopedPhase Timer(MShard, obs::Phase::CacheProbe);
     bool New = Seen.insert(Digest);
     obs::count(MShard, New ? obs::Counter::SeenMiss : obs::Counter::SeenHit);
+#ifndef ICB_NO_METRICS
+    // Attribute first-seen states to the chain's seeding preemption site.
+    if (New && MShard && !ChainSite.empty())
+      MShard->Sites[ChainSite].NewStates.increment(CurrBound);
+#endif
   }
   void noteTerminal(uint64_t Digest) {
     obs::ScopedPhase Timer(MShard, obs::Phase::CacheProbe);
@@ -209,10 +259,28 @@ public:
   void countSteps(uint64_t N) { Stats.TotalSteps += N; }
   void defer(WorkItem &&Item) {
     obs::count(MShard, obs::Counter::DeferredItems);
+#ifndef ICB_NO_METRICS
+    // A deferred item is a preemption taken at its site, executed (if
+    // ever) at the next bound — that bound indexes the Taken histogram.
+    if (MShard && !Item.Site.empty())
+      MShard->Sites[Item.Site].Taken.increment(CurrBound + 1);
+    if (tracing(MShard)) {
+      Item.Flow = ++FlowSeq;
+      traceEvent(MShard, obs::TraceEventKind::Defer, Item.Flow, 0,
+                 Item.Site, CurrBound + 1);
+    }
+#endif
     NextQueue.push_back(std::move(Item));
   }
   void branch(WorkItem &&Item) {
     obs::count(MShard, obs::Counter::BranchedItems);
+#ifndef ICB_NO_METRICS
+    if (tracing(MShard)) {
+      Item.Flow = ++FlowSeq;
+      traceEvent(MShard, obs::TraceEventKind::Branch, Item.Flow, 0,
+                 Item.Site, CurrBound);
+    }
+#endif
     Local.push_back(std::move(Item));
   }
   unsigned bound() const { return CurrBound; }
@@ -225,6 +293,13 @@ public:
     // count the executor measured.
     if (BP.kind() == BoundKind::Preemption)
       NewBug.Preemptions = CurrBound;
+#ifndef ICB_NO_METRICS
+    if (MShard && !ChainSite.empty())
+      MShard->Sites[ChainSite].Bugs.increment(CurrBound);
+    if (tracing(MShard))
+      traceEvent(MShard, obs::TraceEventKind::Bug, 0, 0, NewBug.Message,
+                 CurrBound);
+#endif
     if (Opts.CanonicalBugs)
       canonicalMergeBug(Canonical, std::move(NewBug));
     else
@@ -243,6 +318,17 @@ public:
       Stats.ThreadsPerExecution.observe(F.ThreadsUsed);
     Sampler.observe(Stats.Coverage, Stats.Executions, Seen.size());
     ICB_OBS(MShard, MShard->ExecutionsPerBound.increment(CurrBound));
+#ifndef ICB_NO_METRICS
+    EstCredited += F.EstMass;
+    if (MShard) {
+      MShard->EstMassPerBound.increment(CurrBound, F.EstMass);
+      if (!ChainSite.empty())
+        MShard->Sites[ChainSite].Execs.increment(CurrBound);
+    }
+    if (tracing(MShard))
+      traceEvent(MShard, obs::TraceEventKind::ExecEnd, F.Steps, 0,
+                 ChainSite, CurrBound);
+#endif
     if (Stats.Executions >= Opts.Limits.MaxExecutions ||
         Stats.TotalSteps >= Opts.Limits.MaxSteps ||
         Seen.size() >= Opts.Limits.MaxStates)
@@ -265,6 +351,7 @@ private:
     S.FrontierRemaining = WorkQueue.size() + Local.size();
     S.DeferredNext = NextQueue.size();
     S.Bugs = Opts.CanonicalBugs ? Canonical.size() : Bugs.bugs().size();
+    S.EstMass = EstCredited;
     return S;
   }
 
@@ -272,11 +359,13 @@ private:
   /// root is the default schedule; the policy charges every other root as
   /// a free-switch deviation from it (the delay policy defers them to
   /// bound 1; preemption and thread keep them all free — byte-identical
-  /// to the pre-seam seeding).
+  /// to the pre-seam seeding). The surviving roots split the whole
+  /// schedule-space mass between them (the estimator's invariant base).
   void seedRoots(std::vector<WorkItem> Roots) {
+    std::vector<WorkItem> Current, Deferred;
     for (size_t I = 0; I != Roots.size(); ++I) {
       if (I == 0) {
-        WorkQueue.push_back(std::move(Roots[I]));
+        Current.push_back(std::move(Roots[I]));
         continue;
       }
       Decision D; // FreeSwitch.
@@ -286,10 +375,17 @@ private:
         continue;
       Roots[I].BState = std::move(Charged);
       if (O == ChargeOutcome::NextBound)
-        NextQueue.push_back(std::move(Roots[I]));
+        Deferred.push_back(std::move(Roots[I]));
       else
-        WorkQueue.push_back(std::move(Roots[I]));
+        Current.push_back(std::move(Roots[I]));
     }
+#ifndef ICB_NO_METRICS
+    splitRootMass(Current, Deferred);
+#endif
+    for (WorkItem &W : Current)
+      WorkQueue.push_back(std::move(W));
+    for (WorkItem &W : Deferred)
+      NextQueue.push_back(std::move(W));
   }
 
   /// Rebuilds the driver from a resumable snapshot: frontier queues in
@@ -317,6 +413,11 @@ private:
       ItemCache.insert(Digest);
     Stats = Snap.Stats;
     Stats.Completed = false;
+#ifndef ICB_NO_METRICS
+    // Progress-display seed only; the authoritative mass is the restored
+    // registry base plus whatever this segment credits.
+    EstCredited = Snap.Metrics.estMassTotal();
+#endif
     Sampler.restoreState(Snap.Sampler);
     for (const Bug &B : Snap.Bugs) {
       if (Opts.CanonicalBugs)
@@ -376,6 +477,12 @@ private:
       WorkItem W = std::move(Local.back());
       Local.pop_back();
       obs::count(MShard, obs::Counter::Chains);
+#ifndef ICB_NO_METRICS
+      ChainSite = W.Site;
+      if (tracing(MShard))
+        traceEvent(MShard, obs::TraceEventKind::ExecBegin, W.Flow, 0,
+                   W.Site, CurrBound);
+#endif
       obs::ScopedPhase Timer(MShard, obs::Phase::Execute);
       E.runChain(std::move(W), *this);
     }
@@ -399,6 +506,14 @@ private:
   BugCollector Bugs;
   CanonicalBugMap Canonical;
   obs::MetricShard *MShard = nullptr; ///< Registry shard 0 (or null).
+  /// Seeding preemption site of the chain in flight — the attribution key
+  /// for states, executions, and bugs found downstream of it.
+  std::string ChainSite;
+  /// Trace flow ids handed to published items (0 = untraced).
+  uint64_t FlowSeq = 0;
+  /// Running total of credited schedule-space mass, for the progress
+  /// ticker only (the registry's merged histogram is authoritative).
+  uint64_t EstCredited = 0;
 };
 
 /// Work-stealing parallel driver; one executor per worker.
@@ -521,6 +636,13 @@ private:
     ParallelEngineDriver &D;
     unsigned Index;
     obs::MetricShard *MS;
+    /// Seeding preemption site of this worker's chain in flight (set by
+    /// workerMain before runChain) — the attribution key for states,
+    /// executions, and bugs discovered downstream.
+    std::string ChainSite;
+    /// Worker-local trace flow sequence; flow ids are namespaced by
+    /// worker index so publications never collide across workers.
+    uint64_t FlowSeq = 0;
 
     WorkerCtx(ParallelEngineDriver &D, unsigned Index)
         : D(D), Index(Index),
@@ -537,6 +659,13 @@ private:
       obs::ScopedPhase Timer(MS, obs::Phase::CacheProbe);
       bool New = D.Seen.insert(Digest);
       obs::count(MS, New ? obs::Counter::SeenMiss : obs::Counter::SeenHit);
+#ifndef ICB_NO_METRICS
+      // Honest but timing-class: under --jobs N, which worker first
+      // reaches a shared state is attribution-dependent, so per-site
+      // NewStates serializes with the timing half.
+      if (New && MS && !ChainSite.empty())
+        MS->Sites[ChainSite].NewStates.increment(D.CurrBound);
+#endif
     }
     void noteTerminal(uint64_t Digest) {
       obs::ScopedPhase Timer(MS, obs::Phase::CacheProbe);
@@ -549,6 +678,15 @@ private:
     }
     void defer(WorkItem &&Item) {
       obs::count(MS, obs::Counter::DeferredItems);
+#ifndef ICB_NO_METRICS
+      if (MS && !Item.Site.empty())
+        MS->Sites[Item.Site].Taken.increment(D.CurrBound + 1);
+      if (tracing(MS)) {
+        Item.Flow = nextFlow();
+        traceEvent(MS, obs::TraceEventKind::Defer, Item.Flow, 0, Item.Site,
+                   D.CurrBound + 1);
+      }
+#endif
       D.DeferredCount.fetch_add(1, std::memory_order_relaxed);
       D.NextQueue.push(Index, std::move(Item));
     }
@@ -556,15 +694,49 @@ private:
       // Onto the owner's bottom: popped LIFO by the owner (depth-first,
       // keeps memory bounded), stolen FIFO from the top by idle workers.
       obs::count(MS, obs::Counter::BranchedItems);
+#ifndef ICB_NO_METRICS
+      if (tracing(MS)) {
+        Item.Flow = nextFlow();
+        traceEvent(MS, obs::TraceEventKind::Branch, Item.Flow, 0, Item.Site,
+                   D.CurrBound);
+      }
+#endif
       D.Pending.fetch_add(1, std::memory_order_relaxed);
       D.Workers[Index].Deque.pushBottom(std::move(Item));
     }
     unsigned bound() const { return D.CurrBound; }
     const BoundPolicy &policy() const { return D.BP; }
     obs::MetricShard *metrics() { return MS; }
-    void recordBug(Bug NewBug) { D.recordBug(Index, std::move(NewBug)); }
+    void recordBug(Bug NewBug) {
+#ifndef ICB_NO_METRICS
+      if (MS && !ChainSite.empty())
+        MS->Sites[ChainSite].Bugs.increment(D.CurrBound);
+      if (tracing(MS))
+        traceEvent(MS, obs::TraceEventKind::Bug, 0, 0, NewBug.Message,
+                   D.CurrBound);
+#endif
+      D.recordBug(Index, std::move(NewBug));
+    }
     void endExecution(const ExecutionFacts &F) {
+#ifndef ICB_NO_METRICS
+      if (MS) {
+        MS->EstMassPerBound.increment(D.CurrBound, F.EstMass);
+        if (!ChainSite.empty())
+          MS->Sites[ChainSite].Execs.increment(D.CurrBound);
+      }
+      if (tracing(MS))
+        traceEvent(MS, obs::TraceEventKind::ExecEnd, F.Steps, 0, ChainSite,
+                   D.CurrBound);
+#endif
       D.endExecution(Index, MS, F);
+    }
+
+  private:
+    /// Worker-namespaced flow id: the worker index in the high bits keeps
+    /// ids unique without cross-worker coordination; sequence numbers stay
+    /// far below 2^40 in any plausible run.
+    uint64_t nextFlow() {
+      return (static_cast<uint64_t>(Index + 1) << 40) | ++FlowSeq;
     }
   };
 
@@ -574,7 +746,7 @@ private:
   /// the current bound's roots; NextBound-charged roots go to the striped
   /// next queue.
   std::vector<WorkItem> seedRoots(std::vector<WorkItem> Roots) {
-    std::vector<WorkItem> Kept;
+    std::vector<WorkItem> Kept, Deferred;
     Kept.reserve(Roots.size());
     for (size_t I = 0; I != Roots.size(); ++I) {
       if (I == 0) {
@@ -587,12 +759,19 @@ private:
       if (O == ChargeOutcome::Prune)
         continue;
       Roots[I].BState = std::move(Charged);
-      if (O == ChargeOutcome::NextBound) {
-        DeferredCount.fetch_add(1, std::memory_order_relaxed);
-        NextQueue.push(0, std::move(Roots[I]));
-      } else {
+      if (O == ChargeOutcome::NextBound)
+        Deferred.push_back(std::move(Roots[I]));
+      else
         Kept.push_back(std::move(Roots[I]));
-      }
+    }
+#ifndef ICB_NO_METRICS
+    // Same split order as the sequential driver (kept roots first, root 0
+    // absorbing the remainder), so the credited masses are byte-identical.
+    splitRootMass(Kept, Deferred);
+#endif
+    for (WorkItem &W : Deferred) {
+      DeferredCount.fetch_add(1, std::memory_order_relaxed);
+      NextQueue.push(0, std::move(W));
     }
     return Kept;
   }
@@ -626,6 +805,12 @@ private:
       if (takeItem(Index, MS, Item)) {
         {
           obs::count(MS, obs::Counter::Chains);
+#ifndef ICB_NO_METRICS
+          Ctx.ChainSite = Item.Site;
+          if (tracing(MS))
+            traceEvent(MS, obs::TraceEventKind::ExecBegin, Item.Flow, 0,
+                       Item.Site, CurrBound);
+#endif
           obs::ScopedPhase Timer(MS, obs::Phase::Execute, Busy);
           E.runChain(std::move(Item), Ctx);
         }
@@ -664,6 +849,9 @@ private:
     if (F.ThreadsUsed)
       W.ThreadsPerExecution.observe(F.ThreadsUsed);
     ICB_OBS(MS, MS->ExecutionsPerBound.increment(CurrBound));
+#ifndef ICB_NO_METRICS
+    EstCredited.fetch_add(F.EstMass, std::memory_order_relaxed);
+#endif
     if (Execs >= Opts.Limits.MaxExecutions ||
         TotalSteps.load(std::memory_order_relaxed) >= Opts.Limits.MaxSteps ||
         Seen.size() >= Opts.Limits.MaxStates)
@@ -684,6 +872,7 @@ private:
     S.FrontierRemaining = Pending.load(std::memory_order_relaxed);
     S.DeferredNext = DeferredCount.load(std::memory_order_relaxed);
     S.Bugs = BugCount.load(std::memory_order_relaxed);
+    S.EstMass = EstCredited.load(std::memory_order_relaxed);
     return S;
   }
 
@@ -744,6 +933,12 @@ private:
       ItemCache.insert(Digest);
     Base = Snap.Stats;
     Base.Completed = false;
+#ifndef ICB_NO_METRICS
+    // Progress-display seed only; the authoritative mass is the restored
+    // registry base plus whatever this segment credits.
+    EstCredited.store(Snap.Metrics.estMassTotal(),
+                      std::memory_order_relaxed);
+#endif
     Executions.store(Snap.Stats.Executions);
     TotalSteps.store(Snap.Stats.TotalSteps);
     for (const Bug &B : Snap.Bugs)
@@ -851,6 +1046,9 @@ private:
   /// the authoritative counts live in the worker shards and bug maps.
   std::atomic<uint64_t> DeferredCount{0};
   std::atomic<uint64_t> BugCount{0};
+  /// Credited schedule-space mass so far; progress-ticker feed only (the
+  /// registry's merged EstMassPerBound is authoritative).
+  std::atomic<uint64_t> EstCredited{0};
 
   /// Cross-round accumulated statistics and bugs: seeded by restore(),
   /// grown by mergeWorkersIntoBase() at quiescent points.

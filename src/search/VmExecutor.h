@@ -57,7 +57,12 @@ public:
         NewBug.Message = detail::describeDeadlock(VM, S0);
         C.recordBug(std::move(NewBug));
       }
-      C.endExecution({});
+      ExecutionFacts Facts;
+#ifndef ICB_NO_METRICS
+      // The whole schedule space is this one execution.
+      Facts.EstMass = obs::EstimateOne;
+#endif
+      C.endExecution(Facts);
       return {};
     }
 
@@ -73,6 +78,7 @@ public:
       WorkItem Item;
       Item.S = S0;
       Item.Tid = Enabled0[I];
+      Item.Site = "root";
       if (Opts.UseSleepSets) {
         if (I != 0 && detail::stepDisables(VM, S0, Enabled0[I - 1]))
           detail::sleepInsert(RootSleep, Enabled0[I - 1]);
@@ -100,6 +106,8 @@ public:
     S.Sleep = W.Sleep;
     S.BoundThreads = W.BState.Threads;
     S.BoundVars = W.BState.Vars;
+    S.EstMass = W.Est;
+    S.Site = W.Site;
     return S;
   }
 
@@ -129,6 +137,8 @@ public:
     W.Sleep = S.Sleep;
     W.BState.Threads = S.BoundThreads;
     W.BState.Vars = S.BoundVars;
+    W.Est = S.EstMass;
+    W.Site = S.Site;
     return W;
   }
 

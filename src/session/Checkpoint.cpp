@@ -23,11 +23,15 @@ namespace icb::session {
 /// counters in the metrics block) and the "*"-compact digest encoding.
 /// Version 4 added the bound policy (optional `bound`/`var_bound` meta
 /// fields, optional `bound_threads`/`bound_vars` on saved work items) and
-/// deduplicates digest sets on write. Loaders accept all four: every
+/// deduplicates digest sets on write. Version 5 added the exploration
+/// telemetry (optional `est_mass_per_bound`/`sites` metrics fields,
+/// optional `site_new_states` in the timing block, optional
+/// `est_mass`/`site` on saved work items). Loaders accept all five: every
 /// later-version field is optional with a backward-compatible default
-/// (missing policy fields imply preemption bounding), and the digest
-/// decoder reads both hex forms.
-static constexpr uint64_t CheckpointFormatVersion = 4;
+/// (missing policy fields imply preemption bounding, missing telemetry
+/// resumes with the estimator uncredited), and the digest decoder reads
+/// both hex forms.
+static constexpr uint64_t CheckpointFormatVersion = 5;
 static constexpr uint64_t MinCheckpointFormatVersion = 1;
 
 static JsonValue metaToJson(const CheckpointMeta &Meta) {

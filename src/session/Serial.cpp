@@ -44,6 +44,24 @@ bool minMaxFromJson(const JsonValue *V, MinMax &Out) {
   return true;
 }
 
+JsonValue histToJson(const Histogram &H) {
+  JsonValue A = JsonValue::array();
+  for (uint64_t Bucket : H.buckets())
+    A.Arr.push_back(JsonValue::number(Bucket));
+  return A;
+}
+
+bool histFromJson(const JsonValue *V, Histogram &Out) {
+  if (!V || !V->isArray())
+    return false;
+  for (size_t I = 0; I != V->Arr.size(); ++I) {
+    if (V->Arr[I].K != JsonValue::Kind::Number)
+      return false;
+    Out.increment(I, V->Arr[I].U);
+  }
+  return true;
+}
+
 /// A model-VM schedule (plain thread ids) as one space-separated string,
 /// parseable by trace::Schedule::parse (no markers).
 std::string tidsToText(const std::vector<vm::ThreadId> &Tids) {
@@ -238,10 +256,42 @@ JsonValue icb::session::metricsToJson(const obs::MetricsSnapshot &M) {
     SleepSaved.Arr.push_back(JsonValue::number(Bucket));
   V.set("sleep_saved_per_bound", std::move(SleepSaved));
 
+  // Schedule-space estimator mass (format v5): the tree fixes every
+  // split, so this is work-derived like executions_per_bound.
+  V.set("est_mass_per_bound", histToJson(M.EstMassPerBound));
+
+  // Per-preemption-site profiles (format v5). Taken (defer-time) and
+  // Execs (every item-start, pruned or not) are tree-derived. Bugs and
+  // NewStates are timing-class: under --jobs the shared work-item cache
+  // admits exactly one of several same-digest chains, so which site's
+  // chain runs past the claim — and therefore detects the bugs / first
+  // sees the states downstream of it — depends on worker timing. Sites
+  // whose only data is timing-class are omitted here (their very
+  // presence is attribution-dependent) and appear under timing only.
+  JsonValue Sites = JsonValue::object();
+  JsonValue SiteNewStates = JsonValue::object();
+  JsonValue SiteBugs = JsonValue::object();
+  for (const auto &Entry : M.Sites) {
+    const obs::SiteStat &S = Entry.second;
+    if (!S.Taken.buckets().empty() || !S.Execs.buckets().empty()) {
+      JsonValue Row = JsonValue::object();
+      Row.set("taken", histToJson(S.Taken));
+      Row.set("execs", histToJson(S.Execs));
+      Sites.set(Entry.first, std::move(Row));
+    }
+    if (!S.NewStates.buckets().empty())
+      SiteNewStates.set(Entry.first, histToJson(S.NewStates));
+    if (!S.Bugs.buckets().empty())
+      SiteBugs.set(Entry.first, histToJson(S.Bugs));
+  }
+  V.set("sites", std::move(Sites));
+
   // Timing section: one particular run on one particular machine. The
   // determinism tests and the resume CI normalization drop this subtree.
   JsonValue Timing = JsonValue::object();
   Timing.set("counters", std::move(TimingCounters));
+  Timing.set("site_new_states", std::move(SiteNewStates));
+  Timing.set("site_bugs", std::move(SiteBugs));
   JsonValue Phases = JsonValue::object();
   for (size_t I = 0; I != obs::NumPhases; ++I) {
     MinMax P = I < M.Phases.size() ? M.Phases[I] : MinMax();
@@ -347,6 +397,37 @@ bool icb::session::metricsFromJson(const JsonValue &V,
     }
   }
 
+  // Optional (format v5): estimator mass and per-site profiles. Absent in
+  // older checkpoints — the estimator resumes simply uncredited.
+  if (const JsonValue *EstMass = V.find("est_mass_per_bound"))
+    if (!histFromJson(EstMass, Out.EstMassPerBound))
+      return false;
+  if (const JsonValue *Sites = V.find("sites")) {
+    if (!Sites->isObject())
+      return false;
+    for (const auto &Entry : Sites->Obj) {
+      obs::SiteStat &S = Out.Sites[Entry.first];
+      if (!Entry.second.isObject() ||
+          !histFromJson(Entry.second.find("taken"), S.Taken) ||
+          !histFromJson(Entry.second.find("execs"), S.Execs))
+        return false;
+    }
+  }
+  if (const JsonValue *SiteNew = Timing->find("site_new_states")) {
+    if (!SiteNew->isObject())
+      return false;
+    for (const auto &Entry : SiteNew->Obj)
+      if (!histFromJson(&Entry.second, Out.Sites[Entry.first].NewStates))
+        return false;
+  }
+  if (const JsonValue *SiteBug = Timing->find("site_bugs")) {
+    if (!SiteBug->isObject())
+      return false;
+    for (const auto &Entry : SiteBug->Obj)
+      if (!histFromJson(&Entry.second, Out.Sites[Entry.first].Bugs))
+        return false;
+  }
+
   const JsonValue *Workers = Timing->find("workers");
   if (!Workers || !Workers->isArray())
     return false;
@@ -450,6 +531,12 @@ JsonValue itemsToJson(const std::vector<SavedWorkItem> &Items) {
       Row.set("bound_threads", JsonValue::str(tidsToText(Item.BoundThreads)));
     if (!Item.BoundVars.empty())
       Row.set("bound_vars", JsonValue::str(u64sToText(Item.BoundVars)));
+    // Estimator mass and seeding site (format v5); absent when the
+    // estimator is dark, so older readers see nothing new to reject.
+    if (Item.EstMass != 0)
+      Row.set("est_mass", JsonValue::number(Item.EstMass));
+    if (!Item.Site.empty())
+      Row.set("site", JsonValue::str(Item.Site));
     V.Arr.push_back(std::move(Row));
   }
   return V;
@@ -485,6 +572,11 @@ bool itemsFromJson(const JsonValue *V, std::vector<SavedWorkItem> &Out) {
           !u64sFromText(VarsText, Item.BoundVars))
         return false;
     }
+    // Optional (format v5): estimator mass and seeding site.
+    if (RowV.find("est_mass") && !RowV.getU64("est_mass", Item.EstMass))
+      return false;
+    if (RowV.find("site") && !RowV.getString("site", Item.Site))
+      return false;
     Out.push_back(std::move(Item));
   }
   return true;

@@ -38,6 +38,17 @@ void FlagSet::addString(const std::string &Name, const std::string &Default,
   ICB_ASSERT(Flags.emplace(Name, std::move(F)).second, "duplicate flag");
 }
 
+void FlagSet::addOptString(const std::string &Name,
+                           const std::string &BareValue,
+                           const std::string &Help) {
+  Flag F;
+  F.Kind = FlagKind::String;
+  F.Help = Help;
+  F.AllowBare = true;
+  F.BareValue = BareValue;
+  ICB_ASSERT(Flags.emplace(Name, std::move(F)).second, "duplicate flag");
+}
+
 bool FlagSet::setValue(Flag &F, const std::string &Text,
                        const std::string &Name, std::string *ErrorOut) {
   switch (F.Kind) {
@@ -104,9 +115,15 @@ bool FlagSet::parse(int Argc, const char *const *Argv, std::string *ErrorOut) {
     }
     Flag &F = It->second;
     if (!HasValue) {
-      // Bare `--boolflag` means true; other kinds consume the next argv.
+      // Bare `--boolflag` means true; bare optional strings take their
+      // registered bare value; other kinds consume the next argv.
       if (F.Kind == FlagKind::Bool) {
         F.BoolValue = true;
+        F.ExplicitlySet = true;
+        continue;
+      }
+      if (F.AllowBare) {
+        F.StringValue = F.BareValue;
         F.ExplicitlySet = true;
         continue;
       }

@@ -31,6 +31,12 @@ public:
   void addBool(const std::string &Name, bool Default, const std::string &Help);
   void addString(const std::string &Name, const std::string &Default,
                  const std::string &Help);
+  /// A string flag that may also appear bare: `--name` (no `=value`, no
+  /// following value consumed) assigns \p BareValue instead of erroring —
+  /// how `--trace` means "trace to the default sink" while `--trace=FILE`
+  /// names one. The default is the empty string (flag absent).
+  void addOptString(const std::string &Name, const std::string &BareValue,
+                    const std::string &Help);
 
   /// Parses argv. Returns false (after printing usage to \p ErrorOut) on an
   /// unknown flag, malformed value, or `--help`.
@@ -61,6 +67,10 @@ private:
     bool BoolValue = false;
     std::string StringValue;
     bool ExplicitlySet = false;
+    /// String flags only: bare `--name` assigns BareValue rather than
+    /// consuming the next argv (addOptString).
+    bool AllowBare = false;
+    std::string BareValue;
   };
 
   bool setValue(Flag &F, const std::string &Text, const std::string &Name,

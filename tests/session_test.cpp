@@ -246,7 +246,8 @@ private:
 rt::ExploreResult runRtIcb(const rt::TestCase &Test, unsigned Jobs,
                            search::EngineObserver *Obs = nullptr,
                            const search::EngineSnapshot *Resume = nullptr,
-                           bool Por = false) {
+                           bool Por = false,
+                           obs::MetricsRegistry *Metrics = nullptr) {
   rt::ExploreOptions Opts;
   Opts.Limits.MaxPreemptionBound = 2;
   Opts.Limits.StopAtFirstBug = false;
@@ -254,6 +255,7 @@ rt::ExploreResult runRtIcb(const rt::TestCase &Test, unsigned Jobs,
   Opts.Por = Por;
   Opts.Observer = Obs;
   Opts.Resume = Resume;
+  Opts.Metrics = Metrics;
   rt::IcbExplorer Icb(Opts);
   return Icb.explore(Test);
 }
@@ -441,6 +443,55 @@ TEST(SessionCheckpoint, PorSnapshotRoundTripsThroughDisk) {
       runRtIcb(Test, 1, nullptr, &Loaded.Snap, /*Por=*/true);
   expectIdenticalResults(Reference, Resumed);
 }
+
+#ifndef ICB_NO_METRICS
+TEST(SessionCheckpoint, EstimatorAndSitesSurviveDiskRoundTrip) {
+  // The schedule-space estimator's split masses and site provenance ride
+  // on work items (checkpoint format v5); dropping either on the disk
+  // round trip would make the resumed run's credited mass or its site
+  // profiles diverge from an uninterrupted run's.
+  rt::TestCase Test = workStealingTest({3, 4, WsqBug::PopCheckThenAct});
+  obs::MetricsRegistry RefReg;
+  rt::ExploreResult Reference =
+      runRtIcb(Test, 1, nullptr, nullptr, false, &RefReg);
+  obs::MetricsSnapshot Ref = RefReg.snapshot();
+  ASSERT_GT(Ref.estMassTotal(), 0u);
+
+  SnapshotProbe Probe(/*StopAfterPolls=*/60);
+  obs::MetricsRegistry CutReg;
+  rt::ExploreResult Cut = runRtIcb(Test, 1, &Probe, nullptr, false, &CutReg);
+  ASSERT_TRUE(Cut.Interrupted);
+  ASSERT_FALSE(Probe.Resumable.empty());
+
+  CheckpointData Data;
+  Data.Meta.Form = "rt";
+  Data.Meta.Strategy = "icb";
+  Data.Meta.Limits.MaxPreemptionBound = 2;
+  Data.Snap = Probe.Resumable.back();
+
+  std::string Path = checkpointPath(testing::TempDir());
+  std::string Error;
+  ASSERT_TRUE(saveCheckpoint(Path, Data, &Error)) << Error;
+  CheckpointData Loaded;
+  ASSERT_TRUE(loadCheckpoint(Path, Loaded, &Error)) << Error;
+  std::remove(Path.c_str());
+
+  // Safe points conserve estimator mass exactly: every unit of the
+  // schedule space is either credited by a finished execution (in the
+  // metrics image) or still queued on a frontier item.
+  uint64_t Queued = 0;
+  for (const auto *Q : {&Loaded.Snap.CurrentQueue, &Loaded.Snap.NextQueue})
+    for (const search::SavedWorkItem &Item : *Q)
+      Queued += Item.EstMass;
+  EXPECT_EQ(Queued + Loaded.Snap.Metrics.estMassTotal(), obs::EstimateOne);
+
+  obs::MetricsRegistry ResReg;
+  rt::ExploreResult Resumed =
+      runRtIcb(Test, 1, nullptr, &Loaded.Snap, false, &ResReg);
+  expectIdenticalResults(Reference, Resumed);
+  icb::testutil::expectSameDeterministicMetrics(Ref, ResReg.snapshot());
+}
+#endif // !ICB_NO_METRICS
 
 TEST(SessionCheckpoint, LoadsFormatVersionTwoFiles) {
   // Bounded POR bumped the checkpoint format to v3; files written by

@@ -21,6 +21,7 @@
 #include "obs/Metrics.h"
 #include "search/SearchTypes.h"
 #include <gtest/gtest.h>
+#include <string>
 #include <vector>
 
 namespace icb::testutil {
@@ -56,12 +57,25 @@ inline void expectIdenticalResults(const search::SearchResult &L,
   }
 }
 
+/// Two histograms must agree bucket-by-bucket (missing buckets read 0).
+inline void expectSameHistogram(const char *What, const Histogram &L,
+                                const Histogram &R) {
+  size_t Buckets = std::max(L.size(), R.size());
+  for (size_t I = 0; I != Buckets; ++I)
+    EXPECT_EQ(L.at(I), R.at(I)) << What << " at bound " << I;
+}
+
 /// The work-derived half of two metrics snapshots must agree exactly:
-/// deterministic counters, the replay-depth distribution, and the
-/// per-bound execution histogram are all independent of worker count and
-/// of checkpoint/resume splits. The timing half (phase durations, steal
-/// counters, busy/idle) is never compared — it describes one particular
-/// run.
+/// deterministic counters, the replay-depth distribution, the per-bound
+/// execution and estimator-mass histograms, and the tree-derived columns
+/// of every preemption-site profile (Taken at defer time, Execs at every
+/// item-start, pruned or not) are all independent of worker count and of
+/// checkpoint/resume splits. The timing half (phase durations, steal
+/// counters, busy/idle, per-site NewStates and Bugs — the shared
+/// work-item cache admits exactly one of several same-digest chains, so
+/// which site's chain runs past the claim and observes what lies
+/// downstream depends on worker timing) is never compared — it describes
+/// one particular run.
 inline void
 expectSameDeterministicMetrics(const obs::MetricsSnapshot &L,
                                const obs::MetricsSnapshot &R) {
@@ -77,12 +91,33 @@ expectSameDeterministicMetrics(const obs::MetricsSnapshot &L,
   EXPECT_EQ(L.ReplayDepth.min(), R.ReplayDepth.min());
   EXPECT_EQ(L.ReplayDepth.max(), R.ReplayDepth.max());
   EXPECT_EQ(L.ReplayDepth.sum(), R.ReplayDepth.sum());
-  EXPECT_EQ(L.ExecutionsPerBound.total(), R.ExecutionsPerBound.total());
-  size_t Buckets =
-      std::max(L.ExecutionsPerBound.size(), R.ExecutionsPerBound.size());
-  for (size_t I = 0; I != Buckets; ++I)
-    EXPECT_EQ(L.ExecutionsPerBound.at(I), R.ExecutionsPerBound.at(I))
-        << "executions at bound " << I;
+  expectSameHistogram("executions", L.ExecutionsPerBound,
+                      R.ExecutionsPerBound);
+  expectSameHistogram("sleep-saved", L.SleepSavedPerBound,
+                      R.SleepSavedPerBound);
+  expectSameHistogram("estimator mass", L.EstMassPerBound, R.EstMassPerBound);
+  // Site profiles: one side may hold sites the other never touched only
+  // if all their tree-derived columns are empty (NewStates/Bugs-only
+  // entries are timing-class attribution).
+  auto TreeEmpty = [](const obs::SiteStat &S) {
+    return S.Taken.total() == 0 && S.Execs.total() == 0;
+  };
+  for (const auto &[Name, LS] : L.Sites) {
+    auto It = R.Sites.find(Name);
+    if (It == R.Sites.end()) {
+      EXPECT_TRUE(TreeEmpty(LS)) << "site '" << Name << "' only on one side";
+      continue;
+    }
+    expectSameHistogram(("site '" + Name + "' taken").c_str(), LS.Taken,
+                        It->second.Taken);
+    expectSameHistogram(("site '" + Name + "' execs").c_str(), LS.Execs,
+                        It->second.Execs);
+  }
+  for (const auto &[Name, RS] : R.Sites) {
+    if (!L.Sites.count(Name)) {
+      EXPECT_TRUE(TreeEmpty(RS)) << "site '" << Name << "' only on one side";
+    }
+  }
 }
 
 } // namespace icb::testutil

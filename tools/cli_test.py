@@ -1,0 +1,97 @@
+#!/usr/bin/env python3
+"""Tool-level CLI contract tests for icb_check / icb_report.
+
+Covers the observability surface the unit tests cannot reach: the exact
+--metrics-csv column set and the final row flushed on a bug-found early
+exit, --trace=FILE Perfetto export (valid JSON, flow-id consistency),
+icb_report's estimator / per-site tables, and — when pointed at an
+ICB_NO_METRICS binary — the hard usage error for --trace=FILE.
+
+Usage: cli_test.py <icb_check> <icb_report>
+"""
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+CHECK, REPORT = sys.argv[1], sys.argv[2]
+
+EXPECTED_CSV_HEADER = [
+    "bound", "max_bound", "executions", "total_steps", "states",
+    "frontier_remaining", "deferred_next", "bugs", "est_total_executions",
+    "explored_ppm",
+]
+
+
+def run(*args):
+    return subprocess.run(list(args), capture_output=True, text=True)
+
+
+def main():
+    tmp = tempfile.mkdtemp(prefix="icb-cli-")
+    csv = os.path.join(tmp, "metrics.csv")
+    manifest = os.path.join(tmp, "run.json")
+    trace = os.path.join(tmp, "trace.json")
+
+    # Probe for the telemetry instrumentation: an ICB_NO_METRICS binary
+    # must reject --trace=FILE outright as a usage error.
+    probe = run(CHECK, "--benchmark=Bluetooth", "--max-executions=1",
+                "--trace=" + trace)
+    no_metrics = probe.returncode == 2
+    if no_metrics:
+        assert "ICB_NO_METRICS" in probe.stderr, probe.stderr
+
+    # --trace=FILE records a search; combining it with --replay is a
+    # usage error before any artifact is touched (in every build).
+    r = run(CHECK, "--replay=" + os.path.join(tmp, "missing.icbrepro"),
+            "--trace=" + trace)
+    assert r.returncode == 2, (r.returncode, r.stderr)
+
+    # A bug-found early exit must still flush the final metrics-csv row.
+    extra = [] if no_metrics else ["--trace=" + trace, "--json=" + manifest]
+    r = run(CHECK, "--benchmark=Bluetooth",
+            "--bug=stop-vs-work check-then-act", "--max-bound=4",
+            "--metrics-csv=" + csv, *extra)
+    assert r.returncode == 1, (r.returncode, r.stderr)
+    with open(csv) as f:
+        rows = [line.strip() for line in f if line.strip()]
+    assert rows[0].split(",") == EXPECTED_CSV_HEADER, rows[0]
+    assert len(rows) >= 2, "no data row flushed on the bug-found exit"
+    final = dict(zip(EXPECTED_CSV_HEADER, rows[-1].split(",")))
+    assert int(final["executions"]) > 0, final
+    assert int(final["bugs"]) >= 1, final
+
+    if no_metrics:
+        print("ok (no-metrics build: --trace=FILE rejected, csv intact)")
+        return
+
+    assert int(final["est_total_executions"]) > 0, final
+    assert 0 < int(final["explored_ppm"]) <= 1_000_000, final
+
+    # The exported trace is valid JSON in the Chrome trace-event schema,
+    # and every flow finish ("f") refers to an emitted flow start ("s").
+    with open(trace) as f:
+        events = json.load(f)["traceEvents"]
+    assert events, "trace is empty"
+    for e in events:
+        assert "ph" in e and "pid" in e and "tid" in e, e
+    sids = {e["id"] for e in events if e["ph"] == "s"}
+    fids = {e["id"] for e in events if e["ph"] == "f"}
+    assert fids <= sids, "orphan flow ids: %r" % (fids - sids)
+    assert any(e["ph"] == "X" for e in events), "no phase slices"
+    assert any(e["ph"] == "i" for e in events), "no instants"
+
+    # icb_report renders the estimator, site, and io tables.
+    rep = run(REPORT, manifest, "--sites")
+    assert rep.returncode == 0, rep.stderr
+    for needle in ("schedule-space estimate", "preemption-site profiles",
+                   "modeled io / sleep sets"):
+        assert needle in rep.stdout, "missing report section: " + needle
+
+    print("ok")
+
+
+if __name__ == "__main__":
+    main()

@@ -120,6 +120,12 @@ RunSession::RunSession(SessionState &S, const RunConfig &Config,
         S.Resume ? S.Resume->Snap.Stats.Executions : 0, PriorWall);
     Obs.Sink = Sink.get();
   }
+  if (!Config.TraceFile.empty()) {
+    // 64Ki events (2 MiB) per worker: a late-run window big enough for a
+    // few hundred thousand decisions; older events fall off the ring and
+    // show up in the exporter's dropped count.
+    Metrics.enableTracing(1 << 16);
+  }
   if (Config.Progress || !Config.MetricsCsv.empty()) {
     // The meter is the sampling clock even when only the CSV wants rows;
     // RenderMeter keeps the stderr ticker tied to --progress alone.
@@ -138,7 +144,8 @@ RunSession::RunSession(SessionState &S, const RunConfig &Config,
     std::fseek(Csv, 0, SEEK_END);
     if (std::ftell(Csv) == 0)
       std::fprintf(Csv, "bound,max_bound,executions,total_steps,states,"
-                        "frontier_remaining,deferred_next,bugs\n");
+                        "frontier_remaining,deferred_next,bugs,"
+                        "est_total_executions,explored_ppm\n");
     Obs.SampleHook = [this](const obs::ProgressSample &P) { csvRow(P); };
   }
 }
@@ -151,14 +158,27 @@ RunSession::~RunSession() {
 void RunSession::csvRow(const obs::ProgressSample &P) {
   if (!Csv)
     return;
+  // Same Knuth-estimate math the progress ticker uses: completed
+  // executions over the credited mass fraction. Zero columns while the
+  // estimator is still dark.
+  uint64_t EstTotal = 0, Ppm = 0;
+  if (P.EstMass != 0) {
+    EstTotal = static_cast<uint64_t>(
+        static_cast<unsigned __int128>(P.Executions) * obs::EstimateOne /
+        P.EstMass);
+    Ppm = static_cast<uint64_t>(
+        static_cast<unsigned __int128>(P.EstMass) * 1000000 /
+        obs::EstimateOne);
+  }
   std::fprintf(Csv,
-               "%llu,%llu,%llu,%llu,%llu,%llu,%llu,%llu\n",
+               "%llu,%llu,%llu,%llu,%llu,%llu,%llu,%llu,%llu,%llu\n",
                (unsigned long long)P.Bound, (unsigned long long)P.MaxBound,
                (unsigned long long)P.Executions,
                (unsigned long long)P.TotalSteps, (unsigned long long)P.States,
                (unsigned long long)P.FrontierRemaining,
                (unsigned long long)P.DeferredNext,
-               (unsigned long long)P.Bugs);
+               (unsigned long long)P.Bugs, (unsigned long long)EstTotal,
+               (unsigned long long)Ppm);
   std::fflush(Csv);
 }
 
@@ -182,6 +202,7 @@ int RunSession::finish(const search::SearchResult &R) {
     Last.TotalSteps = R.Stats.TotalSteps;
     Last.States = R.Stats.DistinctStates;
     Last.Bugs = R.Bugs.size();
+    Last.EstMass = Metrics.snapshot().estMassTotal();
     csvRow(Last); // Final row so even a sub-period run leaves data.
     if (Meter && Config.Progress)
       Meter->finish(Last);
@@ -233,6 +254,18 @@ int RunSession::finish(const search::SearchResult &R) {
       Rc = 4;
     }
   }
+  if (!Config.TraceFile.empty()) {
+    // The workers have joined by now, so the per-worker rings are safe to
+    // read. Exported even on interrupt: a partial trace of a wedged run
+    // is exactly when you want one.
+    std::string Err;
+    if (!obs::writePerfettoTrace(Metrics, Config.TraceFile, &Err)) {
+      std::fprintf(stderr, "trace write failed: %s\n", Err.c_str());
+      Rc = 4;
+    } else {
+      std::printf("  trace written: %s\n", Config.TraceFile.c_str());
+    }
+  }
   if (Sink && !Sink->ok()) {
     std::fprintf(stderr, "checkpoint write failed: %s\n",
                  Sink->error().c_str());
@@ -264,7 +297,10 @@ void icb::tool::addSearchFlags(FlagSet &Flags) {
                "(0 = hardware concurrency)");
   Flags.addInt("shards", 0,
                "state-cache shards with --jobs != 1 (0 = auto)");
-  Flags.addBool("trace", false, "replay and print the counterexample");
+  Flags.addOptString("trace", "on",
+                     "bare/on: replay and print the counterexample; "
+                     "--trace=FILE: write a Perfetto trace of the search "
+                     "itself to FILE");
   Flags.addBool("keep-going", false, "collect all bugs, not just the first");
   Flags.addBool("every-access", false,
                 "scheduling points at every data access (ablation mode)");
@@ -298,12 +334,34 @@ void icb::tool::addSessionFlags(FlagSet &Flags) {
                   "write a .icbrepro artifact per discovered bug here");
 }
 
+void icb::tool::readTraceFlag(const std::string &Text, bool &PrintTrace,
+                              std::string &TraceFile) {
+  PrintTrace = false;
+  TraceFile.clear();
+  if (Text.empty() || Text == "off" || Text == "false" || Text == "0")
+    return;
+  if (Text == "on" || Text == "true" || Text == "1") {
+    PrintTrace = true;
+    return;
+  }
+  TraceFile = Text;
+}
+
 bool icb::tool::readRunConfig(const FlagSet &Flags, RunConfig &Config) {
   Config.Strategy = Flags.getString("strategy");
   Config.MaxBound = static_cast<unsigned>(Flags.getInt("max-bound"));
   Config.MaxExecutions = static_cast<uint64_t>(Flags.getInt("max-executions"));
   Config.Seed = static_cast<uint64_t>(Flags.getInt("seed"));
-  Config.Trace = Flags.getBool("trace");
+  readTraceFlag(Flags.getString("trace"), Config.Trace, Config.TraceFile);
+#ifdef ICB_NO_METRICS
+  if (!Config.TraceFile.empty()) {
+    std::fprintf(stderr,
+                 "--trace=FILE needs the exploration-telemetry "
+                 "instrumentation, which this binary was built without "
+                 "(ICB_NO_METRICS)\n");
+    return false;
+  }
+#endif
   Config.StopAtFirst = !Flags.getBool("keep-going");
   Config.EveryAccess = Flags.getBool("every-access");
   Config.Detector = Flags.getString("detector");

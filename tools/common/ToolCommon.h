@@ -54,6 +54,10 @@ struct RunConfig {
   unsigned Jobs = 1;
   unsigned Shards = 0;
   bool Trace = false;
+  /// --trace=FILE: export a Perfetto/Chrome trace of the search itself
+  /// here after the run (empty = off). Distinct from bare --trace, which
+  /// replays and prints the counterexample.
+  std::string TraceFile;
   bool StopAtFirst = true;
   bool EveryAccess = false;
   /// Bounded POR (sleep sets composed with the preemption bound). On by
@@ -187,6 +191,12 @@ void addSearchFlags(FlagSet &Flags);
 /// Registers the session flags: manifest, checkpointing, resume, replay,
 /// minimize, repro output.
 void addSessionFlags(FlagSet &Flags);
+
+/// Splits the optional-value --trace flag's text: bare `--trace` (and
+/// on/true/1) asks for the counterexample printout, `--trace=FILE` names
+/// a Perfetto trace output path, off/false/0/absent means neither.
+void readTraceFlag(const std::string &Text, bool &PrintTrace,
+                   std::string &TraceFile);
 
 /// Reads the search flags into \p Config and validates the combinations
 /// that have no defined meaning (--jobs off-icb, --shards without --jobs,

@@ -125,6 +125,125 @@ void renderPerBound(const JsonValue *Stats, const JsonValue *Metrics) {
              Rows);
 }
 
+/// --sites: include the per-preemption-site profile table (set in main).
+bool ShowSites = false;
+
+/// Online schedule-space estimate: the per-bound credited mass plus the
+/// Knuth projection of the total execution count, with an ETA at the
+/// recorded execution rate. Runs predating the estimator (or with it
+/// compiled out) have no mass and say so.
+void renderEstimate(const JsonValue *Stats, const JsonValue *Metrics,
+                    uint64_t WallMillis) {
+  const JsonValue *Mass = Metrics ? Metrics->find("est_mass_per_bound")
+                                  : nullptr;
+  uint64_t Total = 0;
+  if (Mass && Mass->isArray())
+    for (const JsonValue &B : Mass->Arr)
+      Total += B.U;
+  if (Total == 0) {
+    std::printf("  (no schedule-space mass credited)\n");
+    return;
+  }
+  std::vector<std::vector<std::string>> Rows;
+  for (size_t B = 0; B != Mass->Arr.size(); ++B) {
+    uint64_t PpmAtBound = static_cast<uint64_t>(
+        static_cast<unsigned __int128>(Mass->Arr[B].U) * 1000000 /
+        obs::EstimateOne);
+    Rows.push_back({withCommas(B),
+                    strFormat("%" PRIu64 ".%04" PRIu64 "%%",
+                              PpmAtBound / 10000, PpmAtBound % 10000)});
+  }
+  printTable({"bound", "mass credited"}, Rows);
+  uint64_t Executions = numField(Stats, "executions");
+  uint64_t EstTotal = static_cast<uint64_t>(
+      static_cast<unsigned __int128>(Executions) * obs::EstimateOne / Total);
+  uint64_t Ppm = static_cast<uint64_t>(
+      static_cast<unsigned __int128>(Total) * 1000000 / obs::EstimateOne);
+  std::printf("  estimated total executions %s (%" PRIu64 ".%02" PRIu64
+              "%% explored)\n",
+              withCommas(EstTotal).c_str(), Ppm / 10000, Ppm % 10000 / 100);
+  if (WallMillis > 0 && EstTotal > Executions) {
+    uint64_t RemainingMs = static_cast<uint64_t>(
+        static_cast<unsigned __int128>(EstTotal - Executions) * WallMillis /
+        std::max<uint64_t>(Executions, 1));
+    std::printf("  eta ~%s s at the recorded rate\n",
+                withCommas((RemainingMs + 500) / 1000).c_str());
+  }
+}
+
+/// Modeled-io traffic plus the sleep-set savings histogram — both
+/// work-derived, both zero (and skipped) for workloads without the io
+/// frontend or with POR off.
+void renderIo(const JsonValue *Metrics) {
+  const JsonValue *Counters = Metrics ? Metrics->find("counters") : nullptr;
+  uint64_t Blocks = numField(Counters, "io_block");
+  uint64_t Wakes = numField(Counters, "io_wake");
+  uint64_t Spurious = numField(Counters, "io_spurious");
+  bool Any = false;
+  if (Blocks || Wakes || Spurious) {
+    std::printf("  io: blocks %s, wakes %s, spurious wakeups %s\n",
+                withCommas(Blocks).c_str(), withCommas(Wakes).c_str(),
+                withCommas(Spurious).c_str());
+    Any = true;
+  }
+  const JsonValue *SleepSaved =
+      Metrics ? Metrics->find("sleep_saved_per_bound") : nullptr;
+  if (SleepSaved && SleepSaved->isArray()) {
+    std::vector<std::vector<std::string>> Rows;
+    for (size_t B = 0; B != SleepSaved->Arr.size(); ++B)
+      if (SleepSaved->Arr[B].U)
+        Rows.push_back({withCommas(B), withCommas(SleepSaved->Arr[B].U)});
+    if (!Rows.empty()) {
+      std::printf("  transitions skipped asleep:\n");
+      printTable({"bound", "skipped"}, Rows);
+      Any = true;
+    }
+  }
+  if (!Any)
+    std::printf("  (no io traffic or sleep-set savings recorded)\n");
+}
+
+/// The per-preemption-site profile: which object/operation the search
+/// preempted, how many chains that seeded, what it found. Joined with the
+/// timing-class per-site bug and new-state counts when present (both are
+/// attribution-of-the-claim-winner under --jobs, so they serialize with
+/// the timing half).
+void renderSites(const JsonValue *Metrics) {
+  const JsonValue *Sites = Metrics ? Metrics->find("sites") : nullptr;
+  if (!Sites || !Sites->isObject() || Sites->Obj.empty()) {
+    std::printf("  (no preemption-site profiles recorded)\n");
+    return;
+  }
+  const JsonValue *Timing = Metrics->find("timing");
+  const JsonValue *NewStates = Timing ? Timing->find("site_new_states")
+                                      : nullptr;
+  const JsonValue *SiteBugs = Timing ? Timing->find("site_bugs") : nullptr;
+  auto HistAt = [](const JsonValue *Hist, size_t B) -> uint64_t {
+    return Hist && Hist->isArray() && B < Hist->Arr.size() ? Hist->Arr[B].U
+                                                           : 0;
+  };
+  std::vector<std::vector<std::string>> Rows;
+  for (const auto &[Name, Site] : Sites->Obj) {
+    const JsonValue *Taken = Site.find("taken");
+    const JsonValue *Execs = Site.find("execs");
+    const JsonValue *Bugs = SiteBugs ? SiteBugs->find(Name) : nullptr;
+    const JsonValue *New = NewStates ? NewStates->find(Name) : nullptr;
+    size_t MaxBound = 0;
+    for (const JsonValue *H : {Taken, Execs, Bugs, New})
+      if (H && H->isArray())
+        MaxBound = std::max(MaxBound, H->Arr.size());
+    for (size_t B = 0; B != MaxBound; ++B) {
+      uint64_t T = HistAt(Taken, B), E = HistAt(Execs, B),
+               G = HistAt(Bugs, B), N = HistAt(New, B);
+      if (T || E || G || N)
+        Rows.push_back({Name, withCommas(B), withCommas(T), withCommas(E),
+                        withCommas(G), N ? withCommas(N) : "-"});
+    }
+  }
+  printTable({"site", "bound", "taken", "execs", "bugs", "new states"},
+             Rows);
+}
+
 /// Approximate percentile of a log2 latency histogram: the midpoint of
 /// the bucket where the cumulative count crosses \p Q percent of the
 /// total (bucket 0 = 0 ns, bucket b covers [2^(b-1), 2^b) ns).
@@ -281,6 +400,14 @@ void renderRun(const std::string &Title, const JsonValue *Stats,
   std::printf("  bugs found: %s\n\n", withCommas(BugCount).c_str());
   std::printf("per-bound coverage:\n");
   renderPerBound(Stats, Metrics);
+  std::printf("\nschedule-space estimate:\n");
+  renderEstimate(Stats, Metrics, WallMillis);
+  if (ShowSites) {
+    std::printf("\npreemption-site profiles:\n");
+    renderSites(Metrics);
+  }
+  std::printf("\nmodeled io / sleep sets:\n");
+  renderIo(Metrics);
   std::printf("\nphase breakdown:\n");
   renderPhases(Metrics);
   std::printf("\nworker utilization:\n");
@@ -380,6 +507,10 @@ int main(int Argc, char **Argv) {
       "\n"
       "exit codes: 0 report rendered, 2 usage error, 4 unreadable or\n"
       "unparseable input");
+  Flags.addBool("sites", false,
+                "include the per-preemption-site profile table (which "
+                "object/operation each preemption targeted, and what it "
+                "found)");
   std::string Error;
   if (!Flags.parse(Argc, Argv, &Error)) {
     std::fprintf(stderr, "%s\n", Error.c_str());
@@ -390,6 +521,7 @@ int main(int Argc, char **Argv) {
                  Flags.usage(Argv[0] ? Argv[0] : "icb_report").c_str());
     return 2;
   }
+  ShowSites = Flags.getBool("sites");
   std::string Path = Flags.positional()[0];
   JsonValue Doc;
   if (int Rc = tool::loadJsonDoc(Path, Doc))

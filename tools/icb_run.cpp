@@ -108,9 +108,17 @@ int main(int Argc, char **Argv) {
       }
       BoundName = Spec.Name;
     }
+    bool PrintTrace = false;
+    std::string TraceFile;
+    readTraceFlag(Flags.getString("trace"), PrintTrace, TraceFile);
+    if (!TraceFile.empty()) {
+      std::fprintf(stderr, "--trace=FILE records a search; --replay takes "
+                           "only the bare --trace (print the trace)\n");
+      return 2;
+    }
     return replayArtifact(Flags.getString("replay"),
-                          Flags.getBool("minimize"), Flags.getBool("trace"),
-                          BoundName, Resolve);
+                          Flags.getBool("minimize"), PrintTrace, BoundName,
+                          Resolve);
   }
   if (Flags.getBool("minimize")) {
     std::fprintf(stderr, "--minimize requires --replay=FILE\n");
