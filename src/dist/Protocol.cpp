@@ -1,0 +1,153 @@
+//===- dist/Protocol.cpp - Coordinator/joiner frame vocabulary ------------===//
+//
+// Part of the ICB project (PLDI'07 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "dist/Protocol.h"
+#include "session/Serial.h"
+
+using icb::session::JsonValue;
+
+namespace icb::dist {
+
+/// Digest sets switch to the sorted-delta compact hex form at the same
+/// threshold the checkpoint writer uses.
+static constexpr size_t CompactThreshold = 64;
+
+static JsonValue kindFrame(const char *Kind) {
+  JsonValue V = JsonValue::object();
+  V.set("kind", JsonValue::str(Kind));
+  return V;
+}
+
+JsonValue helloFrame(uint64_t Protocol, uint64_t Format, bool Reconnect) {
+  JsonValue V = kindFrame("hello");
+  V.set("protocol", JsonValue::number(Protocol));
+  V.set("format", JsonValue::number(Format));
+  if (Reconnect)
+    V.set("reconnect", JsonValue::boolean(true));
+  return V;
+}
+
+JsonValue helloOkFrame(const session::CheckpointMeta &Meta,
+                       uint64_t HeartbeatMillis, uint64_t RevokeMillis) {
+  JsonValue V = kindFrame("hello_ok");
+  V.set("meta", session::metaToJson(Meta));
+  V.set("heartbeat_ms", JsonValue::number(HeartbeatMillis));
+  V.set("revoke_ms", JsonValue::number(RevokeMillis));
+  return V;
+}
+
+JsonValue refuseFrame(const std::string &Reason) {
+  JsonValue V = kindFrame("refuse");
+  V.set("reason", JsonValue::str(Reason));
+  return V;
+}
+
+JsonValue needWorkFrame() { return kindFrame("need_work"); }
+JsonValue heartbeatFrame() { return kindFrame("heartbeat"); }
+JsonValue doneFrame() { return kindFrame("done"); }
+
+JsonValue leaseFrame(uint64_t Id, const LeaseRequest &Req) {
+  JsonValue V = kindFrame("lease");
+  V.set("id", JsonValue::number(Id));
+  V.set("bound", JsonValue::number(Req.Bound));
+  V.set("roots", JsonValue::boolean(Req.Roots));
+  V.set("items", session::workItemsToJson(Req.Items));
+  return V;
+}
+
+JsonValue resultFrame(uint64_t Id, const LeaseResult &Res) {
+  JsonValue V = kindFrame("result");
+  V.set("id", JsonValue::number(Id));
+  V.set("completed", JsonValue::boolean(Res.Completed));
+  V.set("stats", session::statsToJson(Res.Stats));
+  JsonValue Bugs = JsonValue::array();
+  for (const search::Bug &B : Res.Bugs)
+    Bugs.Arr.push_back(session::bugToJson(B));
+  V.set("bugs", std::move(Bugs));
+  V.set("deferred", session::workItemsToJson(Res.Deferred));
+  V.set("remaining", session::workItemsToJson(Res.Remaining));
+  V.set("seen", JsonValue::str(session::digestsToHexCompact(
+                    Res.SeenDigests, CompactThreshold)));
+  V.set("terminal", JsonValue::str(session::digestsToHexCompact(
+                        Res.TerminalDigests, CompactThreshold)));
+  V.set("items_seen", JsonValue::str(session::digestsToHexCompact(
+                          Res.ItemDigests, CompactThreshold)));
+  V.set("metrics", session::metricsToJson(Res.Metrics));
+  return V;
+}
+
+std::string frameKind(const JsonValue &V) {
+  std::string Kind;
+  if (!V.isObject() || !V.getString("kind", Kind))
+    return "";
+  return Kind;
+}
+
+bool helloFromJson(const JsonValue &V, uint64_t &Protocol,
+                   uint64_t &Format) {
+  return V.isObject() && V.getU64("protocol", Protocol) &&
+         V.getU64("format", Format);
+}
+
+bool helloOkFromJson(const JsonValue &V, session::CheckpointMeta &Meta,
+                     uint64_t &HeartbeatMillis, uint64_t &RevokeMillis) {
+  const JsonValue *MetaV = V.isObject() ? V.find("meta") : nullptr;
+  return MetaV && session::metaFromJson(*MetaV, Meta) &&
+         V.getU64("heartbeat_ms", HeartbeatMillis) &&
+         V.getU64("revoke_ms", RevokeMillis);
+}
+
+bool refuseFromJson(const JsonValue &V, std::string &Reason) {
+  return V.isObject() && V.getString("reason", Reason);
+}
+
+bool leaseFromJson(const JsonValue &V, uint64_t &Id, LeaseRequest &Req) {
+  uint64_t Bound = 0;
+  const JsonValue *Items = V.isObject() ? V.find("items") : nullptr;
+  if (!Items || !V.getU64("id", Id) || !V.getU64("bound", Bound) ||
+      Bound > ~0u || !V.getBool("roots", Req.Roots))
+    return false;
+  Req.Bound = static_cast<unsigned>(Bound);
+  Req.Items.clear();
+  return session::workItemsFromJson(*Items, Req.Items);
+}
+
+static bool digestField(const JsonValue &V, const char *Key,
+                        std::vector<uint64_t> &Out) {
+  std::string Text;
+  return V.getString(Key, Text) && session::digestsFromHex(Text, Out);
+}
+
+bool resultFromJson(const JsonValue &V, uint64_t &Id, LeaseResult &Res) {
+  if (!V.isObject() || !V.getU64("id", Id) ||
+      !V.getBool("completed", Res.Completed))
+    return false;
+  const JsonValue *Stats = V.find("stats");
+  const JsonValue *Bugs = V.find("bugs");
+  const JsonValue *Deferred = V.find("deferred");
+  const JsonValue *Remaining = V.find("remaining");
+  const JsonValue *Metrics = V.find("metrics");
+  if (!Stats || !session::statsFromJson(*Stats, Res.Stats) || !Bugs ||
+      !Bugs->isArray() || !Deferred || !Remaining || !Metrics ||
+      !session::metricsFromJson(*Metrics, Res.Metrics))
+    return false;
+  Res.Bugs.clear();
+  for (const JsonValue &BugV : Bugs->Arr) {
+    search::Bug B;
+    if (!session::bugFromJson(BugV, B))
+      return false;
+    Res.Bugs.push_back(std::move(B));
+  }
+  Res.Deferred.clear();
+  Res.Remaining.clear();
+  return session::workItemsFromJson(*Deferred, Res.Deferred) &&
+         session::workItemsFromJson(*Remaining, Res.Remaining) &&
+         digestField(V, "seen", Res.SeenDigests) &&
+         digestField(V, "terminal", Res.TerminalDigests) &&
+         digestField(V, "items_seen", Res.ItemDigests);
+}
+
+} // namespace icb::dist

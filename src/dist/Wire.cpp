@@ -1,0 +1,79 @@
+//===- dist/Wire.cpp - Length-prefixed JSON framing -----------------------===//
+//
+// Part of the ICB project (PLDI'07 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "dist/Wire.h"
+
+namespace icb::dist {
+
+std::string encodeFrame(const session::JsonValue &V) {
+  std::string Payload = session::jsonWrite(V);
+  uint32_t N = static_cast<uint32_t>(Payload.size());
+  std::string Frame;
+  Frame.reserve(4 + Payload.size());
+  Frame.push_back(static_cast<char>(N & 0xff));
+  Frame.push_back(static_cast<char>((N >> 8) & 0xff));
+  Frame.push_back(static_cast<char>((N >> 16) & 0xff));
+  Frame.push_back(static_cast<char>((N >> 24) & 0xff));
+  Frame += Payload;
+  return Frame;
+}
+
+DecodeStatus decodeFrame(const std::string &Bytes, size_t &Off,
+                         session::JsonValue &Out, std::string *Error) {
+  if (Bytes.size() - Off < 4)
+    return DecodeStatus::NeedMore;
+  uint32_t N = 0;
+  for (unsigned I = 0; I != 4; ++I)
+    N |= static_cast<uint32_t>(
+             static_cast<unsigned char>(Bytes[Off + I]))
+         << (8 * I);
+  if (N > MaxFrameBytes) {
+    if (Error)
+      *Error = "frame length " + std::to_string(N) + " exceeds limit";
+    return DecodeStatus::Error;
+  }
+  if (Bytes.size() - Off < 4 + static_cast<size_t>(N))
+    return DecodeStatus::NeedMore;
+  std::string ParseError;
+  if (!session::jsonParse(Bytes.substr(Off + 4, N), Out, &ParseError)) {
+    if (Error)
+      *Error = "malformed frame payload: " + ParseError;
+    return DecodeStatus::Error;
+  }
+  // Every protocol frame is a JSON object (dist/Protocol.h); a bare
+  // scalar or array payload is a broken peer even when it parses.
+  if (Out.K != session::JsonValue::Kind::Object) {
+    if (Error)
+      *Error = "frame payload is not a JSON object";
+    return DecodeStatus::Error;
+  }
+  Off += 4 + static_cast<size_t>(N);
+  return DecodeStatus::Ok;
+}
+
+DecodeStatus FrameReader::next(session::JsonValue &Out, std::string *Error) {
+  if (Poisoned) {
+    if (Error)
+      *Error = PoisonMsg;
+    return DecodeStatus::Error;
+  }
+  DecodeStatus S = decodeFrame(Buf, Off, Out, &PoisonMsg);
+  if (S == DecodeStatus::Error) {
+    Poisoned = true;
+    if (Error)
+      *Error = PoisonMsg;
+    return S;
+  }
+  // Compact the consumed prefix occasionally so a long-lived connection's
+  // buffer does not grow without bound.
+  if (S == DecodeStatus::Ok && Off > (1u << 16)) {
+    Buf.erase(0, Off);
+    Off = 0;
+  }
+  return S;
+}
+
+} // namespace icb::dist

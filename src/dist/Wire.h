@@ -1,0 +1,72 @@
+//===- dist/Wire.h - Length-prefixed JSON framing ---------------*- C++ -*-===//
+//
+// Part of the ICB project (PLDI'07 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The byte layer of the distributed checking protocol: one frame is a
+/// 4-byte little-endian length followed by exactly that many bytes of
+/// JSON text (the session dialect — see session/Json.h). The payloads are
+/// the existing checkpoint encodings of work items, stats, bugs, and
+/// metrics, so the wire format is versioned by the checkpoint format plus
+/// one protocol number (dist/Protocol.h), not by a third scheme.
+///
+/// Decoding is incremental and strict: FrameReader buffers whatever the
+/// socket delivered and yields complete frames; a length above
+/// MaxFrameBytes or unparseable JSON is a hard protocol error (the peer
+/// is broken or hostile — drop the connection, never resynchronize).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ICB_DIST_WIRE_H
+#define ICB_DIST_WIRE_H
+
+#include "session/Json.h"
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace icb::dist {
+
+/// Upper bound on one frame's JSON payload. Generous — a frame carries at
+/// most one lease batch or one lease result — but finite, so a corrupt or
+/// malicious length prefix cannot make a process attempt a huge
+/// allocation.
+inline constexpr uint32_t MaxFrameBytes = 1u << 28;
+
+/// Renders \p V as one wire frame (length prefix + JSON text).
+std::string encodeFrame(const session::JsonValue &V);
+
+enum class DecodeStatus : uint8_t {
+  Ok,       ///< One complete frame decoded.
+  NeedMore, ///< The buffer ends mid-frame; feed more bytes.
+  Error,    ///< Oversized length or malformed JSON: drop the connection.
+};
+
+/// Decodes one frame from \p Bytes starting at \p Off; on Ok advances
+/// \p Off past the frame. Exposed for the adversarial decode tests — the
+/// sockets go through FrameReader.
+DecodeStatus decodeFrame(const std::string &Bytes, size_t &Off,
+                         session::JsonValue &Out, std::string *Error);
+
+/// Incremental frame decoder over a byte stream.
+class FrameReader {
+public:
+  /// Appends received bytes.
+  void feed(const char *Data, size_t N) { Buf.append(Data, N); }
+
+  /// Pops the next complete frame. NeedMore leaves the buffer untouched;
+  /// Error poisons the reader (every later call reports Error too).
+  DecodeStatus next(session::JsonValue &Out, std::string *Error);
+
+private:
+  std::string Buf;
+  size_t Off = 0;
+  bool Poisoned = false;
+  std::string PoisonMsg;
+};
+
+} // namespace icb::dist
+
+#endif // ICB_DIST_WIRE_H

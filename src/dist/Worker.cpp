@@ -1,0 +1,219 @@
+//===- dist/Worker.cpp - Joiner protocol loop -----------------------------===//
+//
+// Part of the ICB project (PLDI'07 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "dist/Worker.h"
+#include "dist/Net.h"
+#include "dist/Wire.h"
+#include <atomic>
+#include <chrono>
+#include <poll.h>
+#include <thread>
+
+using namespace icb;
+using namespace icb::dist;
+
+namespace {
+
+uint64_t nowMillis() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// One live connection to the coordinator.
+struct Session {
+  int Fd = -1;
+  FrameReader Reader;
+
+  ~Session() { closeFd(Fd); }
+
+  bool send(const session::JsonValue &Frame) {
+    return sendAll(Fd, encodeFrame(Frame));
+  }
+
+  /// Waits up to \p TimeoutMillis for one frame. Returns Ok/NeedMore
+  /// (timeout)/Error (EOF or protocol garbage).
+  DecodeStatus recvFrame(session::JsonValue &Out, uint64_t TimeoutMillis) {
+    uint64_t Deadline = nowMillis() + TimeoutMillis;
+    while (true) {
+      std::string Error;
+      DecodeStatus S = Reader.next(Out, &Error);
+      if (S != DecodeStatus::NeedMore)
+        return S;
+      uint64_t Now = nowMillis();
+      if (Now >= Deadline)
+        return DecodeStatus::NeedMore;
+      pollfd P{Fd, POLLIN, 0};
+      int N = ::poll(&P, 1, static_cast<int>(Deadline - Now));
+      if (N < 0)
+        return DecodeStatus::Error;
+      if (N == 0)
+        return DecodeStatus::NeedMore;
+      std::string Bytes;
+      if (!recvSome(Fd, Bytes))
+        return DecodeStatus::Error;
+      Reader.feed(Bytes.data(), Bytes.size());
+    }
+  }
+};
+
+} // namespace
+
+int Worker::run() {
+  bool EverConnected = false;
+  unsigned Attempt = 0;
+  uint64_t HeartbeatMillis = 1000;
+
+  while (true) {
+    // --- Connect (capped exponential backoff) --------------------------
+    Endpoint Ep;
+    if (!parseEndpoint(Opts.Connect, Ep, &ErrorMsg))
+      return WorkerRefused;
+    std::string ConnErr;
+    Session S;
+    S.Fd = connectTo(Ep, &ConnErr);
+    if (S.Fd < 0) {
+      if (++Attempt >= Opts.MaxConnectAttempts) {
+        ErrorMsg = ConnErr + " (after " + std::to_string(Attempt) +
+                   " attempts)";
+        return WorkerNetFail;
+      }
+      uint64_t Backoff = Opts.BackoffBaseMillis;
+      for (unsigned I = 1; I < Attempt && Backoff < Opts.BackoffCapMillis;
+           ++I)
+        Backoff *= 2;
+      std::this_thread::sleep_for(std::chrono::milliseconds(
+          std::min(Backoff, Opts.BackoffCapMillis)));
+      continue;
+    }
+    setNonBlocking(S.Fd);
+
+    // --- Hello ---------------------------------------------------------
+    if (!S.send(helloFrame(ProtocolVersion,
+                           session::checkpointFormatVersion(),
+                           /*Reconnect=*/EverConnected))) {
+      ++Attempt;
+      continue;
+    }
+    session::JsonValue Frame;
+    DecodeStatus St = S.recvFrame(Frame, 10000);
+    if (St != DecodeStatus::Ok) {
+      if (++Attempt >= Opts.MaxConnectAttempts) {
+        ErrorMsg = "no hello_ok from coordinator";
+        return WorkerNetFail;
+      }
+      continue;
+    }
+    std::string Kind = frameKind(Frame);
+    if (Kind == "refuse") {
+      refuseFromJson(Frame, ErrorMsg);
+      if (ErrorMsg.empty())
+        ErrorMsg = "coordinator refused the hello";
+      return WorkerRefused;
+    }
+    session::CheckpointMeta Meta;
+    uint64_t RevokeMillis = 5000;
+    if (Kind != "hello_ok" ||
+        !helloOkFromJson(Frame, Meta, HeartbeatMillis, RevokeMillis)) {
+      ErrorMsg = "malformed handshake from coordinator";
+      return WorkerRefused;
+    }
+    if (Opts.OnAdopt && !Opts.OnAdopt(Meta, &ErrorMsg))
+      return WorkerRefused;
+    EverConnected = true;
+    Attempt = 0;
+
+    // --- Lease loop ----------------------------------------------------
+    bool Reconnect = false;
+    while (!Reconnect) {
+      if (!S.send(needWorkFrame())) {
+        Reconnect = true;
+        break;
+      }
+
+      // Wait for a lease (or done), heartbeating so an idle joiner at the
+      // bound barrier is not revoked.
+      LeaseRequest Req;
+      uint64_t LeaseId = 0;
+      bool HaveLease = false;
+      while (!HaveLease) {
+        DecodeStatus W = S.recvFrame(Frame, HeartbeatMillis);
+        if (W == DecodeStatus::Error) {
+          Reconnect = true;
+          break;
+        }
+        if (W == DecodeStatus::NeedMore) {
+          if (!S.send(heartbeatFrame())) {
+            Reconnect = true;
+            break;
+          }
+          continue;
+        }
+        Kind = frameKind(Frame);
+        if (Kind == "done")
+          return WorkerDone;
+        if (Kind == "lease" && leaseFromJson(Frame, LeaseId, Req)) {
+          HaveLease = true;
+          break;
+        }
+        // Anything else is protocol noise; drop the connection.
+        Reconnect = true;
+        break;
+      }
+      if (!HaveLease)
+        break;
+
+      // Execute on a separate thread; keep the protocol loop heartbeating
+      // so a long lease does not look like a dead joiner.
+      LeaseResult Res;
+      std::atomic<bool> ResultReady{false};
+      std::thread Exec([&] {
+        Res = Opts.Runner(Req);
+        ResultReady.store(true, std::memory_order_release);
+      });
+      bool Lost = false, DoneSeen = false;
+      // Poll short so a fast lease is delivered promptly (the socket is
+      // quiet while the lease runs, so the poll timeout is the latency
+      // floor); heartbeat on a deadline, not per wakeup.
+      uint64_t NextBeat = nowMillis() + HeartbeatMillis / 2;
+      while (!ResultReady.load(std::memory_order_acquire)) {
+        DecodeStatus W = S.recvFrame(Frame, 5);
+        if (W == DecodeStatus::Error) {
+          Lost = true;
+          break;
+        }
+        if (W == DecodeStatus::Ok && frameKind(Frame) == "done") {
+          DoneSeen = true;
+          break;
+        }
+        uint64_t Now = nowMillis();
+        if (Now >= NextBeat) {
+          if (!S.send(heartbeatFrame())) {
+            Lost = true;
+            break;
+          }
+          NextBeat = Now + HeartbeatMillis / 2;
+        }
+      }
+      Exec.join();
+      if (DoneSeen)
+        return WorkerDone; // Run ended under us; the result is moot.
+      if (Lost) {
+        // The coordinator revoked this lease on our EOF — the result must
+        // be discarded, never delivered on a new connection.
+        Reconnect = true;
+        break;
+      }
+      ++LeaseCount;
+      if (!S.send(resultFrame(LeaseId, Res))) {
+        Reconnect = true;
+        break;
+      }
+    }
+    // Fall through to reconnect (fresh hello, marked as such).
+  }
+}

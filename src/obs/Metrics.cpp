@@ -76,6 +76,14 @@ const char *counterName(Counter C) {
     return "steal_hits";
   case Counter::Snapshots:
     return "snapshots";
+  case Counter::DistLeases:
+    return "dist_leases";
+  case Counter::DistLeaseItems:
+    return "dist_lease_items";
+  case Counter::DistLeaseRevoked:
+    return "dist_lease_revoked";
+  case Counter::DistReconnects:
+    return "dist_reconnects";
   case Counter::NumCounters:
     break;
   }
@@ -105,6 +113,10 @@ bool counterIsDeterministic(Counter C) {
   case Counter::StealAttempts:
   case Counter::StealHits:
   case Counter::Snapshots:
+  case Counter::DistLeases:
+  case Counter::DistLeaseItems:
+  case Counter::DistLeaseRevoked:
+  case Counter::DistReconnects:
   case Counter::NumCounters:
     return false;
   }

@@ -95,6 +95,14 @@ enum class Counter : unsigned {
   StealAttempts, ///< Chase-Lev trySteal() calls by idle workers.
   StealHits,     ///< trySteal() calls that returned an item.
   Snapshots,     ///< Engine snapshots emitted (periodic/stop/final).
+  // Distributed checking (dist/). Lease placement depends on joiner
+  // timing, so these are timing-class even though each lease's contents
+  // are deterministic.
+  DistLeases,      ///< Work-item leases granted (coordinator) or
+                   ///< executed (joiner).
+  DistLeaseItems,  ///< Work items carried by those leases.
+  DistLeaseRevoked, ///< Leases revoked after joiner loss (items re-queued).
+  DistReconnects,  ///< Joiner reconnect attempts that reached hello again.
 
   NumCounters,
 };

@@ -145,8 +145,9 @@ ExploreResult IcbExplorer::explore(const TestCase &Test) {
   EngineOpts.Observer = Opts.Observer;
   EngineOpts.Resume = Opts.Resume;
   EngineOpts.Metrics = Opts.Metrics;
+  EngineOpts.Lease = Opts.Lease;
 
-  if (Opts.Jobs == 1) {
+  if (Opts.Jobs == 1 || Opts.Lease == search::LeaseMode::Roots) {
     ReplayExecutor Executor(Test, Opts.Exec, Opts.Por);
     return search::runSequentialIcbEngine(Executor, EngineOpts);
   }

@@ -86,6 +86,9 @@ struct ExploreOptions {
   /// cache probes, chains, per-bound executions, and the Execute /
   /// Hash / RaceDetect phase timers.
   obs::MetricsRegistry *Metrics = nullptr;
+  /// ICB only: distributed lease participation (see search::LeaseMode).
+  /// Roots leases always run the sequential engine regardless of Jobs.
+  search::LeaseMode Lease = search::LeaseMode::Off;
 
   /// The runtime's historical safety nets: exploration stops after 2^20
   /// executions (the fiber runtime cannot enumerate forever on the larger

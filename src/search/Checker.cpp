@@ -29,6 +29,7 @@ std::unique_ptr<Strategy> icb::search::makeStrategy(const SearchOptions &Opts) {
       O.Observer = Opts.Observer;
       O.Resume = Opts.Resume;
       O.Metrics = Opts.Metrics;
+      O.Lease = Opts.Lease;
       return std::make_unique<ParallelIcbSearch>(O);
     }
     IcbSearch::Options O;
@@ -40,6 +41,7 @@ std::unique_ptr<Strategy> icb::search::makeStrategy(const SearchOptions &Opts) {
     O.Observer = Opts.Observer;
     O.Resume = Opts.Resume;
     O.Metrics = Opts.Metrics;
+    O.Lease = Opts.Lease;
     return std::make_unique<IcbSearch>(O);
   }
   case StrategyKind::Dfs: {

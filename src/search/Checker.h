@@ -66,6 +66,9 @@ struct SearchOptions {
   /// strategy. Icb shards it per worker; the sequential strategies
   /// record into a single shard.
   obs::MetricsRegistry *Metrics = nullptr;
+  /// Icb: distributed lease participation (see search::LeaseMode); other
+  /// strategies ignore it.
+  LeaseMode Lease = LeaseMode::Off;
 };
 
 /// Instantiates the strategy described by \p Opts.

@@ -45,31 +45,9 @@
 
 namespace icb::search {
 
-/// One frontier work item in executor-neutral form: replay \p Prefix from
-/// the initial state, then schedule \p Next (NoNext for the root item's
-/// free first choice).
-struct SavedWorkItem {
-  static constexpr uint32_t NoNext = ~0u;
-
-  std::vector<uint32_t> Prefix;
-  uint32_t Next = NoNext;
-  /// Threads asleep at the item's start state (bounded POR); empty when
-  /// POR is off. Serialized only when non-empty (checkpoint format v3).
-  std::vector<uint32_t> Sleep;
-  /// BoundPolicy budget state (checkpoint format v4): the thread and
-  /// variable sets a stateful policy carries. Empty for the preemption
-  /// and delay policies; serialized only when non-empty.
-  std::vector<uint32_t> BoundThreads;
-  std::vector<uint64_t> BoundVars;
-  /// Schedule-space mass assigned to the item's subtree (checkpoint
-  /// format v5, see obs::EstimateOne); serialized only when nonzero so
-  /// old checkpoints load with the estimator simply uncredited.
-  uint64_t EstMass = 0;
-  /// Display name of the preemption site that seeded this subtree
-  /// (checkpoint format v5); empty for roots/free branches of untraced
-  /// provenance and serialized only when non-empty.
-  std::string Site;
-};
+// SavedWorkItem — the executor-neutral checkpoint/wire form of one work
+// item — lives in SearchTypes.h so results (SearchResult's lease output)
+// and snapshots share one definition.
 
 /// A consistent safe-point image of one ICB driver. `Final` snapshots
 /// describe a run that ended on its own (exhausted, limit, first bug) and

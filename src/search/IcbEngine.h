@@ -113,6 +113,14 @@ struct IcbEngineOptions {
   /// benchmark, and driver configuration; Final snapshots are re-emitted
   /// by the session layer without invoking the engine at all.
   const EngineSnapshot *Resume = nullptr;
+  /// Distributed lease participation (see search::LeaseMode): Roots seeds
+  /// and returns the bound-0 frontier without draining it (sequential
+  /// driver only); Drain executes exactly the resumed bound and returns
+  /// the published continuations instead of advancing. In either lease
+  /// mode the driver suppresses the per-bound rows and the coverage
+  /// sampler — the coordinator owns the bound barrier — and captures the
+  /// remaining queues plus the lease-local digest sets in the result.
+  LeaseMode Lease = LeaseMode::Off;
 };
 
 namespace detail {
@@ -185,6 +193,21 @@ public:
     else
       seedRoots(E.rootItems(*this));
 
+    if (Opts.Lease == LeaseMode::Roots) {
+      // Roots lease: hand the seeded frontier back unexecuted. The
+      // degenerate no-schedulable-thread program has already accounted its
+      // single execution (and any deadlock) through the hooks above.
+      Stats.DistinctStates = Seen.size();
+      Stats.DistinctTerminalStates = Terminal.size();
+      Stats.Completed = true;
+      captureLease(Result);
+      Result.Stats = std::move(Stats);
+      Result.Bugs = Opts.CanonicalBugs
+                        ? takeCanonicalBugs(std::move(Canonical))
+                        : Bugs.take();
+      return Result;
+    }
+
     // Algorithm 1 lines 9-21: drain the current bound, snapshot coverage,
     // move on to the next. Checkpoint safe points sit between work-item
     // chains: Local is empty there, so the frontier is exactly the two
@@ -203,8 +226,8 @@ public:
             Opts.Observer->checkpointDue(Stats.Executions))
           emitResumable();
       }
-      if (Stopped)
-        break;
+      if (Stopped || Opts.Lease != LeaseMode::Off)
+        break; // A drain lease never advances past its bound.
       Stats.PerBound.push_back({CurrBound, Seen.size(), Stats.Executions});
       if (Opts.Observer)
         Opts.Observer->onBoundComplete(Stats.PerBound.back());
@@ -215,19 +238,22 @@ public:
       NextQueue.clear();
     }
 
-    if (Stopped)
+    if (Stopped && Opts.Lease == LeaseMode::Off)
       emitResumable(); // Flush the frontier before reporting back.
 
     Stats.DistinctStates = Seen.size();
     Stats.DistinctTerminalStates = Terminal.size();
-    Stats.Completed =
-        !Stopped && !LimitHit && WorkQueue.empty() && NextQueue.empty();
-    Sampler.finish(Stats.Coverage);
+    Stats.Completed = !Stopped && !LimitHit && WorkQueue.empty() &&
+                      (Opts.Lease != LeaseMode::Off || NextQueue.empty());
+    if (Opts.Lease == LeaseMode::Off)
+      Sampler.finish(Stats.Coverage);
+    else
+      captureLease(Result);
     Result.Stats = std::move(Stats);
     Result.Bugs = Opts.CanonicalBugs ? takeCanonicalBugs(std::move(Canonical))
                                      : Bugs.take();
     Result.Interrupted = Stopped;
-    if (!Stopped && Opts.Observer)
+    if (!Stopped && Opts.Observer && Opts.Lease == LeaseMode::Off)
       emitFinal(Result);
     return Result;
   }
@@ -316,7 +342,8 @@ public:
     Stats.BlockingPerExecution.observe(F.Blocking);
     if (F.ThreadsUsed)
       Stats.ThreadsPerExecution.observe(F.ThreadsUsed);
-    Sampler.observe(Stats.Coverage, Stats.Executions, Seen.size());
+    if (Opts.Lease == LeaseMode::Off)
+      Sampler.observe(Stats.Coverage, Stats.Executions, Seen.size());
     ICB_OBS(MShard, MShard->ExecutionsPerBound.increment(CurrBound));
 #ifndef ICB_NO_METRICS
     EstCredited += F.EstMass;
@@ -425,6 +452,21 @@ private:
       else
         Bugs.add(B);
     }
+  }
+
+  /// Captures the lease output: whatever is left of the two queues plus
+  /// the lease-local digest sets (fresh caches in lease mode, so these are
+  /// exactly this lease's distinct probes).
+  void captureLease(SearchResult &Result) {
+    Result.LeaseCurrent.reserve(WorkQueue.size());
+    for (const WorkItem &W : WorkQueue)
+      Result.LeaseCurrent.push_back(E.saveItem(W));
+    Result.LeaseDeferred.reserve(NextQueue.size());
+    for (const WorkItem &W : NextQueue)
+      Result.LeaseDeferred.push_back(E.saveItem(W));
+    Result.LeaseSeen = Seen.digests();
+    Result.LeaseTerminal = Terminal.digests();
+    Result.LeaseItems = ItemCache.digests();
   }
 
   /// Emits a resumable safe-point snapshot (Local is empty here).
@@ -537,6 +579,10 @@ public:
 
   SearchResult run() {
     SearchResult Result;
+    // Roots leases never execute anything, so the coordinator always runs
+    // them through the sequential driver.
+    ICB_ASSERT(Opts.Lease != LeaseMode::Roots,
+               "roots leases use the sequential driver");
 
     std::vector<WorkItem> Items;
     if (Opts.Resume) {
@@ -570,6 +616,25 @@ public:
       // One fork/join round drains the bound; the join is the barrier
       // that guarantees bound c is exhausted before bound c + 1 begins.
       Pool.run([this](unsigned Index) { workerMain(Index); });
+
+      if (Opts.Lease != LeaseMode::Off) {
+        // One lease round: capture the remaining frontier (unexecuted
+        // items only when a limit or stop cut the round short) instead of
+        // advancing the bound — the coordinator owns the barrier.
+        for (WorkerState &W : Workers) {
+          WorkItem Item;
+          while (W.Deque.tryPopBottom(Item))
+            Result.LeaseCurrent.push_back(Executors[0]->saveItem(Item));
+        }
+        for (WorkItem &Item : NextQueue.drain())
+          Result.LeaseDeferred.push_back(Executors[0]->saveItem(Item));
+        Result.LeaseSeen = Seen.digests();
+        Result.LeaseTerminal = Terminal.digests();
+        Result.LeaseItems = ItemCache.digests();
+        Result.Interrupted = ExternalStop.load();
+        finalize(Result, !Stop.load() && Result.LeaseCurrent.empty());
+        return Result;
+      }
 
       if (ExternalStop.load()) {
         // Cooperative stop: every in-flight chain finished before its

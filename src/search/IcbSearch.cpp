@@ -18,10 +18,13 @@ SearchResult IcbSearch::run(const vm::Interp &Interp) {
   EngineOpts.Limits = Opts.Limits;
   EngineOpts.Policy = Opts.Policy;
   // Historical model-VM bug policy: first exposure wins at equal
-  // preemption counts, reported in discovery order.
-  EngineOpts.CanonicalBugs = false;
+  // preemption counts, reported in discovery order. Lease executions are
+  // merged by a coordinator whose folds are canonical, so they report
+  // canonically like the parallel driver.
+  EngineOpts.CanonicalBugs = Opts.Lease != LeaseMode::Off;
   EngineOpts.Observer = Opts.Observer;
   EngineOpts.Resume = Opts.Resume;
   EngineOpts.Metrics = Opts.Metrics;
+  EngineOpts.Lease = Opts.Lease;
   return runSequentialIcbEngine(Executor, EngineOpts);
 }

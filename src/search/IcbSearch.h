@@ -59,6 +59,10 @@ public:
     const EngineSnapshot *Resume = nullptr;
     /// Observability registry (see obs/Metrics.h).
     obs::MetricsRegistry *Metrics = nullptr;
+    /// Distributed lease participation (see search::LeaseMode). Any lease
+    /// mode forces canonical bug reports — the coordinator's merge is
+    /// canonical by construction.
+    LeaseMode Lease = LeaseMode::Off;
   };
 
   explicit IcbSearch(Options Opts) : Opts(Opts) {}

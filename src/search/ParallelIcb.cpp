@@ -35,5 +35,6 @@ SearchResult ParallelIcbSearch::run(const vm::Interp &Interp) {
   EngineOpts.Observer = Opts.Observer;
   EngineOpts.Resume = Opts.Resume;
   EngineOpts.Metrics = Opts.Metrics;
+  EngineOpts.Lease = Opts.Lease;
   return runParallelIcbEngine(Executors, EngineOpts);
 }

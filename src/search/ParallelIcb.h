@@ -90,6 +90,9 @@ public:
     const EngineSnapshot *Resume = nullptr;
     /// Observability registry (see obs/Metrics.h).
     obs::MetricsRegistry *Metrics = nullptr;
+    /// Distributed lease participation (see search::LeaseMode; Drain
+    /// only — roots leases run through the sequential driver).
+    LeaseMode Lease = LeaseMode::Off;
   };
 
   explicit ParallelIcbSearch(Options Opts) : Opts(Opts) {}

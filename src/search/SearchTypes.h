@@ -75,6 +75,51 @@ struct SearchLimits {
   bool StopAtFirstBug = false;
 };
 
+/// One frontier work item in executor-neutral form: replay \p Prefix from
+/// the initial state, then schedule \p Next (NoNext for the root item's
+/// free first choice). This is both the checkpoint form (EngineObserver.h)
+/// and the wire form leased between distributed checking processes
+/// (dist/).
+struct SavedWorkItem {
+  static constexpr uint32_t NoNext = ~0u;
+
+  std::vector<uint32_t> Prefix;
+  uint32_t Next = NoNext;
+  /// Threads asleep at the item's start state (bounded POR); empty when
+  /// POR is off. Serialized only when non-empty (checkpoint format v3).
+  std::vector<uint32_t> Sleep;
+  /// BoundPolicy budget state (checkpoint format v4): the thread and
+  /// variable sets a stateful policy carries. Empty for the preemption
+  /// and delay policies; serialized only when non-empty.
+  std::vector<uint32_t> BoundThreads;
+  std::vector<uint64_t> BoundVars;
+  /// Schedule-space mass assigned to the item's subtree (checkpoint
+  /// format v5, see obs::EstimateOne); serialized only when nonzero so
+  /// old checkpoints load with the estimator simply uncredited.
+  uint64_t EstMass = 0;
+  /// Display name of the preemption site that seeded this subtree
+  /// (checkpoint format v5); empty for roots/free branches of untraced
+  /// provenance and serialized only when non-empty.
+  std::string Site;
+};
+
+/// How the ICB drivers participate in a distributed run (dist/). A lease
+/// is one batch of a single bound's work items executed in isolation by a
+/// worker process with fresh caches; the coordinator owns the global
+/// frontier and merges the per-lease deltas commutatively.
+enum class LeaseMode : uint8_t {
+  Off,   ///< Run Algorithm 1 in full (the default).
+  Roots, ///< Seed the bound-0 frontier (executor root items charged and
+         ///< mass-split exactly as a local run would) and return both
+         ///< queues *unexecuted*; the degenerate no-schedulable-thread
+         ///< program still accounts its single execution. Sequential
+         ///< driver only.
+  Drain, ///< Resume from a synthetic snapshot carrying one bound's leased
+         ///< items, drain exactly that bound, and return the deferred
+         ///< continuations instead of advancing. Per-bound/coverage rows
+         ///< are suppressed — the coordinator owns the bound barrier.
+};
+
 /// One sample of the states-vs-executions coverage curve (Figures 2/5/6).
 struct CoveragePoint {
   uint64_t Executions = 0;
@@ -125,6 +170,19 @@ struct SearchResult {
   /// True if an external stop (SIGINT/SIGTERM via the engine observer) cut
   /// the run short; a resumable checkpoint was emitted in that case.
   bool Interrupted = false;
+  /// Lease-mode output (LeaseMode != Off; empty otherwise). Roots mode:
+  /// LeaseCurrent/LeaseDeferred are the two seeded queues. Drain mode:
+  /// LeaseCurrent holds whatever was left unexecuted when a limit or stop
+  /// cut the lease short (normally empty), LeaseDeferred the continuations
+  /// published for bound c + 1. The digest vectors are the lease-local
+  /// distinct visited/terminal/work-item digests — the coordinator folds
+  /// them into its authoritative sets to reconstruct the global hit/miss
+  /// counter split.
+  std::vector<SavedWorkItem> LeaseCurrent;
+  std::vector<SavedWorkItem> LeaseDeferred;
+  std::vector<uint64_t> LeaseSeen;
+  std::vector<uint64_t> LeaseTerminal;
+  std::vector<uint64_t> LeaseItems;
 
   bool foundBug() const { return !Bugs.empty(); }
   /// The bug with the fewest preemptions (the "simplest explanation").

@@ -34,7 +34,9 @@ namespace icb::session {
 static constexpr uint64_t CheckpointFormatVersion = 5;
 static constexpr uint64_t MinCheckpointFormatVersion = 1;
 
-static JsonValue metaToJson(const CheckpointMeta &Meta) {
+uint64_t checkpointFormatVersion() { return CheckpointFormatVersion; }
+
+JsonValue metaToJson(const CheckpointMeta &Meta) {
   JsonValue V = JsonValue::object();
   V.set("benchmark", JsonValue::str(Meta.Benchmark));
   V.set("bug", JsonValue::str(Meta.Bug));
@@ -52,7 +54,7 @@ static JsonValue metaToJson(const CheckpointMeta &Meta) {
   return V;
 }
 
-static bool metaFromJson(const JsonValue &V, CheckpointMeta &Out) {
+bool metaFromJson(const JsonValue &V, CheckpointMeta &Out) {
   if (!V.isObject())
     return false;
   uint64_t Jobs = 0, Shards = 0;

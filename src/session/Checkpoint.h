@@ -29,6 +29,7 @@
 
 #include "search/EngineObserver.h"
 #include "search/SearchTypes.h"
+#include "session/Json.h"
 #include <atomic>
 #include <chrono>
 #include <cstdint>
@@ -67,6 +68,16 @@ struct CheckpointData {
   search::EngineSnapshot Snap;
   uint64_t WallMillis = 0; ///< Accumulated across all resumed segments.
 };
+
+/// Meta (de)serialization, shared with the distributed hello handshake:
+/// a coordinator sends its CheckpointMeta to every joiner so unset joiner
+/// flags adopt the coordinator's configuration (the `--resume` rules).
+JsonValue metaToJson(const CheckpointMeta &Meta);
+bool metaFromJson(const JsonValue &V, CheckpointMeta &Out);
+
+/// The checkpoint file format version (distributed hellos are versioned
+/// against it: a coordinator refuses joiners speaking another format).
+uint64_t checkpointFormatVersion();
 
 /// The single checkpoint file inside a `--checkpoint-dir`.
 std::string checkpointPath(const std::string &Dir);

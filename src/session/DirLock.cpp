@@ -1,0 +1,56 @@
+//===- session/DirLock.cpp - Advisory checkpoint-dir lock -----------------===//
+//
+// Part of the ICB project (PLDI'07 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "session/DirLock.h"
+#include <cerrno>
+#include <cstring>
+#include <fcntl.h>
+#include <sys/file.h>
+#include <unistd.h>
+
+namespace icb::session {
+
+DirLock &DirLock::operator=(DirLock &&O) noexcept {
+  if (this != &O) {
+    release();
+    Fd = O.Fd;
+    O.Fd = -1;
+  }
+  return *this;
+}
+
+bool DirLock::acquire(const std::string &Dir, std::string *Error) {
+  release();
+  std::string Path = Dir + "/.lock";
+  int NewFd = ::open(Path.c_str(), O_RDWR | O_CREAT | O_CLOEXEC, 0644);
+  if (NewFd < 0) {
+    if (Error)
+      *Error = "cannot open lock file " + Path + ": " + std::strerror(errno);
+    return false;
+  }
+  if (::flock(NewFd, LOCK_EX | LOCK_NB) != 0) {
+    if (Error) {
+      *Error = errno == EWOULDBLOCK
+                   ? "checkpoint dir is locked by another run: " + Dir
+                   : "cannot lock " + Path + ": " + std::strerror(errno);
+    }
+    ::close(NewFd);
+    return false;
+  }
+  Fd = NewFd;
+  return true;
+}
+
+void DirLock::release() {
+  if (Fd >= 0) {
+    // Closing drops the flock; the .lock file itself stays (harmless, and
+    // unlinking would race a concurrent acquirer onto a different inode).
+    ::close(Fd);
+    Fd = -1;
+  }
+}
+
+} // namespace icb::session

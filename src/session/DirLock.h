@@ -1,0 +1,53 @@
+//===- session/DirLock.h - Advisory checkpoint-dir lock ---------*- C++ -*-===//
+//
+// Part of the ICB project (PLDI'07 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// An advisory `flock(2)` on a `--checkpoint-dir`. Two concurrent runs
+/// writing the same checkpoint file would silently corrupt each other's
+/// resume state (last-writer-wins on every period), so the session layer
+/// takes an exclusive non-blocking lock on `<dir>/.lock` for the lifetime
+/// of the run; the loser reports the conflict and exits with the I/O
+/// error code (4) instead of racing.
+///
+/// The lock is advisory and crash-safe: the kernel drops it when the
+/// owning process dies (SIGKILL included), so a stale `.lock` file never
+/// wedges a later run — `--serve --resume` after a kill just reacquires.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ICB_SESSION_DIRLOCK_H
+#define ICB_SESSION_DIRLOCK_H
+
+#include <string>
+
+namespace icb::session {
+
+/// Scoped exclusive lock on a directory. Default-constructed = not held.
+class DirLock {
+public:
+  DirLock() = default;
+  ~DirLock() { release(); }
+
+  DirLock(const DirLock &) = delete;
+  DirLock &operator=(const DirLock &) = delete;
+  DirLock(DirLock &&O) noexcept : Fd(O.Fd) { O.Fd = -1; }
+  DirLock &operator=(DirLock &&O) noexcept;
+
+  /// Takes the exclusive lock on `<dir>/.lock`, non-blocking. Returns
+  /// false with \p Error set when another live process holds it (or the
+  /// directory is unusable); true when the lock is held.
+  bool acquire(const std::string &Dir, std::string *Error);
+
+  bool held() const { return Fd >= 0; }
+  void release();
+
+private:
+  int Fd = -1;
+};
+
+} // namespace icb::session
+
+#endif // ICB_SESSION_DIRLOCK_H

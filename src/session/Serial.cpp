@@ -590,6 +590,16 @@ bool hexField(const JsonValue &V, const char *Key,
 
 } // namespace
 
+JsonValue icb::session::workItemsToJson(
+    const std::vector<search::SavedWorkItem> &Items) {
+  return itemsToJson(Items);
+}
+
+bool icb::session::workItemsFromJson(const JsonValue &V,
+                                     std::vector<search::SavedWorkItem> &Out) {
+  return itemsFromJson(&V, Out);
+}
+
 JsonValue icb::session::snapshotToJson(const EngineSnapshot &Snap) {
   JsonValue V = JsonValue::object();
   V.set("bound", JsonValue::number(Snap.Bound));

@@ -44,6 +44,14 @@ bool bugFromJson(const JsonValue &V, search::Bug &Out);
 JsonValue snapshotToJson(const search::EngineSnapshot &Snap);
 bool snapshotFromJson(const JsonValue &V, search::EngineSnapshot &Out);
 
+/// Saved work items in the checkpoint dialect (prefix/sleep/bound-budget/
+/// est-mass rows). The distributed wire frames (dist/Protocol.h) lease and
+/// return frontier slices in exactly this encoding, so a coordinator
+/// checkpoint and a lease frame are interchangeable representations.
+JsonValue workItemsToJson(const std::vector<search::SavedWorkItem> &Items);
+bool workItemsFromJson(const JsonValue &V,
+                       std::vector<search::SavedWorkItem> &Out);
+
 JsonValue limitsToJson(const search::SearchLimits &Limits);
 bool limitsFromJson(const JsonValue &V, search::SearchLimits &Out);
 

@@ -22,6 +22,7 @@
 #include "search/IcbSearch.h"
 #include "search/ParallelIcb.h"
 #include "session/Checkpoint.h"
+#include "session/DirLock.h"
 #include "session/Manifest.h"
 #include "session/Minimize.h"
 #include "session/Repro.h"
@@ -31,6 +32,7 @@
 #include <atomic>
 #include <cstdio>
 #include <gtest/gtest.h>
+#include <unistd.h>
 #include <string>
 #include <vector>
 
@@ -833,6 +835,76 @@ TEST(SessionMinimize, VmShrinksToSamePreemptionCount) {
   ReproArtifact Shrunk = A;
   Shrunk.Found = M.Minimized;
   EXPECT_TRUE(replayArtifactVm(Shrunk, Prog).Reproduced);
+}
+
+//===----------------------------------------------------------------------===//
+// Checkpoint-directory locking and robustness
+//===----------------------------------------------------------------------===//
+
+TEST(SessionDirLock, SecondAcquirerLosesUntilRelease) {
+  std::string Dir = testing::TempDir() + "icb_dirlock_test";
+  std::string Error;
+  ASSERT_TRUE(ensureDir(Dir, &Error)) << Error;
+
+  DirLock First;
+  ASSERT_TRUE(First.acquire(Dir, &Error)) << Error;
+  EXPECT_TRUE(First.held());
+
+  // flock is per open file description, so a second open of the same
+  // .lock conflicts even within one process — exactly the two-runs-on-
+  // one---checkpoint-dir collision the CLI reports as exit 4.
+  DirLock Second;
+  EXPECT_FALSE(Second.acquire(Dir, &Error));
+  EXPECT_FALSE(Second.held());
+  EXPECT_FALSE(Error.empty());
+
+  First.release();
+  EXPECT_FALSE(First.held());
+  EXPECT_TRUE(Second.acquire(Dir, &Error)) << Error;
+  Second.release();
+}
+
+TEST(SessionDirLock, AcquireFailsOnMissingDirectory) {
+  std::string Dir = testing::TempDir() + "icb_dirlock_never_created";
+  std::string Error;
+  DirLock Lock;
+  EXPECT_FALSE(Lock.acquire(Dir, &Error));
+  EXPECT_FALSE(Lock.held());
+  EXPECT_FALSE(Error.empty());
+}
+
+TEST(SessionCheckpoint, SinkSurvivesVanishingDirectory) {
+  // A checkpoint directory removed mid-run (operator cleanup, tmpfs
+  // reaper) must surface as a sticky sink error — the CLI maps it to
+  // exit 4 — never a crash or a silent no-op.
+  std::string Dir = testing::TempDir() + "icb_vanishing_ckpt_dir";
+  std::string Error;
+  ASSERT_TRUE(ensureDir(Dir, &Error)) << Error;
+
+  CheckpointMeta Meta;
+  Meta.Benchmark = "racy";
+  Meta.Form = "vm";
+  Meta.Strategy = "icb";
+  CheckpointSink Sink(Dir, /*Every=*/1, Meta);
+
+  search::EngineSnapshot Snap;
+  Snap.Bound = 0;
+  Snap.CurrentQueue.push_back({});
+  Sink.onCheckpoint(Snap);
+  ASSERT_TRUE(Sink.ok()) << Sink.error();
+
+  std::remove(checkpointPath(Dir).c_str());
+  std::remove((Dir + "/.lock").c_str());
+  ASSERT_EQ(::rmdir(Dir.c_str()), 0);
+
+  Sink.onCheckpoint(Snap);
+  EXPECT_FALSE(Sink.ok());
+  EXPECT_FALSE(Sink.error().empty());
+
+  // The first failure sticks even if the directory reappears.
+  ASSERT_TRUE(ensureDir(Dir, &Error)) << Error;
+  Sink.onCheckpoint(Snap);
+  EXPECT_FALSE(Sink.ok());
 }
 
 } // namespace

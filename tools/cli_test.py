@@ -10,11 +10,15 @@ ICB_NO_METRICS binary — the hard usage error for --trace=FILE.
 Usage: cli_test.py <icb_check> <icb_report>
 """
 
+import fcntl
 import json
 import os
+import socket
+import struct
 import subprocess
 import sys
 import tempfile
+import threading
 
 CHECK, REPORT = sys.argv[1], sys.argv[2]
 
@@ -25,8 +29,98 @@ EXPECTED_CSV_HEADER = [
 ]
 
 
-def run(*args):
-    return subprocess.run(list(args), capture_output=True, text=True)
+def run(*args, **kw):
+    kw.setdefault("timeout", 60)
+    return subprocess.run(list(args), capture_output=True, text=True, **kw)
+
+
+def wire_frame(obj):
+    """One dist-protocol frame: 4-byte LE length + session-dialect JSON."""
+    payload = json.dumps(obj).encode()
+    return struct.pack("<I", len(payload)) + payload
+
+
+def dist_contract(tmp):
+    """--serve/--join flag contract and the joiner's refusal handling."""
+    bench = ["--benchmark=Bluetooth", "--bug=stop-vs-work check-then-act"]
+
+    # A process is either the coordinator or a worker, never both.
+    r = run(CHECK, "--serve=127.0.0.1:0", "--join=127.0.0.1:1", *bench)
+    assert r.returncode == 2, (r.returncode, r.stderr)
+    assert "mutually exclusive" in r.stderr, r.stderr
+
+    # --replay is a local-executor mode; both service roles reject it.
+    missing = os.path.join(tmp, "missing.icbrepro")
+    for role in ("--serve=127.0.0.1:0", "--join=127.0.0.1:1"):
+        r = run(CHECK, "--replay=" + missing, role)
+        assert r.returncode == 2, (role, r.returncode, r.stderr)
+
+    # A joiner adopts the coordinator's configuration: flags that would
+    # contradict the adoption are usage errors.
+    for flag in ("--max-bound=3", "--benchmark=Bluetooth", "--por",
+                 "--json=" + os.path.join(tmp, "x.json")):
+        r = run(CHECK, "--join=127.0.0.1:1", flag)
+        assert r.returncode == 2, (flag, r.returncode, r.stderr)
+        assert "cannot be combined" in r.stderr, (flag, r.stderr)
+
+    # A coordinator executes nothing locally; worker topology flags
+    # belong on the joiners.
+    r = run(CHECK, "--serve=127.0.0.1:0", "--jobs=2", *bench)
+    assert r.returncode == 2, (r.returncode, r.stderr)
+
+    # Unparseable bind/connect addresses are usage errors (exit 2).
+    r = run(CHECK, "--serve=notanaddress", *bench)
+    assert r.returncode == 2, (r.returncode, r.stderr)
+    r = run(CHECK, "--join=notanaddress")
+    assert r.returncode == 2, (r.returncode, r.stderr)
+
+    # A joiner that cannot reach any coordinator exhausts its capped
+    # reconnect attempts and exits with the I/O code (4).
+    probe = socket.socket()
+    probe.bind(("127.0.0.1", 0))
+    dead_port = probe.getsockname()[1]
+    probe.close()
+    env = dict(os.environ, ICB_DIST_CONNECT_ATTEMPTS="1")
+    r = subprocess.run(
+        [CHECK, "--join=127.0.0.1:%d" % dead_port],
+        capture_output=True, text=True, timeout=60, env=env)
+    assert r.returncode == 4, (r.returncode, r.stderr)
+
+    # A coordinator that refuses the hello (version mismatch) must make
+    # the joiner exit 2 and surface the reason. The fake coordinator
+    # only speaks the refusal leg, which is version-skew-equivalent.
+    srv = socket.socket()
+    srv.bind(("127.0.0.1", 0))
+    srv.listen(1)
+    port = srv.getsockname()[1]
+
+    def refuse_one():
+        conn, _ = srv.accept()
+        conn.recv(4096)  # The joiner's hello; contents are irrelevant.
+        conn.sendall(wire_frame(
+            {"kind": "refuse",
+             "reason": "version mismatch: coordinator speaks protocol 999"}))
+        conn.close()
+
+    t = threading.Thread(target=refuse_one)
+    t.start()
+    r = run(CHECK, "--join=127.0.0.1:%d" % port)
+    t.join()
+    srv.close()
+    assert r.returncode == 2, (r.returncode, r.stderr)
+    assert "version mismatch" in r.stderr, r.stderr
+
+    # Two runs sharing one --checkpoint-dir: the advisory lock makes the
+    # loser exit 4 instead of corrupting the winner's resume state.
+    ckdir = os.path.join(tmp, "locked-ckpt")
+    os.mkdir(ckdir)
+    lockfile = open(os.path.join(ckdir, ".lock"), "w")
+    fcntl.flock(lockfile, fcntl.LOCK_EX | fcntl.LOCK_NB)
+    r = run(CHECK, *bench, "--max-executions=5",
+            "--checkpoint-dir=" + ckdir)
+    assert r.returncode == 4, (r.returncode, r.stderr)
+    assert "lock" in r.stderr.lower(), r.stderr
+    lockfile.close()
 
 
 def main():
@@ -48,6 +142,9 @@ def main():
     r = run(CHECK, "--replay=" + os.path.join(tmp, "missing.icbrepro"),
             "--trace=" + trace)
     assert r.returncode == 2, (r.returncode, r.stderr)
+
+    # The distributed checking service's CLI contract.
+    dist_contract(tmp)
 
     # A bug-found early exit must still flush the final metrics-csv row.
     extra = [] if no_metrics else ["--trace=" + trace, "--json=" + manifest]

@@ -1,0 +1,62 @@
+//===- tools/common/DistDrive.h - --serve/--join CLI drivers ----*- C++ -*-===//
+//
+// Part of the ICB project (PLDI'07 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The tool-side face of the distributed checking service (src/dist/):
+/// runServe hosts the frontier-owning coordinator behind the ordinary
+/// RunSession plumbing (manifest, checkpoints, resume, progress), and
+/// runJoin runs the joiner protocol loop with a lease runner that drives
+/// the real engines — a fresh engine, fresh caches, and a fresh metrics
+/// registry per lease, so every delta the coordinator merges is
+/// lease-local and the merge stays commutative.
+///
+/// Environment knobs (mainly for tests/CI, which want short timeouts):
+///   ICB_DIST_HEARTBEAT_MS      coordinator-advertised heartbeat period
+///   ICB_DIST_REVOKE_MS         silent-joiner revocation timeout
+///   ICB_DIST_LEASE_ITEMS       work items per drain lease
+///   ICB_DIST_CONNECT_ATTEMPTS  joiner reconnect attempts before exit 4
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ICB_TOOLS_COMMON_DISTDRIVE_H
+#define ICB_TOOLS_COMMON_DISTDRIVE_H
+
+#include "common/ToolCommon.h"
+#include <functional>
+#include <string>
+
+namespace icb::tool {
+
+/// Resolves the coordinator's adopted run identity (benchmark/bug/form
+/// from the hello_ok meta) to runnable test factories. Returns false with
+/// \p Error set when the identity does not resolve on this joiner — the
+/// joiner refuses and exits 2, mirroring the version-mismatch path.
+using DistResolver = std::function<bool(
+    const session::CheckpointMeta &Meta,
+    std::function<rt::TestCase()> &MakeRt,
+    std::function<vm::Program()> &MakeVm, std::string *Error)>;
+
+/// `--serve=HOST:PORT`: bind the coordinator, serve leases until the
+/// frontier drains, and report exactly what a local run would (the header
+/// line differs; everything after it is printed by the shared summary
+/// printer, which is what the CI stdout diff against `--jobs 1` relies
+/// on). \p DisplayName is the benchmark/test name for the header. Exit
+/// codes follow the tool contract: 1 bug found, 2 bad address or
+/// configuration, 4 session I/O failure, 130 interrupted.
+int runServe(const std::string &Bind, const RunConfig &Config,
+             SessionState &S, const char *Form,
+             const std::string &DisplayName);
+
+/// `--join=HOST:PORT`: connect (with capped-backoff retries), adopt the
+/// coordinator's configuration, and execute leases with \p Jobs local
+/// workers until the coordinator sends done. Exit 0 on done, 2 on
+/// refusal/config mismatch, 4 when the connection attempts are exhausted.
+int runJoin(const std::string &Addr, unsigned Jobs, unsigned Shards,
+            const DistResolver &Resolve);
+
+} // namespace icb::tool
+
+#endif // ICB_TOOLS_COMMON_DISTDRIVE_H

@@ -26,10 +26,9 @@ const char icb::tool::kExitCodesHelp[] =
     "  4    session I/O failure (manifest, checkpoint, or repro file)\n"
     "  130  interrupted; a resumable checkpoint was flushed first";
 
-namespace {
-
-session::CheckpointMeta makeMeta(const SessionState &S, const RunConfig &C,
-                                 const char *Form) {
+session::CheckpointMeta icb::tool::makeRunMeta(const SessionState &S,
+                                               const RunConfig &C,
+                                               const char *Form) {
   session::CheckpointMeta M;
   M.Benchmark = S.Benchmark;
   M.Bug = S.Bug;
@@ -48,6 +47,8 @@ session::CheckpointMeta makeMeta(const SessionState &S, const RunConfig &C,
   M.VarBound = C.VarBound;
   return M;
 }
+
+namespace {
 
 /// The canonical spec text of the configured bound policy.
 std::string boundSpecOf(const RunConfig &C) {
@@ -114,9 +115,14 @@ RunSession::RunSession(SessionState &S, const RunConfig &Config,
       Failed = true;
       return;
     }
+    if (!Lock.acquire(S.CheckpointDir, &Err)) {
+      std::fprintf(stderr, "%s\n", Err.c_str());
+      Failed = true;
+      return;
+    }
     Guard = std::make_unique<session::SignalGuard>();
     Sink = std::make_unique<session::CheckpointSink>(
-        S.CheckpointDir, S.CheckpointEvery, makeMeta(S, Config, Form),
+        S.CheckpointDir, S.CheckpointEvery, makeRunMeta(S, Config, Form),
         S.Resume ? S.Resume->Snap.Stats.Executions : 0, PriorWall);
     Obs.Sink = Sink.get();
   }
@@ -247,6 +253,8 @@ int RunSession::finish(const search::SearchResult &R) {
     obs::MetricsSnapshot MSnap = Metrics.snapshot();
     if (!MSnap.empty())
       Run.set("metrics", session::metricsToJson(MSnap));
+    if (HaveDist)
+      Run.set("dist", std::move(Dist));
     S.Json->updateRun(RunIdx, std::move(Run));
     std::string Err;
     if (!S.Json->writeTo(S.JsonPath, &Err)) {
@@ -487,6 +495,62 @@ bool icb::tool::checkReplayExclusive(
   return true;
 }
 
+bool icb::tool::checkJoinExclusive(
+    const FlagSet &Flags, std::initializer_list<const char *> ExtraFlags) {
+  // --jobs/--shards stay legal: they describe the joiner's own worker
+  // pool, which (like --resume's topology exemption) never changes the
+  // merged result. Everything else is owned by the coordinator and
+  // adopted through the hello_ok meta.
+  static const char *const Incompatible[] = {
+      "strategy",     "max-bound",      "bound",          "max-executions",
+      "seed",         "keep-going",     "every-access",   "por",
+      "detector",     "json",           "checkpoint-dir", "checkpoint-every",
+      "resume",       "replay",         "minimize",       "repro-dir",
+      "progress",     "progress-every", "metrics-csv",    "trace",
+  };
+  auto Reject = [](const char *Name) {
+    std::fprintf(stderr,
+                 "--join adopts the coordinator's configuration; --%s "
+                 "cannot be combined with it\n",
+                 Name);
+    return false;
+  };
+  for (const char *Name : Incompatible)
+    if (Flags.wasSet(Name))
+      return Reject(Name);
+  for (const char *Name : ExtraFlags)
+    if (Flags.wasSet(Name))
+      return Reject(Name);
+  return true;
+}
+
+void icb::tool::printResultSummary(
+    const search::SearchResult &R, const RunConfig &Config, bool RtForm,
+    const std::function<void(const search::Bug &)> &PerBug) {
+  std::printf("  executions %s, steps %s, %s %s%s\n",
+              withCommas(R.Stats.Executions).c_str(),
+              withCommas(R.Stats.TotalSteps).c_str(),
+              RtForm ? "visited states" : "states",
+              withCommas(R.Stats.DistinctStates).c_str(),
+              R.Stats.Completed ? " (state space exhausted)" : "");
+  if (RtForm)
+    for (const search::BoundCoverage &B : R.Stats.PerBound)
+      std::printf("  bound %u: executions %s, visited states %s\n", B.Bound,
+                  withCommas(B.Executions).c_str(),
+                  withCommas(B.States).c_str());
+  for (const search::Bug &Bug : R.Bugs) {
+    std::printf("  BUG %s\n", Bug.str().c_str());
+    if (PerBug)
+      PerBug(Bug);
+  }
+  if (R.Bugs.empty() && !R.Interrupted) {
+    if (defaultBound(Config))
+      std::printf("  no bug within preemption bound %u\n", Config.MaxBound);
+    else
+      std::printf("  no bug within bound %s\n", boundSpecOf(Config).c_str());
+  }
+}
+
 bool icb::tool::checkSessionStrategy(const RunConfig &Config,
                                      const SessionState &S) {
   if (!S.CheckpointDir.empty() && Config.Strategy != "icb") {
@@ -680,23 +744,7 @@ int icb::tool::runRt(const rt::TestCase &Test, const RunConfig &Config,
   } else {
     R = Explorer->explore(Test);
   }
-  std::printf("  executions %s, steps %s, visited states %s%s\n",
-              withCommas(R.Stats.Executions).c_str(),
-              withCommas(R.Stats.TotalSteps).c_str(),
-              withCommas(R.Stats.DistinctStates).c_str(),
-              R.Stats.Completed ? " (state space exhausted)" : "");
-  for (const rt::BoundCoverage &B : R.Stats.PerBound)
-    std::printf("  bound %u: executions %s, visited states %s\n", B.Bound,
-                withCommas(B.Executions).c_str(),
-                withCommas(B.States).c_str());
-  for (const rt::RtBug &Bug : R.Bugs)
-    std::printf("  BUG %s\n", Bug.str().c_str());
-  if (R.Bugs.empty() && !R.Interrupted) {
-    if (defaultBound(Config))
-      std::printf("  no bug within preemption bound %u\n", Config.MaxBound);
-    else
-      std::printf("  no bug within bound %s\n", Policy->spec().c_str());
-  }
+  printResultSummary(R, Config, /*RtForm=*/true);
   if (Config.Trace && R.foundBug())
     std::printf("\n%s",
                 rt::renderBugTrace(Test, *R.simplestBug(), Opts.Exec)
@@ -759,26 +807,15 @@ int icb::tool::runVm(const vm::Program &Prog, const RunConfig &Config,
   } else {
     R = search::checkProgram(Prog, Opts);
   }
-  std::printf("  executions %s, steps %s, states %s%s\n",
-              withCommas(R.Stats.Executions).c_str(),
-              withCommas(R.Stats.TotalSteps).c_str(),
-              withCommas(R.Stats.DistinctStates).c_str(),
-              R.Stats.Completed ? " (state space exhausted)" : "");
-  for (const search::Bug &Bug : R.Bugs) {
-    std::printf("  BUG %s\n", Bug.str().c_str());
-    if (Config.Trace && !Bug.Schedule.empty()) {
-      std::printf("    schedule:");
-      for (vm::ThreadId Tid : Bug.Schedule)
-        std::printf(" %s", Prog.Threads[Tid].Name.c_str());
-      std::printf("\n");
-    }
-  }
-  if (R.Bugs.empty() && !R.Interrupted) {
-    if (defaultBound(Config))
-      std::printf("  no bug within preemption bound %u\n", Config.MaxBound);
-    else
-      std::printf("  no bug within bound %s\n", Policy->spec().c_str());
-  }
+  printResultSummary(R, Config, /*RtForm=*/false,
+                     [&](const search::Bug &Bug) {
+                       if (Config.Trace && !Bug.Schedule.empty()) {
+                         std::printf("    schedule:");
+                         for (vm::ThreadId Tid : Bug.Schedule)
+                           std::printf(" %s", Prog.Threads[Tid].Name.c_str());
+                         std::printf("\n");
+                       }
+                     });
   int Rc = Sess.finish(R);
   return std::max(Rc, R.foundBug() ? 1 : 0);
 }

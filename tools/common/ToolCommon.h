@@ -27,6 +27,7 @@
 #include "search/BoundPolicy.h"
 #include "search/Checker.h"
 #include "session/Checkpoint.h"
+#include "session/DirLock.h"
 #include "session/Json.h"
 #include "session/Manifest.h"
 #include "session/Repro.h"
@@ -153,6 +154,14 @@ public:
 
   uint64_t wallMillis() const;
 
+  /// Attaches a distributed-run block (per-joiner lease accounting) to the
+  /// run's manifest record; written by finish(). Timing-class by nature —
+  /// the CI determinism diffs drop it alongside metrics.timing.
+  void setDistBlock(session::JsonValue Block) {
+    Dist = std::move(Block);
+    HaveDist = true;
+  }
+
   /// Repro artifacts, final manifest record, checkpoint error surfacing.
   /// Returns the session part of the exit code (0, 4, or 130).
   int finish(const search::SearchResult &R);
@@ -164,6 +173,10 @@ private:
   const RunConfig &Config;
   const char *Form;
   ToolObserver Obs;
+  /// Advisory exclusive lock on the checkpoint directory: two concurrent
+  /// runs (plain or --serve) writing one dir would corrupt each other's
+  /// resume state, so the loser exits 4 instead.
+  session::DirLock Lock;
   std::unique_ptr<session::SignalGuard> Guard;
   std::unique_ptr<session::CheckpointSink> Sink;
   /// One registry per run: each variant's manifest record carries its own
@@ -172,6 +185,8 @@ private:
   obs::MetricsRegistry Metrics;
   std::unique_ptr<obs::ProgressMeter> Meter;
   std::FILE *Csv = nullptr; ///< --metrics-csv sink (append mode).
+  session::JsonValue Dist;  ///< --serve: per-joiner manifest block.
+  bool HaveDist = false;
   std::vector<search::BoundCoverage> Bounds;
   size_t RunIdx = 0;
   std::chrono::steady_clock::time_point Start =
@@ -221,6 +236,31 @@ bool checkReplayExclusive(const FlagSet &Flags,
 /// --checkpoint-dir/--resume are implemented for the icb strategy only.
 /// Returns false after printing a usage error (exit 2).
 bool checkSessionStrategy(const RunConfig &Config, const SessionState &S);
+
+/// --join adopts the coordinator's recorded configuration the way
+/// --resume adopts a checkpoint's, so every search/session flag except
+/// the joiner's local topology (--jobs/--shards) is rejected alongside
+/// it; tools pass their identity flags in \p ExtraFlags. Returns false
+/// after printing a usage error (exit 2).
+bool checkJoinExclusive(const FlagSet &Flags,
+                        std::initializer_list<const char *> ExtraFlags);
+
+/// The checkpoint meta describing one run's identity and configuration —
+/// written into checkpoints and sent to distributed joiners in the
+/// hello_ok handshake (dist/Protocol.h).
+session::CheckpointMeta makeRunMeta(const SessionState &S,
+                                    const RunConfig &C, const char *Form);
+
+/// The post-search stdout block shared by the local drivers and the
+/// distributed coordinator: the executions/steps/states line, the
+/// per-bound lines (runtime form only), one BUG line per bug (\p PerBug,
+/// when set, prints a bug's extras directly after its line), and the
+/// no-bug-within-bound line. Keeping one printer is what lets the CI diff
+/// a --serve run's stdout against a --jobs 1 run's.
+void printResultSummary(const search::SearchResult &R,
+                        const RunConfig &Config, bool RtForm,
+                        const std::function<void(const search::Bug &)>
+                            &PerBug = nullptr);
 
 /// Loads \p ResumeDir's checkpoint into \p Data, rejects CLI flags that
 /// conflict with the recorded run, adopts the recorded values for

@@ -30,10 +30,14 @@
 ///   icb_check --resume=ckpt
 ///   icb_check --replay=bluetooth-stop-vs-work-assertion-failure.icbrepro
 ///             --minimize
+///   icb_check --benchmark=Bluetooth --bug=stop-vs-work
+///             --serve=127.0.0.1:7421          # distributed coordinator
+///   icb_check --join=127.0.0.1:7421 --jobs=4  # worker process(es)
 ///
 //===----------------------------------------------------------------------===//
 
 #include "benchmarks/Registry.h"
+#include "common/DistDrive.h"
 #include "common/ToolCommon.h"
 #include <cstdio>
 #include <functional>
@@ -99,6 +103,34 @@ bool resolveArtifact(const session::ReproArtifact &A,
   return true;
 }
 
+/// Resolves the identity a --join worker adopts from the coordinator's
+/// hello_ok meta against the local registry (form availability is checked
+/// by the shared join driver).
+bool resolveDistIdentity(const session::CheckpointMeta &Meta,
+                         std::function<rt::TestCase()> &MakeRt,
+                         std::function<vm::Program()> &MakeVm,
+                         std::string *Error) {
+  const BenchmarkEntry *Entry = findBenchmark(Meta.Benchmark);
+  if (!Entry) {
+    *Error = "coordinator names unknown benchmark '" + Meta.Benchmark + "'";
+    return false;
+  }
+  if (Meta.Bug == "default") {
+    MakeRt = Entry->MakeDefaultRt;
+    MakeVm = Entry->MakeDefaultVm;
+    return true;
+  }
+  for (const BugVariant &B : Entry->Bugs)
+    if (B.Label == Meta.Bug) {
+      MakeRt = B.MakeRt;
+      MakeVm = B.MakeVm;
+      return true;
+    }
+  *Error =
+      "benchmark '" + Meta.Benchmark + "' has no bug '" + Meta.Bug + "'";
+  return false;
+}
+
 } // namespace
 
 int main(int Argc, char **Argv) {
@@ -114,6 +146,14 @@ int main(int Argc, char **Argv) {
                 "prefer the model-VM form when a benchmark has both");
   addSearchFlags(Flags);
   addSessionFlags(Flags);
+  Flags.addString("serve", "",
+                  "run as the coordinator of a distributed checking "
+                  "service, bound to HOST:PORT (port 0 picks an ephemeral "
+                  "port; workers attach with --join)");
+  Flags.addString("join", "",
+                  "join the coordinator at HOST:PORT as a worker process "
+                  "(adopts its configuration; --jobs/--shards size the "
+                  "local pool)");
   std::string Error;
   if (!Flags.parse(Argc, Argv, &Error)) {
     std::fprintf(stderr, "%s\n", Error.c_str());
@@ -125,7 +165,8 @@ int main(int Argc, char **Argv) {
   }
 
   if (!Flags.getString("replay").empty()) {
-    if (!checkReplayExclusive(Flags, {"benchmark", "bug", "model"}))
+    if (!checkReplayExclusive(Flags,
+                              {"benchmark", "bug", "model", "serve", "join"}))
       return 2;
     // --bound here asserts which policy family the artifact must have
     // been recorded under; replayArtifact refuses a mismatch (exit 3).
@@ -153,6 +194,27 @@ int main(int Argc, char **Argv) {
   if (Flags.getBool("minimize")) {
     std::fprintf(stderr, "--minimize requires --replay=FILE\n");
     return 2;
+  }
+
+  if (!Flags.getString("join").empty()) {
+    if (!Flags.getString("serve").empty()) {
+      std::fprintf(stderr,
+                   "--serve and --join are mutually exclusive: a process "
+                   "is either the coordinator or a worker\n");
+      return 2;
+    }
+    if (!checkJoinExclusive(Flags, {"benchmark", "bug", "model"}))
+      return 2;
+    unsigned Jobs = static_cast<unsigned>(Flags.getInt("jobs"));
+    unsigned Shards = static_cast<unsigned>(Flags.getInt("shards"));
+    if (Shards != 0 && Jobs == 1) {
+      std::fprintf(stderr,
+                   "--shards configures the parallel engine; it requires "
+                   "--jobs != 1\n");
+      return 2;
+    }
+    return runJoin(Flags.getString("join"), Jobs, Shards,
+                   resolveDistIdentity);
   }
 
   RunConfig Config;
@@ -186,6 +248,27 @@ int main(int Argc, char **Argv) {
                  "--checkpoint-dir/--resume track a single run; use a "
                  "specific --bug, not --bug=all\n");
     return 2;
+  }
+  const std::string Serve = Flags.getString("serve");
+  if (!Serve.empty()) {
+    if (Flags.wasSet("jobs") || Flags.wasSet("shards")) {
+      std::fprintf(stderr,
+                   "--serve executes nothing locally; worker topology "
+                   "belongs to the joiners (--join ... --jobs)\n");
+      return 2;
+    }
+    if (Flags.wasSet("trace")) {
+      std::fprintf(stderr,
+                   "--trace needs a local executor; a --serve coordinator "
+                   "has none (replay the repro artifact instead)\n");
+      return 2;
+    }
+    if (BugLabel == "all") {
+      std::fprintf(stderr,
+                   "--serve hosts a single run; use a specific --bug, not "
+                   "--bug=all\n");
+      return 2;
+    }
   }
 
   const BenchmarkEntry *Entry = findBenchmark(BenchName);
@@ -244,7 +327,11 @@ int main(int Argc, char **Argv) {
     }
     S.Benchmark = Entry->Name;
     S.Bug = Label;
-    int Rc = UseVm ? runVm(MakeVm(), Config, S) : runRt(MakeRt(), Config, S);
+    int Rc;
+    if (!Serve.empty())
+      Rc = runServe(Serve, Config, S, UseVm ? "vm" : "rt", Entry->Name);
+    else
+      Rc = UseVm ? runVm(MakeVm(), Config, S) : runRt(MakeRt(), Config, S);
     Exit = std::max(Exit, Rc);
   };
 

@@ -128,6 +128,35 @@ void renderPerBound(const JsonValue *Stats, const JsonValue *Metrics) {
 /// --sites: include the per-preemption-site profile table (set in main).
 bool ShowSites = false;
 
+/// --joiners: include the distributed run's per-joiner table (set in main).
+bool ShowJoiners = false;
+
+/// The per-joiner lease accounting a --serve run records under "dist".
+/// Timing-class by nature (which joiner got which lease depends on
+/// arrival order), which is why it lives outside the deterministic stats.
+void renderJoiners(const JsonValue *Dist) {
+  const JsonValue *Joiners = Dist ? Dist->find("joiners") : nullptr;
+  if (!Joiners || !Joiners->isArray() || Joiners->Arr.empty()) {
+    std::printf("  (not a distributed run, or no joiner ever connected)\n");
+    return;
+  }
+  std::vector<std::vector<std::string>> Rows;
+  for (size_t I = 0; I != Joiners->Arr.size(); ++I) {
+    const JsonValue &J = Joiners->Arr[I];
+    bool Reconnect = false;
+    J.getBool("reconnect", Reconnect);
+    Rows.push_back({withCommas(I), withCommas(numField(&J, "leases")),
+                    withCommas(numField(&J, "items")),
+                    withCommas(numField(&J, "executions")),
+                    withCommas(numField(&J, "steps")),
+                    withCommas(numField(&J, "revocations")),
+                    Reconnect ? "yes" : "no"});
+  }
+  printTable({"joiner", "leases", "items", "executions", "steps",
+              "revoked", "rejoin"},
+             Rows);
+}
+
 /// Online schedule-space estimate: the per-bound credited mass plus the
 /// Knuth projection of the total execution count, with an ETA at the
 /// recorded execution rate. Runs predating the estimator (or with it
@@ -456,6 +485,10 @@ int reportManifest(const JsonValue &Doc) {
     Run.getBool("interrupted", Interrupted);
     renderRun(Title, Run.find("stats"), Run.find("metrics"),
               numField(&Run, "wall_ms"), bugCount(&Run), Interrupted);
+    if (ShowJoiners) {
+      std::printf("\ndistributed joiners:\n");
+      renderJoiners(Run.find("dist"));
+    }
   }
   return 0;
 }
@@ -511,6 +544,9 @@ int main(int Argc, char **Argv) {
                 "include the per-preemption-site profile table (which "
                 "object/operation each preemption targeted, and what it "
                 "found)");
+  Flags.addBool("joiners", false,
+                "include the distributed run's per-joiner lease table "
+                "(icb_check --serve manifests)");
   std::string Error;
   if (!Flags.parse(Argc, Argv, &Error)) {
     std::fprintf(stderr, "%s\n", Error.c_str());
@@ -522,6 +558,7 @@ int main(int Argc, char **Argv) {
     return 2;
   }
   ShowSites = Flags.getBool("sites");
+  ShowJoiners = Flags.getBool("joiners");
   std::string Path = Flags.positional()[0];
   JsonValue Doc;
   if (int Rc = tool::loadJsonDoc(Path, Doc))
